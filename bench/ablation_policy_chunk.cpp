@@ -1,0 +1,101 @@
+// Ablation bench (DESIGN.md section 5): the design choices the paper fixes
+// without sweeping —
+//   (a) direction policy: the paper's frontier-count rule vs Beamer's
+//       edge-count rule (SC'12),
+//   (b) NVM read chunk size: the paper's 4 KiB vs smaller/larger chunks,
+//   (c) top-down dequeue batch: the paper's 64 vs alternatives.
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_common.hpp"
+#include "graph/external_csr.hpp"
+
+using namespace sembfs;
+using namespace sembfs::bench;
+
+int main() {
+  const BenchConfig config = BenchConfig::resolve();
+  print_header(config,
+               "Ablations — switch policy, NVM chunk size, dequeue batch",
+               "design constants the paper fixes: frontier-ratio policy, "
+               "4 KiB chunks, 64-vertex batches");
+
+  ThreadPool pool{static_cast<std::size_t>(config.env.threads)};
+
+  // (a) Policy ablation, DRAM-only.
+  {
+    Graph500Instance instance =
+        make_instance(config, Scenario::dram_only(), pool);
+    AsciiTable table({"policy", "parameters", "median TEPS"});
+    {
+      BfsConfig bfs;
+      bfs.policy.kind = PolicyKind::FrontierRatio;
+      bfs.policy.alpha = 1e4;
+      bfs.policy.beta = 1e5;
+      table.add_row({"frontier-ratio (paper)", "a=1e4 b=10a",
+                     format_teps(median_teps(instance, bfs,
+                                             config.env.roots))});
+    }
+    {
+      BfsConfig bfs;
+      bfs.policy.kind = PolicyKind::EdgeRatio;
+      bfs.policy.alpha = 14.0;  // Beamer's published constants
+      bfs.policy.beta = 24.0;
+      table.add_row({"edge-ratio (Beamer)", "a=14 b=24",
+                     format_teps(median_teps(instance, bfs,
+                                             config.env.roots))});
+    }
+    std::printf("\n(a) direction-switch policy, DRAM-only:\n");
+    table.print();
+  }
+
+  // (b) Chunk-size ablation on the semi-external forward graph.
+  {
+    std::printf("\n(b) NVM read chunk size, DRAM+PCIeFlash, top-down-heavy "
+                "(stresses the read path):\n");
+    AsciiTable table({"chunk bytes", "median TEPS", "NVM requests/BFS"});
+    for (const std::uint32_t chunk : {512u, 1024u, 4096u, 16384u, 65536u}) {
+      InstanceConfig ic;
+      ic.kronecker.scale = config.env.scale;
+      ic.kronecker.edge_factor = config.env.edge_factor;
+      ic.kronecker.seed = config.env.seed;
+      ic.scenario = Scenario::dram_pcie_flash();
+      ic.scenario.time_scale = config.time_scale;
+      ic.numa_nodes = static_cast<std::size_t>(config.env.numa_nodes);
+      ic.workdir = config.env.workdir + "/chunk" + std::to_string(chunk);
+      ic.chunk_bytes = chunk;
+      Graph500Instance instance{ic, pool};
+      BfsConfig bfs;
+      bfs.policy.alpha = 100.0;  // keep several top-down levels
+      bfs.policy.beta = 100.0;
+      const BenchmarkRun run = run_graph500_bfs_phase(
+          instance, bfs, config.env.roots, false, 0xbf5);
+      std::uint64_t requests = 0;
+      for (const auto& r : run.runs) (void)r;
+      requests = run.nvm_io.requests / run.runs.size();
+      table.add_row({std::to_string(chunk),
+                     format_teps(run.output.score()),
+                     format_count(requests)});
+      std::filesystem::remove_all(ic.workdir);
+    }
+    table.print();
+  }
+
+  // (c) Top-down dequeue batch size, DRAM-only.
+  {
+    Graph500Instance instance =
+        make_instance(config, Scenario::dram_only(), pool);
+    std::printf("\n(c) top-down dequeue batch (paper uses 64):\n");
+    AsciiTable table({"batch", "median TEPS"});
+    for (const int batch : {1, 8, 64, 512, 4096}) {
+      BfsConfig bfs;
+      bfs.mode = BfsMode::TopDownOnly;  // isolate the top-down path
+      bfs.batch_size = batch;
+      table.add_row({std::to_string(batch),
+                     format_teps(median_teps(instance, bfs,
+                                             config.env.roots))});
+    }
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+namespace sembfs::bench {
+
+BenchConfig BenchConfig::resolve() {
+  BenchConfig config;
+  config.env = BenchEnv::resolve();
+  config.time_scale = env_double("SEMBFS_TIME_SCALE", 0.1);
+  config.csv_dir = env_string("SEMBFS_CSV_DIR", "");
+  return config;
+}
+
+void print_header(const BenchConfig& config, const std::string& figure,
+                  const std::string& paper_summary) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("paper: %s\n", paper_summary.c_str());
+  std::printf(
+      "emulation: SCALE=%d edgefactor=%d roots=%d threads=%d "
+      "numa_nodes=%d device_time_scale=%.3g workdir=%s\n",
+      config.env.scale, config.env.edge_factor, config.env.roots,
+      config.env.threads, config.env.numa_nodes, config.time_scale,
+      config.env.workdir.c_str());
+  std::printf(
+      "note: absolute TEPS are not comparable to the paper's 48-core\n"
+      "machine; compare orderings/ratios. Override knobs via SEMBFS_SCALE,\n"
+      "SEMBFS_ROOTS, SEMBFS_THREADS, SEMBFS_NUMA_NODES, SEMBFS_TIME_SCALE.\n");
+  std::printf("================================================================\n");
+}
+
+std::vector<AlphaBeta> paper_alpha_beta_grid() {
+  std::vector<AlphaBeta> grid;
+  for (const double alpha : {1e4, 1e5, 1e6}) {
+    for (const double factor : {10.0, 1.0, 0.1}) {
+      AlphaBeta ab;
+      ab.alpha = alpha;
+      ab.beta = alpha * factor;
+      char label[64];
+      std::snprintf(label, sizeof label, "a=%s b=%.3gA",
+                    format_scientific(alpha).c_str(), factor);
+      ab.label = label;
+      grid.push_back(ab);
+    }
+  }
+  return grid;
+}
+
+Graph500Instance make_instance(const BenchConfig& config,
+                               const Scenario& scenario, ThreadPool& pool,
+                               int scale_override) {
+  InstanceConfig ic;
+  ic.kronecker.scale =
+      scale_override > 0 ? scale_override : config.env.scale;
+  ic.kronecker.edge_factor = config.env.edge_factor;
+  ic.kronecker.seed = config.env.seed;
+  ic.scenario = scenario;
+  ic.scenario.time_scale = config.time_scale;
+  ic.numa_nodes = static_cast<std::size_t>(config.env.numa_nodes);
+  ic.workdir = config.env.workdir;
+  return Graph500Instance{ic, pool};
+}
+
+double median_teps(Graph500Instance& instance, const BfsConfig& bfs,
+                   int roots, std::uint64_t root_seed) {
+  const BenchmarkRun run =
+      run_graph500_bfs_phase(instance, bfs, roots, /*validate=*/false,
+                             root_seed);
+  return run.output.score();
+}
+
+void maybe_write_csv(const BenchConfig& config, const std::string& name,
+                     const CsvWriter& csv) {
+  if (config.csv_dir.empty()) return;
+  const std::string path = config.csv_dir + "/" + name + ".csv";
+  if (csv.write_file(path))
+    std::printf("csv: %s\n", path.c_str());
+  else
+    std::printf("csv: FAILED to write %s\n", path.c_str());
+}
+
+}  // namespace sembfs::bench

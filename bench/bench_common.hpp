@@ -1,0 +1,61 @@
+// Shared scaffolding for the figure/table reproduction benches.
+//
+// Every bench binary:
+//  - runs with NO arguments (the harness loops over build/bench/*),
+//  - takes its size knobs from SEMBFS_* environment variables with small,
+//    laptop-fast defaults,
+//  - prints a header describing the configuration and the paper result it
+//    reproduces, an AsciiTable of the measured series, and (optionally)
+//    writes a CSV next to the working directory.
+#pragma once
+
+#include <string>
+
+#include "bfs/hybrid_bfs.hpp"
+#include "graph500/benchmark.hpp"
+#include "graph500/instance.hpp"
+#include "graph500/scenario.hpp"
+#include "util/csv.hpp"
+#include "util/env.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace sembfs::bench {
+
+/// Resolved environment for a bench run.
+struct BenchConfig {
+  BenchEnv env;
+  double time_scale;   ///< SEMBFS_TIME_SCALE (default 0.1)
+  std::string csv_dir; ///< SEMBFS_CSV_DIR ("" = no CSV output)
+
+  static BenchConfig resolve();
+};
+
+/// Prints the standard bench header: what paper artifact this reproduces,
+/// machine emulation parameters, and any caveats.
+void print_header(const BenchConfig& config, const std::string& figure,
+                  const std::string& paper_summary);
+
+/// The alpha/beta grid the paper sweeps in Figures 8-10: alpha in
+/// {1e4, 1e5, 1e6} and beta in {10a, 1a, 0.1a}.
+struct AlphaBeta {
+  double alpha;
+  double beta;
+  std::string label;  ///< e.g. "a=1.E+04 b=10a"
+};
+std::vector<AlphaBeta> paper_alpha_beta_grid();
+
+/// Builds an instance for `scenario` with the bench env's knobs.
+Graph500Instance make_instance(const BenchConfig& config,
+                               const Scenario& scenario, ThreadPool& pool,
+                               int scale_override = 0);
+
+/// Median-TEPS of Steps 3-4 with the given BFS parameters.
+double median_teps(Graph500Instance& instance, const BfsConfig& bfs,
+                   int roots, std::uint64_t root_seed = 0xbf5);
+
+/// Writes the CSV when SEMBFS_CSV_DIR is set; no-op otherwise.
+void maybe_write_csv(const BenchConfig& config, const std::string& name,
+                     const CsvWriter& csv);
+
+}  // namespace sembfs::bench

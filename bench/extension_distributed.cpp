@@ -1,0 +1,91 @@
+// Simulated multi-node hybrid BFS (paper future work: "applying our
+// technique to multi-node environments"; design per the paper's reference
+// [14], Beamer et al. MTAAP'13).
+//
+// The claim this bench demonstrates: in distributed BFS the bottom-up
+// direction exists to cut COMMUNICATION — top-down sends one (child,
+// parent) message per cut edge, bottom-up only allgathers the frontier.
+// The hybrid switch therefore slashes remote bytes by orders of magnitude,
+// which is the multi-node analogue of the paper's NVM-request reduction.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dist/dist_bfs.hpp"
+
+using namespace sembfs;
+using namespace sembfs::bench;
+
+int main() {
+  const BenchConfig config = BenchConfig::resolve();
+  print_header(config,
+               "Extension — simulated multi-node hybrid BFS (1D partition)",
+               "future work of Section VIII; expected: hybrid cuts remote "
+               "communication by orders of magnitude vs top-down-only");
+
+  const std::size_t ranks = 4;
+  ThreadPool pool{std::max<std::size_t>(
+      ranks, static_cast<std::size_t>(config.env.threads))};
+
+  KroneckerParams params;
+  params.scale = config.env.scale;
+  params.edge_factor = config.env.edge_factor;
+  params.seed = config.env.seed;
+  const EdgeList edges = generate_kronecker(params, pool);
+  DistributedBfs dist{edges, ranks, pool};
+
+  // Pick a root with edges from rank 0's owned range.
+  const Csr& g0 = dist.local_graph(0);
+  Vertex root = g0.source_range().begin;
+  while (root < g0.source_range().end && g0.degree(root) == 0) ++root;
+
+  struct Mode {
+    const char* name;
+    DistBfsConfig config;
+  };
+  DistBfsConfig hybrid;
+  hybrid.policy.alpha = 1e4;
+  hybrid.policy.beta = 1e5;
+  DistBfsConfig top_down;
+  top_down.mode = DistBfsConfig::Mode::TopDownOnly;
+  DistBfsConfig bottom_up;
+  bottom_up.mode = DistBfsConfig::Mode::BottomUpOnly;
+  const Mode modes[] = {{"hybrid (paper rule)", hybrid},
+                        {"top-down only", top_down},
+                        {"bottom-up only", bottom_up}};
+
+  AsciiTable table({"mode", "median TEPS", "remote bytes/BFS", "depth"});
+  for (const Mode& mode : modes) {
+    std::vector<double> teps;
+    std::uint64_t bytes = 0;
+    std::int32_t depth = 0;
+    const int roots = std::max(2, config.env.roots / 2);
+    for (int i = 0; i < roots; ++i) {
+      const DistBfsResult r = dist.run(root, mode.config);
+      teps.push_back(r.teps);
+      bytes += r.total_remote_bytes;
+      depth = r.depth;
+    }
+    table.add_row({mode.name,
+                   format_teps(compute_stats(std::move(teps)).median),
+                   format_bytes(bytes / static_cast<std::uint64_t>(roots)),
+                   std::to_string(depth)});
+  }
+  table.print();
+
+  // Per-level communication profile of one hybrid run.
+  std::printf("\nper-level communication (hybrid):\n");
+  const DistBfsResult run = dist.run(root, hybrid);
+  AsciiTable levels({"level", "direction", "frontier", "claimed",
+                     "remote bytes"});
+  for (const DistLevelStats& ls : run.levels)
+    levels.add_row({std::to_string(ls.level), direction_name(ls.direction),
+                    format_count(static_cast<std::uint64_t>(
+                        ls.frontier_vertices)),
+                    format_count(static_cast<std::uint64_t>(
+                        ls.claimed_vertices)),
+                    format_bytes(ls.remote_bytes)});
+  levels.print();
+  std::printf("\nexpected shape: the bottom-up levels' remote bytes track "
+              "the (small) frontier, not the (huge) edge cut.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Extensions bench — the paper's future-work items, implemented and
+// measured against the paper's own technique on the same simulated device:
+//
+//   1. I/O aggregation (Figure 13's conclusion: "we may exploit further
+//      I/O performance of the devices by aggregating small I/O operations
+//      such as libaio"): merge a dequeue batch's index/value reads into few
+//      large requests. Expect fewer requests, larger avgrq-sz, higher TEPS
+//      in top-down-heavy runs.
+//   2. Degree-tiered forward placement ("further offloading graph data
+//      especially with small edges"): short adjacency lists in DRAM, hubs
+//      on NVM. Expect the Figure-11 degree~1 pathology to disappear at a
+//      small DRAM cost.
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_common.hpp"
+#include "graph/tiered_forward.hpp"
+
+using namespace sembfs;
+using namespace sembfs::bench;
+
+int main() {
+  const BenchConfig config = BenchConfig::resolve();
+  print_header(config,
+               "Extensions — I/O aggregation + degree-tiered forward graph",
+               "future work of Section VIII implemented; baselines are the "
+               "paper's own 4 KiB-chunk offload");
+
+  ThreadPool pool{static_cast<std::size_t>(config.env.threads)};
+  const std::string dir = config.env.workdir + "/future";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  // Shared graph + device (PCIe flash profile).
+  KroneckerParams params;
+  params.scale = config.env.scale;
+  params.edge_factor = config.env.edge_factor;
+  params.seed = config.env.seed;
+  const EdgeList edges = generate_kronecker(params, pool);
+  const VertexPartition partition{edges.vertex_count(),
+                                  static_cast<std::size_t>(config.env.numa_nodes)};
+  const ForwardGraph forward =
+      ForwardGraph::build(edges, partition, CsrBuildOptions{}, pool);
+  const BackwardGraph backward =
+      BackwardGraph::build(edges, partition, CsrBuildOptions{}, pool);
+
+  DeviceProfile profile = DeviceProfile::pcie_flash();
+  profile.time_scale = config.time_scale;
+  auto device = std::make_shared<NvmDevice>(profile);
+
+  ExternalForwardGraph external{forward, device, dir + "/ext"};
+  TieredForwardGraph tiered{forward, /*degree_threshold=*/8, device,
+                            dir + "/tiered", pool};
+
+  const NumaTopology topology = NumaTopology::with_total_threads(
+      static_cast<std::size_t>(config.env.numa_nodes), pool.size());
+
+  Vertex root = 0;
+  while (backward.neighbors(root).empty()) ++root;
+
+  struct Variant {
+    const char* name;
+    GraphStorage storage;
+    bool aggregate;
+    std::uint64_t extra_dram;
+  };
+  GraphStorage ext_storage;
+  ext_storage.forward_external = &external;
+  ext_storage.backward_dram = &backward;
+  GraphStorage tiered_storage;
+  tiered_storage.forward_tiered = &tiered;
+  tiered_storage.backward_dram = &backward;
+
+  const Variant variants[] = {
+      {"paper: 4 KiB chunked offload", ext_storage, false, 0},
+      {"+ I/O aggregation (libaio-style)", ext_storage, true, 0},
+      {"tiered forward (deg<=8 in DRAM)", tiered_storage, false,
+       tiered.dram_byte_size()},
+  };
+
+  AsciiTable table({"variant", "median TEPS (TD-only)",
+                    "NVM requests/BFS", "avgrq-sz (sectors)",
+                    "forward DRAM bytes"});
+  for (const Variant& variant : variants) {
+    HybridBfsRunner runner{variant.storage, topology, pool};
+    BfsConfig bfs;
+    bfs.mode = BfsMode::TopDownOnly;  // stress the forward read path
+    bfs.aggregate_io = variant.aggregate;
+
+    std::vector<double> teps;
+    std::uint64_t requests = 0;
+    device->stats().reset();
+    const int roots = std::max(2, config.env.roots / 2);
+    for (int i = 0; i < roots; ++i) {
+      const BfsResult r = runner.run(root, bfs);
+      teps.push_back(r.teps);
+      requests += r.nvm_requests;
+    }
+    const IoStatsSnapshot io = device->stats().snapshot();
+    table.add_row(
+        {variant.name, format_teps(compute_stats(std::move(teps)).median),
+         format_count(requests / static_cast<std::uint64_t>(roots)),
+         format_fixed(io.avg_request_sectors, 2),
+         format_bytes(variant.extra_dram)});
+  }
+  table.print();
+
+  std::printf(
+      "\nexpected shapes: aggregation cuts requests and raises avgrq-sz "
+      "(the paper's libaio hypothesis); the tiered layout cuts requests "
+      "hardest (degree<=8 vertices dominate the frontier tail) at a small "
+      "DRAM cost.\n");
+  std::filesystem::remove_all(dir);
+  return 0;
+}

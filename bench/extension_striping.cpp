@@ -1,0 +1,96 @@
+// Extension: striping the offloaded forward graph across multiple NVM
+// devices. The paper's machine was "heavily equipped with NVM devices"
+// (4 TB across several cards) but the technique as published uses one
+// device per dataset; Figure 12's deep queues (avgqu-sz 36-56) say the
+// devices were the bottleneck. RAID-0-style striping multiplies service
+// channels, so the same top-down-heavy workload should see queue depth
+// and wall time fall roughly with the device count.
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_common.hpp"
+
+using namespace sembfs;
+using namespace sembfs::bench;
+
+int main() {
+  BenchConfig config = BenchConfig::resolve();
+  // Queue behaviour needs concurrency; mirror fig12's 48 issuing threads.
+  config.env.threads = static_cast<int>(env_int("SEMBFS_THREADS", 48));
+  print_header(config,
+               "Extension — forward graph striped across D NVM devices",
+               "multiplying service channels drains Figure 12's queues; "
+               "expected: wall time and avgqu-sz fall with D");
+
+  ThreadPool pool{static_cast<std::size_t>(config.env.threads)};
+  const std::string dir = config.env.workdir + "/striping";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  KroneckerParams params;
+  params.scale = config.env.scale;
+  params.edge_factor = config.env.edge_factor;
+  params.seed = config.env.seed;
+  const EdgeList edges = generate_kronecker(params, pool);
+  const VertexPartition partition{edges.vertex_count(),
+                                  static_cast<std::size_t>(config.env.numa_nodes)};
+  const ForwardGraph forward =
+      ForwardGraph::build(edges, partition, CsrBuildOptions{}, pool);
+  const BackwardGraph backward =
+      BackwardGraph::build(edges, partition, CsrBuildOptions{}, pool);
+
+  Vertex root = 0;
+  while (backward.neighbors(root).empty()) ++root;
+
+  AsciiTable table({"devices (sata_ssd)", "median TEPS (TD-only)",
+                    "max avgqu-sz", "sum await (ms)"});
+  for (const std::size_t device_count : {std::size_t{1}, std::size_t{2},
+                                         std::size_t{4}}) {
+    DeviceProfile profile = DeviceProfile::sata_ssd();
+    profile.time_scale = config.time_scale;
+    std::vector<std::shared_ptr<NvmDevice>> devices;
+    for (std::size_t i = 0; i < device_count; ++i)
+      devices.push_back(std::make_shared<NvmDevice>(profile));
+
+    ExternalForwardGraph striped{
+        forward, devices, dir + "/d" + std::to_string(device_count)};
+    GraphStorage storage;
+    storage.forward_external = &striped;
+    storage.backward_dram = &backward;
+    HybridBfsRunner runner{
+        storage,
+        NumaTopology::with_total_threads(
+            static_cast<std::size_t>(config.env.numa_nodes), pool.size()),
+        pool};
+
+    BfsConfig bfs;
+    bfs.mode = BfsMode::TopDownOnly;
+    std::vector<double> teps;
+    const int roots = std::max(2, config.env.roots / 4);
+    for (auto& device : devices) device->stats().reset();
+    for (int i = 0; i < roots; ++i)
+      teps.push_back(runner.run(root, bfs).teps);
+
+    double max_queue = 0.0;
+    double await_sum = 0.0;
+    for (const auto& device : devices) {
+      const IoStatsSnapshot s = device->stats().snapshot();
+      max_queue = std::max(max_queue, s.avg_queue_length);
+      await_sum += s.await_ms;
+    }
+    table.add_row({std::to_string(device_count),
+                   format_teps(compute_stats(std::move(teps)).median),
+                   format_fixed(max_queue, 2),
+                   format_fixed(await_sum / static_cast<double>(device_count),
+                                3)});
+  }
+  table.print();
+  std::printf(
+      "\nexpected shape: per-device queue length falls ~linearly with D "
+      "(the 'more NVM cards' upgrade path for the paper's Figure-12 "
+      "bottleneck). TEPS follows only when the device — not the CPU — is "
+      "the binding constraint; on a single-core host the CPU saturates "
+      "first, so the queue column is the meaningful one here.\n");
+  std::filesystem::remove_all(dir);
+  return 0;
+}

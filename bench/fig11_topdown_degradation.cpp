@@ -1,0 +1,107 @@
+// Figure 11: per-level slowdown of the *top-down* direction when the
+// forward graph lives on NVM, as a function of the level's average searched
+// degree (log-log in the paper), at alpha=1e4, beta=10a.
+//
+// Paper findings: DRAM+PCIeFlash degrades between 1.2x and 5758.5x,
+// DRAM+SSD between 2.8x and 123482.6x, with the catastrophic ratios at
+// average degree ~1 — the last top-down levels search huge numbers of
+// degree-1 stragglers, each costing a full device round trip for almost no
+// useful work. First top-down levels (avg degree ~11k) degrade least.
+// Expected shape: ratio_SSD > ratio_PCIeFlash everywhere, both worst near
+// degree ~1 and mildest at the highest-degree level.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace sembfs;
+using namespace sembfs::bench;
+
+namespace {
+
+struct LevelSample {
+  double avg_degree;
+  double dram_seconds;
+  double nvm_seconds;
+};
+
+}  // namespace
+
+int main() {
+  BenchConfig config = BenchConfig::resolve();
+  // This figure measures the device penalty itself, so the device model
+  // runs at full fidelity by default (SEMBFS_TIME_SCALE still overrides).
+  config.time_scale = env_double("SEMBFS_TIME_SCALE", 1.0);
+  print_header(config,
+               "Figure 11 — top-down slowdown vs average degree (a=1e4, "
+               "b=10a)",
+               "PCIeFlash 1.2x..5758x, SSD 2.8x..123483x; worst near "
+               "degree ~1 (late top-down levels)");
+
+  ThreadPool pool{static_cast<std::size_t>(config.env.threads)};
+  BfsConfig bfs;
+  bfs.policy.alpha = 1e4;
+  bfs.policy.beta = 1e5;  // 10 * alpha
+
+  Graph500Instance dram = make_instance(config, Scenario::dram_only(), pool);
+  const auto roots = dram.select_roots(config.env.roots, 0xbf5);
+
+  CsvWriter csv({"device", "avg_degree", "dram_seconds", "nvm_seconds",
+                 "slowdown"});
+  for (const Scenario& scenario :
+       {Scenario::dram_pcie_flash(), Scenario::dram_ssd()}) {
+    Graph500Instance nvm = make_instance(config, scenario, pool);
+    std::vector<LevelSample> samples;
+
+    for (const Vertex root : roots) {
+      const BfsResult a = dram.run_bfs(root, bfs);
+      const BfsResult b = nvm.run_bfs(root, bfs);
+      // Same root + same policy inputs -> identical level structure.
+      const std::size_t levels = std::min(a.levels.size(), b.levels.size());
+      for (std::size_t i = 0; i < levels; ++i) {
+        if (a.levels[i].direction != Direction::TopDown) continue;
+        if (a.levels[i].frontier_vertices == 0) continue;
+        samples.push_back({a.levels[i].avg_degree, a.levels[i].seconds,
+                           b.levels[i].seconds});
+      }
+    }
+
+    std::sort(samples.begin(), samples.end(),
+              [](const LevelSample& x, const LevelSample& y) {
+                return x.avg_degree < y.avg_degree;
+              });
+
+    std::printf("\n-- %s (per top-down level, %zu samples) --\n",
+                scenario.name.c_str(), samples.size());
+    AsciiTable table({"avg degree", "DRAM time (ms)", "NVM time (ms)",
+                      "slowdown"});
+    double min_ratio = 1e300;
+    double max_ratio = 0.0;
+    for (const LevelSample& s : samples) {
+      const double ratio =
+          s.dram_seconds > 0.0 ? s.nvm_seconds / s.dram_seconds : 0.0;
+      if (ratio > 0.0) {
+        min_ratio = std::min(min_ratio, ratio);
+        max_ratio = std::max(max_ratio, ratio);
+      }
+      table.add_row({format_fixed(s.avg_degree, 1),
+                     format_fixed(s.dram_seconds * 1e3, 3),
+                     format_fixed(s.nvm_seconds * 1e3, 3),
+                     format_fixed(ratio, 1) + "x"});
+      csv.add_row({scenario.nvm_profile.name, format_fixed(s.avg_degree, 2),
+                   format_fixed(s.dram_seconds, 6),
+                   format_fixed(s.nvm_seconds, 6), format_fixed(ratio, 2)});
+    }
+    table.print();
+    if (max_ratio > 0.0)
+      std::printf("slowdown range: %.1fx .. %.1fx (paper: %s)\n", min_ratio,
+                  max_ratio,
+                  scenario.kind == ScenarioKind::DramPcieFlash
+                      ? "1.2x .. 5758.5x"
+                      : "2.8x .. 123482.6x");
+  }
+
+  maybe_write_csv(config, "fig11_topdown_degradation", csv);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 13: avgrq-sz — the iostat average request size, in 512-byte
+// sectors, of the requests issued to the NVM during BFS.
+//
+// Paper finding: avgrq-sz averages 22.6 sectors (PCIeFlash) and 22.7 (SSD)
+// — identical across devices, because request size is a property of the
+// *workload* (the 4 KiB-chunked CSR reads over a power-law degree
+// distribution), not of the device. The paper concludes small requests
+// dominate and an aggregation layer (libaio) could help. Expected shape
+// here: the two devices report nearly the same avgrq-sz, bounded by the
+// 8-sector (4 KiB) chunk ceiling, and the value is insensitive to alpha.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace sembfs;
+using namespace sembfs::bench;
+
+int main() {
+  BenchConfig config = BenchConfig::resolve();
+  // Match the paper's 48 issuing threads (see fig12); avgrq-sz itself is
+  // concurrency-insensitive, but this keeps the two iostat figures
+  // directly comparable.
+  config.env.threads = static_cast<int>(env_int("SEMBFS_THREADS", 48));
+  print_header(config,
+               "Figure 13 — avgrq-sz (sectors) of NVM requests during BFS",
+               "22.6 sectors (PCIeFlash) vs 22.7 (SSD): request size is a "
+               "workload property, identical across devices");
+
+  ThreadPool pool{static_cast<std::size_t>(config.env.threads)};
+  AsciiTable table({"scenario", "alpha", "requests", "sectors",
+                    "avgrq-sz (sectors)", "avg request (bytes)"});
+  CsvWriter csv({"scenario", "alpha", "requests", "sectors", "avgrq_sz"});
+
+  std::map<std::string, std::vector<double>> by_scenario;
+  for (const Scenario& scenario :
+       {Scenario::dram_pcie_flash(), Scenario::dram_ssd()}) {
+    Graph500Instance instance = make_instance(config, scenario, pool);
+    for (const double alpha : {1e2, 1e4, 1e6}) {
+      BfsConfig bfs;
+      bfs.policy.alpha = alpha;
+      bfs.policy.beta = alpha;
+      const BenchmarkRun run = run_graph500_bfs_phase(
+          instance, bfs, config.env.roots, /*validate=*/false, 0xbf5);
+      table.add_row({scenario.name, format_scientific(alpha),
+                     format_count(run.nvm_io.requests),
+                     format_count(run.nvm_io.sectors),
+                     format_fixed(run.nvm_io.avg_request_sectors, 2),
+                     format_fixed(run.nvm_io.avg_request_sectors * 512, 0)});
+      csv.add_row({scenario.name, format_scientific(alpha),
+                   std::to_string(run.nvm_io.requests),
+                   std::to_string(run.nvm_io.sectors),
+                   format_fixed(run.nvm_io.avg_request_sectors, 3)});
+      by_scenario[scenario.name].push_back(run.nvm_io.avg_request_sectors);
+    }
+    table.add_separator();
+  }
+  table.print();
+
+  std::printf("\nexpected shape: both devices report the same avgrq-sz for "
+              "the same alpha (paper: 22.6 vs 22.7). Our 4 KiB chunk cap "
+              "bounds requests at 8 sectors; the paper's larger values "
+              "include kernel-level merging our model omits — the "
+              "device-independence is the reproduced property.\n");
+
+  maybe_write_csv(config, "fig13_io_request_size", csv);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 14: partial offload of the BACKWARD graph (Section VI-E) — keep
+// only the first k edges of each vertex in DRAM, stream the rest from NVM,
+// and measure (a) how much backward-graph DRAM is saved and (b) what share
+// of bottom-up edge accesses actually hit the NVM remainder.
+//
+// Paper findings: k=2 saves 2.6% of the graph DRAM but sends 38.2% of edge
+// accesses to NVM; k=32 saves 15.1% with only 0.7% of accesses on NVM —
+// i.e. the bottom-up early exit almost always terminates within the first
+// few dozen neighbors, so the adjacency *tails* (the bulk of hub storage)
+// are nearly free to offload. Expected shape: NVM access share collapses
+// rapidly with k while the DRAM saving grows.
+//
+// NOTE on the saving's sign: at the paper's SCALE 27 the saving is quoted
+// against the *total graph size*; we report the backward-graph-local
+// saving, which is larger, plus the paper-style fraction for reference.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace sembfs;
+using namespace sembfs::bench;
+
+int main() {
+  const BenchConfig config = BenchConfig::resolve();
+  print_header(config,
+               "Figure 14 — backward-graph partial offload (k DRAM "
+               "edges/vertex)",
+               "k=2: -2.6% DRAM, 38.2% accesses on NVM | k=32: -15.1% DRAM, "
+               "0.7% accesses on NVM");
+
+  ThreadPool pool{static_cast<std::size_t>(config.env.threads)};
+  AsciiTable table({"k (DRAM edges/vertex)", "BG DRAM saved",
+                    "graph DRAM saved", "edge accesses on NVM",
+                    "median TEPS"});
+  CsvWriter csv({"k", "bg_dram_saved_pct", "graph_dram_saved_pct",
+                 "nvm_access_pct", "median_teps"});
+
+  // Baseline: full backward graph in DRAM.
+  Scenario base = Scenario::dram_only();
+  Graph500Instance baseline = make_instance(config, base, pool);
+  const double full_backward =
+      static_cast<double>(baseline.backward().byte_size());
+  const double full_graph =
+      static_cast<double>(baseline.graph_dram_bytes());
+
+  // The switch rule thresholds on n/alpha, so the paper's alpha values only
+  // make sense at the paper's n. Scale alpha so the top-down->bottom-up
+  // switch fires at a frontier of ~n/512 vertices — the fat-frontier regime
+  // in which the paper measures backward-graph access locality.
+  BfsConfig bfs;
+  bfs.policy.alpha =
+      std::max(2.0, static_cast<double>(baseline.vertex_count()) / 512.0);
+  bfs.policy.beta = bfs.policy.alpha;
+
+  for (const std::int64_t k : {2, 4, 8, 16, 32, 64}) {
+    Scenario scenario = Scenario::dram_only();
+    scenario.backward_dram_edges = k;
+    // Partial offload needs a device; use the PCIe flash profile.
+    scenario.nvm_profile = DeviceProfile::pcie_flash();
+    Graph500Instance instance = make_instance(config, scenario, pool);
+    HybridBackwardGraph* hybrid = instance.hybrid_backward();
+    hybrid->reset_counters();
+
+    const BenchmarkRun run = run_graph500_bfs_phase(
+        instance, bfs, config.env.roots, /*validate=*/false, 0xbf5);
+
+    const double dram_now = static_cast<double>(hybrid->dram_byte_size());
+    const double bg_saved = (1.0 - dram_now / full_backward) * 100.0;
+    const double graph_saved =
+        (full_backward - dram_now) / full_graph * 100.0;
+    const double nvm_edges =
+        static_cast<double>(hybrid->nvm_edges_examined());
+    const double total_edges =
+        nvm_edges + static_cast<double>(hybrid->dram_edges_examined());
+    const double nvm_pct =
+        total_edges > 0.0 ? nvm_edges / total_edges * 100.0 : 0.0;
+
+    table.add_row({std::to_string(k), format_fixed(bg_saved, 1) + "%",
+                   format_fixed(graph_saved, 1) + "%",
+                   format_fixed(nvm_pct, 1) + "%",
+                   format_teps(run.output.score())});
+    csv.add_row({std::to_string(k), format_fixed(bg_saved, 2),
+                 format_fixed(graph_saved, 2), format_fixed(nvm_pct, 2),
+                 format_fixed(run.output.score(), 0)});
+  }
+  table.print();
+  std::printf("\nexpected shape: 'edge accesses on NVM' collapses as k "
+              "grows (paper: 38.2%% at k=2 -> 0.7%% at k=32) while the "
+              "DRAM saving rises.\n");
+
+  maybe_write_csv(config, "fig14_backward_offload", csv);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Green Graph500 energy analysis (paper abstract / Section VIII: 4.35
+// MTEPS/W, 4th on the Nov 2013 Big Data list, on a 4-way server with
+// 500 GB DRAM + 4 TB NVM).
+//
+// No power meter exists here, so this bench combines measured TEPS with a
+// component power model (see src/graph500/energy.hpp) to evaluate the
+// paper's energy argument: offloading the forward graph lets a node drop
+// half its DRAM — and DRAM watts dominate NVM watts — so MTEPS/W can
+// *improve* even while raw TEPS degrades. Two views are printed:
+//   (a) measured TEPS on this box with modeled power for each scenario;
+//   (b) the paper's DRAM budgets (128 GB vs 64 GB + device) with the
+//       paper's TEPS, reproducing the published trade-off at scale.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "graph500/energy.hpp"
+
+using namespace sembfs;
+using namespace sembfs::bench;
+
+int main() {
+  const BenchConfig config = BenchConfig::resolve();
+  print_header(config,
+               "Green Graph500 — MTEPS/W under the component power model",
+               "paper: 4.35 MTEPS/W (Nov 2013 Big Data list, rank 4)");
+
+  ThreadPool pool{static_cast<std::size_t>(config.env.threads)};
+  const PowerModel model;
+
+  // (a) measured TEPS + modeled power, per scenario, best-of-grid.
+  AsciiTable measured({"scenario", "median TEPS", "graph DRAM", "watts",
+                       "MTEPS/W"});
+  for (const Scenario& scenario :
+       {Scenario::dram_only(), Scenario::dram_pcie_flash(),
+        Scenario::dram_ssd()}) {
+    Graph500Instance instance = make_instance(config, scenario, pool);
+    BfsConfig bfs;
+    bfs.policy.alpha = 1e4;
+    bfs.policy.beta = 1e5;
+    const double teps = median_teps(instance, bfs, config.env.roots);
+    const EnergyEstimate e = estimate_energy(
+        model, teps, instance.graph_dram_bytes(),
+        scenario.offload_forward ? scenario.nvm_profile.name : "dram");
+    measured.add_row({scenario.name, format_teps(teps),
+                      format_bytes(instance.graph_dram_bytes()),
+                      format_fixed(e.watts, 1),
+                      format_fixed(e.mteps_per_watt, 4)});
+  }
+  std::printf("\n(a) measured on this machine (power modeled):\n");
+  measured.print();
+
+  // (b) the paper's configurations and reported TEPS through the same
+  // model: 128 GiB DRAM-only at 5.12 GTEPS vs 64 GiB + ioDrive2 at 4.22
+  // GTEPS vs 64 GiB + SSD at 2.76 GTEPS.
+  AsciiTable paper({"configuration (paper)", "TEPS (paper)", "watts (model)",
+                    "MTEPS/W (model)"});
+  struct Row {
+    const char* name;
+    double teps;
+    std::uint64_t dram;
+    const char* device;
+  };
+  const std::uint64_t gib = 1ull << 30;
+  const Row rows[] = {
+      {"128 GiB DRAM-only, 5.12 GTEPS", 5.12e9, 128 * gib, "dram"},
+      {"64 GiB + PCIe flash, 4.22 GTEPS", 4.22e9, 64 * gib, "pcie_flash"},
+      {"64 GiB + SATA SSD, 2.76 GTEPS", 2.76e9, 64 * gib, "sata_ssd"},
+  };
+  for (const Row& row : rows) {
+    const EnergyEstimate e =
+        estimate_energy(model, row.teps, row.dram, row.device);
+    paper.add_row({row.name, format_teps(row.teps),
+                   format_fixed(e.watts, 1),
+                   format_fixed(e.mteps_per_watt, 2)});
+  }
+  std::printf("\n(b) the paper's published numbers through the same power "
+              "model:\n");
+  paper.print();
+  std::printf(
+      "\nreading: at the paper's DRAM scale the offload costs ~18%% TEPS "
+      "but only ~5%% power headroom is regained (DRAM is cheap at 64 GiB); "
+      "the offload's energy case is *capacity* — the same node can process "
+      "a graph its DRAM alone never could, instead of adding sockets. The "
+      "published 4.35 MTEPS/W lands between this model's DRAM-only and "
+      "PCIe-flash estimates, validating the envelope.\n");
+  return 0;
+}

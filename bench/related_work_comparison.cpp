@@ -1,0 +1,126 @@
+// Related-work comparison (paper Section VII and the abstract's headline
+// contrast): the paper's hybrid BFS with the forward graph offloaded
+// achieves 4.22 GTEPS, versus 0.05 GTEPS reported by Pearce et al. for a
+// fully semi-external traversal (1 TB DRAM + 12 TB NVM, SCALE 36) — an
+// ~80x gap bought by keeping the bottom-up working set in DRAM.
+//
+// This bench runs, on the SAME simulated device and graph:
+//   1. the paper's approach  — hybrid BFS, forward graph on NVM,
+//   2. Pearce-style          — semi-external label-correcting BFS, whole
+//                              CSR on NVM, only vertex state in DRAM,
+//   3. GraphChi-style        — repeated streaming sweeps over the
+//                              NVM-resident edge list until fixpoint.
+// Expected shape: (1) >> (2) > or ~ (3), with (2) and (3) paying device
+// I/O proportional to edges while (1) touches NVM only on a few top-down
+// levels.
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_common.hpp"
+#include "bfs/baselines_external.hpp"
+#include "graph/external_edge_list.hpp"
+
+using namespace sembfs;
+using namespace sembfs::bench;
+
+int main() {
+  const BenchConfig config = BenchConfig::resolve();
+  print_header(config,
+               "Related work — hybrid offload vs Pearce-style vs "
+               "GraphChi-style on the same NVM",
+               "paper vs Pearce et al.: 4.22 GTEPS vs 0.05 GTEPS (~80x) "
+               "with a higher DRAM:NVM ratio");
+
+  ThreadPool pool{static_cast<std::size_t>(config.env.threads)};
+  const std::string dir = config.env.workdir + "/related";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  // One graph, one device profile (PCIe flash).
+  Graph500Instance instance =
+      make_instance(config, Scenario::dram_pcie_flash(), pool);
+  const auto roots = instance.select_roots(
+      std::max(2, config.env.roots / 2), 0xbf5);
+
+  AsciiTable table({"approach", "median TEPS", "NVM requests/BFS",
+                    "scanned edges/BFS", "vs hybrid"});
+
+  // 1. The paper's approach.
+  double hybrid_teps = 0.0;
+  {
+    BfsConfig bfs;  // defaults: frontier-ratio a=1e4 b=1e5
+    std::vector<double> teps;
+    std::uint64_t requests = 0;
+    std::int64_t scanned = 0;
+    for (const Vertex root : roots) {
+      const BfsResult r = instance.run_bfs(root, bfs);
+      teps.push_back(r.teps);
+      requests += r.nvm_requests;
+      scanned += r.scanned_edges_total();
+    }
+    hybrid_teps = compute_stats(std::move(teps)).median;
+    table.add_row({"hybrid + forward offload (paper)",
+                   format_teps(hybrid_teps),
+                   format_count(requests / roots.size()),
+                   format_count(static_cast<std::uint64_t>(
+                       scanned / static_cast<std::int64_t>(roots.size()))),
+                   "1.0x"});
+  }
+
+  DeviceProfile profile = DeviceProfile::pcie_flash();
+  profile.time_scale = config.time_scale;
+  auto device = std::make_shared<NvmDevice>(profile);
+
+  // 2. Pearce-style semi-external BFS: whole CSR on the device.
+  {
+    ThreadPool deep_pool{48};  // latency hiding via massive oversubscription
+    ExternalCsrPartition whole{instance.full_csr(), device, dir, 0};
+    std::vector<double> teps;
+    std::uint64_t requests = 0;
+    std::int64_t scanned = 0;
+    for (const Vertex root : roots) {
+      const ExternalBfsResult r = pearce_async_bfs(
+          whole, instance.vertex_count(), root, deep_pool);
+      teps.push_back(r.teps);
+      requests += r.nvm_requests;
+      scanned += r.scanned_edges;
+    }
+    const double median = compute_stats(std::move(teps)).median;
+    table.add_row({"Pearce-style semi-external",
+                   format_teps(median),
+                   format_count(requests / roots.size()),
+                   format_count(static_cast<std::uint64_t>(
+                       scanned / static_cast<std::int64_t>(roots.size()))),
+                   format_fixed(median / hybrid_teps, 3) + "x"});
+  }
+
+  // 3. GraphChi-style streaming sweeps over the edge list.
+  {
+    ExternalEdgeList ext{device, dir + "/edges.bin",
+                         instance.vertex_count()};
+    ext.append_all(instance.edge_list());
+    std::vector<double> teps;
+    std::uint64_t requests = 0;
+    std::int64_t scanned = 0;
+    for (const Vertex root : roots) {
+      const ExternalBfsResult r = streaming_scan_bfs(ext, root);
+      teps.push_back(r.teps);
+      requests += r.nvm_requests;
+      scanned += r.scanned_edges;
+    }
+    const double median = compute_stats(std::move(teps)).median;
+    table.add_row({"GraphChi-style streaming scan",
+                   format_teps(median),
+                   format_count(requests / roots.size()),
+                   format_count(static_cast<std::uint64_t>(
+                       scanned / static_cast<std::int64_t>(roots.size()))),
+                   format_fixed(median / hybrid_teps, 3) + "x"});
+  }
+
+  table.print();
+  std::printf("\nexpected shape: the hybrid's NVM requests are orders of "
+              "magnitude fewer, translating into a TEPS lead comparable to "
+              "the paper's 4.22-vs-0.05 contrast.\n");
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Full Graph500 benchmark run under a chosen storage scenario — the
+// paper's complete experimental pipeline in one command:
+//
+//   ./graph500_runner --scale 20 --scenario pcie_flash --roots 64 \
+//                     --alpha 1e6 --beta 1e6
+//
+// Prints the official-style Graph500 output block plus the NVM iostat
+// summary (avgqu-sz / avgrq-sz, Figures 12-13) when a device is in play.
+#include <cstdio>
+
+#include "graph500/benchmark.hpp"
+#include "util/format.hpp"
+#include "util/options.hpp"
+
+using namespace sembfs;
+
+int main(int argc, char** argv) {
+  OptionParser options{"graph500_runner — the 4-step Graph500 benchmark "
+                       "with semi-external graph offloading"};
+  options.add_int("scale", 18, "log2 of the vertex count");
+  options.add_int("edge-factor", 16, "edges per vertex");
+  options.add_string("scenario", "dram",
+                     "storage scenario: dram | pcie_flash | ssd");
+  options.add_int("roots", 16, "number of BFS roots (spec: 64)");
+  options.add_double("alpha", 1e4, "top-down -> bottom-up threshold");
+  options.add_double("beta", 1e5, "bottom-up -> top-down threshold");
+  options.add_string("mode", "hybrid",
+                     "BFS mode: hybrid | top-down | bottom-up");
+  options.add_int("threads", 0, "worker threads (0 = hardware)");
+  options.add_int("numa-nodes", 4, "emulated NUMA nodes");
+  options.add_int("backward-dram-edges", -1,
+                  "cap on DRAM edges/vertex in the backward graph "
+                  "(-1 = all in DRAM)");
+  options.add_double("time-scale", 1.0,
+                     "multiplier on simulated device service times");
+  options.add_int("seed", 12345, "generator seed");
+  options.add_string("workdir", "/tmp/sembfs", "directory for NVM files");
+  options.add_flag("no-validate", "skip Step 4 validation");
+  if (!options.parse(argc, argv)) return options.help_requested() ? 0 : 1;
+
+  ThreadPool& pool =
+      default_pool(static_cast<std::size_t>(options.get_int("threads")));
+
+  BenchmarkConfig config;
+  config.instance.kronecker.scale =
+      static_cast<int>(options.get_int("scale"));
+  config.instance.kronecker.edge_factor =
+      static_cast<int>(options.get_int("edge-factor"));
+  config.instance.kronecker.seed =
+      static_cast<std::uint64_t>(options.get_int("seed"));
+  config.instance.scenario = Scenario::by_name(options.get_string("scenario"));
+  config.instance.scenario.time_scale = options.get_double("time-scale");
+  config.instance.scenario.backward_dram_edges =
+      options.get_int("backward-dram-edges");
+  config.instance.numa_nodes =
+      static_cast<std::size_t>(options.get_int("numa-nodes"));
+  config.instance.workdir = options.get_string("workdir");
+  config.num_roots = static_cast<int>(options.get_int("roots"));
+  config.validate = !options.get_flag("no-validate");
+  config.bfs.policy.alpha = options.get_double("alpha");
+  config.bfs.policy.beta = options.get_double("beta");
+
+  const std::string mode = options.get_string("mode");
+  if (mode == "hybrid")
+    config.bfs.mode = BfsMode::Hybrid;
+  else if (mode == "top-down")
+    config.bfs.mode = BfsMode::TopDownOnly;
+  else if (mode == "bottom-up")
+    config.bfs.mode = BfsMode::BottomUpOnly;
+  else {
+    std::fprintf(stderr, "unknown --mode '%s'\n", mode.c_str());
+    return 1;
+  }
+
+  std::printf("scenario: %s\n", config.instance.scenario.describe().c_str());
+  const BenchmarkRun run = run_graph500(config, pool);
+
+  std::fputs(render_graph500_output(run.output).c_str(), stdout);
+  std::printf("graph_dram_bytes: %s\ngraph_nvm_bytes: %s\n",
+              format_bytes(run.graph_dram_bytes).c_str(),
+              format_bytes(run.graph_nvm_bytes).c_str());
+  if (run.nvm_io.requests > 0) {
+    std::printf(
+        "nvm_requests: %llu\nnvm_avgqu_sz: %.2f\nnvm_avgrq_sz: %.2f "
+        "sectors\nnvm_await_ms: %.3f\nnvm_iops: %.0f\n",
+        static_cast<unsigned long long>(run.nvm_io.requests),
+        run.nvm_io.avg_queue_length, run.nvm_io.avg_request_sectors,
+        run.nvm_io.await_ms, run.nvm_io.iops);
+  }
+  std::printf("score (median TEPS): %s\n",
+              format_teps(run.output.score()).c_str());
+  return run.output.all_validated ? 0 : 1;
+}

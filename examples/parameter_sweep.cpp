@@ -1,0 +1,90 @@
+// Parameter sweep — finds the best (alpha, beta) for a given graph and
+// storage scenario and writes the full surface as CSV; the interactive
+// companion to the paper's Figure 7 methodology.
+//
+//   ./parameter_sweep --scale 17 --scenario pcie_flash --csv /tmp/sweep.csv
+#include <cstdio>
+
+#include "graph500/benchmark.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace sembfs;
+
+int main(int argc, char** argv) {
+  OptionParser options{"parameter_sweep — alpha/beta TEPS surface for one "
+                       "graph + scenario"};
+  options.add_int("scale", 16, "log2 of the vertex count");
+  options.add_int("edge-factor", 16, "edges per vertex");
+  options.add_string("scenario", "dram",
+                     "storage scenario: dram | pcie_flash | ssd");
+  options.add_int("roots", 8, "BFS roots per setting");
+  options.add_double("alpha-min", 1e1, "smallest alpha");
+  options.add_double("alpha-max", 1e6, "largest alpha (x10 steps)");
+  options.add_int("threads", 0, "worker threads (0 = hardware)");
+  options.add_double("time-scale", 0.1, "device service-time multiplier");
+  options.add_string("csv", "", "write the surface to this CSV file");
+  options.add_string("workdir", "/tmp/sembfs", "directory for NVM files");
+  if (!options.parse(argc, argv)) return options.help_requested() ? 0 : 1;
+
+  ThreadPool& pool =
+      default_pool(static_cast<std::size_t>(options.get_int("threads")));
+
+  InstanceConfig config;
+  config.kronecker.scale = static_cast<int>(options.get_int("scale"));
+  config.kronecker.edge_factor =
+      static_cast<int>(options.get_int("edge-factor"));
+  config.scenario = Scenario::by_name(options.get_string("scenario"));
+  config.scenario.time_scale = options.get_double("time-scale");
+  config.workdir = options.get_string("workdir");
+  Graph500Instance instance{config, pool};
+  std::printf("%s, SCALE %d\n", config.scenario.describe().c_str(),
+              config.kronecker.scale);
+
+  const std::vector<double> beta_factors = {10.0, 1.0, 0.1};
+  CsvWriter csv({"alpha", "beta", "median_teps"});
+  AsciiTable table({"alpha", "b=10a", "b=1a", "b=0.1a"});
+
+  double best_teps = 0.0;
+  double best_alpha = 0.0;
+  double best_beta = 0.0;
+  for (double alpha = options.get_double("alpha-min");
+       alpha <= options.get_double("alpha-max") * 1.0001; alpha *= 10.0) {
+    std::vector<std::string> row = {format_scientific(alpha)};
+    for (const double factor : beta_factors) {
+      BfsConfig bfs;
+      bfs.policy.alpha = alpha;
+      bfs.policy.beta = alpha * factor;
+      const BenchmarkRun run = run_graph500_bfs_phase(
+          instance, bfs, static_cast<int>(options.get_int("roots")),
+          /*validate=*/false, 0xbf5);
+      const double teps = run.output.score();
+      row.push_back(format_teps(teps));
+      csv.add_row({format_scientific(alpha),
+                   format_scientific(alpha * factor),
+                   format_fixed(teps, 0)});
+      if (teps > best_teps) {
+        best_teps = teps;
+        best_alpha = alpha;
+        best_beta = alpha * factor;
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf("\nbest: %s at alpha=%s beta=%s\n",
+              format_teps(best_teps).c_str(),
+              format_scientific(best_alpha).c_str(),
+              format_scientific(best_beta).c_str());
+
+  const std::string csv_path = options.get_string("csv");
+  if (!csv_path.empty()) {
+    if (csv.write_file(csv_path))
+      std::printf("surface written to %s\n", csv_path.c_str());
+    else
+      std::fprintf(stderr, "failed to write %s\n", csv_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Quickstart: generate a small Graph500 Kronecker graph, run one hybrid
+// BFS with the paper's direction-switching rule, validate the tree, and
+// print per-level statistics.
+//
+//   ./quickstart [--scale 18] [--edge-factor 16] [--alpha 1e4] [--beta 1e5]
+#include <cstdio>
+
+#include "bfs/hybrid_bfs.hpp"
+#include "graph500/instance.hpp"
+#include "util/format.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace sembfs;
+
+int main(int argc, char** argv) {
+  OptionParser options{
+      "quickstart — one hybrid BFS on a Kronecker graph, with validation"};
+  options.add_int("scale", 18, "log2 of the vertex count");
+  options.add_int("edge-factor", 16, "edges per vertex");
+  options.add_int("threads", 0, "worker threads (0 = hardware)");
+  options.add_int("numa-nodes", 4, "emulated NUMA nodes");
+  options.add_double("alpha", 1e4, "top-down -> bottom-up threshold");
+  options.add_double("beta", 1e5, "bottom-up -> top-down threshold");
+  options.add_int("seed", 12345, "generator seed");
+  if (!options.parse(argc, argv)) return options.help_requested() ? 0 : 1;
+
+  ThreadPool& pool = default_pool(
+      static_cast<std::size_t>(options.get_int("threads")));
+
+  InstanceConfig config;
+  config.kronecker.scale = static_cast<int>(options.get_int("scale"));
+  config.kronecker.edge_factor =
+      static_cast<int>(options.get_int("edge-factor"));
+  config.kronecker.seed =
+      static_cast<std::uint64_t>(options.get_int("seed"));
+  config.numa_nodes =
+      static_cast<std::size_t>(options.get_int("numa-nodes"));
+
+  std::printf("Generating Kronecker graph: scale=%d edge_factor=%d (N=%s, M=%s)\n",
+              config.kronecker.scale, config.kronecker.edge_factor,
+              format_count(static_cast<std::uint64_t>(
+                               config.kronecker.vertex_count()))
+                  .c_str(),
+              format_count(config.kronecker.edge_count()).c_str());
+
+  Graph500Instance instance{config, pool};
+  std::printf("generation: %.3fs, construction: %.3fs, graph DRAM: %s\n",
+              instance.generation_seconds(), instance.construction_seconds(),
+              format_bytes(instance.graph_dram_bytes()).c_str());
+
+  BfsConfig bfs;
+  bfs.policy.alpha = options.get_double("alpha");
+  bfs.policy.beta = options.get_double("beta");
+
+  const Vertex root = instance.select_roots(1, config.kronecker.seed)[0];
+  BfsResult result = instance.run_bfs(root, bfs);
+
+  AsciiTable table({"level", "direction", "frontier", "claimed",
+                    "scanned edges", "avg degree", "time (ms)"});
+  for (const LevelStats& ls : result.levels) {
+    table.add_row({std::to_string(ls.level), direction_name(ls.direction),
+                   format_count(static_cast<std::uint64_t>(ls.frontier_vertices)),
+                   format_count(static_cast<std::uint64_t>(ls.claimed_vertices)),
+                   format_count(static_cast<std::uint64_t>(ls.scanned_edges)),
+                   format_fixed(ls.avg_degree, 1),
+                   format_fixed(ls.seconds * 1e3, 2)});
+  }
+  table.print();
+
+  std::printf("root %lld: visited %s of %s vertices in %.4fs -> %s\n",
+              static_cast<long long>(root),
+              format_count(static_cast<std::uint64_t>(result.visited)).c_str(),
+              format_count(static_cast<std::uint64_t>(instance.vertex_count()))
+                  .c_str(),
+              result.seconds, format_teps(result.teps).c_str());
+
+  const ValidationResult validation = instance.validate(result);
+  std::printf("validation: %s%s\n", validation.ok ? "PASSED" : "FAILED",
+              validation.ok ? "" : (" — " + validation.error).c_str());
+  return validation.ok ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+// Semi-external memory walkthrough: builds the same graph twice — once all
+// in DRAM, once with the forward graph offloaded to a simulated NVM device —
+// runs the same BFS roots on both, and reports the TEPS gap plus the
+// device-level I/O behaviour (requests, queue length, request size). This
+// is the paper's core claim in miniature.
+//
+//   ./semi_external_demo [--scale 17] [--device pcie_flash|sata_ssd]
+#include <cstdio>
+
+#include "graph500/benchmark.hpp"
+#include "util/format.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace sembfs;
+
+int main(int argc, char** argv) {
+  OptionParser options{
+      "semi_external_demo — DRAM-only vs forward-graph-on-NVM comparison"};
+  options.add_int("scale", 17, "log2 of the vertex count");
+  options.add_int("edge-factor", 16, "edges per vertex");
+  options.add_string("device", "pcie_flash",
+                     "NVM device profile: pcie_flash | sata_ssd");
+  options.add_int("roots", 8, "number of BFS roots");
+  options.add_double("alpha", 1e6, "top-down -> bottom-up threshold");
+  options.add_double("beta", 1e6, "bottom-up -> top-down threshold");
+  options.add_int("threads", 0, "worker threads (0 = hardware)");
+  options.add_double("time-scale", 1.0, "device service-time multiplier");
+  options.add_string("workdir", "/tmp/sembfs", "directory for NVM files");
+  if (!options.parse(argc, argv)) return options.help_requested() ? 0 : 1;
+
+  ThreadPool& pool =
+      default_pool(static_cast<std::size_t>(options.get_int("threads")));
+
+  auto make_config = [&](const Scenario& scenario) {
+    BenchmarkConfig config;
+    config.instance.kronecker.scale =
+        static_cast<int>(options.get_int("scale"));
+    config.instance.kronecker.edge_factor =
+        static_cast<int>(options.get_int("edge-factor"));
+    config.instance.scenario = scenario;
+    config.instance.scenario.time_scale = options.get_double("time-scale");
+    config.instance.workdir = options.get_string("workdir");
+    config.num_roots = static_cast<int>(options.get_int("roots"));
+    config.bfs.policy.alpha = options.get_double("alpha");
+    config.bfs.policy.beta = options.get_double("beta");
+    return config;
+  };
+
+  const std::string device = options.get_string("device");
+  const Scenario nvm_scenario = device == "sata_ssd"
+                                    ? Scenario::dram_ssd()
+                                    : Scenario::dram_pcie_flash();
+
+  std::printf("== %s ==\n", Scenario::dram_only().describe().c_str());
+  const BenchmarkRun dram = run_graph500(make_config(Scenario::dram_only()), pool);
+  std::printf("median: %s\n\n", format_teps(dram.output.score()).c_str());
+
+  std::printf("== %s ==\n", nvm_scenario.describe().c_str());
+  const BenchmarkRun nvm = run_graph500(make_config(nvm_scenario), pool);
+  std::printf("median: %s\n\n", format_teps(nvm.output.score()).c_str());
+
+  AsciiTable table({"metric", "DRAM-only", nvm_scenario.name});
+  table.add_row({"median TEPS", format_teps(dram.output.score()),
+                 format_teps(nvm.output.score())});
+  table.add_row({"graph bytes in DRAM", format_bytes(dram.graph_dram_bytes),
+                 format_bytes(nvm.graph_dram_bytes)});
+  table.add_row({"graph bytes on NVM", format_bytes(dram.graph_nvm_bytes),
+                 format_bytes(nvm.graph_nvm_bytes)});
+  table.add_row({"NVM requests", "0",
+                 format_count(nvm.nvm_io.requests)});
+  table.add_row({"NVM avgqu-sz", "-",
+                 format_fixed(nvm.nvm_io.avg_queue_length, 2)});
+  table.add_row({"NVM avgrq-sz (sectors)", "-",
+                 format_fixed(nvm.nvm_io.avg_request_sectors, 2)});
+  table.print();
+
+  const double degradation =
+      dram.output.score() > 0.0
+          ? (1.0 - nvm.output.score() / dram.output.score()) * 100.0
+          : 0.0;
+  const double dram_saved =
+      dram.graph_dram_bytes > 0
+          ? (1.0 - static_cast<double>(nvm.graph_dram_bytes) /
+                       static_cast<double>(dram.graph_dram_bytes)) *
+                100.0
+          : 0.0;
+  std::printf(
+      "\nDRAM reduced by %.1f%% at %.1f%% TEPS degradation "
+      "(paper, SCALE 27: ~50%% DRAM at 19.18%% degradation on PCIe flash, "
+      "47.1%% on SATA SSD)\n",
+      dram_saved, degradation);
+  return 0;
+}

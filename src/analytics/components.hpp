@@ -1,0 +1,43 @@
+// Connected components — the most common BFS-adjacent analysis on the
+// social-network-style graphs that motivate the paper's introduction.
+//
+// Two algorithms over the same whole-graph CSR:
+//   - components_bfs: exact, by sweeping BFS from every unvisited vertex
+//     (serial outer loop; simple and the test oracle).
+//   - components_label_propagation: parallel min-label propagation until a
+//     fixpoint; equivalent result, parallel-friendly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace sembfs {
+
+struct ComponentsResult {
+  /// Component label per vertex (the smallest vertex ID in the component).
+  std::vector<Vertex> label;
+  std::int64_t component_count = 0;
+  std::int64_t largest_size = 0;
+  Vertex largest_label = kNoVertex;
+  std::int64_t isolated_count = 0;  ///< size-1 components
+  int iterations = 0;               ///< label propagation rounds (LP only)
+
+  /// Size of the component containing v.
+  [[nodiscard]] std::int64_t size_of(Vertex v) const;
+
+  /// label -> size map, built on demand.
+  [[nodiscard]] std::vector<std::pair<Vertex, std::int64_t>>
+  component_sizes() const;
+};
+
+/// Exact components via repeated BFS. `csr` must cover all sources.
+ComponentsResult components_bfs(const Csr& csr);
+
+/// Parallel min-label propagation. Identical labels to components_bfs.
+ComponentsResult components_label_propagation(const Csr& csr,
+                                              ThreadPool& pool);
+
+}  // namespace sembfs

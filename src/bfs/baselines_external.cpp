@@ -1,0 +1,196 @@
+#include "bfs/baselines_external.hpp"
+
+#include <atomic>
+
+#include "util/contracts.hpp"
+#include "util/timer.hpp"
+
+namespace sembfs {
+
+namespace {
+
+// Shared post-processing: visited count + TEPS numerator from degrees.
+void finalize(ExternalBfsResult& result,
+              const std::vector<std::int64_t>& degrees) {
+  result.visited = 0;
+  std::int64_t degree_sum = 0;
+  for (std::size_t v = 0; v < result.parent.size(); ++v) {
+    if (result.parent[v] != kNoVertex) {
+      ++result.visited;
+      degree_sum += degrees[v];
+    }
+  }
+  result.teps_edge_count = degree_sum / 2;
+  result.teps = result.seconds > 0.0
+                    ? static_cast<double>(result.teps_edge_count) /
+                          result.seconds
+                    : 0.0;
+}
+
+}  // namespace
+
+ExternalBfsResult pearce_async_bfs(ExternalCsrPartition& graph,
+                                   Vertex vertex_count, Vertex root,
+                                   ThreadPool& pool,
+                                   const PearceBfsConfig& config) {
+  SEMBFS_EXPECTS(graph.source_range().begin == 0 &&
+                 graph.source_range().end == vertex_count);
+  SEMBFS_EXPECTS(root >= 0 && root < vertex_count);
+  SEMBFS_EXPECTS(config.batch_size >= 1);
+
+  ExternalBfsResult result;
+  result.root = root;
+
+  std::vector<std::atomic<Vertex>> parent(
+      static_cast<std::size_t>(vertex_count));
+  std::vector<std::atomic<std::int32_t>> level(
+      static_cast<std::size_t>(vertex_count));
+  for (auto& p : parent) p.store(kNoVertex, std::memory_order_relaxed);
+  for (auto& l : level) l.store(-1, std::memory_order_relaxed);
+  parent[static_cast<std::size_t>(root)].store(root,
+                                               std::memory_order_relaxed);
+  level[static_cast<std::size_t>(root)].store(0, std::memory_order_relaxed);
+
+  std::atomic<std::int64_t> scanned{0};
+  std::atomic<std::uint64_t> requests{0};
+  // Written concurrently (a requeued vertex may be expanded by two workers
+  // in different rounds); atomic relaxed stores of identical values.
+  std::vector<std::atomic<std::int64_t>> degrees_atomic(
+      static_cast<std::size_t>(vertex_count));
+  for (auto& d : degrees_atomic) d.store(0, std::memory_order_relaxed);
+
+  Timer timer;
+  // Level-asynchronous label correcting: a shared work list per round;
+  // workers grab batches, fetch adjacency from NVM, relax neighbors with
+  // atomic level-min. A vertex whose level improves is requeued, so late
+  // better labels propagate (the label-correcting part).
+  std::vector<Vertex> work = {root};
+  while (!work.empty()) {
+    std::atomic<std::int64_t> cursor{0};
+    std::vector<std::vector<Vertex>> next_local(pool.size());
+    const auto total = static_cast<std::int64_t>(work.size());
+
+    pool.run([&](std::size_t w) {
+      std::vector<Vertex> adjacency;
+      auto& next = next_local[w];
+      std::int64_t local_scanned = 0;
+      std::uint64_t local_requests = 0;
+      for (;;) {
+        const std::int64_t lo =
+            cursor.fetch_add(config.batch_size, std::memory_order_relaxed);
+        if (lo >= total) break;
+        const std::int64_t hi =
+            std::min<std::int64_t>(total, lo + config.batch_size);
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const Vertex v = work[static_cast<std::size_t>(i)];
+          const std::int32_t lv =
+              level[static_cast<std::size_t>(v)].load(
+                  std::memory_order_acquire);
+          local_requests += graph.fetch_neighbors(v, adjacency);
+          degrees_atomic[static_cast<std::size_t>(v)].store(
+              static_cast<std::int64_t>(adjacency.size()),
+              std::memory_order_relaxed);
+          for (const Vertex u : adjacency) {
+            ++local_scanned;
+            std::int32_t lu = level[static_cast<std::size_t>(u)].load(
+                std::memory_order_relaxed);
+            const std::int32_t candidate = lv + 1;
+            while (lu == -1 || candidate < lu) {
+              if (level[static_cast<std::size_t>(u)]
+                      .compare_exchange_weak(lu, candidate,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+                parent[static_cast<std::size_t>(u)].store(
+                    v, std::memory_order_relaxed);
+                next.push_back(u);
+                break;
+              }
+            }
+          }
+        }
+      }
+      scanned.fetch_add(local_scanned, std::memory_order_relaxed);
+      requests.fetch_add(local_requests, std::memory_order_relaxed);
+    });
+
+    work.clear();
+    for (auto& local : next_local)
+      work.insert(work.end(), local.begin(), local.end());
+  }
+  result.seconds = timer.seconds();
+  result.scanned_edges = scanned.load();
+  result.nvm_requests = requests.load();
+
+  result.parent.resize(static_cast<std::size_t>(vertex_count));
+  result.level.resize(static_cast<std::size_t>(vertex_count));
+  for (Vertex v = 0; v < vertex_count; ++v) {
+    result.parent[static_cast<std::size_t>(v)] =
+        parent[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
+    result.level[static_cast<std::size_t>(v)] =
+        level[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
+  }
+  // Degrees of never-expanded vertices (unreached) are 0 — they do not
+  // contribute to the TEPS numerator anyway. Visited vertices were all
+  // expanded at least once, so their degrees are recorded.
+  std::vector<std::int64_t> degrees(static_cast<std::size_t>(vertex_count));
+  for (Vertex v = 0; v < vertex_count; ++v)
+    degrees[static_cast<std::size_t>(v)] =
+        degrees_atomic[static_cast<std::size_t>(v)].load(
+            std::memory_order_relaxed);
+  finalize(result, degrees);
+  return result;
+}
+
+ExternalBfsResult streaming_scan_bfs(ExternalEdgeList& edges, Vertex root,
+                                     std::size_t batch_edges) {
+  const Vertex n = edges.vertex_count();
+  SEMBFS_EXPECTS(root >= 0 && root < n);
+
+  ExternalBfsResult result;
+  result.root = root;
+  result.parent.assign(static_cast<std::size_t>(n), kNoVertex);
+  result.level.assign(static_cast<std::size_t>(n), -1);
+  result.parent[static_cast<std::size_t>(root)] = root;
+  result.level[static_cast<std::size_t>(root)] = 0;
+
+  std::vector<std::int64_t> degrees(static_cast<std::size_t>(n), 0);
+  bool degrees_known = false;
+
+  Timer timer;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.sweeps;
+    edges.for_each_batch(batch_edges, [&](std::span<const Edge> batch) {
+      for (const Edge& e : batch) {
+        if (!degrees_known && e.u != e.v) {
+          ++degrees[static_cast<std::size_t>(e.u)];
+          ++degrees[static_cast<std::size_t>(e.v)];
+        }
+        if (e.u == e.v) continue;
+        result.scanned_edges += 2;  // both directions considered
+        const std::int32_t lu = result.level[static_cast<std::size_t>(e.u)];
+        const std::int32_t lv = result.level[static_cast<std::size_t>(e.v)];
+        if (lu != -1 && (lv == -1 || lu + 1 < lv)) {
+          result.level[static_cast<std::size_t>(e.v)] = lu + 1;
+          result.parent[static_cast<std::size_t>(e.v)] = e.u;
+          changed = true;
+        } else if (lv != -1 && (lu == -1 || lv + 1 < lu)) {
+          result.parent[static_cast<std::size_t>(e.u)] = e.v;
+          result.level[static_cast<std::size_t>(e.u)] = lv + 1;
+          changed = true;
+        }
+      }
+    });
+    degrees_known = true;
+  }
+  result.seconds = timer.seconds();
+  result.nvm_requests =
+      static_cast<std::uint64_t>(result.sweeps) *
+      ((edges.edge_count() * sizeof(PackedEdge) + batch_edges * 12 - 1) /
+       (batch_edges * 12));
+  finalize(result, degrees);
+  return result;
+}
+
+}  // namespace sembfs

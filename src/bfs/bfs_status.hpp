@@ -1,0 +1,96 @@
+// BFS status data (paper Step 3: "queues, bitmaps for BFS status memories,
+// and trees for search results").
+//
+//  - parent: the BFS tree, -1 = unvisited (Graph500 convention). Claimed
+//    exactly once per vertex via CAS.
+//  - level:  depth at which each vertex was claimed (validation needs it).
+//  - visited bitmap: fast unvisited sweep for the bottom-up step.
+//  - frontier: the current level's vertex queue plus a membership bitmap
+//    (queue drives top-down; bitmap answers bottom-up's "v in frontier?").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/bitmap.hpp"
+
+namespace sembfs {
+
+class BfsStatus {
+ public:
+  explicit BfsStatus(Vertex vertex_count);
+
+  /// Re-initializes all state and seeds the frontier with `root`.
+  void reset(Vertex root);
+
+  [[nodiscard]] Vertex vertex_count() const noexcept { return n_; }
+
+  /// Attempts to claim w with parent v at `level`; true iff we won.
+  bool claim(Vertex w, Vertex v, std::int32_t level) noexcept {
+    Vertex expected = kNoVertex;
+    if (parent_[static_cast<std::size_t>(w)].compare_exchange_strong(
+            expected, v, std::memory_order_acq_rel,
+            std::memory_order_relaxed)) {
+      level_[static_cast<std::size_t>(w)] = level;
+      visited_.set(static_cast<std::size_t>(w));
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool is_visited(Vertex w) const noexcept {
+    return visited_.test(static_cast<std::size_t>(w));
+  }
+  [[nodiscard]] bool in_frontier(Vertex v) const noexcept {
+    return frontier_bits_.test(static_cast<std::size_t>(v));
+  }
+
+  [[nodiscard]] Vertex parent(Vertex w) const noexcept {
+    return parent_[static_cast<std::size_t>(w)].load(
+        std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int32_t level(Vertex w) const noexcept {
+    return level_[static_cast<std::size_t>(w)];
+  }
+
+  [[nodiscard]] const std::vector<Vertex>& frontier() const noexcept {
+    return frontier_;
+  }
+  [[nodiscard]] std::int64_t frontier_size() const noexcept {
+    return static_cast<std::int64_t>(frontier_.size());
+  }
+
+  /// Appends the merged next-frontier vertices (driver-side, serial).
+  void set_next(std::vector<Vertex> next) { next_ = std::move(next); }
+  [[nodiscard]] std::vector<Vertex>& next() noexcept { return next_; }
+
+  /// Promotes next -> frontier and rebuilds the frontier bitmap.
+  void advance();
+
+  /// Copies the parent array into a plain vector.
+  [[nodiscard]] std::vector<Vertex> parent_snapshot() const;
+  /// Copies the level array.
+  [[nodiscard]] const std::vector<std::int32_t>& levels() const noexcept {
+    return level_;
+  }
+
+  [[nodiscard]] std::int64_t visited_count() const noexcept {
+    return static_cast<std::int64_t>(visited_.count());
+  }
+
+  /// DRAM footprint of all status structures, in bytes.
+  [[nodiscard]] std::uint64_t byte_size() const noexcept;
+
+ private:
+  Vertex n_ = 0;
+  std::vector<std::atomic<Vertex>> parent_;
+  std::vector<std::int32_t> level_;
+  AtomicBitmap visited_;
+  Bitmap frontier_bits_;
+  std::vector<Vertex> frontier_;
+  std::vector<Vertex> next_;
+};
+
+}  // namespace sembfs

@@ -1,0 +1,139 @@
+#include "bfs/bottom_up.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+namespace {
+
+struct TeamState {
+  explicit TeamState(std::size_t nodes, std::size_t workers)
+      : cursors(nodes), buffers(workers) {}
+  std::vector<std::atomic<std::int64_t>> cursors;  // offset within node range
+  std::vector<std::vector<Vertex>> buffers;
+  std::atomic<std::int64_t> claimed{0};
+  std::atomic<std::int64_t> scanned{0};
+  std::atomic<std::uint64_t> nvm_requests{0};
+};
+
+StepResult finish(TeamState& state, BfsStatus& status) {
+  std::vector<Vertex> next;
+  std::size_t total = 0;
+  for (const auto& b : state.buffers) total += b.size();
+  next.reserve(total);
+  for (const auto& b : state.buffers)
+    next.insert(next.end(), b.begin(), b.end());
+  status.set_next(std::move(next));
+
+  StepResult result;
+  result.claimed = state.claimed.load(std::memory_order_relaxed);
+  result.scanned_edges = state.scanned.load(std::memory_order_relaxed);
+  result.nvm_requests = state.nvm_requests.load(std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace
+
+StepResult bottom_up_step(const BackwardGraph& backward, BfsStatus& status,
+                          std::int32_t level, const NumaTopology& topology,
+                          ThreadPool& pool, std::int64_t chunk) {
+  SEMBFS_EXPECTS(chunk >= 1);
+  const std::size_t workers =
+      std::min<std::size_t>(pool.size(), topology.total_threads());
+  TeamState state{topology.node_count(), workers};
+  for (auto& c : state.cursors) c.store(0, std::memory_order_relaxed);
+
+  pool.run(workers, [&](std::size_t w) {
+    auto& out = state.buffers[w];
+    std::int64_t local_claimed = 0;
+    std::int64_t local_scanned = 0;
+
+    for_each_assigned_node(w, workers, backward.node_count(), [&](std::size_t node) {
+      const Csr& part = backward.partition(node);
+      const VertexRange range = part.source_range();
+      auto& cursor = state.cursors[node];
+      for (;;) {
+        const std::int64_t lo =
+            cursor.fetch_add(chunk, std::memory_order_relaxed);
+        if (lo >= range.size()) break;
+        const std::int64_t hi =
+            std::min<std::int64_t>(range.size(), lo + chunk);
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const Vertex vtx = range.begin + i;
+          if (status.is_visited(vtx)) continue;
+          for (const Vertex candidate : part.neighbors(vtx)) {
+            ++local_scanned;
+            if (status.in_frontier(candidate)) {
+              // Single-writer per vertex: each unvisited vertex is swept by
+              // exactly one worker per level, so the claim must succeed.
+              const bool won = status.claim(vtx, candidate, level);
+              SEMBFS_ASSERT(won);
+              out.push_back(vtx);
+              ++local_claimed;
+              break;  // bottom-up early exit
+            }
+          }
+        }
+      }
+    });
+    state.claimed.fetch_add(local_claimed, std::memory_order_relaxed);
+    state.scanned.fetch_add(local_scanned, std::memory_order_relaxed);
+  });
+
+  return finish(state, status);
+}
+
+StepResult bottom_up_step_hybrid(HybridBackwardGraph& backward,
+                                 BfsStatus& status, std::int32_t level,
+                                 const NumaTopology& topology,
+                                 ThreadPool& pool, std::int64_t chunk) {
+  SEMBFS_EXPECTS(chunk >= 1);
+  const std::size_t workers =
+      std::min<std::size_t>(pool.size(), topology.total_threads());
+  TeamState state{topology.node_count(), workers};
+  for (auto& c : state.cursors) c.store(0, std::memory_order_relaxed);
+
+  pool.run(workers, [&](std::size_t w) {
+    auto& out = state.buffers[w];
+    std::vector<Vertex> scratch;  // NVM chunk staging
+    std::int64_t local_claimed = 0;
+    std::int64_t local_scanned = 0;
+
+    for_each_assigned_node(w, workers, backward.node_count(), [&](std::size_t node) {
+      HybridBackwardPartition& part = backward.partition(node);
+      const VertexRange range = part.source_range();
+      auto& cursor = state.cursors[node];
+      for (;;) {
+        const std::int64_t lo =
+            cursor.fetch_add(chunk, std::memory_order_relaxed);
+        if (lo >= range.size()) break;
+        const std::int64_t hi =
+            std::min<std::int64_t>(range.size(), lo + chunk);
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const Vertex vtx = range.begin + i;
+          if (status.is_visited(vtx)) continue;
+          part.visit_neighbors(vtx, scratch, [&](Vertex candidate) {
+            ++local_scanned;
+            if (status.in_frontier(candidate)) {
+              const bool won = status.claim(vtx, candidate, level);
+              SEMBFS_ASSERT(won);
+              out.push_back(vtx);
+              ++local_claimed;
+              return false;  // stop scanning this vertex
+            }
+            return true;
+          });
+        }
+      }
+    });
+    state.claimed.fetch_add(local_claimed, std::memory_order_relaxed);
+    state.scanned.fetch_add(local_scanned, std::memory_order_relaxed);
+  });
+
+  return finish(state, status);
+}
+
+}  // namespace sembfs

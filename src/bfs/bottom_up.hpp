@@ -1,0 +1,33 @@
+// Bottom-up BFS steps (paper Figure 2), NUMA-aware.
+//
+// Each emulated NUMA node's team sweeps the *unvisited* vertices of its own
+// vertex range against its backward partition (complete adjacency lists),
+// terminating each vertex's scan at the first neighbor found in the
+// frontier — the early-exit that makes the bottom-up direction cheap when
+// the frontier is large.
+//
+// Two variants:
+//  - bottom_up_step:        backward graph fully in DRAM
+//  - bottom_up_step_hybrid: first-k-edges in DRAM, remainder streamed from
+//    simulated NVM (paper Section VI-E / Figure 14)
+#pragma once
+
+#include "bfs/bfs_status.hpp"
+#include "bfs/top_down.hpp"  // StepResult
+#include "graph/backward_graph.hpp"
+#include "graph/hybrid_csr.hpp"
+#include "numa/topology.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace sembfs {
+
+StepResult bottom_up_step(const BackwardGraph& backward, BfsStatus& status,
+                          std::int32_t level, const NumaTopology& topology,
+                          ThreadPool& pool, std::int64_t chunk = 1024);
+
+StepResult bottom_up_step_hybrid(HybridBackwardGraph& backward,
+                                 BfsStatus& status, std::int32_t level,
+                                 const NumaTopology& topology,
+                                 ThreadPool& pool, std::int64_t chunk = 1024);
+
+}  // namespace sembfs

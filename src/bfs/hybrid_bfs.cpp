@@ -1,0 +1,45 @@
+#include "bfs/hybrid_bfs.hpp"
+
+#include "bfs/session.hpp"
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+Vertex GraphStorage::vertex_count() const noexcept {
+  if (backward_dram != nullptr) return backward_dram->vertex_count();
+  if (backward_hybrid != nullptr) return backward_hybrid->vertex_count();
+  if (forward_dram != nullptr) return forward_dram->vertex_count();
+  if (forward_external != nullptr) return forward_external->vertex_count();
+  if (forward_tiered != nullptr) return forward_tiered->vertex_count();
+  return 0;
+}
+
+std::int64_t GraphStorage::degree(Vertex v) const noexcept {
+  if (backward_dram != nullptr)
+    return backward_dram->neighbors(v).size();
+  SEMBFS_ASSERT(backward_hybrid != nullptr);
+  return backward_hybrid->degree(v);
+}
+
+HybridBfsRunner::HybridBfsRunner(GraphStorage storage, NumaTopology topology,
+                                 ThreadPool& pool)
+    : storage_(storage),
+      topology_(topology),
+      pool_(pool),
+      status_(storage.vertex_count()) {
+  const int forwards = (storage_.forward_dram != nullptr) +
+                       (storage_.forward_external != nullptr) +
+                       (storage_.forward_tiered != nullptr);
+  const bool one_backward = (storage_.backward_dram != nullptr) !=
+                            (storage_.backward_hybrid != nullptr);
+  SEMBFS_EXPECTS(forwards == 1 && one_backward);
+}
+
+BfsResult HybridBfsRunner::run(Vertex root, const BfsConfig& config) {
+  BfsSession session{storage_, topology_, pool_, status_, root, config};
+  while (session.step()) {
+  }
+  return session.snapshot_result();
+}
+
+}  // namespace sembfs

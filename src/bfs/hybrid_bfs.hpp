@@ -1,0 +1,103 @@
+// The hybrid (direction-optimizing) BFS driver — the paper's core
+// algorithm, generic over where each graph side lives:
+//
+//   forward graph:  DRAM (ForwardGraph) or simulated NVM
+//                   (ExternalForwardGraph) — the paper's key offload
+//   backward graph: DRAM (BackwardGraph) or partially offloaded
+//                   (HybridBackwardGraph, Section VI-E)
+//
+// The driver runs level-synchronous steps, switching direction per the
+// configured SwitchPolicy, and records per-level statistics for the
+// analysis benches (Figures 10-14).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bfs/bfs_status.hpp"
+#include "bfs/bottom_up.hpp"
+#include "bfs/level_stats.hpp"
+#include "bfs/policy.hpp"
+#include "bfs/top_down.hpp"
+#include "numa/topology.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace sembfs {
+
+enum class BfsMode {
+  Hybrid,        ///< policy-driven direction switching (the paper's approach)
+  TopDownOnly,   ///< baseline: conventional BFS
+  BottomUpOnly,  ///< baseline: bottom-up every level
+};
+
+struct BfsConfig {
+  SwitchPolicy policy;
+  BfsMode mode = BfsMode::Hybrid;
+  int batch_size = 64;              ///< top-down frontier dequeue batch
+  std::int64_t bottom_up_chunk = 1024;  ///< bottom-up sweep chunk
+  /// Semi-external top-down only: merge the index/value reads of a whole
+  /// dequeue batch into few large device requests (libaio-style
+  /// aggregation, the paper's Figure-13 suggestion) instead of per-vertex
+  /// 4 KiB chunked reads.
+  bool aggregate_io = false;
+  std::uint32_t aggregate_merge_gap = 4096;     ///< max gap merged over
+  std::uint32_t aggregate_max_request = 1 << 20;  ///< request size cap
+};
+
+/// Which concrete storage backs each side of the traversal. Exactly one
+/// forward and one backward source must be non-null.
+struct GraphStorage {
+  const ForwardGraph* forward_dram = nullptr;
+  ExternalForwardGraph* forward_external = nullptr;
+  TieredForwardGraph* forward_tiered = nullptr;
+  const BackwardGraph* backward_dram = nullptr;
+  HybridBackwardGraph* backward_hybrid = nullptr;
+
+  [[nodiscard]] Vertex vertex_count() const noexcept;
+  /// Full degree of v, always DRAM-resident (needed for TEPS accounting
+  /// and the EdgeRatio policy).
+  [[nodiscard]] std::int64_t degree(Vertex v) const noexcept;
+};
+
+struct BfsResult {
+  Vertex root = kNoVertex;
+  double seconds = 0.0;
+  std::int32_t depth = 0;            ///< number of levels executed
+  std::int64_t visited = 0;          ///< vertices in the BFS tree
+  std::int64_t scanned_edges_top_down = 0;
+  std::int64_t scanned_edges_bottom_up = 0;
+  std::uint64_t nvm_requests = 0;
+  std::vector<LevelStats> levels;
+  std::vector<Vertex> parent;        ///< the BFS tree (-1 = unreached)
+  std::vector<std::int32_t> level;   ///< BFS depth per vertex (-1 = unreached)
+
+  /// Graph500 TEPS numerator: undirected edges in the root's component.
+  std::int64_t teps_edge_count = 0;
+  double teps = 0.0;
+
+  [[nodiscard]] std::int64_t scanned_edges_total() const noexcept {
+    return scanned_edges_top_down + scanned_edges_bottom_up;
+  }
+};
+
+class HybridBfsRunner {
+ public:
+  HybridBfsRunner(GraphStorage storage, NumaTopology topology,
+                  ThreadPool& pool);
+
+  /// Runs one BFS from `root`. Reusable across roots (status is reset).
+  BfsResult run(Vertex root, const BfsConfig& config);
+
+  [[nodiscard]] const BfsStatus& status() const noexcept { return status_; }
+  [[nodiscard]] std::uint64_t status_byte_size() const noexcept {
+    return status_.byte_size();
+  }
+
+ private:
+  GraphStorage storage_;
+  NumaTopology topology_;
+  ThreadPool& pool_;
+  BfsStatus status_;
+};
+
+}  // namespace sembfs

@@ -1,0 +1,25 @@
+// Per-level instrumentation record (feeds Figures 10 and 11).
+#pragma once
+
+#include <cstdint>
+
+namespace sembfs {
+
+enum class Direction { TopDown, BottomUp };
+
+[[nodiscard]] constexpr const char* direction_name(Direction d) noexcept {
+  return d == Direction::TopDown ? "top-down" : "bottom-up";
+}
+
+struct LevelStats {
+  int level = 0;
+  Direction direction = Direction::TopDown;
+  std::int64_t frontier_vertices = 0;  ///< vertices searched this level
+  std::int64_t claimed_vertices = 0;   ///< newly visited this level
+  std::int64_t scanned_edges = 0;      ///< adjacency entries examined
+  double seconds = 0.0;
+  double avg_degree = 0.0;             ///< scanned_edges / frontier_vertices
+  std::uint64_t nvm_requests = 0;      ///< simulated device requests issued
+};
+
+}  // namespace sembfs

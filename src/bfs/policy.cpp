@@ -1,0 +1,46 @@
+#include "bfs/policy.hpp"
+
+namespace sembfs {
+
+namespace {
+
+Direction decide_frontier_ratio(const SwitchPolicy& p, const PolicyInput& in) {
+  const double n_all = static_cast<double>(in.n_all);
+  const double cur = static_cast<double>(in.cur_frontier);
+  const bool growing = in.cur_frontier > in.prev_frontier;
+  const bool shrinking = in.cur_frontier < in.prev_frontier;
+
+  if (in.current == Direction::TopDown) {
+    if (growing && cur > n_all / p.alpha) return Direction::BottomUp;
+    return Direction::TopDown;
+  }
+  if (shrinking && cur < n_all / p.beta) return Direction::TopDown;
+  return Direction::BottomUp;
+}
+
+Direction decide_edge_ratio(const SwitchPolicy& p, const PolicyInput& in) {
+  if (in.current == Direction::TopDown) {
+    if (static_cast<double>(in.frontier_edges) >
+        static_cast<double>(in.unvisited_edges) / p.alpha)
+      return Direction::BottomUp;
+    return Direction::TopDown;
+  }
+  if (static_cast<double>(in.cur_frontier) <
+      static_cast<double>(in.n_all) / p.beta)
+    return Direction::TopDown;
+  return Direction::BottomUp;
+}
+
+}  // namespace
+
+Direction SwitchPolicy::decide(const PolicyInput& in) const noexcept {
+  switch (kind) {
+    case PolicyKind::FrontierRatio:
+      return decide_frontier_ratio(*this, in);
+    case PolicyKind::EdgeRatio:
+      return decide_edge_ratio(*this, in);
+  }
+  return in.current;
+}
+
+}  // namespace sembfs

@@ -1,0 +1,45 @@
+// Direction-switching policies for hybrid BFS.
+//
+// The paper's rule (Section III-C), with thresholds alpha and beta:
+//   top-down -> bottom-up when the frontier is GROWING and
+//       n_frontier(i) > n_all / alpha
+//   bottom-up -> top-down when the frontier is SHRINKING and
+//       n_frontier(i) < n_all / beta
+//
+// Beamer's original edge-count heuristic (SC'12) is provided as an
+// extension for the ablation bench: switch TD->BU when m_f > m_u / alpha_b
+// and BU->TD when n_f < n / beta_b, where m_f = edges incident to the
+// frontier and m_u = edges incident to unvisited vertices.
+#pragma once
+
+#include <cstdint>
+
+#include "bfs/level_stats.hpp"
+
+namespace sembfs {
+
+enum class PolicyKind {
+  FrontierRatio,  ///< the paper's rule (frontier-size based)
+  EdgeRatio,      ///< Beamer's rule (edge-count based)
+};
+
+/// Everything a policy may look at when deciding the next direction.
+struct PolicyInput {
+  Direction current = Direction::TopDown;
+  std::int64_t n_all = 0;             ///< total vertices
+  std::int64_t prev_frontier = 0;     ///< n_frontier(i-1)
+  std::int64_t cur_frontier = 0;      ///< n_frontier(i)
+  std::int64_t frontier_edges = 0;    ///< m_f (EdgeRatio only)
+  std::int64_t unvisited_edges = 0;   ///< m_u (EdgeRatio only)
+};
+
+struct SwitchPolicy {
+  PolicyKind kind = PolicyKind::FrontierRatio;
+  double alpha = 1e4;
+  double beta = 1e5;
+
+  /// Direction for the NEXT level given this level's outcome.
+  [[nodiscard]] Direction decide(const PolicyInput& in) const noexcept;
+};
+
+}  // namespace sembfs

@@ -1,0 +1,52 @@
+#include "bfs/reference_bfs.hpp"
+
+#include "util/contracts.hpp"
+#include "util/timer.hpp"
+
+namespace sembfs {
+
+ReferenceBfsResult reference_bfs(const Csr& csr, Vertex root) {
+  const Vertex n = csr.global_vertex_count();
+  SEMBFS_EXPECTS(csr.source_range().begin == 0 &&
+                 csr.source_range().end == n);
+  SEMBFS_EXPECTS(root >= 0 && root < n);
+
+  ReferenceBfsResult result;
+  result.root = root;
+  result.parent.assign(static_cast<std::size_t>(n), kNoVertex);
+  result.level.assign(static_cast<std::size_t>(n), -1);
+
+  Timer timer;
+  std::vector<Vertex> queue;
+  queue.reserve(1024);
+  queue.push_back(root);
+  result.parent[static_cast<std::size_t>(root)] = root;
+  result.level[static_cast<std::size_t>(root)] = 0;
+
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const Vertex v = queue[head++];
+    const std::int32_t next_level =
+        result.level[static_cast<std::size_t>(v)] + 1;
+    for (const Vertex w : csr.neighbors(v)) {
+      if (result.parent[static_cast<std::size_t>(w)] == kNoVertex) {
+        result.parent[static_cast<std::size_t>(w)] = v;
+        result.level[static_cast<std::size_t>(w)] = next_level;
+        queue.push_back(w);
+      }
+    }
+  }
+  result.seconds = timer.seconds();
+  result.visited = static_cast<std::int64_t>(queue.size());
+
+  std::int64_t degree_sum = 0;
+  for (const Vertex v : queue) degree_sum += csr.degree(v);
+  result.teps_edge_count = degree_sum / 2;
+  result.teps = result.seconds > 0.0
+                    ? static_cast<double>(result.teps_edge_count) /
+                          result.seconds
+                    : 0.0;
+  return result;
+}
+
+}  // namespace sembfs

@@ -1,0 +1,30 @@
+// Serial queue-based BFS equivalent to the Graph500 v2.1.4 reference code —
+// the baseline the paper's Figure 8 labels "Graph500 reference" (0.04 GTEPS
+// on their machine vs 5.12 for NETAL).
+//
+// Also the test oracle: any correct BFS must produce the same level
+// assignment (trees may differ; levels may not).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace sembfs {
+
+struct ReferenceBfsResult {
+  Vertex root = kNoVertex;
+  double seconds = 0.0;
+  std::int64_t visited = 0;
+  std::vector<Vertex> parent;
+  std::vector<std::int32_t> level;
+  std::int64_t teps_edge_count = 0;
+  double teps = 0.0;
+};
+
+/// csr must cover all sources (a whole-graph CSR).
+ReferenceBfsResult reference_bfs(const Csr& csr, Vertex root);
+
+}  // namespace sembfs

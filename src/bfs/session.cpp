@@ -1,0 +1,148 @@
+#include "bfs/session.hpp"
+
+#include "parallel/parallel_for.hpp"
+#include "util/contracts.hpp"
+#include "util/timer.hpp"
+
+namespace sembfs {
+
+BfsSession::BfsSession(GraphStorage storage, const NumaTopology& topology,
+                       ThreadPool& pool, BfsStatus& status, Vertex root,
+                       const BfsConfig& config)
+    : storage_(storage),
+      topology_(topology),
+      pool_(pool),
+      status_(&status),
+      config_(config),
+      root_(root) {
+  const Vertex n = storage_.vertex_count();
+  SEMBFS_EXPECTS(root >= 0 && root < n);
+  status_->reset(root);
+  direction_ = config_.mode == BfsMode::BottomUpOnly ? Direction::BottomUp
+                                                     : Direction::TopDown;
+  frontier_edges_ = storage_.degree(root);
+  if (config_.policy.kind == PolicyKind::EdgeRatio) {
+    unvisited_edges_ = parallel_reduce<std::int64_t>(
+        pool_, 0, n, 0,
+        [&](std::int64_t& acc, std::int64_t v) {
+          acc += storage_.degree(v);
+        },
+        [](std::int64_t a, std::int64_t b) { return a + b; });
+    unvisited_edges_ -= frontier_edges_;
+  }
+}
+
+bool BfsSession::step() {
+  if (done_) return false;
+  if (status_->frontier_size() == 0) {
+    done_ = true;
+    return false;
+  }
+
+  const std::int64_t cur_frontier = status_->frontier_size();
+  Timer level_timer;
+  StepResult step_result;
+  if (direction_ == Direction::TopDown) {
+    if (storage_.forward_dram != nullptr) {
+      step_result = top_down_step(*storage_.forward_dram, *status_, level_,
+                                  topology_, pool_, config_.batch_size);
+    } else if (storage_.forward_tiered != nullptr) {
+      step_result =
+          top_down_step_tiered(*storage_.forward_tiered, *status_, level_,
+                               topology_, pool_, config_.batch_size);
+    } else {
+      ExternalTopDownOptions options;
+      options.batch_size = config_.batch_size;
+      options.aggregate_io = config_.aggregate_io;
+      options.merge_gap_bytes = config_.aggregate_merge_gap;
+      options.max_request_bytes = config_.aggregate_max_request;
+      step_result =
+          top_down_step_external(*storage_.forward_external, *status_,
+                                 level_, topology_, pool_, options);
+    }
+    scanned_top_down_ += step_result.scanned_edges;
+  } else {
+    if (storage_.backward_dram != nullptr) {
+      step_result =
+          bottom_up_step(*storage_.backward_dram, *status_, level_,
+                         topology_, pool_, config_.bottom_up_chunk);
+    } else {
+      step_result = bottom_up_step_hybrid(*storage_.backward_hybrid,
+                                          *status_, level_, topology_,
+                                          pool_, config_.bottom_up_chunk);
+    }
+    scanned_bottom_up_ += step_result.scanned_edges;
+  }
+  const double seconds = level_timer.seconds();
+  elapsed_seconds_ += seconds;
+  nvm_requests_ += step_result.nvm_requests;
+
+  LevelStats stats;
+  stats.level = level_;
+  stats.direction = direction_;
+  stats.frontier_vertices = cur_frontier;
+  stats.claimed_vertices = step_result.claimed;
+  stats.scanned_edges = step_result.scanned_edges;
+  stats.seconds = seconds;
+  stats.avg_degree =
+      cur_frontier > 0 ? static_cast<double>(step_result.scanned_edges) /
+                             static_cast<double>(cur_frontier)
+                       : 0.0;
+  stats.nvm_requests = step_result.nvm_requests;
+  level_stats_.push_back(stats);
+
+  status_->advance();
+  const std::int64_t next_frontier = status_->frontier_size();
+
+  if (config_.policy.kind == PolicyKind::EdgeRatio) {
+    frontier_edges_ = 0;
+    for (const Vertex v : status_->frontier())
+      frontier_edges_ += storage_.degree(v);
+    unvisited_edges_ -= frontier_edges_;
+  }
+
+  if (config_.mode == BfsMode::Hybrid) {
+    PolicyInput in;
+    in.current = direction_;
+    in.n_all = storage_.vertex_count();
+    in.prev_frontier = cur_frontier;
+    in.cur_frontier = next_frontier;
+    in.frontier_edges = frontier_edges_;
+    in.unvisited_edges = unvisited_edges_;
+    direction_ = config_.policy.decide(in);
+  }
+
+  ++level_;
+  if (next_frontier == 0) done_ = true;
+  return !done_;
+}
+
+BfsResult BfsSession::snapshot_result() const {
+  BfsResult result;
+  result.root = root_;
+  result.seconds = elapsed_seconds_;
+  result.depth = level_ - 1;
+  result.visited = status_->visited_count();
+  result.scanned_edges_top_down = scanned_top_down_;
+  result.scanned_edges_bottom_up = scanned_bottom_up_;
+  result.nvm_requests = nvm_requests_;
+  result.levels = level_stats_;
+  result.parent = status_->parent_snapshot();
+  result.level = status_->levels();
+
+  result.teps_edge_count =
+      parallel_reduce<std::int64_t>(
+          pool_, 0, storage_.vertex_count(), 0,
+          [&](std::int64_t& acc, std::int64_t v) {
+            if (status_->is_visited(v)) acc += storage_.degree(v);
+          },
+          [](std::int64_t a, std::int64_t b) { return a + b; }) /
+      2;
+  result.teps = result.seconds > 0.0
+                    ? static_cast<double>(result.teps_edge_count) /
+                          result.seconds
+                    : 0.0;
+  return result;
+}
+
+}  // namespace sembfs

@@ -1,0 +1,71 @@
+// Level-stepped BFS session: the hybrid driver's loop body exposed one
+// level at a time, so callers can stop early (k-hop neighborhoods),
+// inspect state between levels, or interleave their own work. This is the
+// single implementation of the level loop — HybridBfsRunner::run() is a
+// thin wrapper that steps a session to completion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bfs/bfs_status.hpp"
+#include "bfs/hybrid_bfs.hpp"
+#include "bfs/level_stats.hpp"
+#include "numa/topology.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace sembfs {
+
+class BfsSession {
+ public:
+  /// Borrows `status` (reset to `root`); the caller keeps ownership so a
+  /// runner can reuse one status block across many searches.
+  BfsSession(GraphStorage storage, const NumaTopology& topology,
+             ThreadPool& pool, BfsStatus& status, Vertex root,
+             const BfsConfig& config);
+
+  /// Executes ONE level. Returns true if the search can continue (the new
+  /// frontier is non-empty), false when exhausted. No-op after done().
+  bool step();
+
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  /// The level step() would execute next (1 after construction).
+  [[nodiscard]] std::int32_t next_level() const noexcept { return level_; }
+  /// Direction the next step() will take.
+  [[nodiscard]] Direction next_direction() const noexcept {
+    return direction_;
+  }
+  [[nodiscard]] const BfsStatus& status() const noexcept { return *status_; }
+  [[nodiscard]] const std::vector<LevelStats>& levels() const noexcept {
+    return level_stats_;
+  }
+  [[nodiscard]] std::int64_t frontier_size() const noexcept {
+    return status_->frontier_size();
+  }
+
+  /// Assembles the BfsResult for whatever has been traversed so far —
+  /// valid both after completion and mid-search (k-hop truncation). The
+  /// recorded `seconds` covers step() work only.
+  BfsResult snapshot_result() const;
+
+ private:
+  GraphStorage storage_;
+  const NumaTopology& topology_;
+  ThreadPool& pool_;
+  BfsStatus* status_;
+  BfsConfig config_;
+  Vertex root_;
+
+  Direction direction_ = Direction::TopDown;
+  std::int32_t level_ = 1;
+  bool done_ = false;
+  double elapsed_seconds_ = 0.0;
+  std::int64_t scanned_top_down_ = 0;
+  std::int64_t scanned_bottom_up_ = 0;
+  std::uint64_t nvm_requests_ = 0;
+  std::int64_t frontier_edges_ = 0;
+  std::int64_t unvisited_edges_ = 0;
+  std::vector<LevelStats> level_stats_;
+};
+
+}  // namespace sembfs

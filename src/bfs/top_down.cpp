@@ -1,0 +1,199 @@
+#include "bfs/top_down.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+namespace {
+
+// Shared state for one top-down level: per-node frontier cursors and
+// per-worker output buffers, merged serially at the end of the level.
+struct TeamState {
+  explicit TeamState(std::size_t nodes, std::size_t workers)
+      : cursors(nodes), buffers(workers) {
+    for (auto& c : cursors) c.store(0, std::memory_order_relaxed);
+  }
+  std::vector<std::atomic<std::int64_t>> cursors;
+  std::vector<std::vector<Vertex>> buffers;
+  std::atomic<std::int64_t> claimed{0};
+  std::atomic<std::int64_t> scanned{0};
+  std::atomic<std::uint64_t> nvm_requests{0};
+};
+
+StepResult finish(TeamState& state, BfsStatus& status) {
+  std::vector<Vertex> next;
+  std::size_t total = 0;
+  for (const auto& b : state.buffers) total += b.size();
+  next.reserve(total);
+  for (const auto& b : state.buffers) next.insert(next.end(), b.begin(), b.end());
+  status.set_next(std::move(next));
+
+  StepResult result;
+  result.claimed = state.claimed.load(std::memory_order_relaxed);
+  result.scanned_edges = state.scanned.load(std::memory_order_relaxed);
+  result.nvm_requests = state.nvm_requests.load(std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace
+
+StepResult top_down_step(const ForwardGraph& forward, BfsStatus& status,
+                         std::int32_t level, const NumaTopology& topology,
+                         ThreadPool& pool, int batch_size) {
+  SEMBFS_EXPECTS(batch_size >= 1);
+  const auto& frontier = status.frontier();
+  const auto frontier_n = static_cast<std::int64_t>(frontier.size());
+  const std::size_t workers =
+      std::min<std::size_t>(pool.size(), topology.total_threads());
+  TeamState state{topology.node_count(), workers};
+
+  pool.run(workers, [&](std::size_t w) {
+    auto& out = state.buffers[w];
+    std::int64_t local_claimed = 0;
+    std::int64_t local_scanned = 0;
+
+    for_each_assigned_node(w, workers, forward.node_count(), [&](std::size_t node) {
+      const Csr& part = forward.partition(node);
+      auto& cursor = state.cursors[node];
+      for (;;) {
+        const std::int64_t lo =
+            cursor.fetch_add(batch_size, std::memory_order_relaxed);
+        if (lo >= frontier_n) break;
+        const std::int64_t hi =
+            std::min<std::int64_t>(frontier_n, lo + batch_size);
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const Vertex v = frontier[static_cast<std::size_t>(i)];
+          for (const Vertex dst : part.neighbors(v)) {
+            ++local_scanned;
+            if (!status.is_visited(dst) && status.claim(dst, v, level)) {
+              out.push_back(dst);
+              ++local_claimed;
+            }
+          }
+        }
+      }
+    });
+    state.claimed.fetch_add(local_claimed, std::memory_order_relaxed);
+    state.scanned.fetch_add(local_scanned, std::memory_order_relaxed);
+  });
+
+  return finish(state, status);
+}
+
+StepResult top_down_step_external(ExternalForwardGraph& forward,
+                                  BfsStatus& status, std::int32_t level,
+                                  const NumaTopology& topology,
+                                  ThreadPool& pool,
+                                  const ExternalTopDownOptions& options) {
+  SEMBFS_EXPECTS(options.batch_size >= 1);
+  const int batch_size = options.batch_size;
+  const auto& frontier = status.frontier();
+  const auto frontier_n = static_cast<std::int64_t>(frontier.size());
+  const std::size_t workers =
+      std::min<std::size_t>(pool.size(), topology.total_threads());
+  TeamState state{topology.node_count(), workers};
+
+  pool.run(workers, [&](std::size_t w) {
+    auto& out = state.buffers[w];
+    std::vector<Vertex> scratch;                  // per-vertex staging
+    std::vector<std::vector<Vertex>> batch_adj;   // aggregated staging
+    std::int64_t local_claimed = 0;
+    std::int64_t local_scanned = 0;
+    std::uint64_t local_requests = 0;
+
+    const auto process = [&](Vertex v, std::span<const Vertex> adjacency) {
+      for (const Vertex dst : adjacency) {
+        ++local_scanned;
+        if (!status.is_visited(dst) && status.claim(dst, v, level)) {
+          out.push_back(dst);
+          ++local_claimed;
+        }
+      }
+    };
+
+    for_each_assigned_node(w, workers, forward.node_count(), [&](std::size_t node) {
+      ExternalCsrPartition& part = forward.partition(node);
+      auto& cursor = state.cursors[node];
+      for (;;) {
+        const std::int64_t lo =
+            cursor.fetch_add(batch_size, std::memory_order_relaxed);
+        if (lo >= frontier_n) break;
+        const std::int64_t hi =
+            std::min<std::int64_t>(frontier_n, lo + batch_size);
+        if (options.aggregate_io) {
+          const std::span<const Vertex> batch{
+              frontier.data() + lo, static_cast<std::size_t>(hi - lo)};
+          local_requests += part.fetch_neighbors_batch(
+              batch, batch_adj, options.merge_gap_bytes,
+              options.max_request_bytes);
+          for (std::size_t i = 0; i < batch.size(); ++i)
+            process(batch[i], batch_adj[i]);
+        } else {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            const Vertex v = frontier[static_cast<std::size_t>(i)];
+            local_requests += part.fetch_neighbors(v, scratch);
+            process(v, scratch);
+          }
+        }
+      }
+    });
+    state.claimed.fetch_add(local_claimed, std::memory_order_relaxed);
+    state.scanned.fetch_add(local_scanned, std::memory_order_relaxed);
+    state.nvm_requests.fetch_add(local_requests, std::memory_order_relaxed);
+  });
+
+  return finish(state, status);
+}
+
+StepResult top_down_step_tiered(TieredForwardGraph& forward,
+                                BfsStatus& status, std::int32_t level,
+                                const NumaTopology& topology,
+                                ThreadPool& pool, int batch_size) {
+  SEMBFS_EXPECTS(batch_size >= 1);
+  const auto& frontier = status.frontier();
+  const auto frontier_n = static_cast<std::int64_t>(frontier.size());
+  const std::size_t workers =
+      std::min<std::size_t>(pool.size(), topology.total_threads());
+  TeamState state{topology.node_count(), workers};
+
+  pool.run(workers, [&](std::size_t w) {
+    auto& out = state.buffers[w];
+    std::vector<Vertex> scratch;
+    std::int64_t local_claimed = 0;
+    std::int64_t local_scanned = 0;
+    std::uint64_t local_requests = 0;
+
+    for_each_assigned_node(w, workers, forward.node_count(), [&](std::size_t node) {
+      TieredForwardPartition& part = forward.partition(node);
+      auto& cursor = state.cursors[node];
+      for (;;) {
+        const std::int64_t lo =
+            cursor.fetch_add(batch_size, std::memory_order_relaxed);
+        if (lo >= frontier_n) break;
+        const std::int64_t hi =
+            std::min<std::int64_t>(frontier_n, lo + batch_size);
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const Vertex v = frontier[static_cast<std::size_t>(i)];
+          local_requests += part.fetch_neighbors(v, scratch);
+          for (const Vertex dst : scratch) {
+            ++local_scanned;
+            if (!status.is_visited(dst) && status.claim(dst, v, level)) {
+              out.push_back(dst);
+              ++local_claimed;
+            }
+          }
+        }
+      }
+    });
+    state.claimed.fetch_add(local_claimed, std::memory_order_relaxed);
+    state.scanned.fetch_add(local_scanned, std::memory_order_relaxed);
+    state.nvm_requests.fetch_add(local_requests, std::memory_order_relaxed);
+  });
+
+  return finish(state, status);
+}
+
+}  // namespace sembfs

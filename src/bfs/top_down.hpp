@@ -1,0 +1,58 @@
+// Top-down BFS steps (paper Figure 1), NUMA-aware.
+//
+// Every emulated NUMA node runs a thread team over the *whole* frontier
+// against its destination-filtered forward partition; because partition k
+// only contains destinations owned by node k, all claims and next-frontier
+// writes stay node-local (NETAL's delegation scheme). Threads dequeue
+// frontier vertices in fixed batches (64 in the paper) from a per-node
+// cursor.
+//
+// Two variants share the skeleton:
+//  - top_down_step:          forward graph in DRAM
+//  - top_down_step_external: forward graph on simulated NVM; per frontier
+//    vertex one 16-byte index read plus <= 4 KiB value-chunk reads.
+#pragma once
+
+#include "bfs/bfs_status.hpp"
+#include "bfs/level_stats.hpp"
+#include "graph/external_csr.hpp"
+#include "graph/forward_graph.hpp"
+#include "graph/tiered_forward.hpp"
+#include "numa/topology.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace sembfs {
+
+struct StepResult {
+  std::int64_t claimed = 0;        ///< vertices newly added to the tree
+  std::int64_t scanned_edges = 0;  ///< adjacency entries examined
+  std::uint64_t nvm_requests = 0;  ///< device requests issued (external only)
+};
+
+StepResult top_down_step(const ForwardGraph& forward, BfsStatus& status,
+                         std::int32_t level, const NumaTopology& topology,
+                         ThreadPool& pool, int batch_size = 64);
+
+struct ExternalTopDownOptions {
+  int batch_size = 64;
+  /// Merge the whole dequeue batch's reads into few large device requests
+  /// (libaio-style aggregation, paper Figure 13's conclusion).
+  bool aggregate_io = false;
+  std::uint32_t merge_gap_bytes = 4096;
+  std::uint32_t max_request_bytes = 1 << 20;
+};
+
+StepResult top_down_step_external(ExternalForwardGraph& forward,
+                                  BfsStatus& status, std::int32_t level,
+                                  const NumaTopology& topology,
+                                  ThreadPool& pool,
+                                  const ExternalTopDownOptions& options = {});
+
+/// Top-down over the degree-tiered forward graph (small-degree adjacency
+/// in DRAM, hubs on NVM — paper future work).
+StepResult top_down_step_tiered(TieredForwardGraph& forward,
+                                BfsStatus& status, std::int32_t level,
+                                const NumaTopology& topology,
+                                ThreadPool& pool, int batch_size = 64);
+
+}  // namespace sembfs

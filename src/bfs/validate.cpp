@@ -1,0 +1,132 @@
+#include "bfs/validate.hpp"
+
+#include <cstdio>
+
+namespace sembfs {
+
+namespace {
+
+std::string describe_vertex(const char* what, Vertex v) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s (vertex %lld)", what,
+                static_cast<long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+ValidationResult validate_bfs(
+    Vertex vertex_count, Vertex root, std::span<const Vertex> parent,
+    std::span<const std::int32_t> level,
+    const std::function<void(
+        const std::function<void(std::span<const Edge>)>&)>& stream) {
+  ValidationResult result;
+  auto fail = [&](std::string message) {
+    if (result.ok) {
+      result.ok = false;
+      result.error = std::move(message);
+    }
+  };
+
+  if (parent.size() != static_cast<std::size_t>(vertex_count) ||
+      level.size() != static_cast<std::size_t>(vertex_count)) {
+    fail("parent/level array size mismatch");
+    return result;
+  }
+  if (root < 0 || root >= vertex_count) {
+    fail("root out of range");
+    return result;
+  }
+
+  // Property 1: root self-parented at level 0.
+  if (parent[static_cast<std::size_t>(root)] != root)
+    fail("root is not its own parent");
+  if (level[static_cast<std::size_t>(root)] != 0)
+    fail("root level is not 0");
+
+  // Property 2: parent/level consistency for every reached vertex.
+  for (Vertex w = 0; w < vertex_count; ++w) {
+    const Vertex p = parent[static_cast<std::size_t>(w)];
+    const std::int32_t lw = level[static_cast<std::size_t>(w)];
+    if (p == kNoVertex) {
+      if (lw != -1) fail(describe_vertex("unreached vertex has a level", w));
+      continue;
+    }
+    ++result.reached;
+    if (w == root) continue;
+    if (p < 0 || p >= vertex_count) {
+      fail(describe_vertex("parent out of range", w));
+      continue;
+    }
+    if (parent[static_cast<std::size_t>(p)] == kNoVertex)
+      fail(describe_vertex("parent of reached vertex is unreached", w));
+    if (lw <= 0 || lw >= static_cast<std::int32_t>(vertex_count))
+      fail(describe_vertex("level out of range", w));
+    if (lw != level[static_cast<std::size_t>(p)] + 1)
+      fail(describe_vertex("level is not parent level + 1", w));
+  }
+
+  // Properties 3 and 4 need one pass over the edge list.
+  std::vector<std::uint8_t> tree_edge_seen(
+      static_cast<std::size_t>(vertex_count), 0);
+  stream([&](std::span<const Edge> batch) {
+    for (const Edge& e : batch) {
+      if (e.u == e.v) {
+        ++result.self_loops_skipped;
+        continue;
+      }
+      ++result.edges_checked;
+      const bool u_reached =
+          parent[static_cast<std::size_t>(e.u)] != kNoVertex;
+      const bool v_reached =
+          parent[static_cast<std::size_t>(e.v)] != kNoVertex;
+      if (u_reached != v_reached)
+        fail("edge spans reached and unreached vertices (" +
+             std::to_string(e.u) + "," + std::to_string(e.v) + ")");
+      if (u_reached && v_reached) {
+        const std::int32_t lu = level[static_cast<std::size_t>(e.u)];
+        const std::int32_t lv = level[static_cast<std::size_t>(e.v)];
+        if (lu - lv > 1 || lv - lu > 1)
+          fail("edge endpoints more than one level apart (" +
+               std::to_string(e.u) + "," + std::to_string(e.v) + ")");
+      }
+      if (parent[static_cast<std::size_t>(e.u)] == e.v)
+        tree_edge_seen[static_cast<std::size_t>(e.u)] = 1;
+      if (parent[static_cast<std::size_t>(e.v)] == e.u)
+        tree_edge_seen[static_cast<std::size_t>(e.v)] = 1;
+    }
+  });
+
+  for (Vertex w = 0; w < vertex_count; ++w) {
+    if (w == root) continue;
+    if (parent[static_cast<std::size_t>(w)] != kNoVertex &&
+        tree_edge_seen[static_cast<std::size_t>(w)] == 0)
+      fail(describe_vertex("tree link is not an edge of the graph", w));
+  }
+
+  return result;
+}
+
+ValidationResult validate_bfs(const EdgeList& edges, Vertex root,
+                              std::span<const Vertex> parent,
+                              std::span<const std::int32_t> level) {
+  return validate_bfs(
+      edges.vertex_count(), root, parent, level,
+      [&](const std::function<void(std::span<const Edge>)>& sink) {
+        sink(edges.edges());
+      });
+}
+
+ValidationResult validate_bfs(ExternalEdgeList& edges, Vertex root,
+                              std::span<const Vertex> parent,
+                              std::span<const std::int32_t> level) {
+  return validate_bfs(
+      edges.vertex_count(), root, parent, level,
+      [&](const std::function<void(std::span<const Edge>)>& sink) {
+        edges.for_each_batch(1 << 16, [&](std::span<const Edge> batch) {
+          sink(batch);
+        });
+      });
+}
+
+}  // namespace sembfs

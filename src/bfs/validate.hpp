@@ -1,0 +1,55 @@
+// Graph500 Step 4 — result validation.
+//
+// Checks the five spec properties of a claimed BFS tree:
+//   1. the root's parent is itself and its level is 0;
+//   2. every reached vertex has a reached parent exactly one level above;
+//   3. both endpoints of every edge are either reached or unreached, and
+//      reached endpoints differ by at most one level;
+//   4. every reached non-root vertex's (vertex, parent) tree link is a real
+//      edge of the graph;
+//   5. the number of reached vertices matches the tree.
+// The edge list may be streamed from NVM (the paper validates against the
+// offloaded edge list) or supplied in memory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/external_edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace sembfs {
+
+struct ValidationResult {
+  bool ok = true;
+  std::string error;            ///< first failure description
+  std::int64_t reached = 0;     ///< vertices with parent != -1
+  std::int64_t edges_checked = 0;
+  std::int64_t self_loops_skipped = 0;
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+/// Core validator over a streaming edge source: `stream` must invoke its
+/// callback for every edge batch of the graph exactly once.
+ValidationResult validate_bfs(
+    Vertex vertex_count, Vertex root, std::span<const Vertex> parent,
+    std::span<const std::int32_t> level,
+    const std::function<void(
+        const std::function<void(std::span<const Edge>)>&)>& stream);
+
+/// In-memory edge list convenience overload.
+ValidationResult validate_bfs(const EdgeList& edges, Vertex root,
+                              std::span<const Vertex> parent,
+                              std::span<const std::int32_t> level);
+
+/// NVM-resident edge list overload (streams in batches, paper Step 4).
+ValidationResult validate_bfs(ExternalEdgeList& edges, Vertex root,
+                              std::span<const Vertex> parent,
+                              std::span<const std::int32_t> level);
+
+}  // namespace sembfs

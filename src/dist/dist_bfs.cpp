@@ -1,0 +1,210 @@
+#include "dist/dist_bfs.hpp"
+
+#include <atomic>
+
+#include "util/bitmap.hpp"
+#include "util/contracts.hpp"
+#include "util/timer.hpp"
+
+namespace sembfs {
+
+DistributedBfs::DistributedBfs(const EdgeList& edges, std::size_t ranks,
+                               ThreadPool& pool)
+    : n_(edges.vertex_count()),
+      ranks_(ranks),
+      pool_(pool),
+      partition_(edges.vertex_count(), ranks) {
+  SEMBFS_EXPECTS(ranks >= 1);
+  SEMBFS_EXPECTS(pool.size() >= ranks);
+  local_graphs_.reserve(ranks);
+  const VertexRange all{0, n_};
+  for (std::size_t r = 0; r < ranks; ++r) {
+    local_graphs_.push_back(build_csr_filtered(
+        edges, partition_.range_of(r), all, CsrBuildOptions{}, pool));
+  }
+}
+
+DistBfsResult DistributedBfs::run(Vertex root, const DistBfsConfig& config) {
+  SEMBFS_EXPECTS(root >= 0 && root < n_);
+
+  DistBfsResult result;
+  result.root = root;
+  result.parent.assign(static_cast<std::size_t>(n_), kNoVertex);
+  result.level.assign(static_cast<std::size_t>(n_), -1);
+
+  MessageBus bus{ranks_};
+
+  // Shared per-level coordination state (the "allreduce" side channel).
+  struct Shared {
+    std::atomic<std::int64_t> claimed{0};
+    std::atomic<std::int64_t> frontier_total{0};
+    std::atomic<int> direction{0};  // 0 = top-down, 1 = bottom-up
+    std::atomic<bool> done{false};
+    std::atomic<std::int64_t> degree_sum{0};
+  } shared;
+  shared.direction.store(
+      config.mode == DistBfsConfig::Mode::BottomUpOnly ? 1 : 0);
+
+  // Per-rank frontier queues (owned vertices only).
+  std::vector<std::vector<Vertex>> frontier(ranks_);
+  std::vector<std::vector<Vertex>> next(ranks_);
+  {
+    const std::size_t owner = partition_.node_of(root);
+    frontier[owner].push_back(root);
+    result.parent[static_cast<std::size_t>(root)] = root;
+    result.level[static_cast<std::size_t>(root)] = 0;
+  }
+  std::int64_t prev_frontier = 0;
+  std::int64_t cur_frontier_total = 1;
+
+  std::mutex stats_mutex;  // guards result.levels appends (rank 0 only)
+
+  Timer timer;
+  std::int32_t level = 1;
+  while (cur_frontier_total > 0) {
+    shared.claimed.store(0);
+    shared.frontier_total.store(0);
+    const Direction direction = shared.direction.load() == 0
+                                    ? Direction::TopDown
+                                    : Direction::BottomUp;
+    const std::uint64_t bytes_before = bus.total_remote_bytes();
+
+    pool_.run(ranks_, [&](std::size_t rank) {
+      const Csr& graph = local_graphs_[rank];
+      const VertexRange owned = partition_.range_of(rank);
+      auto& my_next = next[rank];
+      my_next.clear();
+      std::int64_t claimed = 0;
+
+      if (direction == Direction::TopDown) {
+        // Expand owned frontier; local claims direct, remote claims as
+        // (child, parent) pairs to the child's owner.
+        std::vector<std::vector<Vertex>> outbox(ranks_);
+        for (const Vertex v : frontier[rank]) {
+          for (const Vertex w : graph.neighbors(v)) {
+            const std::size_t owner = partition_.node_of(w);
+            if (owner == rank) {
+              if (result.parent[static_cast<std::size_t>(w)] == kNoVertex) {
+                result.parent[static_cast<std::size_t>(w)] = v;
+                result.level[static_cast<std::size_t>(w)] = level;
+                my_next.push_back(w);
+                ++claimed;
+              }
+            } else {
+              outbox[owner].push_back(w);
+              outbox[owner].push_back(v);
+            }
+          }
+        }
+        for (std::size_t to = 0; to < ranks_; ++to)
+          if (to != rank) bus.send(rank, to, outbox[to]);
+        bus.barrier();  // all claim messages delivered
+
+        const std::vector<Vertex> inbox = bus.drain_all(rank);
+        SEMBFS_ASSERT(inbox.size() % 2 == 0);
+        for (std::size_t i = 0; i < inbox.size(); i += 2) {
+          const Vertex w = inbox[i];
+          const Vertex v = inbox[i + 1];
+          SEMBFS_ASSERT(owned.contains(w));
+          if (result.parent[static_cast<std::size_t>(w)] == kNoVertex) {
+            result.parent[static_cast<std::size_t>(w)] = v;
+            result.level[static_cast<std::size_t>(w)] = level;
+            my_next.push_back(w);
+            ++claimed;
+          }
+        }
+      } else {
+        // Bottom-up: allgather the frontier so membership is global...
+        for (std::size_t to = 0; to < ranks_; ++to)
+          if (to != rank) bus.send(rank, to, frontier[rank]);
+        bus.barrier();
+
+        Bitmap in_frontier{static_cast<std::size_t>(n_)};
+        for (const Vertex v : frontier[rank])
+          in_frontier.set(static_cast<std::size_t>(v));
+        for (const Vertex v : bus.drain_all(rank))
+          in_frontier.set(static_cast<std::size_t>(v));
+
+        // ...then sweep owned unvisited vertices, claims purely local.
+        for (Vertex w = owned.begin; w < owned.end; ++w) {
+          if (result.parent[static_cast<std::size_t>(w)] != kNoVertex)
+            continue;
+          for (const Vertex v : graph.neighbors(w)) {
+            if (in_frontier.test(static_cast<std::size_t>(v))) {
+              result.parent[static_cast<std::size_t>(w)] = v;
+              result.level[static_cast<std::size_t>(w)] = level;
+              my_next.push_back(w);
+              ++claimed;
+              break;
+            }
+          }
+        }
+        bus.barrier();  // keep the barrier count uniform across phases
+      }
+
+      shared.claimed.fetch_add(claimed);
+      shared.frontier_total.fetch_add(
+          static_cast<std::int64_t>(my_next.size()));
+      bus.barrier();  // all claims visible before the level decision
+
+      if (rank == 0) {
+        const std::int64_t next_total = shared.frontier_total.load();
+        DistLevelStats stats;
+        stats.level = level;
+        stats.direction = direction;
+        stats.frontier_vertices = cur_frontier_total;
+        stats.claimed_vertices = shared.claimed.load();
+        stats.remote_bytes = bus.total_remote_bytes() - bytes_before;
+        {
+          const std::lock_guard<std::mutex> lock{stats_mutex};
+          result.levels.push_back(stats);
+        }
+        if (config.mode == DistBfsConfig::Mode::Hybrid) {
+          PolicyInput in;
+          in.current = direction;
+          in.n_all = n_;
+          in.prev_frontier = cur_frontier_total;
+          in.cur_frontier = next_total;
+          shared.direction.store(
+              config.policy.decide(in) == Direction::TopDown ? 0 : 1);
+        }
+        shared.done.store(next_total == 0);
+      }
+      bus.barrier();  // decision published
+    });
+
+    prev_frontier = cur_frontier_total;
+    cur_frontier_total = shared.frontier_total.load();
+    for (std::size_t r = 0; r < ranks_; ++r) frontier[r].swap(next[r]);
+    ++level;
+    if (shared.done.load()) break;
+  }
+  (void)prev_frontier;
+  result.seconds = timer.seconds();
+  result.depth = level - 1;
+  result.total_remote_bytes = bus.total_remote_bytes();
+
+  // Epilogue: visited count + TEPS numerator over owned ranges.
+  shared.claimed.store(0);  // reused below as the visited accumulator
+  pool_.run(ranks_, [&](std::size_t rank) {
+    const VertexRange owned = partition_.range_of(rank);
+    std::int64_t degree_sum = 0;
+    std::int64_t visited = 0;
+    for (Vertex v = owned.begin; v < owned.end; ++v) {
+      if (result.parent[static_cast<std::size_t>(v)] == kNoVertex) continue;
+      ++visited;
+      degree_sum += local_graphs_[rank].degree(v);
+    }
+    shared.degree_sum.fetch_add(degree_sum);
+    shared.claimed.fetch_add(visited);  // reuse as visited accumulator
+  });
+  result.visited = shared.claimed.load();
+  result.teps_edge_count = shared.degree_sum.load() / 2;
+  result.teps = result.seconds > 0.0
+                    ? static_cast<double>(result.teps_edge_count) /
+                          result.seconds
+                    : 0.0;
+  return result;
+}
+
+}  // namespace sembfs

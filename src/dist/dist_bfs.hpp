@@ -1,0 +1,84 @@
+// Simulated multi-node hybrid BFS — the paper's final future-work item
+// ("applying our technique to multi-node environments"), following the
+// 1D-partitioned direction-optimizing design of Beamer et al. (MTAAP'13,
+// the paper's reference [14]).
+//
+// R simulated ranks each own a contiguous vertex range (the same block
+// partitioning the NUMA layer uses) and the full adjacency of their owned
+// vertices. Per level:
+//   top-down   — each rank expands its owned frontier and sends
+//                (child, parent) claim messages to the child's owner;
+//                only the owner writes BFS state (single-writer).
+//   bottom-up  — ranks allgather the frontier (the famous communication
+//                pattern: frontier membership must be global), then sweep
+//                their owned unvisited vertices with the early exit;
+//                claims are purely local — NO per-edge messages, which is
+//                exactly why distributed BFS wants the bottom-up direction.
+// The MessageBus accounts every payload byte, so the bench can show the
+// communication-volume collapse the hybrid switch buys.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bfs/level_stats.hpp"
+#include "bfs/policy.hpp"
+#include "dist/message_bus.hpp"
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "numa/partition.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace sembfs {
+
+struct DistBfsConfig {
+  SwitchPolicy policy;
+  /// Forced direction for baselines; Hybrid uses the policy.
+  enum class Mode { Hybrid, TopDownOnly, BottomUpOnly };
+  Mode mode = Mode::Hybrid;
+};
+
+struct DistLevelStats {
+  int level = 0;
+  Direction direction = Direction::TopDown;
+  std::int64_t frontier_vertices = 0;
+  std::int64_t claimed_vertices = 0;
+  std::uint64_t remote_bytes = 0;  ///< payload bytes crossing ranks
+};
+
+struct DistBfsResult {
+  Vertex root = kNoVertex;
+  double seconds = 0.0;
+  std::int32_t depth = 0;
+  std::int64_t visited = 0;
+  std::uint64_t total_remote_bytes = 0;
+  std::vector<DistLevelStats> levels;
+  std::vector<Vertex> parent;
+  std::vector<std::int32_t> level;
+  std::int64_t teps_edge_count = 0;
+  double teps = 0.0;
+};
+
+class DistributedBfs {
+ public:
+  /// Partitions the graph over `ranks` simulated nodes. The pool must have
+  /// at least `ranks` workers (each rank runs on its own worker).
+  DistributedBfs(const EdgeList& edges, std::size_t ranks, ThreadPool& pool);
+
+  [[nodiscard]] std::size_t rank_count() const noexcept { return ranks_; }
+  [[nodiscard]] Vertex vertex_count() const noexcept { return n_; }
+  [[nodiscard]] const Csr& local_graph(std::size_t rank) const noexcept {
+    return local_graphs_[rank];
+  }
+
+  DistBfsResult run(Vertex root, const DistBfsConfig& config);
+
+ private:
+  Vertex n_ = 0;
+  std::size_t ranks_;
+  ThreadPool& pool_;
+  VertexPartition partition_;
+  std::vector<Csr> local_graphs_;
+};
+
+}  // namespace sembfs

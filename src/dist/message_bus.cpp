@@ -1,0 +1,70 @@
+#include "dist/message_bus.hpp"
+
+namespace sembfs {
+
+MessageBus::MessageBus(std::size_t ranks)
+    : ranks_(ranks), mailboxes_(ranks * ranks), barrier_(ranks) {
+  SEMBFS_EXPECTS(ranks >= 1);
+}
+
+void MessageBus::send(std::size_t from, std::size_t to,
+                      std::span<const Vertex> payload) {
+  if (payload.empty()) return;
+  Mailbox& mailbox = box(from, to);
+  const std::lock_guard<std::mutex> lock{mailbox.mutex};
+  mailbox.queue.insert(mailbox.queue.end(), payload.begin(), payload.end());
+  mailbox.bytes += payload.size_bytes();
+  ++mailbox.messages;
+}
+
+std::vector<Vertex> MessageBus::drain(std::size_t from, std::size_t to) {
+  Mailbox& mailbox = box(from, to);
+  const std::lock_guard<std::mutex> lock{mailbox.mutex};
+  std::vector<Vertex> out;
+  out.swap(mailbox.queue);
+  return out;
+}
+
+std::vector<Vertex> MessageBus::drain_all(std::size_t to) {
+  std::vector<Vertex> out;
+  for (std::size_t from = 0; from < ranks_; ++from) {
+    Mailbox& mailbox = box(from, to);
+    const std::lock_guard<std::mutex> lock{mailbox.mutex};
+    out.insert(out.end(), mailbox.queue.begin(), mailbox.queue.end());
+    mailbox.queue.clear();
+  }
+  return out;
+}
+
+std::uint64_t MessageBus::bytes_sent(std::size_t from, std::size_t to) const {
+  const Mailbox& mailbox = box(from, to);
+  const std::lock_guard<std::mutex> lock{mailbox.mutex};
+  return mailbox.bytes;
+}
+
+std::uint64_t MessageBus::total_remote_bytes() const {
+  std::uint64_t total = 0;
+  for (std::size_t from = 0; from < ranks_; ++from)
+    for (std::size_t to = 0; to < ranks_; ++to)
+      if (from != to) total += bytes_sent(from, to);
+  return total;
+}
+
+std::uint64_t MessageBus::total_messages() const {
+  std::uint64_t total = 0;
+  for (const Mailbox& mailbox : mailboxes_) {
+    const std::lock_guard<std::mutex> lock{mailbox.mutex};
+    total += mailbox.messages;
+  }
+  return total;
+}
+
+void MessageBus::reset_counters() {
+  for (Mailbox& mailbox : mailboxes_) {
+    const std::lock_guard<std::mutex> lock{mailbox.mutex};
+    mailbox.bytes = 0;
+    mailbox.messages = 0;
+  }
+}
+
+}  // namespace sembfs

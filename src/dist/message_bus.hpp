@@ -1,0 +1,75 @@
+// In-process message fabric for the simulated multi-node BFS (the paper's
+// "applying our technique to multi-node environments" future work,
+// following Beamer et al., MTAAP'13 — the paper's reference [14]).
+//
+// R simulated ranks exchange vertex messages through per-(src,dst)
+// mailboxes. Communication is phase-based, matching level-synchronous BFS:
+// ranks send during the expand phase, hit a barrier, then drain their
+// inboxes. Every payload byte is accounted per rank pair, which is the
+// measurable the distributed-BFS literature cares about (bottom-up exists
+// to slash communication volume).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "parallel/spin_barrier.hpp"
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+class MessageBus {
+ public:
+  explicit MessageBus(std::size_t ranks);
+
+  [[nodiscard]] std::size_t rank_count() const noexcept { return ranks_; }
+
+  /// Sends `payload` vertices from `from` to `to` (buffered until the
+  /// receiver drains). Thread-safe per mailbox.
+  void send(std::size_t from, std::size_t to,
+            std::span<const Vertex> payload);
+
+  /// Moves out everything queued for (from -> to). Caller is the receiver.
+  std::vector<Vertex> drain(std::size_t from, std::size_t to);
+
+  /// Drains all inboxes of `to` into one vector (arbitrary sender order).
+  std::vector<Vertex> drain_all(std::size_t to);
+
+  /// Level barrier shared by all ranks.
+  void barrier() { barrier_.arrive_and_wait(); }
+
+  /// Total payload bytes ever sent from `from` to `to`.
+  [[nodiscard]] std::uint64_t bytes_sent(std::size_t from,
+                                         std::size_t to) const;
+  /// Total payload bytes across all rank pairs (excluding self-sends).
+  [[nodiscard]] std::uint64_t total_remote_bytes() const;
+  [[nodiscard]] std::uint64_t total_messages() const;
+
+  void reset_counters();
+
+ private:
+  struct Mailbox {
+    mutable std::mutex mutex;
+    std::vector<Vertex> queue;
+    std::uint64_t bytes = 0;
+    std::uint64_t messages = 0;
+  };
+
+  [[nodiscard]] Mailbox& box(std::size_t from, std::size_t to) {
+    SEMBFS_ASSERT(from < ranks_ && to < ranks_);
+    return mailboxes_[from * ranks_ + to];
+  }
+  [[nodiscard]] const Mailbox& box(std::size_t from, std::size_t to) const {
+    SEMBFS_ASSERT(from < ranks_ && to < ranks_);
+    return mailboxes_[from * ranks_ + to];
+  }
+
+  std::size_t ranks_;
+  std::vector<Mailbox> mailboxes_;  // ranks x ranks
+  SpinBarrier barrier_;
+};
+
+}  // namespace sembfs

@@ -1,0 +1,48 @@
+#include "graph/backward_graph.hpp"
+
+namespace sembfs {
+
+BackwardGraph BackwardGraph::build(const EdgeList& edges,
+                                   const VertexPartition& partition,
+                                   const CsrBuildOptions& options,
+                                   ThreadPool& pool) {
+  BackwardGraph bg;
+  bg.vertex_partition_ = partition;
+  const VertexRange all{0, edges.vertex_count()};
+  bg.partitions_.reserve(partition.node_count());
+  for (std::size_t k = 0; k < partition.node_count(); ++k) {
+    bg.partitions_.push_back(build_csr_filtered(
+        edges, partition.range_of(k), all, options, pool));
+  }
+  return bg;
+}
+
+BackwardGraph BackwardGraph::build_stream(Vertex vertex_count,
+                                          const EdgeStream& stream,
+                                          const VertexPartition& partition,
+                                          const CsrBuildOptions& options,
+                                          ThreadPool& pool) {
+  BackwardGraph bg;
+  bg.vertex_partition_ = partition;
+  const VertexRange all{0, vertex_count};
+  bg.partitions_.reserve(partition.node_count());
+  for (std::size_t k = 0; k < partition.node_count(); ++k) {
+    bg.partitions_.push_back(build_csr_filtered_stream(
+        vertex_count, stream, partition.range_of(k), all, options, pool));
+  }
+  return bg;
+}
+
+std::int64_t BackwardGraph::entry_count() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& p : partitions_) total += p.entry_count();
+  return total;
+}
+
+std::uint64_t BackwardGraph::byte_size() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& p : partitions_) total += p.byte_size();
+  return total;
+}
+
+}  // namespace sembfs

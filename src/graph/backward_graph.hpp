@@ -1,0 +1,58 @@
+// The backward graph: per-NUMA-node CSR partitions used by the bottom-up
+// direction (paper Section IV-A / Figure 6, right).
+//
+// Partition k holds only the source vertices of node k's range — the
+// *unvisited* vertices that node's threads sweep — with their complete
+// adjacency lists, so a bottom-up sweep touches only node-local memory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "numa/partition.hpp"
+
+namespace sembfs {
+
+class BackwardGraph {
+ public:
+  BackwardGraph() = default;
+
+  static BackwardGraph build(const EdgeList& edges,
+                             const VertexPartition& partition,
+                             const CsrBuildOptions& options, ThreadPool& pool);
+
+  /// Streaming build from an NVM-resident edge list (paper Step 2).
+  static BackwardGraph build_stream(Vertex vertex_count,
+                                    const EdgeStream& stream,
+                                    const VertexPartition& partition,
+                                    const CsrBuildOptions& options,
+                                    ThreadPool& pool);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return partitions_.size();
+  }
+  [[nodiscard]] const Csr& partition(std::size_t node) const noexcept {
+    return partitions_[node];
+  }
+  [[nodiscard]] const VertexPartition& vertex_partition() const noexcept {
+    return vertex_partition_;
+  }
+  [[nodiscard]] Vertex vertex_count() const noexcept {
+    return vertex_partition_.vertex_count();
+  }
+
+  /// Adjacency list of global vertex v (routed to the owning partition).
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const noexcept {
+    return partitions_[vertex_partition_.node_of(v)].neighbors(v);
+  }
+
+  [[nodiscard]] std::int64_t entry_count() const noexcept;
+  [[nodiscard]] std::uint64_t byte_size() const noexcept;
+
+ private:
+  VertexPartition vertex_partition_;
+  std::vector<Csr> partitions_;
+};
+
+}  // namespace sembfs

@@ -1,0 +1,61 @@
+#include "graph/degree.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+namespace {
+std::size_t bucket_of(std::int64_t degree) {
+  if (degree <= 0) return 0;
+  if (degree == 1) return 1;
+  // degree in [2^(b-1)+1, 2^b] -> bucket b
+  return static_cast<std::size_t>(
+      64 - std::countl_zero(static_cast<std::uint64_t>(degree - 1)) + 1);
+}
+}  // namespace
+
+DegreeStats compute_degree_stats(const Csr& csr) {
+  const VertexRange range = csr.source_range();
+  DegreeStats stats;
+  stats.vertex_count = range.size();
+  if (range.size() == 0) return stats;
+
+  std::vector<std::int64_t> degrees(static_cast<std::size_t>(range.size()));
+  for (std::int64_t v = 0; v < range.size(); ++v)
+    degrees[static_cast<std::size_t>(v)] = csr.degree(range.begin + v);
+
+  stats.edge_entry_count = 0;
+  stats.min_degree = degrees.front();
+  stats.max_degree = degrees.front();
+  for (const std::int64_t d : degrees) {
+    stats.edge_entry_count += d;
+    stats.min_degree = std::min(stats.min_degree, d);
+    stats.max_degree = std::max(stats.max_degree, d);
+    if (d == 0) ++stats.isolated_count;
+    const std::size_t b = bucket_of(d);
+    if (stats.log2_histogram.size() <= b) stats.log2_histogram.resize(b + 1);
+    ++stats.log2_histogram[b];
+  }
+  stats.mean_degree = static_cast<double>(stats.edge_entry_count) /
+                      static_cast<double>(stats.vertex_count);
+
+  auto mid = degrees.begin() + degrees.size() / 2;
+  std::nth_element(degrees.begin(), mid, degrees.end());
+  stats.median_degree = *mid;
+  return stats;
+}
+
+double average_degree(const Csr& csr, std::span<const Vertex> vertices) {
+  if (vertices.empty()) return 0.0;
+  std::int64_t total = 0;
+  for (const Vertex v : vertices) {
+    SEMBFS_EXPECTS(csr.covers_source(v));
+    total += csr.degree(v);
+  }
+  return static_cast<double>(total) / static_cast<double>(vertices.size());
+}
+
+}  // namespace sembfs

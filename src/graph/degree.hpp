@@ -1,0 +1,36 @@
+// Degree statistics for constructed graphs.
+//
+// Figure 11 of the paper buckets per-level top-down work by *average degree
+// of the searched vertices*; this module provides the degree accounting the
+// analysis benches build on, plus a log2-bucketed histogram useful for
+// checking that the Kronecker generator really produces a power-law-ish
+// degree distribution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace sembfs {
+
+struct DegreeStats {
+  std::int64_t vertex_count = 0;
+  std::int64_t edge_entry_count = 0;  ///< sum of degrees
+  std::int64_t min_degree = 0;
+  std::int64_t max_degree = 0;
+  double mean_degree = 0.0;
+  std::int64_t median_degree = 0;
+  std::int64_t isolated_count = 0;  ///< degree-0 vertices
+  /// histogram[0] = degree-0 vertices, histogram[1] = degree-1 vertices,
+  /// histogram[b >= 2] = #vertices with degree in [2^(b-2)+1 .. 2^(b-1)].
+  std::vector<std::int64_t> log2_histogram;
+};
+
+/// Full-graph degree statistics (csr must cover all sources).
+DegreeStats compute_degree_stats(const Csr& csr);
+
+/// Degrees of an explicit vertex subset; used for per-level analysis.
+double average_degree(const Csr& csr, std::span<const Vertex> vertices);
+
+}  // namespace sembfs

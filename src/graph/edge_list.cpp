@@ -1,0 +1,32 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+EdgeList::EdgeList(Vertex vertex_count, std::vector<Edge> edges)
+    : vertex_count_(vertex_count), edges_(std::move(edges)) {
+  SEMBFS_EXPECTS(vertex_count >= 0);
+}
+
+void EdgeList::add(Vertex u, Vertex v) {
+  SEMBFS_EXPECTS(u >= 0 && v >= 0);
+  SEMBFS_EXPECTS(vertex_count_ == 0 || (u < vertex_count_ && v < vertex_count_));
+  edges_.push_back(Edge{u, v});
+}
+
+Vertex EdgeList::max_endpoint() const noexcept {
+  Vertex best = -1;
+  for (const Edge& e : edges_) best = std::max({best, e.u, e.v});
+  return best;
+}
+
+std::size_t EdgeList::self_loop_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(edges_.begin(), edges_.end(),
+                    [](const Edge& e) { return e.u == e.v; }));
+}
+
+}  // namespace sembfs

@@ -1,0 +1,51 @@
+// In-memory edge list — the Step 1 output of the Graph500 benchmark.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace sembfs {
+
+class EdgeList {
+ public:
+  EdgeList() = default;
+  /// Declares the vertex-ID space [0, vertex_count) the edges live in.
+  explicit EdgeList(Vertex vertex_count) : vertex_count_(vertex_count) {}
+  EdgeList(Vertex vertex_count, std::vector<Edge> edges);
+
+  void reserve(std::size_t n) { edges_.reserve(n); }
+  void add(Vertex u, Vertex v);
+  void add(const Edge& e) { add(e.u, e.v); }
+
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return edges_.size();
+  }
+  [[nodiscard]] Vertex vertex_count() const noexcept { return vertex_count_; }
+  void set_vertex_count(Vertex n) noexcept { vertex_count_ = n; }
+
+  [[nodiscard]] std::span<const Edge> edges() const noexcept {
+    return edges_;
+  }
+  [[nodiscard]] std::span<Edge> edges() noexcept { return edges_; }
+  [[nodiscard]] const Edge& operator[](std::size_t i) const noexcept {
+    return edges_[i];
+  }
+
+  /// Largest endpoint appearing in the list, or -1 when empty.
+  [[nodiscard]] Vertex max_endpoint() const noexcept;
+
+  /// Count of edges with u == v.
+  [[nodiscard]] std::size_t self_loop_count() const noexcept;
+
+  [[nodiscard]] auto begin() const noexcept { return edges_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return edges_.end(); }
+
+ private:
+  Vertex vertex_count_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace sembfs

@@ -1,0 +1,282 @@
+#include "graph/external_csr.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "nvm/storage_file.hpp"
+#include "nvm/striped_file.hpp"
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+namespace {
+
+// Construction-time bulk writes go in large strides; the 4 KiB chunk
+// discipline only applies to the BFS read path.
+constexpr std::size_t kWriteStride = 1 << 20;  // elements per write batch
+
+template <typename T>
+void write_array(ExternalArray<T>& dst, const std::vector<T>& src) {
+  std::size_t done = 0;
+  while (done < src.size()) {
+    const std::size_t len = std::min(kWriteStride, src.size() - done);
+    dst.write(done, std::span<const T>{src}.subspan(done, len));
+    done += len;
+  }
+}
+
+}  // namespace
+
+ExternalCsrPartition::ExternalCsrPartition(const Csr& csr,
+                                           std::shared_ptr<NvmDevice> device,
+                                           const std::string& dir,
+                                           std::size_t node_id,
+                                           std::uint32_t chunk_bytes)
+    : sources_(csr.source_range()),
+      destinations_(csr.destination_range()),
+      entry_count_(csr.entry_count()) {
+  SEMBFS_EXPECTS(device != nullptr);
+  ensure_directory(dir);
+  const std::string stem = dir + "/fg_node" + std::to_string(node_id);
+  index_file_ = std::make_unique<NvmFile>(device, stem + ".index");
+  value_file_ = std::make_unique<NvmFile>(device, stem + ".value");
+  offload(csr, chunk_bytes);
+}
+
+ExternalCsrPartition::ExternalCsrPartition(
+    const Csr& csr, std::vector<std::shared_ptr<NvmDevice>> devices,
+    const std::string& dir, std::size_t node_id, std::uint32_t chunk_bytes)
+    : sources_(csr.source_range()),
+      destinations_(csr.destination_range()),
+      entry_count_(csr.entry_count()) {
+  SEMBFS_EXPECTS(!devices.empty());
+  ensure_directory(dir);
+  const std::string stem = dir + "/fg_node" + std::to_string(node_id);
+  index_file_ =
+      std::make_unique<StripedNvmFile>(devices, stem + ".index");
+  value_file_ =
+      std::make_unique<StripedNvmFile>(std::move(devices), stem + ".value");
+  offload(csr, chunk_bytes);
+}
+
+void ExternalCsrPartition::offload(const Csr& csr,
+                                   std::uint32_t chunk_bytes) {
+  index_ = std::make_unique<ExternalArray<std::int64_t>>(
+      *index_file_, 0, csr.index().size(), chunk_bytes);
+  values_ = std::make_unique<ExternalArray<Vertex>>(
+      *value_file_, 0, csr.values().size(), chunk_bytes);
+  write_array(*index_, csr.index());
+  write_array(*values_, csr.values());
+}
+
+std::uint64_t ExternalCsrPartition::nvm_byte_size() const noexcept {
+  return index_->byte_size() + values_->byte_size();
+}
+
+std::pair<std::int64_t, std::int64_t> ExternalCsrPartition::fetch_bounds(
+    Vertex v) {
+  SEMBFS_EXPECTS(sources_.contains(v));
+  const auto local = static_cast<std::uint64_t>(v - sources_.begin);
+  std::int64_t bounds[2];
+  index_->read(local, std::span<std::int64_t>{bounds, 2});
+  return {bounds[0], bounds[1]};
+}
+
+std::int64_t ExternalCsrPartition::degree(Vertex v) {
+  const auto [b, e] = fetch_bounds(v);
+  return e - b;
+}
+
+std::uint64_t ExternalCsrPartition::fetch_range(std::int64_t begin,
+                                                std::int64_t end,
+                                                std::vector<Vertex>& out) {
+  SEMBFS_EXPECTS(begin >= 0 && begin <= end);
+  SEMBFS_EXPECTS(end <= entry_count_);
+  out.resize(static_cast<std::size_t>(end - begin));
+  if (out.empty()) return 0;
+  return values_->read(static_cast<std::uint64_t>(begin),
+                       std::span<Vertex>{out});
+}
+
+std::uint64_t ExternalCsrPartition::fetch_neighbors(Vertex v,
+                                                    std::vector<Vertex>& out) {
+  const auto [b, e] = fetch_bounds(v);
+  // The bounds fetch is one device request; value chunks add the rest.
+  return 1 + fetch_range(b, e, out);
+}
+
+namespace {
+
+/// A half-open byte range tagged with the batch slots that consume it.
+struct MergedRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+/// Greedily merges sorted byte ranges whose gap is <= merge_gap and whose
+/// union stays <= max_request.
+template <typename It, typename BeginFn, typename EndFn>
+std::vector<MergedRange> merge_ranges(It first, It last, BeginFn begin_of,
+                                      EndFn end_of, std::uint64_t merge_gap,
+                                      std::uint64_t max_request) {
+  std::vector<MergedRange> merged;
+  for (It it = first; it != last; ++it) {
+    const std::uint64_t b = begin_of(*it);
+    const std::uint64_t e = end_of(*it);
+    if (b == e) continue;
+    if (!merged.empty() && b <= merged.back().end + merge_gap &&
+        e - merged.back().begin <= max_request) {
+      merged.back().end = std::max(merged.back().end, e);
+    } else {
+      merged.push_back({b, e});
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+std::uint64_t ExternalCsrPartition::fetch_neighbors_batch(
+    std::span<const Vertex> batch, std::vector<std::vector<Vertex>>& out,
+    std::uint32_t merge_gap_bytes, std::uint32_t max_request_bytes) {
+  out.resize(batch.size());
+  if (batch.empty()) return 0;
+  std::uint64_t requests = 0;
+
+  // Sort batch slots by vertex so index reads for nearby vertices merge.
+  std::vector<std::size_t> order(batch.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return batch[a] < batch[b];
+  });
+
+  // Phase 1: merged index reads -> per-slot [begin, end) value bounds.
+  struct SlotBounds {
+    std::size_t slot;
+    std::int64_t begin;
+    std::int64_t end;
+  };
+  std::vector<SlotBounds> bounds(batch.size());
+  {
+    const auto index_byte_range = [&](std::size_t slot) {
+      const auto local =
+          static_cast<std::uint64_t>(batch[slot] - sources_.begin);
+      return std::pair<std::uint64_t, std::uint64_t>{
+          local * sizeof(std::int64_t), (local + 2) * sizeof(std::int64_t)};
+    };
+    std::vector<std::size_t> sorted_slots = order;
+    const auto merged = merge_ranges(
+        sorted_slots.begin(), sorted_slots.end(),
+        [&](std::size_t s) { return index_byte_range(s).first; },
+        [&](std::size_t s) { return index_byte_range(s).second; },
+        merge_gap_bytes, max_request_bytes);
+
+    std::vector<std::byte> staging;
+    std::size_t cursor = 0;
+    for (const MergedRange& range : merged) {
+      staging.resize(range.end - range.begin);
+      // One aggregated request per merged range (libaio-style).
+      index_->file().read(index_->base_offset() + range.begin,
+                          std::span<std::byte>{staging});
+      ++requests;
+      // Deliver bounds to every slot whose index pair lies in this range.
+      while (cursor < sorted_slots.size()) {
+        const std::size_t slot = sorted_slots[cursor];
+        const auto [b, e] = index_byte_range(slot);
+        if (b < range.begin || e > range.end) break;
+        std::int64_t pair[2];
+        std::memcpy(pair, staging.data() + (b - range.begin), sizeof pair);
+        bounds[cursor] = {slot, pair[0], pair[1]};
+        ++cursor;
+      }
+    }
+    SEMBFS_ASSERT(cursor == sorted_slots.size());
+  }
+
+  // Phase 2: merged value reads, sorted by value-file offset.
+  std::sort(bounds.begin(), bounds.end(),
+            [](const SlotBounds& a, const SlotBounds& b) {
+              return a.begin < b.begin;
+            });
+  const auto merged = merge_ranges(
+      bounds.begin(), bounds.end(),
+      [](const SlotBounds& s) {
+        return static_cast<std::uint64_t>(s.begin) * sizeof(Vertex);
+      },
+      [](const SlotBounds& s) {
+        return static_cast<std::uint64_t>(s.end) * sizeof(Vertex);
+      },
+      merge_gap_bytes, max_request_bytes);
+
+  std::vector<std::byte> staging;
+  std::size_t cursor = 0;
+  for (const MergedRange& range : merged) {
+    staging.resize(range.end - range.begin);
+    values_->file().read(values_->base_offset() + range.begin,
+                         std::span<std::byte>{staging});
+    ++requests;
+    while (cursor < bounds.size()) {
+      const SlotBounds& sb = bounds[cursor];
+      if (sb.begin == sb.end) {  // empty adjacency: no bytes to deliver
+        out[sb.slot].clear();
+        ++cursor;
+        continue;
+      }
+      const auto b = static_cast<std::uint64_t>(sb.begin) * sizeof(Vertex);
+      const auto e = static_cast<std::uint64_t>(sb.end) * sizeof(Vertex);
+      if (b < range.begin || e > range.end) break;
+      auto& adjacency = out[sb.slot];
+      adjacency.resize(static_cast<std::size_t>(sb.end - sb.begin));
+      std::memcpy(adjacency.data(), staging.data() + (b - range.begin),
+                  e - b);
+      ++cursor;
+    }
+  }
+  // Trailing empty-adjacency slots (no merged range consumed them).
+  for (; cursor < bounds.size(); ++cursor) {
+    SEMBFS_ASSERT(bounds[cursor].begin == bounds[cursor].end);
+    out[bounds[cursor].slot].clear();
+  }
+  return requests;
+}
+
+ExternalForwardGraph::ExternalForwardGraph(const ForwardGraph& forward,
+                                           std::shared_ptr<NvmDevice> device,
+                                           const std::string& dir,
+                                           std::uint32_t chunk_bytes)
+    : vertex_partition_(forward.vertex_partition()), device_(device) {
+  SEMBFS_EXPECTS(device_ != nullptr);
+  partitions_.reserve(forward.node_count());
+  for (std::size_t k = 0; k < forward.node_count(); ++k) {
+    partitions_.push_back(std::make_unique<ExternalCsrPartition>(
+        forward.partition(k), device_, dir, k, chunk_bytes));
+  }
+}
+
+ExternalForwardGraph::ExternalForwardGraph(
+    const ForwardGraph& forward,
+    std::vector<std::shared_ptr<NvmDevice>> devices, const std::string& dir,
+    std::uint32_t chunk_bytes)
+    : vertex_partition_(forward.vertex_partition()),
+      device_(devices.empty() ? nullptr : devices.front()) {
+  SEMBFS_EXPECTS(!devices.empty());
+  partitions_.reserve(forward.node_count());
+  for (std::size_t k = 0; k < forward.node_count(); ++k) {
+    partitions_.push_back(std::make_unique<ExternalCsrPartition>(
+        forward.partition(k), devices, dir, k, chunk_bytes));
+  }
+}
+
+std::uint64_t ExternalForwardGraph::nvm_byte_size() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& p : partitions_) total += p->nvm_byte_size();
+  return total;
+}
+
+std::int64_t ExternalForwardGraph::entry_count() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& p : partitions_) total += p->entry_count();
+  return total;
+}
+
+}  // namespace sembfs

@@ -1,0 +1,56 @@
+#include "graph/external_edge_list.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+ExternalEdgeList::ExternalEdgeList(std::shared_ptr<NvmDevice> device,
+                                   const std::string& path,
+                                   Vertex vertex_count)
+    : device_(std::move(device)), vertex_count_(vertex_count) {
+  SEMBFS_EXPECTS(device_ != nullptr);
+  file_ = std::make_unique<NvmFile>(device_, path);
+}
+
+void ExternalEdgeList::append(std::span<const Edge> batch) {
+  if (batch.empty()) return;
+  std::vector<PackedEdge> packed(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    packed[i] = PackedEdge::pack(batch[i]);
+  file_->write(edge_count_ * sizeof(PackedEdge),
+               std::as_bytes(std::span<const PackedEdge>{packed}));
+  edge_count_ += batch.size();
+}
+
+void ExternalEdgeList::append_all(const EdgeList& edges) {
+  constexpr std::size_t kBatch = 1 << 18;
+  const auto span = edges.edges();
+  std::size_t done = 0;
+  while (done < span.size()) {
+    const std::size_t len = std::min(kBatch, span.size() - done);
+    append(span.subspan(done, len));
+    done += len;
+  }
+}
+
+void ExternalEdgeList::read(std::uint64_t first, std::span<Edge> out) {
+  SEMBFS_EXPECTS(first + out.size() <= edge_count_);
+  if (out.empty()) return;
+  std::vector<PackedEdge> packed(out.size());
+  file_->read(first * sizeof(PackedEdge),
+              std::as_writable_bytes(std::span<PackedEdge>{packed}));
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = packed[i].unpack();
+}
+
+EdgeList ExternalEdgeList::load_all() {
+  EdgeList list{vertex_count_};
+  list.reserve(static_cast<std::size_t>(edge_count_));
+  for_each_batch(1 << 18, [&](std::span<const Edge> batch) {
+    for (const Edge& e : batch) list.add(e);
+  });
+  return list;
+}
+
+}  // namespace sembfs

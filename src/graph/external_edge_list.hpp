@@ -1,0 +1,67 @@
+// Edge list offloaded to NVM in the Graph500 reference's packed 12-byte
+// format (paper Step 1: "offload the generated edge list onto NVM"; the
+// edge list is later streamed back for graph construction and validation).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+#include "nvm/nvm_device.hpp"
+
+namespace sembfs {
+
+class ExternalEdgeList {
+ public:
+  /// Creates an empty external edge list file.
+  ExternalEdgeList(std::shared_ptr<NvmDevice> device, const std::string& path,
+                   Vertex vertex_count);
+
+  [[nodiscard]] Vertex vertex_count() const noexcept { return vertex_count_; }
+  [[nodiscard]] std::uint64_t edge_count() const noexcept {
+    return edge_count_;
+  }
+  [[nodiscard]] std::uint64_t byte_size() const noexcept {
+    return edge_count_ * sizeof(PackedEdge);
+  }
+
+  /// Appends a batch of edges (packs to 12 bytes each).
+  void append(std::span<const Edge> batch);
+
+  /// Offloads a whole in-memory edge list.
+  void append_all(const EdgeList& edges);
+
+  /// Reads edges [first, first+out.size()) back.
+  void read(std::uint64_t first, std::span<Edge> out);
+
+  /// Streams the whole list in `batch_size`-edge chunks through fn(span).
+  template <typename Fn>
+  void for_each_batch(std::size_t batch_size, Fn&& fn) {
+    std::vector<Edge> buffer;
+    std::uint64_t done = 0;
+    while (done < edge_count_) {
+      const std::size_t len = static_cast<std::size_t>(
+          std::min<std::uint64_t>(batch_size, edge_count_ - done));
+      buffer.resize(len);
+      read(done, std::span<Edge>{buffer});
+      fn(std::span<const Edge>{buffer});
+      done += len;
+    }
+  }
+
+  /// Reads everything back into memory (tests / small graphs).
+  EdgeList load_all();
+
+  [[nodiscard]] NvmDevice& device() noexcept { return *device_; }
+
+ private:
+  std::shared_ptr<NvmDevice> device_;
+  std::unique_ptr<NvmFile> file_;
+  Vertex vertex_count_ = 0;
+  std::uint64_t edge_count_ = 0;
+};
+
+}  // namespace sembfs

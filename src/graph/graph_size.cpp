@@ -1,0 +1,9 @@
+#include "graph/graph_size.hpp"
+
+namespace sembfs {
+
+double bytes_to_gib(std::uint64_t bytes) noexcept {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0);
+}
+
+}  // namespace sembfs

@@ -1,0 +1,61 @@
+// Analytic model of the NETAL data-structure sizes (paper Figure 3 and
+// Table II).
+//
+// Decoding the paper's numbers (they are GiB, reported as "GB"):
+//   edge list      = 12 * M                      (packed 48-bit endpoints)
+//   forward graph  = l * N * 8  +  2 * M * 8     (per-node index arrays over
+//                                                 ALL vertices + one value
+//                                                 entry per directed edge)
+//   backward graph = N * 8      +  2 * M * 8     (index arrays cover each
+//                                                 vertex once)
+// with N = 2^SCALE, M = N * edge_factor, l = number of NUMA nodes. The
+// paper's machine exposes l = 8 (4 Opteron 6172 packages x 2 dies each):
+// with l = 8 the model reproduces Figure 3's SCALE-31 breakdown exactly
+// (384 / 640 / 528 GiB) and Table II's SCALE-27 sizes (40 / 33 GiB).
+#pragma once
+
+#include <cstdint>
+
+namespace sembfs {
+
+struct GraphSizeModel {
+  int scale = 27;
+  int edge_factor = 16;
+  std::uint64_t numa_nodes = 8;
+
+  [[nodiscard]] std::uint64_t vertex_count() const noexcept {
+    return std::uint64_t{1} << scale;
+  }
+  [[nodiscard]] std::uint64_t edge_count() const noexcept {
+    return vertex_count() * static_cast<std::uint64_t>(edge_factor);
+  }
+
+  [[nodiscard]] std::uint64_t edge_list_bytes() const noexcept {
+    return 12 * edge_count();
+  }
+  [[nodiscard]] std::uint64_t forward_graph_bytes() const noexcept {
+    return numa_nodes * vertex_count() * 8 + 2 * edge_count() * 8;
+  }
+  [[nodiscard]] std::uint64_t backward_graph_bytes() const noexcept {
+    return vertex_count() * 8 + 2 * edge_count() * 8;
+  }
+  /// BFS status data as THIS implementation allocates it: parent tree,
+  /// current/next frontier queues, visited + 2 frontier bitmaps. (NETAL's
+  /// own status block is larger — 15.1 GiB at SCALE 27 — because it
+  /// duplicates queues per node; we report both in the bench.)
+  [[nodiscard]] std::uint64_t bfs_status_bytes() const noexcept {
+    const std::uint64_t n = vertex_count();
+    return n * 8      // parent tree
+           + 2 * n * 8  // frontier / next queues
+           + 3 * ((n + 7) / 8);  // visited + frontier + next bitmaps
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return forward_graph_bytes() + backward_graph_bytes() +
+           bfs_status_bytes();
+  }
+};
+
+/// GiB as the paper reports them ("GB" in the text).
+double bytes_to_gib(std::uint64_t bytes) noexcept;
+
+}  // namespace sembfs

@@ -1,0 +1,125 @@
+#include "graph/hybrid_csr.hpp"
+
+#include <algorithm>
+
+#include "nvm/storage_file.hpp"
+
+namespace sembfs {
+
+HybridBackwardPartition::HybridBackwardPartition(
+    const Csr& csr, std::int64_t dram_edges_per_vertex,
+    std::shared_ptr<NvmDevice> device, const std::string& dir,
+    std::size_t node_id, std::uint32_t chunk_bytes)
+    : sources_(csr.source_range()),
+      dram_cap_(dram_edges_per_vertex),
+      chunk_bytes_(chunk_bytes) {
+  SEMBFS_EXPECTS(dram_edges_per_vertex >= 0);
+  SEMBFS_EXPECTS(device != nullptr);
+  ensure_directory(dir);
+
+  const std::int64_t local_n = sources_.size();
+  dram_index_.assign(static_cast<std::size_t>(local_n) + 1, 0);
+  nvm_index_.assign(static_cast<std::size_t>(local_n) + 1, 0);
+
+  // Split sizes per vertex.
+  for (std::int64_t v = 0; v < local_n; ++v) {
+    const std::int64_t deg = csr.degree(sources_.begin + v);
+    const std::int64_t in_dram = std::min(deg, dram_cap_);
+    dram_index_[static_cast<std::size_t>(v) + 1] =
+        dram_index_[static_cast<std::size_t>(v)] + in_dram;
+    nvm_index_[static_cast<std::size_t>(v) + 1] =
+        nvm_index_[static_cast<std::size_t>(v)] + (deg - in_dram);
+  }
+  nvm_entry_count_ = nvm_index_.back();
+
+  // Fill the DRAM prefix arrays.
+  dram_values_.resize(static_cast<std::size_t>(dram_index_.back()));
+  for (std::int64_t v = 0; v < local_n; ++v) {
+    const auto adj = csr.neighbors(sources_.begin + v);
+    const std::int64_t in_dram =
+        dram_index_[static_cast<std::size_t>(v) + 1] -
+        dram_index_[static_cast<std::size_t>(v)];
+    std::copy_n(adj.begin(), in_dram,
+                dram_values_.begin() + dram_index_[static_cast<std::size_t>(v)]);
+  }
+
+  // Offload the remainder to NVM.
+  const std::string path =
+      dir + "/bg_node" + std::to_string(node_id) + ".overflow";
+  nvm_file_ = std::make_unique<NvmFile>(std::move(device), path);
+  nvm_values_ = std::make_unique<ExternalArray<Vertex>>(
+      *nvm_file_, 0, static_cast<std::uint64_t>(nvm_entry_count_),
+      chunk_bytes);
+
+  std::vector<Vertex> staging;
+  std::int64_t written = 0;
+  for (std::int64_t v = 0; v < local_n; ++v) {
+    const auto adj = csr.neighbors(sources_.begin + v);
+    const std::int64_t in_dram =
+        dram_index_[static_cast<std::size_t>(v) + 1] -
+        dram_index_[static_cast<std::size_t>(v)];
+    const std::int64_t overflow =
+        static_cast<std::int64_t>(adj.size()) - in_dram;
+    if (overflow <= 0) continue;
+    staging.assign(adj.begin() + in_dram, adj.end());
+    nvm_values_->write(static_cast<std::uint64_t>(written),
+                       std::span<const Vertex>{staging});
+    written += overflow;
+  }
+  SEMBFS_ENSURES(written == nvm_entry_count_);
+  nvm_file_->sync();
+}
+
+std::uint64_t HybridBackwardPartition::dram_byte_size() const noexcept {
+  return dram_index_.size() * sizeof(std::int64_t) +
+         nvm_index_.size() * sizeof(std::int64_t) +
+         dram_values_.size() * sizeof(Vertex);
+}
+
+std::uint64_t HybridBackwardPartition::nvm_byte_size() const noexcept {
+  return static_cast<std::uint64_t>(nvm_entry_count_) * sizeof(Vertex);
+}
+
+HybridBackwardGraph::HybridBackwardGraph(const BackwardGraph& backward,
+                                         std::int64_t dram_edges_per_vertex,
+                                         std::shared_ptr<NvmDevice> device,
+                                         const std::string& dir,
+                                         std::uint32_t chunk_bytes)
+    : vertex_partition_(backward.vertex_partition()), device_(device) {
+  partitions_.reserve(backward.node_count());
+  for (std::size_t k = 0; k < backward.node_count(); ++k) {
+    partitions_.push_back(std::make_unique<HybridBackwardPartition>(
+        backward.partition(k), dram_edges_per_vertex, device_, dir, k,
+        chunk_bytes));
+  }
+}
+
+std::uint64_t HybridBackwardGraph::dram_byte_size() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& p : partitions_) total += p->dram_byte_size();
+  return total;
+}
+
+std::uint64_t HybridBackwardGraph::nvm_byte_size() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& p : partitions_) total += p->nvm_byte_size();
+  return total;
+}
+
+std::uint64_t HybridBackwardGraph::dram_edges_examined() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& p : partitions_) total += p->dram_edges_examined();
+  return total;
+}
+
+std::uint64_t HybridBackwardGraph::nvm_edges_examined() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& p : partitions_) total += p->nvm_edges_examined();
+  return total;
+}
+
+void HybridBackwardGraph::reset_counters() noexcept {
+  for (const auto& p : partitions_) p->reset_counters();
+}
+
+}  // namespace sembfs

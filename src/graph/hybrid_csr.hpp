@@ -1,0 +1,161 @@
+// Partially-offloaded backward graph (paper Sections V-A, V-C, VI-E).
+//
+// The bottom-up step usually finds a frontier parent within the first few
+// neighbors of an unvisited vertex, so most of each adjacency list is never
+// read. The hybrid layout exploits that: the first `dram_edges_per_vertex`
+// neighbors of every vertex stay in DRAM; the remainder is offloaded to an
+// NVM value file and only streamed (in 4 KiB chunks) when the DRAM prefix
+// fails to terminate the search. Per-tier access counters feed Figure 14
+// (access ratio to the backward graph on NVM vs DRAM size reduction).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/backward_graph.hpp"
+#include "nvm/external_array.hpp"
+#include "nvm/nvm_device.hpp"
+#include "numa/partition.hpp"
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+class HybridBackwardPartition {
+ public:
+  /// Splits `csr` (one backward partition): first `dram_edges_per_vertex`
+  /// neighbors per vertex stay in DRAM, the rest go to an NVM file.
+  HybridBackwardPartition(const Csr& csr, std::int64_t dram_edges_per_vertex,
+                          std::shared_ptr<NvmDevice> device,
+                          const std::string& dir, std::size_t node_id,
+                          std::uint32_t chunk_bytes = 4096);
+
+  [[nodiscard]] VertexRange source_range() const noexcept { return sources_; }
+  [[nodiscard]] std::int64_t dram_edges_per_vertex() const noexcept {
+    return dram_cap_;
+  }
+
+  [[nodiscard]] std::uint64_t dram_byte_size() const noexcept;
+  [[nodiscard]] std::uint64_t nvm_byte_size() const noexcept;
+  [[nodiscard]] std::int64_t dram_entry_count() const noexcept {
+    return static_cast<std::int64_t>(dram_values_.size());
+  }
+  [[nodiscard]] std::int64_t nvm_entry_count() const noexcept {
+    return nvm_entry_count_;
+  }
+
+  /// Visits neighbors of global vertex v in storage order: DRAM prefix
+  /// first, then the NVM remainder streamed chunk-wise. `fn(Vertex)` returns
+  /// false to stop early (bottom-up parent found). `scratch` is the
+  /// caller's staging buffer for NVM chunks (reused across calls).
+  /// Edge-examination counters are updated per tier.
+  template <typename Fn>
+  void visit_neighbors(Vertex v, std::vector<Vertex>& scratch, Fn&& fn) {
+    SEMBFS_ASSERT(sources_.contains(v));
+    const auto local = static_cast<std::size_t>(v - sources_.begin);
+    // DRAM prefix.
+    const std::int64_t db = dram_index_[local];
+    const std::int64_t de = dram_index_[local + 1];
+    for (std::int64_t i = db; i < de; ++i) {
+      dram_examined_.fetch_add(1, std::memory_order_relaxed);
+      if (!fn(dram_values_[static_cast<std::size_t>(i)])) return;
+    }
+    // NVM remainder, streamed.
+    const std::int64_t nb = nvm_index_[local];
+    const std::int64_t ne = nvm_index_[local + 1];
+    if (nb == ne) return;
+    const std::size_t chunk_elems = chunk_bytes_ / sizeof(Vertex);
+    std::int64_t pos = nb;
+    while (pos < ne) {
+      const std::size_t len = static_cast<std::size_t>(
+          std::min<std::int64_t>(static_cast<std::int64_t>(chunk_elems),
+                                 ne - pos));
+      scratch.resize(len);
+      nvm_values_->read(static_cast<std::uint64_t>(pos),
+                        std::span<Vertex>{scratch});
+      for (std::size_t i = 0; i < len; ++i) {
+        nvm_examined_.fetch_add(1, std::memory_order_relaxed);
+        if (!fn(scratch[i])) return;
+      }
+      pos += static_cast<std::int64_t>(len);
+    }
+  }
+
+  /// Full degree of global vertex v (no device I/O — both index arrays are
+  /// DRAM-resident).
+  [[nodiscard]] std::int64_t degree(Vertex v) const noexcept {
+    const auto local = static_cast<std::size_t>(v - sources_.begin);
+    return (dram_index_[local + 1] - dram_index_[local]) +
+           (nvm_index_[local + 1] - nvm_index_[local]);
+  }
+
+  [[nodiscard]] std::uint64_t dram_edges_examined() const noexcept {
+    return dram_examined_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t nvm_edges_examined() const noexcept {
+    return nvm_examined_.load(std::memory_order_relaxed);
+  }
+  void reset_counters() noexcept {
+    dram_examined_.store(0, std::memory_order_relaxed);
+    nvm_examined_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  VertexRange sources_;
+  std::int64_t dram_cap_ = 0;
+  std::uint32_t chunk_bytes_ = 4096;
+
+  std::vector<std::int64_t> dram_index_;  // local, size+1
+  std::vector<Vertex> dram_values_;
+  std::vector<std::int64_t> nvm_index_;   // local offsets into NVM file
+  std::int64_t nvm_entry_count_ = 0;
+  std::unique_ptr<NvmFile> nvm_file_;
+  std::unique_ptr<ExternalArray<Vertex>> nvm_values_;
+
+  std::atomic<std::uint64_t> dram_examined_{0};
+  std::atomic<std::uint64_t> nvm_examined_{0};
+};
+
+/// The full partially-offloaded backward graph.
+class HybridBackwardGraph {
+ public:
+  HybridBackwardGraph(const BackwardGraph& backward,
+                      std::int64_t dram_edges_per_vertex,
+                      std::shared_ptr<NvmDevice> device,
+                      const std::string& dir,
+                      std::uint32_t chunk_bytes = 4096);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return partitions_.size();
+  }
+  [[nodiscard]] HybridBackwardPartition& partition(std::size_t node) noexcept {
+    return *partitions_[node];
+  }
+  [[nodiscard]] const VertexPartition& vertex_partition() const noexcept {
+    return vertex_partition_;
+  }
+  [[nodiscard]] Vertex vertex_count() const noexcept {
+    return vertex_partition_.vertex_count();
+  }
+
+  /// Full degree of global vertex v (no device I/O).
+  [[nodiscard]] std::int64_t degree(Vertex v) const noexcept {
+    return partitions_[vertex_partition_.node_of(v)]->degree(v);
+  }
+
+  [[nodiscard]] std::uint64_t dram_byte_size() const noexcept;
+  [[nodiscard]] std::uint64_t nvm_byte_size() const noexcept;
+  [[nodiscard]] std::uint64_t dram_edges_examined() const noexcept;
+  [[nodiscard]] std::uint64_t nvm_edges_examined() const noexcept;
+  void reset_counters() noexcept;
+
+ private:
+  VertexPartition vertex_partition_;
+  std::shared_ptr<NvmDevice> device_;
+  std::vector<std::unique_ptr<HybridBackwardPartition>> partitions_;
+};
+
+}  // namespace sembfs

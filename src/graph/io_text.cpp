@@ -1,0 +1,94 @@
+#include "graph/io_text.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& path, std::size_t line_no,
+                            const std::string& line) {
+  throw std::runtime_error("'" + path + "' line " +
+                           std::to_string(line_no) + ": malformed edge '" +
+                           line + "'");
+}
+
+}  // namespace
+
+EdgeList read_edge_list_text(const std::string& path,
+                             const TextReadOptions& options) {
+  std::ifstream in{path};
+  if (!in.is_open())
+    throw std::runtime_error("cannot open '" + path + "'");
+
+  std::vector<Edge> edges;
+  Vertex max_endpoint = -1;
+  Vertex declared_in_file = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Our own writer's header declares the ID space, preserving isolated
+    // trailing vertices across a round trip.
+    constexpr char kHeader[] = "# sembfs-vertices:";
+    if (line.rfind(kHeader, 0) == 0) {
+      declared_in_file =
+          static_cast<Vertex>(std::strtoll(line.c_str() + sizeof(kHeader) - 1,
+                                           nullptr, 10));
+      continue;
+    }
+    // Strip comments and whitespace-only lines.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::size_t pos = 0;
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos])))
+      ++pos;
+    if (pos == line.size()) continue;
+
+    std::istringstream fields{line};
+    long long u = 0;
+    long long v = 0;
+    if (!(fields >> u >> v)) malformed(path, line_no, line);
+    std::string trailing;
+    if (fields >> trailing) malformed(path, line_no, line);
+    if (u < 0 || v < 0) malformed(path, line_no, line);
+    if (options.skip_self_loops && u == v) continue;
+    edges.push_back(Edge{u, v});
+    max_endpoint = std::max({max_endpoint, static_cast<Vertex>(u),
+                             static_cast<Vertex>(v)});
+  }
+
+  Vertex n = options.vertex_count;
+  if (n == 0) n = declared_in_file;
+  if (n == 0) {
+    n = max_endpoint + 1;
+  } else if (max_endpoint >= n) {
+    throw std::runtime_error("'" + path + "': endpoint " +
+                             std::to_string(max_endpoint) +
+                             " exceeds declared vertex count " +
+                             std::to_string(n));
+  }
+  return EdgeList{n, std::move(edges)};
+}
+
+void write_edge_list_text(const EdgeList& edges, const std::string& path) {
+  std::ofstream out{path};
+  if (!out.is_open())
+    throw std::runtime_error("cannot create '" + path + "'");
+  out << "# sembfs-vertices: " << edges.vertex_count() << '\n';
+  out << "# " << edges.edge_count() << " edges\n";
+  for (const Edge& e : edges) out << e.u << ' ' << e.v << '\n';
+  if (!out.good())
+    throw std::runtime_error("write failed on '" + path + "'");
+}
+
+}  // namespace sembfs

@@ -1,0 +1,28 @@
+// Text edge-list I/O in the de-facto SNAP format: one "u v" pair per line,
+// '#' comments, blank lines ignored. Lets the library ingest real-world
+// graphs (the social networks the paper's introduction motivates) next to
+// the synthetic generators.
+#pragma once
+
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace sembfs {
+
+struct TextReadOptions {
+  /// 0 = infer as max endpoint + 1; otherwise the declared ID space.
+  Vertex vertex_count = 0;
+  /// Drop u == v lines on read.
+  bool skip_self_loops = false;
+};
+
+/// Parses `path`; throws std::runtime_error on unreadable files or
+/// malformed lines (message includes the line number).
+EdgeList read_edge_list_text(const std::string& path,
+                             const TextReadOptions& options = {});
+
+/// Writes "u v" lines with a product/count comment header.
+void write_edge_list_text(const EdgeList& edges, const std::string& path);
+
+}  // namespace sembfs

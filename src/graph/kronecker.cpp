@@ -1,0 +1,125 @@
+#include "graph/kronecker.hpp"
+
+#include <bit>
+
+#include "parallel/parallel_for.hpp"
+#include "util/contracts.hpp"
+#include "util/prng.hpp"
+
+namespace sembfs {
+
+namespace {
+
+// Deterministic bijective vertex-label scramble, in the style of the
+// Graph500 reference generator: multiplication by seed-derived odd
+// constants modulo 2^scale interleaved with bit reversals. This replaces an
+// explicit O(N) permutation table so that edge generation can stream.
+struct Scrambler {
+  std::uint64_t mul0;
+  std::uint64_t mul1;
+  std::uint64_t add0;
+  int shift;  // 64 - scale
+
+  static Scrambler from_seed(std::uint64_t seed, int scale) {
+    SplitMix64 sm{seed ^ 0x9e3779b97f4a7c15ULL};
+    Scrambler s;
+    s.mul0 = sm.next() | 1;  // odd -> bijective mod 2^64
+    s.mul1 = sm.next() | 1;
+    s.add0 = sm.next();
+    s.shift = 64 - scale;
+    return s;
+  }
+
+  [[nodiscard]] Vertex apply(Vertex v) const noexcept {
+    auto x = static_cast<std::uint64_t>(v);
+    x += add0;
+    x *= mul0;
+    x = reverse_bits(x) >> shift;
+    x *= mul1;
+    x = reverse_bits(x) >> shift;
+    return static_cast<Vertex>(x);
+  }
+
+  static std::uint64_t reverse_bits(std::uint64_t x) noexcept {
+    x = ((x & 0x5555555555555555ULL) << 1) | ((x >> 1) & 0x5555555555555555ULL);
+    x = ((x & 0x3333333333333333ULL) << 2) | ((x >> 2) & 0x3333333333333333ULL);
+    x = ((x & 0x0f0f0f0f0f0f0f0fULL) << 4) | ((x >> 4) & 0x0f0f0f0f0f0f0f0fULL);
+    // byte reversal (std::byteswap is C++23; keep this C++20-clean)
+    x = ((x & 0x00ff00ff00ff00ffULL) << 8) | ((x >> 8) & 0x00ff00ff00ff00ffULL);
+    x = ((x & 0x0000ffff0000ffffULL) << 16) | ((x >> 16) & 0x0000ffff0000ffffULL);
+    x = (x << 32) | (x >> 32);
+    return x;
+  }
+};
+
+Edge generate_one(const KroneckerParams& p, std::uint64_t edge_index,
+                  const Scrambler& scrambler) {
+  Xoroshiro128 rng{derive_seed(p.seed, edge_index)};
+  const double ab = p.a + p.b;
+  const double c_norm = p.c / (1.0 - ab);
+  const double a_norm = p.a / ab;
+
+  Vertex u = 0;
+  Vertex v = 0;
+  for (int ib = 0; ib < p.scale; ++ib) {
+    const bool ii_bit = rng.next_double() > ab;
+    const double threshold = ii_bit ? c_norm : a_norm;
+    const bool jj_bit = rng.next_double() > threshold;
+    u |= static_cast<Vertex>(ii_bit) << ib;
+    v |= static_cast<Vertex>(jj_bit) << ib;
+  }
+  if (p.permute_vertices) {
+    u = scrambler.apply(u);
+    v = scrambler.apply(v);
+  }
+  if (p.scramble_endpoints && (rng.next() & 1) != 0) std::swap(u, v);
+  return Edge{u, v};
+}
+
+}  // namespace
+
+void generate_kronecker_range(const KroneckerParams& params,
+                              std::uint64_t first, std::uint64_t last,
+                              std::span<Edge> out) {
+  SEMBFS_EXPECTS(params.scale >= 1 && params.scale <= 48);
+  SEMBFS_EXPECTS(params.a > 0 && params.b >= 0 && params.c >= 0 &&
+                 params.a + params.b + params.c < 1.0);
+  SEMBFS_EXPECTS(last >= first);
+  SEMBFS_EXPECTS(out.size() >= last - first);
+  const Scrambler scrambler =
+      Scrambler::from_seed(params.seed, params.scale);
+  for (std::uint64_t e = first; e < last; ++e)
+    out[e - first] = generate_one(params, e, scrambler);
+}
+
+EdgeList generate_kronecker(const KroneckerParams& params, ThreadPool& pool) {
+  SEMBFS_EXPECTS(params.scale >= 1 && params.scale <= 40);
+  const std::uint64_t m = params.edge_count();
+  std::vector<Edge> edges(m);
+  const Scrambler scrambler =
+      Scrambler::from_seed(params.seed, params.scale);
+  parallel_for_blocked(
+      pool, 0, static_cast<std::int64_t>(m),
+      [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+        for (std::int64_t e = lo; e < hi; ++e)
+          edges[static_cast<std::size_t>(e)] =
+              generate_one(params, static_cast<std::uint64_t>(e), scrambler);
+      });
+  return EdgeList{params.vertex_count(), std::move(edges)};
+}
+
+std::vector<Vertex> kronecker_permutation(const KroneckerParams& params) {
+  std::vector<Vertex> perm(static_cast<std::size_t>(params.vertex_count()));
+  if (!params.permute_vertices) {
+    for (std::size_t i = 0; i < perm.size(); ++i)
+      perm[i] = static_cast<Vertex>(i);
+    return perm;
+  }
+  const Scrambler scrambler =
+      Scrambler::from_seed(params.seed, params.scale);
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    perm[i] = scrambler.apply(static_cast<Vertex>(i));
+  return perm;
+}
+
+}  // namespace sembfs

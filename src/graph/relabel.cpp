@@ -1,0 +1,69 @@
+#include "graph/relabel.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+std::vector<Vertex> Relabeling::restore_vertex_array(
+    std::span<const Vertex> by_new_id, bool values_are_vertices) const {
+  SEMBFS_EXPECTS(by_new_id.size() == old_id.size());
+  std::vector<Vertex> by_old(by_new_id.size());
+  for (std::size_t new_v = 0; new_v < by_new_id.size(); ++new_v) {
+    Vertex value = by_new_id[new_v];
+    if (values_are_vertices && value != kNoVertex)
+      value = to_old(value);
+    by_old[static_cast<std::size_t>(old_id[new_v])] = value;
+  }
+  return by_old;
+}
+
+std::vector<std::int32_t> Relabeling::restore_level_array(
+    std::span<const std::int32_t> by_new_id) const {
+  SEMBFS_EXPECTS(by_new_id.size() == old_id.size());
+  std::vector<std::int32_t> by_old(by_new_id.size());
+  for (std::size_t new_v = 0; new_v < by_new_id.size(); ++new_v)
+    by_old[static_cast<std::size_t>(old_id[new_v])] = by_new_id[new_v];
+  return by_old;
+}
+
+Relabeling degree_order_relabeling(const EdgeList& edges, ThreadPool& pool) {
+  (void)pool;  // degree counting is O(m) serial; fine at build time
+  const Vertex n = edges.vertex_count();
+  SEMBFS_EXPECTS(n >= 0);
+
+  std::vector<std::int64_t> degree(static_cast<std::size_t>(n), 0);
+  for (const Edge& e : edges) {
+    if (e.u == e.v) continue;
+    ++degree[static_cast<std::size_t>(e.u)];
+    ++degree[static_cast<std::size_t>(e.v)];
+  }
+
+  Relabeling map;
+  map.old_id.resize(static_cast<std::size_t>(n));
+  std::iota(map.old_id.begin(), map.old_id.end(), 0);
+  std::sort(map.old_id.begin(), map.old_id.end(),
+            [&](Vertex a, Vertex b) {
+              const std::int64_t da = degree[static_cast<std::size_t>(a)];
+              const std::int64_t db = degree[static_cast<std::size_t>(b)];
+              return da != db ? da > db : a < b;
+            });
+  map.new_id.resize(static_cast<std::size_t>(n));
+  for (Vertex new_v = 0; new_v < n; ++new_v)
+    map.new_id[static_cast<std::size_t>(map.old_id[new_v])] = new_v;
+  return map;
+}
+
+EdgeList apply_relabeling(const EdgeList& edges, const Relabeling& map) {
+  SEMBFS_EXPECTS(map.new_id.size() ==
+                 static_cast<std::size_t>(edges.vertex_count()));
+  EdgeList renamed{edges.vertex_count()};
+  renamed.reserve(edges.edge_count());
+  for (const Edge& e : edges)
+    renamed.add(map.to_new(e.u), map.to_new(e.v));
+  return renamed;
+}
+
+}  // namespace sembfs

@@ -1,0 +1,142 @@
+#include "graph/serialize.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "nvm/storage_file.hpp"
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'E', 'M', 'B', 'F', 'S', 'G', '1'};
+constexpr std::uint32_t kKindCsr = 1;
+constexpr std::uint32_t kKindEdgeList = 2;
+
+struct Header {
+  char magic[8];
+  std::uint32_t kind;
+  std::uint32_t flags;
+  std::uint64_t a;
+  std::uint64_t b;
+};
+static_assert(sizeof(Header) == 32);
+
+Header read_header(const StorageFile& file, std::uint32_t expected_kind,
+                   const std::string& path) {
+  Header header{};
+  file.pread_exact(0, std::as_writable_bytes(std::span<Header>{&header, 1}));
+  if (std::memcmp(header.magic, kMagic, sizeof kMagic) != 0)
+    throw std::runtime_error("'" + path + "' is not a sembfs graph file");
+  if (header.kind != expected_kind)
+    throw std::runtime_error("'" + path + "' holds a different graph kind");
+  return header;
+}
+
+template <typename T>
+void write_array(const StorageFile& file, std::uint64_t& offset,
+                 std::span<const T> data) {
+  file.pwrite_exact(offset, std::as_bytes(data));
+  offset += data.size_bytes();
+}
+
+template <typename T>
+void read_array(const StorageFile& file, std::uint64_t& offset,
+                std::span<T> data) {
+  file.pread_exact(offset, std::as_writable_bytes(data));
+  offset += data.size_bytes();
+}
+
+}  // namespace
+
+void save_csr(const Csr& csr, const std::string& path) {
+  StorageFile file = StorageFile::create(path);
+  Header header{};
+  std::memcpy(header.magic, kMagic, sizeof kMagic);
+  header.kind = kKindCsr;
+  header.a = static_cast<std::uint64_t>(csr.global_vertex_count());
+  header.b = 0;
+  std::uint64_t offset = 0;
+  write_array<Header>(file, offset, {&header, 1});
+
+  // Ranges + array lengths, then the arrays.
+  const std::int64_t meta[6] = {
+      csr.source_range().begin,        csr.source_range().end,
+      csr.destination_range().begin,   csr.destination_range().end,
+      static_cast<std::int64_t>(csr.index().size()),
+      static_cast<std::int64_t>(csr.values().size())};
+  write_array<std::int64_t>(file, offset, meta);
+  write_array<std::int64_t>(file, offset, csr.index());
+  write_array<Vertex>(file, offset, csr.values());
+  file.sync();
+}
+
+Csr load_csr(const std::string& path) {
+  StorageFile file = StorageFile::open_readonly(path);
+  const Header header = read_header(file, kKindCsr, path);
+  std::uint64_t offset = sizeof(Header);
+
+  std::int64_t meta[6];
+  read_array<std::int64_t>(file, offset, meta);
+  if (meta[4] < 1 || meta[5] < 0)
+    throw std::runtime_error("'" + path + "': corrupt CSR metadata");
+
+  std::vector<std::int64_t> index(static_cast<std::size_t>(meta[4]));
+  std::vector<Vertex> values(static_cast<std::size_t>(meta[5]));
+  read_array<std::int64_t>(file, offset, std::span<std::int64_t>{index});
+  read_array<Vertex>(file, offset, std::span<Vertex>{values});
+
+  return Csr::from_parts(static_cast<Vertex>(header.a),
+                         VertexRange{meta[0], meta[1]},
+                         VertexRange{meta[2], meta[3]}, std::move(index),
+                         std::move(values));
+}
+
+void save_edge_list(const EdgeList& edges, const std::string& path) {
+  StorageFile file = StorageFile::create(path);
+  Header header{};
+  std::memcpy(header.magic, kMagic, sizeof kMagic);
+  header.kind = kKindEdgeList;
+  header.a = static_cast<std::uint64_t>(edges.vertex_count());
+  header.b = edges.edge_count();
+  std::uint64_t offset = 0;
+  write_array<Header>(file, offset, {&header, 1});
+
+  constexpr std::size_t kBatch = 1 << 16;
+  std::vector<PackedEdge> packed;
+  const auto span = edges.edges();
+  std::size_t done = 0;
+  while (done < span.size()) {
+    const std::size_t len = std::min(kBatch, span.size() - done);
+    packed.resize(len);
+    for (std::size_t i = 0; i < len; ++i)
+      packed[i] = PackedEdge::pack(span[done + i]);
+    write_array<PackedEdge>(file, offset, packed);
+    done += len;
+  }
+  file.sync();
+}
+
+EdgeList load_edge_list(const std::string& path) {
+  StorageFile file = StorageFile::open_readonly(path);
+  const Header header = read_header(file, kKindEdgeList, path);
+  std::uint64_t offset = sizeof(Header);
+
+  EdgeList edges{static_cast<Vertex>(header.a)};
+  edges.reserve(static_cast<std::size_t>(header.b));
+  constexpr std::size_t kBatch = 1 << 16;
+  std::vector<PackedEdge> packed;
+  std::uint64_t remaining = header.b;
+  while (remaining > 0) {
+    const std::size_t len =
+        static_cast<std::size_t>(std::min<std::uint64_t>(kBatch, remaining));
+    packed.resize(len);
+    read_array<PackedEdge>(file, offset, std::span<PackedEdge>{packed});
+    for (const PackedEdge& p : packed) edges.add(p.unpack());
+    remaining -= len;
+  }
+  return edges;
+}
+
+}  // namespace sembfs

@@ -1,0 +1,35 @@
+// Binary (de)serialization for constructed graphs, so the expensive Step 2
+// (graph construction) can be done once and reused across benchmark runs —
+// a practical necessity for SCALE >= 24 workflows where construction
+// dominates the wall clock.
+//
+// Format: little-endian, fixed 32-byte header
+//   magic   "SEMBFSG1" (8 bytes)
+//   kind    u32 (1 = CSR, 2 = edge list)
+//   flags   u32 (reserved, 0)
+//   a, b    u64 metadata (CSR: vertex_count + source begin; see impl)
+// followed by the raw arrays. Files written by a different endianness or
+// version are rejected, not misread.
+#pragma once
+
+#include <string>
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+
+namespace sembfs {
+
+/// Writes `csr` (any source/destination range) to `path`. Throws on I/O
+/// failure.
+void save_csr(const Csr& csr, const std::string& path);
+
+/// Reads a CSR written by save_csr. Throws on malformed input.
+Csr load_csr(const std::string& path);
+
+/// Writes an edge list (12-byte packed edges) to `path`.
+void save_edge_list(const EdgeList& edges, const std::string& path);
+
+/// Reads an edge list written by save_edge_list.
+EdgeList load_edge_list(const std::string& path);
+
+}  // namespace sembfs

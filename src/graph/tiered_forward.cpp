@@ -1,0 +1,106 @@
+#include "graph/tiered_forward.hpp"
+
+#include <algorithm>
+
+#include "nvm/storage_file.hpp"
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+TieredForwardPartition::TieredForwardPartition(
+    const Csr& csr, std::int64_t degree_threshold,
+    std::shared_ptr<NvmDevice> device, const std::string& dir,
+    std::size_t node_id, ThreadPool& pool, std::uint32_t chunk_bytes)
+    : sources_(csr.source_range()), threshold_(degree_threshold) {
+  SEMBFS_EXPECTS(degree_threshold >= 0);
+  SEMBFS_EXPECTS(device != nullptr);
+  ensure_directory(dir);
+
+  const std::int64_t local_n = sources_.size();
+  on_nvm_.resize(static_cast<std::size_t>(local_n));
+  dram_index_.assign(static_cast<std::size_t>(local_n) + 1, 0);
+
+  // Split by degree; route the hub adjacency into a directed edge list so
+  // the standard CSR builder produces the NVM-resident sub-graph.
+  EdgeList nvm_edges{csr.global_vertex_count()};
+  for (std::int64_t i = 0; i < local_n; ++i) {
+    const Vertex v = sources_.begin + i;
+    const std::int64_t deg = csr.degree(v);
+    if (deg > threshold_) {
+      on_nvm_.set(static_cast<std::size_t>(i));
+      ++nvm_vertices_;
+      for (const Vertex w : csr.neighbors(v)) nvm_edges.add(v, w);
+      dram_index_[static_cast<std::size_t>(i) + 1] =
+          dram_index_[static_cast<std::size_t>(i)];
+    } else {
+      ++dram_vertices_;
+      dram_index_[static_cast<std::size_t>(i) + 1] =
+          dram_index_[static_cast<std::size_t>(i)] + deg;
+    }
+  }
+  dram_values_.resize(static_cast<std::size_t>(dram_index_.back()));
+  for (std::int64_t i = 0; i < local_n; ++i) {
+    if (on_nvm_.test(static_cast<std::size_t>(i))) continue;
+    const auto adj = csr.neighbors(sources_.begin + i);
+    std::copy(adj.begin(), adj.end(),
+              dram_values_.begin() + dram_index_[static_cast<std::size_t>(i)]);
+  }
+
+  CsrBuildOptions options;
+  options.undirected = false;       // edges are already directed half-edges
+  options.remove_self_loops = false;  // source CSR is already loop-free
+  const Csr nvm_csr = build_csr_filtered(
+      nvm_edges, sources_, VertexRange{0, csr.global_vertex_count()},
+      options, pool);
+  nvm_ = std::make_unique<ExternalCsrPartition>(
+      nvm_csr, std::move(device), dir, node_id + 1000, chunk_bytes);
+}
+
+std::uint64_t TieredForwardPartition::fetch_neighbors(
+    Vertex v, std::vector<Vertex>& out) {
+  SEMBFS_ASSERT(sources_.contains(v));
+  const auto local = static_cast<std::size_t>(v - sources_.begin);
+  if (on_nvm_.test(local)) return nvm_->fetch_neighbors(v, out);
+  const std::int64_t b = dram_index_[local];
+  const std::int64_t e = dram_index_[local + 1];
+  out.assign(dram_values_.begin() + b, dram_values_.begin() + e);
+  return 0;
+}
+
+std::uint64_t TieredForwardPartition::dram_byte_size() const noexcept {
+  return dram_index_.size() * sizeof(std::int64_t) +
+         dram_values_.size() * sizeof(Vertex) + on_nvm_.word_count() * 8;
+}
+
+std::uint64_t TieredForwardPartition::nvm_byte_size() const noexcept {
+  return nvm_->nvm_byte_size();
+}
+
+TieredForwardGraph::TieredForwardGraph(const ForwardGraph& forward,
+                                       std::int64_t degree_threshold,
+                                       std::shared_ptr<NvmDevice> device,
+                                       const std::string& dir,
+                                       ThreadPool& pool,
+                                       std::uint32_t chunk_bytes)
+    : vertex_partition_(forward.vertex_partition()), device_(device) {
+  partitions_.reserve(forward.node_count());
+  for (std::size_t k = 0; k < forward.node_count(); ++k) {
+    partitions_.push_back(std::make_unique<TieredForwardPartition>(
+        forward.partition(k), degree_threshold, device_, dir, k, pool,
+        chunk_bytes));
+  }
+}
+
+std::uint64_t TieredForwardGraph::dram_byte_size() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& p : partitions_) total += p->dram_byte_size();
+  return total;
+}
+
+std::uint64_t TieredForwardGraph::nvm_byte_size() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& p : partitions_) total += p->nvm_byte_size();
+  return total;
+}
+
+}  // namespace sembfs

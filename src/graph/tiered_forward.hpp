@@ -1,0 +1,102 @@
+// Degree-tiered forward graph — the paper's "future work includes further
+// offloading graph data especially with small edges" (Section VIII),
+// implemented.
+//
+// Figure 11 shows the semi-external top-down direction collapsing when the
+// late levels search huge numbers of ~degree-1 vertices: each costs a full
+// device round trip for a handful of bytes. The tiered layout inverts the
+// placement: vertices whose (partition-local) adjacency is SHORT —
+// degree <= threshold — keep their forward adjacency in DRAM, where it is
+// nearly free to store; only the LONG adjacency lists (the hubs, which
+// dominate bytes and whose large sequential reads amortize device latency)
+// live on NVM. One device round trip per degree-1 vertex becomes one DRAM
+// lookup; the DRAM cost is a small fraction of the forward graph.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/external_csr.hpp"
+#include "graph/forward_graph.hpp"
+#include "numa/partition.hpp"
+#include "util/bitmap.hpp"
+
+namespace sembfs {
+
+class TieredForwardPartition {
+ public:
+  /// Splits one forward partition: sources with partition-local degree
+  /// <= `degree_threshold` stay in DRAM, the rest go to NVM files.
+  TieredForwardPartition(const Csr& csr, std::int64_t degree_threshold,
+                         std::shared_ptr<NvmDevice> device,
+                         const std::string& dir, std::size_t node_id,
+                         ThreadPool& pool, std::uint32_t chunk_bytes = 4096);
+
+  [[nodiscard]] VertexRange source_range() const noexcept { return sources_; }
+  [[nodiscard]] std::int64_t degree_threshold() const noexcept {
+    return threshold_;
+  }
+
+  [[nodiscard]] bool is_on_nvm(Vertex v) const noexcept {
+    return on_nvm_.test(static_cast<std::size_t>(v - sources_.begin));
+  }
+
+  /// Fetches v's adjacency into `out`; returns device requests issued
+  /// (0 when v is DRAM-resident).
+  std::uint64_t fetch_neighbors(Vertex v, std::vector<Vertex>& out);
+
+  [[nodiscard]] std::uint64_t dram_byte_size() const noexcept;
+  [[nodiscard]] std::uint64_t nvm_byte_size() const noexcept;
+  [[nodiscard]] std::int64_t dram_vertex_count() const noexcept {
+    return dram_vertices_;
+  }
+  [[nodiscard]] std::int64_t nvm_vertex_count() const noexcept {
+    return nvm_vertices_;
+  }
+
+ private:
+  VertexRange sources_;
+  std::int64_t threshold_ = 0;
+  Bitmap on_nvm_;  // indexed by local source id
+  std::vector<std::int64_t> dram_index_;  // local, size+1 (0-width for NVM)
+  std::vector<Vertex> dram_values_;
+  std::unique_ptr<ExternalCsrPartition> nvm_;
+  std::int64_t dram_vertices_ = 0;
+  std::int64_t nvm_vertices_ = 0;
+};
+
+/// Full tiered forward graph: one partition per emulated NUMA node.
+class TieredForwardGraph {
+ public:
+  TieredForwardGraph(const ForwardGraph& forward,
+                     std::int64_t degree_threshold,
+                     std::shared_ptr<NvmDevice> device,
+                     const std::string& dir, ThreadPool& pool,
+                     std::uint32_t chunk_bytes = 4096);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return partitions_.size();
+  }
+  [[nodiscard]] TieredForwardPartition& partition(std::size_t node) noexcept {
+    return *partitions_[node];
+  }
+  [[nodiscard]] const VertexPartition& vertex_partition() const noexcept {
+    return vertex_partition_;
+  }
+  [[nodiscard]] Vertex vertex_count() const noexcept {
+    return vertex_partition_.vertex_count();
+  }
+
+  [[nodiscard]] std::uint64_t dram_byte_size() const noexcept;
+  [[nodiscard]] std::uint64_t nvm_byte_size() const noexcept;
+
+ private:
+  VertexPartition vertex_partition_;
+  std::shared_ptr<NvmDevice> device_;
+  std::vector<std::unique_ptr<TieredForwardPartition>> partitions_;
+};
+
+}  // namespace sembfs

@@ -1,0 +1,51 @@
+// Fundamental graph types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace sembfs {
+
+/// Vertex identifier. Signed so that -1 can mark "unvisited" in the BFS
+/// tree, exactly like the Graph500 reference code.
+using Vertex = std::int64_t;
+
+inline constexpr Vertex kNoVertex = -1;
+
+/// One endpoint pair of the generated edge list (undirected).
+struct Edge {
+  Vertex u = 0;
+  Vertex v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// 12-byte packed edge with 48-bit endpoints — the on-NVM edge list format.
+/// The Graph500 reference stores its edge list the same way, which is why
+/// the paper's Figure 3 reports 12 bytes/edge (384 GiB at SCALE 31).
+struct PackedEdge {
+  unsigned char bytes[12] = {};
+
+  static PackedEdge pack(const Edge& e) noexcept {
+    PackedEdge p;
+    const auto store48 = [](unsigned char* dst, std::uint64_t x) {
+      for (int i = 0; i < 6; ++i) dst[i] = static_cast<unsigned char>(x >> (8 * i));
+    };
+    store48(p.bytes, static_cast<std::uint64_t>(e.u));
+    store48(p.bytes + 6, static_cast<std::uint64_t>(e.v));
+    return p;
+  }
+
+  [[nodiscard]] Edge unpack() const noexcept {
+    const auto load48 = [](const unsigned char* src) {
+      std::uint64_t x = 0;
+      for (int i = 0; i < 6; ++i) x |= std::uint64_t{src[i]} << (8 * i);
+      return static_cast<Vertex>(x);
+    };
+    return Edge{load48(bytes), load48(bytes + 6)};
+  }
+};
+
+static_assert(sizeof(PackedEdge) == 12, "PackedEdge must be 12 bytes");
+
+}  // namespace sembfs

@@ -1,0 +1,31 @@
+#include "graph/uniform.hpp"
+
+#include "parallel/parallel_for.hpp"
+#include "util/contracts.hpp"
+#include "util/prng.hpp"
+
+namespace sembfs {
+
+EdgeList generate_uniform(const UniformParams& params, ThreadPool& pool) {
+  SEMBFS_EXPECTS(params.scale >= 1 && params.scale <= 40);
+  SEMBFS_EXPECTS(params.edge_factor >= 1);
+  const std::uint64_t m = params.edge_count();
+  const auto n = static_cast<std::uint64_t>(params.vertex_count());
+
+  std::vector<Edge> edges(m);
+  parallel_for_blocked(
+      pool, 0, static_cast<std::int64_t>(m),
+      [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+        for (std::int64_t e = lo; e < hi; ++e) {
+          Xoroshiro128 rng{
+              derive_seed(params.seed ^ 0x756e69666f726dULL,  // "uniform"
+                          static_cast<std::uint64_t>(e))};
+          edges[static_cast<std::size_t>(e)] =
+              Edge{static_cast<Vertex>(rng.next_below(n)),
+                   static_cast<Vertex>(rng.next_below(n))};
+        }
+      });
+  return EdgeList{params.vertex_count(), std::move(edges)};
+}
+
+}  // namespace sembfs

@@ -1,0 +1,34 @@
+// Uniform (Erdos-Renyi-style) edge-list generator — the structural foil to
+// the Kronecker generator. Endpoints are i.i.d. uniform over the vertex
+// set, so there are no hubs: every vertex has ~Poisson(2*edge_factor)
+// degree. The hybrid BFS's bottom-up advantage depends on skew (early
+// exits hit hubs quickly), so this family is the natural ablation
+// workload: the hybrid's edge over plain top-down should shrink
+// noticeably vs the Kronecker graphs.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace sembfs {
+
+struct UniformParams {
+  int scale = 16;
+  int edge_factor = 16;
+  std::uint64_t seed = 12345;
+
+  [[nodiscard]] Vertex vertex_count() const noexcept {
+    return Vertex{1} << scale;
+  }
+  [[nodiscard]] std::uint64_t edge_count() const noexcept {
+    return static_cast<std::uint64_t>(vertex_count()) *
+           static_cast<std::uint64_t>(edge_factor);
+  }
+};
+
+/// Deterministic for a given seed and independent of thread count.
+EdgeList generate_uniform(const UniformParams& params, ThreadPool& pool);
+
+}  // namespace sembfs

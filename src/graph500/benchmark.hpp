@@ -1,0 +1,48 @@
+// The complete Graph500 benchmark driver (paper Section II):
+//   Step 1  generate the edge list
+//   Step 2  construct forward/backward graphs (offloading per scenario)
+//   Step 3  BFS from each of `num_roots` random roots
+//   Step 4  validate each BFS tree
+// The median TEPS over all roots is the benchmark score.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bfs/hybrid_bfs.hpp"
+#include "graph500/instance.hpp"
+#include "graph500/result.hpp"
+#include "graph500/scenario.hpp"
+#include "nvm/io_stats.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace sembfs {
+
+struct BenchmarkConfig {
+  InstanceConfig instance;
+  BfsConfig bfs;
+  int num_roots = 64;       ///< the spec's 64; benches use fewer by default
+  bool validate = true;
+  std::uint64_t root_seed = 0xbf5;
+};
+
+struct BenchmarkRun {
+  Graph500Output output;
+  std::vector<BfsRunRecord> runs;
+  /// NVM iostat snapshot covering the whole Step-3/4 phase (empty counters
+  /// in the DRAM-only scenario).
+  IoStatsSnapshot nvm_io;
+  std::uint64_t graph_dram_bytes = 0;
+  std::uint64_t graph_nvm_bytes = 0;
+  std::uint64_t status_bytes = 0;
+};
+
+/// Runs the whole benchmark on a fresh instance.
+BenchmarkRun run_graph500(const BenchmarkConfig& config, ThreadPool& pool);
+
+/// Runs Steps 3-4 on an existing instance (for parameter sweeps).
+BenchmarkRun run_graph500_bfs_phase(Graph500Instance& instance,
+                                    const BfsConfig& bfs, int num_roots,
+                                    bool validate, std::uint64_t root_seed);
+
+}  // namespace sembfs

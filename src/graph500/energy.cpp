@@ -1,0 +1,30 @@
+#include "graph500/energy.hpp"
+
+namespace sembfs {
+
+double PowerModel::device_watts(const std::string& profile_name) const {
+  if (profile_name == "pcie_flash") return pcie_flash_watts;
+  if (profile_name == "sata_ssd") return sata_ssd_watts;
+  return 0.0;  // "dram" or none
+}
+
+double PowerModel::system_watts(std::uint64_t dram_bytes,
+                                const std::string& nvm_profile) const {
+  const double dram_gib =
+      static_cast<double>(dram_bytes) / (1024.0 * 1024.0 * 1024.0);
+  return cpu_watts_per_socket * sockets + dram_watts_per_gib * dram_gib +
+         device_watts(nvm_profile) + platform_watts;
+}
+
+EnergyEstimate estimate_energy(const PowerModel& model, double teps,
+                               std::uint64_t dram_bytes,
+                               const std::string& nvm_profile) {
+  EnergyEstimate estimate;
+  estimate.watts = model.system_watts(dram_bytes, nvm_profile);
+  estimate.mteps = teps / 1e6;
+  estimate.mteps_per_watt =
+      estimate.watts > 0.0 ? estimate.mteps / estimate.watts : 0.0;
+  return estimate;
+}
+
+}  // namespace sembfs

@@ -1,0 +1,50 @@
+// Power/energy model for the Green Graph500 metric (MTEPS/W).
+//
+// The paper's implementation ranked 4th in the Green Graph500 Big Data
+// category (Nov 2013) at 4.35 MTEPS/W on a 4-way Huawei server with 500 GB
+// DRAM + 4 TB NVM. We have no power meter, so this module provides a
+// parameterized power model — component envelopes typical of the paper's
+// era — that turns a (TEPS, DRAM bytes, NVM device) triple into an
+// estimated MTEPS/W, letting the bench compare the *energy-efficiency
+// argument* of the offload: NVM watts are far cheaper than the DRAM watts
+// they displace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sembfs {
+
+struct PowerModel {
+  /// CPU package power under the BFS load, watts (Opteron 6172 ACP is
+  /// 80 W, TDP 115 W; 4 sockets).
+  double cpu_watts_per_socket = 115.0;
+  unsigned sockets = 4;
+  /// DDR3 RDIMM active power, watts per GiB (~0.4 W/GiB for 8 GiB DIMMs).
+  double dram_watts_per_gib = 0.4;
+  /// PCIe flash card active power (ioDrive2: ~25 W max).
+  double pcie_flash_watts = 25.0;
+  /// SATA SSD active power (Intel SSD 320: ~4 W active).
+  double sata_ssd_watts = 4.0;
+  /// Base platform power (fans, board, PSU loss), watts.
+  double platform_watts = 60.0;
+
+  [[nodiscard]] double device_watts(const std::string& profile_name) const;
+
+  /// Total system watts for a configuration.
+  [[nodiscard]] double system_watts(std::uint64_t dram_bytes,
+                                    const std::string& nvm_profile) const;
+};
+
+struct EnergyEstimate {
+  double watts = 0.0;
+  double mteps = 0.0;
+  double mteps_per_watt = 0.0;
+};
+
+/// MTEPS/W for a measured TEPS under a DRAM+NVM configuration.
+EnergyEstimate estimate_energy(const PowerModel& model, double teps,
+                               std::uint64_t dram_bytes,
+                               const std::string& nvm_profile);
+
+}  // namespace sembfs

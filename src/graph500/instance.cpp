@@ -1,0 +1,178 @@
+#include "graph500/instance.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "nvm/storage_file.hpp"
+#include "util/contracts.hpp"
+#include "util/logging.hpp"
+#include "util/prng.hpp"
+#include "util/timer.hpp"
+
+namespace sembfs {
+
+EdgeStream Graph500Instance::edge_stream() {
+  if (external_edges_ != nullptr) {
+    return [this](const std::function<void(std::span<const Edge>)>& sink) {
+      external_edges_->for_each_batch(1 << 18, sink);
+    };
+  }
+  return [this](const std::function<void(std::span<const Edge>)>& sink) {
+    sink(edges_->edges());
+  };
+}
+
+Graph500Instance::Graph500Instance(InstanceConfig config, ThreadPool& pool)
+    : config_(std::move(config)),
+      pool_(pool),
+      topology_(NumaTopology::with_total_threads(config_.numa_nodes,
+                                                 pool.size())) {
+  vertex_count_ = config_.kronecker.vertex_count();
+
+  // Step 1: edge list generation (+ optional offload to its own device).
+  Timer gen_timer;
+  EdgeList generated = generate_kronecker(config_.kronecker, pool_);
+  if (config_.offload_edge_list) {
+    ensure_directory(config_.workdir);
+    // The paper isolates the edge list and the CSR data on different
+    // devices (Section VI-D), so BFS-phase iostat is not polluted by
+    // validation traffic.
+    edge_device_ =
+        std::make_shared<NvmDevice>(config_.scenario.effective_profile());
+    external_edges_ = std::make_unique<ExternalEdgeList>(
+        edge_device_, config_.workdir + "/edge_list.packed", vertex_count_);
+    external_edges_->append_all(generated);
+    generated = EdgeList{};  // release the DRAM copy
+  } else {
+    edges_.emplace(std::move(generated));
+  }
+  generation_seconds_ = gen_timer.seconds();
+
+  // Step 2: graph construction (+ offload per scenario). With an offloaded
+  // edge list, both graphs are built by streaming it back from NVM.
+  Timer build_timer;
+  const VertexPartition partition{vertex_count_, config_.numa_nodes};
+  CsrBuildOptions options;  // undirected, self-loop-free (defaults)
+  if (config_.offload_edge_list) {
+    const EdgeStream stream = edge_stream();
+    forward_dram_.emplace(ForwardGraph::build_stream(
+        vertex_count_, stream, partition, options, pool_));
+    backward_ = BackwardGraph::build_stream(vertex_count_, stream,
+                                            partition, options, pool_);
+  } else {
+    forward_dram_.emplace(
+        ForwardGraph::build(*edges_, partition, options, pool_));
+    backward_ = BackwardGraph::build(*edges_, partition, options, pool_);
+  }
+
+  const Scenario& scenario = config_.scenario;
+  const bool needs_device =
+      scenario.offload_forward || scenario.backward_dram_edges >= 0;
+  if (needs_device) {
+    ensure_directory(config_.workdir);
+    device_ = std::make_shared<NvmDevice>(scenario.effective_profile());
+  }
+  if (scenario.offload_forward) {
+    external_forward_ = std::make_unique<ExternalForwardGraph>(
+        *forward_dram_, device_, config_.workdir, config_.chunk_bytes);
+    forward_dram_.reset();  // release the DRAM copy — the offload's purpose
+    SEMBFS_LOG_INFO("forward graph offloaded to %s (%llu bytes)",
+                    device_->profile().name.c_str(),
+                    static_cast<unsigned long long>(
+                        external_forward_->nvm_byte_size()));
+  }
+  if (scenario.backward_dram_edges >= 0) {
+    hybrid_backward_ = std::make_unique<HybridBackwardGraph>(
+        backward_, scenario.backward_dram_edges, device_, config_.workdir,
+        config_.chunk_bytes);
+  }
+  construction_seconds_ = build_timer.seconds();
+
+  runner_ = std::make_unique<HybridBfsRunner>(storage(), topology_, pool_);
+}
+
+const EdgeList& Graph500Instance::edge_list() const {
+  SEMBFS_EXPECTS(edges_.has_value());
+  return *edges_;
+}
+
+GraphStorage Graph500Instance::storage() noexcept {
+  GraphStorage s;
+  if (external_forward_ != nullptr)
+    s.forward_external = external_forward_.get();
+  else
+    s.forward_dram = &*forward_dram_;
+  if (hybrid_backward_ != nullptr)
+    s.backward_hybrid = hybrid_backward_.get();
+  else
+    s.backward_dram = &backward_;
+  return s;
+}
+
+std::uint64_t Graph500Instance::graph_dram_bytes() const noexcept {
+  std::uint64_t total = backward_.byte_size();
+  if (hybrid_backward_ != nullptr)
+    total = hybrid_backward_->dram_byte_size();  // replaces plain backward
+  if (forward_dram_.has_value()) total += forward_dram_->byte_size();
+  return total;
+}
+
+std::uint64_t Graph500Instance::graph_nvm_bytes() const noexcept {
+  std::uint64_t total = 0;
+  if (external_forward_ != nullptr) total += external_forward_->nvm_byte_size();
+  if (hybrid_backward_ != nullptr) total += hybrid_backward_->nvm_byte_size();
+  return total;
+}
+
+BfsResult Graph500Instance::run_bfs(Vertex root, const BfsConfig& bfs_config) {
+  return runner_->run(root, bfs_config);
+}
+
+ValidationResult Graph500Instance::validate(const BfsResult& result) {
+  if (external_edges_ != nullptr)
+    return validate_bfs(*external_edges_, result.root, result.parent,
+                        result.level);
+  return validate_bfs(*edges_, result.root, result.parent, result.level);
+}
+
+std::vector<Vertex> Graph500Instance::select_roots(int count,
+                                                   std::uint64_t seed) const {
+  SEMBFS_EXPECTS(count >= 1);
+  // Degree check without requiring the full CSR: backward graph covers
+  // every vertex exactly once.
+  const auto has_edges = [&](Vertex v) {
+    return backward_.neighbors(v).size() > 0;
+  };
+  std::vector<Vertex> roots;
+  std::unordered_set<Vertex> chosen;
+  Xoroshiro128 rng{derive_seed(seed, 0x526f6f74)};  // "Root"
+  const auto n = static_cast<std::uint64_t>(vertex_count_);
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts = 100 * n + 1000;
+  while (roots.size() < static_cast<std::size_t>(count) &&
+         attempts < max_attempts) {
+    ++attempts;
+    const auto v = static_cast<Vertex>(rng.next_below(n));
+    if (!has_edges(v) || chosen.contains(v)) continue;
+    chosen.insert(v);
+    roots.push_back(v);
+  }
+  SEMBFS_ENSURES(!roots.empty());
+  return roots;
+}
+
+const Csr& Graph500Instance::full_csr() {
+  if (!full_csr_.has_value()) {
+    CsrBuildOptions options;
+    if (external_edges_ != nullptr) {
+      full_csr_.emplace(build_csr_filtered_stream(
+          vertex_count_, edge_stream(), VertexRange{0, vertex_count_},
+          VertexRange{0, vertex_count_}, options, pool_));
+    } else {
+      full_csr_.emplace(build_csr(*edges_, options, pool_));
+    }
+  }
+  return *full_csr_;
+}
+
+}  // namespace sembfs

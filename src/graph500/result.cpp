@@ -1,0 +1,77 @@
+#include "graph500/result.hpp"
+
+#include <cstdio>
+
+namespace sembfs {
+
+Graph500Output summarize_runs(int scale, int edge_factor,
+                              const std::string& scenario,
+                              double generation_seconds,
+                              double construction_seconds,
+                              const std::vector<BfsRunRecord>& runs) {
+  Graph500Output out;
+  out.scale = scale;
+  out.edge_factor = edge_factor;
+  out.scenario = scenario;
+  out.nbfs = runs.size();
+  out.generation_seconds = generation_seconds;
+  out.construction_seconds = construction_seconds;
+
+  std::vector<double> times, teps, edges;
+  times.reserve(runs.size());
+  teps.reserve(runs.size());
+  edges.reserve(runs.size());
+  out.all_validated = !runs.empty();
+  for (const auto& r : runs) {
+    times.push_back(r.seconds);
+    teps.push_back(r.teps);
+    edges.push_back(static_cast<double>(r.teps_edge_count));
+    out.all_validated = out.all_validated && r.validated;
+  }
+  out.time_stats = compute_stats(std::move(times));
+  out.teps_stats = compute_stats(std::move(teps));
+  out.edge_stats = compute_stats(std::move(edges));
+  return out;
+}
+
+std::string render_graph500_output(const Graph500Output& out) {
+  char buf[256];
+  std::string s;
+  auto emit = [&](const char* key, double value) {
+    std::snprintf(buf, sizeof buf, "%s: %.6g\n", key, value);
+    s += buf;
+  };
+  std::snprintf(buf, sizeof buf, "SCALE: %d\nedgefactor: %d\nscenario: %s\nNBFS: %llu\n",
+                out.scale, out.edge_factor, out.scenario.c_str(),
+                static_cast<unsigned long long>(out.nbfs));
+  s += buf;
+  emit("graph_generation", out.generation_seconds);
+  emit("construction_time", out.construction_seconds);
+  emit("min_time", out.time_stats.min);
+  emit("firstquartile_time", out.time_stats.first_quartile);
+  emit("median_time", out.time_stats.median);
+  emit("thirdquartile_time", out.time_stats.third_quartile);
+  emit("max_time", out.time_stats.max);
+  emit("mean_time", out.time_stats.mean);
+  emit("stddev_time", out.time_stats.stddev);
+  emit("min_nedge", out.edge_stats.min);
+  emit("firstquartile_nedge", out.edge_stats.first_quartile);
+  emit("median_nedge", out.edge_stats.median);
+  emit("thirdquartile_nedge", out.edge_stats.third_quartile);
+  emit("max_nedge", out.edge_stats.max);
+  emit("mean_nedge", out.edge_stats.mean);
+  emit("stddev_nedge", out.edge_stats.stddev);
+  emit("min_TEPS", out.teps_stats.min);
+  emit("firstquartile_TEPS", out.teps_stats.first_quartile);
+  emit("median_TEPS", out.teps_stats.median);
+  emit("thirdquartile_TEPS", out.teps_stats.third_quartile);
+  emit("max_TEPS", out.teps_stats.max);
+  emit("harmonic_mean_TEPS", out.teps_stats.harmonic_mean);
+  emit("harmonic_stddev_TEPS", out.teps_stats.harmonic_stddev);
+  std::snprintf(buf, sizeof buf, "validation: %s\n",
+                out.all_validated ? "PASSED" : "FAILED");
+  s += buf;
+  return s;
+}
+
+}  // namespace sembfs

@@ -1,0 +1,54 @@
+// Graph500-style benchmark result block.
+//
+// The official output reports construction time plus the distribution of
+// per-root times, TEPS (with harmonic mean/stddev, since TEPS is a rate)
+// and traversed-edge counts over the 64 BFS runs; this reproduces that
+// shape so results can be compared to any Graph500 submission.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/statistics.hpp"
+
+namespace sembfs {
+
+/// One Step-3/4 iteration.
+struct BfsRunRecord {
+  std::int64_t root = -1;
+  double seconds = 0.0;
+  std::int64_t teps_edge_count = 0;
+  double teps = 0.0;
+  std::int64_t visited = 0;
+  std::int32_t depth = 0;
+  bool validated = false;
+};
+
+struct Graph500Output {
+  int scale = 0;
+  int edge_factor = 0;
+  std::string scenario;
+  std::uint64_t nbfs = 0;
+  double generation_seconds = 0.0;
+  double construction_seconds = 0.0;
+  SampleStats time_stats;
+  SampleStats teps_stats;
+  SampleStats edge_stats;
+  bool all_validated = false;
+
+  /// Median TEPS — the Graph500 score.
+  [[nodiscard]] double score() const noexcept { return teps_stats.median; }
+};
+
+/// Aggregates per-run records into the output block.
+Graph500Output summarize_runs(int scale, int edge_factor,
+                              const std::string& scenario,
+                              double generation_seconds,
+                              double construction_seconds,
+                              const std::vector<BfsRunRecord>& runs);
+
+/// Renders the official-looking key:value block.
+std::string render_graph500_output(const Graph500Output& out);
+
+}  // namespace sembfs

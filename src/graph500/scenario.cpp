@@ -1,0 +1,60 @@
+#include "graph500/scenario.hpp"
+
+#include <stdexcept>
+
+namespace sembfs {
+
+Scenario Scenario::dram_only() {
+  Scenario s;
+  s.kind = ScenarioKind::DramOnly;
+  s.name = "DRAM-only";
+  s.nvm_profile = DeviceProfile::dram();
+  s.offload_forward = false;
+  return s;
+}
+
+Scenario Scenario::dram_pcie_flash() {
+  Scenario s;
+  s.kind = ScenarioKind::DramPcieFlash;
+  s.name = "DRAM+PCIeFlash";
+  s.nvm_profile = DeviceProfile::pcie_flash();
+  s.offload_forward = true;
+  return s;
+}
+
+Scenario Scenario::dram_ssd() {
+  Scenario s;
+  s.kind = ScenarioKind::DramSsd;
+  s.name = "DRAM+SSD";
+  s.nvm_profile = DeviceProfile::sata_ssd();
+  s.offload_forward = true;
+  return s;
+}
+
+Scenario Scenario::by_name(const std::string& name) {
+  if (name == "dram" || name == "dram_only") return dram_only();
+  if (name == "pcie_flash" || name == "pcieflash") return dram_pcie_flash();
+  if (name == "ssd" || name == "sata_ssd") return dram_ssd();
+  throw std::invalid_argument("unknown scenario '" + name +
+                              "' (want dram | pcie_flash | ssd)");
+}
+
+DeviceProfile Scenario::effective_profile() const {
+  DeviceProfile p = nvm_profile;
+  p.time_scale = time_scale;
+  return p;
+}
+
+std::string Scenario::describe() const {
+  std::string out = name;
+  if (offload_forward)
+    out += " (forward graph on " + nvm_profile.name + ")";
+  else
+    out += " (all graphs in DRAM)";
+  if (backward_dram_edges >= 0)
+    out += ", backward graph capped at " +
+           std::to_string(backward_dram_edges) + " DRAM edges/vertex";
+  return out;
+}
+
+}  // namespace sembfs

@@ -1,0 +1,46 @@
+// Storage scenarios — the paper's Table I machine configurations mapped
+// onto the simulated device layer.
+//
+//   DRAM-only       : forward + backward + status all in DRAM
+//   DRAM+PCIeFlash  : forward graph offloaded to a pcie_flash-profile device
+//   DRAM+SSD        : forward graph offloaded to a sata_ssd-profile device
+//
+// Optionally the backward graph is partially offloaded too (Section VI-E):
+// backward_dram_edges >= 0 keeps only that many edges per vertex in DRAM.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nvm/device_profile.hpp"
+
+namespace sembfs {
+
+enum class ScenarioKind { DramOnly, DramPcieFlash, DramSsd };
+
+struct Scenario {
+  ScenarioKind kind = ScenarioKind::DramOnly;
+  std::string name = "DRAM-only";
+  DeviceProfile nvm_profile;      ///< ignored for DramOnly
+  bool offload_forward = false;   ///< forward graph on NVM?
+  /// -1 = backward graph fully in DRAM; otherwise the per-vertex DRAM edge
+  /// cap with the remainder on NVM.
+  std::int64_t backward_dram_edges = -1;
+  /// Multiplier on simulated device service times (documented knob to keep
+  /// bench wall-clock reasonable; ratios between scenarios are unaffected).
+  double time_scale = 1.0;
+
+  static Scenario dram_only();
+  static Scenario dram_pcie_flash();
+  static Scenario dram_ssd();
+  /// "dram" | "pcie_flash" | "ssd"; throws std::invalid_argument otherwise.
+  static Scenario by_name(const std::string& name);
+
+  /// Applies time_scale to the device profile and returns it.
+  [[nodiscard]] DeviceProfile effective_profile() const;
+
+  /// Table I-style one-line description.
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace sembfs

@@ -1,0 +1,31 @@
+#include "numa/arena.hpp"
+
+namespace sembfs {
+
+NumaArena::NumaArena(std::size_t nodes) : per_node_(nodes) {
+  SEMBFS_EXPECTS(nodes >= 1);
+}
+
+void NumaArena::record_alloc(std::size_t node, std::uint64_t bytes) noexcept {
+  SEMBFS_ASSERT(node < per_node_.size());
+  per_node_[node].bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void NumaArena::record_free(std::size_t node, std::uint64_t bytes) noexcept {
+  SEMBFS_ASSERT(node < per_node_.size());
+  per_node_[node].bytes.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+std::uint64_t NumaArena::bytes_on(std::size_t node) const noexcept {
+  SEMBFS_ASSERT(node < per_node_.size());
+  return per_node_[node].bytes.load(std::memory_order_relaxed);
+}
+
+std::uint64_t NumaArena::total_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& c : per_node_)
+    total += c.bytes.load(std::memory_order_relaxed);
+  return total;
+}
+
+}  // namespace sembfs

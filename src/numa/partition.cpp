@@ -1,0 +1,16 @@
+#include "numa/partition.hpp"
+
+namespace sembfs {
+
+VertexPartition::VertexPartition(std::int64_t vertex_count, std::size_t nodes)
+    : n_(vertex_count) {
+  SEMBFS_EXPECTS(vertex_count >= 0);
+  SEMBFS_EXPECTS(nodes >= 1);
+  bounds_.resize(nodes + 1);
+  for (std::size_t k = 0; k <= nodes; ++k) {
+    bounds_[k] = static_cast<std::int64_t>(
+        (static_cast<unsigned __int128>(vertex_count) * k) / nodes);
+  }
+}
+
+}  // namespace sembfs

@@ -1,0 +1,75 @@
+// Block partitioning of the vertex ID space over emulated NUMA nodes.
+//
+// Paper, Section V-B-2: vertex v_i with i in [k*n/l, (k+1)*n/l) is assigned
+// to NUMA node N_k. Both CSR graphs, the visited bitmap and the BFS tree
+// use this mapping so that each node's threads only write node-local state.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+/// Half-open vertex range [begin, end).
+struct VertexRange {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+
+  [[nodiscard]] std::int64_t size() const noexcept { return end - begin; }
+  [[nodiscard]] bool contains(std::int64_t v) const noexcept {
+    return v >= begin && v < end;
+  }
+  friend bool operator==(const VertexRange&, const VertexRange&) = default;
+};
+
+class VertexPartition {
+ public:
+  VertexPartition() = default;
+  /// Partitions [0, vertex_count) into `nodes` contiguous blocks.
+  VertexPartition(std::int64_t vertex_count, std::size_t nodes);
+
+  [[nodiscard]] std::int64_t vertex_count() const noexcept { return n_; }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return bounds_.empty() ? 0 : bounds_.size() - 1;
+  }
+
+  /// Node owning vertex v.
+  [[nodiscard]] std::size_t node_of(std::int64_t v) const noexcept {
+    SEMBFS_ASSERT(v >= 0 && v < n_);
+    // bounds_ are k*n/l, monotone; with l small a linear probe beats a
+    // binary search, but the arithmetic inverse is exact and O(1):
+    // node = floor(v * l / n) may be off by one around boundaries due to
+    // flooring in bounds; correct with local adjustment.
+    const std::size_t l = node_count();
+    auto k = static_cast<std::size_t>(
+        (static_cast<unsigned __int128>(v) * l) / static_cast<std::uint64_t>(n_));
+    if (k >= l) k = l - 1;
+    while (v < bounds_[k]) --k;
+    while (v >= bounds_[k + 1]) ++k;
+    return k;
+  }
+
+  /// Vertex range owned by `node`.
+  [[nodiscard]] VertexRange range_of(std::size_t node) const noexcept {
+    SEMBFS_ASSERT(node < node_count());
+    return {bounds_[node], bounds_[node + 1]};
+  }
+
+  /// Offset of v within its node's block.
+  [[nodiscard]] std::int64_t local_index(std::int64_t v) const noexcept {
+    return v - bounds_[node_of(v)];
+  }
+
+  [[nodiscard]] const std::vector<std::int64_t>& bounds() const noexcept {
+    return bounds_;
+  }
+
+ private:
+  std::int64_t n_ = 0;
+  std::vector<std::int64_t> bounds_;  // node_count+1 entries, 0 .. n
+};
+
+}  // namespace sembfs

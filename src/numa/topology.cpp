@@ -1,0 +1,27 @@
+#include "numa/topology.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+NumaTopology::NumaTopology(std::size_t nodes, std::size_t cores_per_node)
+    : nodes_(nodes), cores_per_node_(cores_per_node) {
+  SEMBFS_EXPECTS(nodes >= 1);
+  SEMBFS_EXPECTS(cores_per_node >= 1);
+}
+
+NumaTopology NumaTopology::with_total_threads(std::size_t nodes,
+                                              std::size_t total_threads) {
+  SEMBFS_EXPECTS(nodes >= 1);
+  const std::size_t per_node = std::max<std::size_t>(1, total_threads / nodes);
+  return NumaTopology{nodes, per_node};
+}
+
+std::string NumaTopology::describe() const {
+  return std::to_string(nodes_) + " emulated NUMA node(s) x " +
+         std::to_string(cores_per_node_) + " core(s)";
+}
+
+}  // namespace sembfs

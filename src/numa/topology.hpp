@@ -1,0 +1,72 @@
+// Emulated NUMA topology.
+//
+// The paper runs on a 4-socket Opteron (4 NUMA nodes x 12 cores) and keys
+// every data structure off the node a vertex belongs to. This machine has
+// no multi-socket hardware, so the topology is *emulated*: a fixed node
+// count and cores-per-node, and a deterministic worker->node mapping. All
+// NUMA-aware code in the library is written against this interface, so on a
+// real multi-socket machine only this file would need libnuma-backed
+// pinning — the algorithms are unchanged.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace sembfs {
+
+class NumaTopology {
+ public:
+  /// `nodes` emulated NUMA nodes with `cores_per_node` workers each.
+  NumaTopology(std::size_t nodes, std::size_t cores_per_node);
+
+  /// Topology with `nodes` nodes splitting `total_threads` as evenly as
+  /// possible (at least one core per node).
+  static NumaTopology with_total_threads(std::size_t nodes,
+                                         std::size_t total_threads);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_; }
+  [[nodiscard]] std::size_t cores_per_node() const noexcept {
+    return cores_per_node_;
+  }
+  [[nodiscard]] std::size_t total_threads() const noexcept {
+    return nodes_ * cores_per_node_;
+  }
+
+  /// Node owning pool-worker `worker` (workers are striped in node blocks).
+  [[nodiscard]] std::size_t node_of_worker(std::size_t worker) const noexcept {
+    return worker / cores_per_node_;
+  }
+
+  /// Rank of `worker` within its node, in [0, cores_per_node).
+  [[nodiscard]] std::size_t rank_in_node(std::size_t worker) const noexcept {
+    return worker % cores_per_node_;
+  }
+
+  /// First pool-worker index belonging to `node`.
+  [[nodiscard]] std::size_t first_worker_of(std::size_t node) const noexcept {
+    return node * cores_per_node_;
+  }
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::size_t nodes_;
+  std::size_t cores_per_node_;
+};
+
+/// Calls fn(node) for every node that `worker` must serve when only
+/// `workers` workers participate in a parallel region over `nodes` nodes.
+/// With workers >= nodes each worker serves one node (workers form teams);
+/// with fewer workers than nodes each worker serves a strided set, so all
+/// nodes are covered even on a single-thread pool.
+template <typename Fn>
+void for_each_assigned_node(std::size_t worker, std::size_t workers,
+                            std::size_t nodes, Fn&& fn) {
+  if (workers >= nodes) {
+    fn(worker * nodes / workers);
+    return;
+  }
+  for (std::size_t node = worker; node < nodes; node += workers) fn(node);
+}
+
+}  // namespace sembfs

@@ -1,0 +1,24 @@
+#include "nvm/chunk_reader.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+std::uint64_t ChunkReader::read_range(std::uint64_t offset,
+                                      std::span<std::byte> buffer) {
+  SEMBFS_EXPECTS(chunk_bytes_ > 0);
+  std::uint64_t requests = 0;
+  std::size_t done = 0;
+  while (done < buffer.size()) {
+    const std::size_t len =
+        std::min<std::size_t>(chunk_bytes_, buffer.size() - done);
+    file_->read(offset + done, buffer.subspan(done, len));
+    done += len;
+    ++requests;
+  }
+  return requests;
+}
+
+}  // namespace sembfs

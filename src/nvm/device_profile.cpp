@@ -1,0 +1,41 @@
+#include "nvm/device_profile.hpp"
+
+#include <stdexcept>
+
+namespace sembfs {
+
+DeviceProfile DeviceProfile::dram() {
+  DeviceProfile p;
+  p.name = "dram";
+  p.read_latency_us = 0.0;
+  p.read_bandwidth_bps = 0.0;
+  p.channels = 64;
+  return p;
+}
+
+DeviceProfile DeviceProfile::pcie_flash() {
+  DeviceProfile p;
+  p.name = "pcie_flash";
+  p.read_latency_us = 68.0;        // ioDrive2 datasheet-class read latency
+  p.read_bandwidth_bps = 1.4e9;    // ~1.4 GB/s sequential read
+  p.channels = 32;                 // deep internal parallelism
+  return p;
+}
+
+DeviceProfile DeviceProfile::sata_ssd() {
+  DeviceProfile p;
+  p.name = "sata_ssd";
+  p.read_latency_us = 220.0;       // SATA round trip + NAND read
+  p.read_bandwidth_bps = 2.7e8;    // ~270 MB/s sequential read
+  p.channels = 8;                  // NCQ depth effectively limits service
+  return p;
+}
+
+DeviceProfile DeviceProfile::by_name(const std::string& name) {
+  if (name == "dram") return dram();
+  if (name == "pcie_flash") return pcie_flash();
+  if (name == "sata_ssd") return sata_ssd();
+  throw std::invalid_argument("unknown device profile '" + name + "'");
+}
+
+}  // namespace sembfs

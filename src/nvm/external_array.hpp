@@ -1,0 +1,81 @@
+// Typed fixed-stride array stored in a file on a simulated NVM device.
+//
+// The external CSR stores its `index` array and `value` array as files
+// ("array file" and "value file" in the paper); ExternalArray<T> is the
+// typed view both use. Elements are read through a ChunkReader so every
+// access obeys the 4 KiB-chunk discipline.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "nvm/chunk_reader.hpp"
+#include "nvm/nvm_device.hpp"
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+template <typename T>
+class ExternalArray {
+ public:
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ExternalArray requires a POD-like element type");
+
+  /// Views `count` elements starting at byte `base_offset` of `file`.
+  ExternalArray(NvmBackingFile& file, std::uint64_t base_offset, std::uint64_t count,
+                std::uint32_t chunk_bytes = 4096)
+      : file_(&file),
+        reader_(file, chunk_bytes),
+        base_offset_(base_offset),
+        count_(count) {}
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t byte_size() const noexcept {
+    return count_ * sizeof(T);
+  }
+  [[nodiscard]] std::uint64_t base_offset() const noexcept {
+    return base_offset_;
+  }
+  [[nodiscard]] NvmBackingFile& file() noexcept { return *file_; }
+
+  /// Reads elements [first, first+out.size()) into `out`.
+  /// Returns the number of device requests issued.
+  std::uint64_t read(std::uint64_t first, std::span<T> out) {
+    SEMBFS_EXPECTS(first + out.size() <= count_);
+    if (out.empty()) return 0;
+    return reader_.read_range(base_offset_ + first * sizeof(T),
+                              std::as_writable_bytes(out));
+  }
+
+  /// Reads one element (a single device request).
+  T read_one(std::uint64_t index) {
+    T value{};
+    read(index, std::span<T>{&value, 1});
+    return value;
+  }
+
+  /// Bulk-writes elements [first, first+in.size()) (construction path —
+  /// one request, not chunked: the paper only chunks the BFS read path).
+  void write(std::uint64_t first, std::span<const T> in) {
+    SEMBFS_EXPECTS(first + in.size() <= count_);
+    if (in.empty()) return;
+    file_->write(base_offset_ + first * sizeof(T), std::as_bytes(in));
+  }
+
+  /// Convenience: reads the whole array into a vector (tests/validation).
+  std::vector<T> read_all() {
+    std::vector<T> out(count_);
+    if (count_ != 0) read(0, std::span<T>{out});
+    return out;
+  }
+
+ private:
+  NvmBackingFile* file_;
+  ChunkReader reader_;
+  std::uint64_t base_offset_;
+  std::uint64_t count_;
+};
+
+}  // namespace sembfs

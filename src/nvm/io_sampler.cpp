@@ -1,0 +1,89 @@
+#include "nvm/io_sampler.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+IoStatsSampler::IoStatsSampler(NvmDevice& device, double interval_seconds)
+    : device_(&device), interval_seconds_(interval_seconds) {
+  SEMBFS_EXPECTS(interval_seconds > 0.0);
+}
+
+IoStatsSampler::~IoStatsSampler() { stop(); }
+
+void IoStatsSampler::start() {
+  stop();
+  samples_.clear();
+  previous_ = device_->stats().snapshot();
+  t_origin_ = previous_.elapsed_seconds;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { sampling_loop(); });
+}
+
+void IoStatsSampler::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  take_sample();  // close the final partial window
+}
+
+void IoStatsSampler::sampling_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(interval_seconds_));
+    if (!running_.load(std::memory_order_acquire)) break;
+    take_sample();
+  }
+}
+
+void IoStatsSampler::take_sample() {
+  const IoStatsSnapshot now = device_->stats().snapshot();
+  if (now.requests < previous_.requests ||
+      now.elapsed_seconds < previous_.elapsed_seconds) {
+    // The device counters were reset behind our back (e.g. a benchmark
+    // phase starting); re-baseline instead of emitting underflowed deltas.
+    previous_ = now;
+    t_origin_ = now.elapsed_seconds;
+    return;
+  }
+  const double dt = now.elapsed_seconds - previous_.elapsed_seconds;
+  if (dt <= 0.0) return;
+  IoSample sample;
+  sample.t_seconds = now.elapsed_seconds - t_origin_;
+  sample.requests = now.requests - previous_.requests;
+  sample.sectors = now.sectors - previous_.sectors;
+  sample.avg_queue_length =
+      (now.queue_integral - previous_.queue_integral) / dt;
+  sample.avg_request_sectors =
+      sample.requests > 0 ? static_cast<double>(sample.sectors) /
+                                static_cast<double>(sample.requests)
+                          : 0.0;
+  samples_.push_back(sample);
+  previous_ = now;
+}
+
+double IoStatsSampler::peak_queue_length() const noexcept {
+  double peak = 0.0;
+  for (const IoSample& s : samples_)
+    peak = std::max(peak, s.avg_queue_length);
+  return peak;
+}
+
+double IoStatsSampler::mean_request_sectors() const noexcept {
+  std::uint64_t requests = 0;
+  std::uint64_t sectors = 0;
+  for (const IoSample& s : samples_) {
+    requests += s.requests;
+    sectors += s.sectors;
+  }
+  return requests > 0
+             ? static_cast<double>(sectors) / static_cast<double>(requests)
+             : 0.0;
+}
+
+}  // namespace sembfs

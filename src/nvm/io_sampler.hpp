@@ -1,0 +1,61 @@
+// Windowed iostat sampling: a background thread snapshots a device's
+// counters on a fixed interval and reports per-window deltas — exactly
+// what `iostat <interval>` prints, and exactly what the paper's Figures 12
+// and 13 plot over the 64-iteration benchmark run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "nvm/nvm_device.hpp"
+
+namespace sembfs {
+
+/// One sampling window (the delta between consecutive snapshots).
+struct IoSample {
+  double t_seconds = 0.0;           ///< window end, relative to start()
+  std::uint64_t requests = 0;       ///< requests completed in the window
+  std::uint64_t sectors = 0;
+  double avg_queue_length = 0.0;    ///< windowed avgqu-sz
+  double avg_request_sectors = 0.0; ///< windowed avgrq-sz
+};
+
+class IoStatsSampler {
+ public:
+  /// Samples `device` every `interval_seconds` once started.
+  IoStatsSampler(NvmDevice& device, double interval_seconds = 0.05);
+  ~IoStatsSampler();
+
+  IoStatsSampler(const IoStatsSampler&) = delete;
+  IoStatsSampler& operator=(const IoStatsSampler&) = delete;
+
+  /// Begins sampling (clears any previous series).
+  void start();
+  /// Stops the sampling thread and closes the final window.
+  void stop();
+
+  [[nodiscard]] const std::vector<IoSample>& samples() const noexcept {
+    return samples_;
+  }
+
+  /// Largest windowed avgqu-sz observed (the paper quotes peak queues).
+  [[nodiscard]] double peak_queue_length() const noexcept;
+  /// Request-weighted mean of the windowed avgrq-sz values.
+  [[nodiscard]] double mean_request_sectors() const noexcept;
+
+ private:
+  void sampling_loop();
+  void take_sample();
+
+  NvmDevice* device_;
+  double interval_seconds_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::vector<IoSample> samples_;
+  IoStatsSnapshot previous_;
+  double t_origin_ = 0.0;
+};
+
+}  // namespace sembfs

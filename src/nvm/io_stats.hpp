@@ -1,0 +1,78 @@
+// iostat-equivalent statistics for a simulated device.
+//
+// Figures 12 and 13 of the paper plot iostat's avgqu-sz (average number of
+// requests in the device queue, counting waiting + in-service) and
+// avgrq-sz (average request size in 512-byte sectors) over the BFS run.
+// The device calls on_arrival / on_completion around every request; the
+// queue-length *time integral* gives exactly iostat's avgqu-sz without any
+// sampling, and per-request sector counts give avgrq-sz.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace sembfs {
+
+/// Immutable view of the counters at one point in time.
+struct IoStatsSnapshot {
+  std::uint64_t requests = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t sectors = 0;
+  double elapsed_seconds = 0.0;     ///< observation window length
+  double busy_seconds = 0.0;        ///< summed service time
+  double wait_seconds = 0.0;        ///< summed (queue + service) time
+  double avg_queue_length = 0.0;    ///< iostat avgqu-sz
+  double avg_request_sectors = 0.0; ///< iostat avgrq-sz
+  double await_ms = 0.0;            ///< iostat await
+  double iops = 0.0;
+  /// Raw time integral of queue occupancy (queue-length-seconds); the
+  /// difference of two snapshots' integrals divided by the elapsed delta
+  /// is the windowed avgqu-sz — how iostat itself reports intervals.
+  double queue_integral = 0.0;
+
+  [[nodiscard]] double throughput_bps() const noexcept {
+    return elapsed_seconds > 0.0
+               ? static_cast<double>(bytes) / elapsed_seconds
+               : 0.0;
+  }
+};
+
+class IoStats {
+ public:
+  explicit IoStats(std::uint32_t sector_bytes = 512);
+
+  /// Restarts the observation window and zeroes all counters.
+  void reset();
+
+  /// Marks one request entering the device queue. Returns an arrival
+  /// timestamp to pass to on_completion.
+  std::chrono::steady_clock::time_point on_arrival();
+
+  /// Marks the matching request leaving the device.
+  /// `service_seconds` is the time the request held a device channel.
+  void on_completion(std::chrono::steady_clock::time_point arrival,
+                     std::uint64_t bytes, double service_seconds);
+
+  [[nodiscard]] IoStatsSnapshot snapshot() const;
+
+  [[nodiscard]] std::uint64_t request_count() const;
+  [[nodiscard]] std::uint64_t byte_count() const;
+
+ private:
+  void advance_integral_locked(std::chrono::steady_clock::time_point now);
+
+  mutable std::mutex mutex_;
+  std::uint32_t sector_bytes_;
+  std::chrono::steady_clock::time_point window_start_;
+  std::chrono::steady_clock::time_point last_event_;
+  std::uint64_t in_flight_ = 0;
+  double queue_integral_ = 0.0;  // sum of queue_len * dt
+  std::uint64_t requests_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t sectors_ = 0;
+  double busy_seconds_ = 0.0;
+  double wait_seconds_ = 0.0;
+};
+
+}  // namespace sembfs

@@ -1,0 +1,95 @@
+#include "nvm/nvm_device.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "util/contracts.hpp"
+#include "util/timer.hpp"
+
+namespace sembfs {
+
+NvmDevice::NvmDevice(DeviceProfile profile)
+    : profile_(std::move(profile)), stats_(profile_.sector_bytes) {}
+
+void NvmDevice::check_injected_failure() {
+  // Fast path: no failure armed.
+  if (fail_countdown_.load(std::memory_order_relaxed) < 0) return;
+  const std::int64_t remaining =
+      fail_countdown_.fetch_sub(1, std::memory_order_acq_rel);
+  if (remaining == 1)
+    throw std::runtime_error(
+        "injected device failure (NvmDevice::inject_failure_after)");
+}
+
+void NvmDevice::acquire_channel() {
+  std::unique_lock<std::mutex> lock{channel_mutex_};
+  channel_cv_.wait(lock,
+                   [this] { return busy_channels_ < profile_.channels; });
+  ++busy_channels_;
+}
+
+void NvmDevice::release_channel() {
+  {
+    const std::lock_guard<std::mutex> lock{channel_mutex_};
+    SEMBFS_ASSERT(busy_channels_ > 0);
+    --busy_channels_;
+  }
+  channel_cv_.notify_one();
+}
+
+double NvmDevice::serve(std::uint64_t bytes,
+                        const std::function<void()>& io) {
+  Timer t;
+  io();
+  const double target = profile_.service_seconds(bytes);
+  const double remaining = target - t.seconds();
+  if (remaining > 0.0) {
+    // sleep_for granularity (~50 us on Linux) is coarse for sub-100 us
+    // service times; spin below that threshold, sleep above it.
+    if (remaining < 100e-6) {
+      const double deadline = t.seconds() + remaining;
+      while (t.seconds() < deadline) {
+        // busy spin
+      }
+    } else {
+      std::this_thread::sleep_for(std::chrono::duration<double>(remaining));
+    }
+  }
+  return t.seconds();
+}
+
+NvmFile::NvmFile(std::shared_ptr<NvmDevice> device, const std::string& path)
+    : device_(std::move(device)), file_(StorageFile::create(path)) {
+  SEMBFS_EXPECTS(device_ != nullptr);
+}
+
+NvmFile::NvmFile(std::shared_ptr<NvmDevice> device, StorageFile file)
+    : device_(std::move(device)), file_(std::move(file)) {
+  SEMBFS_EXPECTS(device_ != nullptr);
+  append_offset_ = file_.size();
+}
+
+void NvmFile::read(std::uint64_t offset, std::span<std::byte> buffer) {
+  device_->submit(buffer.size(),
+                  [&] { file_.pread_exact(offset, buffer); });
+}
+
+void NvmFile::write(std::uint64_t offset,
+                    std::span<const std::byte> buffer) {
+  device_->submit(buffer.size(),
+                  [&] { file_.pwrite_exact(offset, buffer); });
+}
+
+std::uint64_t NvmFile::append(std::span<const std::byte> buffer) {
+  std::uint64_t offset = 0;
+  {
+    const std::lock_guard<std::mutex> lock{append_mutex_};
+    offset = append_offset_;
+    append_offset_ += buffer.size();
+  }
+  write(offset, buffer);
+  return offset;
+}
+
+}  // namespace sembfs

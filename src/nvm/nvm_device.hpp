@@ -1,0 +1,150 @@
+// Simulated NVM device and the files stored on it.
+//
+// NvmDevice models one *physical* device (FusionIO card / SATA SSD): it owns
+// the service-model state — channel slots, queue accounting, iostat-style
+// counters. NvmFile is one file living on such a device (the paper stores
+// 2 x NUMA-node-count CSR files plus the edge list on a device); every file
+// read/write is one request against the shared device queue, which is what
+// makes the Figure 12/13 per-device iostat metrics meaningful.
+//
+// Read path per request:
+//   1. arrive  — request joins the device queue (IoStats integral grows)
+//   2. acquire — waits for one of profile.channels service slots
+//   3. service — real pread(2) from the backing file, then a simulated
+//                delay for the remainder of the modeled service time
+//   4. depart  — slot released, counters updated
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+
+#include "nvm/device_profile.hpp"
+#include "nvm/io_stats.hpp"
+#include "nvm/storage_file.hpp"
+
+namespace sembfs {
+
+class NvmDevice {
+ public:
+  explicit NvmDevice(DeviceProfile profile);
+
+  NvmDevice(const NvmDevice&) = delete;
+  NvmDevice& operator=(const NvmDevice&) = delete;
+
+  [[nodiscard]] const DeviceProfile& profile() const noexcept {
+    return profile_;
+  }
+  [[nodiscard]] IoStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const IoStats& stats() const noexcept { return stats_; }
+
+  /// Fault injection (tests / failure-handling validation): the request
+  /// `requests_from_now` submissions in the future throws
+  /// std::runtime_error instead of performing I/O. One-shot; counts down
+  /// across all files on the device. Pass 1 to fail the very next request.
+  void inject_failure_after(std::uint64_t requests_from_now) noexcept {
+    fail_countdown_.store(static_cast<std::int64_t>(requests_from_now),
+                          std::memory_order_relaxed);
+  }
+  /// Cancels a pending injected failure.
+  void clear_injected_failure() noexcept {
+    fail_countdown_.store(-1, std::memory_order_relaxed);
+  }
+
+  /// One modeled request of `bytes` around the real I/O in `io`.
+  /// Exposed for NvmFile; not intended for direct use.
+  template <typename Io>
+  void submit(std::uint64_t bytes, Io&& io) {
+    check_injected_failure();
+    if (profile_.is_instant()) {
+      const auto arrival = stats_.on_arrival();
+      io();
+      stats_.on_completion(arrival, bytes, 0.0);
+      return;
+    }
+    const auto arrival = stats_.on_arrival();
+    acquire_channel();
+    const double service = serve(bytes, std::forward<Io>(io));
+    release_channel();
+    stats_.on_completion(arrival, bytes, service);
+  }
+
+ private:
+  void acquire_channel();
+  void release_channel();
+  /// Runs `io`, pads to the modeled service time, returns seconds spent.
+  double serve(std::uint64_t bytes, const std::function<void()>& io);
+  /// Throws when an injected failure's countdown hits zero.
+  void check_injected_failure();
+
+  DeviceProfile profile_;
+  IoStats stats_;
+  std::atomic<std::int64_t> fail_countdown_{-1};
+
+  std::mutex channel_mutex_;
+  std::condition_variable channel_cv_;
+  unsigned busy_channels_ = 0;
+};
+
+/// Abstract byte store the typed array / chunk-reader layers read from —
+/// either one file on one device (NvmFile) or a stripe set across several
+/// devices (StripedNvmFile).
+class NvmBackingFile {
+ public:
+  virtual ~NvmBackingFile() = default;
+
+  /// Reads buffer.size() bytes at `offset`. Each call is at least one
+  /// device request.
+  virtual void read(std::uint64_t offset, std::span<std::byte> buffer) = 0;
+  /// Writes buffer.size() bytes at `offset`.
+  virtual void write(std::uint64_t offset,
+                     std::span<const std::byte> buffer) = 0;
+  [[nodiscard]] virtual std::uint64_t size() const = 0;
+};
+
+/// A file stored on a simulated NVM device. All I/O is routed through the
+/// device's queue/service model.
+class NvmFile final : public NvmBackingFile {
+ public:
+  /// Creates/truncates the backing file on `device`.
+  NvmFile(std::shared_ptr<NvmDevice> device, const std::string& path);
+  /// Adopts an already-open backing file.
+  NvmFile(std::shared_ptr<NvmDevice> device, StorageFile file);
+
+  // Non-copyable and non-movable (owns a mutex); hold via unique_ptr when a
+  // container is needed.
+  NvmFile(const NvmFile&) = delete;
+  NvmFile& operator=(const NvmFile&) = delete;
+
+  [[nodiscard]] NvmDevice& device() noexcept { return *device_; }
+  [[nodiscard]] const std::string& path() const noexcept {
+    return file_.path();
+  }
+  [[nodiscard]] std::uint64_t size() const override { return file_.size(); }
+
+  /// Reads buffer.size() bytes at `offset` as ONE device request.
+  void read(std::uint64_t offset, std::span<std::byte> buffer) override;
+
+  /// Writes buffer.size() bytes at `offset` as one device request.
+  void write(std::uint64_t offset,
+             std::span<const std::byte> buffer) override;
+
+  /// Appends at the tracked logical end; returns the write offset.
+  std::uint64_t append(std::span<const std::byte> buffer);
+
+  void resize(std::uint64_t bytes) { file_.resize(bytes); }
+  void sync() { file_.sync(); }
+
+ private:
+  std::shared_ptr<NvmDevice> device_;
+  StorageFile file_;
+  std::mutex append_mutex_;
+  std::uint64_t append_offset_ = 0;
+};
+
+}  // namespace sembfs

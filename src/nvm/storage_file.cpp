@@ -1,0 +1,129 @@
+#include "nvm/storage_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+namespace {
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::string& path) {
+  throw std::runtime_error(what + " '" + path +
+                           "': " + std::strerror(errno));
+}
+}  // namespace
+
+StorageFile::~StorageFile() { close(); }
+
+StorageFile::StorageFile(StorageFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {}
+
+StorageFile& StorageFile::operator=(StorageFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+StorageFile StorageFile::create(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
+  if (fd < 0) throw_errno("cannot create", path);
+  return StorageFile{fd, path};
+}
+
+StorageFile StorageFile::open_readonly(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw_errno("cannot open", path);
+  return StorageFile{fd, path};
+}
+
+StorageFile StorageFile::open_readwrite(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) throw_errno("cannot open", path);
+  return StorageFile{fd, path};
+}
+
+void StorageFile::pread_exact(std::uint64_t offset,
+                              std::span<std::byte> buffer) const {
+  SEMBFS_EXPECTS(is_open());
+  std::size_t done = 0;
+  while (done < buffer.size()) {
+    const ssize_t got =
+        ::pread(fd_, buffer.data() + done, buffer.size() - done,
+                static_cast<off_t>(offset + done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("pread failed on", path_);
+    }
+    if (got == 0)
+      throw std::runtime_error("short read (EOF) on '" + path_ + "'");
+    done += static_cast<std::size_t>(got);
+  }
+}
+
+void StorageFile::pwrite_exact(std::uint64_t offset,
+                               std::span<const std::byte> buffer) const {
+  SEMBFS_EXPECTS(is_open());
+  std::size_t done = 0;
+  while (done < buffer.size()) {
+    const ssize_t put =
+        ::pwrite(fd_, buffer.data() + done, buffer.size() - done,
+                 static_cast<off_t>(offset + done));
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("pwrite failed on", path_);
+    }
+    done += static_cast<std::size_t>(put);
+  }
+}
+
+std::uint64_t StorageFile::size() const {
+  SEMBFS_EXPECTS(is_open());
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) throw_errno("fstat failed on", path_);
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+void StorageFile::resize(std::uint64_t new_size) const {
+  SEMBFS_EXPECTS(is_open());
+  if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0)
+    throw_errno("ftruncate failed on", path_);
+}
+
+void StorageFile::sync() const {
+  SEMBFS_EXPECTS(is_open());
+  if (::fsync(fd_) != 0) throw_errno("fsync failed on", path_);
+}
+
+void StorageFile::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void remove_file_if_exists(const std::string& path) noexcept {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+void ensure_directory(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec && !std::filesystem::is_directory(path))
+    throw std::runtime_error("cannot create directory '" + path +
+                             "': " + ec.message());
+}
+
+}  // namespace sembfs

@@ -1,0 +1,64 @@
+// RAII wrapper around a POSIX file descriptor with exact-length positional
+// I/O. This is the only place in the library that touches raw fds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace sembfs {
+
+class StorageFile {
+ public:
+  StorageFile() noexcept = default;
+  ~StorageFile();
+
+  StorageFile(const StorageFile&) = delete;
+  StorageFile& operator=(const StorageFile&) = delete;
+  StorageFile(StorageFile&& other) noexcept;
+  StorageFile& operator=(StorageFile&& other) noexcept;
+
+  /// Opens (creating/truncating) a file for read+write. Throws on failure.
+  static StorageFile create(const std::string& path);
+  /// Opens an existing file read-only. Throws on failure.
+  static StorageFile open_readonly(const std::string& path);
+  /// Opens an existing file read+write. Throws on failure.
+  static StorageFile open_readwrite(const std::string& path);
+
+  [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Positional read of exactly buffer.size() bytes. Throws on short read.
+  void pread_exact(std::uint64_t offset, std::span<std::byte> buffer) const;
+
+  /// Positional write of exactly buffer.size() bytes. Throws on failure.
+  void pwrite_exact(std::uint64_t offset,
+                    std::span<const std::byte> buffer) const;
+
+  /// Current file size in bytes.
+  [[nodiscard]] std::uint64_t size() const;
+
+  /// Grows/truncates the file to `size` bytes.
+  void resize(std::uint64_t size) const;
+
+  /// fsync(2).
+  void sync() const;
+
+  void close() noexcept;
+
+ private:
+  StorageFile(int fd, std::string path) noexcept
+      : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Removes a file if it exists; ignores errors (cleanup helper).
+void remove_file_if_exists(const std::string& path) noexcept;
+
+/// Creates a directory (and parents) if missing. Throws on failure.
+void ensure_directory(const std::string& path);
+
+}  // namespace sembfs

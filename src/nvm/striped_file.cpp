@@ -1,0 +1,67 @@
+#include "nvm/striped_file.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+StripedNvmFile::StripedNvmFile(
+    std::vector<std::shared_ptr<NvmDevice>> devices,
+    const std::string& path_stem, std::uint32_t stripe_bytes)
+    : stripe_bytes_(stripe_bytes) {
+  SEMBFS_EXPECTS(!devices.empty());
+  SEMBFS_EXPECTS(stripe_bytes != 0 &&
+                 (stripe_bytes & (stripe_bytes - 1)) == 0);
+  stripes_.reserve(devices.size());
+  for (std::size_t k = 0; k < devices.size(); ++k) {
+    SEMBFS_EXPECTS(devices[k] != nullptr);
+    stripes_.push_back(std::make_unique<NvmFile>(
+        devices[k], path_stem + ".stripe" + std::to_string(k)));
+  }
+}
+
+template <typename Op>
+void StripedNvmFile::for_each_piece(std::uint64_t offset,
+                                    std::uint64_t length, Op&& op) {
+  const std::size_t d = stripes_.size();
+  std::uint64_t done = 0;
+  while (done < length) {
+    const std::uint64_t logical = offset + done;
+    const std::uint64_t stripe_index = logical / stripe_bytes_;
+    const std::uint64_t within = logical % stripe_bytes_;
+    const std::uint64_t piece =
+        std::min<std::uint64_t>(stripe_bytes_ - within, length - done);
+    const std::size_t file_index =
+        static_cast<std::size_t>(stripe_index % d);
+    const std::uint64_t file_offset =
+        (stripe_index / d) * stripe_bytes_ + within;
+    op(file_index, file_offset, done, piece);
+    done += piece;
+  }
+}
+
+void StripedNvmFile::read(std::uint64_t offset,
+                          std::span<std::byte> buffer) {
+  for_each_piece(offset, buffer.size(),
+                 [&](std::size_t file, std::uint64_t file_offset,
+                     std::uint64_t lo, std::uint64_t len) {
+                   stripes_[file]->read(file_offset,
+                                        buffer.subspan(lo, len));
+                 });
+}
+
+void StripedNvmFile::write(std::uint64_t offset,
+                           std::span<const std::byte> buffer) {
+  for_each_piece(offset, buffer.size(),
+                 [&](std::size_t file, std::uint64_t file_offset,
+                     std::uint64_t lo, std::uint64_t len) {
+                   stripes_[file]->write(file_offset,
+                                         buffer.subspan(lo, len));
+                 });
+  logical_size_ = std::max(logical_size_, offset + buffer.size());
+}
+
+std::uint64_t StripedNvmFile::size() const { return logical_size_; }
+
+}  // namespace sembfs

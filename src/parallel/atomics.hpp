@@ -1,0 +1,44 @@
+// Atomic helpers absent from <atomic>: fetch_min / fetch_max via CAS, and a
+// compare-and-claim on int64 slots used by the BFS parent array
+// (tree(w) = -1 -> tree(w) = v exactly once across threads).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sembfs {
+
+/// Atomically sets *slot = min(*slot, value). Returns true if it stored.
+template <typename T>
+bool atomic_fetch_min(std::atomic<T>& slot, T value) noexcept {
+  T current = slot.load(std::memory_order_relaxed);
+  while (value < current) {
+    if (slot.compare_exchange_weak(current, value, std::memory_order_acq_rel,
+                                   std::memory_order_relaxed))
+      return true;
+  }
+  return false;
+}
+
+/// Atomically sets *slot = max(*slot, value). Returns true if it stored.
+template <typename T>
+bool atomic_fetch_max(std::atomic<T>& slot, T value) noexcept {
+  T current = slot.load(std::memory_order_relaxed);
+  while (value > current) {
+    if (slot.compare_exchange_weak(current, value, std::memory_order_acq_rel,
+                                   std::memory_order_relaxed))
+      return true;
+  }
+  return false;
+}
+
+/// Claims slot if it currently holds `expected`; stores `desired` and
+/// returns true exactly once per transition.
+template <typename T>
+bool atomic_claim(std::atomic<T>& slot, T expected, T desired) noexcept {
+  return slot.compare_exchange_strong(expected, desired,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed);
+}
+
+}  // namespace sembfs

@@ -1,0 +1,96 @@
+// Data-parallel loop skeletons on top of ThreadPool.
+//
+//  - parallel_for: static block partitioning (good for uniform work like
+//    bottom-up sweeps over vertex ranges).
+//  - parallel_for_dynamic: atomically-claimed chunks (good for skewed work
+//    like top-down neighbor expansion on power-law graphs; the paper's
+//    implementation dequeues 64 vertices at a time — same idea).
+//  - parallel_reduce: block partition + per-worker partials + serial combine.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+/// fn(begin, end, worker) over a static partition of [begin, end).
+template <typename Fn>
+void parallel_for_blocked(ThreadPool& pool, std::int64_t begin,
+                          std::int64_t end, Fn&& fn) {
+  SEMBFS_EXPECTS(begin <= end);
+  const std::int64_t n = end - begin;
+  if (n == 0) return;
+  const auto workers =
+      static_cast<std::int64_t>(std::min<std::size_t>(pool.size(),
+                                                      static_cast<std::size_t>(n)));
+  if (workers <= 1) {
+    fn(begin, end, std::size_t{0});
+    return;
+  }
+  const std::function<void(std::size_t)> body = [&](std::size_t w) {
+    const auto wi = static_cast<std::int64_t>(w);
+    const std::int64_t chunk = (n + workers - 1) / workers;
+    const std::int64_t lo = begin + wi * chunk;
+    const std::int64_t hi = std::min(end, lo + chunk);
+    if (lo < hi) fn(lo, hi, w);
+  };
+  pool.run(static_cast<std::size_t>(workers), body);
+}
+
+/// fn(i) for every i in [begin, end), statically partitioned.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                  Fn&& fn) {
+  parallel_for_blocked(pool, begin, end,
+                       [&fn](std::int64_t lo, std::int64_t hi, std::size_t) {
+                         for (std::int64_t i = lo; i < hi; ++i) fn(i);
+                       });
+}
+
+/// fn(lo, hi, worker) over dynamically claimed chunks of `chunk` items.
+template <typename Fn>
+void parallel_for_dynamic(ThreadPool& pool, std::int64_t begin,
+                          std::int64_t end, std::int64_t chunk, Fn&& fn) {
+  SEMBFS_EXPECTS(begin <= end);
+  SEMBFS_EXPECTS(chunk >= 1);
+  const std::int64_t n = end - begin;
+  if (n == 0) return;
+  if (pool.size() == 1 || n <= chunk) {
+    fn(begin, end, std::size_t{0});
+    return;
+  }
+  std::atomic<std::int64_t> next{begin};
+  const std::function<void(std::size_t)> body = [&](std::size_t w) {
+    for (;;) {
+      const std::int64_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= end) return;
+      const std::int64_t hi = std::min(end, lo + chunk);
+      fn(lo, hi, w);
+    }
+  };
+  pool.run(body);
+}
+
+/// Block-partitioned reduction: partial(worker) seeded with `identity`,
+/// accumulated by fn(partial&, i), combined with combine(a, b).
+template <typename T, typename Fn, typename Combine>
+T parallel_reduce(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                  T identity, Fn&& fn, Combine&& combine) {
+  std::vector<T> partials(pool.size(), identity);
+  parallel_for_blocked(pool, begin, end,
+                       [&](std::int64_t lo, std::int64_t hi, std::size_t w) {
+                         T acc = identity;
+                         for (std::int64_t i = lo; i < hi; ++i) fn(acc, i);
+                         partials[w] = acc;
+                       });
+  T total = identity;
+  for (const T& p : partials) total = combine(total, p);
+  return total;
+}
+
+}  // namespace sembfs

@@ -1,0 +1,44 @@
+// Sense-reversing spin barrier for tight per-level synchronization inside a
+// single ThreadPool region (BFS levels synchronize all workers between the
+// expand and the frontier-swap phases).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t participants)
+      : participants_(participants), remaining_(participants) {
+    SEMBFS_EXPECTS(participants >= 1);
+  }
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Blocks until all participants arrive. Reusable across phases.
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(participants_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      std::size_t spins = 0;
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        if (++spins > 1024) std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  const std::size_t participants_;
+  std::atomic<std::size_t> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace sembfs

@@ -1,0 +1,81 @@
+#include "parallel/thread_pool.hpp"
+
+#include <thread>
+
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  SEMBFS_EXPECTS(threads >= 1);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run(std::size_t participants,
+                     const std::function<void(std::size_t)>& fn) {
+  SEMBFS_EXPECTS(participants <= workers_.size());
+  if (participants == 0) return;
+
+  std::unique_lock<std::mutex> lock{mutex_};
+  SEMBFS_ASSERT(job_ == nullptr);  // no recursive regions
+  job_ = &fn;
+  participants_ = participants;
+  remaining_ = participants;
+  first_error_ = nullptr;
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      work_cv_.wait(lock, [&] {
+        return shutdown_ ||
+               (job_ != nullptr && generation_ != seen_generation &&
+                index < participants_);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    std::exception_ptr error;
+    try {
+      (*job)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      if (error && !first_error_) first_error_ = error;
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool& default_pool(std::size_t threads) {
+  static ThreadPool pool{[&] {
+    if (threads != 0) return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? std::size_t{1} : std::size_t{hw};
+  }()};
+  return pool;
+}
+
+}  // namespace sembfs

@@ -1,0 +1,62 @@
+// Persistent worker pool used by every parallel kernel in the library.
+//
+// Design notes:
+//  - Workers are created once and reused across BFS levels; a BFS on a
+//    SCALE 27 graph runs thousands of parallel regions, so per-region thread
+//    creation would dominate.
+//  - run(n, fn) executes fn(worker_index) on n workers and *blocks* until
+//    all return — the fork/join shape of an OpenMP parallel region.
+//  - Worker index is stable within a region, which the NUMA layer uses to
+//    map workers onto emulated nodes.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sembfs {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` persistent workers (>= 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs fn(worker) for worker in [0, participants) and waits for all.
+  /// participants must be <= size(). fn may not call run() recursively.
+  /// Exceptions thrown by fn propagate to the caller (first one wins).
+  void run(std::size_t participants, const std::function<void(std::size_t)>& fn);
+
+  /// Convenience: all workers participate.
+  void run(const std::function<void(std::size_t)>& fn) { run(size(), fn); }
+
+ private:
+  void worker_loop(std::size_t index);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t participants_ = 0;
+  std::size_t remaining_ = 0;
+  std::uint64_t generation_ = 0;
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+};
+
+/// Process-wide default pool, sized once from `threads` on first use.
+/// Subsequent calls ignore the argument and return the same pool.
+ThreadPool& default_pool(std::size_t threads = 0);
+
+}  // namespace sembfs

@@ -1,0 +1,52 @@
+#include "util/aligned_buffer.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+AlignedBuffer::AlignedBuffer(std::size_t size, std::size_t alignment)
+    : size_(size), alignment_(alignment) {
+  SEMBFS_EXPECTS(alignment != 0 && (alignment & (alignment - 1)) == 0);
+  if (size == 0) return;
+  // std::aligned_alloc requires size to be a multiple of alignment.
+  const std::size_t padded = (size + alignment - 1) / alignment * alignment;
+  void* p = std::aligned_alloc(alignment, padded);
+  if (p == nullptr) throw std::bad_alloc{};
+  data_ = static_cast<std::byte*>(p);
+}
+
+AlignedBuffer::~AlignedBuffer() { std::free(data_); }
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      alignment_(std::exchange(other.alignment_, 0)) {}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this != &other) {
+    std::free(data_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    alignment_ = std::exchange(other.alignment_, 0);
+  }
+  return *this;
+}
+
+void AlignedBuffer::zero() noexcept {
+  if (data_ != nullptr) std::memset(data_, 0, size_);
+}
+
+AlignedBuffer make_page_buffer(std::size_t size) {
+  return AlignedBuffer{size, kPageSize};
+}
+
+AlignedBuffer make_cache_aligned_buffer(std::size_t size) {
+  return AlignedBuffer{size, kCacheLineSize};
+}
+
+}  // namespace sembfs

@@ -1,0 +1,59 @@
+// RAII owner for page/cache-line aligned raw memory.
+//
+// BFS status data (bitmaps, parent arrays) and I/O staging buffers want
+// alignment stronger than operator new guarantees: cache-line alignment to
+// avoid false sharing between emulated NUMA nodes, and page alignment for
+// buffers handed to pread(2) on the simulated NVM devices.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace sembfs {
+
+inline constexpr std::size_t kCacheLineSize = 64;
+inline constexpr std::size_t kPageSize = 4096;
+
+/// Owning, aligned, uninitialized byte buffer. Move-only.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() noexcept = default;
+  /// Allocates `size` bytes aligned to `alignment` (a power of two).
+  AlignedBuffer(std::size_t size, std::size_t alignment);
+  ~AlignedBuffer();
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  AlignedBuffer(AlignedBuffer&& other) noexcept;
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept;
+
+  [[nodiscard]] std::byte* data() noexcept { return data_; }
+  [[nodiscard]] const std::byte* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t alignment() const noexcept { return alignment_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] std::span<std::byte> bytes() noexcept { return {data_, size_}; }
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return {data_, size_};
+  }
+
+  /// Typed view over the buffer; `size()` must be a multiple of sizeof(T).
+  template <typename T>
+  [[nodiscard]] std::span<T> as() noexcept {
+    return {reinterpret_cast<T*>(data_), size_ / sizeof(T)};
+  }
+
+  void zero() noexcept;
+
+ private:
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t alignment_ = 0;
+};
+
+/// Convenience factories.
+AlignedBuffer make_page_buffer(std::size_t size);
+AlignedBuffer make_cache_aligned_buffer(std::size_t size);
+
+}  // namespace sembfs

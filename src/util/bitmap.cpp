@@ -1,0 +1,59 @@
+#include "util/bitmap.hpp"
+
+#include <bit>
+
+namespace sembfs {
+
+namespace {
+constexpr std::size_t words_for(std::size_t bits) { return (bits + 63) / 64; }
+}  // namespace
+
+Bitmap::Bitmap(std::size_t bits) : words_(words_for(bits), 0), bits_(bits) {}
+
+void Bitmap::resize(std::size_t bits) {
+  words_.assign(words_for(bits), 0);
+  bits_ = bits;
+}
+
+void Bitmap::clear() noexcept { std::fill(words_.begin(), words_.end(), 0); }
+
+std::size_t Bitmap::count() const noexcept {
+  std::size_t total = 0;
+  for (const auto w : words_) total += std::popcount(w);
+  return total;
+}
+
+void Bitmap::swap(Bitmap& other) noexcept {
+  words_.swap(other.words_);
+  std::swap(bits_, other.bits_);
+}
+
+AtomicBitmap::AtomicBitmap(std::size_t bits)
+    : words_(words_for(bits)), bits_(bits) {
+  clear();
+}
+
+void AtomicBitmap::resize(std::size_t bits) {
+  words_ = std::vector<std::atomic<std::uint64_t>>(words_for(bits));
+  bits_ = bits;
+  clear();
+}
+
+void AtomicBitmap::clear() noexcept {
+  for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+}
+
+std::size_t AtomicBitmap::count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& w : words_)
+    total += std::popcount(w.load(std::memory_order_relaxed));
+  return total;
+}
+
+void AtomicBitmap::snapshot(Bitmap& out) const {
+  out.resize(bits_);
+  for (std::size_t i = 0; i < bits_; ++i)
+    if (test(i)) out.set(i);
+}
+
+}  // namespace sembfs

@@ -1,0 +1,126 @@
+// Fixed-size bitmaps used for BFS frontier and visited-vertex tracking.
+//
+// Two flavours:
+//  - Bitmap: plain single-writer bitmap (fast, no atomics).
+//  - AtomicBitmap: concurrent bitmap whose set operations are lock-free and
+//    report whether the caller won the race (the "claim" idiom the top-down
+//    step relies on: tree(w) == -1 -> tree(w) = v must happen exactly once).
+//
+// Both store 64 bits per word; sizes are in bits.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+/// Plain (non-atomic) bitmap. Not safe for concurrent writers.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(std::size_t bits);
+
+  void resize(std::size_t bits);
+  void clear() noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_; }
+  [[nodiscard]] std::size_t word_count() const noexcept {
+    return words_.size();
+  }
+
+  void set(std::size_t i) noexcept {
+    SEMBFS_ASSERT(i < bits_);
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+  void reset(std::size_t i) noexcept {
+    SEMBFS_ASSERT(i < bits_);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    SEMBFS_ASSERT(i < bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1U;
+  }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept;
+
+  /// Calls fn(index) for every set bit, in increasing index order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(w * 64 + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t word(std::size_t w) const noexcept {
+    return words_[w];
+  }
+
+  /// Swap contents with another bitmap of any size.
+  void swap(Bitmap& other) noexcept;
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t bits_ = 0;
+};
+
+/// Concurrent bitmap. set() uses fetch_or; try_set() reports the winner.
+class AtomicBitmap {
+ public:
+  AtomicBitmap() = default;
+  explicit AtomicBitmap(std::size_t bits);
+
+  AtomicBitmap(const AtomicBitmap&) = delete;
+  AtomicBitmap& operator=(const AtomicBitmap&) = delete;
+  AtomicBitmap(AtomicBitmap&&) noexcept = default;
+  AtomicBitmap& operator=(AtomicBitmap&&) noexcept = default;
+
+  void resize(std::size_t bits);
+  /// Clears all bits. Not safe concurrently with writers.
+  void clear() noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_; }
+
+  void set(std::size_t i) noexcept {
+    SEMBFS_ASSERT(i < bits_);
+    words_[i >> 6].fetch_or(std::uint64_t{1} << (i & 63),
+                            std::memory_order_relaxed);
+  }
+
+  /// Atomically sets bit i; returns true iff this call changed it 0 -> 1.
+  bool try_set(std::size_t i) noexcept {
+    SEMBFS_ASSERT(i < bits_);
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    const std::uint64_t old =
+        words_[i >> 6].fetch_or(mask, std::memory_order_acq_rel);
+    return (old & mask) == 0;
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    SEMBFS_ASSERT(i < bits_);
+    return (words_[i >> 6].load(std::memory_order_relaxed) >> (i & 63)) & 1U;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept;
+
+  /// Copies contents into a plain Bitmap (not concurrent-safe vs writers).
+  void snapshot(Bitmap& out) const;
+
+ private:
+  // unique_ptr-free: vector of atomics cannot be resized with live data,
+  // which is fine — BFS sizes the bitmap once per graph.
+  std::vector<std::atomic<std::uint64_t>> words_;
+  std::size_t bits_ = 0;
+};
+
+}  // namespace sembfs

@@ -1,0 +1,35 @@
+// Lightweight contract checks in the spirit of the C++ Core Guidelines
+// (I.6 Expects / I.8 Ensures). Violations abort with a source location so
+// that broken invariants fail loudly in both debug and release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sembfs {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::fprintf(stderr, "%s violation: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace sembfs
+
+// Precondition on the caller.
+#define SEMBFS_EXPECTS(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::sembfs::contract_violation("Precondition", #cond, __FILE__,   \
+                                         __LINE__))
+
+// Postcondition on the callee.
+#define SEMBFS_ENSURES(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                             \
+          : ::sembfs::contract_violation("Postcondition", #cond, __FILE__,   \
+                                         __LINE__))
+
+// Internal invariant.
+#define SEMBFS_ASSERT(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::sembfs::contract_violation("Invariant", #cond, __FILE__,     \
+                                         __LINE__))

@@ -1,0 +1,32 @@
+// CSV emission for benchmark series (machine-readable twin of AsciiTable).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sembfs {
+
+/// Accumulates rows and writes an RFC-4180-ish CSV file.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the whole document to a string.
+  [[nodiscard]] std::string render() const;
+
+  /// Writes to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Quotes a single field if it contains separators/quotes/newlines.
+  static std::string escape(const std::string& field);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sembfs

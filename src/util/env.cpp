@@ -1,0 +1,45 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+namespace sembfs {
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return parsed;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? fallback : std::string{v};
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0') return fallback;
+  return parsed;
+}
+
+BenchEnv BenchEnv::resolve() {
+  BenchEnv env;
+  env.scale = static_cast<int>(env_int("SEMBFS_SCALE", 16));
+  env.edge_factor = static_cast<int>(env_int("SEMBFS_EDGE_FACTOR", 16));
+  env.roots = static_cast<int>(env_int("SEMBFS_ROOTS", 8));
+  const unsigned hw = std::thread::hardware_concurrency();
+  env.threads = static_cast<int>(
+      env_int("SEMBFS_THREADS", hw == 0 ? 1 : static_cast<int>(hw)));
+  env.numa_nodes = static_cast<int>(env_int("SEMBFS_NUMA_NODES", 4));
+  env.seed = static_cast<std::uint64_t>(env_int("SEMBFS_SEED", 12345));
+  env.workdir = env_string("SEMBFS_WORKDIR", "/tmp/sembfs");
+  return env;
+}
+
+}  // namespace sembfs

@@ -1,0 +1,36 @@
+// Environment-variable overrides shared by every bench binary.
+//
+// The bench harness must run argument-free (`for b in build/bench/*; do $b;
+// done`), so scale/threads/etc. are taken from SEMBFS_* variables with
+// small, fast defaults.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace sembfs {
+
+/// Reads an integer env var; returns fallback when unset or malformed.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Reads a string env var; returns fallback when unset.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Reads a double env var; returns fallback when unset or malformed.
+double env_double(const char* name, double fallback);
+
+/// Common knobs for bench binaries, resolved once.
+struct BenchEnv {
+  int scale;           ///< SEMBFS_SCALE   (default 16)
+  int edge_factor;     ///< SEMBFS_EDGE_FACTOR (default 16)
+  int roots;           ///< SEMBFS_ROOTS   (default 8; paper uses 64)
+  int threads;         ///< SEMBFS_THREADS (default hardware_concurrency)
+  int numa_nodes;      ///< SEMBFS_NUMA_NODES (default 4, like the paper)
+  std::uint64_t seed;  ///< SEMBFS_SEED    (default 12345)
+  std::string workdir; ///< SEMBFS_WORKDIR (default /tmp/sembfs)
+
+  static BenchEnv resolve();
+};
+
+}  // namespace sembfs

@@ -1,0 +1,69 @@
+#include "util/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace sembfs {
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 7> units = {
+      "B", "KB", "MB", "GB", "TB", "PB", "EB"};
+  double v = static_cast<double>(bytes);
+  std::size_t u = 0;
+  while (v >= 1000.0 && u + 1 < units.size()) {
+    v /= 1000.0;
+    ++u;
+  }
+  char buf[32];
+  if (u == 0)
+    std::snprintf(buf, sizeof buf, "%.0f %s", v, units[u]);
+  else
+    std::snprintf(buf, sizeof buf, "%.1f %s", v, units[u]);
+  return buf;
+}
+
+std::string format_teps(double teps) {
+  char buf[32];
+  if (teps >= 1e9)
+    std::snprintf(buf, sizeof buf, "%.2f GTEPS", teps / 1e9);
+  else if (teps >= 1e6)
+    std::snprintf(buf, sizeof buf, "%.2f MTEPS", teps / 1e6);
+  else if (teps >= 1e3)
+    std::snprintf(buf, sizeof buf, "%.2f KTEPS", teps / 1e3);
+  else
+    std::snprintf(buf, sizeof buf, "%.2f TEPS", teps);
+  return buf;
+}
+
+std::string format_scientific(double v) {
+  char buf[32];
+  // Paper style: "1.E+04".
+  const int exp = v > 0 ? static_cast<int>(std::floor(std::log10(v))) : 0;
+  const double mant = v > 0 ? v / std::pow(10.0, exp) : 0.0;
+  if (std::abs(mant - 1.0) < 1e-9)
+    std::snprintf(buf, sizeof buf, "1.E+%02d", exp);
+  else
+    std::snprintf(buf, sizeof buf, "%.1fE+%02d", mant, exp);
+  return buf;
+}
+
+std::string format_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string format_count(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t first = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first) % 3 == 0 && i >= first) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+}  // namespace sembfs

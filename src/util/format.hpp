@@ -1,0 +1,24 @@
+// Human-readable number formatting for harness output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sembfs {
+
+/// "40.1 GB" style binary-ish formatting. Uses decimal GB like the paper.
+std::string format_bytes(std::uint64_t bytes);
+
+/// "4.22 GTEPS" style rate formatting from edges/second.
+std::string format_teps(double teps);
+
+/// "1.E+04" scientific notation used for the alpha/beta axes in the paper.
+std::string format_scientific(double v);
+
+/// Fixed-width fixed-point, e.g. format_fixed(3.14159, 2) == "3.14".
+std::string format_fixed(double v, int decimals);
+
+/// Thousands-separated integer, e.g. 1234567 -> "1,234,567".
+std::string format_count(std::uint64_t v);
+
+}  // namespace sembfs

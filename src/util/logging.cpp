@@ -1,0 +1,44 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace sembfs {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info:  return "INFO ";
+    case LogLevel::Warn:  return "WARN ";
+    case LogLevel::Error: return "ERROR";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_message(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed))
+    return;
+  char buf[1024];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  const std::lock_guard<std::mutex> lock{g_mutex};
+  std::fprintf(stderr, "[sembfs %s] %s\n", level_name(level), buf);
+}
+
+}  // namespace sembfs

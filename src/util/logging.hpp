@@ -1,0 +1,31 @@
+// Tiny leveled logger. Thread-safe line-at-a-time output on stderr.
+//
+// The library itself is silent by default (level = Warn); examples and the
+// graph500 driver raise verbosity. Printf-style to avoid iostream locking
+// surprises in parallel regions.
+#pragma once
+
+#include <cstdarg>
+
+namespace sembfs {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+/// Sets the global minimum level (messages below are dropped).
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Core sink; prefer the LOG_* helpers below.
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace sembfs
+
+#define SEMBFS_LOG_DEBUG(...) \
+  ::sembfs::log_message(::sembfs::LogLevel::Debug, __VA_ARGS__)
+#define SEMBFS_LOG_INFO(...) \
+  ::sembfs::log_message(::sembfs::LogLevel::Info, __VA_ARGS__)
+#define SEMBFS_LOG_WARN(...) \
+  ::sembfs::log_message(::sembfs::LogLevel::Warn, __VA_ARGS__)
+#define SEMBFS_LOG_ERROR(...) \
+  ::sembfs::log_message(::sembfs::LogLevel::Error, __VA_ARGS__)

@@ -1,0 +1,170 @@
+#include "util/options.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+OptionParser::OptionParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void OptionParser::add_int(const std::string& name, std::int64_t default_value,
+                           const std::string& help) {
+  Option opt;
+  opt.kind = Kind::Int;
+  opt.help = help;
+  opt.int_value = default_value;
+  opt.default_text = std::to_string(default_value);
+  options_.emplace(name, std::move(opt));
+  order_.push_back(name);
+}
+
+void OptionParser::add_double(const std::string& name, double default_value,
+                              const std::string& help) {
+  Option opt;
+  opt.kind = Kind::Double;
+  opt.help = help;
+  opt.double_value = default_value;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", default_value);
+  opt.default_text = buf;
+  options_.emplace(name, std::move(opt));
+  order_.push_back(name);
+}
+
+void OptionParser::add_string(const std::string& name,
+                              const std::string& default_value,
+                              const std::string& help) {
+  Option opt;
+  opt.kind = Kind::String;
+  opt.help = help;
+  opt.string_value = default_value;
+  opt.default_text = default_value;
+  options_.emplace(name, std::move(opt));
+  order_.push_back(name);
+}
+
+void OptionParser::add_flag(const std::string& name, const std::string& help) {
+  Option opt;
+  opt.kind = Kind::Flag;
+  opt.help = help;
+  opt.default_text = "false";
+  options_.emplace(name, std::move(opt));
+  order_.push_back(name);
+}
+
+OptionParser::Option* OptionParser::find(const std::string& name) {
+  const auto it = options_.find(name);
+  return it == options_.end() ? nullptr : &it->second;
+}
+
+const OptionParser::Option& OptionParser::require(const std::string& name,
+                                                  Kind kind) const {
+  const auto it = options_.find(name);
+  SEMBFS_EXPECTS(it != options_.end());
+  SEMBFS_EXPECTS(it->second.kind == kind);
+  return it->second;
+}
+
+bool OptionParser::parse(int argc, const char* const* argv) {
+  if (argc > 0) program_name_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      std::fputs(help_text().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.erase(eq);
+      has_value = true;
+    }
+    Option* opt = find(arg);
+    if (opt == nullptr) {
+      std::fprintf(stderr, "unknown option --%s\n%s", arg.c_str(),
+                   help_text().c_str());
+      return false;
+    }
+    if (opt->kind == Kind::Flag) {
+      if (has_value) {
+        std::fprintf(stderr, "flag --%s does not take a value\n", arg.c_str());
+        return false;
+      }
+      opt->flag_value = true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "option --%s requires a value\n", arg.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    char* end = nullptr;
+    switch (opt->kind) {
+      case Kind::Int:
+        opt->int_value = std::strtoll(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0') {
+          std::fprintf(stderr, "option --%s: '%s' is not an integer\n",
+                       arg.c_str(), value.c_str());
+          return false;
+        }
+        break;
+      case Kind::Double:
+        opt->double_value = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0') {
+          std::fprintf(stderr, "option --%s: '%s' is not a number\n",
+                       arg.c_str(), value.c_str());
+          return false;
+        }
+        break;
+      case Kind::String:
+        opt->string_value = value;
+        break;
+      case Kind::Flag:
+        break;  // handled above
+    }
+  }
+  return true;
+}
+
+std::string OptionParser::help_text() const {
+  std::string out = description_;
+  out += "\n\nOptions:\n";
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
+    out += "  --" + name;
+    if (opt.kind != Kind::Flag) out += " <value>";
+    out += "\n      " + opt.help + " (default: " + opt.default_text + ")\n";
+  }
+  out += "  --help\n      Show this message.\n";
+  return out;
+}
+
+std::int64_t OptionParser::get_int(const std::string& name) const {
+  return require(name, Kind::Int).int_value;
+}
+
+double OptionParser::get_double(const std::string& name) const {
+  return require(name, Kind::Double).double_value;
+}
+
+const std::string& OptionParser::get_string(const std::string& name) const {
+  return require(name, Kind::String).string_value;
+}
+
+bool OptionParser::get_flag(const std::string& name) const {
+  return require(name, Kind::Flag).flag_value;
+}
+
+}  // namespace sembfs

@@ -1,0 +1,67 @@
+// Small GNU-style command-line option parser for the example binaries.
+//
+// Supports `--name value`, `--name=value`, boolean flags, defaults, and an
+// auto-generated --help. Deliberately tiny: no subcommands, no positional
+// metadata beyond a trailing free-argument list.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sembfs {
+
+class OptionParser {
+ public:
+  explicit OptionParser(std::string program_description);
+
+  /// Registers options. `name` is without leading dashes.
+  void add_int(const std::string& name, std::int64_t default_value,
+               const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false (after printing a message) on error or on
+  /// --help; callers should exit(0) when help_requested().
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool help_requested() const noexcept { return help_; }
+  [[nodiscard]] std::string help_text() const;
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  enum class Kind { Int, Double, String, Flag };
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::string default_text;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+    bool flag_value = false;
+  };
+
+  Option* find(const std::string& name);
+  const Option& require(const std::string& name, Kind kind) const;
+
+  std::string description_;
+  std::string program_name_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+  bool help_ = false;
+};
+
+}  // namespace sembfs

@@ -1,0 +1,89 @@
+#include "util/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  SEMBFS_EXPECTS(!sorted.empty());
+  SEMBFS_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+SampleStats compute_stats(std::vector<double> values) {
+  SampleStats s;
+  s.n = values.size();
+  if (values.empty()) return s;
+
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  s.first_quartile = sorted_quantile(values, 0.25);
+  s.median = sorted_quantile(values, 0.50);
+  s.third_quartile = sorted_quantile(values, 0.75);
+
+  const double n = static_cast<double>(values.size());
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  s.mean = sum / n;
+
+  double sq = 0.0;
+  for (const double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = values.size() > 1 ? std::sqrt(sq / (n - 1.0)) : 0.0;
+
+  // Harmonic mean and its stddev as the Graph500 reference computes them:
+  // hmean = n / S with S = sum(1/x); stddev via the delta method on 1/x.
+  double inv_sum = 0.0;
+  bool has_nonpositive = false;
+  for (const double v : values) {
+    if (v <= 0.0) {
+      has_nonpositive = true;
+      break;
+    }
+    inv_sum += 1.0 / v;
+  }
+  if (!has_nonpositive && inv_sum > 0.0) {
+    s.harmonic_mean = n / inv_sum;
+    if (values.size() > 1) {
+      const double inv_mean = inv_sum / n;
+      double inv_sq = 0.0;
+      for (const double v : values)
+        inv_sq += (1.0 / v - inv_mean) * (1.0 / v - inv_mean);
+      const double inv_stddev = std::sqrt(inv_sq / (n - 1.0));
+      // d(1/y)/dy scaling: stddev(hmean) ~ inv_stddev * hmean^2 / sqrt(n)
+      s.harmonic_stddev =
+          inv_stddev * s.harmonic_mean * s.harmonic_mean / std::sqrt(n);
+    }
+  }
+  return s;
+}
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace sembfs

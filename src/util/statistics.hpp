@@ -1,0 +1,57 @@
+// Summary statistics in the style of the Graph500 output block.
+//
+// The official benchmark reports min / first quartile / median / third
+// quartile / max, plus mean and stddev, and — for TEPS — *harmonic* mean and
+// harmonic stddev, because TEPS is a rate. SampleStats reproduces exactly
+// that set so the graph500 driver can print a spec-shaped results block.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sembfs {
+
+/// Five-number summary plus means for a sample of doubles.
+struct SampleStats {
+  std::size_t n = 0;
+  double min = 0.0;
+  double first_quartile = 0.0;
+  double median = 0.0;
+  double third_quartile = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;          ///< sample standard deviation (n-1)
+  double harmonic_mean = 0.0;   ///< n / sum(1/x)
+  double harmonic_stddev = 0.0; ///< Graph500's jackknife-style estimate
+};
+
+/// Computes the full summary. `values` is copied and sorted internally.
+SampleStats compute_stats(std::vector<double> values);
+
+/// Linear-interpolated quantile of a *sorted* sample, q in [0,1].
+double sorted_quantile(const std::vector<double>& sorted, double q);
+
+/// Streaming mean/variance/min/max accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace sembfs

@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SEMBFS_EXPECTS(!headers_.empty());
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  SEMBFS_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back({std::move(cells), pending_separator_});
+  pending_separator_ = false;
+}
+
+void AsciiTable::add_separator() { pending_separator_ = true; }
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      widths[c] = std::max(widths[c], row.cells[c].size());
+
+  auto hline = [&] {
+    std::string line = "+";
+    for (const auto w : widths) {
+      line.append(w + 2, '-');
+      line += '+';
+    }
+    line += '\n';
+    return line;
+  };
+  auto render_cells = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += ' ';
+      line += cells[c];
+      line.append(widths[c] - cells[c].size() + 1, ' ');
+      line += '|';
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = hline();
+  out += render_cells(headers_);
+  out += hline();
+  for (const auto& row : rows_) {
+    if (row.separator_before) out += hline();
+    out += render_cells(row.cells);
+  }
+  out += hline();
+  return out;
+}
+
+void AsciiTable::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace sembfs

@@ -1,0 +1,40 @@
+// Minimal ASCII table renderer for the benchmark harness output.
+//
+// Every figure/table bench prints its series as an aligned text table so the
+// paper's rows can be eyeballed against the measured ones without plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sembfs {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Adds a data row. Must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator before the next row.
+  void add_separator();
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders the table (header, separator, rows) with column alignment.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace sembfs

@@ -1,0 +1,47 @@
+// Monotonic wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace sembfs {
+
+/// Stopwatch over the steady clock. Construction starts it.
+class Timer {
+ public:
+  Timer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  [[nodiscard]] double milliseconds() const noexcept {
+    return seconds() * 1e3;
+  }
+  [[nodiscard]] std::uint64_t nanoseconds() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates elapsed time across start/stop pairs (per-level timing).
+class AccumulatingTimer {
+ public:
+  void start() noexcept { timer_.reset(); }
+  void stop() noexcept { total_ += timer_.seconds(); }
+  void reset() noexcept { total_ = 0.0; }
+  [[nodiscard]] double seconds() const noexcept { return total_; }
+
+ private:
+  Timer timer_;
+  double total_ = 0.0;
+};
+
+}  // namespace sembfs

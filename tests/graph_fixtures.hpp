@@ -1,0 +1,60 @@
+// Shared small-graph fixtures for the test suite.
+#pragma once
+
+#include "graph/edge_list.hpp"
+#include "graph/csr.hpp"
+#include "graph/kronecker.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace sembfs::fixtures {
+
+// A 8-vertex undirected graph used across the BFS tests:
+//
+//        0 -- 1 -- 2        5 -- 6
+//        |    |
+//        3 -- 4              7 (isolated)
+//
+// BFS from 0: levels {0:0, 1:1, 3:1, 2:2, 4:2}; 5,6,7 unreachable.
+inline EdgeList small_graph() {
+  EdgeList edges{8};
+  edges.add(0, 1);
+  edges.add(1, 2);
+  edges.add(0, 3);
+  edges.add(1, 4);
+  edges.add(3, 4);
+  edges.add(5, 6);
+  return edges;
+}
+
+// A path 0-1-2-3-4-5-6-7 (deep BFS, frontier of one vertex per level).
+inline EdgeList path_graph(Vertex n = 8) {
+  EdgeList edges{n};
+  for (Vertex v = 0; v + 1 < n; ++v) edges.add(v, v + 1);
+  return edges;
+}
+
+// A star: vertex 0 connected to all others (frontier explodes at level 1).
+inline EdgeList star_graph(Vertex n = 16) {
+  EdgeList edges{n};
+  for (Vertex v = 1; v < n; ++v) edges.add(0, v);
+  return edges;
+}
+
+// A complete graph K_n.
+inline EdgeList complete_graph(Vertex n = 8) {
+  EdgeList edges{n};
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v) edges.add(u, v);
+  return edges;
+}
+
+inline KroneckerParams small_kronecker(int scale = 10, int edge_factor = 8,
+                                       std::uint64_t seed = 42) {
+  KroneckerParams params;
+  params.scale = scale;
+  params.edge_factor = edge_factor;
+  params.seed = seed;
+  return params;
+}
+
+}  // namespace sembfs::fixtures

@@ -1,0 +1,74 @@
+#include "util/aligned_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace sembfs {
+namespace {
+
+TEST(AlignedBuffer, DefaultIsEmpty) {
+  AlignedBuffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.data(), nullptr);
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(AlignedBuffer, PageAlignment) {
+  AlignedBuffer b = make_page_buffer(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % kPageSize, 0u);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.alignment(), kPageSize);
+}
+
+TEST(AlignedBuffer, CacheLineAlignment) {
+  AlignedBuffer b = make_cache_aligned_buffer(10);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % kCacheLineSize, 0u);
+}
+
+TEST(AlignedBuffer, ZeroFills) {
+  AlignedBuffer b{256, 64};
+  std::memset(b.data(), 0xAB, b.size());
+  b.zero();
+  for (const std::byte x : b.bytes()) EXPECT_EQ(x, std::byte{0});
+}
+
+TEST(AlignedBuffer, TypedView) {
+  AlignedBuffer b{8 * sizeof(std::uint64_t), 64};
+  auto view = b.as<std::uint64_t>();
+  ASSERT_EQ(view.size(), 8u);
+  view[3] = 0xDEADBEEF;
+  EXPECT_EQ(b.as<std::uint64_t>()[3], 0xDEADBEEFu);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer a{64, 64};
+  a.as<std::uint64_t>()[0] = 42;
+  const std::byte* ptr = a.data();
+  AlignedBuffer b = std::move(a);
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(b.as<std::uint64_t>()[0], 42u);
+  EXPECT_EQ(a.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(AlignedBuffer, MoveAssignReleasesOld) {
+  AlignedBuffer a{64, 64};
+  AlignedBuffer b{128, 64};
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 64u);
+}
+
+TEST(AlignedBuffer, SizeNotMultipleOfAlignmentStillWorks) {
+  AlignedBuffer b{4097, kPageSize};  // aligned_alloc needs padded size
+  EXPECT_EQ(b.size(), 4097u);
+  std::memset(b.data(), 1, b.size());  // must not crash
+}
+
+TEST(AlignedBufferDeath, RejectsNonPowerOfTwoAlignment) {
+  EXPECT_DEATH(AlignedBuffer(64, 3), "Precondition");
+}
+
+}  // namespace
+}  // namespace sembfs

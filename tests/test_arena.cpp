@@ -1,0 +1,56 @@
+#include "numa/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace sembfs {
+namespace {
+
+TEST(NumaArena, StartsEmpty) {
+  NumaArena arena{4};
+  EXPECT_EQ(arena.node_count(), 4u);
+  EXPECT_EQ(arena.total_bytes(), 0u);
+}
+
+TEST(NumaArena, RecordsPerNode) {
+  NumaArena arena{2};
+  arena.record_alloc(0, 100);
+  arena.record_alloc(1, 50);
+  arena.record_alloc(0, 25);
+  EXPECT_EQ(arena.bytes_on(0), 125u);
+  EXPECT_EQ(arena.bytes_on(1), 50u);
+  EXPECT_EQ(arena.total_bytes(), 175u);
+}
+
+TEST(NumaArena, FreeReducesCount) {
+  NumaArena arena{2};
+  arena.record_alloc(1, 100);
+  arena.record_free(1, 40);
+  EXPECT_EQ(arena.bytes_on(1), 60u);
+}
+
+TEST(NumaArena, AllocVectorAccountsBytes) {
+  NumaArena arena{2};
+  auto v = arena.alloc_vector<std::int64_t>(0, 10);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(arena.bytes_on(0), 80u);
+}
+
+TEST(NumaArena, ConcurrentAccountingIsExact) {
+  NumaArena arena{4};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&arena] {
+      for (int i = 0; i < 1000; ++i)
+        arena.record_alloc(static_cast<std::size_t>(i % 4), 8);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(arena.total_bytes(), 8u * 1000u * 8u);
+  EXPECT_EQ(arena.bytes_on(0), 8u * 250u * 8u);
+}
+
+}  // namespace
+}  // namespace sembfs

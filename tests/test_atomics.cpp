@@ -1,0 +1,71 @@
+#include "parallel/atomics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace sembfs {
+namespace {
+
+TEST(AtomicFetchMin, StoresSmaller) {
+  std::atomic<std::int64_t> slot{10};
+  EXPECT_TRUE(atomic_fetch_min(slot, std::int64_t{5}));
+  EXPECT_EQ(slot.load(), 5);
+}
+
+TEST(AtomicFetchMin, IgnoresLargerOrEqual) {
+  std::atomic<std::int64_t> slot{10};
+  EXPECT_FALSE(atomic_fetch_min(slot, std::int64_t{10}));
+  EXPECT_FALSE(atomic_fetch_min(slot, std::int64_t{20}));
+  EXPECT_EQ(slot.load(), 10);
+}
+
+TEST(AtomicFetchMax, StoresLarger) {
+  std::atomic<std::int64_t> slot{10};
+  EXPECT_TRUE(atomic_fetch_max(slot, std::int64_t{20}));
+  EXPECT_EQ(slot.load(), 20);
+  EXPECT_FALSE(atomic_fetch_max(slot, std::int64_t{15}));
+  EXPECT_EQ(slot.load(), 20);
+}
+
+TEST(AtomicFetchMin, ConcurrentConvergesToMinimum) {
+  std::atomic<std::int64_t> slot{1 << 30};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&slot, t] {
+      for (std::int64_t i = 1000; i >= 0; --i)
+        atomic_fetch_min(slot, i * 8 + t);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(slot.load(), 0);
+}
+
+TEST(AtomicClaim, FirstClaimerWins) {
+  std::atomic<std::int64_t> slot{-1};
+  EXPECT_TRUE(atomic_claim(slot, std::int64_t{-1}, std::int64_t{7}));
+  EXPECT_EQ(slot.load(), 7);
+  EXPECT_FALSE(atomic_claim(slot, std::int64_t{-1}, std::int64_t{9}));
+  EXPECT_EQ(slot.load(), 7);
+}
+
+TEST(AtomicClaim, ConcurrentSingleWinner) {
+  constexpr int kSlots = 1024;
+  std::vector<std::atomic<std::int64_t>> slots(kSlots);
+  for (auto& s : slots) s.store(-1);
+  std::atomic<int> wins{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kSlots; ++i)
+        if (atomic_claim(slots[i], std::int64_t{-1}, std::int64_t{t}))
+          wins.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wins.load(), kSlots);
+}
+
+}  // namespace
+}  // namespace sembfs

@@ -1,0 +1,113 @@
+#include "graph500/benchmark.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace sembfs {
+namespace {
+
+class BenchmarkTest : public ::testing::Test {
+ protected:
+  BenchmarkConfig base_config(const Scenario& scenario) {
+    BenchmarkConfig config;
+    config.instance.kronecker.scale = 9;
+    config.instance.kronecker.edge_factor = 8;
+    config.instance.kronecker.seed = 5;
+    config.instance.scenario = scenario;
+    config.instance.scenario.time_scale = 0.001;
+    config.instance.numa_nodes = 2;
+    config.instance.workdir = ::testing::TempDir() + "/sembfs_bench_test";
+    config.num_roots = 4;
+    return config;
+  }
+  void TearDown() override {
+    std::filesystem::remove_all(::testing::TempDir() + "/sembfs_bench_test");
+  }
+  ThreadPool pool_{4};
+};
+
+TEST_F(BenchmarkTest, DramOnlyRunCompletesValidated) {
+  const BenchmarkRun run = run_graph500(base_config(Scenario::dram_only()),
+                                        pool_);
+  EXPECT_EQ(run.runs.size(), 4u);
+  EXPECT_TRUE(run.output.all_validated);
+  EXPECT_GT(run.output.score(), 0.0);
+  EXPECT_EQ(run.nvm_io.requests, 0u);
+  EXPECT_GT(run.graph_dram_bytes, 0u);
+  EXPECT_EQ(run.graph_nvm_bytes, 0u);
+}
+
+TEST_F(BenchmarkTest, MedianWithinMinMax) {
+  const BenchmarkRun run = run_graph500(base_config(Scenario::dram_only()),
+                                        pool_);
+  EXPECT_GE(run.output.teps_stats.median, run.output.teps_stats.min);
+  EXPECT_LE(run.output.teps_stats.median, run.output.teps_stats.max);
+  EXPECT_EQ(run.output.nbfs, 4u);
+}
+
+TEST_F(BenchmarkTest, OffloadScenarioReportsNvmIo) {
+  BenchmarkConfig config = base_config(Scenario::dram_pcie_flash());
+  config.bfs.policy.alpha = 10.0;  // make top-down dominate -> NVM traffic
+  config.bfs.policy.beta = 1e9;
+  const BenchmarkRun run = run_graph500(config, pool_);
+  EXPECT_TRUE(run.output.all_validated);
+  EXPECT_GT(run.nvm_io.requests, 0u);
+  EXPECT_GT(run.nvm_io.avg_request_sectors, 0.0);
+  EXPECT_GT(run.graph_nvm_bytes, 0u);
+}
+
+TEST_F(BenchmarkTest, TopDownOnlyModeRuns) {
+  BenchmarkConfig config = base_config(Scenario::dram_only());
+  config.bfs.mode = BfsMode::TopDownOnly;
+  const BenchmarkRun run = run_graph500(config, pool_);
+  EXPECT_TRUE(run.output.all_validated);
+}
+
+TEST_F(BenchmarkTest, BottomUpOnlyModeRuns) {
+  BenchmarkConfig config = base_config(Scenario::dram_only());
+  config.bfs.mode = BfsMode::BottomUpOnly;
+  const BenchmarkRun run = run_graph500(config, pool_);
+  EXPECT_TRUE(run.output.all_validated);
+}
+
+TEST_F(BenchmarkTest, SkipValidationStillRecordsRuns) {
+  BenchmarkConfig config = base_config(Scenario::dram_only());
+  config.validate = false;
+  const BenchmarkRun run = run_graph500(config, pool_);
+  EXPECT_EQ(run.runs.size(), 4u);
+}
+
+TEST_F(BenchmarkTest, BfsPhaseReusableOnOneInstance) {
+  const BenchmarkConfig config = base_config(Scenario::dram_only());
+  Graph500Instance instance{config.instance, pool_};
+  BfsConfig a;
+  a.policy.alpha = 1e2;
+  BfsConfig b;
+  b.policy.alpha = 1e6;
+  const BenchmarkRun run_a =
+      run_graph500_bfs_phase(instance, a, 3, true, 1);
+  const BenchmarkRun run_b =
+      run_graph500_bfs_phase(instance, b, 3, true, 1);
+  EXPECT_TRUE(run_a.output.all_validated);
+  EXPECT_TRUE(run_b.output.all_validated);
+  // Same roots (same seed) -> identical traversed-edge medians.
+  EXPECT_DOUBLE_EQ(run_a.output.edge_stats.median,
+                   run_b.output.edge_stats.median);
+}
+
+TEST_F(BenchmarkTest, RootSeedChangesRootSet) {
+  const BenchmarkConfig config = base_config(Scenario::dram_only());
+  Graph500Instance instance{config.instance, pool_};
+  const BenchmarkRun a =
+      run_graph500_bfs_phase(instance, BfsConfig{}, 4, false, 1);
+  const BenchmarkRun b =
+      run_graph500_bfs_phase(instance, BfsConfig{}, 4, false, 2);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.runs.size(); ++i)
+    any_different = any_different || a.runs[i].root != b.runs[i].root;
+  EXPECT_TRUE(any_different);
+}
+
+}  // namespace
+}  // namespace sembfs

@@ -1,0 +1,114 @@
+#include "bfs/bfs_status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace sembfs {
+namespace {
+
+TEST(BfsStatus, ResetSeedsRoot) {
+  BfsStatus status{10};
+  status.reset(3);
+  EXPECT_EQ(status.parent(3), 3);
+  EXPECT_EQ(status.level(3), 0);
+  EXPECT_TRUE(status.is_visited(3));
+  EXPECT_TRUE(status.in_frontier(3));
+  EXPECT_EQ(status.frontier_size(), 1);
+  EXPECT_EQ(status.frontier()[0], 3);
+  EXPECT_EQ(status.visited_count(), 1);
+}
+
+TEST(BfsStatus, UnvisitedState) {
+  BfsStatus status{10};
+  status.reset(0);
+  for (Vertex v = 1; v < 10; ++v) {
+    EXPECT_EQ(status.parent(v), kNoVertex);
+    EXPECT_EQ(status.level(v), -1);
+    EXPECT_FALSE(status.is_visited(v));
+  }
+}
+
+TEST(BfsStatus, ClaimWinsOnce) {
+  BfsStatus status{10};
+  status.reset(0);
+  EXPECT_TRUE(status.claim(5, 0, 1));
+  EXPECT_FALSE(status.claim(5, 2, 1));  // already claimed
+  EXPECT_EQ(status.parent(5), 0);
+  EXPECT_EQ(status.level(5), 1);
+  EXPECT_TRUE(status.is_visited(5));
+}
+
+TEST(BfsStatus, AdvancePromotesNext) {
+  BfsStatus status{10};
+  status.reset(0);
+  status.claim(4, 0, 1);
+  status.claim(7, 0, 1);
+  status.set_next({4, 7});
+  status.advance();
+  EXPECT_EQ(status.frontier_size(), 2);
+  EXPECT_TRUE(status.in_frontier(4));
+  EXPECT_TRUE(status.in_frontier(7));
+  EXPECT_FALSE(status.in_frontier(0));  // old frontier gone
+}
+
+TEST(BfsStatus, AdvanceOnEmptyNextEmptiesFrontier) {
+  BfsStatus status{4};
+  status.reset(0);
+  status.advance();
+  EXPECT_EQ(status.frontier_size(), 0);
+}
+
+TEST(BfsStatus, ResetClearsPreviousSearch) {
+  BfsStatus status{10};
+  status.reset(0);
+  status.claim(5, 0, 1);
+  status.reset(2);
+  EXPECT_EQ(status.parent(5), kNoVertex);
+  EXPECT_EQ(status.parent(0), kNoVertex);
+  EXPECT_EQ(status.parent(2), 2);
+  EXPECT_EQ(status.visited_count(), 1);
+}
+
+TEST(BfsStatus, ParentSnapshotCopies) {
+  BfsStatus status{5};
+  status.reset(1);
+  status.claim(3, 1, 1);
+  const std::vector<Vertex> snap = status.parent_snapshot();
+  EXPECT_EQ(snap, (std::vector<Vertex>{kNoVertex, 1, kNoVertex, 1,
+                                       kNoVertex}));
+}
+
+TEST(BfsStatus, ConcurrentClaimsSingleWinnerPerVertex) {
+  BfsStatus status{1000};
+  status.reset(0);
+  std::atomic<int> wins{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&status, &wins, t] {
+      for (Vertex v = 1; v < 1000; ++v)
+        if (status.claim(v, static_cast<Vertex>(t), 1)) wins.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wins.load(), 999);
+  EXPECT_EQ(status.visited_count(), 1000);
+}
+
+TEST(BfsStatus, ByteSizeScalesWithVertices) {
+  BfsStatus small{1000};
+  BfsStatus large{100000};
+  EXPECT_GT(large.byte_size(), small.byte_size());
+  // parent (8B) + level (4B) + 2 bitmaps (2/8 B) per vertex at minimum.
+  EXPECT_GE(large.byte_size(), 100000u * 12u);
+}
+
+TEST(BfsStatusDeath, RejectsOutOfRangeRoot) {
+  BfsStatus status{4};
+  EXPECT_DEATH(status.reset(4), "Precondition");
+  EXPECT_DEATH(status.reset(-1), "Precondition");
+}
+
+}  // namespace
+}  // namespace sembfs

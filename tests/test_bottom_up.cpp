@@ -1,0 +1,134 @@
+#include "bfs/bottom_up.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "graph_fixtures.hpp"
+
+namespace sembfs {
+namespace {
+
+class BottomUpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    edges_ = fixtures::small_graph();
+    partition_ = VertexPartition{edges_.vertex_count(), 2};
+    backward_ = BackwardGraph::build(edges_, partition_, CsrBuildOptions{},
+                                     pool_);
+  }
+
+  ThreadPool pool_{4};
+  NumaTopology topology_{2, 2};
+  EdgeList edges_;
+  VertexPartition partition_;
+  BackwardGraph backward_;
+};
+
+TEST_F(BottomUpTest, ClaimsSameFrontierAsTopDownWould) {
+  BfsStatus status{8};
+  status.reset(0);
+  const StepResult r =
+      bottom_up_step(backward_, status, 1, topology_, pool_, 2);
+  EXPECT_EQ(r.claimed, 2);  // 1 and 3 find 0 in the frontier
+  const std::set<Vertex> next(status.next().begin(), status.next().end());
+  EXPECT_EQ(next, (std::set<Vertex>{1, 3}));
+  EXPECT_EQ(status.parent(1), 0);
+  EXPECT_EQ(status.parent(3), 0);
+}
+
+TEST_F(BottomUpTest, ParentIsAlwaysFrontierMember) {
+  BfsStatus status{8};
+  status.reset(0);
+  bottom_up_step(backward_, status, 1, topology_, pool_, 2);
+  status.advance();  // frontier = {1, 3}
+  bottom_up_step(backward_, status, 2, topology_, pool_, 2);
+  EXPECT_TRUE(status.is_visited(2));
+  EXPECT_TRUE(status.is_visited(4));
+  EXPECT_EQ(status.parent(2), 1);
+  EXPECT_TRUE(status.parent(4) == 1 || status.parent(4) == 3);
+}
+
+TEST_F(BottomUpTest, EarlyExitScansNoMoreAfterHit) {
+  // From a full frontier every unvisited vertex stops at its first
+  // neighbor: scanned == number of unvisited-with-edges vertices... at most
+  // scanned <= sum of degrees; with early exit it is strictly less for
+  // vertices whose first neighbor is already in the frontier.
+  ThreadPool pool{4};
+  const EdgeList edges = fixtures::complete_graph(8);
+  const VertexPartition partition{8, 2};
+  const BackwardGraph backward =
+      BackwardGraph::build(edges, partition, CsrBuildOptions{}, pool);
+  const NumaTopology topo{2, 2};
+  BfsStatus status{8};
+  status.reset(0);
+  const StepResult r = bottom_up_step(backward, status, 1, topo, pool, 2);
+  EXPECT_EQ(r.claimed, 7);
+  // K8: every unvisited vertex stops at vertex 0; wherever 0 sits in each
+  // adjacency list, total scanned stays within [7, 7*7].
+  EXPECT_LE(r.scanned_edges, 49);
+  EXPECT_GE(r.scanned_edges, 7);
+}
+
+TEST_F(BottomUpTest, UnreachableComponentNeverClaimed) {
+  BfsStatus status{8};
+  status.reset(0);
+  for (int level = 1; level <= 4; ++level) {
+    bottom_up_step(backward_, status, level, topology_, pool_, 2);
+    status.advance();
+  }
+  EXPECT_EQ(status.parent(5), kNoVertex);
+  EXPECT_EQ(status.parent(6), kNoVertex);
+  EXPECT_EQ(status.parent(7), kNoVertex);
+  EXPECT_EQ(status.visited_count(), 5);
+}
+
+TEST_F(BottomUpTest, EmptyFrontierClaimsNothing) {
+  BfsStatus status{8};
+  status.reset(0);
+  status.advance();  // frontier empty
+  const StepResult r =
+      bottom_up_step(backward_, status, 1, topology_, pool_, 2);
+  EXPECT_EQ(r.claimed, 0);
+}
+
+TEST_F(BottomUpTest, HybridVariantMatchesDram) {
+  const std::string dir = ::testing::TempDir() + "/sembfs_bu_hybrid";
+  std::filesystem::remove_all(dir);
+  auto device = std::make_shared<NvmDevice>(DeviceProfile::dram());
+  HybridBackwardGraph hybrid{backward_, 1, device, dir};
+
+  BfsStatus dram_status{8};
+  BfsStatus hybrid_status{8};
+  dram_status.reset(0);
+  hybrid_status.reset(0);
+  for (int level = 1; level <= 3; ++level) {
+    bottom_up_step(backward_, dram_status, level, topology_, pool_, 2);
+    bottom_up_step_hybrid(hybrid, hybrid_status, level, topology_, pool_, 2);
+    dram_status.advance();
+    hybrid_status.advance();
+  }
+  for (Vertex v = 0; v < 8; ++v)
+    EXPECT_EQ(dram_status.level(v), hybrid_status.level(v)) << "v=" << v;
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(BottomUpTest, HybridCountsNvmWork) {
+  const std::string dir = ::testing::TempDir() + "/sembfs_bu_hybrid2";
+  std::filesystem::remove_all(dir);
+  auto device = std::make_shared<NvmDevice>(DeviceProfile::dram());
+  HybridBackwardGraph hybrid{backward_, 0, device, dir};  // all on NVM
+
+  BfsStatus status{8};
+  status.reset(0);
+  const StepResult r =
+      bottom_up_step_hybrid(hybrid, status, 1, topology_, pool_, 2);
+  EXPECT_EQ(r.claimed, 2);
+  EXPECT_GT(hybrid.nvm_edges_examined(), 0u);
+  EXPECT_EQ(hybrid.dram_edges_examined(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sembfs

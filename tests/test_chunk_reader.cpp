@@ -1,0 +1,75 @@
+#include "nvm/chunk_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace sembfs {
+namespace {
+
+class ChunkReaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    device_ = std::make_shared<NvmDevice>(DeviceProfile::dram());
+    file_ = std::make_unique<NvmFile>(device_, path());
+    payload_.resize(20000);
+    std::iota(payload_.begin(), payload_.end(), 0);
+    file_->write(0, std::as_bytes(std::span<const std::uint8_t>{
+                        reinterpret_cast<const std::uint8_t*>(payload_.data()),
+                        payload_.size()}));
+    device_->stats().reset();
+  }
+  void TearDown() override { remove_file_if_exists(path()); }
+  std::string path() const {
+    return testing::TempDir() + "/sembfs_chunk_test.bin";
+  }
+
+  std::shared_ptr<NvmDevice> device_;
+  std::unique_ptr<NvmFile> file_;
+  std::vector<char> payload_;
+};
+
+TEST_F(ChunkReaderTest, SplitsIntoFourKibRequests) {
+  ChunkReader reader{*file_};  // default 4096
+  std::vector<std::byte> out(10000);
+  const std::uint64_t requests = reader.read_range(0, out);
+  EXPECT_EQ(requests, 3u);  // ceil(10000/4096)
+  EXPECT_EQ(device_->stats().request_count(), 3u);
+}
+
+TEST_F(ChunkReaderTest, ExactMultipleOfChunk) {
+  ChunkReader reader{*file_, 4096};
+  std::vector<std::byte> out(8192);
+  EXPECT_EQ(reader.read_range(0, out), 2u);
+}
+
+TEST_F(ChunkReaderTest, SmallReadIsOneRequest) {
+  ChunkReader reader{*file_};
+  std::vector<std::byte> out(16);
+  EXPECT_EQ(reader.read_range(123, out), 1u);
+}
+
+TEST_F(ChunkReaderTest, EmptyReadIssuesNothing) {
+  ChunkReader reader{*file_};
+  std::vector<std::byte> out;
+  EXPECT_EQ(reader.read_range(0, out), 0u);
+  EXPECT_EQ(device_->stats().request_count(), 0u);
+}
+
+TEST_F(ChunkReaderTest, DataCorrectAcrossChunkBoundaries) {
+  ChunkReader reader{*file_, 4096};
+  std::vector<std::byte> out(10000);
+  reader.read_range(100, out);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    ASSERT_EQ(static_cast<char>(out[i]), payload_[100 + i]) << "i=" << i;
+}
+
+TEST_F(ChunkReaderTest, CustomChunkSize) {
+  ChunkReader reader{*file_, 1000};
+  std::vector<std::byte> out(3500);
+  EXPECT_EQ(reader.read_range(0, out), 4u);  // ceil(3500/1000)
+}
+
+}  // namespace
+}  // namespace sembfs

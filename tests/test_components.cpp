@@ -1,0 +1,86 @@
+#include "analytics/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph_fixtures.hpp"
+
+namespace sembfs {
+namespace {
+
+TEST(ComponentsBfs, SmallGraphStructure) {
+  ThreadPool pool{2};
+  const Csr csr = build_csr(fixtures::small_graph(), CsrBuildOptions{}, pool);
+  const ComponentsResult r = components_bfs(csr);
+  // Components: {0,1,2,3,4}, {5,6}, {7}.
+  EXPECT_EQ(r.component_count, 3);
+  EXPECT_EQ(r.largest_size, 5);
+  EXPECT_EQ(r.largest_label, 0);
+  EXPECT_EQ(r.isolated_count, 1);
+  EXPECT_EQ(r.label[0], 0);
+  EXPECT_EQ(r.label[4], 0);
+  EXPECT_EQ(r.label[5], 5);
+  EXPECT_EQ(r.label[6], 5);
+  EXPECT_EQ(r.label[7], 7);
+}
+
+TEST(ComponentsBfs, LabelIsComponentMinimum) {
+  ThreadPool pool{2};
+  const EdgeList edges =
+      generate_kronecker(fixtures::small_kronecker(9, 4, 71), pool);
+  const Csr csr = build_csr(edges, CsrBuildOptions{}, pool);
+  const ComponentsResult r = components_bfs(csr);
+  for (Vertex v = 0; v < edges.vertex_count(); ++v)
+    EXPECT_LE(r.label[v], v);
+}
+
+TEST(ComponentsBfs, SizeOfAndComponentSizes) {
+  ThreadPool pool{2};
+  const Csr csr = build_csr(fixtures::small_graph(), CsrBuildOptions{}, pool);
+  const ComponentsResult r = components_bfs(csr);
+  EXPECT_EQ(r.size_of(3), 5);
+  EXPECT_EQ(r.size_of(6), 2);
+  const auto sizes = r.component_sizes();
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0].second, 5);  // sorted descending
+  EXPECT_EQ(sizes[2].second, 1);
+}
+
+class LabelPropagationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LabelPropagationTest, MatchesBfsComponents) {
+  ThreadPool pool{4};
+  const EdgeList edges = generate_kronecker(
+      fixtures::small_kronecker(10, 4, static_cast<std::uint64_t>(GetParam())),
+      pool);
+  const Csr csr = build_csr(edges, CsrBuildOptions{}, pool);
+  const ComponentsResult bfs = components_bfs(csr);
+  const ComponentsResult lp = components_label_propagation(csr, pool);
+  EXPECT_EQ(lp.label, bfs.label);
+  EXPECT_EQ(lp.component_count, bfs.component_count);
+  EXPECT_EQ(lp.largest_size, bfs.largest_size);
+  EXPECT_GE(lp.iterations, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabelPropagationTest,
+                         ::testing::Values(1, 2, 3, 7, 13));
+
+TEST(LabelPropagation, PathGraphNeedsDiameterRounds) {
+  ThreadPool pool{2};
+  const Csr csr = build_csr(fixtures::path_graph(32), CsrBuildOptions{}, pool);
+  const ComponentsResult lp = components_label_propagation(csr, pool);
+  EXPECT_EQ(lp.component_count, 1);
+  EXPECT_GE(lp.iterations, 2);  // long chains take multiple rounds
+}
+
+TEST(Components, EdgelessGraphIsAllIsolated) {
+  ThreadPool pool{2};
+  EdgeList edges{5};
+  const Csr csr = build_csr(edges, CsrBuildOptions{}, pool);
+  const ComponentsResult r = components_bfs(csr);
+  EXPECT_EQ(r.component_count, 5);
+  EXPECT_EQ(r.isolated_count, 5);
+  EXPECT_EQ(r.largest_size, 1);
+}
+
+}  // namespace
+}  // namespace sembfs

@@ -1,0 +1,39 @@
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sembfs {
+namespace {
+
+TEST(Contracts, PassingConditionsAreSilent) {
+  SEMBFS_EXPECTS(1 + 1 == 2);
+  SEMBFS_ENSURES(true);
+  SEMBFS_ASSERT(42 > 0);
+  SUCCEED();
+}
+
+TEST(ContractsDeath, ExpectsNamesPrecondition) {
+  EXPECT_DEATH(SEMBFS_EXPECTS(false), "Precondition");
+}
+
+TEST(ContractsDeath, EnsuresNamesPostcondition) {
+  EXPECT_DEATH(SEMBFS_ENSURES(1 == 2), "Postcondition");
+}
+
+TEST(ContractsDeath, AssertNamesInvariant) {
+  EXPECT_DEATH(SEMBFS_ASSERT(false), "Invariant");
+}
+
+TEST(ContractsDeath, MessageIncludesExpressionAndLocation) {
+  EXPECT_DEATH(SEMBFS_EXPECTS(2 + 2 == 5), "2 \\+ 2 == 5");
+  EXPECT_DEATH(SEMBFS_EXPECTS(false), "test_contracts.cpp");
+}
+
+TEST(Contracts, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  SEMBFS_EXPECTS(++calls > 0);
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace sembfs

@@ -1,0 +1,55 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace sembfs {
+namespace {
+
+TEST(CsvWriter, RendersHeaderAndRows) {
+  CsvWriter w({"scale", "teps"});
+  w.add_row({"16", "1.5e8"});
+  w.add_row({"17", "1.4e8"});
+  EXPECT_EQ(w.render(), "scale,teps\n16,1.5e8\n17,1.4e8\n");
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, EscapedFieldRoundTripsInRender) {
+  CsvWriter w({"desc"});
+  w.add_row({"DRAM, 64 GB"});
+  EXPECT_EQ(w.render(), "desc\n\"DRAM, 64 GB\"\n");
+}
+
+TEST(CsvWriter, WritesFile) {
+  const std::string path = testing::TempDir() + "/sembfs_csv_test.csv";
+  CsvWriter w({"k", "v"});
+  w.add_row({"a", "1"});
+  ASSERT_TRUE(w.write_file(path));
+  std::ifstream in{path};
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "k,v\na,1\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, WriteFileFailsOnBadPath) {
+  CsvWriter w({"k"});
+  EXPECT_FALSE(w.write_file("/nonexistent-dir-xyz/file.csv"));
+}
+
+TEST(CsvWriterDeath, RejectsArityMismatch) {
+  CsvWriter w({"a", "b"});
+  EXPECT_DEATH(w.add_row({"1"}), "Precondition");
+}
+
+}  // namespace
+}  // namespace sembfs

@@ -1,0 +1,78 @@
+#include "graph/degree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph_fixtures.hpp"
+
+namespace sembfs {
+namespace {
+
+TEST(DegreeStats, SmallGraphNumbers) {
+  ThreadPool pool{2};
+  const Csr csr =
+      build_csr(fixtures::small_graph(), CsrBuildOptions{}, pool);
+  const DegreeStats stats = compute_degree_stats(csr);
+  EXPECT_EQ(stats.vertex_count, 8);
+  EXPECT_EQ(stats.edge_entry_count, 12);
+  EXPECT_EQ(stats.min_degree, 0);
+  EXPECT_EQ(stats.max_degree, 3);  // vertex 1
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 1.5);
+  EXPECT_EQ(stats.isolated_count, 1);  // vertex 7
+}
+
+TEST(DegreeStats, StarGraph) {
+  ThreadPool pool{2};
+  const Csr csr = build_csr(fixtures::star_graph(16), CsrBuildOptions{}, pool);
+  const DegreeStats stats = compute_degree_stats(csr);
+  EXPECT_EQ(stats.max_degree, 15);
+  EXPECT_EQ(stats.median_degree, 1);
+  EXPECT_EQ(stats.isolated_count, 0);
+}
+
+TEST(DegreeStats, HistogramBuckets) {
+  ThreadPool pool{2};
+  // degrees: one 0, rest 1s and one 15 (star of 16 has hub 15, leaves 1).
+  const Csr csr = build_csr(fixtures::star_graph(16), CsrBuildOptions{}, pool);
+  const DegreeStats stats = compute_degree_stats(csr);
+  // bucket 0: degree 0; bucket 1: degree 1 (15 leaves); bucket b >= 2
+  // covers [2^(b-2)+1, 2^(b-1)], so degree 15 (in [9,16]) -> bucket 5.
+  ASSERT_GE(stats.log2_histogram.size(), 6u);
+  EXPECT_EQ(stats.log2_histogram[0], 0);
+  EXPECT_EQ(stats.log2_histogram[1], 15);
+  EXPECT_EQ(stats.log2_histogram[5], 1);
+}
+
+TEST(DegreeStats, HistogramSumsToVertexCount) {
+  ThreadPool pool{4};
+  const EdgeList edges =
+      generate_kronecker(fixtures::small_kronecker(10), pool);
+  const Csr csr = build_csr(edges, CsrBuildOptions{}, pool);
+  const DegreeStats stats = compute_degree_stats(csr);
+  std::int64_t total = 0;
+  for (const auto c : stats.log2_histogram) total += c;
+  EXPECT_EQ(total, stats.vertex_count);
+}
+
+TEST(AverageDegree, SubsetComputation) {
+  ThreadPool pool{2};
+  const Csr csr =
+      build_csr(fixtures::small_graph(), CsrBuildOptions{}, pool);
+  const std::vector<Vertex> frontier = {0, 1};  // degrees 2 and 3
+  EXPECT_DOUBLE_EQ(average_degree(csr, frontier), 2.5);
+}
+
+TEST(AverageDegree, EmptySubsetIsZero) {
+  ThreadPool pool{2};
+  const Csr csr =
+      build_csr(fixtures::small_graph(), CsrBuildOptions{}, pool);
+  EXPECT_EQ(average_degree(csr, {}), 0.0);
+}
+
+TEST(DegreeStats, EmptyRange) {
+  Csr csr;  // default: zero-size
+  const DegreeStats stats = compute_degree_stats(csr);
+  EXPECT_EQ(stats.vertex_count, 0);
+}
+
+}  // namespace
+}  // namespace sembfs

@@ -1,0 +1,56 @@
+#include "nvm/device_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sembfs {
+namespace {
+
+TEST(DeviceProfile, DramIsInstant) {
+  const DeviceProfile p = DeviceProfile::dram();
+  EXPECT_TRUE(p.is_instant());
+  EXPECT_EQ(p.service_seconds(1 << 20), 0.0);
+}
+
+TEST(DeviceProfile, ServiceTimeLatencyPlusTransfer) {
+  DeviceProfile p;
+  p.read_latency_us = 100.0;          // 100 us
+  p.read_bandwidth_bps = 1e9;         // 1 GB/s
+  // 1 MB at 1 GB/s = 1 ms transfer + 0.1 ms latency
+  EXPECT_NEAR(p.service_seconds(1'000'000), 1.1e-3, 1e-9);
+}
+
+TEST(DeviceProfile, TimeScaleMultiplies) {
+  DeviceProfile p;
+  p.read_latency_us = 100.0;
+  p.time_scale = 0.5;
+  EXPECT_NEAR(p.service_seconds(0), 50e-6, 1e-12);
+}
+
+TEST(DeviceProfile, PcieFlashFasterThanSataSsd) {
+  const DeviceProfile flash = DeviceProfile::pcie_flash();
+  const DeviceProfile ssd = DeviceProfile::sata_ssd();
+  // The orderings the paper's Figure 11 depends on.
+  EXPECT_LT(flash.read_latency_us, ssd.read_latency_us);
+  EXPECT_GT(flash.read_bandwidth_bps, ssd.read_bandwidth_bps);
+  EXPECT_GT(flash.channels, ssd.channels);
+  EXPECT_LT(flash.service_seconds(4096), ssd.service_seconds(4096));
+}
+
+TEST(DeviceProfile, ByNameResolves) {
+  EXPECT_EQ(DeviceProfile::by_name("dram").name, "dram");
+  EXPECT_EQ(DeviceProfile::by_name("pcie_flash").name, "pcie_flash");
+  EXPECT_EQ(DeviceProfile::by_name("sata_ssd").name, "sata_ssd");
+}
+
+TEST(DeviceProfile, ByNameRejectsUnknown) {
+  EXPECT_THROW(DeviceProfile::by_name("optane"), std::invalid_argument);
+}
+
+TEST(DeviceProfile, SectorSizeDefault512) {
+  EXPECT_EQ(DeviceProfile::pcie_flash().sector_bytes, 512u);
+}
+
+}  // namespace
+}  // namespace sembfs

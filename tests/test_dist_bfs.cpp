@@ -1,0 +1,174 @@
+#include "dist/dist_bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bfs/reference_bfs.hpp"
+#include "bfs/validate.hpp"
+#include "graph_fixtures.hpp"
+
+namespace sembfs {
+namespace {
+
+struct DistSweep {
+  int scale;
+  std::uint64_t seed;
+  std::size_t ranks;
+  DistBfsConfig::Mode mode;
+
+  friend std::ostream& operator<<(std::ostream& os, const DistSweep& s) {
+    return os << "scale" << s.scale << "_seed" << s.seed << "_ranks"
+              << s.ranks << "_mode" << static_cast<int>(s.mode);
+  }
+};
+
+class DistBfsSweep : public ::testing::TestWithParam<DistSweep> {};
+
+TEST_P(DistBfsSweep, LevelsMatchReference) {
+  const DistSweep s = GetParam();
+  ThreadPool pool{std::max<std::size_t>(s.ranks, 2)};
+  const EdgeList edges =
+      generate_kronecker(fixtures::small_kronecker(s.scale, 8, s.seed), pool);
+  const Csr full = build_csr(edges, CsrBuildOptions{}, pool);
+
+  DistributedBfs dist{edges, s.ranks, pool};
+  DistBfsConfig config;
+  config.mode = s.mode;
+
+  Vertex root = 0;
+  while (full.degree(root) == 0) ++root;
+  const DistBfsResult result = dist.run(root, config);
+  const ReferenceBfsResult ref = reference_bfs(full, root);
+
+  for (Vertex v = 0; v < edges.vertex_count(); ++v)
+    ASSERT_EQ(result.level[v], ref.level[v]) << "v=" << v;
+  EXPECT_EQ(result.visited, ref.visited);
+  EXPECT_EQ(result.teps_edge_count, ref.teps_edge_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, DistBfsSweep,
+    ::testing::Values(
+        DistSweep{9, 1, 1, DistBfsConfig::Mode::Hybrid},
+        DistSweep{9, 1, 2, DistBfsConfig::Mode::Hybrid},
+        DistSweep{9, 1, 4, DistBfsConfig::Mode::Hybrid},
+        DistSweep{9, 1, 7, DistBfsConfig::Mode::Hybrid},
+        DistSweep{9, 2, 4, DistBfsConfig::Mode::TopDownOnly},
+        DistSweep{9, 2, 4, DistBfsConfig::Mode::BottomUpOnly},
+        DistSweep{10, 3, 4, DistBfsConfig::Mode::Hybrid},
+        DistSweep{8, 5, 8, DistBfsConfig::Mode::Hybrid}));
+
+TEST(DistBfs, ParentsAreValidTreeEdges) {
+  ThreadPool pool{4};
+  const EdgeList edges =
+      generate_kronecker(fixtures::small_kronecker(9, 8, 11), pool);
+  DistributedBfs dist{edges, 4, pool};
+  const Csr full = build_csr(edges, CsrBuildOptions{}, pool);
+  Vertex root = 0;
+  while (full.degree(root) == 0) ++root;
+  const DistBfsResult result = dist.run(root, DistBfsConfig{});
+  for (Vertex w = 0; w < edges.vertex_count(); ++w) {
+    const Vertex p = result.parent[static_cast<std::size_t>(w)];
+    if (p == kNoVertex || w == root) continue;
+    // (w, p) must be a real edge.
+    const auto adj = full.neighbors(w);
+    EXPECT_NE(std::find(adj.begin(), adj.end(), p), adj.end()) << "w=" << w;
+    EXPECT_EQ(result.level[w], result.level[p] + 1);
+  }
+}
+
+TEST(DistBfs, TopDownSendsPerEdgeBottomUpSendsPerFrontier) {
+  // The communication story: top-down messages scale with cut edges;
+  // bottom-up only allgathers the frontier.
+  ThreadPool pool{4};
+  const EdgeList edges =
+      generate_kronecker(fixtures::small_kronecker(11, 16, 13), pool);
+  DistributedBfs dist{edges, 4, pool};
+  const Csr full = build_csr(edges, CsrBuildOptions{}, pool);
+  Vertex root = 0;
+  while (full.degree(root) == 0) ++root;
+
+  DistBfsConfig top_down;
+  top_down.mode = DistBfsConfig::Mode::TopDownOnly;
+  const DistBfsResult td = dist.run(root, top_down);
+
+  DistBfsConfig hybrid;  // paper's rule switches to bottom-up mid-search
+  hybrid.policy.alpha = 1e4;
+  hybrid.policy.beta = 1e5;
+  const DistBfsResult hy = dist.run(root, hybrid);
+
+  EXPECT_LT(hy.total_remote_bytes, td.total_remote_bytes / 2)
+      << "hybrid must slash communication volume";
+  bool saw_bottom_up = false;
+  for (const DistLevelStats& ls : hy.levels)
+    saw_bottom_up = saw_bottom_up || ls.direction == Direction::BottomUp;
+  EXPECT_TRUE(saw_bottom_up);
+}
+
+TEST(DistBfs, SingleRankSendsNothingRemote) {
+  ThreadPool pool{2};
+  const EdgeList edges =
+      generate_kronecker(fixtures::small_kronecker(8, 8, 17), pool);
+  DistributedBfs dist{edges, 1, pool};
+  const DistBfsResult result = dist.run(0, DistBfsConfig{});
+  EXPECT_EQ(result.total_remote_bytes, 0u);
+}
+
+TEST(DistBfs, LevelStatsConsistent) {
+  ThreadPool pool{4};
+  const EdgeList edges =
+      generate_kronecker(fixtures::small_kronecker(9, 8, 19), pool);
+  DistributedBfs dist{edges, 4, pool};
+  const Csr full = build_csr(edges, CsrBuildOptions{}, pool);
+  Vertex root = 0;
+  while (full.degree(root) == 0) ++root;
+  const DistBfsResult result = dist.run(root, DistBfsConfig{});
+
+  std::int64_t claimed = 1;
+  std::uint64_t bytes = 0;
+  for (const DistLevelStats& ls : result.levels) {
+    claimed += ls.claimed_vertices;
+    bytes += ls.remote_bytes;
+  }
+  EXPECT_EQ(claimed, result.visited);
+  EXPECT_EQ(bytes, result.total_remote_bytes);
+  EXPECT_EQ(result.depth, static_cast<std::int32_t>(result.levels.size()));
+}
+
+TEST(DistBfs, ReusableAcrossRoots) {
+  ThreadPool pool{4};
+  const EdgeList edges =
+      generate_kronecker(fixtures::small_kronecker(9, 8, 23), pool);
+  DistributedBfs dist{edges, 3, pool};
+  const Csr full = build_csr(edges, CsrBuildOptions{}, pool);
+  for (Vertex root = 0; root < 10; ++root) {
+    if (full.degree(root) == 0) continue;
+    const DistBfsResult result = dist.run(root, DistBfsConfig{});
+    const ReferenceBfsResult ref = reference_bfs(full, root);
+    for (Vertex v = 0; v < edges.vertex_count(); ++v)
+      ASSERT_EQ(result.level[v], ref.level[v]) << "root=" << root;
+  }
+}
+
+TEST(DistBfs, ResultPassesGraph500Validation) {
+  ThreadPool pool{4};
+  const EdgeList edges =
+      generate_kronecker(fixtures::small_kronecker(9, 8, 29), pool);
+  DistributedBfs dist{edges, 4, pool};
+  const Csr full = build_csr(edges, CsrBuildOptions{}, pool);
+  Vertex root = 0;
+  while (full.degree(root) == 0) ++root;
+  const DistBfsResult result = dist.run(root, DistBfsConfig{});
+  const ValidationResult v =
+      validate_bfs(edges, root, result.parent, result.level);
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.reached, result.visited);
+}
+
+TEST(DistBfsDeath, RequiresEnoughWorkers) {
+  ThreadPool pool{2};
+  const EdgeList edges = fixtures::small_graph();
+  EXPECT_DEATH(DistributedBfs(edges, 4, pool), "Precondition");
+}
+
+}  // namespace
+}  // namespace sembfs

@@ -1,0 +1,87 @@
+#include "graph/edge_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/types.hpp"
+#include "util/prng.hpp"
+
+namespace sembfs {
+namespace {
+
+TEST(EdgeList, StartsEmpty) {
+  EdgeList edges{10};
+  EXPECT_EQ(edges.edge_count(), 0u);
+  EXPECT_EQ(edges.vertex_count(), 10);
+  EXPECT_EQ(edges.max_endpoint(), -1);
+}
+
+TEST(EdgeList, AddAndAccess) {
+  EdgeList edges{10};
+  edges.add(1, 2);
+  edges.add(Edge{3, 4});
+  ASSERT_EQ(edges.edge_count(), 2u);
+  EXPECT_EQ(edges[0], (Edge{1, 2}));
+  EXPECT_EQ(edges[1], (Edge{3, 4}));
+  EXPECT_EQ(edges.max_endpoint(), 4);
+}
+
+TEST(EdgeList, SelfLoopCount) {
+  EdgeList edges{5};
+  edges.add(0, 0);
+  edges.add(1, 2);
+  edges.add(3, 3);
+  EXPECT_EQ(edges.self_loop_count(), 2u);
+}
+
+TEST(EdgeList, RangeBasedIteration) {
+  EdgeList edges{4};
+  edges.add(0, 1);
+  edges.add(2, 3);
+  int count = 0;
+  for (const Edge& e : edges) {
+    EXPECT_GE(e.u, 0);
+    ++count;
+  }
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EdgeList, ConstructFromVector) {
+  EdgeList edges{5, {{0, 1}, {2, 3}}};
+  EXPECT_EQ(edges.edge_count(), 2u);
+}
+
+TEST(EdgeListDeath, RejectsOutOfRangeEndpoint) {
+  EdgeList edges{4};
+  EXPECT_DEATH(edges.add(0, 4), "Precondition");
+  EXPECT_DEATH(edges.add(-1, 0), "Precondition");
+}
+
+TEST(PackedEdge, RoundTripsSmallValues) {
+  const Edge e{12345, 67890};
+  EXPECT_EQ(PackedEdge::pack(e).unpack(), e);
+}
+
+TEST(PackedEdge, RoundTrips48BitBoundaries) {
+  const Vertex max48 = (Vertex{1} << 48) - 1;
+  for (const Edge e : {Edge{0, 0}, Edge{max48, 0}, Edge{0, max48},
+                       Edge{max48, max48}, Edge{max48 - 1, 1}}) {
+    EXPECT_EQ(PackedEdge::pack(e).unpack(), e);
+  }
+}
+
+TEST(PackedEdge, RoundTripsRandomValues) {
+  Xoroshiro128 rng{2024};
+  const std::uint64_t mask48 = (1ull << 48) - 1;
+  for (int i = 0; i < 1000; ++i) {
+    const Edge e{static_cast<Vertex>(rng.next() & mask48),
+                 static_cast<Vertex>(rng.next() & mask48)};
+    ASSERT_EQ(PackedEdge::pack(e).unpack(), e);
+  }
+}
+
+TEST(PackedEdge, TwelveBytes) {
+  EXPECT_EQ(sizeof(PackedEdge), 12u);  // Figure 3's 12 B/edge edge list
+}
+
+}  // namespace
+}  // namespace sembfs

@@ -1,0 +1,79 @@
+#include "graph500/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sembfs {
+namespace {
+
+TEST(PowerModel, SystemWattsComposition) {
+  PowerModel model;
+  model.cpu_watts_per_socket = 100.0;
+  model.sockets = 2;
+  model.dram_watts_per_gib = 0.5;
+  model.platform_watts = 50.0;
+  model.pcie_flash_watts = 25.0;
+  const std::uint64_t gib = 1ull << 30;
+  // 2*100 + 0.5*64 + 25 + 50 = 307
+  EXPECT_DOUBLE_EQ(model.system_watts(64 * gib, "pcie_flash"), 307.0);
+  // dram-only: no device watts
+  EXPECT_DOUBLE_EQ(model.system_watts(64 * gib, "dram"), 282.0);
+}
+
+TEST(PowerModel, DeviceWattsByProfile) {
+  const PowerModel model;
+  EXPECT_GT(model.device_watts("pcie_flash"), model.device_watts("sata_ssd"));
+  EXPECT_EQ(model.device_watts("dram"), 0.0);
+  EXPECT_EQ(model.device_watts("unknown"), 0.0);
+}
+
+TEST(EstimateEnergy, MtepsPerWatt) {
+  PowerModel model;
+  model.cpu_watts_per_socket = 100.0;
+  model.sockets = 1;
+  model.dram_watts_per_gib = 0.0;
+  model.platform_watts = 0.0;
+  const EnergyEstimate e = estimate_energy(model, 435e6, 0, "dram");
+  EXPECT_DOUBLE_EQ(e.watts, 100.0);
+  EXPECT_DOUBLE_EQ(e.mteps, 435.0);
+  EXPECT_DOUBLE_EQ(e.mteps_per_watt, 4.35);
+}
+
+TEST(EstimateEnergy, DroppingDramReducesWatts) {
+  const PowerModel model;
+  const std::uint64_t gib = 1ull << 30;
+  const EnergyEstimate big = estimate_energy(model, 5.12e9, 128 * gib, "dram");
+  const EnergyEstimate small =
+      estimate_energy(model, 4.22e9, 64 * gib, "pcie_flash");
+  EXPECT_LT(small.watts, big.watts + model.pcie_flash_watts);
+  // Halving DRAM saves 64 GiB * w/GiB; the flash card costs 25 W.
+  EXPECT_NEAR(big.watts - small.watts,
+              64.0 * model.dram_watts_per_gib - model.pcie_flash_watts,
+              1e-9);
+}
+
+TEST(EstimateEnergy, PaperEnvelopeContainsPublishedValue) {
+  // The paper's 4.35 MTEPS/W (on a bigger Huawei box) should land inside
+  // the model's estimate range for the Opteron configurations.
+  const PowerModel model;
+  const std::uint64_t gib = 1ull << 30;
+  const double dram_only =
+      estimate_energy(model, 5.12e9, 128 * gib, "dram").mteps_per_watt;
+  const double ssd =
+      estimate_energy(model, 2.76e9, 64 * gib, "sata_ssd").mteps_per_watt;
+  EXPECT_GT(dram_only, 4.35);
+  EXPECT_LT(ssd, 10.0);
+  EXPECT_GT(dram_only, ssd);
+}
+
+TEST(EstimateEnergy, ZeroWattsGuard) {
+  PowerModel model;
+  model.cpu_watts_per_socket = 0.0;
+  model.sockets = 0;
+  model.dram_watts_per_gib = 0.0;
+  model.platform_watts = 0.0;
+  const EnergyEstimate e = estimate_energy(model, 1e6, 0, "dram");
+  EXPECT_EQ(e.mteps_per_watt, 0.0);
+}
+
+}  // namespace
+}  // namespace sembfs

@@ -1,0 +1,74 @@
+#include "util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace sembfs {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ::unsetenv("SEMBFS_TEST_VAR");
+    ::unsetenv("SEMBFS_SCALE");
+    ::unsetenv("SEMBFS_THREADS");
+  }
+};
+
+TEST_F(EnvTest, IntFallbackWhenUnset) {
+  EXPECT_EQ(env_int("SEMBFS_TEST_VAR", 7), 7);
+}
+
+TEST_F(EnvTest, IntParsesValue) {
+  ::setenv("SEMBFS_TEST_VAR", "42", 1);
+  EXPECT_EQ(env_int("SEMBFS_TEST_VAR", 7), 42);
+}
+
+TEST_F(EnvTest, IntFallbackOnGarbage) {
+  ::setenv("SEMBFS_TEST_VAR", "12abc", 1);
+  EXPECT_EQ(env_int("SEMBFS_TEST_VAR", 7), 7);
+}
+
+TEST_F(EnvTest, IntNegative) {
+  ::setenv("SEMBFS_TEST_VAR", "-3", 1);
+  EXPECT_EQ(env_int("SEMBFS_TEST_VAR", 7), -3);
+}
+
+TEST_F(EnvTest, StringFallbackAndValue) {
+  EXPECT_EQ(env_string("SEMBFS_TEST_VAR", "fb"), "fb");
+  ::setenv("SEMBFS_TEST_VAR", "hello", 1);
+  EXPECT_EQ(env_string("SEMBFS_TEST_VAR", "fb"), "hello");
+}
+
+TEST_F(EnvTest, EmptyStringUsesFallback) {
+  ::setenv("SEMBFS_TEST_VAR", "", 1);
+  EXPECT_EQ(env_string("SEMBFS_TEST_VAR", "fb"), "fb");
+  EXPECT_EQ(env_int("SEMBFS_TEST_VAR", 9), 9);
+}
+
+TEST_F(EnvTest, DoubleParses) {
+  ::setenv("SEMBFS_TEST_VAR", "2.5e-3", 1);
+  EXPECT_DOUBLE_EQ(env_double("SEMBFS_TEST_VAR", 1.0), 2.5e-3);
+}
+
+TEST_F(EnvTest, BenchEnvDefaults) {
+  const BenchEnv env = BenchEnv::resolve();
+  EXPECT_EQ(env.scale, 16);
+  EXPECT_EQ(env.edge_factor, 16);
+  EXPECT_EQ(env.roots, 8);
+  EXPECT_EQ(env.numa_nodes, 4);
+  EXPECT_GE(env.threads, 1);
+  EXPECT_EQ(env.workdir, "/tmp/sembfs");
+}
+
+TEST_F(EnvTest, BenchEnvOverrides) {
+  ::setenv("SEMBFS_SCALE", "20", 1);
+  ::setenv("SEMBFS_THREADS", "3", 1);
+  const BenchEnv env = BenchEnv::resolve();
+  EXPECT_EQ(env.scale, 20);
+  EXPECT_EQ(env.threads, 3);
+}
+
+}  // namespace
+}  // namespace sembfs

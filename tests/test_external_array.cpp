@@ -1,0 +1,97 @@
+#include "nvm/external_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace sembfs {
+namespace {
+
+class ExternalArrayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    device_ = std::make_shared<NvmDevice>(DeviceProfile::dram());
+    file_ = std::make_unique<NvmFile>(device_, path());
+  }
+  void TearDown() override { remove_file_if_exists(path()); }
+  std::string path() const {
+    return testing::TempDir() + "/sembfs_extarr_test.bin";
+  }
+
+  std::shared_ptr<NvmDevice> device_;
+  std::unique_ptr<NvmFile> file_;
+};
+
+TEST_F(ExternalArrayTest, WriteReadRoundTrip) {
+  ExternalArray<std::int64_t> arr{*file_, 0, 100};
+  std::vector<std::int64_t> data(100);
+  std::iota(data.begin(), data.end(), -50);
+  arr.write(0, data);
+  const std::vector<std::int64_t> back = arr.read_all();
+  EXPECT_EQ(back, data);
+}
+
+TEST_F(ExternalArrayTest, PartialReads) {
+  ExternalArray<std::int32_t> arr{*file_, 0, 50};
+  std::vector<std::int32_t> data(50);
+  std::iota(data.begin(), data.end(), 0);
+  arr.write(0, data);
+
+  std::vector<std::int32_t> out(10);
+  arr.read(20, out);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], 20 + i);
+}
+
+TEST_F(ExternalArrayTest, ReadOne) {
+  ExternalArray<std::int64_t> arr{*file_, 0, 10};
+  std::vector<std::int64_t> data = {5, 6, 7, 8, 9, 10, 11, 12, 13, 14};
+  arr.write(0, data);
+  EXPECT_EQ(arr.read_one(0), 5);
+  EXPECT_EQ(arr.read_one(9), 14);
+}
+
+TEST_F(ExternalArrayTest, BaseOffsetRespected) {
+  // Two arrays sharing one file at different offsets.
+  ExternalArray<std::int64_t> a{*file_, 0, 4};
+  ExternalArray<std::int64_t> b{*file_, 4 * sizeof(std::int64_t), 4};
+  std::vector<std::int64_t> da = {1, 2, 3, 4};
+  std::vector<std::int64_t> db = {10, 20, 30, 40};
+  a.write(0, da);
+  b.write(0, db);
+  EXPECT_EQ(a.read_all(), da);
+  EXPECT_EQ(b.read_all(), db);
+}
+
+TEST_F(ExternalArrayTest, ChunkedReadRequestCount) {
+  // 4096-byte chunks of int64 = 512 elements per request.
+  ExternalArray<std::int64_t> arr{*file_, 0, 2000};
+  std::vector<std::int64_t> data(2000, 7);
+  arr.write(0, data);
+  device_->stats().reset();
+  std::vector<std::int64_t> out(2000);
+  const std::uint64_t requests = arr.read(0, out);
+  EXPECT_EQ(requests, 4u);  // ceil(16000 B / 4096 B)
+}
+
+TEST_F(ExternalArrayTest, SizeAccessors) {
+  ExternalArray<std::int64_t> arr{*file_, 16, 3};
+  EXPECT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr.byte_size(), 24u);
+  EXPECT_EQ(arr.base_offset(), 16u);
+}
+
+TEST_F(ExternalArrayTest, EmptyReadNoRequests) {
+  ExternalArray<std::int64_t> arr{*file_, 0, 10};
+  std::vector<std::int64_t> out;
+  EXPECT_EQ(arr.read(5, out), 0u);
+}
+
+TEST_F(ExternalArrayTest, OutOfBoundsReadDies) {
+  ExternalArray<std::int64_t> arr{*file_, 0, 10};
+  std::vector<std::int64_t> out(5);
+  EXPECT_DEATH(arr.read(8, out), "Precondition");
+}
+
+}  // namespace
+}  // namespace sembfs

@@ -1,0 +1,90 @@
+#include "graph/external_edge_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph_fixtures.hpp"
+
+namespace sembfs {
+namespace {
+
+class ExternalEdgeListTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    device_ = std::make_shared<NvmDevice>(DeviceProfile::dram());
+  }
+  void TearDown() override { remove_file_if_exists(path()); }
+  std::string path() const {
+    return testing::TempDir() + "/sembfs_extedges.bin";
+  }
+  std::shared_ptr<NvmDevice> device_;
+};
+
+TEST_F(ExternalEdgeListTest, RoundTripsEdges) {
+  const EdgeList edges = fixtures::small_graph();
+  ExternalEdgeList ext{device_, path(), edges.vertex_count()};
+  ext.append_all(edges);
+  EXPECT_EQ(ext.edge_count(), edges.edge_count());
+
+  const EdgeList back = ext.load_all();
+  ASSERT_EQ(back.edge_count(), edges.edge_count());
+  for (std::size_t i = 0; i < edges.edge_count(); ++i)
+    EXPECT_EQ(back[i], edges[i]);
+}
+
+TEST_F(ExternalEdgeListTest, TwelveBytesPerEdge) {
+  const EdgeList edges = fixtures::small_graph();
+  ExternalEdgeList ext{device_, path(), edges.vertex_count()};
+  ext.append_all(edges);
+  EXPECT_EQ(ext.byte_size(), edges.edge_count() * 12);
+}
+
+TEST_F(ExternalEdgeListTest, PartialRead) {
+  const EdgeList edges = fixtures::path_graph(20);
+  ExternalEdgeList ext{device_, path(), edges.vertex_count()};
+  ext.append_all(edges);
+  std::vector<Edge> out(5);
+  ext.read(10, out);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(out[i], edges[10 + i]);
+}
+
+TEST_F(ExternalEdgeListTest, BatchStreamingCoversEverything) {
+  ThreadPool pool{2};
+  const EdgeList edges =
+      generate_kronecker(fixtures::small_kronecker(8, 8, 9), pool);
+  ExternalEdgeList ext{device_, path(), edges.vertex_count()};
+  ext.append_all(edges);
+
+  std::size_t seen = 0;
+  std::size_t batches = 0;
+  ext.for_each_batch(100, [&](std::span<const Edge> batch) {
+    for (const Edge& e : batch) {
+      ASSERT_EQ(e, edges[seen]);
+      ++seen;
+    }
+    ++batches;
+  });
+  EXPECT_EQ(seen, edges.edge_count());
+  EXPECT_EQ(batches, (edges.edge_count() + 99) / 100);
+}
+
+TEST_F(ExternalEdgeListTest, IncrementalAppendBatches) {
+  ExternalEdgeList ext{device_, path(), 100};
+  const std::vector<Edge> batch1 = {{0, 1}, {2, 3}};
+  const std::vector<Edge> batch2 = {{4, 5}};
+  ext.append(batch1);
+  ext.append(batch2);
+  EXPECT_EQ(ext.edge_count(), 3u);
+  std::vector<Edge> out(3);
+  ext.read(0, out);
+  EXPECT_EQ(out[2], (Edge{4, 5}));
+}
+
+TEST_F(ExternalEdgeListTest, EmptyListLoadsEmpty) {
+  ExternalEdgeList ext{device_, path(), 10};
+  const EdgeList back = ext.load_all();
+  EXPECT_EQ(back.edge_count(), 0u);
+  EXPECT_EQ(back.vertex_count(), 10);
+}
+
+}  // namespace
+}  // namespace sembfs

@@ -1,0 +1,129 @@
+// Failure injection: a device error anywhere in the semi-external read
+// path must surface as an exception to the caller — including out of the
+// parallel BFS — and must leave the pool and the device usable afterwards.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "bfs/hybrid_bfs.hpp"
+#include "graph_fixtures.hpp"
+#include "nvm/external_array.hpp"
+
+namespace sembfs {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/sembfs_fault";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    device_ = std::make_shared<NvmDevice>(DeviceProfile::dram());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  ThreadPool pool_{4};
+  std::string dir_;
+  std::shared_ptr<NvmDevice> device_;
+};
+
+TEST_F(FaultInjectionTest, NextRequestFails) {
+  NvmFile file{device_, dir_ + "/a.bin"};
+  const char payload[8] = "1234567";
+  file.write(0, std::as_bytes(std::span<const char>{payload}));
+
+  device_->inject_failure_after(1);
+  char buf[4];
+  EXPECT_THROW(file.read(0, std::as_writable_bytes(std::span<char>{buf})),
+               std::runtime_error);
+  // One-shot: the device recovers.
+  file.read(0, std::as_writable_bytes(std::span<char>{buf}));
+  EXPECT_EQ(buf[0], '1');
+}
+
+TEST_F(FaultInjectionTest, CountdownSkipsEarlierRequests) {
+  NvmFile file{device_, dir_ + "/b.bin"};
+  const char payload[8] = "abcdefg";
+  file.write(0, std::as_bytes(std::span<const char>{payload}));
+
+  device_->inject_failure_after(3);  // write consumed nothing: reads 1,2 ok
+  char c;
+  file.read(0, std::as_writable_bytes(std::span<char>{&c, 1}));
+  file.read(1, std::as_writable_bytes(std::span<char>{&c, 1}));
+  EXPECT_THROW(file.read(2, std::as_writable_bytes(std::span<char>{&c, 1})),
+               std::runtime_error);
+}
+
+TEST_F(FaultInjectionTest, ClearCancelsInjection) {
+  NvmFile file{device_, dir_ + "/c.bin"};
+  const char payload[4] = "xyz";
+  file.write(0, std::as_bytes(std::span<const char>{payload}));
+  device_->inject_failure_after(1);
+  device_->clear_injected_failure();
+  char c;
+  file.read(0, std::as_writable_bytes(std::span<char>{&c, 1}));
+  EXPECT_EQ(c, 'x');
+}
+
+TEST_F(FaultInjectionTest, ExternalArrayReadPropagates) {
+  NvmFile file{device_, dir_ + "/arr.bin"};
+  ExternalArray<std::int64_t> arr{file, 0, 16};
+  std::vector<std::int64_t> data(16, 7);
+  arr.write(0, data);
+  device_->inject_failure_after(1);
+  std::vector<std::int64_t> out(16);
+  EXPECT_THROW(arr.read(0, out), std::runtime_error);
+}
+
+TEST_F(FaultInjectionTest, ParallelBfsSurfacesDeviceErrorAndRecovers) {
+  const EdgeList edges =
+      generate_kronecker(fixtures::small_kronecker(10, 8, 201), pool_);
+  const VertexPartition partition{edges.vertex_count(), 4};
+  const ForwardGraph forward =
+      ForwardGraph::build(edges, partition, CsrBuildOptions{}, pool_);
+  const BackwardGraph backward =
+      BackwardGraph::build(edges, partition, CsrBuildOptions{}, pool_);
+  ExternalForwardGraph external{forward, device_, dir_ + "/fg"};
+
+  GraphStorage storage;
+  storage.forward_external = &external;
+  storage.backward_dram = &backward;
+  HybridBfsRunner runner{storage, NumaTopology{4, 1}, pool_};
+
+  Vertex root = 0;
+  while (backward.neighbors(root).empty()) ++root;
+  BfsConfig config;
+  config.mode = BfsMode::TopDownOnly;
+
+  // A healthy run first (also warms the path).
+  const BfsResult healthy = runner.run(root, config);
+  ASSERT_GT(healthy.nvm_requests, 100u);
+
+  // Fail mid-traversal: the exception crosses the thread pool cleanly.
+  device_->inject_failure_after(healthy.nvm_requests / 2);
+  EXPECT_THROW(runner.run(root, config), std::runtime_error);
+
+  // And the runner/pool/device all remain usable.
+  const BfsResult after = runner.run(root, config);
+  EXPECT_EQ(after.level, healthy.level);
+}
+
+TEST_F(FaultInjectionTest, StatsNotCorruptedByFailure) {
+  NvmFile file{device_, dir_ + "/stats.bin"};
+  const char payload[8] = "1234567";
+  file.write(0, std::as_bytes(std::span<const char>{payload}));
+  device_->stats().reset();
+
+  device_->inject_failure_after(1);
+  char c;
+  EXPECT_THROW(file.read(0, std::as_writable_bytes(std::span<char>{&c, 1})),
+               std::runtime_error);
+  // The failed request never entered the queue accounting; a subsequent
+  // read produces exactly one completed request.
+  file.read(0, std::as_writable_bytes(std::span<char>{&c, 1}));
+  const IoStatsSnapshot s = device_->stats().snapshot();
+  EXPECT_EQ(s.requests, 1u);
+}
+
+}  // namespace
+}  // namespace sembfs

@@ -1,0 +1,44 @@
+#include "util/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sembfs {
+namespace {
+
+TEST(FormatBytes, Scales) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(999), "999 B");
+  EXPECT_EQ(format_bytes(1500), "1.5 KB");
+  EXPECT_EQ(format_bytes(40'100'000'000ull), "40.1 GB");
+  EXPECT_EQ(format_bytes(1'500'000'000'000ull), "1.5 TB");
+}
+
+TEST(FormatTeps, Scales) {
+  EXPECT_EQ(format_teps(4.22e9), "4.22 GTEPS");
+  EXPECT_EQ(format_teps(4.35e6), "4.35 MTEPS");
+  EXPECT_EQ(format_teps(5.0e4), "50.00 KTEPS");
+  EXPECT_EQ(format_teps(12.0), "12.00 TEPS");
+}
+
+TEST(FormatScientific, PaperAxisStyle) {
+  EXPECT_EQ(format_scientific(1e4), "1.E+04");
+  EXPECT_EQ(format_scientific(1e6), "1.E+06");
+  EXPECT_EQ(format_scientific(5e4), "5.0E+04");
+}
+
+TEST(FormatFixed, Decimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(3.14159, 0), "3");
+  EXPECT_EQ(format_fixed(-1.5, 1), "-1.5");
+}
+
+TEST(FormatCount, ThousandsSeparators) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+  EXPECT_EQ(format_count(134217728), "134,217,728");  // 2^27
+}
+
+}  // namespace
+}  // namespace sembfs

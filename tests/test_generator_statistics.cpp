@@ -1,0 +1,100 @@
+// Statistical conformance of the generators: the Kronecker initiator
+// probabilities and the uniform generator's endpoint distribution, tested
+// with wide tolerance bands so the suite stays deterministic.
+#include <gtest/gtest.h>
+
+#include "graph/kronecker.hpp"
+#include "graph/uniform.hpp"
+
+namespace sembfs {
+namespace {
+
+TEST(KroneckerStatistics, QuadrantBiasMatchesInitiator) {
+  // With vertex permutation disabled, each recursion bit of (u, v) draws
+  // quadrant (0,0) with probability A = 0.57 and row 1 with probability
+  // C + D = 0.24. Check the top bit's marginal over many edges.
+  ThreadPool pool{4};
+  KroneckerParams params;
+  params.scale = 8;
+  params.edge_factor = 512;  // 131072 edges -> tight sampling error
+  params.seed = 99;
+  params.permute_vertices = false;
+  params.scramble_endpoints = false;
+  const EdgeList edges = generate_kronecker(params, pool);
+
+  std::int64_t u_high = 0;
+  std::int64_t v_high_given_u_low = 0;
+  std::int64_t u_low = 0;
+  const Vertex top_bit = Vertex{1} << (params.scale - 1);
+  for (const Edge& e : edges) {
+    if ((e.u & top_bit) != 0) {
+      ++u_high;
+    } else {
+      ++u_low;
+      if ((e.v & top_bit) != 0) ++v_high_given_u_low;
+    }
+  }
+  const double n = static_cast<double>(edges.edge_count());
+  // P(u top bit set) = C + D = 0.24
+  EXPECT_NEAR(static_cast<double>(u_high) / n, 0.24, 0.01);
+  // P(v top bit set | u top bit clear) = B / (A + B) = 0.19/0.76 = 0.25
+  EXPECT_NEAR(static_cast<double>(v_high_given_u_low) /
+                  static_cast<double>(u_low),
+              0.25, 0.01);
+}
+
+TEST(KroneckerStatistics, EveryBitLevelCarriesTheBias) {
+  ThreadPool pool{4};
+  KroneckerParams params;
+  params.scale = 6;
+  params.edge_factor = 1024;
+  params.seed = 7;
+  params.permute_vertices = false;
+  params.scramble_endpoints = false;
+  const EdgeList edges = generate_kronecker(params, pool);
+  const double n = static_cast<double>(edges.edge_count());
+  for (int bit = 0; bit < params.scale; ++bit) {
+    std::int64_t set = 0;
+    for (const Edge& e : edges)
+      if ((e.u >> bit) & 1) ++set;
+    EXPECT_NEAR(static_cast<double>(set) / n, 0.24, 0.02)
+        << "bit " << bit;
+  }
+}
+
+TEST(UniformStatistics, EndpointsAreUnbiased) {
+  ThreadPool pool{4};
+  UniformParams params;
+  params.scale = 6;  // 64 vertices
+  params.edge_factor = 2048;
+  params.seed = 31;
+  const EdgeList edges = generate_uniform(params, pool);
+
+  std::vector<std::int64_t> hits(64, 0);
+  for (const Edge& e : edges) {
+    ++hits[static_cast<std::size_t>(e.u)];
+    ++hits[static_cast<std::size_t>(e.v)];
+  }
+  const double expected =
+      2.0 * static_cast<double>(edges.edge_count()) / 64.0;
+  for (std::size_t v = 0; v < 64; ++v)
+    EXPECT_NEAR(static_cast<double>(hits[v]), expected, expected * 0.15)
+        << "v=" << v;
+}
+
+TEST(UniformStatistics, SelfLoopRateMatchesTheory) {
+  // P(u == v) = 1/N; with N=64 and ~131k edges, expect ~2048 +- wide band.
+  ThreadPool pool{4};
+  UniformParams params;
+  params.scale = 6;
+  params.edge_factor = 2048;
+  params.seed = 17;
+  const EdgeList edges = generate_uniform(params, pool);
+  const double expected =
+      static_cast<double>(edges.edge_count()) / 64.0;
+  EXPECT_NEAR(static_cast<double>(edges.self_loop_count()), expected,
+              expected * 0.2);
+}
+
+}  // namespace
+}  // namespace sembfs

@@ -1,0 +1,104 @@
+#include "graph/graph_size.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/backward_graph.hpp"
+#include "graph/forward_graph.hpp"
+#include "graph_fixtures.hpp"
+
+namespace sembfs {
+namespace {
+
+// The decoded paper numbers (Figure 3 at SCALE 31, Table II at SCALE 27)
+// with l = 8 NUMA nodes (4 Opteron 6172 packages x 2 dies).
+TEST(GraphSizeModel, ReproducesFigure3Scale31) {
+  GraphSizeModel model;
+  model.scale = 31;
+  model.edge_factor = 16;
+  model.numa_nodes = 8;
+  EXPECT_NEAR(bytes_to_gib(model.edge_list_bytes()), 384.0, 0.5);
+  EXPECT_NEAR(bytes_to_gib(model.forward_graph_bytes()), 640.0, 0.5);
+  EXPECT_NEAR(bytes_to_gib(model.backward_graph_bytes()), 528.0, 0.5);
+}
+
+TEST(GraphSizeModel, ReproducesTable2Scale27) {
+  GraphSizeModel model;
+  model.scale = 27;
+  model.edge_factor = 16;
+  model.numa_nodes = 8;
+  // Paper Table II: forward 40.1 GB, backward 33.1 GB (their "GB" = GiB).
+  EXPECT_NEAR(bytes_to_gib(model.forward_graph_bytes()), 40.1, 0.5);
+  EXPECT_NEAR(bytes_to_gib(model.backward_graph_bytes()), 33.1, 0.5);
+}
+
+TEST(GraphSizeModel, ForwardGrowsWithNodeCount) {
+  GraphSizeModel a;
+  a.numa_nodes = 4;
+  GraphSizeModel b = a;
+  b.numa_nodes = 8;
+  EXPECT_LT(a.forward_graph_bytes(), b.forward_graph_bytes());
+  EXPECT_EQ(a.backward_graph_bytes(), b.backward_graph_bytes());
+}
+
+TEST(GraphSizeModel, DoublesPerScale) {
+  GraphSizeModel a;
+  a.scale = 20;
+  GraphSizeModel b = a;
+  b.scale = 21;
+  EXPECT_EQ(2 * a.edge_list_bytes(), b.edge_list_bytes());
+  EXPECT_EQ(2 * a.forward_graph_bytes(), b.forward_graph_bytes());
+  EXPECT_EQ(2 * a.total_bytes(), b.total_bytes());
+}
+
+TEST(GraphSizeModel, MatchesBuiltGraphsAtSmallScale) {
+  // Cross-check the analytic model against real constructed graphs. The
+  // model assumes no self-loop removal, so allow a small tolerance.
+  ThreadPool pool{4};
+  const int scale = 10;
+  const int ef = 16;
+  const KroneckerParams params = fixtures::small_kronecker(scale, ef, 13);
+  const EdgeList edges = generate_kronecker(params, pool);
+  const VertexPartition partition{edges.vertex_count(), 4};
+  const ForwardGraph fg =
+      ForwardGraph::build(edges, partition, CsrBuildOptions{}, pool);
+  const BackwardGraph bg =
+      BackwardGraph::build(edges, partition, CsrBuildOptions{}, pool);
+
+  GraphSizeModel model;
+  model.scale = scale;
+  model.edge_factor = ef;
+  model.numa_nodes = 4;
+
+  const double fg_err =
+      std::abs(static_cast<double>(fg.byte_size()) -
+               static_cast<double>(model.forward_graph_bytes())) /
+      static_cast<double>(model.forward_graph_bytes());
+  const double bg_err =
+      std::abs(static_cast<double>(bg.byte_size()) -
+               static_cast<double>(model.backward_graph_bytes())) /
+      static_cast<double>(model.backward_graph_bytes());
+  EXPECT_LT(fg_err, 0.02);
+  EXPECT_LT(bg_err, 0.02);
+}
+
+TEST(GraphSizeModel, EdgeListIsTwelveBytesPerEdge) {
+  GraphSizeModel model;
+  model.scale = 20;
+  model.edge_factor = 16;
+  EXPECT_EQ(model.edge_list_bytes(), model.edge_count() * 12);
+}
+
+TEST(GraphSizeModel, TotalIncludesStatus) {
+  GraphSizeModel model;
+  EXPECT_EQ(model.total_bytes(),
+            model.forward_graph_bytes() + model.backward_graph_bytes() +
+                model.bfs_status_bytes());
+}
+
+TEST(BytesToGib, Conversion) {
+  EXPECT_DOUBLE_EQ(bytes_to_gib(1ull << 30), 1.0);
+  EXPECT_DOUBLE_EQ(bytes_to_gib(3ull << 30), 3.0);
+}
+
+}  // namespace
+}  // namespace sembfs

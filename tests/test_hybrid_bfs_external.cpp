@@ -1,0 +1,195 @@
+// Semi-external correctness: BFS with the forward graph on a simulated NVM
+// device (and/or the backward graph partially offloaded) must produce
+// exactly the reference levels, while generating device traffic only in
+// top-down levels (resp. bottom-up overflow reads).
+#include "bfs/hybrid_bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "bfs/reference_bfs.hpp"
+#include "graph_fixtures.hpp"
+
+namespace sembfs {
+namespace {
+
+class ExternalBfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/sembfs_extbfs";
+    std::filesystem::remove_all(dir_);
+    edges_ = generate_kronecker(fixtures::small_kronecker(10, 8, 31), pool_);
+    partition_ = VertexPartition{edges_.vertex_count(), 4};
+    forward_ = ForwardGraph::build(edges_, partition_, CsrBuildOptions{},
+                                   pool_);
+    backward_ = BackwardGraph::build(edges_, partition_, CsrBuildOptions{},
+                                     pool_);
+    full_ = build_csr(edges_, CsrBuildOptions{}, pool_);
+    root_ = 0;
+    while (full_.degree(root_) == 0) ++root_;
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  DeviceProfile fast_profile(const char* base) const {
+    DeviceProfile p = DeviceProfile::by_name(base);
+    p.time_scale = 0.001;  // keep simulated delays negligible in tests
+    return p;
+  }
+
+  ThreadPool pool_{4};
+  std::string dir_;
+  EdgeList edges_;
+  VertexPartition partition_;
+  ForwardGraph forward_;
+  BackwardGraph backward_;
+  Csr full_;
+  Vertex root_ = 0;
+};
+
+TEST_F(ExternalBfsTest, ExternalForwardMatchesReference) {
+  for (const char* profile : {"dram", "pcie_flash", "sata_ssd"}) {
+    auto device = std::make_shared<NvmDevice>(fast_profile(profile));
+    ExternalForwardGraph external{forward_, device, dir_};
+    GraphStorage storage;
+    storage.forward_external = &external;
+    storage.backward_dram = &backward_;
+    HybridBfsRunner runner{storage, NumaTopology{4, 1}, pool_};
+
+    const BfsResult result = runner.run(root_, BfsConfig{});
+    const ReferenceBfsResult ref = reference_bfs(full_, root_);
+    for (Vertex v = 0; v < edges_.vertex_count(); ++v)
+      ASSERT_EQ(result.level[v], ref.level[v])
+          << "profile=" << profile << " v=" << v;
+  }
+}
+
+TEST_F(ExternalBfsTest, TopDownOnlyGeneratesNvmTraffic) {
+  auto device = std::make_shared<NvmDevice>(fast_profile("pcie_flash"));
+  ExternalForwardGraph external{forward_, device, dir_};
+  GraphStorage storage;
+  storage.forward_external = &external;
+  storage.backward_dram = &backward_;
+  HybridBfsRunner runner{storage, NumaTopology{4, 1}, pool_};
+  device->stats().reset();
+
+  BfsConfig config;
+  config.mode = BfsMode::TopDownOnly;
+  const BfsResult result = runner.run(root_, config);
+  EXPECT_GT(result.nvm_requests, 0u);
+  EXPECT_EQ(device->stats().request_count(), result.nvm_requests);
+  // Every level reports its own device requests.
+  std::uint64_t per_level = 0;
+  for (const LevelStats& ls : result.levels) per_level += ls.nvm_requests;
+  EXPECT_EQ(per_level, result.nvm_requests);
+}
+
+TEST_F(ExternalBfsTest, HybridMinimizesNvmTrafficVsTopDownOnly) {
+  // The paper's core claim: with well-chosen alpha/beta, the hybrid rarely
+  // touches the (slow) forward graph.
+  auto device = std::make_shared<NvmDevice>(fast_profile("pcie_flash"));
+  ExternalForwardGraph external{forward_, device, dir_};
+  GraphStorage storage;
+  storage.forward_external = &external;
+  storage.backward_dram = &backward_;
+  HybridBfsRunner runner{storage, NumaTopology{4, 1}, pool_};
+
+  BfsConfig top_down;
+  top_down.mode = BfsMode::TopDownOnly;
+  const std::uint64_t td_requests =
+      runner.run(root_, top_down).nvm_requests;
+
+  BfsConfig hybrid;
+  hybrid.policy.alpha = 1e6;  // switch to bottom-up aggressively
+  hybrid.policy.beta = 1e6;
+  const std::uint64_t hybrid_requests =
+      runner.run(root_, hybrid).nvm_requests;
+
+  EXPECT_LT(hybrid_requests, td_requests / 2);
+}
+
+TEST_F(ExternalBfsTest, BottomUpOnlyTouchesNoForwardNvm) {
+  auto device = std::make_shared<NvmDevice>(fast_profile("dram"));
+  ExternalForwardGraph external{forward_, device, dir_};
+  GraphStorage storage;
+  storage.forward_external = &external;
+  storage.backward_dram = &backward_;
+  HybridBfsRunner runner{storage, NumaTopology{4, 1}, pool_};
+  device->stats().reset();
+
+  BfsConfig config;
+  config.mode = BfsMode::BottomUpOnly;
+  const BfsResult result = runner.run(root_, config);
+  EXPECT_EQ(result.nvm_requests, 0u);
+  EXPECT_EQ(device->stats().request_count(), 0u);
+  const ReferenceBfsResult ref = reference_bfs(full_, root_);
+  for (Vertex v = 0; v < edges_.vertex_count(); ++v)
+    ASSERT_EQ(result.level[v], ref.level[v]);
+}
+
+TEST_F(ExternalBfsTest, HybridBackwardOffloadMatchesReference) {
+  auto device = std::make_shared<NvmDevice>(fast_profile("dram"));
+  for (const std::int64_t cap : {0, 2, 8, 32}) {
+    HybridBackwardGraph hybrid_backward{backward_, cap, device,
+                                        dir_ + std::to_string(cap)};
+    GraphStorage storage;
+    storage.forward_dram = &forward_;
+    storage.backward_hybrid = &hybrid_backward;
+    HybridBfsRunner runner{storage, NumaTopology{4, 1}, pool_};
+
+    const BfsResult result = runner.run(root_, BfsConfig{});
+    const ReferenceBfsResult ref = reference_bfs(full_, root_);
+    for (Vertex v = 0; v < edges_.vertex_count(); ++v)
+      ASSERT_EQ(result.level[v], ref.level[v]) << "cap=" << cap;
+    std::filesystem::remove_all(dir_ + std::to_string(cap));
+  }
+}
+
+TEST_F(ExternalBfsTest, BackwardOffloadAccessRatioDropsWithBiggerCap) {
+  // Figure 14's monotonicity: more DRAM edges per vertex -> smaller share
+  // of backward-graph accesses hitting NVM.
+  auto device = std::make_shared<NvmDevice>(fast_profile("dram"));
+  double prev_ratio = 1.1;
+  for (const std::int64_t cap : {2, 8, 32}) {
+    HybridBackwardGraph hybrid_backward{backward_, cap, device,
+                                        dir_ + "r" + std::to_string(cap)};
+    GraphStorage storage;
+    storage.forward_dram = &forward_;
+    storage.backward_hybrid = &hybrid_backward;
+    HybridBfsRunner runner{storage, NumaTopology{4, 1}, pool_};
+    BfsConfig config;
+    config.policy.alpha = 1e6;  // mostly bottom-up
+    config.policy.beta = 1e6;
+    runner.run(root_, config);
+
+    const double nvm =
+        static_cast<double>(hybrid_backward.nvm_edges_examined());
+    const double total =
+        nvm + static_cast<double>(hybrid_backward.dram_edges_examined());
+    ASSERT_GT(total, 0.0);
+    const double ratio = nvm / total;
+    EXPECT_LT(ratio, prev_ratio) << "cap=" << cap;
+    prev_ratio = ratio;
+    std::filesystem::remove_all(dir_ + "r" + std::to_string(cap));
+  }
+}
+
+TEST_F(ExternalBfsTest, FullyExternalBothSidesStillCorrect) {
+  auto device = std::make_shared<NvmDevice>(fast_profile("pcie_flash"));
+  ExternalForwardGraph external{forward_, device, dir_ + "f"};
+  HybridBackwardGraph hybrid_backward{backward_, 4, device, dir_ + "b"};
+  GraphStorage storage;
+  storage.forward_external = &external;
+  storage.backward_hybrid = &hybrid_backward;
+  HybridBfsRunner runner{storage, NumaTopology{4, 1}, pool_};
+
+  const BfsResult result = runner.run(root_, BfsConfig{});
+  const ReferenceBfsResult ref = reference_bfs(full_, root_);
+  for (Vertex v = 0; v < edges_.vertex_count(); ++v)
+    ASSERT_EQ(result.level[v], ref.level[v]);
+  std::filesystem::remove_all(dir_ + "f");
+  std::filesystem::remove_all(dir_ + "b");
+}
+
+}  // namespace
+}  // namespace sembfs

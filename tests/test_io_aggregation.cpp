@@ -1,0 +1,183 @@
+#include "graph/external_csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "bfs/hybrid_bfs.hpp"
+#include "bfs/reference_bfs.hpp"
+#include "graph_fixtures.hpp"
+
+namespace sembfs {
+namespace {
+
+class IoAggregationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/sembfs_agg";
+    std::filesystem::remove_all(dir_);
+    edges_ = generate_kronecker(fixtures::small_kronecker(10, 8, 51), pool_);
+    partition_ = VertexPartition{edges_.vertex_count(), 2};
+    forward_ = ForwardGraph::build(edges_, partition_, CsrBuildOptions{},
+                                   pool_);
+    device_ = std::make_shared<NvmDevice>(DeviceProfile::dram());
+    external_ = std::make_unique<ExternalForwardGraph>(forward_, device_,
+                                                       dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  ThreadPool pool_{4};
+  std::string dir_;
+  EdgeList edges_;
+  VertexPartition partition_;
+  ForwardGraph forward_;
+  std::shared_ptr<NvmDevice> device_;
+  std::unique_ptr<ExternalForwardGraph> external_;
+};
+
+TEST_F(IoAggregationTest, BatchedFetchMatchesPerVertexFetch) {
+  ExternalCsrPartition& part = external_->partition(0);
+  std::vector<Vertex> batch;
+  for (Vertex v = 0; v < edges_.vertex_count(); v += 7) batch.push_back(v);
+
+  std::vector<std::vector<Vertex>> batched;
+  part.fetch_neighbors_batch(batch, batched);
+
+  std::vector<Vertex> single;
+  ASSERT_EQ(batched.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    part.fetch_neighbors(batch[i], single);
+    ASSERT_EQ(batched[i], single) << "v=" << batch[i];
+  }
+}
+
+TEST_F(IoAggregationTest, UnsortedAndDuplicateBatch) {
+  ExternalCsrPartition& part = external_->partition(0);
+  const std::vector<Vertex> batch = {90, 3, 90, 512, 3, 0};
+  std::vector<std::vector<Vertex>> batched;
+  part.fetch_neighbors_batch(batch, batched);
+  std::vector<Vertex> single;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    part.fetch_neighbors(batch[i], single);
+    ASSERT_EQ(batched[i], single) << "slot " << i;
+  }
+}
+
+TEST_F(IoAggregationTest, EmptyBatchIssuesNothing) {
+  ExternalCsrPartition& part = external_->partition(0);
+  device_->stats().reset();
+  std::vector<std::vector<Vertex>> batched;
+  EXPECT_EQ(part.fetch_neighbors_batch({}, batched), 0u);
+  EXPECT_EQ(device_->stats().request_count(), 0u);
+}
+
+TEST_F(IoAggregationTest, AggregationReducesRequestCount) {
+  ExternalCsrPartition& part = external_->partition(0);
+  std::vector<Vertex> batch;
+  for (Vertex v = 100; v < 164; ++v) batch.push_back(v);  // 64 consecutive
+
+  std::uint64_t per_vertex = 0;
+  std::vector<Vertex> single;
+  for (const Vertex v : batch) per_vertex += part.fetch_neighbors(v, single);
+
+  std::vector<std::vector<Vertex>> batched;
+  const std::uint64_t aggregated =
+      part.fetch_neighbors_batch(batch, batched);
+  EXPECT_LT(aggregated, per_vertex / 4);
+}
+
+TEST_F(IoAggregationTest, ZeroGapStillCorrect) {
+  ExternalCsrPartition& part = external_->partition(0);
+  std::vector<Vertex> batch = {5, 6, 7, 1000, 1001};
+  std::vector<std::vector<Vertex>> batched;
+  part.fetch_neighbors_batch(batch, batched, /*merge_gap_bytes=*/0);
+  std::vector<Vertex> single;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    part.fetch_neighbors(batch[i], single);
+    ASSERT_EQ(batched[i], single);
+  }
+}
+
+TEST_F(IoAggregationTest, TinyMaxRequestStillCorrect) {
+  ExternalCsrPartition& part = external_->partition(0);
+  std::vector<Vertex> batch;
+  for (Vertex v = 0; v < 64; ++v) batch.push_back(v);
+  std::vector<std::vector<Vertex>> batched;
+  part.fetch_neighbors_batch(batch, batched, 4096, /*max_request=*/64);
+  std::vector<Vertex> single;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    part.fetch_neighbors(batch[i], single);
+    ASSERT_EQ(batched[i], single);
+  }
+}
+
+TEST_F(IoAggregationTest, AggregatedBfsMatchesReference) {
+  const BackwardGraph backward =
+      BackwardGraph::build(edges_, partition_, CsrBuildOptions{}, pool_);
+  const Csr full = build_csr(edges_, CsrBuildOptions{}, pool_);
+  GraphStorage storage;
+  storage.forward_external = external_.get();
+  storage.backward_dram = &backward;
+  HybridBfsRunner runner{storage, NumaTopology{2, 2}, pool_};
+
+  BfsConfig config;
+  config.mode = BfsMode::TopDownOnly;  // maximize the aggregated path
+  config.aggregate_io = true;
+
+  Vertex root = 0;
+  while (full.degree(root) == 0) ++root;
+  const BfsResult result = runner.run(root, config);
+  const ReferenceBfsResult ref = reference_bfs(full, root);
+  for (Vertex v = 0; v < edges_.vertex_count(); ++v)
+    ASSERT_EQ(result.level[v], ref.level[v]) << "v=" << v;
+}
+
+TEST_F(IoAggregationTest, AggregatedBfsIssuesFewerRequests) {
+  const BackwardGraph backward =
+      BackwardGraph::build(edges_, partition_, CsrBuildOptions{}, pool_);
+  const Csr full = build_csr(edges_, CsrBuildOptions{}, pool_);
+  GraphStorage storage;
+  storage.forward_external = external_.get();
+  storage.backward_dram = &backward;
+  HybridBfsRunner runner{storage, NumaTopology{2, 2}, pool_};
+
+  Vertex root = 0;
+  while (full.degree(root) == 0) ++root;
+
+  BfsConfig plain;
+  plain.mode = BfsMode::TopDownOnly;
+  const std::uint64_t chunked = runner.run(root, plain).nvm_requests;
+
+  BfsConfig aggregated = plain;
+  aggregated.aggregate_io = true;
+  const std::uint64_t merged = runner.run(root, aggregated).nvm_requests;
+  EXPECT_LT(merged, chunked);
+}
+
+TEST_F(IoAggregationTest, AggregationRaisesAvgRequestSize) {
+  const BackwardGraph backward =
+      BackwardGraph::build(edges_, partition_, CsrBuildOptions{}, pool_);
+  GraphStorage storage;
+  storage.forward_external = external_.get();
+  storage.backward_dram = &backward;
+  HybridBfsRunner runner{storage, NumaTopology{2, 2}, pool_};
+
+  Vertex root = 0;
+  while (backward.neighbors(root).empty()) ++root;
+
+  BfsConfig plain;
+  plain.mode = BfsMode::TopDownOnly;
+  device_->stats().reset();
+  runner.run(root, plain);
+  const double plain_rq = device_->stats().snapshot().avg_request_sectors;
+
+  BfsConfig aggregated = plain;
+  aggregated.aggregate_io = true;
+  device_->stats().reset();
+  runner.run(root, aggregated);
+  const double merged_rq = device_->stats().snapshot().avg_request_sectors;
+  EXPECT_GT(merged_rq, plain_rq);  // the Figure-13 "aggregate I/O" effect
+}
+
+}  // namespace
+}  // namespace sembfs

@@ -1,0 +1,115 @@
+#include "nvm/io_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace sembfs {
+namespace {
+
+class IoSamplerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DeviceProfile profile;
+    profile.name = "test";
+    profile.read_latency_us = 500.0;
+    profile.channels = 2;
+    device_ = std::make_shared<NvmDevice>(profile);
+    file_ = std::make_unique<NvmFile>(device_, path());
+    const std::vector<std::byte> payload(4096);
+    file_->write(0, payload);
+    device_->stats().reset();
+  }
+  void TearDown() override { remove_file_if_exists(path()); }
+  std::string path() const {
+    return ::testing::TempDir() + "/sembfs_sampler.bin";
+  }
+
+  void busy_reads(int count) {
+    std::vector<std::byte> buffer(512);
+    for (int i = 0; i < count; ++i) file_->read(0, buffer);
+  }
+
+  std::shared_ptr<NvmDevice> device_;
+  std::unique_ptr<NvmFile> file_;
+};
+
+TEST_F(IoSamplerTest, CapturesWindowsDuringActivity) {
+  IoStatsSampler sampler{*device_, 0.02};
+  sampler.start();
+  busy_reads(100);  // ~50 ms of serialized 0.5 ms requests
+  sampler.stop();
+
+  ASSERT_GE(sampler.samples().size(), 2u);
+  std::uint64_t total_requests = 0;
+  for (const IoSample& s : sampler.samples()) total_requests += s.requests;
+  EXPECT_EQ(total_requests, 100u);
+}
+
+TEST_F(IoSamplerTest, WindowQueueLengthReflectsLoad) {
+  IoStatsSampler sampler{*device_, 0.02};
+  sampler.start();
+  // 4 threads against 2 channels: windowed avgqu-sz should approach ~4.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([this] { busy_reads(40); });
+  for (auto& t : threads) t.join();
+  sampler.stop();
+
+  EXPECT_GT(sampler.peak_queue_length(), 1.5);
+  EXPECT_LT(sampler.peak_queue_length(), 8.0);
+}
+
+TEST_F(IoSamplerTest, QuietWindowsShowZeroRequests) {
+  IoStatsSampler sampler{*device_, 0.01};
+  sampler.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  sampler.stop();
+  ASSERT_GE(sampler.samples().size(), 2u);
+  for (const IoSample& s : sampler.samples()) {
+    EXPECT_EQ(s.requests, 0u);
+    EXPECT_LT(s.avg_queue_length, 0.01);
+  }
+}
+
+TEST_F(IoSamplerTest, MeanRequestSectorsWeighted) {
+  IoStatsSampler sampler{*device_, 0.02};
+  sampler.start();
+  busy_reads(20);  // 512 B = 1 sector each
+  sampler.stop();
+  EXPECT_NEAR(sampler.mean_request_sectors(), 1.0, 1e-9);
+}
+
+TEST_F(IoSamplerTest, TimesAreMonotonic) {
+  IoStatsSampler sampler{*device_, 0.01};
+  sampler.start();
+  busy_reads(30);
+  sampler.stop();
+  double prev = -1.0;
+  for (const IoSample& s : sampler.samples()) {
+    EXPECT_GT(s.t_seconds, prev);
+    prev = s.t_seconds;
+  }
+}
+
+TEST_F(IoSamplerTest, RestartClearsSeries) {
+  IoStatsSampler sampler{*device_, 0.01};
+  sampler.start();
+  busy_reads(10);
+  sampler.stop();
+  const std::size_t first = sampler.samples().size();
+  ASSERT_GE(first, 1u);
+  sampler.start();
+  sampler.stop();
+  EXPECT_LE(sampler.samples().size(), 1u);  // only the closing window
+}
+
+TEST_F(IoSamplerTest, StopWithoutStartIsSafe) {
+  IoStatsSampler sampler{*device_};
+  sampler.stop();
+  EXPECT_TRUE(sampler.samples().empty());
+}
+
+}  // namespace
+}  // namespace sembfs

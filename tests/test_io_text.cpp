@@ -1,0 +1,105 @@
+#include "graph/io_text.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "graph_fixtures.hpp"
+#include "nvm/storage_file.hpp"
+
+namespace sembfs {
+namespace {
+
+class IoTextTest : public ::testing::Test {
+ protected:
+  std::string path() const {
+    return ::testing::TempDir() + "/sembfs_text_edges.txt";
+  }
+  void write(const std::string& content) const {
+    std::ofstream out{path()};
+    out << content;
+  }
+  void TearDown() override { remove_file_if_exists(path()); }
+};
+
+TEST_F(IoTextTest, RoundTrip) {
+  const EdgeList original = fixtures::small_graph();
+  write_edge_list_text(original, path());
+  const EdgeList loaded = read_edge_list_text(path());
+  ASSERT_EQ(loaded.edge_count(), original.edge_count());
+  EXPECT_EQ(loaded.vertex_count(), original.vertex_count());
+  for (std::size_t i = 0; i < original.edge_count(); ++i)
+    EXPECT_EQ(loaded[i], original[i]);
+}
+
+TEST_F(IoTextTest, ParsesSnapStyleInput) {
+  write("# A comment header\n"
+        "# another\n"
+        "0 1\n"
+        "\n"
+        "1 2  # trailing comment\n"
+        "   3   4   \n");
+  const EdgeList edges = read_edge_list_text(path());
+  ASSERT_EQ(edges.edge_count(), 3u);
+  EXPECT_EQ(edges[0], (Edge{0, 1}));
+  EXPECT_EQ(edges[1], (Edge{1, 2}));
+  EXPECT_EQ(edges[2], (Edge{3, 4}));
+  EXPECT_EQ(edges.vertex_count(), 5);  // inferred: max endpoint + 1
+}
+
+TEST_F(IoTextTest, DeclaredVertexCountHonored) {
+  write("0 1\n");
+  TextReadOptions options;
+  options.vertex_count = 100;
+  EXPECT_EQ(read_edge_list_text(path(), options).vertex_count(), 100);
+}
+
+TEST_F(IoTextTest, EndpointBeyondDeclaredCountFails) {
+  write("0 99\n");
+  TextReadOptions options;
+  options.vertex_count = 10;
+  EXPECT_THROW(read_edge_list_text(path(), options), std::runtime_error);
+}
+
+TEST_F(IoTextTest, SelfLoopFiltering) {
+  write("0 0\n0 1\n2 2\n");
+  TextReadOptions options;
+  options.skip_self_loops = true;
+  const EdgeList edges = read_edge_list_text(path(), options);
+  ASSERT_EQ(edges.edge_count(), 1u);
+  EXPECT_EQ(edges[0], (Edge{0, 1}));
+}
+
+TEST_F(IoTextTest, MalformedLineReportsLineNumber) {
+  write("0 1\nnot numbers\n");
+  try {
+    read_edge_list_text(path());
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string{error.what()}.find("line 2"), std::string::npos);
+  }
+}
+
+TEST_F(IoTextTest, ExtraFieldRejected) {
+  write("0 1 2\n");
+  EXPECT_THROW(read_edge_list_text(path()), std::runtime_error);
+}
+
+TEST_F(IoTextTest, NegativeEndpointRejected) {
+  write("0 -1\n");
+  EXPECT_THROW(read_edge_list_text(path()), std::runtime_error);
+}
+
+TEST_F(IoTextTest, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_text("/no/such/file.txt"), std::runtime_error);
+}
+
+TEST_F(IoTextTest, EmptyFileYieldsEmptyList) {
+  write("# only comments\n\n");
+  const EdgeList edges = read_edge_list_text(path());
+  EXPECT_EQ(edges.edge_count(), 0u);
+  EXPECT_EQ(edges.vertex_count(), 0);
+}
+
+}  // namespace
+}  // namespace sembfs

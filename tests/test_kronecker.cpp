@@ -1,0 +1,137 @@
+#include "graph/kronecker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/csr.hpp"
+#include "graph/degree.hpp"
+
+namespace sembfs {
+namespace {
+
+KroneckerParams params_for(int scale, std::uint64_t seed = 1) {
+  KroneckerParams p;
+  p.scale = scale;
+  p.edge_factor = 8;
+  p.seed = seed;
+  return p;
+}
+
+TEST(Kronecker, ProducesSpecifiedCounts) {
+  ThreadPool pool{2};
+  const KroneckerParams p = params_for(8);
+  const EdgeList edges = generate_kronecker(p, pool);
+  EXPECT_EQ(edges.vertex_count(), 256);
+  EXPECT_EQ(edges.edge_count(), 256u * 8u);
+}
+
+TEST(Kronecker, EndpointsInRange) {
+  ThreadPool pool{2};
+  const EdgeList edges = generate_kronecker(params_for(9), pool);
+  for (const Edge& e : edges) {
+    ASSERT_GE(e.u, 0);
+    ASSERT_LT(e.u, 512);
+    ASSERT_GE(e.v, 0);
+    ASSERT_LT(e.v, 512);
+  }
+}
+
+TEST(Kronecker, DeterministicForSeed) {
+  ThreadPool pool{4};
+  const EdgeList a = generate_kronecker(params_for(8, 7), pool);
+  const EdgeList b = generate_kronecker(params_for(8, 7), pool);
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (std::size_t i = 0; i < a.edge_count(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(Kronecker, DifferentSeedsDiffer) {
+  ThreadPool pool{2};
+  const EdgeList a = generate_kronecker(params_for(8, 1), pool);
+  const EdgeList b = generate_kronecker(params_for(8, 2), pool);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.edge_count(); ++i)
+    if (a[i] == b[i]) ++same;
+  EXPECT_LT(same, a.edge_count() / 10);
+}
+
+TEST(Kronecker, IndependentOfThreadCount) {
+  ThreadPool pool1{1};
+  ThreadPool pool8{8};
+  const EdgeList a = generate_kronecker(params_for(9, 3), pool1);
+  const EdgeList b = generate_kronecker(params_for(9, 3), pool8);
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (std::size_t i = 0; i < a.edge_count(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(Kronecker, RangeGenerationMatchesBulk) {
+  ThreadPool pool{2};
+  const KroneckerParams p = params_for(8, 5);
+  const EdgeList bulk = generate_kronecker(p, pool);
+  std::vector<Edge> range(100);
+  generate_kronecker_range(p, 50, 150, range);
+  for (std::size_t i = 0; i < 100; ++i) ASSERT_EQ(range[i], bulk[50 + i]);
+}
+
+TEST(Kronecker, PermutationIsBijective) {
+  const KroneckerParams p = params_for(10);
+  const std::vector<Vertex> perm = kronecker_permutation(p);
+  std::set<Vertex> image(perm.begin(), perm.end());
+  EXPECT_EQ(image.size(), perm.size());
+  EXPECT_EQ(*image.begin(), 0);
+  EXPECT_EQ(*image.rbegin(), static_cast<Vertex>(perm.size()) - 1);
+}
+
+TEST(Kronecker, IdentityPermutationWhenDisabled) {
+  KroneckerParams p = params_for(6);
+  p.permute_vertices = false;
+  const std::vector<Vertex> perm = kronecker_permutation(p);
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    EXPECT_EQ(perm[i], static_cast<Vertex>(i));
+}
+
+TEST(Kronecker, SkewedDegreeDistribution) {
+  // R-MAT with A=0.57 must produce hubs: max degree >> mean degree.
+  ThreadPool pool{4};
+  KroneckerParams p;
+  p.scale = 12;
+  p.edge_factor = 16;
+  p.seed = 11;
+  const EdgeList edges = generate_kronecker(p, pool);
+  CsrBuildOptions opts;
+  const Csr csr = build_csr(edges, opts, pool);
+  const DegreeStats stats = compute_degree_stats(csr);
+  EXPECT_GT(stats.max_degree, 10 * static_cast<std::int64_t>(stats.mean_degree));
+  EXPECT_GT(stats.isolated_count, 0);  // power-law graphs strand vertices
+}
+
+TEST(Kronecker, PermutationHidesDegreeOrder) {
+  // Without permutation, low vertex IDs are the hubs (quadrant A bias).
+  // With permutation the correlation between ID and degree must vanish.
+  ThreadPool pool{4};
+  KroneckerParams p = params_for(11, 9);
+  p.edge_factor = 16;
+  const EdgeList permuted = generate_kronecker(p, pool);
+  CsrBuildOptions opts;
+  const Csr csr = build_csr(permuted, opts, pool);
+  const Vertex n = csr.global_vertex_count();
+  std::int64_t low_half = 0;
+  std::int64_t high_half = 0;
+  for (Vertex v = 0; v < n; ++v)
+    (v < n / 2 ? low_half : high_half) += csr.degree(v);
+  // Balanced within 20% — unpermuted R-MAT would be > 2x lopsided.
+  const double ratio =
+      static_cast<double>(low_half) / static_cast<double>(high_half);
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.25);
+}
+
+TEST(KroneckerDeath, RejectsBadScale) {
+  std::vector<Edge> out(1);
+  KroneckerParams p = params_for(0);
+  EXPECT_DEATH(generate_kronecker_range(p, 0, 1, out), "Precondition");
+}
+
+}  // namespace
+}  // namespace sembfs

@@ -1,0 +1,50 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sembfs {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::Warn); }  // default
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+}
+
+TEST_F(LoggingTest, EmitBelowThresholdIsDropped) {
+  // Captures stderr around a suppressed and an emitted message.
+  set_log_level(LogLevel::Error);
+  ::testing::internal::CaptureStderr();
+  SEMBFS_LOG_INFO("should not appear %d", 1);
+  SEMBFS_LOG_ERROR("should appear %d", 2);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("should not appear"), std::string::npos);
+  EXPECT_NE(err.find("should appear 2"), std::string::npos);
+  EXPECT_NE(err.find("ERROR"), std::string::npos);
+}
+
+TEST_F(LoggingTest, FormatsArguments) {
+  set_log_level(LogLevel::Debug);
+  ::testing::internal::CaptureStderr();
+  SEMBFS_LOG_DEBUG("x=%d s=%s f=%.1f", 42, "str", 2.5);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("x=42 s=str f=2.5"), std::string::npos);
+}
+
+TEST_F(LoggingTest, DefaultLevelSuppressesInfo) {
+  ::testing::internal::CaptureStderr();
+  SEMBFS_LOG_INFO("quiet by default");
+  SEMBFS_LOG_WARN("warnings pass");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("quiet by default"), std::string::npos);
+  EXPECT_NE(err.find("warnings pass"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sembfs

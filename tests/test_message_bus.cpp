@@ -1,0 +1,98 @@
+#include "dist/message_bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+namespace sembfs {
+namespace {
+
+TEST(MessageBus, SendDrainRoundTrip) {
+  MessageBus bus{2};
+  const std::vector<Vertex> payload = {1, 2, 3};
+  bus.send(0, 1, payload);
+  EXPECT_EQ(bus.drain(0, 1), payload);
+  EXPECT_TRUE(bus.drain(0, 1).empty());  // drained once
+}
+
+TEST(MessageBus, SendsAccumulateUntilDrain) {
+  MessageBus bus{2};
+  bus.send(0, 1, std::vector<Vertex>{1});
+  bus.send(0, 1, std::vector<Vertex>{2, 3});
+  EXPECT_EQ(bus.drain(0, 1), (std::vector<Vertex>{1, 2, 3}));
+}
+
+TEST(MessageBus, DrainAllMergesSenders) {
+  MessageBus bus{3};
+  bus.send(0, 2, std::vector<Vertex>{10});
+  bus.send(1, 2, std::vector<Vertex>{20, 21});
+  bus.send(2, 2, std::vector<Vertex>{30});  // self-send also delivered
+  std::vector<Vertex> all = bus.drain_all(2);
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<Vertex>{10, 20, 21, 30}));
+}
+
+TEST(MessageBus, ByteAccounting) {
+  MessageBus bus{2};
+  bus.send(0, 1, std::vector<Vertex>{1, 2, 3});
+  EXPECT_EQ(bus.bytes_sent(0, 1), 3 * sizeof(Vertex));
+  EXPECT_EQ(bus.bytes_sent(1, 0), 0u);
+  EXPECT_EQ(bus.total_remote_bytes(), 3 * sizeof(Vertex));
+  EXPECT_EQ(bus.total_messages(), 1u);
+}
+
+TEST(MessageBus, SelfSendsExcludedFromRemoteBytes) {
+  MessageBus bus{2};
+  bus.send(0, 0, std::vector<Vertex>{1, 2});
+  bus.send(0, 1, std::vector<Vertex>{3});
+  EXPECT_EQ(bus.total_remote_bytes(), sizeof(Vertex));
+}
+
+TEST(MessageBus, EmptySendIsFree) {
+  MessageBus bus{2};
+  bus.send(0, 1, {});
+  EXPECT_EQ(bus.total_messages(), 0u);
+  EXPECT_EQ(bus.bytes_sent(0, 1), 0u);
+}
+
+TEST(MessageBus, ResetCountersKeepsQueues) {
+  MessageBus bus{2};
+  bus.send(0, 1, std::vector<Vertex>{7});
+  bus.reset_counters();
+  EXPECT_EQ(bus.total_remote_bytes(), 0u);
+  EXPECT_EQ(bus.drain(0, 1), (std::vector<Vertex>{7}));  // data intact
+}
+
+TEST(MessageBus, ConcurrentSendersLoseNothing) {
+  MessageBus bus{4};
+  std::vector<std::thread> threads;
+  for (std::size_t sender = 0; sender < 4; ++sender) {
+    threads.emplace_back([&bus, sender] {
+      for (Vertex i = 0; i < 1000; ++i)
+        bus.send(sender, 3, std::vector<Vertex>{i});
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bus.drain_all(3).size(), 4000u);
+  EXPECT_EQ(bus.total_messages(), 4000u);
+}
+
+TEST(MessageBus, BarrierSynchronizesRanks) {
+  MessageBus bus{3};
+  std::atomic<int> stage{0};
+  std::vector<std::thread> threads;
+  std::atomic<bool> violated{false};
+  for (int r = 0; r < 3; ++r) {
+    threads.emplace_back([&] {
+      stage.fetch_add(1);
+      bus.barrier();
+      if (stage.load() != 3) violated.store(true);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violated.load());
+}
+
+}  // namespace
+}  // namespace sembfs

@@ -1,0 +1,104 @@
+#include "util/options.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sembfs {
+namespace {
+
+OptionParser make_parser() {
+  OptionParser p{"test program"};
+  p.add_int("scale", 16, "the scale");
+  p.add_double("alpha", 1e4, "the alpha");
+  p.add_string("scenario", "dram", "the scenario");
+  p.add_flag("verbose", "chatty output");
+  return p;
+}
+
+bool parse(OptionParser& p, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return p.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(OptionParser, DefaultsWhenUnset) {
+  OptionParser p = make_parser();
+  ASSERT_TRUE(parse(p, {}));
+  EXPECT_EQ(p.get_int("scale"), 16);
+  EXPECT_EQ(p.get_double("alpha"), 1e4);
+  EXPECT_EQ(p.get_string("scenario"), "dram");
+  EXPECT_FALSE(p.get_flag("verbose"));
+}
+
+TEST(OptionParser, SpaceSeparatedValues) {
+  OptionParser p = make_parser();
+  ASSERT_TRUE(parse(p, {"--scale", "20", "--alpha", "1e6"}));
+  EXPECT_EQ(p.get_int("scale"), 20);
+  EXPECT_EQ(p.get_double("alpha"), 1e6);
+}
+
+TEST(OptionParser, EqualsSeparatedValues) {
+  OptionParser p = make_parser();
+  ASSERT_TRUE(parse(p, {"--scale=22", "--scenario=ssd"}));
+  EXPECT_EQ(p.get_int("scale"), 22);
+  EXPECT_EQ(p.get_string("scenario"), "ssd");
+}
+
+TEST(OptionParser, FlagSetsTrue) {
+  OptionParser p = make_parser();
+  ASSERT_TRUE(parse(p, {"--verbose"}));
+  EXPECT_TRUE(p.get_flag("verbose"));
+}
+
+TEST(OptionParser, PositionalArgumentsCollected) {
+  OptionParser p = make_parser();
+  ASSERT_TRUE(parse(p, {"file1", "--scale", "18", "file2"}));
+  EXPECT_EQ(p.positional(), (std::vector<std::string>{"file1", "file2"}));
+}
+
+TEST(OptionParser, UnknownOptionFails) {
+  OptionParser p = make_parser();
+  EXPECT_FALSE(parse(p, {"--bogus", "1"}));
+}
+
+TEST(OptionParser, MissingValueFails) {
+  OptionParser p = make_parser();
+  EXPECT_FALSE(parse(p, {"--scale"}));
+}
+
+TEST(OptionParser, NonNumericIntFails) {
+  OptionParser p = make_parser();
+  EXPECT_FALSE(parse(p, {"--scale", "abc"}));
+}
+
+TEST(OptionParser, NonNumericDoubleFails) {
+  OptionParser p = make_parser();
+  EXPECT_FALSE(parse(p, {"--alpha", "xyz"}));
+}
+
+TEST(OptionParser, FlagWithValueFails) {
+  OptionParser p = make_parser();
+  EXPECT_FALSE(parse(p, {"--verbose=yes"}));
+}
+
+TEST(OptionParser, HelpShortCircuits) {
+  OptionParser p = make_parser();
+  EXPECT_FALSE(parse(p, {"--help"}));
+  EXPECT_TRUE(p.help_requested());
+}
+
+TEST(OptionParser, HelpTextListsOptions) {
+  OptionParser p = make_parser();
+  const std::string help = p.help_text();
+  EXPECT_NE(help.find("--scale"), std::string::npos);
+  EXPECT_NE(help.find("default: 16"), std::string::npos);
+  EXPECT_NE(help.find("--help"), std::string::npos);
+}
+
+TEST(OptionParser, NegativeNumbers) {
+  OptionParser p = make_parser();
+  ASSERT_TRUE(parse(p, {"--scale", "-1", "--alpha", "-2.5"}));
+  EXPECT_EQ(p.get_int("scale"), -1);
+  EXPECT_EQ(p.get_double("alpha"), -2.5);
+}
+
+}  // namespace
+}  // namespace sembfs

@@ -1,0 +1,101 @@
+#include "bfs/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sembfs {
+namespace {
+
+PolicyInput input(Direction cur, std::int64_t n_all, std::int64_t prev,
+                  std::int64_t now) {
+  PolicyInput in;
+  in.current = cur;
+  in.n_all = n_all;
+  in.prev_frontier = prev;
+  in.cur_frontier = now;
+  return in;
+}
+
+// --- The paper's rule (Section III-C) ---
+
+TEST(FrontierRatioPolicy, SwitchesToBottomUpWhenGrowingPastThreshold) {
+  SwitchPolicy p{PolicyKind::FrontierRatio, 1e4, 1e5};
+  // n/alpha = 100; frontier grew 50 -> 200 > 100: switch.
+  EXPECT_EQ(p.decide(input(Direction::TopDown, 1'000'000, 50, 200)),
+            Direction::BottomUp);
+}
+
+TEST(FrontierRatioPolicy, StaysTopDownWhenGrowingBelowThreshold) {
+  SwitchPolicy p{PolicyKind::FrontierRatio, 1e4, 1e5};
+  EXPECT_EQ(p.decide(input(Direction::TopDown, 1'000'000, 50, 80)),
+            Direction::TopDown);
+}
+
+TEST(FrontierRatioPolicy, StaysTopDownWhenShrinkingEvenIfLarge) {
+  SwitchPolicy p{PolicyKind::FrontierRatio, 1e4, 1e5};
+  // Both conditions are required: frontier must be GROWING.
+  EXPECT_EQ(p.decide(input(Direction::TopDown, 1'000'000, 500, 200)),
+            Direction::TopDown);
+}
+
+TEST(FrontierRatioPolicy, SwitchesBackWhenShrinkingBelowBeta) {
+  SwitchPolicy p{PolicyKind::FrontierRatio, 1e4, 1e5};
+  // n/beta = 10; frontier shrank 50 -> 5 < 10: switch back.
+  EXPECT_EQ(p.decide(input(Direction::BottomUp, 1'000'000, 50, 5)),
+            Direction::TopDown);
+}
+
+TEST(FrontierRatioPolicy, StaysBottomUpWhenShrinkingAboveBeta) {
+  SwitchPolicy p{PolicyKind::FrontierRatio, 1e4, 1e5};
+  EXPECT_EQ(p.decide(input(Direction::BottomUp, 1'000'000, 50, 20)),
+            Direction::BottomUp);
+}
+
+TEST(FrontierRatioPolicy, StaysBottomUpWhenGrowing) {
+  SwitchPolicy p{PolicyKind::FrontierRatio, 1e4, 1e5};
+  EXPECT_EQ(p.decide(input(Direction::BottomUp, 1'000'000, 5, 2000)),
+            Direction::BottomUp);
+}
+
+TEST(FrontierRatioPolicy, SmallAlphaSwitchesEagerly) {
+  // alpha = n means threshold n/alpha = 1 vertex.
+  SwitchPolicy eager{PolicyKind::FrontierRatio, 1e6, 1e5};
+  EXPECT_EQ(eager.decide(input(Direction::TopDown, 1'000'000, 1, 2)),
+            Direction::BottomUp);
+  // alpha = 1 means threshold = n: never reachable.
+  SwitchPolicy never{PolicyKind::FrontierRatio, 1.0, 1e5};
+  EXPECT_EQ(never.decide(input(Direction::TopDown, 1'000'000, 1,
+                               999'999)),
+            Direction::TopDown);
+}
+
+TEST(FrontierRatioPolicy, EqualFrontierIsNeitherGrowingNorShrinking) {
+  SwitchPolicy p{PolicyKind::FrontierRatio, 1e4, 1e5};
+  EXPECT_EQ(p.decide(input(Direction::TopDown, 1'000'000, 200, 200)),
+            Direction::TopDown);
+  EXPECT_EQ(p.decide(input(Direction::BottomUp, 1'000'000, 5, 5)),
+            Direction::BottomUp);
+}
+
+// --- Beamer's edge-count rule (extension) ---
+
+TEST(EdgeRatioPolicy, SwitchesOnFrontierEdgeMass) {
+  SwitchPolicy p{PolicyKind::EdgeRatio, 14.0, 24.0};
+  PolicyInput in = input(Direction::TopDown, 1'000'000, 10, 100);
+  in.frontier_edges = 10'000;
+  in.unvisited_edges = 100'000;  // m_u / alpha ~= 7143 < m_f: switch
+  EXPECT_EQ(p.decide(in), Direction::BottomUp);
+  in.frontier_edges = 1'000;  // below threshold: stay
+  EXPECT_EQ(p.decide(in), Direction::TopDown);
+}
+
+TEST(EdgeRatioPolicy, SwitchesBackOnSmallFrontier) {
+  SwitchPolicy p{PolicyKind::EdgeRatio, 14.0, 24.0};
+  PolicyInput in = input(Direction::BottomUp, 1'000'000, 50'000,
+                         1'000'000 / 24 - 1);
+  EXPECT_EQ(p.decide(in), Direction::TopDown);
+  in.cur_frontier = 1'000'000 / 24 + 1;
+  EXPECT_EQ(p.decide(in), Direction::BottomUp);
+}
+
+}  // namespace
+}  // namespace sembfs

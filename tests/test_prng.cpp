@@ -1,0 +1,89 @@
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace sembfs {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a{42};
+  SplitMix64 b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a{1};
+  SplitMix64 b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoroshiro128, DeterministicForSeed) {
+  Xoroshiro128 a{7};
+  Xoroshiro128 b{7};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoroshiro128, NextDoubleInUnitInterval) {
+  Xoroshiro128 rng{123};
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoroshiro128, NextDoubleMeanNearHalf) {
+  Xoroshiro128 rng{99};
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoroshiro128, NextBelowRespectsBound) {
+  Xoroshiro128 rng{5};
+  for (const std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Xoroshiro128, NextBelowOneIsAlwaysZero) {
+  Xoroshiro128 rng{5};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Xoroshiro128, NextBelowCoversSmallRange) {
+  Xoroshiro128 rng{17};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(DeriveSeed, StreamsAreIndependent) {
+  const std::uint64_t base = 12345;
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 1000; ++s) seeds.insert(derive_seed(base, s));
+  EXPECT_EQ(seeds.size(), 1000u);  // no collisions in a small sample
+}
+
+TEST(DeriveSeed, DeterministicPerStream) {
+  EXPECT_EQ(derive_seed(1, 5), derive_seed(1, 5));
+  EXPECT_NE(derive_seed(1, 5), derive_seed(2, 5));
+  EXPECT_NE(derive_seed(1, 5), derive_seed(1, 6));
+}
+
+TEST(Xoroshiro128, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoroshiro128::min() == 0);
+  static_assert(Xoroshiro128::max() == ~std::uint64_t{0});
+  Xoroshiro128 rng{3};
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace sembfs

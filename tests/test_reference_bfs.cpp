@@ -1,0 +1,84 @@
+#include "bfs/reference_bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph_fixtures.hpp"
+
+namespace sembfs {
+namespace {
+
+TEST(ReferenceBfs, SmallGraphLevels) {
+  ThreadPool pool{2};
+  const Csr csr = build_csr(fixtures::small_graph(), CsrBuildOptions{}, pool);
+  const ReferenceBfsResult r = reference_bfs(csr, 0);
+  EXPECT_EQ(r.level[0], 0);
+  EXPECT_EQ(r.level[1], 1);
+  EXPECT_EQ(r.level[3], 1);
+  EXPECT_EQ(r.level[2], 2);
+  EXPECT_EQ(r.level[4], 2);
+  EXPECT_EQ(r.level[5], -1);
+  EXPECT_EQ(r.level[6], -1);
+  EXPECT_EQ(r.level[7], -1);
+  EXPECT_EQ(r.visited, 5);
+}
+
+TEST(ReferenceBfs, ParentsFormValidTree) {
+  ThreadPool pool{2};
+  const Csr csr = build_csr(fixtures::small_graph(), CsrBuildOptions{}, pool);
+  const ReferenceBfsResult r = reference_bfs(csr, 0);
+  EXPECT_EQ(r.parent[0], 0);
+  for (Vertex v = 0; v < 8; ++v) {
+    if (r.parent[v] == kNoVertex || v == 0) continue;
+    EXPECT_EQ(r.level[v], r.level[r.parent[v]] + 1) << "v=" << v;
+  }
+}
+
+TEST(ReferenceBfs, PathGraphDepth) {
+  ThreadPool pool{2};
+  const Csr csr = build_csr(fixtures::path_graph(8), CsrBuildOptions{}, pool);
+  const ReferenceBfsResult r = reference_bfs(csr, 0);
+  for (Vertex v = 0; v < 8; ++v) EXPECT_EQ(r.level[v], v);
+  // from the middle
+  const ReferenceBfsResult mid = reference_bfs(csr, 4);
+  EXPECT_EQ(mid.level[0], 4);
+  EXPECT_EQ(mid.level[7], 3);
+}
+
+TEST(ReferenceBfs, StarGraphIsTwoLevels) {
+  ThreadPool pool{2};
+  const Csr csr = build_csr(fixtures::star_graph(16), CsrBuildOptions{}, pool);
+  const ReferenceBfsResult hub = reference_bfs(csr, 0);
+  for (Vertex v = 1; v < 16; ++v) EXPECT_EQ(hub.level[v], 1);
+  const ReferenceBfsResult leaf = reference_bfs(csr, 5);
+  EXPECT_EQ(leaf.level[0], 1);
+  EXPECT_EQ(leaf.level[10], 2);
+}
+
+TEST(ReferenceBfs, TepsEdgeCountIsComponentEdges) {
+  ThreadPool pool{2};
+  const Csr csr = build_csr(fixtures::small_graph(), CsrBuildOptions{}, pool);
+  const ReferenceBfsResult r = reference_bfs(csr, 0);
+  EXPECT_EQ(r.teps_edge_count, 5);  // 5 undirected edges in 0's component
+  const ReferenceBfsResult other = reference_bfs(csr, 5);
+  EXPECT_EQ(other.teps_edge_count, 1);  // just 5-6
+}
+
+TEST(ReferenceBfs, IsolatedRoot) {
+  ThreadPool pool{2};
+  const Csr csr = build_csr(fixtures::small_graph(), CsrBuildOptions{}, pool);
+  const ReferenceBfsResult r = reference_bfs(csr, 7);
+  EXPECT_EQ(r.visited, 1);
+  EXPECT_EQ(r.teps_edge_count, 0);
+}
+
+TEST(ReferenceBfsDeath, RejectsPartialCsr) {
+  ThreadPool pool{2};
+  const EdgeList edges = fixtures::small_graph();
+  const Csr part = build_csr_filtered(edges, VertexRange{0, 4},
+                                      VertexRange{0, 8}, CsrBuildOptions{},
+                                      pool);
+  EXPECT_DEATH(reference_bfs(part, 0), "Precondition");
+}
+
+}  // namespace
+}  // namespace sembfs

@@ -1,0 +1,83 @@
+#include "graph500/result.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sembfs {
+namespace {
+
+std::vector<BfsRunRecord> sample_runs() {
+  std::vector<BfsRunRecord> runs;
+  for (int i = 1; i <= 5; ++i) {
+    BfsRunRecord r;
+    r.root = i;
+    r.seconds = 0.1 * i;
+    r.teps = 1e8 / i;
+    r.teps_edge_count = 1000000;
+    r.visited = 5000;
+    r.depth = 7;
+    r.validated = true;
+    runs.push_back(r);
+  }
+  return runs;
+}
+
+TEST(SummarizeRuns, AggregatesStats) {
+  const Graph500Output out =
+      summarize_runs(20, 16, "DRAM-only", 1.5, 3.5, sample_runs());
+  EXPECT_EQ(out.scale, 20);
+  EXPECT_EQ(out.edge_factor, 16);
+  EXPECT_EQ(out.nbfs, 5u);
+  EXPECT_TRUE(out.all_validated);
+  EXPECT_DOUBLE_EQ(out.time_stats.min, 0.1);
+  EXPECT_DOUBLE_EQ(out.time_stats.max, 0.5);
+  EXPECT_DOUBLE_EQ(out.teps_stats.median, 1e8 / 3);
+  EXPECT_DOUBLE_EQ(out.score(), out.teps_stats.median);
+  EXPECT_DOUBLE_EQ(out.edge_stats.mean, 1000000.0);
+}
+
+TEST(SummarizeRuns, FailedValidationPropagates) {
+  auto runs = sample_runs();
+  runs[2].validated = false;
+  const Graph500Output out =
+      summarize_runs(20, 16, "DRAM-only", 0, 0, runs);
+  EXPECT_FALSE(out.all_validated);
+}
+
+TEST(SummarizeRuns, EmptyRunsAreNotValidated) {
+  const Graph500Output out = summarize_runs(20, 16, "x", 0, 0, {});
+  EXPECT_FALSE(out.all_validated);
+  EXPECT_EQ(out.nbfs, 0u);
+}
+
+TEST(RenderOutput, ContainsSpecKeys) {
+  const Graph500Output out =
+      summarize_runs(20, 16, "DRAM+SSD", 1.0, 2.0, sample_runs());
+  const std::string text = render_graph500_output(out);
+  for (const char* key :
+       {"SCALE: 20", "edgefactor: 16", "scenario: DRAM+SSD", "NBFS: 5",
+        "construction_time", "min_time", "firstquartile_time", "median_time",
+        "thirdquartile_time", "max_time", "mean_time", "stddev_time",
+        "min_TEPS", "median_TEPS", "harmonic_mean_TEPS",
+        "harmonic_stddev_TEPS", "median_nedge", "validation: PASSED"}) {
+    EXPECT_NE(text.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+TEST(RenderOutput, FailedValidationRendered) {
+  auto runs = sample_runs();
+  runs[0].validated = false;
+  const std::string text =
+      render_graph500_output(summarize_runs(20, 16, "x", 0, 0, runs));
+  EXPECT_NE(text.find("validation: FAILED"), std::string::npos);
+}
+
+TEST(SummarizeRuns, MedianWithinBounds) {
+  const Graph500Output out =
+      summarize_runs(20, 16, "x", 0, 0, sample_runs());
+  EXPECT_GE(out.teps_stats.median, out.teps_stats.min);
+  EXPECT_LE(out.teps_stats.median, out.teps_stats.max);
+  EXPECT_LE(out.teps_stats.harmonic_mean, out.teps_stats.mean);
+}
+
+}  // namespace
+}  // namespace sembfs

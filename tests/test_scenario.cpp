@@ -1,0 +1,64 @@
+#include "graph500/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sembfs {
+namespace {
+
+TEST(Scenario, DramOnlyShape) {
+  const Scenario s = Scenario::dram_only();
+  EXPECT_EQ(s.kind, ScenarioKind::DramOnly);
+  EXPECT_FALSE(s.offload_forward);
+  EXPECT_EQ(s.backward_dram_edges, -1);
+  EXPECT_EQ(s.name, "DRAM-only");
+}
+
+TEST(Scenario, PcieFlashShape) {
+  const Scenario s = Scenario::dram_pcie_flash();
+  EXPECT_TRUE(s.offload_forward);
+  EXPECT_EQ(s.nvm_profile.name, "pcie_flash");
+  EXPECT_EQ(s.name, "DRAM+PCIeFlash");
+}
+
+TEST(Scenario, SsdShape) {
+  const Scenario s = Scenario::dram_ssd();
+  EXPECT_TRUE(s.offload_forward);
+  EXPECT_EQ(s.nvm_profile.name, "sata_ssd");
+}
+
+TEST(Scenario, ByNameAliases) {
+  EXPECT_EQ(Scenario::by_name("dram").kind, ScenarioKind::DramOnly);
+  EXPECT_EQ(Scenario::by_name("dram_only").kind, ScenarioKind::DramOnly);
+  EXPECT_EQ(Scenario::by_name("pcie_flash").kind,
+            ScenarioKind::DramPcieFlash);
+  EXPECT_EQ(Scenario::by_name("pcieflash").kind, ScenarioKind::DramPcieFlash);
+  EXPECT_EQ(Scenario::by_name("ssd").kind, ScenarioKind::DramSsd);
+  EXPECT_EQ(Scenario::by_name("sata_ssd").kind, ScenarioKind::DramSsd);
+}
+
+TEST(Scenario, ByNameRejectsUnknown) {
+  EXPECT_THROW(Scenario::by_name("tape"), std::invalid_argument);
+}
+
+TEST(Scenario, EffectiveProfileAppliesTimeScale) {
+  Scenario s = Scenario::dram_ssd();
+  s.time_scale = 0.25;
+  const DeviceProfile p = s.effective_profile();
+  EXPECT_DOUBLE_EQ(p.time_scale, 0.25);
+  EXPECT_EQ(p.name, "sata_ssd");
+}
+
+TEST(Scenario, DescribeMentionsOffloads) {
+  Scenario s = Scenario::dram_pcie_flash();
+  s.backward_dram_edges = 8;
+  const std::string d = s.describe();
+  EXPECT_NE(d.find("pcie_flash"), std::string::npos);
+  EXPECT_NE(d.find("8"), std::string::npos);
+  EXPECT_EQ(Scenario::dram_only().describe().find("capped"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace sembfs

@@ -1,0 +1,114 @@
+#include "graph/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "graph_fixtures.hpp"
+#include "nvm/storage_file.hpp"
+
+namespace sembfs {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  std::string path(const char* name) const {
+    return ::testing::TempDir() + "/sembfs_ser_" + name + ".bin";
+  }
+  void TearDown() override {
+    remove_file_if_exists(path("csr"));
+    remove_file_if_exists(path("edges"));
+    remove_file_if_exists(path("junk"));
+  }
+  ThreadPool pool_{2};
+};
+
+TEST_F(SerializeTest, CsrRoundTrip) {
+  const EdgeList edges =
+      generate_kronecker(fixtures::small_kronecker(9, 8, 81), pool_);
+  const Csr original = build_csr(edges, CsrBuildOptions{}, pool_);
+  save_csr(original, path("csr"));
+  const Csr loaded = load_csr(path("csr"));
+
+  EXPECT_EQ(loaded.global_vertex_count(), original.global_vertex_count());
+  EXPECT_EQ(loaded.source_range(), original.source_range());
+  EXPECT_EQ(loaded.destination_range(), original.destination_range());
+  EXPECT_EQ(loaded.index(), original.index());
+  EXPECT_EQ(loaded.values(), original.values());
+}
+
+TEST_F(SerializeTest, FilteredCsrRoundTripKeepsRanges) {
+  const EdgeList edges = fixtures::small_graph();
+  const Csr original = build_csr_filtered(
+      edges, VertexRange{2, 6}, VertexRange{0, 8}, CsrBuildOptions{}, pool_);
+  save_csr(original, path("csr"));
+  const Csr loaded = load_csr(path("csr"));
+  EXPECT_EQ(loaded.source_range(), (VertexRange{2, 6}));
+  EXPECT_EQ(loaded.degree(3), original.degree(3));
+}
+
+TEST_F(SerializeTest, EdgeListRoundTrip) {
+  const EdgeList original =
+      generate_kronecker(fixtures::small_kronecker(8, 8, 91), pool_);
+  save_edge_list(original, path("edges"));
+  const EdgeList loaded = load_edge_list(path("edges"));
+  ASSERT_EQ(loaded.edge_count(), original.edge_count());
+  EXPECT_EQ(loaded.vertex_count(), original.vertex_count());
+  for (std::size_t i = 0; i < original.edge_count(); ++i)
+    ASSERT_EQ(loaded[i], original[i]);
+}
+
+TEST_F(SerializeTest, EmptyEdgeListRoundTrip) {
+  EdgeList empty{42};
+  save_edge_list(empty, path("edges"));
+  const EdgeList loaded = load_edge_list(path("edges"));
+  EXPECT_EQ(loaded.edge_count(), 0u);
+  EXPECT_EQ(loaded.vertex_count(), 42);
+}
+
+TEST_F(SerializeTest, RejectsWrongMagic) {
+  std::FILE* f = std::fopen(path("junk").c_str(), "w");
+  std::fputs("this is not a graph file at all, padding padding", f);
+  std::fclose(f);
+  EXPECT_THROW(load_csr(path("junk")), std::runtime_error);
+  EXPECT_THROW(load_edge_list(path("junk")), std::runtime_error);
+}
+
+TEST_F(SerializeTest, RejectsKindMismatch) {
+  const EdgeList edges = fixtures::small_graph();
+  save_edge_list(edges, path("edges"));
+  EXPECT_THROW(load_csr(path("edges")), std::runtime_error);
+
+  const Csr csr = build_csr(edges, CsrBuildOptions{}, pool_);
+  save_csr(csr, path("csr"));
+  EXPECT_THROW(load_edge_list(path("csr")), std::runtime_error);
+}
+
+TEST_F(SerializeTest, RejectsTruncatedFile) {
+  const EdgeList edges =
+      generate_kronecker(fixtures::small_kronecker(8, 8, 95), pool_);
+  const Csr csr = build_csr(edges, CsrBuildOptions{}, pool_);
+  save_csr(csr, path("csr"));
+  {
+    StorageFile f = StorageFile::open_readwrite(path("csr"));
+    f.resize(f.size() / 2);
+  }
+  EXPECT_THROW(load_csr(path("csr")), std::runtime_error);
+}
+
+TEST_F(SerializeTest, LoadedCsrUsableForBfs) {
+  const EdgeList edges = fixtures::small_graph();
+  const Csr original = build_csr(edges, CsrBuildOptions{}, pool_);
+  save_csr(original, path("csr"));
+  const Csr loaded = load_csr(path("csr"));
+  // Adjacency behaves identically.
+  for (Vertex v = 0; v < 8; ++v) {
+    const auto a = original.neighbors(v);
+    const auto b = loaded.neighbors(v);
+    ASSERT_EQ(std::vector<Vertex>(a.begin(), a.end()),
+              std::vector<Vertex>(b.begin(), b.end()));
+  }
+}
+
+}  // namespace
+}  // namespace sembfs

@@ -1,0 +1,139 @@
+#include "bfs/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bfs/reference_bfs.hpp"
+#include "graph_fixtures.hpp"
+
+namespace sembfs {
+namespace {
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    edges_ = generate_kronecker(fixtures::small_kronecker(10, 8, 501), pool_);
+    partition_ = VertexPartition{edges_.vertex_count(), 4};
+    forward_ = ForwardGraph::build(edges_, partition_, CsrBuildOptions{},
+                                   pool_);
+    backward_ = BackwardGraph::build(edges_, partition_, CsrBuildOptions{},
+                                     pool_);
+    full_ = build_csr(edges_, CsrBuildOptions{}, pool_);
+    storage_.forward_dram = &forward_;
+    storage_.backward_dram = &backward_;
+    root_ = 0;
+    while (full_.degree(root_) == 0) ++root_;
+  }
+
+  ThreadPool pool_{4};
+  NumaTopology topology_{4, 1};
+  EdgeList edges_;
+  VertexPartition partition_;
+  ForwardGraph forward_;
+  BackwardGraph backward_;
+  Csr full_;
+  GraphStorage storage_;
+  Vertex root_ = 0;
+};
+
+TEST_F(SessionTest, SteppedToCompletionMatchesRunner) {
+  BfsStatus status{edges_.vertex_count()};
+  BfsSession session{storage_, topology_, pool_, status, root_,
+                     BfsConfig{}};
+  int steps = 0;
+  while (session.step()) ++steps;
+  EXPECT_TRUE(session.done());
+  const BfsResult stepped = session.snapshot_result();
+
+  HybridBfsRunner runner{storage_, topology_, pool_};
+  const BfsResult direct = runner.run(root_, BfsConfig{});
+  EXPECT_EQ(stepped.level, direct.level);
+  EXPECT_EQ(stepped.visited, direct.visited);
+  EXPECT_EQ(stepped.depth, direct.depth);
+  EXPECT_EQ(stepped.teps_edge_count, direct.teps_edge_count);
+  EXPECT_EQ(steps + 1, static_cast<int>(stepped.levels.size()) + 0)
+      << "last step returns false but still executed a level";
+}
+
+TEST_F(SessionTest, KHopTruncationYieldsExactlyKHopNeighborhood) {
+  constexpr std::int32_t kHops = 2;
+  BfsStatus status{edges_.vertex_count()};
+  BfsSession session{storage_, topology_, pool_, status, root_,
+                     BfsConfig{}};
+  for (std::int32_t i = 0; i < kHops && session.step(); ++i) {
+  }
+  const BfsResult partial = session.snapshot_result();
+
+  const ReferenceBfsResult ref = reference_bfs(full_, root_);
+  for (Vertex v = 0; v < edges_.vertex_count(); ++v) {
+    if (ref.level[v] >= 0 && ref.level[v] <= kHops)
+      ASSERT_EQ(partial.level[v], ref.level[v]) << "v=" << v;
+    else
+      ASSERT_EQ(partial.level[v], -1) << "v=" << v;
+  }
+}
+
+TEST_F(SessionTest, NextLevelAndDirectionObservable) {
+  BfsStatus status{edges_.vertex_count()};
+  BfsConfig config;
+  config.policy.alpha = 1e9;  // switch to bottom-up immediately
+  config.policy.beta = 1e-9;
+  // Start from the hub so level 1 certainly grows the frontier.
+  Vertex hub = root_;
+  for (Vertex v = 0; v < edges_.vertex_count(); ++v)
+    if (full_.degree(v) > full_.degree(hub)) hub = v;
+  BfsSession session{storage_, topology_, pool_, status, hub, config};
+  EXPECT_EQ(session.next_level(), 1);
+  EXPECT_EQ(session.next_direction(), Direction::TopDown);
+  ASSERT_TRUE(session.step());
+  EXPECT_EQ(session.next_level(), 2);
+  EXPECT_EQ(session.next_direction(), Direction::BottomUp);
+}
+
+TEST_F(SessionTest, StepAfterDoneIsNoop) {
+  BfsStatus status{8};
+  const EdgeList small = fixtures::small_graph();
+  const VertexPartition partition{8, 2};
+  const ForwardGraph fg =
+      ForwardGraph::build(small, partition, CsrBuildOptions{}, pool_);
+  const BackwardGraph bg =
+      BackwardGraph::build(small, partition, CsrBuildOptions{}, pool_);
+  GraphStorage storage;
+  storage.forward_dram = &fg;
+  storage.backward_dram = &bg;
+  BfsSession session{storage, topology_, pool_, status, 7,  // isolated
+                     BfsConfig{}};
+  EXPECT_FALSE(session.step());  // level 1 finds nothing
+  EXPECT_TRUE(session.done());
+  const std::size_t levels_before = session.levels().size();
+  EXPECT_FALSE(session.step());
+  EXPECT_EQ(session.levels().size(), levels_before);
+}
+
+TEST_F(SessionTest, PerLevelStatsAccumulateIncrementally) {
+  BfsStatus status{edges_.vertex_count()};
+  BfsSession session{storage_, topology_, pool_, status, root_,
+                     BfsConfig{}};
+  std::size_t expected = 0;
+  while (session.step()) {
+    ++expected;
+    EXPECT_EQ(session.levels().size(), expected);
+  }
+}
+
+TEST_F(SessionTest, SnapshotMidSearchCountsOnlyElapsedWork) {
+  BfsStatus status{edges_.vertex_count()};
+  BfsSession session{storage_, topology_, pool_, status, root_,
+                     BfsConfig{}};
+  session.step();
+  const BfsResult after_one = session.snapshot_result();
+  EXPECT_EQ(after_one.depth, 1);
+  EXPECT_EQ(after_one.levels.size(), 1u);
+  while (session.step()) {
+  }
+  const BfsResult full = session.snapshot_result();
+  EXPECT_GT(full.visited, after_one.visited);
+  EXPECT_GE(full.seconds, after_one.seconds);
+}
+
+}  // namespace
+}  // namespace sembfs

@@ -1,0 +1,62 @@
+#include "parallel/spin_barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace sembfs {
+namespace {
+
+TEST(SpinBarrier, SingleParticipantNeverBlocks) {
+  SpinBarrier barrier{1};
+  barrier.arrive_and_wait();
+  barrier.arrive_and_wait();
+  SUCCEED();
+}
+
+TEST(SpinBarrier, SynchronizesPhases) {
+  constexpr std::size_t kThreads = 4;
+  constexpr int kPhases = 50;
+  SpinBarrier barrier{kThreads};
+  std::atomic<int> counter{0};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int phase = 0; phase < kPhases; ++phase) {
+        counter.fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier every participant must have incremented.
+        if (counter.load() < static_cast<int>(kThreads) * (phase + 1))
+          failed.store(true);
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(counter.load(), static_cast<int>(kThreads) * kPhases);
+}
+
+TEST(SpinBarrier, ReusableManyTimes) {
+  SpinBarrier barrier{2};
+  std::atomic<int> sum{0};
+  std::thread other{[&] {
+    for (int i = 0; i < 1000; ++i) {
+      sum.fetch_add(1);
+      barrier.arrive_and_wait();
+    }
+  }};
+  for (int i = 0; i < 1000; ++i) {
+    sum.fetch_add(1);
+    barrier.arrive_and_wait();
+  }
+  other.join();
+  EXPECT_EQ(sum.load(), 2000);
+}
+
+}  // namespace
+}  // namespace sembfs

@@ -1,0 +1,99 @@
+#include "util/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sembfs {
+namespace {
+
+TEST(ComputeStats, EmptySample) {
+  const SampleStats s = compute_stats({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(ComputeStats, SingleValue) {
+  const SampleStats s = compute_stats({4.0});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_EQ(s.min, 4.0);
+  EXPECT_EQ(s.max, 4.0);
+  EXPECT_EQ(s.median, 4.0);
+  EXPECT_EQ(s.mean, 4.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.harmonic_mean, 4.0);
+}
+
+TEST(ComputeStats, KnownFiveNumberSummary) {
+  const SampleStats s = compute_stats({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.first_quartile, 2.0);
+  EXPECT_EQ(s.median, 3.0);
+  EXPECT_EQ(s.third_quartile, 4.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_EQ(s.mean, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(ComputeStats, MedianOfEvenCountInterpolates) {
+  const SampleStats s = compute_stats({1, 2, 3, 4});
+  EXPECT_NEAR(s.median, 2.5, 1e-12);
+}
+
+TEST(ComputeStats, OrderInsensitive) {
+  const SampleStats a = compute_stats({5, 1, 4, 2, 3});
+  const SampleStats b = compute_stats({1, 2, 3, 4, 5});
+  EXPECT_EQ(a.median, b.median);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+}
+
+TEST(ComputeStats, HarmonicMeanOfRates) {
+  // Harmonic mean of {2, 6, 6} = 3 / (1/2 + 1/6 + 1/6) = 3.6
+  const SampleStats s = compute_stats({2, 6, 6});
+  EXPECT_NEAR(s.harmonic_mean, 3.6, 1e-12);
+  EXPECT_LE(s.harmonic_mean, s.mean);  // HM <= AM always
+}
+
+TEST(ComputeStats, HarmonicMeanSkippedForNonpositive) {
+  const SampleStats s = compute_stats({-1, 2, 3});
+  EXPECT_EQ(s.harmonic_mean, 0.0);
+}
+
+TEST(SortedQuantile, Interpolation) {
+  const std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_EQ(sorted_quantile(v, 0.0), 10.0);
+  EXPECT_EQ(sorted_quantile(v, 1.0), 40.0);
+  EXPECT_NEAR(sorted_quantile(v, 0.5), 25.0, 1e-12);
+  EXPECT_NEAR(sorted_quantile(v, 1.0 / 3.0), 20.0, 1e-12);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  const std::vector<double> data = {3.5, -1.0, 2.25, 8.0, 0.0, 4.5};
+  RunningStats rs;
+  for (const double x : data) rs.add(x);
+  const SampleStats batch = compute_stats(data);
+  EXPECT_EQ(rs.count(), data.size());
+  EXPECT_NEAR(rs.mean(), batch.mean, 1e-12);
+  EXPECT_NEAR(rs.stddev(), batch.stddev, 1e-12);
+  EXPECT_EQ(rs.min(), batch.min);
+  EXPECT_EQ(rs.max(), batch.max);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.stddev(), 0.0);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats rs;
+  rs.add(5.0);
+  rs.reset();
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.sum(), 0.0);
+}
+
+}  // namespace
+}  // namespace sembfs

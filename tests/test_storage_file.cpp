@@ -1,0 +1,103 @@
+#include "nvm/storage_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+
+namespace sembfs {
+namespace {
+
+class StorageFileTest : public ::testing::Test {
+ protected:
+  std::string path() const {
+    return testing::TempDir() + "/sembfs_storage_test.bin";
+  }
+  void TearDown() override { remove_file_if_exists(path()); }
+};
+
+std::span<const std::byte> as_bytes(const char* s) {
+  return {reinterpret_cast<const std::byte*>(s), std::strlen(s)};
+}
+
+TEST_F(StorageFileTest, CreateWriteReadRoundTrip) {
+  StorageFile f = StorageFile::create(path());
+  f.pwrite_exact(0, as_bytes("hello world"));
+  char buf[5] = {};
+  f.pread_exact(6, std::as_writable_bytes(std::span<char>{buf}));
+  EXPECT_EQ(std::string(buf, 5), "world");
+}
+
+TEST_F(StorageFileTest, SizeTracksWrites) {
+  StorageFile f = StorageFile::create(path());
+  EXPECT_EQ(f.size(), 0u);
+  f.pwrite_exact(0, as_bytes("12345678"));
+  EXPECT_EQ(f.size(), 8u);
+  f.pwrite_exact(100, as_bytes("x"));
+  EXPECT_EQ(f.size(), 101u);  // sparse extension
+}
+
+TEST_F(StorageFileTest, ResizeGrowsAndShrinks) {
+  StorageFile f = StorageFile::create(path());
+  f.resize(1000);
+  EXPECT_EQ(f.size(), 1000u);
+  f.resize(10);
+  EXPECT_EQ(f.size(), 10u);
+}
+
+TEST_F(StorageFileTest, OpenReadonlySeesExistingData) {
+  {
+    StorageFile f = StorageFile::create(path());
+    f.pwrite_exact(0, as_bytes("persist"));
+    f.sync();
+  }
+  StorageFile r = StorageFile::open_readonly(path());
+  char buf[7] = {};
+  r.pread_exact(0, std::as_writable_bytes(std::span<char>{buf}));
+  EXPECT_EQ(std::string(buf, 7), "persist");
+}
+
+TEST_F(StorageFileTest, ReadPastEofThrows) {
+  StorageFile f = StorageFile::create(path());
+  f.pwrite_exact(0, as_bytes("abc"));
+  char buf[10] = {};
+  EXPECT_THROW(
+      f.pread_exact(0, std::as_writable_bytes(std::span<char>{buf})),
+      std::runtime_error);
+}
+
+TEST_F(StorageFileTest, OpenMissingFileThrows) {
+  EXPECT_THROW(StorageFile::open_readonly("/nonexistent/nope.bin"),
+               std::runtime_error);
+}
+
+TEST_F(StorageFileTest, MoveTransfersDescriptor) {
+  StorageFile a = StorageFile::create(path());
+  a.pwrite_exact(0, as_bytes("mv"));
+  StorageFile b = std::move(a);
+  EXPECT_FALSE(a.is_open());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.is_open());
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST_F(StorageFileTest, CloseIsIdempotent) {
+  StorageFile f = StorageFile::create(path());
+  f.close();
+  f.close();
+  EXPECT_FALSE(f.is_open());
+}
+
+TEST_F(StorageFileTest, EnsureDirectoryCreatesNested) {
+  const std::string dir = testing::TempDir() + "/sembfs_dir_a/b/c";
+  ensure_directory(dir);
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+  std::filesystem::remove_all(testing::TempDir() + "/sembfs_dir_a");
+}
+
+TEST_F(StorageFileTest, RemoveIfExistsIgnoresMissing) {
+  remove_file_if_exists("/definitely/not/here.bin");  // must not throw
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace sembfs

@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sembfs {
+namespace {
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"alpha", "1.E+04"});
+  t.add_row({"beta", "1.E+05"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.E+05"), std::string::npos);
+}
+
+TEST(AsciiTable, ColumnsAlignToWidestCell) {
+  AsciiTable t({"x"});
+  t.add_row({"abcdefgh"});
+  const std::string out = t.render();
+  // Every line has equal length.
+  std::size_t line_len = out.find('\n');
+  for (std::size_t pos = 0; pos < out.size();) {
+    const std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, line_len);
+    pos = next + 1;
+  }
+}
+
+TEST(AsciiTable, SeparatorInsertsRule) {
+  AsciiTable t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // header rule + top + bottom + mid-separator = 4 rules
+  std::size_t rules = 0;
+  for (std::size_t pos = 0; (pos = out.find("+-", pos)) != std::string::npos;
+       ++pos)
+    ++rules;
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(AsciiTable, RowCountTracks) {
+  AsciiTable t({"a", "b"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(AsciiTableDeath, RejectsArityMismatch) {
+  AsciiTable t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "Precondition");
+}
+
+}  // namespace
+}  // namespace sembfs

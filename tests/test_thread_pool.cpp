@@ -1,0 +1,91 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+namespace sembfs {
+namespace {
+
+TEST(ThreadPool, RunsEveryWorkerExactlyOnce) {
+  ThreadPool pool{4};
+  std::atomic<int> calls{0};
+  std::mutex m;
+  std::set<std::size_t> indices;
+  pool.run([&](std::size_t w) {
+    calls.fetch_add(1);
+    const std::lock_guard<std::mutex> lock{m};
+    indices.insert(w);
+  });
+  EXPECT_EQ(calls.load(), 4);
+  EXPECT_EQ(indices, (std::set<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPool, PartialParticipation) {
+  ThreadPool pool{4};
+  std::atomic<int> calls{0};
+  std::mutex m;
+  std::set<std::size_t> indices;
+  pool.run(2, [&](std::size_t w) {
+    calls.fetch_add(1);
+    const std::lock_guard<std::mutex> lock{m};
+    indices.insert(w);
+  });
+  EXPECT_EQ(calls.load(), 2);
+  EXPECT_EQ(indices, (std::set<std::size_t>{0, 1}));
+}
+
+TEST(ThreadPool, ZeroParticipantsIsNoop) {
+  ThreadPool pool{2};
+  bool ran = false;
+  pool.run(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ReusableAcrossManyRegions) {
+  ThreadPool pool{3};
+  std::atomic<int> total{0};
+  for (int i = 0; i < 100; ++i)
+    pool.run([&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 300);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool{4};
+  EXPECT_THROW(
+      pool.run([](std::size_t w) {
+        if (w == 2) throw std::runtime_error("worker failure");
+      }),
+      std::runtime_error);
+  // Pool still usable after the exception.
+  std::atomic<int> calls{0};
+  pool.run([&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 4);
+}
+
+TEST(ThreadPool, SingleWorkerPool) {
+  ThreadPool pool{1};
+  int value = 0;
+  pool.run([&](std::size_t w) {
+    EXPECT_EQ(w, 0u);
+    value = 42;
+  });
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ThreadPool, SizeReported) {
+  ThreadPool pool{5};
+  EXPECT_EQ(pool.size(), 5u);
+}
+
+TEST(ThreadPool, DefaultPoolSingleton) {
+  ThreadPool& a = default_pool(2);
+  ThreadPool& b = default_pool(16);  // argument ignored after first call
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sembfs

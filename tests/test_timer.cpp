@@ -1,0 +1,74 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace sembfs {
+namespace {
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.018);
+  EXPECT_LT(s, 2.0);  // generous bound for a loaded CI box
+}
+
+TEST(Timer, ResetRestarts) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.018);
+}
+
+TEST(Timer, UnitsAgree) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double s = t.seconds();
+  const double ms = t.milliseconds();
+  EXPECT_NEAR(ms, s * 1e3, s * 1e3);  // within 2x (second reading is later)
+  EXPECT_GT(t.nanoseconds(), 4'000'000u);
+}
+
+TEST(Timer, MonotoneNonDecreasing) {
+  Timer t;
+  double prev = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double now = t.seconds();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(AccumulatingTimer, SumsIntervals) {
+  AccumulatingTimer t;
+  for (int i = 0; i < 3; ++i) {
+    t.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    t.stop();
+  }
+  EXPECT_GE(t.seconds(), 0.027);
+}
+
+TEST(AccumulatingTimer, ExcludesPausedTime) {
+  AccumulatingTimer t;
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  t.stop();
+  const double after_first = t.seconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));  // paused
+  EXPECT_DOUBLE_EQ(t.seconds(), after_first);
+}
+
+TEST(AccumulatingTimer, ResetZeroes) {
+  AccumulatingTimer t;
+  t.start();
+  t.stop();
+  t.reset();
+  EXPECT_EQ(t.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace sembfs

@@ -1,0 +1,124 @@
+#include "bfs/top_down.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph_fixtures.hpp"
+
+namespace sembfs {
+namespace {
+
+class TopDownTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    edges_ = fixtures::small_graph();
+    partition_ = VertexPartition{edges_.vertex_count(), 2};
+    forward_ = ForwardGraph::build(edges_, partition_, CsrBuildOptions{},
+                                   pool_);
+  }
+
+  ThreadPool pool_{4};
+  NumaTopology topology_{2, 2};
+  EdgeList edges_;
+  VertexPartition partition_;
+  ForwardGraph forward_;
+};
+
+TEST_F(TopDownTest, FirstLevelClaimsRootNeighbors) {
+  BfsStatus status{8};
+  status.reset(0);
+  const StepResult r =
+      top_down_step(forward_, status, 1, topology_, pool_, 64);
+  EXPECT_EQ(r.claimed, 2);  // 1 and 3
+  EXPECT_EQ(r.scanned_edges, 2);
+  EXPECT_TRUE(status.is_visited(1));
+  EXPECT_TRUE(status.is_visited(3));
+  EXPECT_EQ(status.parent(1), 0);
+  EXPECT_EQ(status.parent(3), 0);
+  EXPECT_EQ(status.level(1), 1);
+  const std::set<Vertex> next(status.next().begin(), status.next().end());
+  EXPECT_EQ(next, (std::set<Vertex>{1, 3}));
+}
+
+TEST_F(TopDownTest, SecondLevelContinues) {
+  BfsStatus status{8};
+  status.reset(0);
+  top_down_step(forward_, status, 1, topology_, pool_, 64);
+  status.advance();
+  const StepResult r =
+      top_down_step(forward_, status, 2, topology_, pool_, 64);
+  // From {1,3}: neighbors are 0,2,4 (0 visited) -> claims 2 and 4.
+  EXPECT_EQ(r.claimed, 2);
+  EXPECT_TRUE(status.is_visited(2));
+  EXPECT_TRUE(status.is_visited(4));
+  // parents must come from the frontier
+  EXPECT_TRUE(status.parent(4) == 1 || status.parent(4) == 3);
+}
+
+TEST_F(TopDownTest, ScannedEdgesEqualsFrontierDegreeSum) {
+  BfsStatus status{8};
+  status.reset(1);  // degree 3
+  const StepResult r =
+      top_down_step(forward_, status, 1, topology_, pool_, 64);
+  EXPECT_EQ(r.scanned_edges, 3);
+}
+
+TEST_F(TopDownTest, BatchSizeOneStillCorrect) {
+  BfsStatus status{8};
+  status.reset(0);
+  const StepResult r = top_down_step(forward_, status, 1, topology_, pool_, 1);
+  EXPECT_EQ(r.claimed, 2);
+}
+
+TEST_F(TopDownTest, NoRevisits) {
+  BfsStatus status{8};
+  status.reset(0);
+  top_down_step(forward_, status, 1, topology_, pool_, 64);
+  status.advance();
+  top_down_step(forward_, status, 2, topology_, pool_, 64);
+  status.advance();
+  const StepResult r =
+      top_down_step(forward_, status, 3, topology_, pool_, 64);
+  EXPECT_EQ(r.claimed, 0);  // component exhausted
+  EXPECT_EQ(status.parent(5), kNoVertex);
+  EXPECT_EQ(status.parent(6), kNoVertex);
+}
+
+TEST_F(TopDownTest, EmptyFrontierIsNoop) {
+  BfsStatus status{8};
+  status.reset(0);
+  status.advance();  // empty next -> empty frontier
+  const StepResult r =
+      top_down_step(forward_, status, 1, topology_, pool_, 64);
+  EXPECT_EQ(r.claimed, 0);
+  EXPECT_EQ(r.scanned_edges, 0);
+}
+
+TEST_F(TopDownTest, ManyNodePartitionsCoverEverything) {
+  const VertexPartition fine{edges_.vertex_count(), 8};
+  const ForwardGraph forward =
+      ForwardGraph::build(edges_, fine, CsrBuildOptions{}, pool_);
+  const NumaTopology topo{8, 1};
+  BfsStatus status{8};
+  status.reset(0);
+  const StepResult r = top_down_step(forward, status, 1, topo, pool_, 64);
+  EXPECT_EQ(r.claimed, 2);
+}
+
+TEST(TopDownStar, HubExplosion) {
+  ThreadPool pool{4};
+  const EdgeList edges = fixtures::star_graph(64);
+  const VertexPartition partition{64, 4};
+  const ForwardGraph forward =
+      ForwardGraph::build(edges, partition, CsrBuildOptions{}, pool);
+  const NumaTopology topo{4, 1};
+  BfsStatus status{64};
+  status.reset(0);
+  const StepResult r = top_down_step(forward, status, 1, topo, pool, 8);
+  EXPECT_EQ(r.claimed, 63);
+  EXPECT_EQ(r.scanned_edges, 63);
+}
+
+}  // namespace
+}  // namespace sembfs

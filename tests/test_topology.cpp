@@ -1,0 +1,95 @@
+#include "numa/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace sembfs {
+namespace {
+
+TEST(NumaTopology, BasicAccessors) {
+  NumaTopology topo{4, 12};  // the paper's machine shape
+  EXPECT_EQ(topo.node_count(), 4u);
+  EXPECT_EQ(topo.cores_per_node(), 12u);
+  EXPECT_EQ(topo.total_threads(), 48u);
+}
+
+TEST(NumaTopology, WorkerToNodeMapping) {
+  NumaTopology topo{4, 3};
+  EXPECT_EQ(topo.node_of_worker(0), 0u);
+  EXPECT_EQ(topo.node_of_worker(2), 0u);
+  EXPECT_EQ(topo.node_of_worker(3), 1u);
+  EXPECT_EQ(topo.node_of_worker(11), 3u);
+  EXPECT_EQ(topo.rank_in_node(4), 1u);
+  EXPECT_EQ(topo.first_worker_of(2), 6u);
+}
+
+TEST(NumaTopology, WithTotalThreadsDividesEvenly) {
+  const NumaTopology topo = NumaTopology::with_total_threads(4, 8);
+  EXPECT_EQ(topo.node_count(), 4u);
+  EXPECT_EQ(topo.cores_per_node(), 2u);
+}
+
+TEST(NumaTopology, WithTotalThreadsAtLeastOneCore) {
+  const NumaTopology topo = NumaTopology::with_total_threads(4, 1);
+  EXPECT_EQ(topo.cores_per_node(), 1u);
+  EXPECT_EQ(topo.total_threads(), 4u);
+}
+
+TEST(NumaTopology, DescribeMentionsShape) {
+  NumaTopology topo{2, 6};
+  const std::string d = topo.describe();
+  EXPECT_NE(d.find('2'), std::string::npos);
+  EXPECT_NE(d.find('6'), std::string::npos);
+}
+
+// Property: across all workers, for_each_assigned_node covers every node at
+// least once, and when workers >= nodes every node gets at least one
+// dedicated worker and each worker serves exactly one node.
+class AssignedNodesTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(AssignedNodesTest, AllNodesCovered) {
+  const auto [workers, nodes] = GetParam();
+  std::map<std::size_t, int> coverage;
+  std::map<std::size_t, int> per_worker;
+  for (std::size_t w = 0; w < workers; ++w) {
+    for_each_assigned_node(w, workers, nodes, [&](std::size_t node) {
+      ASSERT_LT(node, nodes);
+      ++coverage[node];
+      ++per_worker[w];
+    });
+  }
+  for (std::size_t node = 0; node < nodes; ++node)
+    EXPECT_GE(coverage[node], 1) << "node " << node << " not covered";
+
+  if (workers >= nodes) {
+    for (std::size_t w = 0; w < workers; ++w)
+      EXPECT_EQ(per_worker[w], 1) << "worker " << w;
+  } else {
+    // No node served twice when workers < nodes (strided, disjoint).
+    for (std::size_t node = 0; node < nodes; ++node)
+      EXPECT_EQ(coverage[node], 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AssignedNodesTest,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 4},
+                      std::pair<std::size_t, std::size_t>{2, 4},
+                      std::pair<std::size_t, std::size_t>{3, 4},
+                      std::pair<std::size_t, std::size_t>{4, 4},
+                      std::pair<std::size_t, std::size_t>{6, 4},
+                      std::pair<std::size_t, std::size_t>{8, 4},
+                      std::pair<std::size_t, std::size_t>{48, 4},
+                      std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{7, 8},
+                      std::pair<std::size_t, std::size_t>{5, 3}));
+
+TEST(NumaTopologyDeath, RejectsZeroNodes) {
+  EXPECT_DEATH(NumaTopology(0, 1), "Precondition");
+}
+
+}  // namespace
+}  // namespace sembfs

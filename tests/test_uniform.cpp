@@ -1,0 +1,88 @@
+#include "graph/uniform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/csr.hpp"
+#include "graph/degree.hpp"
+#include "graph/kronecker.hpp"
+
+namespace sembfs {
+namespace {
+
+UniformParams params_for(int scale, std::uint64_t seed = 1) {
+  UniformParams p;
+  p.scale = scale;
+  p.edge_factor = 8;
+  p.seed = seed;
+  return p;
+}
+
+TEST(Uniform, ProducesSpecifiedCounts) {
+  ThreadPool pool{2};
+  const EdgeList edges = generate_uniform(params_for(8), pool);
+  EXPECT_EQ(edges.vertex_count(), 256);
+  EXPECT_EQ(edges.edge_count(), 256u * 8u);
+}
+
+TEST(Uniform, EndpointsInRange) {
+  ThreadPool pool{2};
+  const EdgeList edges = generate_uniform(params_for(9), pool);
+  for (const Edge& e : edges) {
+    ASSERT_GE(e.u, 0);
+    ASSERT_LT(e.u, 512);
+    ASSERT_GE(e.v, 0);
+    ASSERT_LT(e.v, 512);
+  }
+}
+
+TEST(Uniform, DeterministicAndThreadIndependent) {
+  ThreadPool pool1{1};
+  ThreadPool pool8{8};
+  const EdgeList a = generate_uniform(params_for(9, 3), pool1);
+  const EdgeList b = generate_uniform(params_for(9, 3), pool8);
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (std::size_t i = 0; i < a.edge_count(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(Uniform, NoHubsUnlikeKronecker) {
+  ThreadPool pool{4};
+  UniformParams up;
+  up.scale = 12;
+  up.edge_factor = 16;
+  const EdgeList uniform_edges = generate_uniform(up, pool);
+  KroneckerParams kp;
+  kp.scale = 12;
+  kp.edge_factor = 16;
+  const EdgeList kron_edges = generate_kronecker(kp, pool);
+
+  const DegreeStats uniform_stats =
+      compute_degree_stats(build_csr(uniform_edges, CsrBuildOptions{}, pool));
+  const DegreeStats kron_stats =
+      compute_degree_stats(build_csr(kron_edges, CsrBuildOptions{}, pool));
+
+  // Uniform: max degree within a small factor of the mean (Poisson tail);
+  // Kronecker: orders of magnitude above it.
+  EXPECT_LT(uniform_stats.max_degree,
+            4 * static_cast<std::int64_t>(uniform_stats.mean_degree));
+  EXPECT_GT(kron_stats.max_degree,
+            20 * static_cast<std::int64_t>(kron_stats.mean_degree));
+  // And uniform graphs strand almost nobody.
+  EXPECT_LT(uniform_stats.isolated_count, kron_stats.isolated_count / 10);
+}
+
+TEST(Uniform, MeanDegreeNearTwiceEdgeFactor) {
+  ThreadPool pool{4};
+  const EdgeList edges = generate_uniform(params_for(12, 5), pool);
+  const DegreeStats stats =
+      compute_degree_stats(build_csr(edges, CsrBuildOptions{}, pool));
+  // Undirected CSR: mean degree ~ 2 * edge_factor minus self-loop loss.
+  EXPECT_NEAR(stats.mean_degree, 16.0, 0.5);
+}
+
+TEST(UniformDeath, RejectsBadScale) {
+  ThreadPool pool{1};
+  EXPECT_DEATH(generate_uniform(params_for(0), pool), "Precondition");
+}
+
+}  // namespace
+}  // namespace sembfs

@@ -1,0 +1,134 @@
+#include "bfs/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bfs/reference_bfs.hpp"
+#include "graph_fixtures.hpp"
+
+namespace sembfs {
+namespace {
+
+class ValidateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    edges_ = fixtures::small_graph();
+    const Csr csr = build_csr(edges_, CsrBuildOptions{}, pool_);
+    const ReferenceBfsResult ref = reference_bfs(csr, 0);
+    parent_ = ref.parent;
+    level_ = ref.level;
+  }
+
+  ThreadPool pool_{2};
+  EdgeList edges_;
+  std::vector<Vertex> parent_;
+  std::vector<std::int32_t> level_;
+};
+
+TEST_F(ValidateTest, CorrectTreePasses) {
+  const ValidationResult r = validate_bfs(edges_, 0, parent_, level_);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.reached, 5);
+  EXPECT_EQ(r.edges_checked, 6);
+  EXPECT_EQ(r.self_loops_skipped, 0);
+}
+
+TEST_F(ValidateTest, RootMustBeSelfParented) {
+  parent_[0] = 1;
+  const ValidationResult r = validate_bfs(edges_, 0, parent_, level_);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("root"), std::string::npos);
+}
+
+TEST_F(ValidateTest, RootLevelMustBeZero) {
+  level_[0] = 1;
+  EXPECT_FALSE(validate_bfs(edges_, 0, parent_, level_).ok);
+}
+
+TEST_F(ValidateTest, LevelMustBeParentPlusOne) {
+  level_[2] = 3;  // should be 2
+  const ValidationResult r = validate_bfs(edges_, 0, parent_, level_);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST_F(ValidateTest, ParentOfReachedMustBeReached) {
+  parent_[2] = 6;  // 6 is unreached
+  level_[2] = 1;   // keep other properties plausible... still broken
+  EXPECT_FALSE(validate_bfs(edges_, 0, parent_, level_).ok);
+}
+
+TEST_F(ValidateTest, CrossComponentEdgeDetected) {
+  // Claim vertex 5 (other component) reached with a fake tree edge.
+  parent_[5] = 0;
+  level_[5] = 1;
+  const ValidationResult r = validate_bfs(edges_, 0, parent_, level_);
+  EXPECT_FALSE(r.ok);
+  // Either the 5-6 edge spans reached/unreached, or 5's tree link (0) is
+  // not a real edge.
+}
+
+TEST_F(ValidateTest, MissedVertexDetected) {
+  // Un-reach vertex 2 while its neighbor 1 stays reached.
+  parent_[2] = kNoVertex;
+  level_[2] = -1;
+  const ValidationResult r = validate_bfs(edges_, 0, parent_, level_);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("reached and unreached"), std::string::npos);
+}
+
+TEST_F(ValidateTest, FakeTreeEdgeDetected) {
+  // Vertex 2's real parent is 1; claim 3 (no 2-3 edge exists).
+  parent_[2] = 3;
+  EXPECT_FALSE(validate_bfs(edges_, 0, parent_, level_).ok);
+}
+
+TEST_F(ValidateTest, LevelSkipAcrossEdgeDetected) {
+  // Edge 1-4: force levels 1 and 3 (difference 2).
+  level_[4] = 3;
+  parent_[4] = 2;  // level 2 vertex so parent+1 holds
+  EXPECT_FALSE(validate_bfs(edges_, 0, parent_, level_).ok);
+}
+
+TEST_F(ValidateTest, UnreachedVertexWithLevelDetected) {
+  level_[6] = 4;  // parent stays -1
+  EXPECT_FALSE(validate_bfs(edges_, 0, parent_, level_).ok);
+}
+
+TEST_F(ValidateTest, SelfLoopsSkippedNotChecked) {
+  edges_.add(0, 0);
+  const ValidationResult r = validate_bfs(edges_, 0, parent_, level_);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.self_loops_skipped, 1);
+}
+
+TEST_F(ValidateTest, ExternalEdgeListValidation) {
+  auto device = std::make_shared<NvmDevice>(DeviceProfile::dram());
+  const std::string path = ::testing::TempDir() + "/sembfs_validate.bin";
+  ExternalEdgeList ext{device, path, edges_.vertex_count()};
+  ext.append_all(edges_);
+  const ValidationResult r = validate_bfs(ext, 0, parent_, level_);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.edges_checked, 6);
+  remove_file_if_exists(path);
+}
+
+TEST_F(ValidateTest, RootOutOfRangeFails) {
+  EXPECT_FALSE(validate_bfs(edges_, 99, parent_, level_).ok);
+}
+
+TEST_F(ValidateTest, SizeMismatchFails) {
+  parent_.pop_back();
+  EXPECT_FALSE(validate_bfs(edges_, 0, parent_, level_).ok);
+}
+
+TEST(ValidateIsolatedRoot, SingleVertexTreePasses) {
+  ThreadPool pool{2};
+  const EdgeList edges = fixtures::small_graph();
+  const Csr csr = build_csr(edges, CsrBuildOptions{}, pool);
+  const ReferenceBfsResult ref = reference_bfs(csr, 7);  // isolated
+  const ValidationResult r = validate_bfs(edges, 7, ref.parent, ref.level);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.reached, 1);
+}
+
+}  // namespace
+}  // namespace sembfs
