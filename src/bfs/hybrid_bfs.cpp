@@ -1,5 +1,7 @@
 #include "bfs/hybrid_bfs.hpp"
 
+#include <cstdio>
+
 #include "bfs/session.hpp"
 #include "util/contracts.hpp"
 
@@ -14,11 +16,37 @@ Vertex GraphStorage::vertex_count() const noexcept {
   return 0;
 }
 
-std::int64_t GraphStorage::degree(Vertex v) const noexcept {
+std::int64_t GraphStorage::degree(Vertex v) const {
   if (backward_dram != nullptr)
-    return backward_dram->neighbors(v).size();
-  SEMBFS_ASSERT(backward_hybrid != nullptr);
-  return backward_hybrid->degree(v);
+    return static_cast<std::int64_t>(backward_dram->neighbors(v).size());
+  if (backward_hybrid != nullptr) return backward_hybrid->degree(v);
+  // Forward-only storage: every forward partition is destination-filtered,
+  // so the full degree is the sum over partitions.
+  if (forward_dram != nullptr) {
+    std::int64_t total = 0;
+    for (std::size_t k = 0; k < forward_dram->node_count(); ++k) {
+      total += static_cast<std::int64_t>(
+          forward_dram->partition(k).neighbors(v).size());
+    }
+    return total;
+  }
+  if (forward_external != nullptr) {
+    std::int64_t total = 0;
+    for (std::size_t k = 0; k < forward_external->node_count(); ++k)
+      total += forward_external->partition(k).degree(v);
+    return total;
+  }
+  if (forward_tiered != nullptr) {
+    std::int64_t total = 0;
+    std::vector<Vertex> scratch;
+    for (std::size_t k = 0; k < forward_tiered->node_count(); ++k) {
+      forward_tiered->partition(k).fetch_neighbors(v, scratch);
+      total += static_cast<std::int64_t>(scratch.size());
+    }
+    return total;
+  }
+  SEMBFS_ASSERT(!"GraphStorage::degree: no graph attached");
+  return 0;
 }
 
 HybridBfsRunner::HybridBfsRunner(GraphStorage storage, NumaTopology topology,
@@ -32,6 +60,16 @@ HybridBfsRunner::HybridBfsRunner(GraphStorage storage, NumaTopology topology,
                        (storage_.forward_tiered != nullptr);
   const bool one_backward = (storage_.backward_dram != nullptr) !=
                             (storage_.backward_hybrid != nullptr);
+  if (forwards != 1 || !one_backward) {
+    std::fprintf(
+        stderr,
+        "HybridBfsRunner: storage must name exactly one forward and one "
+        "backward graph; got forward_dram=%d forward_external=%d "
+        "forward_tiered=%d backward_dram=%d backward_hybrid=%d\n",
+        storage_.forward_dram != nullptr, storage_.forward_external != nullptr,
+        storage_.forward_tiered != nullptr, storage_.backward_dram != nullptr,
+        storage_.backward_hybrid != nullptr);
+  }
   SEMBFS_EXPECTS(forwards == 1 && one_backward);
 }
 

@@ -42,6 +42,17 @@ struct BfsConfig {
   bool aggregate_io = false;
   std::uint32_t aggregate_merge_gap = 4096;     ///< max gap merged over
   std::uint32_t aggregate_max_request = 1 << 20;  ///< request size cap
+  /// Semi-external only: when nonzero (and aggregate_io is on), ensures
+  /// the external forward graph has a background I/O scheduler with this
+  /// many workers and double-buffers dequeue batches against it (batch
+  /// k+1's reads overlap batch k's edge processing). 0 leaves the graph's
+  /// current scheduler state untouched.
+  std::size_t io_queue_depth = 0;
+  /// Semi-external only: when nonzero, ensures the external forward graph
+  /// carries a DRAM chunk cache of ~this many bytes serving repeated 4 KiB
+  /// chunks (hub index/adjacency blocks). 0 leaves the graph's current
+  /// cache state untouched, so a warm cache survives across runs.
+  std::size_t chunk_cache_bytes = 0;
 };
 
 /// Which concrete storage backs each side of the traversal. Exactly one
@@ -54,9 +65,13 @@ struct GraphStorage {
   HybridBackwardGraph* backward_hybrid = nullptr;
 
   [[nodiscard]] Vertex vertex_count() const noexcept;
-  /// Full degree of v, always DRAM-resident (needed for TEPS accounting
-  /// and the EdgeRatio policy).
-  [[nodiscard]] std::int64_t degree(Vertex v) const noexcept;
+  /// Full degree of v (needed for TEPS accounting and the EdgeRatio
+  /// policy). Served from whichever backward graph is attached (DRAM, one
+  /// lookup); forward-only storage falls back to summing the
+  /// destination-filtered forward partition degrees — correct, but it
+  /// touches every partition and may issue device I/O for external and
+  /// tiered forward graphs.
+  [[nodiscard]] std::int64_t degree(Vertex v) const;
 };
 
 struct BfsResult {

@@ -51,14 +51,19 @@ bool BfsSession::step() {
           top_down_step_tiered(*storage_.forward_tiered, *status_, level_,
                                topology_, pool_, config_.batch_size);
     } else {
+      ExternalForwardGraph& external = *storage_.forward_external;
+      if (config_.chunk_cache_bytes != 0)
+        external.enable_chunk_cache(config_.chunk_cache_bytes);
+      if (config_.io_queue_depth != 0)
+        external.enable_io_scheduler(config_.io_queue_depth);
       ExternalTopDownOptions options;
       options.batch_size = config_.batch_size;
       options.aggregate_io = config_.aggregate_io;
       options.merge_gap_bytes = config_.aggregate_merge_gap;
       options.max_request_bytes = config_.aggregate_max_request;
-      step_result =
-          top_down_step_external(*storage_.forward_external, *status_,
-                                 level_, topology_, pool_, options);
+      options.scheduler = external.io_scheduler();
+      step_result = top_down_step_external(external, *status_, level_,
+                                           topology_, pool_, options);
     }
     scanned_top_down_ += step_result.scanned_edges;
   } else {
@@ -95,9 +100,16 @@ bool BfsSession::step() {
   const std::int64_t next_frontier = status_->frontier_size();
 
   if (config_.policy.kind == PolicyKind::EdgeRatio) {
-    frontier_edges_ = 0;
-    for (const Vertex v : status_->frontier())
-      frontier_edges_ += storage_.degree(v);
+    // Degree sum over the next frontier — the same reduction the
+    // constructor runs over all vertices; a serial loop here dominated
+    // level time on wide frontiers.
+    const auto& frontier = status_->frontier();
+    frontier_edges_ = parallel_reduce<std::int64_t>(
+        pool_, 0, static_cast<std::int64_t>(frontier.size()), 0,
+        [&](std::int64_t& acc, std::int64_t i) {
+          acc += storage_.degree(frontier[static_cast<std::size_t>(i)]);
+        },
+        [](std::int64_t a, std::int64_t b) { return a + b; });
     unvisited_edges_ -= frontier_edges_;
   }
 

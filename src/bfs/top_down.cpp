@@ -117,23 +117,51 @@ StepResult top_down_step_external(ExternalForwardGraph& forward,
     for_each_assigned_node(w, workers, forward.node_count(), [&](std::size_t node) {
       ExternalCsrPartition& part = forward.partition(node);
       auto& cursor = state.cursors[node];
-      for (;;) {
+      const auto claim_batch = [&]() -> std::span<const Vertex> {
         const std::int64_t lo =
             cursor.fetch_add(batch_size, std::memory_order_relaxed);
-        if (lo >= frontier_n) break;
+        if (lo >= frontier_n) return {};
         const std::int64_t hi =
             std::min<std::int64_t>(frontier_n, lo + batch_size);
-        if (options.aggregate_io) {
-          const std::span<const Vertex> batch{
-              frontier.data() + lo, static_cast<std::size_t>(hi - lo)};
+        return {frontier.data() + lo, static_cast<std::size_t>(hi - lo)};
+      };
+      if (options.aggregate_io && options.scheduler != nullptr) {
+        // Double-buffered prefetch: batch k+1's merged value reads are in
+        // flight on the scheduler while batch k's edges are processed.
+        std::span<const Vertex> batch = claim_batch();
+        PendingNeighborsBatch pending;
+        if (!batch.empty()) {
+          pending = part.start_fetch_neighbors_batch(
+              batch, *options.scheduler, options.merge_gap_bytes,
+              options.max_request_bytes);
+        }
+        while (!batch.empty()) {
+          const std::span<const Vertex> next = claim_batch();
+          PendingNeighborsBatch next_pending;
+          if (!next.empty()) {
+            next_pending = part.start_fetch_neighbors_batch(
+                next, *options.scheduler, options.merge_gap_bytes,
+                options.max_request_bytes);
+          }
+          local_requests += pending.wait(batch_adj);
+          for (std::size_t i = 0; i < batch.size(); ++i)
+            process(batch[i], batch_adj[i]);
+          batch = next;
+          pending = std::move(next_pending);
+        }
+      } else if (options.aggregate_io) {
+        for (std::span<const Vertex> batch = claim_batch(); !batch.empty();
+             batch = claim_batch()) {
           local_requests += part.fetch_neighbors_batch(
               batch, batch_adj, options.merge_gap_bytes,
               options.max_request_bytes);
           for (std::size_t i = 0; i < batch.size(); ++i)
             process(batch[i], batch_adj[i]);
-        } else {
-          for (std::int64_t i = lo; i < hi; ++i) {
-            const Vertex v = frontier[static_cast<std::size_t>(i)];
+        }
+      } else {
+        for (std::span<const Vertex> batch = claim_batch(); !batch.empty();
+             batch = claim_batch()) {
+          for (const Vertex v : batch) {
             local_requests += part.fetch_neighbors(v, scratch);
             process(v, scratch);
           }

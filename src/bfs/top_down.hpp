@@ -40,6 +40,11 @@ struct ExternalTopDownOptions {
   bool aggregate_io = false;
   std::uint32_t merge_gap_bytes = 4096;
   std::uint32_t max_request_bytes = 1 << 20;
+  /// When set (and aggregate_io is on), workers double-buffer: batch k+1's
+  /// merged value reads are posted to this scheduler while batch k's edges
+  /// are processed, overlapping device I/O with claim work. nullptr keeps
+  /// the synchronous path.
+  IoScheduler* scheduler = nullptr;
 };
 
 StepResult top_down_step_external(ExternalForwardGraph& forward,

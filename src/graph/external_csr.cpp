@@ -34,7 +34,8 @@ ExternalCsrPartition::ExternalCsrPartition(const Csr& csr,
                                            std::uint32_t chunk_bytes)
     : sources_(csr.source_range()),
       destinations_(csr.destination_range()),
-      entry_count_(csr.entry_count()) {
+      entry_count_(csr.entry_count()),
+      chunk_bytes_(chunk_bytes) {
   SEMBFS_EXPECTS(device != nullptr);
   ensure_directory(dir);
   const std::string stem = dir + "/fg_node" + std::to_string(node_id);
@@ -48,7 +49,8 @@ ExternalCsrPartition::ExternalCsrPartition(
     const std::string& dir, std::size_t node_id, std::uint32_t chunk_bytes)
     : sources_(csr.source_range()),
       destinations_(csr.destination_range()),
-      entry_count_(csr.entry_count()) {
+      entry_count_(csr.entry_count()),
+      chunk_bytes_(chunk_bytes) {
   SEMBFS_EXPECTS(!devices.empty());
   ensure_directory(dir);
   const std::string stem = dir + "/fg_node" + std::to_string(node_id);
@@ -71,6 +73,13 @@ void ExternalCsrPartition::offload(const Csr& csr,
 
 std::uint64_t ExternalCsrPartition::nvm_byte_size() const noexcept {
   return index_->byte_size() + values_->byte_size();
+}
+
+void ExternalCsrPartition::attach_cache(ChunkCache* cache) {
+  SEMBFS_EXPECTS(cache == nullptr || cache->chunk_bytes() == chunk_bytes_);
+  cache_ = cache;
+  index_->set_cache(cache);
+  values_->set_cache(cache);
 }
 
 std::pair<std::int64_t, std::int64_t> ExternalCsrPartition::fetch_bounds(
@@ -100,21 +109,29 @@ std::uint64_t ExternalCsrPartition::fetch_range(std::int64_t begin,
 
 std::uint64_t ExternalCsrPartition::fetch_neighbors(Vertex v,
                                                     std::vector<Vertex>& out) {
-  const auto [b, e] = fetch_bounds(v);
-  // The bounds fetch is one device request; value chunks add the rest.
-  return 1 + fetch_range(b, e, out);
+  SEMBFS_EXPECTS(sources_.contains(v));
+  const auto local = static_cast<std::uint64_t>(v - sources_.begin);
+  std::int64_t bounds[2];
+  // The bounds fetch is usually one device request, but an index pair
+  // straddling a chunk boundary (or hitting the cache) changes that —
+  // count what the read layer actually issued.
+  const std::uint64_t index_requests =
+      index_->read(local, std::span<std::int64_t>{bounds, 2});
+  return index_requests + fetch_range(bounds[0], bounds[1], out);
 }
 
 namespace {
 
-/// A half-open byte range tagged with the batch slots that consume it.
+/// A half-open byte range produced by merging nearby requests.
 struct MergedRange {
   std::uint64_t begin = 0;
   std::uint64_t end = 0;
 };
 
 /// Greedily merges sorted byte ranges whose gap is <= merge_gap and whose
-/// union stays <= max_request.
+/// union stays <= max_request. A range already contained in the current
+/// merge (duplicate batch vertices, nested adjacencies) always merges,
+/// regardless of max_request.
 template <typename It, typename BeginFn, typename EndFn>
 std::vector<MergedRange> merge_ranges(It first, It last, BeginFn begin_of,
                                       EndFn end_of, std::uint64_t merge_gap,
@@ -125,7 +142,8 @@ std::vector<MergedRange> merge_ranges(It first, It last, BeginFn begin_of,
     const std::uint64_t e = end_of(*it);
     if (b == e) continue;
     if (!merged.empty() && b <= merged.back().end + merge_gap &&
-        e - merged.back().begin <= max_request) {
+        (e <= merged.back().end ||
+         e - merged.back().begin <= max_request)) {
       merged.back().end = std::max(merged.back().end, e);
     } else {
       merged.push_back({b, e});
@@ -134,7 +152,101 @@ std::vector<MergedRange> merge_ranges(It first, It last, BeginFn begin_of,
   return merged;
 }
 
+using SlotBounds = PendingNeighborsBatch::SlotBounds;
+
+/// Byte range of one slot's adjacency within the value array.
+std::uint64_t value_begin_bytes(const SlotBounds& s) {
+  return static_cast<std::uint64_t>(s.begin) * sizeof(Vertex);
+}
+std::uint64_t value_end_bytes(const SlotBounds& s) {
+  return static_cast<std::uint64_t>(s.end) * sizeof(Vertex);
+}
+
+/// Delivers adjacencies out of one fetched value range: consumes bounds
+/// (starting at `cursor`) whose byte range lies within
+/// [range_begin, range_end) — empty adjacencies are cleared in passing.
+void deliver_values(std::span<const SlotBounds> bounds, std::size_t& cursor,
+                    std::uint64_t range_begin, std::uint64_t range_end,
+                    const std::byte* staging,
+                    std::vector<std::vector<Vertex>>& out) {
+  while (cursor < bounds.size()) {
+    const SlotBounds& sb = bounds[cursor];
+    if (sb.begin == sb.end) {  // empty adjacency: no bytes to deliver
+      out[sb.slot].clear();
+      ++cursor;
+      continue;
+    }
+    const std::uint64_t b = value_begin_bytes(sb);
+    const std::uint64_t e = value_end_bytes(sb);
+    if (b < range_begin || e > range_end) break;
+    auto& adjacency = out[sb.slot];
+    adjacency.resize(static_cast<std::size_t>(sb.end - sb.begin));
+    std::memcpy(adjacency.data(), staging + (b - range_begin), e - b);
+    ++cursor;
+  }
+}
+
 }  // namespace
+
+std::uint64_t ExternalCsrPartition::read_merged(
+    NvmBackingFile& file, std::uint64_t offset, std::span<std::byte> staging,
+    std::uint32_t max_request_bytes) {
+  if (cache_ != nullptr)
+    return cache_->read(file, offset, staging, max_request_bytes);
+  // One aggregated request per merged range (libaio-style).
+  file.read(offset, staging);
+  return 1;
+}
+
+std::vector<SlotBounds> ExternalCsrPartition::batch_bounds(
+    std::span<const Vertex> batch, std::uint32_t merge_gap_bytes,
+    std::uint32_t max_request_bytes, std::uint64_t& requests) {
+  // Sort batch slots by vertex so index reads for nearby vertices merge.
+  std::vector<std::size_t> sorted_slots(batch.size());
+  for (std::size_t i = 0; i < sorted_slots.size(); ++i) sorted_slots[i] = i;
+  std::sort(sorted_slots.begin(), sorted_slots.end(),
+            [&](std::size_t a, std::size_t b) { return batch[a] < batch[b]; });
+
+  const auto index_byte_range = [&](std::size_t slot) {
+    SEMBFS_EXPECTS(sources_.contains(batch[slot]));
+    const auto local =
+        static_cast<std::uint64_t>(batch[slot] - sources_.begin);
+    return std::pair<std::uint64_t, std::uint64_t>{
+        local * sizeof(std::int64_t), (local + 2) * sizeof(std::int64_t)};
+  };
+  const auto merged = merge_ranges(
+      sorted_slots.begin(), sorted_slots.end(),
+      [&](std::size_t s) { return index_byte_range(s).first; },
+      [&](std::size_t s) { return index_byte_range(s).second; },
+      merge_gap_bytes, max_request_bytes);
+
+  std::vector<SlotBounds> bounds(batch.size());
+  std::vector<std::byte> staging;
+  std::size_t cursor = 0;
+  for (const MergedRange& range : merged) {
+    staging.resize(range.end - range.begin);
+    requests += read_merged(*index_file_, index_->base_offset() + range.begin,
+                            std::span<std::byte>{staging}, max_request_bytes);
+    // Deliver bounds to every slot whose index pair lies in this range.
+    while (cursor < sorted_slots.size()) {
+      const std::size_t slot = sorted_slots[cursor];
+      const auto [b, e] = index_byte_range(slot);
+      if (b < range.begin || e > range.end) break;
+      std::int64_t pair[2];
+      std::memcpy(pair, staging.data() + (b - range.begin), sizeof pair);
+      bounds[cursor] = {slot, pair[0], pair[1]};
+      ++cursor;
+    }
+  }
+  SEMBFS_ASSERT(cursor == sorted_slots.size());
+
+  // Value phase consumes bounds in value-file offset order.
+  std::sort(bounds.begin(), bounds.end(),
+            [](const SlotBounds& a, const SlotBounds& b) {
+              return a.begin < b.begin;
+            });
+  return bounds;
+}
 
 std::uint64_t ExternalCsrPartition::fetch_neighbors_batch(
     std::span<const Vertex> batch, std::vector<std::vector<Vertex>>& out,
@@ -143,94 +255,21 @@ std::uint64_t ExternalCsrPartition::fetch_neighbors_batch(
   if (batch.empty()) return 0;
   std::uint64_t requests = 0;
 
-  // Sort batch slots by vertex so index reads for nearby vertices merge.
-  std::vector<std::size_t> order(batch.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return batch[a] < batch[b];
-  });
-
-  // Phase 1: merged index reads -> per-slot [begin, end) value bounds.
-  struct SlotBounds {
-    std::size_t slot;
-    std::int64_t begin;
-    std::int64_t end;
-  };
-  std::vector<SlotBounds> bounds(batch.size());
-  {
-    const auto index_byte_range = [&](std::size_t slot) {
-      const auto local =
-          static_cast<std::uint64_t>(batch[slot] - sources_.begin);
-      return std::pair<std::uint64_t, std::uint64_t>{
-          local * sizeof(std::int64_t), (local + 2) * sizeof(std::int64_t)};
-    };
-    std::vector<std::size_t> sorted_slots = order;
-    const auto merged = merge_ranges(
-        sorted_slots.begin(), sorted_slots.end(),
-        [&](std::size_t s) { return index_byte_range(s).first; },
-        [&](std::size_t s) { return index_byte_range(s).second; },
-        merge_gap_bytes, max_request_bytes);
-
-    std::vector<std::byte> staging;
-    std::size_t cursor = 0;
-    for (const MergedRange& range : merged) {
-      staging.resize(range.end - range.begin);
-      // One aggregated request per merged range (libaio-style).
-      index_->file().read(index_->base_offset() + range.begin,
-                          std::span<std::byte>{staging});
-      ++requests;
-      // Deliver bounds to every slot whose index pair lies in this range.
-      while (cursor < sorted_slots.size()) {
-        const std::size_t slot = sorted_slots[cursor];
-        const auto [b, e] = index_byte_range(slot);
-        if (b < range.begin || e > range.end) break;
-        std::int64_t pair[2];
-        std::memcpy(pair, staging.data() + (b - range.begin), sizeof pair);
-        bounds[cursor] = {slot, pair[0], pair[1]};
-        ++cursor;
-      }
-    }
-    SEMBFS_ASSERT(cursor == sorted_slots.size());
-  }
-
-  // Phase 2: merged value reads, sorted by value-file offset.
-  std::sort(bounds.begin(), bounds.end(),
-            [](const SlotBounds& a, const SlotBounds& b) {
-              return a.begin < b.begin;
-            });
-  const auto merged = merge_ranges(
-      bounds.begin(), bounds.end(),
-      [](const SlotBounds& s) {
-        return static_cast<std::uint64_t>(s.begin) * sizeof(Vertex);
-      },
-      [](const SlotBounds& s) {
-        return static_cast<std::uint64_t>(s.end) * sizeof(Vertex);
-      },
-      merge_gap_bytes, max_request_bytes);
+  const std::vector<SlotBounds> bounds =
+      batch_bounds(batch, merge_gap_bytes, max_request_bytes, requests);
+  const auto merged =
+      merge_ranges(bounds.begin(), bounds.end(), value_begin_bytes,
+                   value_end_bytes, merge_gap_bytes, max_request_bytes);
 
   std::vector<std::byte> staging;
   std::size_t cursor = 0;
   for (const MergedRange& range : merged) {
     staging.resize(range.end - range.begin);
-    values_->file().read(values_->base_offset() + range.begin,
-                         std::span<std::byte>{staging});
-    ++requests;
-    while (cursor < bounds.size()) {
-      const SlotBounds& sb = bounds[cursor];
-      if (sb.begin == sb.end) {  // empty adjacency: no bytes to deliver
-        out[sb.slot].clear();
-        ++cursor;
-        continue;
-      }
-      const auto b = static_cast<std::uint64_t>(sb.begin) * sizeof(Vertex);
-      const auto e = static_cast<std::uint64_t>(sb.end) * sizeof(Vertex);
-      if (b < range.begin || e > range.end) break;
-      auto& adjacency = out[sb.slot];
-      adjacency.resize(static_cast<std::size_t>(sb.end - sb.begin));
-      std::memcpy(adjacency.data(), staging.data() + (b - range.begin),
-                  e - b);
-      ++cursor;
-    }
+    requests += read_merged(*value_file_,
+                            values_->base_offset() + range.begin,
+                            std::span<std::byte>{staging}, max_request_bytes);
+    deliver_values(bounds, cursor, range.begin, range.end, staging.data(),
+                   out);
   }
   // Trailing empty-adjacency slots (no merged range consumed them).
   for (; cursor < bounds.size(); ++cursor) {
@@ -240,11 +279,66 @@ std::uint64_t ExternalCsrPartition::fetch_neighbors_batch(
   return requests;
 }
 
+PendingNeighborsBatch ExternalCsrPartition::start_fetch_neighbors_batch(
+    std::span<const Vertex> batch, IoScheduler& scheduler,
+    std::uint32_t merge_gap_bytes, std::uint32_t max_request_bytes) {
+  PendingNeighborsBatch pending;
+  pending.valid_ = true;
+  pending.batch_size_ = batch.size();
+  if (batch.empty()) return pending;
+
+  // Index phase inline: it is tiny (16 B per vertex, heavily merged and
+  // cache-friendly) and the value ranges depend on it.
+  pending.bounds_ = batch_bounds(batch, merge_gap_bytes, max_request_bytes,
+                                 pending.index_requests_);
+  const auto merged =
+      merge_ranges(pending.bounds_.begin(), pending.bounds_.end(),
+                   value_begin_bytes, value_end_bytes, merge_gap_bytes,
+                   max_request_bytes);
+
+  // Value phase in flight: one scheduler job per merged range.
+  pending.reads_.reserve(merged.size());
+  for (const MergedRange& range : merged) {
+    PendingNeighborsBatch::ValueRead read;
+    read.begin = range.begin;
+    read.end = range.end;
+    read.staging.resize(range.end - range.begin);
+    read.done = scheduler.submit_read(
+        *value_file_, values_->base_offset() + range.begin,
+        std::span<std::byte>{read.staging}, cache_, max_request_bytes);
+    pending.reads_.push_back(std::move(read));
+  }
+  return pending;
+}
+
+std::uint64_t PendingNeighborsBatch::wait(
+    std::vector<std::vector<Vertex>>& out) {
+  SEMBFS_EXPECTS(valid_);
+  out.resize(batch_size_);
+  std::uint64_t requests = index_requests_;
+  std::size_t cursor = 0;
+  for (ValueRead& read : reads_) {
+    requests += read.done.get();
+    deliver_values(bounds_, cursor, read.begin, read.end,
+                   read.staging.data(), out);
+  }
+  for (; cursor < bounds_.size(); ++cursor) {
+    SEMBFS_ASSERT(bounds_[cursor].begin == bounds_[cursor].end);
+    out[bounds_[cursor].slot].clear();
+  }
+  valid_ = false;
+  reads_.clear();
+  bounds_.clear();
+  return requests;
+}
+
 ExternalForwardGraph::ExternalForwardGraph(const ForwardGraph& forward,
                                            std::shared_ptr<NvmDevice> device,
                                            const std::string& dir,
                                            std::uint32_t chunk_bytes)
-    : vertex_partition_(forward.vertex_partition()), device_(device) {
+    : vertex_partition_(forward.vertex_partition()),
+      device_(device),
+      chunk_bytes_(chunk_bytes) {
   SEMBFS_EXPECTS(device_ != nullptr);
   partitions_.reserve(forward.node_count());
   for (std::size_t k = 0; k < forward.node_count(); ++k) {
@@ -258,7 +352,8 @@ ExternalForwardGraph::ExternalForwardGraph(
     std::vector<std::shared_ptr<NvmDevice>> devices, const std::string& dir,
     std::uint32_t chunk_bytes)
     : vertex_partition_(forward.vertex_partition()),
-      device_(devices.empty() ? nullptr : devices.front()) {
+      device_(devices.empty() ? nullptr : devices.front()),
+      chunk_bytes_(chunk_bytes) {
   SEMBFS_EXPECTS(!devices.empty());
   partitions_.reserve(forward.node_count());
   for (std::size_t k = 0; k < forward.node_count(); ++k) {
@@ -278,5 +373,31 @@ std::int64_t ExternalForwardGraph::entry_count() const noexcept {
   for (const auto& p : partitions_) total += p->entry_count();
   return total;
 }
+
+ChunkCache& ExternalForwardGraph::enable_chunk_cache(
+    std::size_t capacity_bytes) {
+  SEMBFS_EXPECTS(capacity_bytes > 0);
+  if (cache_ == nullptr || cache_->capacity_bytes() != capacity_bytes) {
+    for (auto& p : partitions_) p->attach_cache(nullptr);
+    cache_ = std::make_unique<ChunkCache>(capacity_bytes, chunk_bytes_);
+    for (auto& p : partitions_) p->attach_cache(cache_.get());
+  }
+  return *cache_;
+}
+
+void ExternalForwardGraph::disable_chunk_cache() {
+  for (auto& p : partitions_) p->attach_cache(nullptr);
+  cache_.reset();
+}
+
+IoScheduler& ExternalForwardGraph::enable_io_scheduler(
+    std::size_t queue_depth) {
+  SEMBFS_EXPECTS(queue_depth >= 1);
+  if (scheduler_ == nullptr || scheduler_->queue_depth() != queue_depth)
+    scheduler_ = std::make_unique<IoScheduler>(queue_depth);
+  return *scheduler_;
+}
+
+void ExternalForwardGraph::disable_io_scheduler() { scheduler_.reset(); }
 
 }  // namespace sembfs

@@ -10,20 +10,75 @@
 //      device request),
 //   2. read values[index[v] .. index[v+1]) from the value file in <= 4 KiB
 //      chunks.
+//
+// Two optional I/O accelerators sit on top (both off by default, keeping
+// the seed read path bit-for-bit):
+//   - a ChunkCache shared by all partitions serves repeated 4 KiB chunks
+//     (hub index entries and hub adjacency prefixes) from DRAM, and
+//   - an IoScheduler lets the top-down step prefetch the next dequeue
+//     batch's merged ranges asynchronously while the current batch's edges
+//     are processed (start_fetch_neighbors_batch / PendingNeighborsBatch).
 #pragma once
 
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "graph/csr.hpp"
 #include "graph/forward_graph.hpp"
+#include "nvm/chunk_cache.hpp"
 #include "nvm/external_array.hpp"
+#include "nvm/io_scheduler.hpp"
 #include "nvm/nvm_device.hpp"
 #include "numa/partition.hpp"
 
 namespace sembfs {
+
+/// An aggregated adjacency fetch whose merged value-range reads are in
+/// flight on an IoScheduler. Obtained from
+/// ExternalCsrPartition::start_fetch_neighbors_batch; wait() blocks until
+/// every posted range completes and scatters the per-vertex adjacencies.
+/// Move-only; must be waited (or destroyed, which waits) before the
+/// frontier span or partition it references goes away.
+class PendingNeighborsBatch {
+ public:
+  PendingNeighborsBatch() = default;
+  PendingNeighborsBatch(PendingNeighborsBatch&&) = default;
+  PendingNeighborsBatch& operator=(PendingNeighborsBatch&&) = default;
+
+  /// False for a default-constructed (empty) pending batch.
+  [[nodiscard]] bool valid() const noexcept { return valid_; }
+
+  /// Waits for all in-flight reads, fills out[i] with the adjacency of
+  /// batch[i], and returns the total device requests issued (index phase +
+  /// value phase). May be called once.
+  std::uint64_t wait(std::vector<std::vector<Vertex>>& out);
+
+  /// One batch slot's adjacency bounds in the value array (entry indices).
+  struct SlotBounds {
+    std::size_t slot = 0;
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+  };
+
+ private:
+  friend class ExternalCsrPartition;
+
+  struct ValueRead {
+    std::uint64_t begin = 0;  // byte offsets within the value array
+    std::uint64_t end = 0;
+    std::vector<std::byte> staging;
+    std::future<std::uint64_t> done;
+  };
+
+  bool valid_ = false;
+  std::size_t batch_size_ = 0;
+  std::uint64_t index_requests_ = 0;
+  std::vector<SlotBounds> bounds_;  // sorted by value-range begin
+  std::vector<ValueRead> reads_;
+};
 
 class ExternalCsrPartition {
  public:
@@ -47,7 +102,16 @@ class ExternalCsrPartition {
   [[nodiscard]] std::int64_t entry_count() const noexcept {
     return entry_count_;
   }
+  [[nodiscard]] std::uint32_t chunk_bytes() const noexcept {
+    return chunk_bytes_;
+  }
   [[nodiscard]] std::uint64_t nvm_byte_size() const noexcept;
+
+  /// Routes all index/value reads (chunked and aggregated) through `cache`
+  /// (nullptr detaches). The cache's chunk size must match this
+  /// partition's.
+  void attach_cache(ChunkCache* cache);
+  [[nodiscard]] ChunkCache* cache() const noexcept { return cache_; }
 
   /// Degree of global vertex v — one index-file request.
   std::int64_t degree(Vertex v);
@@ -78,16 +142,38 @@ class ExternalCsrPartition {
                                       std::uint32_t max_request_bytes =
                                           1 << 20);
 
+  /// Asynchronous variant: performs the (small) index phase inline, then
+  /// posts the merged value-range reads to `scheduler` and returns
+  /// immediately. The caller overlaps edge processing with the in-flight
+  /// reads and collects results via PendingNeighborsBatch::wait.
+  PendingNeighborsBatch start_fetch_neighbors_batch(
+      std::span<const Vertex> batch, IoScheduler& scheduler,
+      std::uint32_t merge_gap_bytes = 4096,
+      std::uint32_t max_request_bytes = 1 << 20);
+
  private:
   void offload(const Csr& csr, std::uint32_t chunk_bytes);
+  /// Index phase of a batched fetch: merged index reads producing per-slot
+  /// value bounds sorted by value-range begin. Adds issued requests to
+  /// `requests`.
+  std::vector<PendingNeighborsBatch::SlotBounds> batch_bounds(
+      std::span<const Vertex> batch, std::uint32_t merge_gap_bytes,
+      std::uint32_t max_request_bytes, std::uint64_t& requests);
+  /// One aggregated (possibly multi-chunk) read at `offset` bytes into
+  /// `file`, through the cache when attached. Returns requests issued.
+  std::uint64_t read_merged(NvmBackingFile& file, std::uint64_t offset,
+                            std::span<std::byte> staging,
+                            std::uint32_t max_request_bytes);
 
   VertexRange sources_;
   VertexRange destinations_;
   std::int64_t entry_count_ = 0;
+  std::uint32_t chunk_bytes_ = 4096;
   std::unique_ptr<NvmBackingFile> index_file_;
   std::unique_ptr<NvmBackingFile> value_file_;
   std::unique_ptr<ExternalArray<std::int64_t>> index_;
   std::unique_ptr<ExternalArray<Vertex>> values_;
+  ChunkCache* cache_ = nullptr;
 };
 
 /// The full semi-external forward graph: one ExternalCsrPartition per node,
@@ -123,10 +209,29 @@ class ExternalForwardGraph {
   [[nodiscard]] std::uint64_t nvm_byte_size() const noexcept;
   [[nodiscard]] std::int64_t entry_count() const noexcept;
 
+  /// Creates a chunk cache of ~`capacity_bytes` shared by every partition
+  /// and attaches it to all index/value read paths. Idempotent for an
+  /// unchanged capacity (the warm cache survives across BFS runs — that is
+  /// the point); a different capacity rebuilds the cache cold.
+  ChunkCache& enable_chunk_cache(std::size_t capacity_bytes);
+  void disable_chunk_cache();
+  [[nodiscard]] ChunkCache* chunk_cache() noexcept { return cache_.get(); }
+
+  /// Spawns (or resizes) the background I/O worker pool used by the async
+  /// top-down prefetch. Idempotent for an unchanged queue depth.
+  IoScheduler& enable_io_scheduler(std::size_t queue_depth);
+  void disable_io_scheduler();
+  [[nodiscard]] IoScheduler* io_scheduler() noexcept {
+    return scheduler_.get();
+  }
+
  private:
   VertexPartition vertex_partition_;
   std::shared_ptr<NvmDevice> device_;
+  std::uint32_t chunk_bytes_ = 4096;
   std::vector<std::unique_ptr<ExternalCsrPartition>> partitions_;
+  std::unique_ptr<ChunkCache> cache_;
+  std::unique_ptr<IoScheduler> scheduler_;
 };
 
 }  // namespace sembfs

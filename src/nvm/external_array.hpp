@@ -40,6 +40,13 @@ class ExternalArray {
   }
   [[nodiscard]] NvmBackingFile& file() noexcept { return *file_; }
 
+  /// Routes chunked reads through `cache` (nullptr detaches). The cache's
+  /// chunk size must match this array's. Attach only while the backing
+  /// file is no longer being written — cached chunks are never invalidated
+  /// by write().
+  void set_cache(ChunkCache* cache) noexcept { reader_.set_cache(cache); }
+  [[nodiscard]] ChunkCache* cache() const noexcept { return reader_.cache(); }
+
   /// Reads elements [first, first+out.size()) into `out`.
   /// Returns the number of device requests issued.
   std::uint64_t read(std::uint64_t first, std::span<T> out) {

@@ -1,0 +1,130 @@
+#include "nvm/io_scheduler.hpp"
+
+#include <algorithm>
+
+#include "nvm/chunk_cache.hpp"
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+IoScheduler::IoScheduler(std::size_t queue_depth) {
+  SEMBFS_EXPECTS(queue_depth >= 1 && queue_depth <= 1024);
+  workers_.reserve(queue_depth);
+  for (std::size_t i = 0; i < queue_depth; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+IoScheduler::~IoScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  // Workers drain the queue before exiting, so no promise is left dangling.
+  SEMBFS_ASSERT(queue_.empty() && in_service_ == 0);
+}
+
+std::future<std::uint64_t> IoScheduler::submit_read(
+    NvmBackingFile& file, std::uint64_t offset, std::span<std::byte> dst,
+    ChunkCache* cache, std::uint64_t max_miss_request_bytes) {
+  Job job;
+  job.file = &file;
+  job.offset = offset;
+  job.dst = dst;
+  job.cache = cache;
+  job.max_miss_request_bytes = max_miss_request_bytes;
+  std::future<std::uint64_t> future = job.promise.get_future();
+  enqueue(std::move(job));
+  return future;
+}
+
+void IoScheduler::submit_read(
+    NvmBackingFile& file, std::uint64_t offset, std::span<std::byte> dst,
+    std::function<void(std::uint64_t, std::exception_ptr)> done,
+    ChunkCache* cache, std::uint64_t max_miss_request_bytes) {
+  SEMBFS_EXPECTS(done != nullptr);
+  Job job;
+  job.file = &file;
+  job.offset = offset;
+  job.dst = dst;
+  job.cache = cache;
+  job.max_miss_request_bytes = max_miss_request_bytes;
+  job.callback = std::move(done);
+  enqueue(std::move(job));
+}
+
+void IoScheduler::enqueue(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SEMBFS_EXPECTS(!shutdown_);
+    queue_.push_back(std::move(job));
+    ++submitted_;
+    peak_pending_ = std::max(peak_pending_, queue_.size() + in_service_);
+  }
+  work_cv_.notify_one();
+}
+
+std::uint64_t IoScheduler::execute(Job& job) {
+  if (job.cache != nullptr)
+    return job.cache->read(*job.file, job.offset, job.dst,
+                           job.max_miss_request_bytes);
+  job.file->read(job.offset, job.dst);
+  return 1;
+}
+
+void IoScheduler::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      // On shutdown keep draining: in-flight requests must complete.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_service_;
+    }
+    std::uint64_t requests = 0;
+    std::exception_ptr error;
+    try {
+      requests = execute(job);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    if (job.callback) {
+      job.callback(requests, error);
+    } else if (error) {
+      job.promise.set_exception(error);
+    } else {
+      job.promise.set_value(requests);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_service_;
+      ++completed_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void IoScheduler::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_service_ == 0; });
+}
+
+std::size_t IoScheduler::pending() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + in_service_;
+}
+
+IoSchedulerStats IoScheduler::stats() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  IoSchedulerStats s;
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.peak_pending = peak_pending_;
+  return s;
+}
+
+}  // namespace sembfs

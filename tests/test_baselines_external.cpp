@@ -13,7 +13,10 @@ namespace {
 class BaselinesTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "/sembfs_baselines";
+    // Unique per test: ctest runs every case as its own process, and a
+    // shared directory lets one process truncate files another is reading.
+    dir_ = ::testing::TempDir() + "/sembfs_baselines_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
     edges_ = generate_kronecker(fixtures::small_kronecker(10, 8, 41), pool_);

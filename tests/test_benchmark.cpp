@@ -17,13 +17,17 @@ class BenchmarkTest : public ::testing::Test {
     config.instance.scenario = scenario;
     config.instance.scenario.time_scale = 0.001;
     config.instance.numa_nodes = 2;
-    config.instance.workdir = ::testing::TempDir() + "/sembfs_bench_test";
+    config.instance.workdir = workdir();
     config.num_roots = 4;
     return config;
   }
-  void TearDown() override {
-    std::filesystem::remove_all(::testing::TempDir() + "/sembfs_bench_test");
+  // Unique per test: ctest runs every case as its own process, and a
+  // shared directory lets one process truncate files another is reading.
+  std::string workdir() const {
+    return ::testing::TempDir() + "/sembfs_bench_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
   }
+  void TearDown() override { std::filesystem::remove_all(workdir()); }
   ThreadPool pool_{4};
 };
 

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <vector>
 
+#include "nvm/chunk_cache.hpp"
+
 namespace sembfs {
 namespace {
 
@@ -22,7 +24,11 @@ class ChunkReaderTest : public ::testing::Test {
   }
   void TearDown() override { remove_file_if_exists(path()); }
   std::string path() const {
-    return testing::TempDir() + "/sembfs_chunk_test.bin";
+    // Unique per test: ctest runs every case as its own process, and a
+    // shared path lets one process truncate a file another is reading.
+    return testing::TempDir() + "/sembfs_chunk_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           ".bin";
   }
 
   std::shared_ptr<NvmDevice> device_;
@@ -69,6 +75,61 @@ TEST_F(ChunkReaderTest, CustomChunkSize) {
   ChunkReader reader{*file_, 1000};
   std::vector<std::byte> out(3500);
   EXPECT_EQ(reader.read_range(0, out), 4u);  // ceil(3500/1000)
+}
+
+// Regression: an unaligned read must be split at the containing chunk's
+// boundary. The pre-fix reader issued a full-length first request from the
+// unaligned offset, so a single request straddled two device chunks and
+// the request count undercounted the chunks actually touched.
+TEST_F(ChunkReaderTest, MidChunkReadStopsAtChunkBoundary) {
+  ChunkReader reader{*file_, 4096};
+  std::vector<std::byte> out(100);
+  // [4090, 4190) spans chunks 0 and 1: two requests, not one.
+  EXPECT_EQ(reader.read_range(4090, out), 2u);
+  EXPECT_EQ(device_->stats().request_count(), 2u);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    ASSERT_EQ(static_cast<char>(out[i]), payload_[4090 + i]);
+}
+
+TEST_F(ChunkReaderTest, RequestCountEqualsChunksSpanned) {
+  ChunkReader reader{*file_, 4096};
+  std::vector<std::byte> out(8192);
+  // [100, 8292) touches chunks 0, 1 and 2: three requests (pre-fix: two).
+  EXPECT_EQ(reader.read_range(100, out), 3u);
+  // No request may exceed one chunk, and unaligned first/last requests are
+  // short — observable through the device's average request size.
+  EXPECT_LE(device_->stats().snapshot().avg_request_sectors * 512.0, 4096.0);
+}
+
+TEST_F(ChunkReaderTest, AlignedReadsKeepOriginalCounts) {
+  ChunkReader reader{*file_, 4096};
+  std::vector<std::byte> out(4096);
+  EXPECT_EQ(reader.read_range(8192, out), 1u);  // aligned: unchanged
+}
+
+TEST_F(ChunkReaderTest, AttachedCacheServesRepeatedReads) {
+  ChunkCache cache{1 << 20, 4096};
+  ChunkReader reader{*file_, 4096, &cache};
+  ASSERT_EQ(reader.cache(), &cache);
+  std::vector<std::byte> out(10000);
+  const std::uint64_t cold = reader.read_range(0, out);
+  EXPECT_EQ(cold, 3u);  // strict per-chunk discipline on misses
+  EXPECT_EQ(reader.read_range(0, out), 0u);  // warm: no device requests
+  EXPECT_EQ(device_->stats().request_count(), cold);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    ASSERT_EQ(static_cast<char>(out[i]), payload_[i]);
+}
+
+TEST_F(ChunkReaderTest, SetCacheDetachesWithNullptr) {
+  ChunkCache cache{1 << 20, 4096};
+  ChunkReader reader{*file_, 4096};
+  reader.set_cache(&cache);
+  std::vector<std::byte> out(4096);
+  reader.read_range(0, out);
+  reader.set_cache(nullptr);
+  device_->stats().reset();
+  EXPECT_EQ(reader.read_range(0, out), 1u);  // back to the device
+  EXPECT_EQ(device_->stats().request_count(), 1u);
 }
 
 }  // namespace

@@ -16,7 +16,11 @@ class ExternalArrayTest : public ::testing::Test {
   }
   void TearDown() override { remove_file_if_exists(path()); }
   std::string path() const {
-    return testing::TempDir() + "/sembfs_extarr_test.bin";
+    // Unique per test: ctest runs every case as its own process, and a
+    // shared path lets one process truncate a file another is reading.
+    return testing::TempDir() + "/sembfs_extarr_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           ".bin";
   }
 
   std::shared_ptr<NvmDevice> device_;

@@ -13,7 +13,10 @@ namespace {
 class ExternalCsrTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = testing::TempDir() + "/sembfs_extcsr";
+    // Unique per test: ctest runs every case as its own process, and a
+    // shared directory lets one process truncate files another is reading.
+    dir_ = testing::TempDir() + "/sembfs_extcsr_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(dir_);
     edges_ = generate_kronecker(fixtures::small_kronecker(9, 8, 5), pool_);
     partition_ = VertexPartition{edges_.vertex_count(), 4};
@@ -67,20 +70,34 @@ TEST_F(ExternalCsrTest, DegreeMatchesDram) {
   }
 }
 
+// Requests map 1:1 onto the aligned 4 KiB device chunks a fetch touches:
+// the index-pair read spans one chunk (or two, straddling a boundary) and
+// the value read one request per chunk the byte range [begin, end)
+// intersects. The old formula ceil(bytes/4096) undercounted unaligned
+// ranges, mirroring a reader bug that issued requests straddling chunks.
 TEST_F(ExternalCsrTest, RequestAccountingBoundsPlusChunks) {
-  device_->stats().reset();
   ExternalCsrPartition& ext = external_->partition(0);
+  const auto chunks_spanned = [](std::uint64_t begin_byte,
+                                 std::uint64_t end_byte) -> std::uint64_t {
+    if (begin_byte == end_byte) return 0;
+    return (end_byte - 1) / 4096 - begin_byte / 4096 + 1;
+  };
   std::vector<Vertex> scratch;
-  // Pick a vertex with a non-empty adjacency in partition 0.
-  Vertex v = 0;
-  while (v < edges_.vertex_count() && forward_.partition(0).degree(v) == 0)
-    ++v;
-  ASSERT_LT(v, edges_.vertex_count());
-  const std::uint64_t requests = ext.fetch_neighbors(v, scratch);
-  const std::uint64_t expected_chunks =
-      (scratch.size() * sizeof(Vertex) + 4095) / 4096;
-  EXPECT_EQ(requests, 1 + expected_chunks);  // bounds read + value chunks
-  EXPECT_EQ(device_->stats().request_count(), requests);
+  for (Vertex v = 0; v < edges_.vertex_count(); v += 13) {
+    if (forward_.partition(0).degree(v) == 0) continue;
+    const auto [b, e] = ext.fetch_bounds(v);
+    const std::uint64_t local =
+        static_cast<std::uint64_t>(v - ext.source_range().begin);
+    const std::uint64_t expected =
+        chunks_spanned(local * sizeof(std::int64_t),
+                       (local + 2) * sizeof(std::int64_t)) +
+        chunks_spanned(static_cast<std::uint64_t>(b) * sizeof(Vertex),
+                       static_cast<std::uint64_t>(e) * sizeof(Vertex));
+    device_->stats().reset();
+    const std::uint64_t requests = ext.fetch_neighbors(v, scratch);
+    ASSERT_EQ(requests, expected) << "v=" << v;
+    ASSERT_EQ(device_->stats().request_count(), requests);
+  }
 }
 
 TEST_F(ExternalCsrTest, NvmByteSizeMatchesArraySizes) {

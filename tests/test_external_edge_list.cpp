@@ -14,7 +14,11 @@ class ExternalEdgeListTest : public ::testing::Test {
   }
   void TearDown() override { remove_file_if_exists(path()); }
   std::string path() const {
-    return testing::TempDir() + "/sembfs_extedges.bin";
+    // Unique per test: ctest runs every case as its own process, and a
+    // shared path lets one process truncate a file another is reading.
+    return testing::TempDir() + "/sembfs_extedges_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           ".bin";
   }
   std::shared_ptr<NvmDevice> device_;
 };

@@ -15,7 +15,10 @@ namespace {
 class FaultInjectionTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "/sembfs_fault";
+    // Unique per test: ctest runs every case as its own process, and a
+    // shared directory lets one process truncate files another is reading.
+    dir_ = ::testing::TempDir() + "/sembfs_fault_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
     device_ = std::make_shared<NvmDevice>(DeviceProfile::dram());

@@ -17,7 +17,10 @@ namespace {
 class ExternalBfsTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "/sembfs_extbfs";
+    // Unique per test: ctest runs every case as its own process, and a
+    // shared directory lets one process truncate files another is reading.
+    dir_ = ::testing::TempDir() + "/sembfs_extbfs_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(dir_);
     edges_ = generate_kronecker(fixtures::small_kronecker(10, 8, 31), pool_);
     partition_ = VertexPartition{edges_.vertex_count(), 4};
@@ -189,6 +192,142 @@ TEST_F(ExternalBfsTest, FullyExternalBothSidesStillCorrect) {
     ASSERT_EQ(result.level[v], ref.level[v]);
   std::filesystem::remove_all(dir_ + "f");
   std::filesystem::remove_all(dir_ + "b");
+}
+
+TEST_F(ExternalBfsTest, AsyncPrefetchAndChunkCacheMatchReference) {
+  // Every accelerator combination must leave the traversal untouched:
+  // scheduler-only, cache-only, and both together.
+  const ReferenceBfsResult ref = reference_bfs(full_, root_);
+  struct Combo {
+    std::size_t queue_depth;
+    std::size_t cache_bytes;
+  };
+  for (const Combo combo : {Combo{4, 0}, Combo{0, 4 << 20}, Combo{4, 4 << 20}}) {
+    auto device = std::make_shared<NvmDevice>(fast_profile("pcie_flash"));
+    ExternalForwardGraph external{forward_, device, dir_ + "a"};
+    GraphStorage storage;
+    storage.forward_external = &external;
+    storage.backward_dram = &backward_;
+    HybridBfsRunner runner{storage, NumaTopology{4, 1}, pool_};
+
+    BfsConfig config;
+    config.mode = BfsMode::TopDownOnly;  // maximize the external path
+    config.aggregate_io = true;
+    config.io_queue_depth = combo.queue_depth;
+    config.chunk_cache_bytes = combo.cache_bytes;
+    const BfsResult result = runner.run(root_, config);
+    for (Vertex v = 0; v < edges_.vertex_count(); ++v)
+      ASSERT_EQ(result.level[v], ref.level[v])
+          << "qd=" << combo.queue_depth << " cache=" << combo.cache_bytes
+          << " v=" << v;
+    std::filesystem::remove_all(dir_ + "a");
+  }
+}
+
+TEST_F(ExternalBfsTest, ChunkCacheCutsDeviceRequests) {
+  auto device = std::make_shared<NvmDevice>(fast_profile("pcie_flash"));
+  ExternalForwardGraph external{forward_, device, dir_};
+  GraphStorage storage;
+  storage.forward_external = &external;
+  storage.backward_dram = &backward_;
+  HybridBfsRunner runner{storage, NumaTopology{4, 1}, pool_};
+
+  BfsConfig off;
+  off.mode = BfsMode::TopDownOnly;
+  off.aggregate_io = true;
+  const std::uint64_t cache_off = runner.run(root_, off).nvm_requests;
+
+  BfsConfig on = off;
+  on.chunk_cache_bytes = 16 << 20;
+  const std::uint64_t cold = runner.run(root_, on).nvm_requests;
+  EXPECT_LE(cold, cache_off);  // intra-run reuse already helps
+
+  // Second run against the warm cache: the hub chunks never hit the device.
+  const std::uint64_t warm = runner.run(root_, on).nvm_requests;
+  EXPECT_LT(warm, cache_off / 2);
+  const ChunkCache* cache = external.chunk_cache();
+  ASSERT_NE(cache, nullptr);
+  EXPECT_GT(cache->stats().hit_rate(), 0.5);
+}
+
+TEST_F(ExternalBfsTest, AsyncPrefetchKeepsRequestAccountingExact) {
+  auto device = std::make_shared<NvmDevice>(fast_profile("pcie_flash"));
+  ExternalForwardGraph external{forward_, device, dir_};
+  GraphStorage storage;
+  storage.forward_external = &external;
+  storage.backward_dram = &backward_;
+  HybridBfsRunner runner{storage, NumaTopology{4, 1}, pool_};
+  device->stats().reset();
+
+  BfsConfig config;
+  config.mode = BfsMode::TopDownOnly;
+  config.aggregate_io = true;
+  config.io_queue_depth = 8;
+  const BfsResult result = runner.run(root_, config);
+  EXPECT_GT(result.nvm_requests, 0u);
+  EXPECT_EQ(device->stats().request_count(), result.nvm_requests);
+  const IoScheduler* scheduler = external.io_scheduler();
+  ASSERT_NE(scheduler, nullptr);
+  const IoSchedulerStats sched_stats = scheduler->stats();
+  EXPECT_GT(sched_stats.submitted, 0u);
+  EXPECT_EQ(sched_stats.submitted, sched_stats.completed);
+}
+
+// Regression for the EdgeRatio frontier-edge recomputation (now a parallel
+// reduction): the direction decisions must be exactly those of the same
+// policy evaluated against DRAM storage, whose degree sums are computed
+// from the backward graph the same way.
+TEST_F(ExternalBfsTest, EdgeRatioDirectionsMatchDramRun) {
+  BfsConfig config;
+  config.policy.kind = PolicyKind::EdgeRatio;
+  config.policy.alpha = 14.0;  // Beamer's defaults: switch mid-traversal
+  config.policy.beta = 24.0;
+
+  GraphStorage dram_storage;
+  dram_storage.forward_dram = &forward_;
+  dram_storage.backward_dram = &backward_;
+  HybridBfsRunner dram_runner{dram_storage, NumaTopology{4, 1}, pool_};
+  const BfsResult dram = dram_runner.run(root_, config);
+
+  auto device = std::make_shared<NvmDevice>(fast_profile("dram"));
+  ExternalForwardGraph external{forward_, device, dir_};
+  GraphStorage ext_storage;
+  ext_storage.forward_external = &external;
+  ext_storage.backward_dram = &backward_;
+  HybridBfsRunner ext_runner{ext_storage, NumaTopology{4, 1}, pool_};
+  const BfsResult ext = ext_runner.run(root_, config);
+
+  // The policy must have actually switched for this to test anything.
+  bool saw_bottom_up = false;
+  for (const LevelStats& ls : dram.levels)
+    saw_bottom_up |= ls.direction == Direction::BottomUp;
+  EXPECT_TRUE(saw_bottom_up);
+
+  ASSERT_EQ(ext.levels.size(), dram.levels.size());
+  for (std::size_t i = 0; i < dram.levels.size(); ++i)
+    ASSERT_EQ(ext.levels[i].direction, dram.levels[i].direction)
+        << "level " << i;
+  for (Vertex v = 0; v < edges_.vertex_count(); ++v)
+    ASSERT_EQ(ext.level[v], dram.level[v]);
+}
+
+// Regression: degree() used to hit SEMBFS_ASSERT(backward_hybrid !=
+// nullptr) for storage with no backward graph; it now sums the
+// destination-filtered forward partitions.
+TEST_F(ExternalBfsTest, DegreeFallsBackToForwardStorage) {
+  GraphStorage fwd_only;
+  fwd_only.forward_dram = &forward_;
+
+  auto device = std::make_shared<NvmDevice>(fast_profile("dram"));
+  ExternalForwardGraph external{forward_, device, dir_};
+  GraphStorage ext_only;
+  ext_only.forward_external = &external;
+
+  for (Vertex v = 0; v < edges_.vertex_count(); v += 11) {
+    const std::int64_t expected = full_.degree(v);
+    EXPECT_EQ(fwd_only.degree(v), expected) << "v=" << v;
+    EXPECT_EQ(ext_only.degree(v), expected) << "v=" << v;
+  }
 }
 
 }  // namespace

@@ -12,7 +12,13 @@ namespace {
 class HybridCsrTest : public ::testing::TestWithParam<std::int64_t> {
  protected:
   void SetUp() override {
-    dir_ = testing::TempDir() + "/sembfs_hybrid";
+    // Unique per test: ctest runs every case as its own process, and a
+    // shared directory lets one process truncate files another is reading.
+    std::string name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    for (char& c : name)
+      if (c == '/') c = '_';
+    dir_ = testing::TempDir() + "/sembfs_hybrid_" + name;
     std::filesystem::remove_all(dir_);
     edges_ = generate_kronecker(fixtures::small_kronecker(9, 8, 7), pool_);
     partition_ = VertexPartition{edges_.vertex_count(), 4};

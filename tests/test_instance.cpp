@@ -20,12 +20,16 @@ class InstanceTest : public ::testing::Test {
     config.scenario = scenario;
     config.scenario.time_scale = 0.001;  // keep tests fast
     config.numa_nodes = 4;
-    config.workdir = ::testing::TempDir() + "/sembfs_instance";
+    config.workdir = workdir();
     return config;
   }
-  void TearDown() override {
-    std::filesystem::remove_all(::testing::TempDir() + "/sembfs_instance");
+  // Unique per test: ctest runs every case as its own process, and a
+  // shared directory lets one process truncate files another is reading.
+  std::string workdir() const {
+    return ::testing::TempDir() + "/sembfs_instance_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
   }
+  void TearDown() override { std::filesystem::remove_all(workdir()); }
   ThreadPool pool_{4};
 };
 

@@ -14,7 +14,10 @@ namespace {
 class IoAggregationTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "/sembfs_agg";
+    // Unique per test: ctest runs every case as its own process, and a
+    // shared directory lets one process truncate files another is reading.
+    dir_ = ::testing::TempDir() + "/sembfs_agg_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(dir_);
     edges_ = generate_kronecker(fixtures::small_kronecker(10, 8, 51), pool_);
     partition_ = VertexPartition{edges_.vertex_count(), 2};
@@ -109,6 +112,156 @@ TEST_F(IoAggregationTest, TinyMaxRequestStillCorrect) {
     part.fetch_neighbors(batch[i], single);
     ASSERT_EQ(batched[i], single);
   }
+}
+
+TEST_F(IoAggregationTest, AllEmptyBatchNeedsOnlyIndexReads) {
+  ExternalCsrPartition& part = external_->partition(0);
+  const Csr& dram = forward_.partition(0);
+  std::vector<Vertex> batch;
+  for (Vertex v = 0; v < edges_.vertex_count() && batch.size() < 8; ++v)
+    if (dram.degree(v) == 0) batch.push_back(v);
+  ASSERT_FALSE(batch.empty()) << "fixture needs isolated vertices";
+
+  device_->stats().reset();
+  std::vector<std::vector<Vertex>> batched(3, std::vector<Vertex>{Vertex{7}});
+  const std::uint64_t requests = part.fetch_neighbors_batch(batch, batched);
+  ASSERT_EQ(batched.size(), batch.size());
+  for (const auto& adjacency : batched) EXPECT_TRUE(adjacency.empty());
+  EXPECT_GT(requests, 0u);  // the index phase still runs
+  EXPECT_EQ(device_->stats().request_count(), requests);
+}
+
+TEST_F(IoAggregationTest, AdjacencyLargerThanMaxRequestStillFetchedWhole) {
+  ExternalCsrPartition& part = external_->partition(0);
+  const Csr& dram = forward_.partition(0);
+  Vertex hub = 0;
+  for (Vertex v = 1; v < edges_.vertex_count(); ++v)
+    if (dram.degree(v) > dram.degree(hub)) hub = v;
+  const std::uint64_t hub_bytes =
+      static_cast<std::uint64_t>(dram.degree(hub)) * sizeof(Vertex);
+  ASSERT_GT(hub_bytes, 256u) << "fixture needs a hub";
+
+  // A max_request smaller than the hub's own adjacency: the range cannot
+  // be split (merging is all-or-nothing per slot), so it is fetched whole.
+  const std::vector<Vertex> batch = {hub, 1, hub};
+  std::vector<std::vector<Vertex>> batched;
+  part.fetch_neighbors_batch(batch, batched, 4096, /*max_request=*/256);
+  std::vector<Vertex> single;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    part.fetch_neighbors(batch[i], single);
+    ASSERT_EQ(batched[i], single) << "slot " << i;
+  }
+}
+
+TEST_F(IoAggregationTest, BatchAtPartitionSourceBoundary) {
+  for (std::size_t k = 0; k < external_->node_count(); ++k) {
+    ExternalCsrPartition& part = external_->partition(k);
+    const VertexRange range = part.source_range();
+    const std::vector<Vertex> batch = {range.begin, range.end - 1,
+                                       range.begin};
+    std::vector<std::vector<Vertex>> batched;
+    part.fetch_neighbors_batch(batch, batched);
+    std::vector<Vertex> single;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      part.fetch_neighbors(batch[i], single);
+      ASSERT_EQ(batched[i], single) << "node " << k << " slot " << i;
+    }
+  }
+}
+
+TEST_F(IoAggregationTest, DuplicateHeavyBatchDoesNotMultiplyRequests) {
+  ExternalCsrPartition& part = external_->partition(0);
+  Vertex v = 0;
+  while (forward_.partition(0).degree(v) == 0) ++v;
+  const std::vector<Vertex> once = {v};
+  std::vector<std::vector<Vertex>> batched;
+  const std::uint64_t single_requests =
+      part.fetch_neighbors_batch(once, batched);
+
+  const std::vector<Vertex> many(64, v);
+  const std::uint64_t dup_requests =
+      part.fetch_neighbors_batch(many, batched);
+  // Contained ranges merge: 64 copies cost the same I/O as one.
+  EXPECT_EQ(dup_requests, single_requests);
+  for (const auto& adjacency : batched) ASSERT_EQ(adjacency, batched.front());
+}
+
+TEST_F(IoAggregationTest, AsyncBatchMatchesSyncBatch) {
+  ExternalCsrPartition& part = external_->partition(0);
+  IoScheduler scheduler{4};
+  std::vector<Vertex> batch;
+  for (Vertex v = 0; v < edges_.vertex_count(); v += 5) batch.push_back(v);
+
+  std::vector<std::vector<Vertex>> sync_out;
+  const std::uint64_t sync_requests =
+      part.fetch_neighbors_batch(batch, sync_out);
+
+  PendingNeighborsBatch pending =
+      part.start_fetch_neighbors_batch(batch, scheduler);
+  ASSERT_TRUE(pending.valid());
+  std::vector<std::vector<Vertex>> async_out;
+  const std::uint64_t async_requests = pending.wait(async_out);
+
+  EXPECT_EQ(async_requests, sync_requests);
+  ASSERT_EQ(async_out.size(), sync_out.size());
+  for (std::size_t i = 0; i < sync_out.size(); ++i)
+    ASSERT_EQ(async_out[i], sync_out[i]) << "slot " << i;
+}
+
+TEST_F(IoAggregationTest, ManyPendingBatchesInFlightAtOnce) {
+  ExternalCsrPartition& part = external_->partition(0);
+  IoScheduler scheduler{3};
+  constexpr std::size_t kBatches = 16;
+  std::vector<std::vector<Vertex>> batches(kBatches);
+  std::vector<PendingNeighborsBatch> pending;
+  for (std::size_t b = 0; b < kBatches; ++b) {
+    for (Vertex v = static_cast<Vertex>(b); v < edges_.vertex_count();
+         v += kBatches)
+      batches[b].push_back(v);
+    pending.push_back(part.start_fetch_neighbors_batch(batches[b], scheduler));
+  }
+  std::vector<std::vector<Vertex>> out;
+  std::vector<Vertex> single;
+  for (std::size_t b = 0; b < kBatches; ++b) {
+    pending[b].wait(out);
+    for (std::size_t i = 0; i < batches[b].size(); ++i) {
+      part.fetch_neighbors(batches[b][i], single);
+      ASSERT_EQ(out[i], single) << "batch " << b << " slot " << i;
+    }
+  }
+}
+
+TEST_F(IoAggregationTest, ChunkCacheCutsRepeatBatchRequests) {
+  ExternalCsrPartition& part = external_->partition(0);
+  std::vector<Vertex> batch;
+  for (Vertex v = 0; v < edges_.vertex_count(); v += 3) batch.push_back(v);
+
+  ChunkCache& cache = external_->enable_chunk_cache(8 << 20);
+  std::vector<std::vector<Vertex>> cold_out;
+  const std::uint64_t cold = part.fetch_neighbors_batch(batch, cold_out);
+  std::vector<std::vector<Vertex>> warm_out;
+  const std::uint64_t warm = part.fetch_neighbors_batch(batch, warm_out);
+  EXPECT_LT(warm, cold);
+  EXPECT_GT(cache.stats().hits, 0u);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    ASSERT_EQ(warm_out[i], cold_out[i]);
+
+  // Detaching restores the direct path and its request counts.
+  external_->disable_chunk_cache();
+  EXPECT_EQ(part.cache(), nullptr);
+  std::vector<std::vector<Vertex>> plain_out;
+  EXPECT_EQ(part.fetch_neighbors_batch(batch, plain_out), cold);
+}
+
+TEST_F(IoAggregationTest, EnableChunkCacheIsIdempotentPerCapacity) {
+  ChunkCache& first = external_->enable_chunk_cache(1 << 20);
+  ChunkCache& again = external_->enable_chunk_cache(1 << 20);
+  EXPECT_EQ(&first, &again);  // unchanged capacity keeps the warm cache
+  ChunkCache& rebuilt = external_->enable_chunk_cache(2 << 20);
+  EXPECT_EQ(rebuilt.capacity_bytes(), std::size_t{2} << 20);
+  IoScheduler& sched = external_->enable_io_scheduler(4);
+  EXPECT_EQ(&sched, &external_->enable_io_scheduler(4));
+  EXPECT_EQ(external_->enable_io_scheduler(2).queue_depth(), 2u);
 }
 
 TEST_F(IoAggregationTest, AggregatedBfsMatchesReference) {

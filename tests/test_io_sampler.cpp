@@ -23,7 +23,11 @@ class IoSamplerTest : public ::testing::Test {
   }
   void TearDown() override { remove_file_if_exists(path()); }
   std::string path() const {
-    return ::testing::TempDir() + "/sembfs_sampler.bin";
+    // Unique per test: ctest runs every case as its own process, and a
+    // shared path lets one process truncate a file another is reading.
+    return ::testing::TempDir() + "/sembfs_sampler_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           ".bin";
   }
 
   void busy_reads(int count) {

@@ -1,0 +1,160 @@
+#include "nvm/io_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "nvm/chunk_cache.hpp"
+#include "nvm/storage_file.hpp"
+
+namespace sembfs {
+namespace {
+
+class IoSchedulerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    device_ = std::make_shared<NvmDevice>(DeviceProfile::dram());
+    file_ = std::make_unique<NvmFile>(device_, path());
+    payload_.resize(256 * 1024);
+    std::iota(payload_.begin(), payload_.end(), 0);
+    file_->write(0, std::as_bytes(std::span<const char>{payload_}));
+    device_->stats().reset();
+  }
+  void TearDown() override { remove_file_if_exists(path()); }
+  std::string path() const {
+    // Unique per test: ctest runs every case as its own process, and a
+    // shared path lets one process truncate a file another is reading.
+    return testing::TempDir() + "/sembfs_io_sched_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           ".bin";
+  }
+
+  void expect_bytes(std::span<const std::byte> got, std::uint64_t offset) {
+    for (std::size_t i = 0; i < got.size(); ++i)
+      ASSERT_EQ(static_cast<char>(got[i]), payload_[offset + i]) << i;
+  }
+
+  std::shared_ptr<NvmDevice> device_;
+  std::unique_ptr<NvmFile> file_;
+  std::vector<char> payload_;
+};
+
+TEST_F(IoSchedulerTest, SingleReadCompletesViaFuture) {
+  IoScheduler scheduler{4};
+  std::vector<std::byte> out(1000);
+  auto done = scheduler.submit_read(*file_, 123, out);
+  EXPECT_EQ(done.get(), 1u);  // direct read = one device request
+  expect_bytes(out, 123);
+  EXPECT_EQ(device_->stats().request_count(), 1u);
+}
+
+TEST_F(IoSchedulerTest, ManyReadsEachLandInTheirOwnBuffer) {
+  IoScheduler scheduler{4};
+  constexpr std::size_t kReads = 64;
+  std::vector<std::vector<std::byte>> bufs(kReads);
+  std::vector<std::future<std::uint64_t>> futures;
+  futures.reserve(kReads);
+  for (std::size_t i = 0; i < kReads; ++i) {
+    bufs[i].resize(512 + i * 8);
+    futures.push_back(scheduler.submit_read(*file_, i * 1024,
+                                            std::span<std::byte>{bufs[i]}));
+  }
+  // Completion order is the scheduler's business; results must not be.
+  for (std::size_t i = 0; i < kReads; ++i) {
+    EXPECT_EQ(futures[i].get(), 1u);
+    expect_bytes(bufs[i], i * 1024);
+  }
+  const IoSchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, kReads);
+  EXPECT_EQ(stats.completed, kReads);
+  EXPECT_GE(stats.peak_pending, 1u);
+}
+
+TEST_F(IoSchedulerTest, CallbackVariantRunsOnCompletion) {
+  IoScheduler scheduler{2};
+  std::vector<std::byte> out(256);
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<bool> failed{false};
+  scheduler.submit_read(
+      *file_, 0, out,
+      [&](std::uint64_t n, std::exception_ptr error) {
+        requests.store(n);
+        failed.store(error != nullptr);
+      });
+  scheduler.drain();
+  EXPECT_EQ(requests.load(), 1u);
+  EXPECT_FALSE(failed.load());
+  expect_bytes(out, 0);
+}
+
+TEST_F(IoSchedulerTest, DrainBlocksUntilQueueEmpty) {
+  IoScheduler scheduler{2};
+  std::vector<std::vector<std::byte>> bufs(32, std::vector<std::byte>(4096));
+  std::vector<std::future<std::uint64_t>> futures;
+  for (std::size_t i = 0; i < bufs.size(); ++i)
+    futures.push_back(
+        scheduler.submit_read(*file_, i * 4096, std::span<std::byte>{bufs[i]}));
+  scheduler.drain();
+  EXPECT_EQ(scheduler.pending(), 0u);
+  for (auto& f : futures) EXPECT_EQ(f.get(), 1u);
+}
+
+TEST_F(IoSchedulerTest, DestructorDrainsInFlightRequests) {
+  std::vector<std::vector<std::byte>> bufs(48, std::vector<std::byte>(8192));
+  std::vector<std::future<std::uint64_t>> futures;
+  {
+    IoScheduler scheduler{3};
+    for (std::size_t i = 0; i < bufs.size(); ++i)
+      futures.push_back(scheduler.submit_read(
+          *file_, i * 4096, std::span<std::byte>{bufs[i]}));
+    // Destroy with most requests still queued or in flight.
+  }
+  for (std::size_t i = 0; i < bufs.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), 1u);  // every future resolved
+    expect_bytes(bufs[i], i * 4096);
+  }
+}
+
+TEST_F(IoSchedulerTest, ReadErrorSurfacesAsFutureException) {
+  IoScheduler scheduler{2};
+  std::vector<std::byte> out(128);
+  // Reading past EOF makes the backing file throw on the I/O worker.
+  auto done = scheduler.submit_read(*file_, payload_.size() + 4096, out);
+  EXPECT_THROW(done.get(), std::exception);
+  scheduler.drain();  // the counters update after the future resolves
+  const IoSchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.completed, 1u);  // failed requests still complete
+}
+
+TEST_F(IoSchedulerTest, ReadsThroughCachePopulateIt) {
+  IoScheduler scheduler{4};
+  ChunkCache cache{1 << 20};
+  std::vector<std::byte> out(3 * 4096);
+  auto cold = scheduler.submit_read(*file_, 0, out, &cache, 1 << 20);
+  EXPECT_EQ(cold.get(), 1u);  // one merged miss run
+  expect_bytes(out, 0);
+
+  auto warm = scheduler.submit_read(*file_, 0, out, &cache);
+  EXPECT_EQ(warm.get(), 0u);  // full hit: no device requests
+  EXPECT_EQ(cache.stats().hits, 3u);
+}
+
+TEST_F(IoSchedulerTest, QueueDepthBoundsConcurrentService) {
+  IoScheduler scheduler{1};
+  EXPECT_EQ(scheduler.queue_depth(), 1u);
+  // A depth-1 scheduler is strictly serial; every read still completes.
+  std::vector<std::vector<std::byte>> bufs(16, std::vector<std::byte>(2048));
+  std::vector<std::future<std::uint64_t>> futures;
+  for (std::size_t i = 0; i < bufs.size(); ++i)
+    futures.push_back(
+        scheduler.submit_read(*file_, i * 2048, std::span<std::byte>{bufs[i]}));
+  for (std::size_t i = 0; i < bufs.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), 1u);
+    expect_bytes(bufs[i], i * 2048);
+  }
+}
+
+}  // namespace
+}  // namespace sembfs

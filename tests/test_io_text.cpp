@@ -13,7 +13,11 @@ namespace {
 class IoTextTest : public ::testing::Test {
  protected:
   std::string path() const {
-    return ::testing::TempDir() + "/sembfs_text_edges.txt";
+    // Unique per test: ctest runs every case as its own process, and a
+    // shared path lets one process truncate a file another is reading.
+    return ::testing::TempDir() + "/sembfs_text_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           ".txt";
   }
   void write(const std::string& content) const {
     std::ofstream out{path()};

@@ -14,7 +14,11 @@ namespace {
 class NvmDeviceTest : public ::testing::Test {
  protected:
   std::string path(const char* name) const {
-    return testing::TempDir() + "/sembfs_nvm_" + name + ".bin";
+    // Unique per test: ctest runs every case as its own process, and a
+    // shared path lets one process truncate a file another is reading.
+    return testing::TempDir() + "/sembfs_nvm_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           "_" + name + ".bin";
   }
   void TearDown() override {
     remove_file_if_exists(path("a"));

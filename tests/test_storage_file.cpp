@@ -11,7 +11,11 @@ namespace {
 class StorageFileTest : public ::testing::Test {
  protected:
   std::string path() const {
-    return testing::TempDir() + "/sembfs_storage_test.bin";
+    // Unique per test: ctest runs every case as its own process, and a
+    // shared path lets one process truncate a file another is reading.
+    return testing::TempDir() + "/sembfs_storage_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           ".bin";
   }
   void TearDown() override { remove_file_if_exists(path()); }
 };

@@ -17,7 +17,10 @@ namespace {
 class StreamConstructionTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "/sembfs_stream";
+    // Unique per test: ctest runs every case as its own process, and a
+    // shared directory lets one process truncate files another is reading.
+    dir_ = ::testing::TempDir() + "/sembfs_stream_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
     edges_ = generate_kronecker(fixtures::small_kronecker(10, 8, 101), pool_);

@@ -17,7 +17,10 @@ namespace {
 class StripedFileTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "/sembfs_stripe";
+    // Unique per test: ctest runs every case as its own process, and a
+    // shared directory lets one process truncate files another is reading.
+    dir_ = ::testing::TempDir() + "/sembfs_stripe_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
     for (int i = 0; i < 4; ++i)

@@ -15,7 +15,13 @@ namespace {
 class TieredForwardTest : public ::testing::TestWithParam<std::int64_t> {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "/sembfs_tiered";
+    // Unique per test: ctest runs every case as its own process, and a
+    // shared directory lets one process truncate files another is reading.
+    std::string name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    for (char& c : name)
+      if (c == '/') c = '_';
+    dir_ = ::testing::TempDir() + "/sembfs_tiered_" + name;
     std::filesystem::remove_all(dir_);
     edges_ = generate_kronecker(fixtures::small_kronecker(10, 8, 61), pool_);
     partition_ = VertexPartition{edges_.vertex_count(), 4};

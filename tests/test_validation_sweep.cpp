@@ -42,8 +42,13 @@ TEST_P(ValidationSweep, EveryConfigurationValidates) {
   config.scenario.time_scale = 0.001;
   config.scenario.backward_dram_edges = c.backward_dram_edges;
   config.offload_edge_list = c.offload_edge_list;
-  config.workdir =
-      ::testing::TempDir() + "/sembfs_sweep";
+  // Unique per test: ctest runs every case as its own process, and a
+  // shared directory lets one process truncate files another is reading.
+  std::string name =
+      ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  for (char& c2 : name)
+    if (c2 == '/') c2 = '_';
+  config.workdir = ::testing::TempDir() + "/sembfs_sweep_" + name;
   std::filesystem::remove_all(config.workdir);
   Graph500Instance instance{config, pool};
 
