@@ -36,6 +36,20 @@ int main(int argc, char** argv) {
   options.add_int("seed", 12345, "generator seed");
   options.add_string("workdir", "/tmp/sembfs", "directory for NVM files");
   options.add_flag("no-validate", "skip Step 4 validation");
+  options.add_flag("aggregate-io",
+                   "merge each dequeue batch's reads into large requests");
+  options.add_int("io-queue-depth", 0,
+                  "async I/O workers for batch prefetch (0 = synchronous)");
+  options.add_int("chunk-cache-bytes", 0,
+                  "DRAM chunk cache capacity in bytes (0 = no cache)");
+  options.add_flag("verify-checksums",
+                   "verify fetched chunks against offload-time CRC32s "
+                   "(needs --chunk-cache-bytes)");
+  options.add_int("io-error-budget", 0,
+                  "hard fetch failures tolerated per top-down level before "
+                  "falling back to DRAM bottom-up");
+  FaultPlan::register_options(options);
+  RetryPolicy::register_options(options);
   if (!options.parse(argc, argv)) return options.help_requested() ? 0 : 1;
 
   ThreadPool& pool =
@@ -59,6 +73,16 @@ int main(int argc, char** argv) {
   config.validate = !options.get_flag("no-validate");
   config.bfs.policy.alpha = options.get_double("alpha");
   config.bfs.policy.beta = options.get_double("beta");
+  config.bfs.aggregate_io = options.get_flag("aggregate-io");
+  config.bfs.io_queue_depth =
+      static_cast<std::size_t>(options.get_int("io-queue-depth"));
+  config.bfs.chunk_cache_bytes =
+      static_cast<std::size_t>(options.get_int("chunk-cache-bytes"));
+  config.bfs.verify_chunk_checksums = options.get_flag("verify-checksums");
+  config.bfs.io_error_budget =
+      static_cast<std::uint64_t>(options.get_int("io-error-budget"));
+  config.bfs.io_retry = RetryPolicy::from_options(options);
+  config.fault_plan = FaultPlan::from_options(options);
 
   const std::string mode = options.get_string("mode");
   if (mode == "hybrid")
@@ -86,6 +110,20 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(run.nvm_io.requests),
         run.nvm_io.avg_queue_length, run.nvm_io.avg_request_sectors,
         run.nvm_io.await_ms, run.nvm_io.iops);
+  }
+  if (run.nvm_io.read_errors + run.nvm_io.short_reads +
+          run.nvm_io.corruptions + run.nvm_io.latency_spikes +
+          run.nvm_io.retries >
+      0) {
+    std::printf(
+        "nvm_read_errors: %llu\nnvm_short_reads: %llu\n"
+        "nvm_corruptions: %llu\nnvm_latency_spikes: %llu\n"
+        "nvm_retries: %llu\n",
+        static_cast<unsigned long long>(run.nvm_io.read_errors),
+        static_cast<unsigned long long>(run.nvm_io.short_reads),
+        static_cast<unsigned long long>(run.nvm_io.corruptions),
+        static_cast<unsigned long long>(run.nvm_io.latency_spikes),
+        static_cast<unsigned long long>(run.nvm_io.retries));
   }
   std::printf("score (median TEPS): %s\n",
               format_teps(run.output.score()).c_str());

@@ -53,6 +53,18 @@ struct BfsConfig {
   /// chunks (hub index/adjacency blocks). 0 leaves the graph's current
   /// cache state untouched, so a warm cache survives across runs.
   std::size_t chunk_cache_bytes = 0;
+  /// Retry/backoff/deadline policy for the async I/O scheduler's requests
+  /// (only meaningful with io_queue_depth != 0).
+  RetryPolicy io_retry;
+  /// Hard adjacency-fetch failures (post-retry) tolerated per top-down
+  /// level before the step aborts and the session completes the level via
+  /// the DRAM bottom-up direction. 0 = degrade on the first failure.
+  std::uint64_t io_error_budget = 0;
+  /// Semi-external only (requires chunk_cache_bytes != 0): verify every
+  /// chunk fetched from the device against the offload-time CRC32s,
+  /// re-fetching corrupted chunks. Off by default so the fault-free
+  /// benchmark path pays no checksum cost.
+  bool verify_chunk_checksums = false;
 };
 
 /// Which concrete storage backs each side of the traversal. Exactly one
@@ -82,6 +94,12 @@ struct BfsResult {
   std::int64_t scanned_edges_top_down = 0;
   std::int64_t scanned_edges_bottom_up = 0;
   std::uint64_t nvm_requests = 0;
+  std::uint64_t io_failures = 0;     ///< contained fetch failures (all levels)
+  std::int32_t degraded_levels = 0;  ///< levels completed via the fallback
+  /// True when any level exceeded its I/O error budget and was completed
+  /// via the DRAM bottom-up direction. The parent tree is still valid —
+  /// degradation trades the semi-external I/O pattern for availability.
+  bool degraded = false;
   std::vector<LevelStats> levels;
   std::vector<Vertex> parent;        ///< the BFS tree (-1 = unreached)
   std::vector<std::int32_t> level;   ///< BFS depth per vertex (-1 = unreached)

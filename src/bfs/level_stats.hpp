@@ -20,6 +20,10 @@ struct LevelStats {
   double seconds = 0.0;
   double avg_degree = 0.0;             ///< scanned_edges / frontier_vertices
   std::uint64_t nvm_requests = 0;      ///< simulated device requests issued
+  std::uint64_t io_failures = 0;       ///< contained adjacency-fetch failures
+  /// The top-down step exceeded its I/O error budget and the level was
+  /// completed via the DRAM bottom-up direction instead.
+  bool degraded = false;
 };
 
 }  // namespace sembfs

@@ -42,6 +42,7 @@ bool BfsSession::step() {
   const std::int64_t cur_frontier = status_->frontier_size();
   Timer level_timer;
   StepResult step_result;
+  bool level_degraded = false;
   if (direction_ == Direction::TopDown) {
     if (storage_.forward_dram != nullptr) {
       step_result = top_down_step(*storage_.forward_dram, *status_, level_,
@@ -52,20 +53,43 @@ bool BfsSession::step() {
                                topology_, pool_, config_.batch_size);
     } else {
       ExternalForwardGraph& external = *storage_.forward_external;
-      if (config_.chunk_cache_bytes != 0)
+      if (config_.chunk_cache_bytes != 0) {
         external.enable_chunk_cache(config_.chunk_cache_bytes);
-      if (config_.io_queue_depth != 0)
-        external.enable_io_scheduler(config_.io_queue_depth);
+        if (config_.verify_chunk_checksums)
+          external.enable_checksum_verification();
+      }
+      if (config_.io_queue_depth != 0) {
+        IoSchedulerConfig sched_config;
+        sched_config.retry = config_.io_retry;
+        IoScheduler& scheduler =
+            external.enable_io_scheduler(config_.io_queue_depth, sched_config);
+        // A previous level's failures must not poison this one.
+        scheduler.reset_error_budget();
+      }
       ExternalTopDownOptions options;
       options.batch_size = config_.batch_size;
       options.aggregate_io = config_.aggregate_io;
       options.merge_gap_bytes = config_.aggregate_merge_gap;
       options.max_request_bytes = config_.aggregate_max_request;
       options.scheduler = external.io_scheduler();
+      options.io_error_budget = config_.io_error_budget;
       step_result = top_down_step_external(external, *status_, level_,
                                            topology_, pool_, options);
     }
     scanned_top_down_ += step_result.scanned_edges;
+    io_failures_ += step_result.io_failures;
+    if (step_result.io_failed()) {
+      // Graceful degradation: the top-down step skipped expansions, so the
+      // level is incomplete. Redo it with the DRAM bottom-up direction
+      // (which needs no forward-graph I/O), keeping the partial claims.
+      const StepResult redo = degrade_level();
+      step_result.claimed += redo.claimed;
+      step_result.scanned_edges += redo.scanned_edges;
+      step_result.nvm_requests += redo.nvm_requests;
+      scanned_bottom_up_ += redo.scanned_edges;
+      ++degraded_levels_;
+      level_degraded = true;
+    }
   } else {
     if (storage_.backward_dram != nullptr) {
       step_result =
@@ -94,6 +118,8 @@ bool BfsSession::step() {
                              static_cast<double>(cur_frontier)
                        : 0.0;
   stats.nvm_requests = step_result.nvm_requests;
+  stats.io_failures = step_result.io_failures;
+  stats.degraded = level_degraded;
   level_stats_.push_back(stats);
 
   status_->advance();
@@ -129,6 +155,32 @@ bool BfsSession::step() {
   return !done_;
 }
 
+StepResult BfsSession::degrade_level() {
+  if (storage_.backward_dram == nullptr && storage_.backward_hybrid == nullptr) {
+    throw NvmIoError(
+        "top-down level " + std::to_string(level_) +
+        " exceeded its I/O error budget and no backward graph is attached "
+        "for a degraded bottom-up retry");
+  }
+  // The partial top-down claims are valid (each vertex was CAS-claimed
+  // with a correct parent at this level); the bottom-up sweep skips them
+  // via the visited bitmap and claims the rest. Both steps write the next
+  // frontier through set_next, so save the partial list and merge after.
+  std::vector<Vertex> partial = std::move(status_->next());
+  status_->set_next({});
+  StepResult redo;
+  if (storage_.backward_dram != nullptr) {
+    redo = bottom_up_step(*storage_.backward_dram, *status_, level_,
+                          topology_, pool_, config_.bottom_up_chunk);
+  } else {
+    redo = bottom_up_step_hybrid(*storage_.backward_hybrid, *status_, level_,
+                                 topology_, pool_, config_.bottom_up_chunk);
+  }
+  std::vector<Vertex>& next = status_->next();
+  next.insert(next.end(), partial.begin(), partial.end());
+  return redo;
+}
+
 BfsResult BfsSession::snapshot_result() const {
   BfsResult result;
   result.root = root_;
@@ -138,6 +190,9 @@ BfsResult BfsSession::snapshot_result() const {
   result.scanned_edges_top_down = scanned_top_down_;
   result.scanned_edges_bottom_up = scanned_bottom_up_;
   result.nvm_requests = nvm_requests_;
+  result.io_failures = io_failures_;
+  result.degraded_levels = degraded_levels_;
+  result.degraded = degraded_levels_ > 0;
   result.levels = level_stats_;
   result.parent = status_->parent_snapshot();
   result.level = status_->levels();

@@ -56,6 +56,11 @@ class BfsSession {
   BfsConfig config_;
   Vertex root_;
 
+  /// Completes the current level via the DRAM bottom-up direction after a
+  /// failed top-down step, preserving the step's partial claims. Returns
+  /// the fallback step's result.
+  StepResult degrade_level();
+
   Direction direction_ = Direction::TopDown;
   std::int32_t level_ = 1;
   bool done_ = false;
@@ -63,6 +68,8 @@ class BfsSession {
   std::int64_t scanned_top_down_ = 0;
   std::int64_t scanned_bottom_up_ = 0;
   std::uint64_t nvm_requests_ = 0;
+  std::uint64_t io_failures_ = 0;
+  std::int32_t degraded_levels_ = 0;
   std::int64_t frontier_edges_ = 0;
   std::int64_t unvisited_edges_ = 0;
   std::vector<LevelStats> level_stats_;

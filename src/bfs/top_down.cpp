@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 
 #include "util/contracts.hpp"
 
@@ -21,6 +22,20 @@ struct TeamState {
   std::atomic<std::int64_t> claimed{0};
   std::atomic<std::int64_t> scanned{0};
   std::atomic<std::uint64_t> nvm_requests{0};
+  std::atomic<std::uint64_t> io_failures{0};
+  std::atomic<bool> abort{false};
+
+  /// Contains one adjacency-fetch failure: counts it and, past the budget,
+  /// tells every worker to stop claiming batches. Exceptions never cross
+  /// the thread-pool boundary.
+  void contain_failure(std::uint64_t budget) noexcept {
+    const std::uint64_t failed =
+        io_failures.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (failed > budget) abort.store(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool aborted() const noexcept {
+    return abort.load(std::memory_order_relaxed);
+  }
 };
 
 StepResult finish(TeamState& state, BfsStatus& status) {
@@ -35,6 +50,8 @@ StepResult finish(TeamState& state, BfsStatus& status) {
   result.claimed = state.claimed.load(std::memory_order_relaxed);
   result.scanned_edges = state.scanned.load(std::memory_order_relaxed);
   result.nvm_requests = state.nvm_requests.load(std::memory_order_relaxed);
+  result.io_failures = state.io_failures.load(std::memory_order_relaxed);
+  result.aborted = state.abort.load(std::memory_order_relaxed);
   return result;
 }
 
@@ -118,6 +135,7 @@ StepResult top_down_step_external(ExternalForwardGraph& forward,
       ExternalCsrPartition& part = forward.partition(node);
       auto& cursor = state.cursors[node];
       const auto claim_batch = [&]() -> std::span<const Vertex> {
+        if (state.aborted()) return {};  // budget exceeded: stop claiming
         const std::int64_t lo =
             cursor.fetch_add(batch_size, std::memory_order_relaxed);
         if (lo >= frontier_n) return {};
@@ -127,34 +145,49 @@ StepResult top_down_step_external(ExternalForwardGraph& forward,
       };
       if (options.aggregate_io && options.scheduler != nullptr) {
         // Double-buffered prefetch: batch k+1's merged value reads are in
-        // flight on the scheduler while batch k's edges are processed.
+        // flight on the scheduler while batch k's edges are processed. A
+        // failed start (the inline index phase can throw) yields an
+        // invalid pending batch; the batch is skipped and counted.
+        const auto start =
+            [&](std::span<const Vertex> b) -> PendingNeighborsBatch {
+          if (b.empty()) return {};
+          try {
+            return part.start_fetch_neighbors_batch(
+                b, *options.scheduler, options.merge_gap_bytes,
+                options.max_request_bytes);
+          } catch (const std::exception&) {
+            state.contain_failure(options.io_error_budget);
+            return {};
+          }
+        };
         std::span<const Vertex> batch = claim_batch();
-        PendingNeighborsBatch pending;
-        if (!batch.empty()) {
-          pending = part.start_fetch_neighbors_batch(
-              batch, *options.scheduler, options.merge_gap_bytes,
-              options.max_request_bytes);
-        }
+        PendingNeighborsBatch pending = start(batch);
         while (!batch.empty()) {
           const std::span<const Vertex> next = claim_batch();
-          PendingNeighborsBatch next_pending;
-          if (!next.empty()) {
-            next_pending = part.start_fetch_neighbors_batch(
-                next, *options.scheduler, options.merge_gap_bytes,
-                options.max_request_bytes);
+          PendingNeighborsBatch next_pending = start(next);
+          if (pending.valid()) {
+            try {
+              local_requests += pending.wait(batch_adj);
+              for (std::size_t i = 0; i < batch.size(); ++i)
+                process(batch[i], batch_adj[i]);
+            } catch (const std::exception&) {
+              state.contain_failure(options.io_error_budget);
+            }
           }
-          local_requests += pending.wait(batch_adj);
-          for (std::size_t i = 0; i < batch.size(); ++i)
-            process(batch[i], batch_adj[i]);
           batch = next;
           pending = std::move(next_pending);
         }
       } else if (options.aggregate_io) {
         for (std::span<const Vertex> batch = claim_batch(); !batch.empty();
              batch = claim_batch()) {
-          local_requests += part.fetch_neighbors_batch(
-              batch, batch_adj, options.merge_gap_bytes,
-              options.max_request_bytes);
+          try {
+            local_requests += part.fetch_neighbors_batch(
+                batch, batch_adj, options.merge_gap_bytes,
+                options.max_request_bytes);
+          } catch (const std::exception&) {
+            state.contain_failure(options.io_error_budget);
+            continue;  // batch unexpanded; the level is marked incomplete
+          }
           for (std::size_t i = 0; i < batch.size(); ++i)
             process(batch[i], batch_adj[i]);
         }
@@ -162,7 +195,13 @@ StepResult top_down_step_external(ExternalForwardGraph& forward,
         for (std::span<const Vertex> batch = claim_batch(); !batch.empty();
              batch = claim_batch()) {
           for (const Vertex v : batch) {
-            local_requests += part.fetch_neighbors(v, scratch);
+            if (state.aborted()) break;
+            try {
+              local_requests += part.fetch_neighbors(v, scratch);
+            } catch (const std::exception&) {
+              state.contain_failure(options.io_error_budget);
+              continue;  // v unexpanded; the level is marked incomplete
+            }
             process(v, scratch);
           }
         }
@@ -198,6 +237,7 @@ StepResult top_down_step_tiered(TieredForwardGraph& forward,
       TieredForwardPartition& part = forward.partition(node);
       auto& cursor = state.cursors[node];
       for (;;) {
+        if (state.aborted()) break;
         const std::int64_t lo =
             cursor.fetch_add(batch_size, std::memory_order_relaxed);
         if (lo >= frontier_n) break;
@@ -205,7 +245,14 @@ StepResult top_down_step_tiered(TieredForwardGraph& forward,
             std::min<std::int64_t>(frontier_n, lo + batch_size);
         for (std::int64_t i = lo; i < hi; ++i) {
           const Vertex v = frontier[static_cast<std::size_t>(i)];
-          local_requests += part.fetch_neighbors(v, scratch);
+          // Only hub adjacencies touch the device; a failed fetch is
+          // contained like in the external step (first failure aborts).
+          try {
+            local_requests += part.fetch_neighbors(v, scratch);
+          } catch (const std::exception&) {
+            state.contain_failure(0);
+            continue;
+          }
           for (const Vertex dst : scratch) {
             ++local_scanned;
             if (!status.is_visited(dst) && status.claim(dst, v, level)) {

@@ -27,6 +27,15 @@ struct StepResult {
   std::int64_t claimed = 0;        ///< vertices newly added to the tree
   std::int64_t scanned_edges = 0;  ///< adjacency entries examined
   std::uint64_t nvm_requests = 0;  ///< device requests issued (external only)
+  std::uint64_t io_failures = 0;   ///< adjacency fetches that failed for good
+  bool aborted = false;            ///< workers stopped early: budget exceeded
+
+  /// True when this step may have skipped frontier expansions — the level
+  /// is then incomplete and must be redone (the session falls back to the
+  /// DRAM bottom-up direction).
+  [[nodiscard]] bool io_failed() const noexcept {
+    return io_failures > 0 || aborted;
+  }
 };
 
 StepResult top_down_step(const ForwardGraph& forward, BfsStatus& status,
@@ -45,6 +54,13 @@ struct ExternalTopDownOptions {
   /// are processed, overlapping device I/O with claim work. nullptr keeps
   /// the synchronous path.
   IoScheduler* scheduler = nullptr;
+  /// Failed adjacency fetches (after the scheduler's own retries) the step
+  /// tolerates before every worker stops claiming batches. A failure never
+  /// propagates as an exception — it is contained, counted in
+  /// StepResult::io_failures, and the affected vertices are simply not
+  /// expanded, leaving the level incomplete (StepResult::io_failed()).
+  /// 0 = abort the level on the first hard failure.
+  std::uint64_t io_error_budget = 0;
 };
 
 StepResult top_down_step_external(ExternalForwardGraph& forward,

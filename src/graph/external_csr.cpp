@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "nvm/storage_file.hpp"
 #include "nvm/striped_file.hpp"
@@ -31,11 +32,13 @@ ExternalCsrPartition::ExternalCsrPartition(const Csr& csr,
                                            std::shared_ptr<NvmDevice> device,
                                            const std::string& dir,
                                            std::size_t node_id,
-                                           std::uint32_t chunk_bytes)
+                                           std::uint32_t chunk_bytes,
+                                           ChunkChecksums* checksums)
     : sources_(csr.source_range()),
       destinations_(csr.destination_range()),
       entry_count_(csr.entry_count()),
-      chunk_bytes_(chunk_bytes) {
+      chunk_bytes_(chunk_bytes),
+      checksums_(checksums) {
   SEMBFS_EXPECTS(device != nullptr);
   ensure_directory(dir);
   const std::string stem = dir + "/fg_node" + std::to_string(node_id);
@@ -46,11 +49,13 @@ ExternalCsrPartition::ExternalCsrPartition(const Csr& csr,
 
 ExternalCsrPartition::ExternalCsrPartition(
     const Csr& csr, std::vector<std::shared_ptr<NvmDevice>> devices,
-    const std::string& dir, std::size_t node_id, std::uint32_t chunk_bytes)
+    const std::string& dir, std::size_t node_id, std::uint32_t chunk_bytes,
+    ChunkChecksums* checksums)
     : sources_(csr.source_range()),
       destinations_(csr.destination_range()),
       entry_count_(csr.entry_count()),
-      chunk_bytes_(chunk_bytes) {
+      chunk_bytes_(chunk_bytes),
+      checksums_(checksums) {
   SEMBFS_EXPECTS(!devices.empty());
   ensure_directory(dir);
   const std::string stem = dir + "/fg_node" + std::to_string(node_id);
@@ -63,12 +68,23 @@ ExternalCsrPartition::ExternalCsrPartition(
 
 void ExternalCsrPartition::offload(const Csr& csr,
                                    std::uint32_t chunk_bytes) {
+  if (checksums_ == nullptr) {
+    owned_checksums_ = std::make_unique<ChunkChecksums>(chunk_bytes);
+    checksums_ = owned_checksums_.get();
+  }
+  SEMBFS_EXPECTS(checksums_->chunk_bytes() == chunk_bytes);
   index_ = std::make_unique<ExternalArray<std::int64_t>>(
       *index_file_, 0, csr.index().size(), chunk_bytes);
   values_ = std::make_unique<ExternalArray<Vertex>>(
       *value_file_, 0, csr.values().size(), chunk_bytes);
   write_array(*index_, csr.index());
   write_array(*values_, csr.values());
+  // Checksum the offloaded bytes from the DRAM source (no device reads):
+  // these CRCs are the ground truth the read path verifies against.
+  checksums_->record_buffer(*index_file_, index_->base_offset(),
+                            std::as_bytes(std::span{csr.index()}));
+  checksums_->record_buffer(*value_file_, values_->base_offset(),
+                            std::as_bytes(std::span{csr.values()}));
 }
 
 std::uint64_t ExternalCsrPartition::nvm_byte_size() const noexcept {
@@ -315,22 +331,59 @@ std::uint64_t PendingNeighborsBatch::wait(
     std::vector<std::vector<Vertex>>& out) {
   SEMBFS_EXPECTS(valid_);
   out.resize(batch_size_);
+  // Collect every completion before touching any staging buffer: if one
+  // range failed, the others must still land before their staging can be
+  // released, and only then is the failure rethrown.
+  std::vector<IoResult> results;
+  results.reserve(reads_.size());
+  for (ValueRead& read : reads_) results.push_back(read.done.get());
+  valid_ = false;
+  for (const IoResult& result : results) {
+    if (!result.ok) {
+      reads_.clear();
+      bounds_.clear();
+      result.value_or_throw();
+    }
+  }
   std::uint64_t requests = index_requests_;
   std::size_t cursor = 0;
-  for (ValueRead& read : reads_) {
-    requests += read.done.get();
-    deliver_values(bounds_, cursor, read.begin, read.end,
-                   read.staging.data(), out);
+  for (std::size_t i = 0; i < reads_.size(); ++i) {
+    requests += results[i].requests;
+    deliver_values(bounds_, cursor, reads_[i].begin, reads_[i].end,
+                   reads_[i].staging.data(), out);
   }
   for (; cursor < bounds_.size(); ++cursor) {
     SEMBFS_ASSERT(bounds_[cursor].begin == bounds_[cursor].end);
     out[bounds_[cursor].slot].clear();
   }
-  valid_ = false;
   reads_.clear();
   bounds_.clear();
   return requests;
 }
+
+void PendingNeighborsBatch::abandon() noexcept {
+  for (ValueRead& read : reads_) {
+    if (read.done.valid()) read.done.wait();
+  }
+  reads_.clear();
+  bounds_.clear();
+  valid_ = false;
+}
+
+PendingNeighborsBatch& PendingNeighborsBatch::operator=(
+    PendingNeighborsBatch&& other) noexcept {
+  if (this != &other) {
+    abandon();  // our own reads still reference our staging buffers
+    valid_ = std::exchange(other.valid_, false);
+    batch_size_ = other.batch_size_;
+    index_requests_ = other.index_requests_;
+    bounds_ = std::move(other.bounds_);
+    reads_ = std::move(other.reads_);
+  }
+  return *this;
+}
+
+PendingNeighborsBatch::~PendingNeighborsBatch() { abandon(); }
 
 ExternalForwardGraph::ExternalForwardGraph(const ForwardGraph& forward,
                                            std::shared_ptr<NvmDevice> device,
@@ -338,12 +391,14 @@ ExternalForwardGraph::ExternalForwardGraph(const ForwardGraph& forward,
                                            std::uint32_t chunk_bytes)
     : vertex_partition_(forward.vertex_partition()),
       device_(device),
-      chunk_bytes_(chunk_bytes) {
+      chunk_bytes_(chunk_bytes),
+      checksums_(std::make_unique<ChunkChecksums>(chunk_bytes)) {
   SEMBFS_EXPECTS(device_ != nullptr);
   partitions_.reserve(forward.node_count());
   for (std::size_t k = 0; k < forward.node_count(); ++k) {
     partitions_.push_back(std::make_unique<ExternalCsrPartition>(
-        forward.partition(k), device_, dir, k, chunk_bytes));
+        forward.partition(k), device_, dir, k, chunk_bytes,
+        checksums_.get()));
   }
 }
 
@@ -353,12 +408,14 @@ ExternalForwardGraph::ExternalForwardGraph(
     std::uint32_t chunk_bytes)
     : vertex_partition_(forward.vertex_partition()),
       device_(devices.empty() ? nullptr : devices.front()),
-      chunk_bytes_(chunk_bytes) {
+      chunk_bytes_(chunk_bytes),
+      checksums_(std::make_unique<ChunkChecksums>(chunk_bytes)) {
   SEMBFS_EXPECTS(!devices.empty());
   partitions_.reserve(forward.node_count());
   for (std::size_t k = 0; k < forward.node_count(); ++k) {
     partitions_.push_back(std::make_unique<ExternalCsrPartition>(
-        forward.partition(k), devices, dir, k, chunk_bytes));
+        forward.partition(k), devices, dir, k, chunk_bytes,
+        checksums_.get()));
   }
 }
 
@@ -380,6 +437,8 @@ ChunkCache& ExternalForwardGraph::enable_chunk_cache(
   if (cache_ == nullptr || cache_->capacity_bytes() != capacity_bytes) {
     for (auto& p : partitions_) p->attach_cache(nullptr);
     cache_ = std::make_unique<ChunkCache>(capacity_bytes, chunk_bytes_);
+    if (verify_checksums_)
+      cache_->set_checksums(checksums_.get(), checksum_max_refetches_);
     for (auto& p : partitions_) p->attach_cache(cache_.get());
   }
   return *cache_;
@@ -390,11 +449,24 @@ void ExternalForwardGraph::disable_chunk_cache() {
   cache_.reset();
 }
 
+void ExternalForwardGraph::enable_checksum_verification(int max_refetches) {
+  SEMBFS_EXPECTS(cache_ != nullptr);
+  verify_checksums_ = true;
+  checksum_max_refetches_ = max_refetches;
+  cache_->set_checksums(checksums_.get(), max_refetches);
+}
+
+void ExternalForwardGraph::disable_checksum_verification() {
+  verify_checksums_ = false;
+  if (cache_ != nullptr) cache_->set_checksums(nullptr);
+}
+
 IoScheduler& ExternalForwardGraph::enable_io_scheduler(
-    std::size_t queue_depth) {
+    std::size_t queue_depth, IoSchedulerConfig config) {
   SEMBFS_EXPECTS(queue_depth >= 1);
-  if (scheduler_ == nullptr || scheduler_->queue_depth() != queue_depth)
-    scheduler_ = std::make_unique<IoScheduler>(queue_depth);
+  if (scheduler_ == nullptr || scheduler_->queue_depth() != queue_depth ||
+      !(scheduler_->config() == config))
+    scheduler_ = std::make_unique<IoScheduler>(queue_depth, config);
   return *scheduler_;
 }
 

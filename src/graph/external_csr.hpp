@@ -29,6 +29,7 @@
 #include "graph/csr.hpp"
 #include "graph/forward_graph.hpp"
 #include "nvm/chunk_cache.hpp"
+#include "nvm/chunk_checksums.hpp"
 #include "nvm/external_array.hpp"
 #include "nvm/io_scheduler.hpp"
 #include "nvm/nvm_device.hpp"
@@ -46,14 +47,20 @@ class PendingNeighborsBatch {
  public:
   PendingNeighborsBatch() = default;
   PendingNeighborsBatch(PendingNeighborsBatch&&) = default;
-  PendingNeighborsBatch& operator=(PendingNeighborsBatch&&) = default;
+  PendingNeighborsBatch& operator=(PendingNeighborsBatch&& other) noexcept;
+  /// Blocks until every still-in-flight read completes: the reads hold
+  /// spans into this object's staging buffers, so letting the futures go
+  /// out of scope without waiting would be a use-after-free.
+  ~PendingNeighborsBatch();
 
   /// False for a default-constructed (empty) pending batch.
   [[nodiscard]] bool valid() const noexcept { return valid_; }
 
   /// Waits for all in-flight reads, fills out[i] with the adjacency of
   /// batch[i], and returns the total device requests issued (index phase +
-  /// value phase). May be called once.
+  /// value phase). Every read is collected before any error is raised
+  /// (rethrown from the first failed range), so no request is left in
+  /// flight against freed staging. May be called once.
   std::uint64_t wait(std::vector<std::vector<Vertex>>& out);
 
   /// One batch slot's adjacency bounds in the value array (entry indices).
@@ -70,8 +77,11 @@ class PendingNeighborsBatch {
     std::uint64_t begin = 0;  // byte offsets within the value array
     std::uint64_t end = 0;
     std::vector<std::byte> staging;
-    std::future<std::uint64_t> done;
+    std::future<IoResult> done;
   };
+
+  /// Waits out any unconsumed futures, discarding their results.
+  void abandon() noexcept;
 
   bool valid_ = false;
   std::size_t batch_size_ = 0;
@@ -83,17 +93,21 @@ class PendingNeighborsBatch {
 class ExternalCsrPartition {
  public:
   /// Offloads `csr` (one forward partition) to two files under `dir` on
-  /// `device`. Existing files are overwritten.
+  /// `device`. Existing files are overwritten. Per-chunk CRC32s of the
+  /// offloaded bytes are recorded into `checksums` when given (so several
+  /// partitions can share one registry), else into a private registry.
   ExternalCsrPartition(const Csr& csr, std::shared_ptr<NvmDevice> device,
                        const std::string& dir, std::size_t node_id,
-                       std::uint32_t chunk_bytes = 4096);
+                       std::uint32_t chunk_bytes = 4096,
+                       ChunkChecksums* checksums = nullptr);
 
   /// Striped variant: the two files are spread round-robin across several
   /// physical devices (the paper's machine carried multiple flash cards).
   ExternalCsrPartition(const Csr& csr,
                        std::vector<std::shared_ptr<NvmDevice>> devices,
                        const std::string& dir, std::size_t node_id,
-                       std::uint32_t chunk_bytes = 4096);
+                       std::uint32_t chunk_bytes = 4096,
+                       ChunkChecksums* checksums = nullptr);
 
   [[nodiscard]] VertexRange source_range() const noexcept { return sources_; }
   [[nodiscard]] VertexRange destination_range() const noexcept {
@@ -112,6 +126,12 @@ class ExternalCsrPartition {
   /// partition's.
   void attach_cache(ChunkCache* cache);
   [[nodiscard]] ChunkCache* cache() const noexcept { return cache_; }
+
+  /// The registry holding this partition's offload-time chunk CRC32s
+  /// (shared or private — see the constructors).
+  [[nodiscard]] const ChunkChecksums& checksums() const noexcept {
+    return *checksums_;
+  }
 
   /// Degree of global vertex v — one index-file request.
   std::int64_t degree(Vertex v);
@@ -173,6 +193,8 @@ class ExternalCsrPartition {
   std::unique_ptr<NvmBackingFile> value_file_;
   std::unique_ptr<ExternalArray<std::int64_t>> index_;
   std::unique_ptr<ExternalArray<Vertex>> values_;
+  std::unique_ptr<ChunkChecksums> owned_checksums_;  // when none was shared
+  ChunkChecksums* checksums_ = nullptr;
   ChunkCache* cache_ = nullptr;
 };
 
@@ -218,20 +240,39 @@ class ExternalForwardGraph {
   [[nodiscard]] ChunkCache* chunk_cache() noexcept { return cache_.get(); }
 
   /// Spawns (or resizes) the background I/O worker pool used by the async
-  /// top-down prefetch. Idempotent for an unchanged queue depth.
-  IoScheduler& enable_io_scheduler(std::size_t queue_depth);
+  /// top-down prefetch. Idempotent for an unchanged queue depth and
+  /// config; a change rebuilds the pool (after draining the old one).
+  IoScheduler& enable_io_scheduler(std::size_t queue_depth,
+                                   IoSchedulerConfig config = {});
   void disable_io_scheduler();
   [[nodiscard]] IoScheduler* io_scheduler() noexcept {
     return scheduler_.get();
   }
 
+  /// The shared registry of offload-time chunk CRC32s covering every
+  /// partition's index and value file.
+  [[nodiscard]] const ChunkChecksums& checksums() const noexcept {
+    return *checksums_;
+  }
+
+  /// Turns end-to-end corruption detection on: every chunk the cache
+  /// fetches from the device is verified against the offload-time CRC32s,
+  /// with up to `max_refetches` corrective re-reads per bad chunk.
+  /// Requires an enabled chunk cache (verification lives on the miss
+  /// path). Off by default — the no-fault benchmark path stays untouched.
+  void enable_checksum_verification(int max_refetches = 1);
+  void disable_checksum_verification();
+
  private:
   VertexPartition vertex_partition_;
   std::shared_ptr<NvmDevice> device_;
   std::uint32_t chunk_bytes_ = 4096;
+  std::unique_ptr<ChunkChecksums> checksums_;  // before partitions_: they record into it
   std::vector<std::unique_ptr<ExternalCsrPartition>> partitions_;
   std::unique_ptr<ChunkCache> cache_;
   std::unique_ptr<IoScheduler> scheduler_;
+  bool verify_checksums_ = false;  // survives a cache rebuild
+  int checksum_max_refetches_ = 1;
 };
 
 }  // namespace sembfs

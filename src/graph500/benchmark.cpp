@@ -23,6 +23,8 @@ BenchmarkRun run_graph500_bfs_phase(Graph500Instance& instance,
     record.teps = result.teps;
     record.visited = result.visited;
     record.depth = result.depth;
+    record.io_failures = result.io_failures;
+    record.degraded = result.degraded;
     if (validate) {
       const ValidationResult v = instance.validate(result);
       record.validated = v.ok;
@@ -53,6 +55,11 @@ BenchmarkRun run_graph500(const BenchmarkConfig& config, ThreadPool& pool) {
                   config.instance.kronecker.scale,
                   config.instance.kronecker.edge_factor,
                   config.instance.scenario.name.c_str());
+  if (config.fault_plan.enabled() && instance.nvm_device() != nullptr) {
+    // Armed after construction so Step 2's offload writes are clean; only
+    // the Step-3/4 read path sees injected faults.
+    instance.nvm_device()->set_fault_plan(config.fault_plan);
+  }
   return run_graph500_bfs_phase(instance, config.bfs, config.num_roots,
                                 config.validate, config.root_seed);
 }

@@ -13,6 +13,7 @@
 #include "graph500/instance.hpp"
 #include "graph500/result.hpp"
 #include "graph500/scenario.hpp"
+#include "nvm/fault_plan.hpp"
 #include "nvm/io_stats.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -24,6 +25,9 @@ struct BenchmarkConfig {
   int num_roots = 64;       ///< the spec's 64; benches use fewer by default
   bool validate = true;
   std::uint64_t root_seed = 0xbf5;
+  /// Fault schedule armed on the instance's NVM device before Step 3 (only
+  /// meaningful for scenarios with an NVM side). Disabled by default.
+  FaultPlan fault_plan;
 };
 
 struct BenchmarkRun {

@@ -27,6 +27,7 @@ Graph500Output summarize_runs(int scale, int edge_factor,
     teps.push_back(r.teps);
     edges.push_back(static_cast<double>(r.teps_edge_count));
     out.all_validated = out.all_validated && r.validated;
+    if (r.degraded) ++out.degraded_runs;
   }
   out.time_stats = compute_stats(std::move(times));
   out.teps_stats = compute_stats(std::move(teps));
@@ -68,6 +69,9 @@ std::string render_graph500_output(const Graph500Output& out) {
   emit("max_TEPS", out.teps_stats.max);
   emit("harmonic_mean_TEPS", out.teps_stats.harmonic_mean);
   emit("harmonic_stddev_TEPS", out.teps_stats.harmonic_stddev);
+  std::snprintf(buf, sizeof buf, "degraded_runs: %llu\n",
+                static_cast<unsigned long long>(out.degraded_runs));
+  s += buf;
   std::snprintf(buf, sizeof buf, "validation: %s\n",
                 out.all_validated ? "PASSED" : "FAILED");
   s += buf;

@@ -23,6 +23,8 @@ struct BfsRunRecord {
   std::int64_t visited = 0;
   std::int32_t depth = 0;
   bool validated = false;
+  std::uint64_t io_failures = 0;  ///< contained adjacency-fetch failures
+  bool degraded = false;  ///< some level fell back to DRAM bottom-up
 };
 
 struct Graph500Output {
@@ -36,6 +38,7 @@ struct Graph500Output {
   SampleStats teps_stats;
   SampleStats edge_stats;
   bool all_validated = false;
+  std::uint64_t degraded_runs = 0;  ///< runs with >= 1 degraded level
 
   /// Median TEPS — the Graph500 score.
   [[nodiscard]] double score() const noexcept { return teps_stats.median; }

@@ -76,6 +76,42 @@ void ChunkCache::insert(const Key& key, std::span<const std::byte> chunk) {
   insertions_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void ChunkCache::set_checksums(const ChunkChecksums* checksums,
+                               int max_refetches) {
+  SEMBFS_EXPECTS(checksums == nullptr ||
+                 checksums->chunk_bytes() == chunk_bytes_);
+  SEMBFS_EXPECTS(max_refetches >= 0);
+  checksums_ = checksums;
+  max_refetches_ = max_refetches;
+}
+
+std::span<const std::byte> ChunkCache::verify_chunk(
+    NvmBackingFile& file, std::uint64_t chunk_index,
+    std::uint64_t chunk_begin, std::span<const std::byte> chunk,
+    std::vector<std::byte>& refetch_buf, std::uint64_t& requests) {
+  const std::optional<std::uint32_t> want =
+      checksums_->expected(file, chunk_index);
+  if (!want.has_value()) return chunk;  // unrecorded chunk: trust it
+  if (ChunkChecksums::crc32(chunk) == *want) return chunk;
+  checksum_failures_.fetch_add(1, std::memory_order_relaxed);
+  // Corrective re-read of just this chunk. A transient device-injected
+  // corruption heals here (the re-read consumes a fresh fault index); a
+  // persistent flip in the backing store exhausts the budget and throws.
+  for (int attempt = 0; attempt < max_refetches_; ++attempt) {
+    refetch_buf.resize(chunk.size());
+    file.read(chunk_begin, std::span<std::byte>{refetch_buf});
+    ++requests;
+    refetches_.fetch_add(1, std::memory_order_relaxed);
+    chunk = std::span<const std::byte>{refetch_buf};
+    if (ChunkChecksums::crc32(chunk) == *want) return chunk;
+    checksum_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  throw NvmIoError("chunk checksum mismatch persists after " +
+                   std::to_string(max_refetches_) +
+                   " re-fetch(es): chunk #" + std::to_string(chunk_index) +
+                   " at byte " + std::to_string(chunk_begin));
+}
+
 std::uint64_t ChunkCache::read(NvmBackingFile& file, std::uint64_t offset,
                                std::span<std::byte> out,
                                std::uint64_t max_miss_request_bytes) {
@@ -113,6 +149,7 @@ std::uint64_t ChunkCache::read(NvmBackingFile& file, std::uint64_t offset,
   // requests of at most `miss_cap` bytes, then insert and deliver.
   std::uint64_t requests = 0;
   std::vector<std::byte> staging;
+  std::vector<std::byte> refetch_buf;
   std::size_t i = 0;
   while (i < missing.size()) {
     std::size_t j = i + 1;
@@ -129,8 +166,12 @@ std::uint64_t ChunkCache::read(NvmBackingFile& file, std::uint64_t offset,
     for (std::size_t k = i; k < j; ++k) {
       const std::uint64_t chunk_begin = missing[k] * cb;
       const std::uint64_t chunk_end = std::min(chunk_begin + cb, file_size);
-      const std::span<const std::byte> chunk{
+      std::span<const std::byte> chunk{
           staging.data() + (chunk_begin - run_begin), chunk_end - chunk_begin};
+      if (checksums_ != nullptr) {
+        chunk = verify_chunk(file, missing[k], chunk_begin, chunk,
+                             refetch_buf, requests);
+      }
       insert(Key{file_id, missing[k]}, chunk);
       const std::uint64_t copy_begin = std::max(chunk_begin, offset);
       const std::uint64_t copy_end =
@@ -150,6 +191,8 @@ ChunkCacheStats ChunkCache::stats() const noexcept {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.checksum_failures = checksum_failures_.load(std::memory_order_relaxed);
+  s.refetches = refetches_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -158,6 +201,8 @@ void ChunkCache::reset_stats() noexcept {
   misses_.store(0, std::memory_order_relaxed);
   evictions_.store(0, std::memory_order_relaxed);
   insertions_.store(0, std::memory_order_relaxed);
+  checksum_failures_.store(0, std::memory_order_relaxed);
+  refetches_.store(0, std::memory_order_relaxed);
 }
 
 void ChunkCache::clear() {

@@ -35,6 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "nvm/chunk_checksums.hpp"
 #include "nvm/nvm_device.hpp"
 
 namespace sembfs {
@@ -45,6 +46,8 @@ struct ChunkCacheStats {
   std::uint64_t misses = 0;      ///< chunk lookups that went to the device
   std::uint64_t evictions = 0;   ///< valid slots reclaimed by the clock
   std::uint64_t insertions = 0;  ///< chunks filled from the device
+  std::uint64_t checksum_failures = 0;  ///< fetched chunks that failed CRC
+  std::uint64_t refetches = 0;   ///< corrective single-chunk re-reads
 
   [[nodiscard]] double hit_rate() const noexcept {
     const std::uint64_t total = hits + misses;
@@ -82,6 +85,18 @@ class ChunkCache {
   std::uint64_t read(NvmBackingFile& file, std::uint64_t offset,
                      std::span<std::byte> out,
                      std::uint64_t max_miss_request_bytes = 0);
+
+  /// Attaches a checksum registry (nullptr detaches). While attached,
+  /// every chunk fetched from the device is verified before insertion; on
+  /// a CRC mismatch the chunk alone is re-fetched up to `max_refetches`
+  /// times (healing transient device corruption) and NvmIoError is thrown
+  /// if it still mismatches (persistent backing-store damage). Chunks the
+  /// registry does not know are delivered unverified. The registry must
+  /// outlive the cache; set before reads begin.
+  void set_checksums(const ChunkChecksums* checksums, int max_refetches = 1);
+  [[nodiscard]] const ChunkChecksums* checksums() const noexcept {
+    return checksums_;
+  }
 
   [[nodiscard]] ChunkCacheStats stats() const noexcept;
   void reset_stats() noexcept;
@@ -124,15 +139,28 @@ class ChunkCache {
   bool lookup(const Key& key, std::uint64_t skip, std::span<std::byte> dst);
   /// Inserts one chunk (evicting via the clock if the shard is full).
   void insert(const Key& key, std::span<const std::byte> chunk);
+  /// Verifies one fetched chunk against the attached registry, re-fetching
+  /// it from `file` on mismatch. Returns the (possibly replaced) chunk
+  /// bytes — `refetch_buf` provides storage for the replacement — and adds
+  /// re-fetch device requests to `requests`. Throws NvmIoError when the
+  /// chunk still mismatches after max_refetches_ re-reads.
+  std::span<const std::byte> verify_chunk(
+      NvmBackingFile& file, std::uint64_t chunk_index,
+      std::uint64_t chunk_begin, std::span<const std::byte> chunk,
+      std::vector<std::byte>& refetch_buf, std::uint64_t& requests);
 
   std::uint32_t chunk_bytes_;
   std::size_t capacity_bytes_;
+  const ChunkChecksums* checksums_ = nullptr;
+  int max_refetches_ = 1;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> checksum_failures_{0};
+  std::atomic<std::uint64_t> refetches_{0};
 };
 
 }  // namespace sembfs

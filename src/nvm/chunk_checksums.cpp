@@ -1,0 +1,69 @@
+#include "nvm/chunk_checksums.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace
+
+ChunkChecksums::ChunkChecksums(std::uint32_t chunk_bytes)
+    : chunk_bytes_(chunk_bytes) {
+  SEMBFS_EXPECTS(chunk_bytes > 0);
+}
+
+std::uint32_t ChunkChecksums::crc32(std::span<const std::byte> data) {
+  std::uint32_t c = 0xffffffffu;
+  for (const std::byte b : data)
+    c = kCrc32Table[(c ^ static_cast<std::uint8_t>(b)) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+void ChunkChecksums::record_buffer(const NvmBackingFile& file,
+                                   std::uint64_t offset,
+                                   std::span<const std::byte> data) {
+  SEMBFS_EXPECTS(offset % chunk_bytes_ == 0);
+  const auto file_id = reinterpret_cast<std::uintptr_t>(&file);
+  const std::lock_guard<std::mutex> lock{mutex_};
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const std::size_t len =
+        std::min<std::size_t>(chunk_bytes_, data.size() - done);
+    const std::uint64_t chunk = (offset + done) / chunk_bytes_;
+    map_[Key{file_id, chunk}] = crc32(data.subspan(done, len));
+    done += len;
+  }
+}
+
+std::optional<std::uint32_t> ChunkChecksums::expected(
+    const NvmBackingFile& file, std::uint64_t chunk) const {
+  const auto file_id = reinterpret_cast<std::uintptr_t>(&file);
+  const std::lock_guard<std::mutex> lock{mutex_};
+  const auto it = map_.find(Key{file_id, chunk});
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t ChunkChecksums::chunk_count() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return map_.size();
+}
+
+}  // namespace sembfs

@@ -1,0 +1,78 @@
+// Per-chunk CRC32 registry for offloaded NVM files.
+//
+// Checksums are recorded once, at offload time, directly from the
+// in-memory source buffers (no device reads), keyed by (backing file,
+// chunk index) — the same key the ChunkCache uses. The cache verifies
+// every chunk it fetches from the device against this registry, which is
+// what turns a FaultPlan bit-corruption (or a real torn write) from
+// silently wrong BFS output into a detected, re-fetchable event.
+//
+// Tail chunks are hashed over their actual length, matching the fetch
+// granularity (min(chunk boundary, file size)).
+//
+// Thread-safety: record_buffer() may run concurrently with expected()
+// (all accesses take the registry mutex), but in practice recording
+// happens during graph construction, strictly before any BFS reads.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+
+namespace sembfs {
+
+class NvmBackingFile;
+
+class ChunkChecksums {
+ public:
+  explicit ChunkChecksums(std::uint32_t chunk_bytes = 4096);
+
+  ChunkChecksums(const ChunkChecksums&) = delete;
+  ChunkChecksums& operator=(const ChunkChecksums&) = delete;
+
+  [[nodiscard]] std::uint32_t chunk_bytes() const noexcept {
+    return chunk_bytes_;
+  }
+
+  /// Records checksums for `data` as it will land in `file` starting at
+  /// byte `offset` (must be chunk-aligned). The final partial chunk, if
+  /// any, is hashed over its partial length.
+  void record_buffer(const NvmBackingFile& file, std::uint64_t offset,
+                     std::span<const std::byte> data);
+
+  /// The recorded checksum for (file, chunk), or nullopt if that chunk
+  /// was never recorded (verification is skipped for unknown chunks).
+  [[nodiscard]] std::optional<std::uint32_t> expected(
+      const NvmBackingFile& file, std::uint64_t chunk) const;
+
+  [[nodiscard]] std::size_t chunk_count() const;
+
+  /// CRC-32 (IEEE 802.3 polynomial, table-driven).
+  [[nodiscard]] static std::uint32_t crc32(std::span<const std::byte> data);
+
+ private:
+  struct Key {
+    std::uintptr_t file = 0;
+    std::uint64_t chunk = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::uint64_t x =
+          (static_cast<std::uint64_t>(k.file) * 0x9e3779b97f4a7c15ULL) ^
+          k.chunk;
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 27;
+      return static_cast<std::size_t>(x * 0x94d049bb133111ebULL);
+    }
+  };
+
+  std::uint32_t chunk_bytes_;
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, std::uint32_t, KeyHash> map_;
+};
+
+}  // namespace sembfs

@@ -1,0 +1,85 @@
+#include "nvm/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/options.hpp"
+#include "util/prng.hpp"
+
+namespace sembfs {
+
+FaultDecision FaultPlan::decide(std::uint64_t request_index) const {
+  FaultDecision d;
+  d.request_index = request_index;
+  if (fail_after_requests != 0 &&
+      request_index + 1 == fail_after_requests) {
+    d.read_error = true;
+    return d;
+  }
+  if (read_error_rate <= 0.0 && short_read_rate <= 0.0 &&
+      corruption_rate <= 0.0 && latency_spike_rate <= 0.0) {
+    return d;
+  }
+  // One generator per index, draws in fixed order: the decision is a pure
+  // function of (seed, index), independent of which thread asks.
+  Xoroshiro128 rng{derive_seed(seed, request_index)};
+  d.read_error = rng.next_double() < read_error_rate;
+  d.short_read = rng.next_double() < short_read_rate;
+  d.corrupt = rng.next_double() < corruption_rate;
+  d.latency_spike = rng.next_double() < latency_spike_rate;
+  if (d.latency_spike) d.latency_spike_us = latency_spike_us;
+  d.entropy = rng.next();
+  return d;
+}
+
+void FaultPlan::register_options(OptionParser& options) {
+  options.add_int("fault-seed", 1, "fault schedule seed");
+  options.add_double("fault-read-error-rate", 0.0,
+                     "per-read probability of an injected read error");
+  options.add_double("fault-short-read-rate", 0.0,
+                     "per-read probability of a short (tail-zeroed) read");
+  options.add_double("fault-corruption-rate", 0.0,
+                     "per-read probability of a single flipped byte");
+  options.add_double("fault-latency-spike-rate", 0.0,
+                     "per-read probability of a service-time spike");
+  options.add_double("fault-latency-spike-us", 1000.0,
+                     "extra service time per latency spike (microseconds)");
+}
+
+FaultPlan FaultPlan::from_options(const OptionParser& options) {
+  FaultPlan plan;
+  plan.seed = static_cast<std::uint64_t>(options.get_int("fault-seed"));
+  plan.read_error_rate = options.get_double("fault-read-error-rate");
+  plan.short_read_rate = options.get_double("fault-short-read-rate");
+  plan.corruption_rate = options.get_double("fault-corruption-rate");
+  plan.latency_spike_rate = options.get_double("fault-latency-spike-rate");
+  plan.latency_spike_us = options.get_double("fault-latency-spike-us");
+  return plan;
+}
+
+double RetryPolicy::backoff_seconds(int retry) const noexcept {
+  if (retry < 1) return 0.0;
+  const double us =
+      initial_backoff_us * std::pow(backoff_multiplier, retry - 1);
+  return std::min(us, max_backoff_us) * 1e-6;
+}
+
+void RetryPolicy::register_options(OptionParser& options) {
+  options.add_int("io-retry-attempts", 3,
+                  "total tries per scheduled read (1 = no retry)");
+  options.add_double("io-retry-backoff-us", 50.0,
+                     "backoff before the first retry (microseconds)");
+  options.add_double("io-deadline-ms", 0.0,
+                     "per-request deadline (0 = none)");
+}
+
+RetryPolicy RetryPolicy::from_options(const OptionParser& options) {
+  RetryPolicy policy;
+  policy.max_attempts =
+      static_cast<int>(options.get_int("io-retry-attempts"));
+  policy.initial_backoff_us = options.get_double("io-retry-backoff-us");
+  policy.deadline_seconds = options.get_double("io-deadline-ms") * 1e-3;
+  return policy;
+}
+
+}  // namespace sembfs

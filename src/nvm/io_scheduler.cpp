@@ -7,8 +7,10 @@
 
 namespace sembfs {
 
-IoScheduler::IoScheduler(std::size_t queue_depth) {
+IoScheduler::IoScheduler(std::size_t queue_depth, IoSchedulerConfig config)
+    : config_(config) {
   SEMBFS_EXPECTS(queue_depth >= 1 && queue_depth <= 1024);
+  SEMBFS_EXPECTS(config_.retry.max_attempts >= 1);
   workers_.reserve(queue_depth);
   for (std::size_t i = 0; i < queue_depth; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -25,7 +27,7 @@ IoScheduler::~IoScheduler() {
   SEMBFS_ASSERT(queue_.empty() && in_service_ == 0);
 }
 
-std::future<std::uint64_t> IoScheduler::submit_read(
+std::future<IoResult> IoScheduler::submit_read(
     NvmBackingFile& file, std::uint64_t offset, std::span<std::byte> dst,
     ChunkCache* cache, std::uint64_t max_miss_request_bytes) {
   Job job;
@@ -34,15 +36,16 @@ std::future<std::uint64_t> IoScheduler::submit_read(
   job.dst = dst;
   job.cache = cache;
   job.max_miss_request_bytes = max_miss_request_bytes;
-  std::future<std::uint64_t> future = job.promise.get_future();
+  job.submitted_at = std::chrono::steady_clock::now();
+  std::future<IoResult> future = job.promise.get_future();
   enqueue(std::move(job));
   return future;
 }
 
 void IoScheduler::submit_read(
     NvmBackingFile& file, std::uint64_t offset, std::span<std::byte> dst,
-    std::function<void(std::uint64_t, std::exception_ptr)> done,
-    ChunkCache* cache, std::uint64_t max_miss_request_bytes) {
+    std::function<void(const IoResult&)> done, ChunkCache* cache,
+    std::uint64_t max_miss_request_bytes) {
   SEMBFS_EXPECTS(done != nullptr);
   Job job;
   job.file = &file;
@@ -50,6 +53,7 @@ void IoScheduler::submit_read(
   job.dst = dst;
   job.cache = cache;
   job.max_miss_request_bytes = max_miss_request_bytes;
+  job.submitted_at = std::chrono::steady_clock::now();
   job.callback = std::move(done);
   enqueue(std::move(job));
 }
@@ -73,6 +77,83 @@ std::uint64_t IoScheduler::execute(Job& job) {
   return 1;
 }
 
+IoResult IoScheduler::run_job(Job& job) {
+  IoResult result;
+  const RetryPolicy& retry = config_.retry;
+
+  const auto deadline_passed = [&] {
+    if (retry.deadline_seconds <= 0.0) return false;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - job.submitted_at;
+    return elapsed.count() > retry.deadline_seconds;
+  };
+
+  // Fail fast while the error budget is spent: completing the request with
+  // ok=false immediately (no device traffic, no retries) keeps a dying
+  // device from stalling every in-flight consumer at full retry cost.
+  if (error_budget_exhausted()) {
+    result.message = "scheduled read rejected: error budget exhausted";
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++budget_rejected_;
+      ++failures_;
+    }
+    return result;
+  }
+  if (deadline_passed()) {
+    result.message = "scheduled read deadline expired before first attempt";
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++deadline_expired_;
+    ++failures_;
+    return result;
+  }
+
+  for (int attempt = 1; attempt <= retry.max_attempts; ++attempt) {
+    result.attempts = attempt;
+    try {
+      result.requests = execute(job);
+      result.ok = true;
+      return result;
+    } catch (...) {
+      result.error = std::current_exception();
+      try {
+        std::rethrow_exception(result.error);
+      } catch (const std::exception& e) {
+        result.message = e.what();
+      } catch (...) {
+        result.message = "non-standard exception from device read";
+      }
+    }
+    if (attempt == retry.max_attempts) break;
+    // Exponential backoff before the re-issue; give up early if it would
+    // carry the request past its deadline.
+    const double backoff = retry.backoff_seconds(attempt);
+    if (backoff > 0.0)
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    if (deadline_passed()) {
+      result.message = "scheduled read deadline expired after " +
+                       std::to_string(attempt) + " attempt(s): " +
+                       result.message;
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++deadline_expired_;
+      ++failures_;
+      return result;
+    }
+    job.file->record_retry();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++retries_;
+  }
+
+  // Retries exhausted: charge the error budget.
+  result.message = "scheduled read failed after " +
+                   std::to_string(result.attempts) + " attempt(s): " +
+                   result.message;
+  failed_requests_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++failures_;
+  return result;
+}
+
 void IoScheduler::worker_loop() {
   for (;;) {
     Job job;
@@ -85,19 +166,11 @@ void IoScheduler::worker_loop() {
       queue_.pop_front();
       ++in_service_;
     }
-    std::uint64_t requests = 0;
-    std::exception_ptr error;
-    try {
-      requests = execute(job);
-    } catch (...) {
-      error = std::current_exception();
-    }
+    const IoResult result = run_job(job);
     if (job.callback) {
-      job.callback(requests, error);
-    } else if (error) {
-      job.promise.set_exception(error);
+      job.callback(result);
     } else {
-      job.promise.set_value(requests);
+      job.promise.set_value(result);
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -113,6 +186,15 @@ void IoScheduler::drain() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && in_service_ == 0; });
 }
 
+bool IoScheduler::error_budget_exhausted() const noexcept {
+  return failed_requests_.load(std::memory_order_relaxed) >=
+         config_.error_budget;
+}
+
+void IoScheduler::reset_error_budget() noexcept {
+  failed_requests_.store(0, std::memory_order_relaxed);
+}
+
 std::size_t IoScheduler::pending() const noexcept {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size() + in_service_;
@@ -124,6 +206,10 @@ IoSchedulerStats IoScheduler::stats() const noexcept {
   s.submitted = submitted_;
   s.completed = completed_;
   s.peak_pending = peak_pending_;
+  s.retries = retries_;
+  s.failures = failures_;
+  s.deadline_expired = deadline_expired_;
+  s.budget_rejected = budget_rejected_;
   return s;
 }
 

@@ -9,6 +9,11 @@ IoStats::IoStats(std::uint32_t sector_bytes) : sector_bytes_(sector_bytes) {
 }
 
 void IoStats::reset() {
+  read_errors_.store(0, std::memory_order_relaxed);
+  short_reads_.store(0, std::memory_order_relaxed);
+  corruptions_.store(0, std::memory_order_relaxed);
+  latency_spikes_.store(0, std::memory_order_relaxed);
+  retries_.store(0, std::memory_order_relaxed);
   const std::lock_guard<std::mutex> lock{mutex_};
   window_start_ = last_event_ = clock::now();
   in_flight_ = 0;
@@ -49,6 +54,25 @@ void IoStats::on_completion(clock::time_point arrival, std::uint64_t bytes,
   wait_seconds_ += std::chrono::duration<double>(now - arrival).count();
 }
 
+void IoStats::on_read_error() noexcept {
+  read_errors_.fetch_add(1, std::memory_order_relaxed);
+}
+void IoStats::on_short_read() noexcept {
+  short_reads_.fetch_add(1, std::memory_order_relaxed);
+}
+void IoStats::on_corruption() noexcept {
+  corruptions_.fetch_add(1, std::memory_order_relaxed);
+}
+void IoStats::on_latency_spike() noexcept {
+  latency_spikes_.fetch_add(1, std::memory_order_relaxed);
+}
+void IoStats::on_retry() noexcept {
+  retries_.fetch_add(1, std::memory_order_relaxed);
+}
+std::uint64_t IoStats::retry_count() const noexcept {
+  return retries_.load(std::memory_order_relaxed);
+}
+
 IoStatsSnapshot IoStats::snapshot() const {
   const std::lock_guard<std::mutex> lock{mutex_};
   IoStatsSnapshot s;
@@ -59,6 +83,11 @@ IoStatsSnapshot IoStats::snapshot() const {
   s.requests = requests_;
   s.bytes = bytes_;
   s.sectors = sectors_;
+  s.read_errors = read_errors_.load(std::memory_order_relaxed);
+  s.short_reads = short_reads_.load(std::memory_order_relaxed);
+  s.corruptions = corruptions_.load(std::memory_order_relaxed);
+  s.latency_spikes = latency_spikes_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
   s.queue_integral = integral;
   s.elapsed_seconds =
       std::chrono::duration<double>(now - window_start_).count();

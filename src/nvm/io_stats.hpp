@@ -8,6 +8,7 @@
 // sampling, and per-request sector counts give avgrq-sz.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -19,6 +20,12 @@ struct IoStatsSnapshot {
   std::uint64_t requests = 0;
   std::uint64_t bytes = 0;
   std::uint64_t sectors = 0;
+  // Failure-domain counters (FaultPlan injections and recovery work).
+  std::uint64_t read_errors = 0;     ///< injected read errors raised
+  std::uint64_t short_reads = 0;     ///< injected tail-zeroed reads
+  std::uint64_t corruptions = 0;     ///< injected flipped bytes
+  std::uint64_t latency_spikes = 0;  ///< injected service-time spikes
+  std::uint64_t retries = 0;         ///< re-issues recorded by retry layers
   double elapsed_seconds = 0.0;     ///< observation window length
   double busy_seconds = 0.0;        ///< summed service time
   double wait_seconds = 0.0;        ///< summed (queue + service) time
@@ -54,6 +61,17 @@ class IoStats {
   void on_completion(std::chrono::steady_clock::time_point arrival,
                      std::uint64_t bytes, double service_seconds);
 
+  // Failure-domain events. Injected faults are counted at decision time
+  // (an erroring request never reaches on_arrival, see
+  // FaultInjectionTest.StatsNotCorruptedByFailure); retries are recorded
+  // by whichever recovery layer re-issues a request against this device.
+  void on_read_error() noexcept;
+  void on_short_read() noexcept;
+  void on_corruption() noexcept;
+  void on_latency_spike() noexcept;
+  void on_retry() noexcept;
+  [[nodiscard]] std::uint64_t retry_count() const noexcept;
+
   [[nodiscard]] IoStatsSnapshot snapshot() const;
 
   [[nodiscard]] std::uint64_t request_count() const;
@@ -61,6 +79,15 @@ class IoStats {
 
  private:
   void advance_integral_locked(std::chrono::steady_clock::time_point now);
+
+  // Fault/retry counters are atomics outside mutex_: they are touched on
+  // the fault fast path (possibly before any queue accounting) and read
+  // by monitoring threads.
+  std::atomic<std::uint64_t> read_errors_{0};
+  std::atomic<std::uint64_t> short_reads_{0};
+  std::atomic<std::uint64_t> corruptions_{0};
+  std::atomic<std::uint64_t> latency_spikes_{0};
+  std::atomic<std::uint64_t> retries_{0};
 
   mutable std::mutex mutex_;
   std::uint32_t sector_bytes_;

@@ -1,7 +1,7 @@
 #include "nvm/nvm_device.hpp"
 
+#include <algorithm>
 #include <chrono>
-#include <stdexcept>
 #include <thread>
 
 #include "util/contracts.hpp"
@@ -12,14 +12,64 @@ namespace sembfs {
 NvmDevice::NvmDevice(DeviceProfile profile)
     : profile_(std::move(profile)), stats_(profile_.sector_bytes) {}
 
-void NvmDevice::check_injected_failure() {
-  // Fast path: no failure armed.
-  if (fail_countdown_.load(std::memory_order_relaxed) < 0) return;
-  const std::int64_t remaining =
-      fail_countdown_.fetch_sub(1, std::memory_order_acq_rel);
-  if (remaining == 1)
-    throw std::runtime_error(
-        "injected device failure (NvmDevice::inject_failure_after)");
+void NvmDevice::set_fault_plan(const FaultPlan& plan) {
+  {
+    const std::lock_guard<std::mutex> lock{fault_mutex_};
+    plan_ = plan;
+  }
+  fault_sequence_.store(0, std::memory_order_relaxed);
+  // Release: a submitter that observes the armed flag sees the new plan.
+  faults_armed_.store(plan.enabled(), std::memory_order_release);
+}
+
+void NvmDevice::clear_fault_plan() {
+  faults_armed_.store(false, std::memory_order_release);
+  const std::lock_guard<std::mutex> lock{fault_mutex_};
+  plan_ = FaultPlan{};
+}
+
+FaultPlan NvmDevice::fault_plan() const {
+  const std::lock_guard<std::mutex> lock{fault_mutex_};
+  return plan_;
+}
+
+FaultDecision NvmDevice::next_read_fault() {
+  FaultPlan plan;
+  {
+    const std::lock_guard<std::mutex> lock{fault_mutex_};
+    plan = plan_;
+  }
+  // The sequence index — not a decrementing countdown — is what makes the
+  // one-shot fail_after_requests race-free: exactly one request observes
+  // index n-1, no matter how many threads submit concurrently.
+  const std::uint64_t index =
+      fault_sequence_.fetch_add(1, std::memory_order_relaxed);
+  FaultDecision fault = plan.decide(index);
+  if (fault.read_error) {
+    stats_.on_read_error();
+    throw NvmIoError("injected read error (FaultPlan) at device read #" +
+                     std::to_string(index));
+  }
+  if (fault.short_read) stats_.on_short_read();
+  if (fault.corrupt) stats_.on_corruption();
+  if (fault.latency_spike) stats_.on_latency_spike();
+  return fault;
+}
+
+void NvmDevice::apply_buffer_faults(const FaultDecision& fault,
+                                    std::span<std::byte> dst) {
+  if (dst.empty()) return;
+  if (fault.short_read) {
+    // Model a short read: the tail of the transfer never arrives. The cut
+    // point is deterministic per request index; at least one byte is lost.
+    const auto cut = static_cast<std::ptrdiff_t>(fault.entropy % dst.size());
+    std::fill(dst.begin() + cut, dst.end(), std::byte{0});
+  }
+  if (fault.corrupt) {
+    const auto pos =
+        static_cast<std::size_t>((fault.entropy >> 17) % dst.size());
+    dst[pos] ^= std::byte{0x40};
+  }
 }
 
 void NvmDevice::acquire_channel() {
@@ -38,11 +88,11 @@ void NvmDevice::release_channel() {
   channel_cv_.notify_one();
 }
 
-double NvmDevice::serve(std::uint64_t bytes,
+double NvmDevice::serve(std::uint64_t bytes, double extra_seconds,
                         const std::function<void()>& io) {
   Timer t;
   io();
-  const double target = profile_.service_seconds(bytes);
+  const double target = profile_.service_seconds(bytes) + extra_seconds;
   const double remaining = target - t.seconds();
   if (remaining > 0.0) {
     // sleep_for granularity (~50 us on Linux) is coarse for sub-100 us
@@ -71,8 +121,8 @@ NvmFile::NvmFile(std::shared_ptr<NvmDevice> device, StorageFile file)
 }
 
 void NvmFile::read(std::uint64_t offset, std::span<std::byte> buffer) {
-  device_->submit(buffer.size(),
-                  [&] { file_.pread_exact(offset, buffer); });
+  device_->submit_read(buffer,
+                       [&] { file_.pread_exact(offset, buffer); });
 }
 
 void NvmFile::write(std::uint64_t offset,

@@ -8,11 +8,17 @@
 // makes the Figure 12/13 per-device iostat metrics meaningful.
 //
 // Read path per request:
+//   0. fault decision — when a FaultPlan is armed, the read consumes one
+//      fault-sequence index; an injected read error throws NvmIoError here,
+//      BEFORE the request enters the queue accounting
 //   1. arrive  — request joins the device queue (IoStats integral grows)
 //   2. acquire — waits for one of profile.channels service slots
 //   3. service — real pread(2) from the backing file, then a simulated
 //                delay for the remainder of the modeled service time
-//   4. depart  — slot released, counters updated
+//                (plus the fault plan's latency spike, when drawn)
+//   4. depart  — slot released, counters updated; injected buffer faults
+//                (bit corruption / short read) are applied to the
+//                destination during service
 #pragma once
 
 #include <atomic>
@@ -25,6 +31,7 @@
 #include <string>
 
 #include "nvm/device_profile.hpp"
+#include "nvm/fault_plan.hpp"
 #include "nvm/io_stats.hpp"
 #include "nvm/storage_file.hpp"
 
@@ -43,48 +50,114 @@ class NvmDevice {
   [[nodiscard]] IoStats& stats() noexcept { return stats_; }
   [[nodiscard]] const IoStats& stats() const noexcept { return stats_; }
 
-  /// Fault injection (tests / failure-handling validation): the request
-  /// `requests_from_now` submissions in the future throws
-  /// std::runtime_error instead of performing I/O. One-shot; counts down
-  /// across all files on the device. Pass 1 to fail the very next request.
-  void inject_failure_after(std::uint64_t requests_from_now) noexcept {
-    fail_countdown_.store(static_cast<std::int64_t>(requests_from_now),
-                          std::memory_order_relaxed);
+  /// Arms `plan` and resets the read fault sequence to index 0: the next
+  /// READ request consumes index 0, the one after index 1, and so on.
+  /// Writes never consume fault indices. Thread-safe against concurrent
+  /// submitters.
+  void set_fault_plan(const FaultPlan& plan);
+  /// Disarms fault injection.
+  void clear_fault_plan();
+  [[nodiscard]] bool fault_plan_active() const noexcept {
+    return faults_armed_.load(std::memory_order_acquire);
   }
-  /// Cancels a pending injected failure.
-  void clear_injected_failure() noexcept {
-    fail_countdown_.store(-1, std::memory_order_relaxed);
+  [[nodiscard]] FaultPlan fault_plan() const;
+  /// Read requests decided since the plan was armed.
+  [[nodiscard]] std::uint64_t fault_sequence_index() const noexcept {
+    return fault_sequence_.load(std::memory_order_relaxed);
   }
 
-  /// One modeled request of `bytes` around the real I/O in `io`.
-  /// Exposed for NvmFile; not intended for direct use.
+  /// Legacy one-shot hook (tests / failure-handling validation), now a
+  /// thin wrapper over the FaultPlan: the READ request
+  /// `requests_from_now` submissions in the future throws NvmIoError
+  /// exactly once. Pass 1 to fail the very next read.
+  void inject_failure_after(std::uint64_t requests_from_now) {
+    FaultPlan plan;
+    plan.fail_after_requests = requests_from_now;
+    set_fault_plan(plan);
+  }
+  /// Cancels a pending injected failure.
+  void clear_injected_failure() { clear_fault_plan(); }
+
+  /// One modeled request of `bytes` around the real I/O in `io` (write /
+  /// opaque path: no fault injection). Exposed for NvmFile; not intended
+  /// for direct use.
   template <typename Io>
   void submit(std::uint64_t bytes, Io&& io) {
-    check_injected_failure();
-    if (profile_.is_instant()) {
-      const auto arrival = stats_.on_arrival();
+    run_request(bytes, 0.0, std::forward<Io>(io));
+  }
+
+  /// One modeled READ request delivering into `dst`. Consumes one fault
+  /// sequence index when a plan is armed: may throw NvmIoError (read
+  /// error), extend the service time (latency spike), or mutate `dst`
+  /// after the real I/O (bit corruption / short read).
+  template <typename Io>
+  void submit_read(std::span<std::byte> dst, Io&& io) {
+    if (!faults_armed_.load(std::memory_order_acquire)) {
+      run_request(dst.size(), 0.0, std::forward<Io>(io));
+      return;
+    }
+    const FaultDecision fault = next_read_fault();  // throws on read error
+    if (!fault.any()) {
+      run_request(dst.size(), 0.0, std::forward<Io>(io));
+      return;
+    }
+    run_request(dst.size(), fault.latency_spike_us * 1e-6, [&] {
       io();
+      apply_buffer_faults(fault, dst);
+    });
+  }
+
+ private:
+  template <typename Io>
+  void run_request(std::uint64_t bytes, double extra_service_seconds,
+                   Io&& io) {
+    const auto arrival = stats_.on_arrival();
+    if (profile_.is_instant() && extra_service_seconds <= 0.0) {
+      try {
+        io();
+      } catch (...) {
+        // The failed request still occupied the queue; complete it with
+        // zero payload so in-flight accounting cannot leak.
+        stats_.on_completion(arrival, 0, 0.0);
+        throw;
+      }
       stats_.on_completion(arrival, bytes, 0.0);
       return;
     }
-    const auto arrival = stats_.on_arrival();
     acquire_channel();
-    const double service = serve(bytes, std::forward<Io>(io));
+    double service = 0.0;
+    try {
+      service = serve(bytes, extra_service_seconds, io);
+    } catch (...) {
+      release_channel();
+      stats_.on_completion(arrival, 0, 0.0);
+      throw;
+    }
     release_channel();
     stats_.on_completion(arrival, bytes, service);
   }
 
- private:
   void acquire_channel();
   void release_channel();
-  /// Runs `io`, pads to the modeled service time, returns seconds spent.
-  double serve(std::uint64_t bytes, const std::function<void()>& io);
-  /// Throws when an injected failure's countdown hits zero.
-  void check_injected_failure();
+  /// Runs `io`, pads to the modeled service time plus `extra_seconds`,
+  /// returns seconds spent.
+  double serve(std::uint64_t bytes, double extra_seconds,
+               const std::function<void()>& io);
+  /// Consumes the next fault-sequence index and returns its decision;
+  /// counts the drawn faults in IoStats and throws NvmIoError on an
+  /// injected read error.
+  FaultDecision next_read_fault();
+  /// Applies corruption / short-read mutations to the delivered buffer.
+  static void apply_buffer_faults(const FaultDecision& fault,
+                                  std::span<std::byte> dst);
 
   DeviceProfile profile_;
   IoStats stats_;
-  std::atomic<std::int64_t> fail_countdown_{-1};
+
+  std::atomic<bool> faults_armed_{false};
+  std::atomic<std::uint64_t> fault_sequence_{0};
+  mutable std::mutex fault_mutex_;  // guards plan_ (armed flag is atomic)
+  FaultPlan plan_;
 
   std::mutex channel_mutex_;
   std::condition_variable channel_cv_;
@@ -105,6 +178,9 @@ class NvmBackingFile {
   virtual void write(std::uint64_t offset,
                      std::span<const std::byte> buffer) = 0;
   [[nodiscard]] virtual std::uint64_t size() const = 0;
+  /// Records one retry of a failed read against this store's device(s) —
+  /// called by recovery layers (IoScheduler) so IoStats sees retry work.
+  virtual void record_retry() noexcept {}
 };
 
 /// A file stored on a simulated NVM device. All I/O is routed through the
@@ -133,6 +209,8 @@ class NvmFile final : public NvmBackingFile {
   /// Writes buffer.size() bytes at `offset` as one device request.
   void write(std::uint64_t offset,
              std::span<const std::byte> buffer) override;
+
+  void record_retry() noexcept override { device_->stats().on_retry(); }
 
   /// Appends at the tracked logical end; returns the write offset.
   std::uint64_t append(std::span<const std::byte> buffer);

@@ -38,6 +38,12 @@ class StripedNvmFile final : public NvmBackingFile {
   void write(std::uint64_t offset,
              std::span<const std::byte> buffer) override;
   [[nodiscard]] std::uint64_t size() const override;
+  /// Recorded once per stripe device: which stripes a retried logical
+  /// read actually re-touches is not tracked, and a uniform count keeps
+  /// the per-device retry counters comparable.
+  void record_retry() noexcept override {
+    for (auto& stripe : stripes_) stripe->record_retry();
+  }
 
  private:
   /// Invokes op(file_index, file_offset, lo, len) for each stripe-piece of

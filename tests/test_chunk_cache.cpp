@@ -164,6 +164,71 @@ TEST_F(ChunkCacheTest, DistinguishesFiles) {
   remove_file_if_exists(other_path);
 }
 
+TEST_F(ChunkCacheTest, ChecksumDetectsPersistentCorruptionAndThrows) {
+  ChunkChecksums checksums;
+  checksums.record_buffer(*file_, 0,
+                          std::as_bytes(std::span<const char>{payload_}));
+
+  // Damage the backing store itself (a torn write, not a transient device
+  // glitch): every re-fetch sees the same wrong byte.
+  const char bad = static_cast<char>(payload_[5000] ^ 0x40);
+  file_->write(5000, std::as_bytes(std::span<const char>{&bad, 1}));
+
+  ChunkCache cache{1 << 20};
+  cache.set_checksums(&checksums, /*max_refetches=*/2);
+  std::vector<std::byte> out(3 * 4096);  // chunks 0..2; byte 5000 is chunk 1
+  EXPECT_THROW(cache.read(*file_, 0, out), NvmIoError);
+
+  const ChunkCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.checksum_failures, 3u);  // initial + 2 failed re-fetches
+  EXPECT_EQ(stats.refetches, 2u);
+}
+
+TEST_F(ChunkCacheTest, ChecksumHealsTransientDeviceCorruption) {
+  ChunkChecksums checksums;
+  checksums.record_buffer(*file_, 0,
+                          std::as_bytes(std::span<const char>{payload_}));
+
+  // A plan whose fault sequence corrupts read #0 but not read #1: the
+  // cold fetch delivers a flipped byte, the corrective re-fetch is clean.
+  FaultPlan plan;
+  plan.corruption_rate = 0.5;
+  for (plan.seed = 1;
+       !(plan.decide(0).corrupt && !plan.decide(1).corrupt); ++plan.seed) {
+  }
+  device_->set_fault_plan(plan);
+
+  ChunkCache cache{1 << 20};
+  cache.set_checksums(&checksums, /*max_refetches=*/1);
+  std::vector<std::byte> out(4096);  // one chunk = one faulted device read
+  const std::uint64_t requests = cache.read(*file_, 0, out);
+  expect_bytes(out, 0);  // healed: the caller never sees the flip
+  EXPECT_EQ(requests, 2u);  // cold fetch + corrective re-fetch
+
+  const ChunkCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.checksum_failures, 1u);
+  EXPECT_EQ(stats.refetches, 1u);
+
+  // The healed chunk was inserted; the warm read is clean and free.
+  device_->clear_fault_plan();
+  EXPECT_EQ(cache.read(*file_, 0, out), 0u);
+  expect_bytes(out, 0);
+}
+
+TEST_F(ChunkCacheTest, UnrecordedChunksAreDeliveredUnverified) {
+  // An attached but empty registry must not reject (or re-fetch) chunks it
+  // never recorded — verification is strictly opt-in per chunk.
+  ChunkChecksums checksums;
+  ChunkCache cache{1 << 20};
+  cache.set_checksums(&checksums);
+  std::vector<std::byte> out(8192);
+  cache.read(*file_, 0, out);
+  expect_bytes(out, 0);
+  const ChunkCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.checksum_failures, 0u);
+  EXPECT_EQ(stats.refetches, 0u);
+}
+
 TEST_F(ChunkCacheTest, ConcurrentReadersSeeConsistentData) {
   ChunkCache cache{8 * 4096, 4096, 4};  // small: forces races on eviction
   constexpr int kThreads = 8;

@@ -1,11 +1,14 @@
-// Failure injection: a device error anywhere in the semi-external read
-// path must surface as an exception to the caller — including out of the
-// parallel BFS — and must leave the pool and the device usable afterwards.
+// Failure injection: a device error in the semi-external read path must
+// surface as an exception from direct reads, and the parallel BFS must
+// contain it — degrading the level to the DRAM bottom-up direction when a
+// backward graph is attached, throwing when there is nothing to fall back
+// to — leaving the pool and the device usable afterwards.
 #include <gtest/gtest.h>
 
 #include <filesystem>
 
 #include "bfs/hybrid_bfs.hpp"
+#include "bfs/session.hpp"
 #include "graph_fixtures.hpp"
 #include "nvm/external_array.hpp"
 
@@ -78,7 +81,7 @@ TEST_F(FaultInjectionTest, ExternalArrayReadPropagates) {
   EXPECT_THROW(arr.read(0, out), std::runtime_error);
 }
 
-TEST_F(FaultInjectionTest, ParallelBfsSurfacesDeviceErrorAndRecovers) {
+TEST_F(FaultInjectionTest, ParallelBfsDegradesOnDeviceErrorAndRecovers) {
   const EdgeList edges =
       generate_kronecker(fixtures::small_kronecker(10, 8, 201), pool_);
   const VertexPartition partition{edges.vertex_count(), 4};
@@ -101,14 +104,67 @@ TEST_F(FaultInjectionTest, ParallelBfsSurfacesDeviceErrorAndRecovers) {
   // A healthy run first (also warms the path).
   const BfsResult healthy = runner.run(root, config);
   ASSERT_GT(healthy.nvm_requests, 100u);
+  EXPECT_FALSE(healthy.degraded);
 
-  // Fail mid-traversal: the exception crosses the thread pool cleanly.
+  // Fail mid-traversal: the error no longer crosses the thread pool — the
+  // step contains it, the level is completed via the DRAM bottom-up
+  // direction, and the run finishes with the degraded flag set. The
+  // one-shot fails exactly one fetch, so exactly one level degrades.
   device_->inject_failure_after(healthy.nvm_requests / 2);
-  EXPECT_THROW(runner.run(root, config), std::runtime_error);
+  const BfsResult degraded = runner.run(root, config);
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_EQ(degraded.degraded_levels, 1);
+  EXPECT_GE(degraded.io_failures, 1u);
+  // Degradation trades the I/O pattern, never the answer.
+  EXPECT_EQ(degraded.visited, healthy.visited);
+  EXPECT_EQ(degraded.level, healthy.level);
+  std::int32_t degraded_level_count = 0;
+  for (const LevelStats& ls : degraded.levels)
+    if (ls.degraded) ++degraded_level_count;
+  EXPECT_EQ(degraded_level_count, 1);
 
-  // And the runner/pool/device all remain usable.
+  // And the runner/pool/device all remain usable, undegraded.
+  device_->clear_fault_plan();
   const BfsResult after = runner.run(root, config);
+  EXPECT_FALSE(after.degraded);
   EXPECT_EQ(after.level, healthy.level);
+}
+
+TEST_F(FaultInjectionTest, DegradationWithoutBackwardGraphThrows) {
+  // With no backward graph attached there is nothing to degrade to; the
+  // failure must still surface instead of returning a truncated tree. The
+  // runner refuses forward-only storage outright, so drive a BfsSession —
+  // the one entry point that accepts it (k-hop use).
+  const EdgeList edges =
+      generate_kronecker(fixtures::small_kronecker(9, 8, 205), pool_);
+  const VertexPartition partition{edges.vertex_count(), 2};
+  const ForwardGraph forward =
+      ForwardGraph::build(edges, partition, CsrBuildOptions{}, pool_);
+  ExternalForwardGraph external{forward, device_, dir_ + "/fg"};
+
+  GraphStorage storage;
+  storage.forward_external = &external;
+  const NumaTopology topology{2, 1};
+
+  Vertex root = 0;
+  while (forward.partition(0).neighbors(root).empty() &&
+         forward.partition(1).neighbors(root).empty())
+    ++root;
+  BfsConfig config;
+  config.mode = BfsMode::TopDownOnly;
+
+  BfsStatus healthy_status{edges.vertex_count()};
+  BfsSession healthy{storage, topology, pool_, healthy_status, root, config};
+  while (healthy.step()) {
+  }
+  const std::uint64_t requests = healthy.snapshot_result().nvm_requests;
+  ASSERT_GT(requests, 20u);
+
+  device_->inject_failure_after(requests / 2);
+  BfsStatus faulted_status{edges.vertex_count()};
+  BfsSession faulted{storage, topology, pool_, faulted_status, root, config};
+  EXPECT_THROW(
+      while (faulted.step()) {}, NvmIoError);
 }
 
 TEST_F(FaultInjectionTest, StatsNotCorruptedByFailure) {

@@ -1,0 +1,241 @@
+// FaultPlan: the deterministic fault schedule behind the NVM failure
+// domain. The load-bearing property is purity — decide(i) depends only on
+// (plan, i) — because the differential sweep reproduces failures from a
+// printed seed, which only works if the faulted index SET is independent
+// of thread scheduling. The device-level cases pin down how each fault
+// kind manifests on a real read and which IoStats counter it bumps.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <vector>
+
+#include "nvm/fault_plan.hpp"
+#include "nvm/nvm_device.hpp"
+
+namespace sembfs {
+namespace {
+
+FaultPlan lossy_plan(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.read_error_rate = 0.05;
+  plan.short_read_rate = 0.05;
+  plan.corruption_rate = 0.05;
+  plan.latency_spike_rate = 0.05;
+  return plan;
+}
+
+TEST(FaultPlanTest, DecideIsPureAndDeterministic) {
+  const FaultPlan plan = lossy_plan(42);
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    const FaultDecision a = plan.decide(i);
+    const FaultDecision b = plan.decide(i);
+    EXPECT_EQ(a.request_index, i);
+    EXPECT_EQ(a.read_error, b.read_error) << "index " << i;
+    EXPECT_EQ(a.short_read, b.short_read) << "index " << i;
+    EXPECT_EQ(a.corrupt, b.corrupt) << "index " << i;
+    EXPECT_EQ(a.latency_spike, b.latency_spike) << "index " << i;
+    EXPECT_EQ(a.entropy, b.entropy) << "index " << i;
+  }
+}
+
+TEST(FaultPlanTest, DifferentSeedsProduceDifferentFaultSets) {
+  const FaultPlan a = lossy_plan(1);
+  const FaultPlan b = lossy_plan(2);
+  std::set<std::uint64_t> faults_a;
+  std::set<std::uint64_t> faults_b;
+  for (std::uint64_t i = 0; i < 4000; ++i) {
+    if (a.decide(i).any()) faults_a.insert(i);
+    if (b.decide(i).any()) faults_b.insert(i);
+  }
+  EXPECT_FALSE(faults_a.empty());
+  EXPECT_FALSE(faults_b.empty());
+  EXPECT_NE(faults_a, faults_b);
+}
+
+TEST(FaultPlanTest, RatesApproximateObservedFrequency) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.read_error_rate = 0.1;
+  int errors = 0;
+  constexpr int kDraws = 10000;
+  for (std::uint64_t i = 0; i < kDraws; ++i)
+    if (plan.decide(i).read_error) ++errors;
+  // Wide 3-sigma-ish band: the point is the rate is honored, not exact.
+  EXPECT_GT(errors, kDraws / 20);      // > 5%
+  EXPECT_LT(errors, 3 * kDraws / 20);  // < 15%
+}
+
+TEST(FaultPlanTest, OneShotFiresAtExactlyOneIndex) {
+  FaultPlan plan;
+  plan.fail_after_requests = 5;
+  EXPECT_TRUE(plan.enabled());
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const FaultDecision d = plan.decide(i);
+    EXPECT_EQ(d.read_error, i == 4) << "index " << i;
+    EXPECT_FALSE(d.short_read);
+    EXPECT_FALSE(d.corrupt);
+    EXPECT_FALSE(d.latency_spike);
+  }
+}
+
+TEST(FaultPlanTest, DefaultPlanIsDisabledAndNeverFaults) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  for (std::uint64_t i = 0; i < 1000; ++i)
+    EXPECT_FALSE(plan.decide(i).any());
+}
+
+TEST(FaultPlanTest, BackoffGrowsGeometricallyToTheCap) {
+  RetryPolicy policy;
+  policy.initial_backoff_us = 100.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_us = 350.0;
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(0), 0.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(1), 100e-6);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(2), 200e-6);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(3), 350e-6);  // capped, not 400
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(9), 350e-6);
+}
+
+class FaultPlanDeviceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/sembfs_fault_plan_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    device_ = std::make_shared<NvmDevice>(DeviceProfile::dram());
+    file_ = std::make_unique<NvmFile>(device_, dir_ + "/data.bin");
+    payload_.resize(kBytes);
+    for (std::size_t i = 0; i < kBytes; ++i)
+      payload_[i] = static_cast<std::byte>(0x11 + i % 200);
+    file_->write(0, payload_);
+  }
+  void TearDown() override {
+    file_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::vector<std::byte> read_back() {
+    std::vector<std::byte> out(kBytes);
+    file_->read(0, out);
+    return out;
+  }
+
+  static constexpr std::size_t kBytes = 64;
+  std::string dir_;
+  std::shared_ptr<NvmDevice> device_;
+  std::unique_ptr<NvmFile> file_;
+  std::vector<std::byte> payload_;
+};
+
+TEST_F(FaultPlanDeviceTest, CorruptionFlipsExactlyOneByte) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.corruption_rate = 1.0;
+  device_->set_fault_plan(plan);
+
+  const std::vector<std::byte> got = read_back();
+  std::size_t diffs = 0;
+  std::size_t flipped = kBytes;
+  for (std::size_t i = 0; i < kBytes; ++i) {
+    if (got[i] != payload_[i]) {
+      ++diffs;
+      flipped = i;
+    }
+  }
+  ASSERT_EQ(diffs, 1u);
+  EXPECT_EQ(got[flipped], payload_[flipped] ^ std::byte{0x40});
+  // The flip position is the plan's decision for index 0, not chance.
+  EXPECT_EQ(flipped, static_cast<std::size_t>(
+                         (plan.decide(0).entropy >> 17) % kBytes));
+  EXPECT_EQ(device_->stats().snapshot().corruptions, 1u);
+}
+
+TEST_F(FaultPlanDeviceTest, ShortReadZeroesTheTailOnly) {
+  FaultPlan plan;
+  plan.seed = 17;
+  plan.short_read_rate = 1.0;
+  device_->set_fault_plan(plan);
+
+  const auto cut =
+      static_cast<std::size_t>(plan.decide(0).entropy % kBytes);
+  const std::vector<std::byte> got = read_back();
+  for (std::size_t i = 0; i < cut; ++i)
+    EXPECT_EQ(got[i], payload_[i]) << "head byte " << i;
+  for (std::size_t i = cut; i < kBytes; ++i)
+    EXPECT_EQ(got[i], std::byte{0}) << "tail byte " << i;
+  EXPECT_EQ(device_->stats().snapshot().short_reads, 1u);
+}
+
+TEST_F(FaultPlanDeviceTest, ReadErrorThrowsNvmIoErrorAndCounts) {
+  FaultPlan plan;
+  plan.read_error_rate = 1.0;
+  device_->set_fault_plan(plan);
+  EXPECT_THROW(read_back(), NvmIoError);
+  EXPECT_EQ(device_->stats().snapshot().read_errors, 1u);
+}
+
+TEST_F(FaultPlanDeviceTest, LatencySpikeExtendsServiceTimeAndCounts) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.latency_spike_rate = 1.0;
+  plan.latency_spike_us = 2000.0;
+  device_->set_fault_plan(plan);
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<std::byte> got = read_back();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(got, payload_);  // a spike delays, never mutates
+  EXPECT_GE(elapsed, 1.5e-3);
+  EXPECT_EQ(device_->stats().snapshot().latency_spikes, 1u);
+}
+
+TEST_F(FaultPlanDeviceTest, WritesDoNotConsumeFaultSequenceIndices) {
+  FaultPlan plan;
+  plan.fail_after_requests = 1000;  // armed but harmless
+  device_->set_fault_plan(plan);
+
+  (void)read_back();
+  file_->write(0, payload_);
+  file_->write(0, payload_);
+  (void)read_back();
+  EXPECT_EQ(device_->fault_sequence_index(), 2u);
+}
+
+TEST_F(FaultPlanDeviceTest, RearmingResetsTheFaultSequence) {
+  FaultPlan plan;
+  plan.fail_after_requests = 1000;
+  device_->set_fault_plan(plan);
+  (void)read_back();
+  (void)read_back();
+  EXPECT_EQ(device_->fault_sequence_index(), 2u);
+
+  device_->set_fault_plan(plan);
+  EXPECT_EQ(device_->fault_sequence_index(), 0u);
+  EXPECT_TRUE(device_->fault_plan_active());
+
+  device_->clear_fault_plan();
+  EXPECT_FALSE(device_->fault_plan_active());
+}
+
+TEST_F(FaultPlanDeviceTest, ClearedPlanStopsAllInjection) {
+  FaultPlan plan;
+  plan.read_error_rate = 1.0;
+  plan.corruption_rate = 1.0;
+  device_->set_fault_plan(plan);
+  device_->clear_fault_plan();
+  EXPECT_EQ(read_back(), payload_);
+  const IoStatsSnapshot s = device_->stats().snapshot();
+  EXPECT_EQ(s.read_errors, 0u);
+  EXPECT_EQ(s.corruptions, 0u);
+}
+
+}  // namespace
+}  // namespace sembfs
