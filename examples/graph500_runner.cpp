@@ -9,6 +9,9 @@
 #include <cstdio>
 
 #include "graph500/benchmark.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/format.hpp"
 #include "util/options.hpp"
 
@@ -48,12 +51,30 @@ int main(int argc, char** argv) {
   options.add_int("io-error-budget", 0,
                   "hard fetch failures tolerated per top-down level before "
                   "falling back to DRAM bottom-up");
+  options.add_string("metrics-out", "",
+                     "write the metrics registry as JSON to this path "
+                     "(enables metrics collection)");
+  options.add_string("metrics-csv", "",
+                     "write the metrics registry as CSV to this path "
+                     "(enables metrics collection)");
+  options.add_string("trace-out", "",
+                     "write per-level trace spans as JSON to this path "
+                     "(enables metrics collection)");
   FaultPlan::register_options(options);
   RetryPolicy::register_options(options);
   if (!options.parse(argc, argv)) return options.help_requested() ? 0 : 1;
 
   ThreadPool& pool =
       default_pool(static_cast<std::size_t>(options.get_int("threads")));
+
+  const std::string metrics_out = options.get_string("metrics-out");
+  const std::string metrics_csv = options.get_string("metrics-csv");
+  const std::string trace_out = options.get_string("trace-out");
+  obs::TraceLog trace_log;
+  if (!metrics_out.empty() || !metrics_csv.empty() || !trace_out.empty()) {
+    obs::metrics().reset();  // this run's numbers only
+    obs::set_enabled(true);
+  }
 
   BenchmarkConfig config;
   config.instance.kronecker.scale =
@@ -83,6 +104,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(options.get_int("io-error-budget"));
   config.bfs.io_retry = RetryPolicy::from_options(options);
   config.fault_plan = FaultPlan::from_options(options);
+  if (!trace_out.empty()) config.bfs.trace = &trace_log;
 
   const std::string mode = options.get_string("mode");
   if (mode == "hybrid")
@@ -127,5 +149,25 @@ int main(int argc, char** argv) {
   }
   std::printf("score (median TEPS): %s\n",
               format_teps(run.output.score()).c_str());
-  return run.output.all_validated ? 0 : 1;
+
+  bool exports_ok = true;
+  if (!metrics_out.empty() &&
+      !obs::write_metrics_json(obs::metrics(), metrics_out)) {
+    std::fprintf(stderr, "failed to write metrics JSON to %s\n",
+                 metrics_out.c_str());
+    exports_ok = false;
+  }
+  if (!metrics_csv.empty() &&
+      !obs::write_metrics_csv(obs::metrics(), metrics_csv)) {
+    std::fprintf(stderr, "failed to write metrics CSV to %s\n",
+                 metrics_csv.c_str());
+    exports_ok = false;
+  }
+  if (!trace_out.empty() &&
+      !obs::write_trace_json(trace_log, trace_out)) {
+    std::fprintf(stderr, "failed to write trace JSON to %s\n",
+                 trace_out.c_str());
+    exports_ok = false;
+  }
+  return run.output.all_validated && exports_ok ? 0 : 1;
 }

@@ -22,6 +22,10 @@
 #include "numa/topology.hpp"
 #include "parallel/thread_pool.hpp"
 
+namespace sembfs::obs {
+class TraceLog;
+}  // namespace sembfs::obs
+
 namespace sembfs {
 
 enum class BfsMode {
@@ -65,6 +69,11 @@ struct BfsConfig {
   /// re-fetching corrupted chunks. Off by default so the fault-free
   /// benchmark path pays no checksum cost.
   bool verify_chunk_checksums = false;
+  /// When non-null, the session appends one obs::TraceSpan per executed
+  /// level (LevelStats + the PolicyInput the switch policy saw + its
+  /// decision). The log must outlive every session using it. nullptr (the
+  /// default) records nothing and costs nothing.
+  obs::TraceLog* trace = nullptr;
 };
 
 /// Which concrete storage backs each side of the traversal. Exactly one

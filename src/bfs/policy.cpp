@@ -25,8 +25,14 @@ Direction decide_edge_ratio(const SwitchPolicy& p, const PolicyInput& in) {
       return Direction::BottomUp;
     return Direction::TopDown;
   }
-  if (static_cast<double>(in.cur_frontier) <
-      static_cast<double>(in.n_all) / p.beta)
+  // Same Section III-C precondition as the frontier-ratio rule: only leave
+  // bottom-up once the frontier is SHRINKING. Without it, a still-growing
+  // frontier that merely starts below n/beta (common right after an early
+  // TD->BU switch on a skewed graph) bounces straight back to top-down at
+  // peak frontier width.
+  const bool shrinking = in.cur_frontier < in.prev_frontier;
+  if (shrinking && static_cast<double>(in.cur_frontier) <
+                       static_cast<double>(in.n_all) / p.beta)
     return Direction::TopDown;
   return Direction::BottomUp;
 }

@@ -8,8 +8,11 @@
 //
 // Beamer's original edge-count heuristic (SC'12) is provided as an
 // extension for the ablation bench: switch TD->BU when m_f > m_u / alpha_b
-// and BU->TD when n_f < n / beta_b, where m_f = edges incident to the
-// frontier and m_u = edges incident to unvisited vertices.
+// and BU->TD when the frontier is SHRINKING and n_f < n / beta_b, where
+// m_f = edges incident to the frontier and m_u = edges incident to
+// unvisited vertices. The shrinking precondition on the BU->TD edge is the
+// same Section III-C guard the frontier-ratio rule applies — both rules
+// must refuse to switch back while the frontier is still growing.
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,8 @@
 #include "bfs/session.hpp"
 
+#include <algorithm>
+
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/contracts.hpp"
 #include "util/timer.hpp"
@@ -14,9 +17,27 @@ BfsSession::BfsSession(GraphStorage storage, const NumaTopology& topology,
       pool_(pool),
       status_(&status),
       config_(config),
-      root_(root) {
+      root_(root),
+      obs_levels_(&obs::metrics().counter("bfs.levels")),
+      obs_top_down_levels_(&obs::metrics().counter("bfs.top_down_levels")),
+      obs_bottom_up_levels_(&obs::metrics().counter("bfs.bottom_up_levels")),
+      obs_degraded_levels_(&obs::metrics().counter("bfs.degraded_levels")),
+      obs_direction_switches_(
+          &obs::metrics().counter("bfs.direction_switches")),
+      obs_io_failures_(&obs::metrics().counter("bfs.io_failures")),
+      obs_level_us_(&obs::metrics().histogram("bfs.level_us")) {
   const Vertex n = storage_.vertex_count();
   SEMBFS_EXPECTS(root >= 0 && root < n);
+  if (config_.trace != nullptr) trace_run_ = config_.trace->begin_run(root);
+  if (obs::enabled()) {
+    // Label pool workers with their emulated NUMA nodes so parallel-region
+    // step times land in per-node histograms (pool.node<k>.step_us).
+    std::vector<std::size_t> nodes(pool_.size());
+    for (std::size_t w = 0; w < nodes.size(); ++w)
+      nodes[w] = std::min(topology_.node_of_worker(w),
+                          topology_.node_count() - 1);
+    pool_.set_worker_nodes(nodes);
+  }
   status_->reset(root);
   direction_ = config_.mode == BfsMode::BottomUpOnly ? Direction::BottomUp
                                                      : Direction::TopDown;
@@ -40,6 +61,9 @@ bool BfsSession::step() {
   }
 
   const std::int64_t cur_frontier = status_->frontier_size();
+  obs::TraceLog* const trace = config_.trace;
+  const double span_start =
+      trace != nullptr ? trace->seconds_since_epoch() : 0.0;
   Timer level_timer;
   StepResult step_result;
   bool level_degraded = false;
@@ -139,15 +163,42 @@ bool BfsSession::step() {
     unvisited_edges_ -= frontier_edges_;
   }
 
-  if (config_.mode == BfsMode::Hybrid) {
-    PolicyInput in;
-    in.current = direction_;
-    in.n_all = storage_.vertex_count();
-    in.prev_frontier = cur_frontier;
-    in.cur_frontier = next_frontier;
-    in.frontier_edges = frontier_edges_;
-    in.unvisited_edges = unvisited_edges_;
-    direction_ = config_.policy.decide(in);
+  // Built unconditionally: forced modes skip the decision but the trace
+  // still records what the policy WOULD have been shown.
+  PolicyInput in;
+  in.current = stats.direction;
+  in.n_all = storage_.vertex_count();
+  in.prev_frontier = cur_frontier;
+  in.cur_frontier = next_frontier;
+  in.frontier_edges = frontier_edges_;
+  in.unvisited_edges = unvisited_edges_;
+  const bool policy_evaluated = config_.mode == BfsMode::Hybrid;
+  if (policy_evaluated) direction_ = config_.policy.decide(in);
+
+  if (obs::enabled()) {
+    obs_levels_->add(1);
+    (stats.direction == Direction::TopDown ? obs_top_down_levels_
+                                           : obs_bottom_up_levels_)
+        ->add(1);
+    if (level_degraded) obs_degraded_levels_->add(1);
+    if (stats.io_failures != 0) obs_io_failures_->add(stats.io_failures);
+    if (direction_ != stats.direction) obs_direction_switches_->add(1);
+    obs_level_us_->record(
+        seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(seconds * 1e6));
+  }
+  if (trace != nullptr) {
+    obs::TraceSpan span;
+    span.run = trace_run_;
+    span.root = root_;
+    span.level = stats.level;
+    span.direction = stats.direction;
+    span.start_seconds = span_start;
+    span.duration_seconds = trace->seconds_since_epoch() - span_start;
+    span.stats = stats;
+    span.policy_input = in;
+    span.decision = direction_;
+    span.policy_evaluated = policy_evaluated;
+    trace->record(span);
   }
 
   ++level_;

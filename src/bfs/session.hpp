@@ -12,6 +12,7 @@
 #include "bfs/hybrid_bfs.hpp"
 #include "bfs/level_stats.hpp"
 #include "numa/topology.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace sembfs {
@@ -73,6 +74,18 @@ class BfsSession {
   std::int64_t frontier_edges_ = 0;
   std::int64_t unvisited_edges_ = 0;
   std::vector<LevelStats> level_stats_;
+
+  /// Run id within config_.trace (0 when tracing is off).
+  int trace_run_ = 0;
+
+  // Observability handles (global registry), resolved once at construction.
+  obs::Counter* obs_levels_;
+  obs::Counter* obs_top_down_levels_;
+  obs::Counter* obs_bottom_up_levels_;
+  obs::Counter* obs_degraded_levels_;
+  obs::Counter* obs_direction_switches_;
+  obs::Counter* obs_io_failures_;
+  obs::Histogram* obs_level_us_;
 };
 
 }  // namespace sembfs

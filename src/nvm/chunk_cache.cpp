@@ -9,7 +9,15 @@ namespace sembfs {
 
 ChunkCache::ChunkCache(std::size_t capacity_bytes, std::uint32_t chunk_bytes,
                        std::size_t shard_count)
-    : chunk_bytes_(chunk_bytes), capacity_bytes_(capacity_bytes) {
+    : chunk_bytes_(chunk_bytes),
+      capacity_bytes_(capacity_bytes),
+      obs_hits_(&obs::metrics().counter("chunk_cache.hits")),
+      obs_misses_(&obs::metrics().counter("chunk_cache.misses")),
+      obs_evictions_(&obs::metrics().counter("chunk_cache.evictions")),
+      obs_insertions_(&obs::metrics().counter("chunk_cache.insertions")),
+      obs_checksum_failures_(
+          &obs::metrics().counter("chunk_cache.checksum_failures")),
+      obs_refetches_(&obs::metrics().counter("chunk_cache.refetches")) {
   SEMBFS_EXPECTS(chunk_bytes > 0);
   SEMBFS_EXPECTS(shard_count > 0);
   const std::size_t total_slots =
@@ -64,6 +72,7 @@ void ChunkCache::insert(const Key& key, std::span<const std::byte> chunk) {
   if (slot.valid) {
     shard.index.erase(slot.key);
     evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) obs_evictions_->add(1);
   }
   if (slot.data == nullptr)
     slot.data = std::make_unique<std::byte[]>(chunk_bytes_);
@@ -74,6 +83,7 @@ void ChunkCache::insert(const Key& key, std::span<const std::byte> chunk) {
   slot.length = static_cast<std::uint32_t>(chunk.size());
   shard.index[key] = static_cast<std::uint32_t>(victim);
   insertions_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) obs_insertions_->add(1);
 }
 
 void ChunkCache::set_checksums(const ChunkChecksums* checksums,
@@ -94,6 +104,7 @@ std::span<const std::byte> ChunkCache::verify_chunk(
   if (!want.has_value()) return chunk;  // unrecorded chunk: trust it
   if (ChunkChecksums::crc32(chunk) == *want) return chunk;
   checksum_failures_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) obs_checksum_failures_->add(1);
   // Corrective re-read of just this chunk. A transient device-injected
   // corruption heals here (the re-read consumes a fresh fault index); a
   // persistent flip in the backing store exhausts the budget and throws.
@@ -102,9 +113,11 @@ std::span<const std::byte> ChunkCache::verify_chunk(
     file.read(chunk_begin, std::span<std::byte>{refetch_buf});
     ++requests;
     refetches_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) obs_refetches_->add(1);
     chunk = std::span<const std::byte>{refetch_buf};
     if (ChunkChecksums::crc32(chunk) == *want) return chunk;
     checksum_failures_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) obs_checksum_failures_->add(1);
   }
   throw NvmIoError("chunk checksum mismatch persists after " +
                    std::to_string(max_refetches_) +
@@ -143,6 +156,10 @@ std::uint64_t ChunkCache::read(NvmBackingFile& file, std::uint64_t offset,
   }
   hits_.fetch_add(local_hits, std::memory_order_relaxed);
   misses_.fetch_add(missing.size(), std::memory_order_relaxed);
+  if (obs::enabled()) {
+    obs_hits_->add(local_hits);
+    obs_misses_->add(missing.size());
+  }
   if (missing.empty()) return 0;
 
   // Pass 2: fetch runs of consecutive missing chunks, each run in device

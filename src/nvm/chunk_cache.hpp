@@ -37,6 +37,7 @@
 
 #include "nvm/chunk_checksums.hpp"
 #include "nvm/nvm_device.hpp"
+#include "obs/metrics.hpp"
 
 namespace sembfs {
 
@@ -161,6 +162,15 @@ class ChunkCache {
   std::atomic<std::uint64_t> insertions_{0};
   std::atomic<std::uint64_t> checksum_failures_{0};
   std::atomic<std::uint64_t> refetches_{0};
+
+  // Observability handles mirroring the local counters into the global
+  // registry (aggregated across caches), resolved once at construction.
+  obs::Counter* obs_hits_;
+  obs::Counter* obs_misses_;
+  obs::Counter* obs_evictions_;
+  obs::Counter* obs_insertions_;
+  obs::Counter* obs_checksum_failures_;
+  obs::Counter* obs_refetches_;
 };
 
 }  // namespace sembfs

@@ -8,7 +8,17 @@
 namespace sembfs {
 
 IoScheduler::IoScheduler(std::size_t queue_depth, IoSchedulerConfig config)
-    : config_(config) {
+    : config_(config),
+      obs_queue_wait_us_(
+          &obs::metrics().histogram("io_sched.queue_wait_us")),
+      obs_service_us_(&obs::metrics().histogram("io_sched.service_us")),
+      obs_completed_(&obs::metrics().counter("io_sched.completed")),
+      obs_retries_(&obs::metrics().counter("io_sched.retries")),
+      obs_failures_(&obs::metrics().counter("io_sched.failures")),
+      obs_deadline_expired_(
+          &obs::metrics().counter("io_sched.deadline_expired")),
+      obs_budget_rejected_(
+          &obs::metrics().counter("io_sched.budget_rejected")) {
   SEMBFS_EXPECTS(queue_depth >= 1 && queue_depth <= 1024);
   SEMBFS_EXPECTS(config_.retry.max_attempts >= 1);
   workers_.reserve(queue_depth);
@@ -98,13 +108,23 @@ IoResult IoScheduler::run_job(Job& job) {
       ++budget_rejected_;
       ++failures_;
     }
+    if (obs::enabled()) {
+      obs_budget_rejected_->add(1);
+      obs_failures_->add(1);
+    }
     return result;
   }
   if (deadline_passed()) {
     result.message = "scheduled read deadline expired before first attempt";
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++deadline_expired_;
-    ++failures_;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++deadline_expired_;
+      ++failures_;
+    }
+    if (obs::enabled()) {
+      obs_deadline_expired_->add(1);
+      obs_failures_->add(1);
+    }
     return result;
   }
 
@@ -134,14 +154,23 @@ IoResult IoScheduler::run_job(Job& job) {
       result.message = "scheduled read deadline expired after " +
                        std::to_string(attempt) + " attempt(s): " +
                        result.message;
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++deadline_expired_;
-      ++failures_;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++deadline_expired_;
+        ++failures_;
+      }
+      if (obs::enabled()) {
+        obs_deadline_expired_->add(1);
+        obs_failures_->add(1);
+      }
       return result;
     }
     job.file->record_retry();
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++retries_;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++retries_;
+    }
+    if (obs::enabled()) obs_retries_->add(1);
   }
 
   // Retries exhausted: charge the error budget.
@@ -149,8 +178,11 @@ IoResult IoScheduler::run_job(Job& job) {
                    std::to_string(result.attempts) + " attempt(s): " +
                    result.message;
   failed_requests_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++failures_;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++failures_;
+  }
+  if (obs::enabled()) obs_failures_->add(1);
   return result;
 }
 
@@ -166,7 +198,24 @@ void IoScheduler::worker_loop() {
       queue_.pop_front();
       ++in_service_;
     }
+    const bool tracked = obs::enabled();
+    std::chrono::steady_clock::time_point service_start;
+    if (tracked) {
+      service_start = std::chrono::steady_clock::now();
+      obs_queue_wait_us_->record(static_cast<std::uint64_t>(
+          std::chrono::duration<double>(service_start - job.submitted_at)
+              .count() *
+          1e6));
+    }
     const IoResult result = run_job(job);
+    if (tracked) {
+      obs_service_us_->record(static_cast<std::uint64_t>(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        service_start)
+              .count() *
+          1e6));
+      obs_completed_->add(1);
+    }
     if (job.callback) {
       job.callback(result);
     } else {

@@ -41,6 +41,7 @@
 
 #include "nvm/fault_plan.hpp"
 #include "nvm/nvm_device.hpp"
+#include "obs/metrics.hpp"
 
 namespace sembfs {
 
@@ -159,6 +160,15 @@ class IoScheduler {
 
   std::vector<std::thread> workers_;
   IoSchedulerConfig config_;
+
+  // Observability handles (global registry; schedulers aggregate).
+  obs::Histogram* obs_queue_wait_us_;
+  obs::Histogram* obs_service_us_;
+  obs::Counter* obs_completed_;
+  obs::Counter* obs_retries_;
+  obs::Counter* obs_failures_;
+  obs::Counter* obs_deadline_expired_;
+  obs::Counter* obs_budget_rejected_;
 
   std::atomic<std::uint64_t> failed_requests_{0};
 

@@ -10,7 +10,31 @@
 namespace sembfs {
 
 NvmDevice::NvmDevice(DeviceProfile profile)
-    : profile_(std::move(profile)), stats_(profile_.sector_bytes) {}
+    : profile_(std::move(profile)),
+      stats_(profile_.sector_bytes),
+      obs_queue_wait_us_(&obs::metrics().histogram("nvm.queue_wait_us")),
+      obs_service_us_(&obs::metrics().histogram("nvm.service_us")),
+      obs_requests_(&obs::metrics().counter("nvm.requests")),
+      obs_bytes_(&obs::metrics().counter("nvm.bytes")),
+      obs_read_errors_(&obs::metrics().counter("nvm.read_errors")),
+      obs_short_reads_(&obs::metrics().counter("nvm.short_reads")),
+      obs_corruptions_(&obs::metrics().counter("nvm.corruptions")),
+      obs_latency_spikes_(&obs::metrics().counter("nvm.latency_spikes")) {}
+
+namespace {
+std::uint64_t to_us(double seconds) noexcept {
+  return seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(seconds * 1e6);
+}
+}  // namespace
+
+void NvmDevice::record_request_metrics(double wait_seconds,
+                                       double service_seconds,
+                                       std::uint64_t bytes) noexcept {
+  obs_queue_wait_us_->record(to_us(wait_seconds));
+  obs_service_us_->record(to_us(service_seconds));
+  obs_requests_->add(1);
+  obs_bytes_->add(bytes);
+}
 
 void NvmDevice::set_fault_plan(const FaultPlan& plan) {
   {
@@ -45,14 +69,25 @@ FaultDecision NvmDevice::next_read_fault() {
   const std::uint64_t index =
       fault_sequence_.fetch_add(1, std::memory_order_relaxed);
   FaultDecision fault = plan.decide(index);
+  const bool tracked = obs::enabled();
   if (fault.read_error) {
     stats_.on_read_error();
+    if (tracked) obs_read_errors_->add(1);
     throw NvmIoError("injected read error (FaultPlan) at device read #" +
                      std::to_string(index));
   }
-  if (fault.short_read) stats_.on_short_read();
-  if (fault.corrupt) stats_.on_corruption();
-  if (fault.latency_spike) stats_.on_latency_spike();
+  if (fault.short_read) {
+    stats_.on_short_read();
+    if (tracked) obs_short_reads_->add(1);
+  }
+  if (fault.corrupt) {
+    stats_.on_corruption();
+    if (tracked) obs_corruptions_->add(1);
+  }
+  if (fault.latency_spike) {
+    stats_.on_latency_spike();
+    if (tracked) obs_latency_spikes_->add(1);
+  }
   return fault;
 }
 

@@ -34,6 +34,7 @@
 #include "nvm/fault_plan.hpp"
 #include "nvm/io_stats.hpp"
 #include "nvm/storage_file.hpp"
+#include "obs/metrics.hpp"
 
 namespace sembfs {
 
@@ -122,9 +123,18 @@ class NvmDevice {
         throw;
       }
       stats_.on_completion(arrival, bytes, 0.0);
+      // Instant devices model zero queueing and zero service time; record
+      // the model's view rather than paying extra clock reads.
+      if (obs::enabled()) record_request_metrics(0.0, 0.0, bytes);
       return;
     }
     acquire_channel();
+    const bool tracked = obs::enabled();
+    double wait_seconds = 0.0;
+    if (tracked)
+      wait_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - arrival)
+                         .count();
     double service = 0.0;
     try {
       service = serve(bytes, extra_service_seconds, io);
@@ -135,6 +145,7 @@ class NvmDevice {
     }
     release_channel();
     stats_.on_completion(arrival, bytes, service);
+    if (tracked) record_request_metrics(wait_seconds, service, bytes);
   }
 
   void acquire_channel();
@@ -150,9 +161,25 @@ class NvmDevice {
   /// Applies corruption / short-read mutations to the delivered buffer.
   static void apply_buffer_faults(const FaultDecision& fault,
                                   std::span<std::byte> dst);
+  /// Feeds one completed request into the global metrics registry
+  /// (queue-wait / service-time histograms and request/byte counters).
+  /// Only called behind an obs::enabled() check.
+  void record_request_metrics(double wait_seconds, double service_seconds,
+                              std::uint64_t bytes) noexcept;
 
   DeviceProfile profile_;
   IoStats stats_;
+
+  // Observability handles, resolved once at construction; shared by every
+  // device (metrics aggregate across devices, like iostat's totals line).
+  obs::Histogram* obs_queue_wait_us_;
+  obs::Histogram* obs_service_us_;
+  obs::Counter* obs_requests_;
+  obs::Counter* obs_bytes_;
+  obs::Counter* obs_read_errors_;
+  obs::Counter* obs_short_reads_;
+  obs::Counter* obs_corruptions_;
+  obs::Counter* obs_latency_spikes_;
 
   std::atomic<bool> faults_armed_{false};
   std::atomic<std::uint64_t> fault_sequence_{0};

@@ -1,0 +1,190 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace sembfs::obs {
+
+namespace {
+
+constexpr const char* kMetricsSchema = "sembfs.metrics.v1";
+constexpr const char* kTraceSchema = "sembfs.trace.v1";
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string fmt_u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  return buf;
+}
+
+std::string fmt_i64(std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  return buf;
+}
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+void append_histogram_json(std::string& out, const HistogramSnapshot& h) {
+  out += "{\"count\":" + fmt_u64(h.count);
+  out += ",\"sum\":" + fmt_u64(h.sum);
+  out += ",\"min\":" + fmt_u64(h.min);
+  out += ",\"max\":" + fmt_u64(h.max);
+  out += ",\"mean\":" + fmt_double(h.mean());
+  out += ",\"p50\":" + fmt_double(h.quantile(0.50));
+  out += ",\"p90\":" + fmt_double(h.quantile(0.90));
+  out += ",\"p99\":" + fmt_double(h.quantile(0.99));
+  out += ",\"buckets\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < HistogramSnapshot::kBucketCount; ++i) {
+    if (h.buckets[i] == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"le\":" + fmt_u64(Histogram::bucket_upper_bound(i)) +
+           ",\"count\":" + fmt_u64(h.buckets[i]) + '}';
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+std::string metrics_to_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"schema\":";
+  append_json_string(out, kMetricsSchema);
+  out += ",\"counters\":{";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i != 0) out += ',';
+    append_json_string(out, snapshot.counters[i].first);
+    out += ':' + fmt_u64(snapshot.counters[i].second);
+  }
+  out += "},\"gauges\":{";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i != 0) out += ',';
+    append_json_string(out, snapshot.gauges[i].first);
+    out += ':' + fmt_i64(snapshot.gauges[i].second);
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    if (i != 0) out += ',';
+    append_json_string(out, snapshot.histograms[i].first);
+    out += ':';
+    append_histogram_json(out, snapshot.histograms[i].second);
+  }
+  out += "}}\n";
+  return out;
+}
+
+CsvWriter metrics_to_csv(const MetricsSnapshot& snapshot) {
+  CsvWriter csv({"kind", "name", "key", "value"});
+  for (const auto& [name, value] : snapshot.counters)
+    csv.add_row({"counter", name, "value", fmt_u64(value)});
+  for (const auto& [name, value] : snapshot.gauges)
+    csv.add_row({"gauge", name, "value", fmt_i64(value)});
+  for (const auto& [name, h] : snapshot.histograms) {
+    csv.add_row({"histogram", name, "count", fmt_u64(h.count)});
+    csv.add_row({"histogram", name, "sum", fmt_u64(h.sum)});
+    csv.add_row({"histogram", name, "min", fmt_u64(h.min)});
+    csv.add_row({"histogram", name, "max", fmt_u64(h.max)});
+    csv.add_row({"histogram", name, "mean", fmt_double(h.mean())});
+    csv.add_row({"histogram", name, "p50", fmt_double(h.quantile(0.50))});
+    csv.add_row({"histogram", name, "p90", fmt_double(h.quantile(0.90))});
+    csv.add_row({"histogram", name, "p99", fmt_double(h.quantile(0.99))});
+    for (std::size_t i = 0; i < HistogramSnapshot::kBucketCount; ++i) {
+      if (h.buckets[i] == 0) continue;
+      csv.add_row({"histogram", name,
+                   "le_" + fmt_u64(Histogram::bucket_upper_bound(i)),
+                   fmt_u64(h.buckets[i])});
+    }
+  }
+  return csv;
+}
+
+std::string trace_to_json(const TraceLog& log) {
+  const std::vector<TraceSpan> spans = log.spans();
+  std::string out = "{\"schema\":";
+  append_json_string(out, kTraceSchema);
+  out += ",\"spans\":[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& s = spans[i];
+    if (i != 0) out += ',';
+    out += "{\"run\":" + fmt_i64(s.run);
+    out += ",\"root\":" + fmt_i64(s.root);
+    out += ",\"level\":" + fmt_i64(s.level);
+    out += ",\"direction\":";
+    append_json_string(out, direction_name(s.direction));
+    out += ",\"start_s\":" + fmt_double(s.start_seconds);
+    out += ",\"duration_s\":" + fmt_double(s.duration_seconds);
+    out += ",\"frontier_vertices\":" + fmt_i64(s.stats.frontier_vertices);
+    out += ",\"claimed_vertices\":" + fmt_i64(s.stats.claimed_vertices);
+    out += ",\"scanned_edges\":" + fmt_i64(s.stats.scanned_edges);
+    out += ",\"avg_degree\":" + fmt_double(s.stats.avg_degree);
+    out += ",\"nvm_requests\":" + fmt_u64(s.stats.nvm_requests);
+    out += ",\"io_failures\":" + fmt_u64(s.stats.io_failures);
+    out += ",\"degraded\":";
+    out += s.stats.degraded ? "true" : "false";
+    out += ",\"policy\":{\"evaluated\":";
+    out += s.policy_evaluated ? "true" : "false";
+    out += ",\"n_all\":" + fmt_i64(s.policy_input.n_all);
+    out += ",\"prev_frontier\":" + fmt_i64(s.policy_input.prev_frontier);
+    out += ",\"cur_frontier\":" + fmt_i64(s.policy_input.cur_frontier);
+    out += ",\"frontier_edges\":" + fmt_i64(s.policy_input.frontier_edges);
+    out += ",\"unvisited_edges\":" + fmt_i64(s.policy_input.unvisited_edges);
+    out += ",\"decision\":";
+    append_json_string(out, direction_name(s.decision));
+    out += "}}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
+            content.size();
+  // fclose flushes the stdio buffer; a full disk surfaces here.
+  ok = (std::fclose(f) == 0) && ok;
+  return ok;
+}
+
+bool write_metrics_json(const MetricsRegistry& registry,
+                        const std::string& path) {
+  return write_text_file(path, metrics_to_json(registry.snapshot()));
+}
+
+bool write_metrics_csv(const MetricsRegistry& registry,
+                       const std::string& path) {
+  return metrics_to_csv(registry.snapshot()).write_file(path);
+}
+
+bool write_trace_json(const TraceLog& log, const std::string& path) {
+  return write_text_file(path, trace_to_json(log));
+}
+
+}  // namespace sembfs::obs

@@ -1,0 +1,44 @@
+// Exporters for the observability subsystem: metrics (JSON + CSV) and
+// trace spans (JSON). Schemas are documented in docs/OBSERVABILITY.md and
+// versioned via the top-level "schema" key so downstream tooling can
+// detect drift.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/csv.hpp"
+
+namespace sembfs::obs {
+
+/// Renders a metrics snapshot as a JSON document with top-level keys
+/// "schema", "counters", "gauges", "histograms". Histograms carry count /
+/// sum / min / max / mean, p50/p90/p99 estimates, and their non-empty
+/// buckets as inclusive upper bounds.
+[[nodiscard]] std::string metrics_to_json(const MetricsSnapshot& snapshot);
+
+/// Renders a metrics snapshot as CSV with columns kind,name,key,value —
+/// one row per counter/gauge, one row per histogram summary statistic and
+/// per non-empty bucket (key "le_<bound>").
+[[nodiscard]] CsvWriter metrics_to_csv(const MetricsSnapshot& snapshot);
+
+/// Renders a trace log as a JSON document with top-level keys "schema" and
+/// "spans"; each span records the level outcome plus the PolicyInput and
+/// direction decision.
+[[nodiscard]] std::string trace_to_json(const TraceLog& log);
+
+/// Writes `content` to `path`, reporting buffered-write failures surfaced
+/// at fclose (full disk) as well as open/write errors.
+[[nodiscard]] bool write_text_file(const std::string& path,
+                                   const std::string& content);
+
+// Convenience one-shot writers; return false on any I/O failure.
+[[nodiscard]] bool write_metrics_json(const MetricsRegistry& registry,
+                                      const std::string& path);
+[[nodiscard]] bool write_metrics_csv(const MetricsRegistry& registry,
+                                     const std::string& path);
+[[nodiscard]] bool write_trace_json(const TraceLog& log,
+                                    const std::string& path);
+
+}  // namespace sembfs::obs

@@ -1,0 +1,58 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+
+namespace sembfs::obs {
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The extremes are tracked exactly; don't blur them with bucket
+  // interpolation.
+  if (q == 0.0) return static_cast<double>(min);
+  if (q == 1.0) return static_cast<double>(max);
+  // 0-based target rank; rank 0 is the smallest sample.
+  const double rank = q * static_cast<double>(count - 1);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    if (buckets[i] == 0) continue;
+    const auto first = static_cast<double>(cumulative);
+    cumulative += buckets[i];
+    if (rank < static_cast<double>(cumulative)) {
+      // Interpolate at the center of the target sample's share of the
+      // bucket's value range.
+      const double frac =
+          (rank - first + 0.5) / static_cast<double>(buckets[i]);
+      const auto lo = static_cast<double>(Histogram::bucket_lower_bound(i));
+      const auto hi =
+          static_cast<double>(Histogram::bucket_upper_bound(i)) + 1.0;
+      const double estimate = lo + frac * (hi - lo);
+      return std::clamp(estimate, static_cast<double>(min),
+                        static_cast<double>(max));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+HistogramSnapshot Histogram::snapshot() const noexcept {
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  const std::uint64_t raw_min = min_.load(std::memory_order_relaxed);
+  s.min = raw_min == std::numeric_limits<std::uint64_t>::max() ? 0 : raw_min;
+  s.max = max_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kBucketCount; ++i)
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<std::uint64_t>::max(),
+             std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sembfs::obs

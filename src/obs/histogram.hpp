@@ -1,0 +1,115 @@
+// Log-bucketed latency histogram (HdrHistogram-style, 2 significant bits).
+//
+// Values (integer microseconds in the built-in instrumentation) are binned
+// into log-linear buckets: each power-of-two range is split into 4 linear
+// sub-buckets, so any recorded value lands in a bucket whose width is at
+// most 25% of its lower bound — tight enough for p50/p90/p99 latency
+// estimates while keeping the whole histogram a fixed 252 atomic counters
+// (~2 KiB, no allocation, no locking on record()).
+//
+// record() is wait-free: one relaxed fetch_add on the bucket plus relaxed
+// updates of count/sum/min/max. Like Counter, it does NOT check
+// obs::enabled() — instrumentation sites gate before taking the timestamps
+// that produce the value in the first place.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace sembfs::obs {
+
+/// Point-in-time copy of a Histogram, with the derived statistics.
+struct HistogramSnapshot {
+  static constexpr std::size_t kBucketCount = 252;
+
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< 0 when empty
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kBucketCount> buckets{};
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Estimates the q-quantile (q in [0,1]) by linear interpolation inside
+  /// the bucket holding the target rank; the estimate is clamped to the
+  /// exact observed [min, max]. Returns 0 for an empty histogram.
+  [[nodiscard]] double quantile(double q) const noexcept;
+};
+
+class Histogram {
+ public:
+  static constexpr std::size_t kBucketCount = HistogramSnapshot::kBucketCount;
+
+  /// Bucket holding `value`: values < 4 get exact buckets 0..3; above
+  /// that, bucket (e-1)*4 + (top 2 bits below the leading bit), where e is
+  /// the leading bit's position. Monotone in `value`.
+  [[nodiscard]] static constexpr std::size_t bucket_index(
+      std::uint64_t value) noexcept {
+    if (value < 4) return static_cast<std::size_t>(value);
+    const int e = 63 - std::countl_zero(value);
+    const auto sub = static_cast<std::size_t>((value >> (e - 2)) & 3);
+    return static_cast<std::size_t>(e - 1) * 4 + sub;
+  }
+
+  /// Smallest value that maps to bucket `index`.
+  [[nodiscard]] static constexpr std::uint64_t bucket_lower_bound(
+      std::size_t index) noexcept {
+    if (index < 4) return index;
+    const std::size_t e = index / 4 + 1;
+    const std::uint64_t sub = index % 4;
+    return (4 + sub) << (e - 2);
+  }
+
+  /// Largest value that maps to bucket `index` (inclusive).
+  [[nodiscard]] static constexpr std::uint64_t bucket_upper_bound(
+      std::size_t index) noexcept {
+    return index + 1 < kBucketCount
+               ? bucket_lower_bound(index + 1) - 1
+               : std::numeric_limits<std::uint64_t>::max();
+  }
+
+  void record(std::uint64_t value) noexcept {
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    update_min(value);
+    update_max(value);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  void update_min(std::uint64_t v) noexcept {
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  void update_max(std::uint64_t v) noexcept {
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{std::numeric_limits<std::uint64_t>::max()};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace sembfs::obs

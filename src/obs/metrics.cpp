@@ -1,0 +1,66 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace sembfs::obs {
+
+namespace {
+
+template <typename Map, typename Instrument>
+Instrument& intern(std::mutex& mutex, Map& map, std::string_view name) {
+  const std::lock_guard<std::mutex> lock{mutex};
+  auto it = map.find(std::string{name});
+  if (it == map.end()) {
+    it = map.emplace(std::string{name}, std::make_unique<Instrument>()).first;
+  }
+  return *it->second;
+}
+
+template <typename Map, typename Out, typename Extract>
+void collect_sorted(const Map& map, Out& out, Extract&& extract) {
+  out.reserve(map.size());
+  for (const auto& [name, instrument] : map)
+    out.emplace_back(name, extract(*instrument));
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return intern<decltype(counters_), Counter>(mutex_, counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return intern<decltype(gauges_), Gauge>(mutex_, gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return intern<decltype(histograms_), Histogram>(mutex_, histograms_, name);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  MetricsSnapshot s;
+  collect_sorted(counters_, s.counters,
+                 [](const Counter& c) { return c.value(); });
+  collect_sorted(gauges_, s.gauges, [](const Gauge& g) { return g.value(); });
+  collect_sorted(histograms_, s.histograms,
+                 [](const Histogram& h) { return h.snapshot(); });
+  return s;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& metrics() {
+  // Leaked on purpose; see the header's lifetime notes.
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace sembfs::obs

@@ -1,0 +1,32 @@
+#include "obs/trace.hpp"
+
+namespace sembfs::obs {
+
+int TraceLog::begin_run(std::int64_t root) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  (void)root;  // runs are identified positionally; the root is on each span
+  return next_run_++;
+}
+
+void TraceLog::record(TraceSpan span) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  spans_.push_back(span);
+}
+
+std::vector<TraceSpan> TraceLog::spans() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return spans_;
+}
+
+std::size_t TraceLog::span_count() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return spans_.size();
+}
+
+void TraceLog::clear() {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  spans_.clear();
+  next_run_ = 0;
+}
+
+}  // namespace sembfs::obs

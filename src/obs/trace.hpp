@@ -1,0 +1,76 @@
+// Per-level trace spans for BFS runs.
+//
+// The paper's core claims are per-level phenomena (Figures 10/11: which
+// direction each level ran, how many edges it scanned, how hard the NVM
+// device was hit), and the hybrid's behaviour is decided level-by-level by
+// SwitchPolicy. A TraceLog records one span per executed level, folding in
+// the LevelStats the session already computes PLUS the exact PolicyInput
+// the switch policy saw after that level and the direction it decided —
+// so a trace answers "why did level 7 run bottom-up?" without re-running.
+//
+// A TraceLog is passed by pointer through BfsConfig (nullptr = tracing
+// off, the default). It is independent of the metrics registry: traces
+// are per-run event records, metrics are process-wide aggregates.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "bfs/level_stats.hpp"
+#include "bfs/policy.hpp"
+
+namespace sembfs::obs {
+
+/// One executed BFS level.
+struct TraceSpan {
+  int run = 0;                   ///< BFS-run ordinal within the log
+  std::int64_t root = -1;        ///< root vertex of the run
+  std::int32_t level = 0;        ///< level the span covers
+  Direction direction = Direction::TopDown;  ///< direction the level RAN
+  double start_seconds = 0.0;    ///< level start, relative to the log epoch
+  double duration_seconds = 0.0;
+  LevelStats stats;              ///< the session's per-level record
+  /// What the switch policy was shown after this level completed…
+  PolicyInput policy_input;
+  /// …and the direction it chose for the next level. For forced modes
+  /// (top-down-only / bottom-up-only) `policy_evaluated` is false and
+  /// `decision` simply repeats the forced direction.
+  Direction decision = Direction::TopDown;
+  bool policy_evaluated = false;
+};
+
+class TraceLog {
+ public:
+  TraceLog() : epoch_(std::chrono::steady_clock::now()) {}
+
+  TraceLog(const TraceLog&) = delete;
+  TraceLog& operator=(const TraceLog&) = delete;
+
+  /// Registers a new BFS run; spans of that run carry the returned id.
+  int begin_run(std::int64_t root);
+
+  /// Appends one span (thread-safe).
+  void record(TraceSpan span);
+
+  /// Seconds since the log was created — the time base for span starts.
+  [[nodiscard]] double seconds_since_epoch() const noexcept {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+
+  [[nodiscard]] std::vector<TraceSpan> spans() const;
+  [[nodiscard]] std::size_t span_count() const;
+
+  void clear();
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  int next_run_ = 0;
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace sembfs::obs

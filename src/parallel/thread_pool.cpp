@@ -1,12 +1,16 @@
 #include "parallel/thread_pool.hpp"
 
+#include <chrono>
+#include <string>
 #include <thread>
 
 #include "util/contracts.hpp"
 
 namespace sembfs {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads)
+    : default_step_hist_(&obs::metrics().histogram("pool.step_us")),
+      regions_(&obs::metrics().counter("pool.regions")) {
   SEMBFS_EXPECTS(threads >= 1);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
@@ -34,16 +38,30 @@ void ThreadPool::run(std::size_t participants,
   remaining_ = participants;
   first_error_ = nullptr;
   ++generation_;
+  if (obs::enabled()) regions_->add(1);
   work_cv_.notify_all();
   done_cv_.wait(lock, [this] { return remaining_ == 0; });
   job_ = nullptr;
   if (first_error_) std::rethrow_exception(first_error_);
 }
 
+void ThreadPool::set_worker_nodes(
+    const std::vector<std::size_t>& node_of_worker) {
+  // Resolve histograms outside the lock (registry interning takes its own).
+  std::vector<obs::Histogram*> hists(workers_.size(), default_step_hist_);
+  for (std::size_t w = 0; w < hists.size() && w < node_of_worker.size(); ++w)
+    hists[w] = &obs::metrics().histogram(
+        "pool.node" + std::to_string(node_of_worker[w]) + ".step_us");
+  const std::lock_guard<std::mutex> lock{mutex_};
+  SEMBFS_EXPECTS(job_ == nullptr);  // never relabel mid-region
+  worker_step_hist_ = std::move(hists);
+}
+
 void ThreadPool::worker_loop(std::size_t index) {
   std::uint64_t seen_generation = 0;
   for (;;) {
     const std::function<void(std::size_t)>* job = nullptr;
+    obs::Histogram* step_hist = nullptr;
     {
       std::unique_lock<std::mutex> lock{mutex_};
       work_cv_.wait(lock, [&] {
@@ -54,12 +72,28 @@ void ThreadPool::worker_loop(std::size_t index) {
       if (shutdown_) return;
       seen_generation = generation_;
       job = job_;
+      step_hist = index < worker_step_hist_.size() ? worker_step_hist_[index]
+                                                   : default_step_hist_;
     }
     std::exception_ptr error;
-    try {
-      (*job)(index);
-    } catch (...) {
-      error = std::current_exception();
+    if (obs::enabled()) {
+      const auto start = std::chrono::steady_clock::now();
+      try {
+        (*job)(index);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      step_hist->record(static_cast<std::uint64_t>(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count() *
+          1e6));
+    } else {
+      try {
+        (*job)(index);
+      } catch (...) {
+        error = std::current_exception();
+      }
     }
     {
       const std::lock_guard<std::mutex> lock{mutex_};

@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace sembfs {
 
 class ThreadPool {
@@ -39,10 +41,26 @@ class ThreadPool {
   /// Convenience: all workers participate.
   void run(const std::function<void(std::size_t)>& fn) { run(size(), fn); }
 
+  /// Labels pool workers with emulated NUMA node ids for observability:
+  /// while metrics are enabled, each worker's execution of a parallel
+  /// region is timed into the per-node histogram `pool.node<k>.step_us`
+  /// (unlabeled workers record into `pool.step_us`). Workers beyond
+  /// `node_of_worker.size()` stay unlabeled. Must not be called while a
+  /// region is running; typically set once per BFS session from its
+  /// NumaTopology.
+  void set_worker_nodes(const std::vector<std::size_t>& node_of_worker);
+
  private:
   void worker_loop(std::size_t index);
 
   std::vector<std::thread> workers_;
+
+  // Observability handles (global registry). worker_step_hist_ is guarded
+  // by mutex_: workers pick up their histogram alongside the job, so a
+  // between-regions set_worker_nodes() is safely published.
+  obs::Histogram* default_step_hist_;
+  obs::Counter* regions_;
+  std::vector<obs::Histogram*> worker_step_hist_;
 
   std::mutex mutex_;
   std::condition_variable work_cv_;

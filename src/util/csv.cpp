@@ -47,8 +47,10 @@ bool CsvWriter::write_file(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   const std::string doc = render();
-  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
-  std::fclose(f);
+  bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  // fclose flushes stdio's buffer: a full disk often surfaces only here,
+  // so its result is part of the write's success.
+  if (std::fclose(f) != 0) ok = false;
   return ok;
 }
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <vector>
 
 namespace sembfs {
 
@@ -32,13 +33,29 @@ LogLevel log_level() noexcept {
 void log_message(LogLevel level, const char* fmt, ...) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed))
     return;
-  char buf[1024];
+  char stack_buf[1024];
   std::va_list args;
   va_start(args, fmt);
-  std::vsnprintf(buf, sizeof buf, fmt, args);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(stack_buf, sizeof stack_buf, fmt, args);
   va_end(args);
+
+  const char* text = stack_buf;
+  std::vector<char> heap_buf;
+  if (needed < 0) {
+    text = "<log formatting error>";
+  } else if (static_cast<std::size_t>(needed) >= sizeof stack_buf) {
+    // Message longer than the stack buffer: format again into a buffer
+    // sized from the first pass so nothing is truncated.
+    heap_buf.resize(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(heap_buf.data(), heap_buf.size(), fmt, args_copy);
+    text = heap_buf.data();
+  }
+  va_end(args_copy);
+
   const std::lock_guard<std::mutex> lock{g_mutex};
-  std::fprintf(stderr, "[sembfs %s] %s\n", level_name(level), buf);
+  std::fprintf(stderr, "[sembfs %s] %s\n", level_name(level), text);
 }
 
 }  // namespace sembfs

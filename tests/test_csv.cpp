@@ -46,6 +46,18 @@ TEST(CsvWriter, WriteFileFailsOnBadPath) {
   EXPECT_FALSE(w.write_file("/nonexistent-dir-xyz/file.csv"));
 }
 
+// Regression: a full disk surfaces at the fclose flush (the small document
+// fits in stdio's buffer, so fwrite itself succeeds) and used to be
+// reported as success. /dev/full fails every flush with ENOSPC.
+TEST(CsvWriter, WriteFileReportsFlushFailure) {
+  std::FILE* probe = std::fopen("/dev/full", "w");
+  if (probe == nullptr) GTEST_SKIP() << "/dev/full not available";
+  std::fclose(probe);
+  CsvWriter w({"k"});
+  w.add_row({"v"});
+  EXPECT_FALSE(w.write_file("/dev/full"));
+}
+
 TEST(CsvWriterDeath, RejectsArityMismatch) {
   CsvWriter w({"a", "b"});
   EXPECT_DEATH(w.add_row({"1"}), "Precondition");

@@ -1,0 +1,169 @@
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace sembfs::obs {
+namespace {
+
+// --- bucket scheme properties -------------------------------------------
+
+TEST(HistogramBuckets, SmallValuesGetExactBuckets) {
+  for (std::uint64_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), v);
+    EXPECT_EQ(Histogram::bucket_lower_bound(v), v);
+    EXPECT_EQ(Histogram::bucket_upper_bound(v), v);
+  }
+}
+
+TEST(HistogramBuckets, LowerBoundRoundTrips) {
+  // The lower bound of every bucket must map back to that bucket, and the
+  // value just below it to the previous bucket.
+  for (std::size_t i = 1; i < Histogram::kBucketCount; ++i) {
+    const std::uint64_t lo = Histogram::bucket_lower_bound(i);
+    EXPECT_EQ(Histogram::bucket_index(lo), i) << "lo=" << lo;
+    EXPECT_EQ(Histogram::bucket_index(lo - 1), i - 1) << "lo=" << lo;
+  }
+}
+
+TEST(HistogramBuckets, UpperBoundIsInclusive) {
+  for (std::size_t i = 0; i + 1 < Histogram::kBucketCount; ++i) {
+    const std::uint64_t hi = Histogram::bucket_upper_bound(i);
+    EXPECT_EQ(Histogram::bucket_index(hi), i);
+    EXPECT_EQ(Histogram::bucket_index(hi + 1), i + 1);
+  }
+}
+
+TEST(HistogramBuckets, PowerOfTwoBoundarySweep) {
+  // 2^k-1, 2^k, 2^k+1 for every representable exponent: the index must be
+  // monotone and 2^k must start a new power-of-two range (sub-bucket 0).
+  for (int k = 2; k < 64; ++k) {
+    const std::uint64_t p = std::uint64_t{1} << k;
+    const std::size_t below = Histogram::bucket_index(p - 1);
+    const std::size_t at = Histogram::bucket_index(p);
+    const std::size_t above = Histogram::bucket_index(p + 1);
+    EXPECT_EQ(at, static_cast<std::size_t>(k - 1) * 4) << "k=" << k;
+    EXPECT_EQ(below + 1, at) << "k=" << k;
+    EXPECT_LE(at, above) << "k=" << k;
+    EXPECT_EQ(Histogram::bucket_lower_bound(at), p) << "k=" << k;
+  }
+}
+
+TEST(HistogramBuckets, EveryValueFitsAndWidthIsBounded) {
+  EXPECT_EQ(
+      Histogram::bucket_index(std::numeric_limits<std::uint64_t>::max()),
+      Histogram::kBucketCount - 1);
+  // Relative width <= 25% of the lower bound (2 significant bits).
+  for (std::size_t i = 4; i + 1 < Histogram::kBucketCount; ++i) {
+    const std::uint64_t lo = Histogram::bucket_lower_bound(i);
+    const std::uint64_t width = Histogram::bucket_upper_bound(i) - lo + 1;
+    EXPECT_LE(width * 4, lo) << "bucket " << i;
+  }
+}
+
+// --- recording and statistics -------------------------------------------
+
+TEST(Histogram, RecordsCountSumMinMax) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  h.record(10);
+  h.record(30);
+  h.record(20);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.sum, 60u);
+  EXPECT_EQ(s.min, 10u);
+  EXPECT_EQ(s.max, 30u);
+  EXPECT_DOUBLE_EQ(s.mean(), 20.0);
+}
+
+TEST(Histogram, EmptySnapshotIsAllZero) {
+  const HistogramSnapshot s = Histogram{}.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, QuantileOfSingleValue) {
+  Histogram h;
+  h.record(1000);
+  const HistogramSnapshot s = h.snapshot();
+  // Clamped to the observed [min, max] regardless of bucket width.
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 1000.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 1000.0);
+}
+
+TEST(Histogram, QuantileEstimatesUniformSeries) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const HistogramSnapshot s = h.snapshot();
+  // Bucket resolution is 25%, so estimates must land within ~13% of the
+  // exact rank statistic (half a bucket width).
+  const struct {
+    double q;
+    double exact;
+  } cases[] = {{0.50, 500.0}, {0.90, 900.0}, {0.99, 990.0}};
+  for (const auto& c : cases) {
+    const double est = s.quantile(c.q);
+    EXPECT_NEAR(est, c.exact, c.exact * 0.13) << "q=" << c.q;
+  }
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 1000.0);
+}
+
+TEST(Histogram, QuantileIsMonotoneInQ) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 4096; v += 7) h.record(v);
+  const HistogramSnapshot s = h.snapshot();
+  double prev = s.quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = s.quantile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+}
+
+TEST(Histogram, ConcurrentRecordsAreLossless) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        h.record(static_cast<std::uint64_t>(t) * 1000 + (i % 100));
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, (kThreads - 1) * 1000 + 99);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, s.count);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram h;
+  h.record(5);
+  h.record(500);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  h.record(7);  // usable after reset
+  EXPECT_EQ(h.snapshot().min, 7u);
+}
+
+}  // namespace
+}  // namespace sembfs::obs

@@ -37,6 +37,30 @@ TEST_F(LoggingTest, FormatsArguments) {
   EXPECT_NE(err.find("x=42 s=str f=2.5"), std::string::npos);
 }
 
+// Regression: messages longer than the 1024-byte stack buffer were
+// silently truncated (the vsnprintf return value was ignored).
+TEST_F(LoggingTest, LongMessagesAreNotTruncated) {
+  set_log_level(LogLevel::Debug);
+  const std::string payload(2000, 'x');
+  ::testing::internal::CaptureStderr();
+  SEMBFS_LOG_DEBUG("head %s tail", payload.c_str());
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("head " + payload + " tail"), std::string::npos);
+}
+
+TEST_F(LoggingTest, MessageAtBufferBoundaryIsComplete) {
+  set_log_level(LogLevel::Debug);
+  // 1023 + NUL exactly fills the stack buffer; 1024 must take the heap
+  // path. Exercise both sides of the boundary.
+  for (const std::size_t len : {std::size_t{1023}, std::size_t{1024}}) {
+    const std::string payload(len, 'y');
+    ::testing::internal::CaptureStderr();
+    SEMBFS_LOG_DEBUG("%s", payload.c_str());
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find(payload), std::string::npos) << "len=" << len;
+  }
+}
+
 TEST_F(LoggingTest, DefaultLevelSuppressesInfo) {
   ::testing::internal::CaptureStderr();
   SEMBFS_LOG_INFO("quiet by default");

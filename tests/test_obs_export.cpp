@@ -1,0 +1,161 @@
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace sembfs::obs {
+namespace {
+
+MetricsSnapshot sample_snapshot() {
+  MetricsRegistry reg;
+  reg.counter("nvm.requests").add(42);
+  reg.counter("chunk_cache.hits").add(7);
+  reg.gauge("pool.size").set(-3);
+  Histogram& h = reg.histogram("nvm.service_us");
+  h.record(10);
+  h.record(100);
+  h.record(1000);
+  return reg.snapshot();
+}
+
+TEST(MetricsJson, ContainsSchemaAndAllSections) {
+  const std::string json = metrics_to_json(sample_snapshot());
+  EXPECT_NE(json.find("\"schema\":\"sembfs.metrics.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"nvm.requests\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"chunk_cache.hits\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"pool.size\":-3"), std::string::npos);
+  EXPECT_NE(json.find("\"nvm.service_us\":{\"count\":3"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"sum\":1110"), std::string::npos);
+  EXPECT_NE(json.find("\"min\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"max\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":["), std::string::npos);
+}
+
+TEST(MetricsJson, EmptyRegistryIsStillValidDocument) {
+  const std::string json = metrics_to_json(MetricsRegistry{}.snapshot());
+  EXPECT_NE(json.find("\"counters\":{}"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{}"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{}"), std::string::npos);
+}
+
+TEST(MetricsCsv, OneRowPerScalarAndHistogramKey) {
+  const std::string csv = metrics_to_csv(sample_snapshot()).render();
+  std::istringstream lines{csv};
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "kind,name,key,value");
+  EXPECT_NE(csv.find("counter,nvm.requests,value,42"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,pool.size,value,-3"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,nvm.service_us,count,3"),
+            std::string::npos);
+  EXPECT_NE(csv.find("histogram,nvm.service_us,p50,"), std::string::npos);
+  // One le_ row per non-empty bucket: three distinct recorded magnitudes.
+  std::size_t le_rows = 0;
+  std::istringstream again{csv};
+  while (std::getline(again, line)) {
+    if (line.find(",le_") != std::string::npos) ++le_rows;
+  }
+  EXPECT_EQ(le_rows, 3u);
+}
+
+TEST(TraceJson, RecordsSpansWithPolicyAndDecision) {
+  TraceLog log;
+  EXPECT_EQ(log.begin_run(17), 0);
+  TraceSpan span;
+  span.run = 0;
+  span.root = 17;
+  span.level = 3;
+  span.direction = Direction::BottomUp;
+  span.start_seconds = 0.5;
+  span.duration_seconds = 0.25;
+  span.stats.frontier_vertices = 100;
+  span.stats.scanned_edges = 1600;
+  span.policy_input.n_all = 1024;
+  span.policy_input.prev_frontier = 50;
+  span.policy_input.cur_frontier = 40;
+  span.decision = Direction::TopDown;
+  span.policy_evaluated = true;
+  log.record(span);
+
+  const std::string json = trace_to_json(log);
+  EXPECT_NE(json.find("\"schema\":\"sembfs.trace.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"run\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"root\":17"), std::string::npos);
+  EXPECT_NE(json.find("\"level\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"direction\":\"bottom-up\""), std::string::npos);
+  EXPECT_NE(json.find("\"frontier_vertices\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"policy\":{\"evaluated\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"prev_frontier\":50"), std::string::npos);
+  EXPECT_NE(json.find("\"cur_frontier\":40"), std::string::npos);
+  EXPECT_NE(json.find("\"decision\":\"top-down\""), std::string::npos);
+}
+
+TEST(TraceJson, EmptyLogHasEmptySpanArray) {
+  TraceLog log;
+  const std::string json = trace_to_json(log);
+  EXPECT_NE(json.find("\"spans\":[]"), std::string::npos);
+}
+
+TEST(TraceLogApi, RunIdsAreSequentialAndClearResets) {
+  TraceLog log;
+  EXPECT_EQ(log.begin_run(1), 0);
+  EXPECT_EQ(log.begin_run(2), 1);
+  log.record(TraceSpan{});
+  EXPECT_EQ(log.span_count(), 1u);
+  log.clear();
+  EXPECT_EQ(log.span_count(), 0u);
+  EXPECT_EQ(log.begin_run(3), 0);
+}
+
+TEST(WriteTextFile, RoundTripsAndReportsFailures) {
+  const std::string path = testing::TempDir() + "/sembfs_obs_export.json";
+  ASSERT_TRUE(write_text_file(path, "{\"ok\":true}\n"));
+  std::ifstream in{path};
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "{\"ok\":true}\n");
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(write_text_file("/nonexistent-dir-xyz/out.json", "x"));
+  // Full-disk case: the flush at fclose fails even though fwrite buffered.
+  std::FILE* probe = std::fopen("/dev/full", "w");
+  if (probe != nullptr) {
+    std::fclose(probe);
+    EXPECT_FALSE(write_text_file("/dev/full", "x"));
+  }
+}
+
+TEST(Exporters, OneShotWritersProduceParseableFiles) {
+  MetricsRegistry reg;
+  reg.counter("a").add(1);
+  const std::string dir = testing::TempDir();
+  const std::string json_path = dir + "/sembfs_metrics.json";
+  const std::string csv_path = dir + "/sembfs_metrics.csv";
+  TraceLog log;
+  log.begin_run(0);
+  const std::string trace_path = dir + "/sembfs_trace.json";
+
+  EXPECT_TRUE(write_metrics_json(reg, json_path));
+  EXPECT_TRUE(write_metrics_csv(reg, csv_path));
+  EXPECT_TRUE(write_trace_json(log, trace_path));
+  for (const std::string& p : {json_path, csv_path, trace_path}) {
+    std::ifstream in{p};
+    EXPECT_TRUE(in.good()) << p;
+    std::remove(p.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace sembfs::obs

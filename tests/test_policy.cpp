@@ -97,5 +97,72 @@ TEST(EdgeRatioPolicy, SwitchesBackOnSmallFrontier) {
   EXPECT_EQ(p.decide(in), Direction::BottomUp);
 }
 
+// Regression: the BU->TD branch once ignored the Section III-C "frontier
+// shrinking" precondition that the frontier-ratio rule applies, so a
+// still-GROWING frontier that merely started below n/beta (typical right
+// after an early TD->BU switch on a skewed graph) bounced straight back to
+// top-down at peak frontier width.
+TEST(EdgeRatioPolicy, StaysBottomUpWhileFrontierStillGrows) {
+  SwitchPolicy p{PolicyKind::EdgeRatio, 1e4, 1e5};
+  // n/beta = 10; frontier grew 5 -> 8, both below the threshold.
+  EXPECT_EQ(p.decide(input(Direction::BottomUp, 1'000'000, 5, 8)),
+            Direction::BottomUp);
+  // A flat frontier is not shrinking either.
+  EXPECT_EQ(p.decide(input(Direction::BottomUp, 1'000'000, 8, 8)),
+            Direction::BottomUp);
+}
+
+// Table-driven sweep of the Section III-C switch conditions as applied by
+// the edge-ratio rule: every (trend x threshold) combination on both
+// direction edges.
+TEST(EdgeRatioPolicy, SectionIIICSwitchTable) {
+  const SwitchPolicy p{PolicyKind::EdgeRatio, 14.0, 24.0};
+  constexpr std::int64_t n = 1'000'000;  // n/beta ~= 41667
+  struct Case {
+    const char* name;
+    Direction current;
+    std::int64_t prev, cur;    // frontier sizes (trend + beta threshold)
+    std::int64_t m_f, m_u;     // edge masses (alpha threshold)
+    Direction expected;
+  };
+  const Case cases[] = {
+      {"TD: heavy frontier switches", Direction::TopDown, 10, 100, 10'000,
+       100'000, Direction::BottomUp},
+      {"TD: light frontier stays", Direction::TopDown, 10, 100, 1'000,
+       100'000, Direction::TopDown},
+      {"BU: shrinking below n/beta switches back", Direction::BottomUp,
+       50'000, 40'000, 0, 0, Direction::TopDown},
+      {"BU: shrinking above n/beta stays", Direction::BottomUp, 50'000,
+       42'000, 0, 0, Direction::BottomUp},
+      {"BU: growing below n/beta stays (regression)", Direction::BottomUp,
+       100, 1'000, 0, 0, Direction::BottomUp},
+      {"BU: flat below n/beta stays", Direction::BottomUp, 1'000, 1'000, 0,
+       0, Direction::BottomUp},
+  };
+  for (const Case& c : cases) {
+    PolicyInput in = input(c.current, n, c.prev, c.cur);
+    in.frontier_edges = c.m_f;
+    in.unvisited_edges = c.m_u;
+    EXPECT_EQ(p.decide(in), c.expected) << c.name;
+  }
+}
+
+// Both rules gate the BU->TD edge identically (frontier trend + n/beta),
+// so on inputs where only frontier sizes matter they must agree.
+TEST(EdgeRatioPolicy, BottomUpEdgeAgreesWithFrontierRatioRule) {
+  const SwitchPolicy edge{PolicyKind::EdgeRatio, 14.0, 1e5};
+  const SwitchPolicy frontier{PolicyKind::FrontierRatio, 14.0, 1e5};
+  constexpr std::int64_t n = 1'000'000;  // n/beta = 10
+  const std::int64_t prevs[] = {5, 9, 12, 50};
+  const std::int64_t curs[] = {5, 8, 9, 11, 20};
+  for (const std::int64_t prev : prevs) {
+    for (const std::int64_t cur : curs) {
+      const PolicyInput in = input(Direction::BottomUp, n, prev, cur);
+      EXPECT_EQ(edge.decide(in), frontier.decide(in))
+          << "prev=" << prev << " cur=" << cur;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sembfs

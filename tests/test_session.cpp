@@ -4,6 +4,7 @@
 
 #include "bfs/reference_bfs.hpp"
 #include "graph_fixtures.hpp"
+#include "obs/trace.hpp"
 
 namespace sembfs {
 namespace {
@@ -117,6 +118,78 @@ TEST_F(SessionTest, PerLevelStatsAccumulateIncrementally) {
   while (session.step()) {
     ++expected;
     EXPECT_EQ(session.levels().size(), expected);
+  }
+}
+
+TEST_F(SessionTest, TraceSpansMatchLevelStats) {
+  obs::TraceLog trace;
+  BfsStatus status{edges_.vertex_count()};
+  BfsConfig config;
+  config.trace = &trace;
+  BfsSession session{storage_, topology_, pool_, status, root_, config};
+  std::vector<Direction> decisions;
+  while (true) {
+    const bool more = session.step();
+    decisions.push_back(session.next_direction());
+    if (!more) break;
+  }
+  const std::vector<LevelStats>& stats = session.levels();
+  const std::vector<obs::TraceSpan> spans = trace.spans();
+  ASSERT_EQ(spans.size(), stats.size());
+  double prev_start = -1.0;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const obs::TraceSpan& span = spans[i];
+    const LevelStats& level = stats[i];
+    EXPECT_EQ(span.run, 0);
+    EXPECT_EQ(span.root, root_);
+    EXPECT_EQ(span.level, level.level);
+    EXPECT_EQ(span.direction, level.direction);
+    EXPECT_EQ(span.stats.frontier_vertices, level.frontier_vertices);
+    EXPECT_EQ(span.stats.claimed_vertices, level.claimed_vertices);
+    EXPECT_EQ(span.stats.scanned_edges, level.scanned_edges);
+    EXPECT_EQ(span.stats.nvm_requests, level.nvm_requests);
+    // The policy saw this level's outcome: its input frontier sizes are
+    // this level's before/after, and its decision is the direction the
+    // session reported after the step.
+    EXPECT_EQ(span.policy_input.current, level.direction);
+    EXPECT_EQ(span.policy_input.prev_frontier, level.frontier_vertices);
+    EXPECT_TRUE(span.policy_evaluated);  // hybrid mode
+    EXPECT_EQ(span.decision, decisions[i]);
+    EXPECT_GE(span.start_seconds, prev_start);
+    EXPECT_GE(span.duration_seconds, 0.0);
+    prev_start = span.start_seconds;
+  }
+}
+
+TEST_F(SessionTest, TraceAssignsRunIdsPerSession) {
+  obs::TraceLog trace;
+  BfsConfig config;
+  config.trace = &trace;
+  for (int run = 0; run < 2; ++run) {
+    BfsStatus status{edges_.vertex_count()};
+    BfsSession session{storage_, topology_, pool_, status, root_, config};
+    while (session.step()) {
+    }
+  }
+  const std::vector<obs::TraceSpan> spans = trace.spans();
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans.front().run, 0);
+  EXPECT_EQ(spans.back().run, 1);
+}
+
+TEST_F(SessionTest, ForcedModeRecordsUnevaluatedPolicy) {
+  obs::TraceLog trace;
+  BfsConfig config;
+  config.mode = BfsMode::TopDownOnly;
+  config.trace = &trace;
+  BfsStatus status{edges_.vertex_count()};
+  BfsSession session{storage_, topology_, pool_, status, root_, config};
+  while (session.step()) {
+  }
+  for (const obs::TraceSpan& span : trace.spans()) {
+    EXPECT_FALSE(span.policy_evaluated);
+    EXPECT_EQ(span.direction, Direction::TopDown);
+    EXPECT_EQ(span.decision, Direction::TopDown);
   }
 }
 
