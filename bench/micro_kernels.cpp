@@ -44,6 +44,22 @@ void BM_BitmapCount(benchmark::State& state) {
 }
 BENCHMARK(BM_BitmapCount);
 
+void BM_BitmapOrMerge(benchmark::State& state) {
+  // The word-wise merge underneath BfsStatus::advance() in bitmap mode:
+  // one destination word per 64 vertices, OR-accumulated from a source.
+  constexpr std::size_t kBits = 1 << 24;
+  Bitmap dst{kBits};
+  Bitmap src{kBits};
+  for (std::size_t i = 0; i < kBits; i += 5) src.set(i);
+  for (auto _ : state) {
+    dst.or_with(src);
+    benchmark::DoNotOptimize(dst.words().data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBits / 8));
+}
+BENCHMARK(BM_BitmapOrMerge);
+
 void BM_Xoroshiro(benchmark::State& state) {
   Xoroshiro128 rng{42};
   for (auto _ : state) benchmark::DoNotOptimize(rng.next());
@@ -132,7 +148,53 @@ void BM_BottomUpSweep(benchmark::State& state) {
             .scanned_edges);
   }
 }
-BENCHMARK(BM_BottomUpSweep)->Arg(14)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BottomUpSweep)->Arg(14)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_BottomUpSweepBitmap(benchmark::State& state) {
+  // Same sweep with bitmap frontier output. The Queue variant pays its
+  // per-worker queue merge inside the step; the bitmap variant defers the
+  // word-wise OR-merge to advance(), so it is timed here too.
+  StepFixtureState fx{static_cast<int>(state.range(0))};
+  for (auto _ : state) {
+    fx.status.reset(fx.root);
+    top_down_step(fx.forward, fx.status, 1, fx.topology, fx.pool, 64);
+    fx.status.advance();
+    benchmark::DoNotOptimize(
+        bottom_up_step(fx.backward, fx.status, 2, fx.topology, fx.pool,
+                       1024, BottomUpOutput::Bitmap)
+            .scanned_edges);
+    fx.status.advance(fx.pool);
+  }
+}
+BENCHMARK(BM_BottomUpSweepBitmap)
+    ->Arg(14)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BottomUpLateLevel(benchmark::State& state) {
+  // Late-level sweep: after three top-down levels nearly every vertex is
+  // visited, so the word-skip path (one load + compare per 64 vertices)
+  // carries almost the whole range.
+  StepFixtureState fx{static_cast<int>(state.range(0))};
+  for (auto _ : state) {
+    state.PauseTiming();
+    fx.status.reset(fx.root);
+    for (int level = 1; level <= 3 && fx.status.frontier_size() > 0;
+         ++level) {
+      top_down_step(fx.forward, fx.status, level, fx.topology, fx.pool, 64);
+      fx.status.advance();
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        bottom_up_step(fx.backward, fx.status, 4, fx.topology, fx.pool,
+                       1024)
+            .scanned_edges);
+  }
+}
+BENCHMARK(BM_BottomUpLateLevel)
+    ->Arg(14)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_NvmChunkedRead(benchmark::State& state) {
   const std::string dir = "/tmp/sembfs_micro";

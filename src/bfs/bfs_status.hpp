@@ -1,12 +1,45 @@
 // BFS status data (paper Step 3: "queues, bitmaps for BFS status memories,
 // and trees for search results").
 //
-//  - parent: the BFS tree, -1 = unvisited (Graph500 convention). Claimed
-//    exactly once per vertex via CAS.
+//  - parent: the BFS tree, -1 = unvisited (Graph500 convention).
 //  - level:  depth at which each vertex was claimed (validation needs it).
 //  - visited bitmap: fast unvisited sweep for the bottom-up step.
-//  - frontier: the current level's vertex queue plus a membership bitmap
-//    (queue drives top-down; bitmap answers bottom-up's "v in frontier?").
+//  - frontier: the current level's membership bitmap (always valid; it
+//    answers bottom-up's "v in frontier?") plus, on demand, the vertex
+//    queue that drives top-down dequeueing.
+//
+// ## Dual frontier representation
+//
+// A steady-state bottom-up level claims a large fraction of all vertices,
+// so funnelling them through per-worker vectors, a serial concat, and a
+// bit-by-bit bitmap rebuild is pure overhead: the natural output of the
+// sweep is a bitmap. BfsStatus therefore tracks which representation the
+// current frontier is in (FrontierRep):
+//
+//  - Queue:  `frontier()` vector and `frontier_bitmap()` both valid —
+//    what top-down steps need. Produced by set_next()/set_next_merged()
+//    followed by advance().
+//  - Bitmap: only `frontier_bitmap()` is valid; the queue is materialized
+//    lazily by ensure_frontier_queue() when (and only when) a direction
+//    switch back to top-down needs it. Produced by per-worker next
+//    bitmaps (begin_bitmap_next() + worker_next()) merged word-wise by
+//    advance().
+//
+// ## Claim memory-ordering contract
+//
+//  - claim(): multi-writer CAS (acq_rel). Top-down workers race for the
+//    same destination vertex; exactly one wins, and the level/visited
+//    writes of the winner are ordered behind the CAS.
+//  - claim_bottom_up(): single-writer fast path — a plain release store
+//    on the parent slot, no CAS. Valid ONLY under the bottom-up sweep's
+//    ownership discipline: each unvisited vertex is swept by exactly one
+//    worker per level, so there is nothing to race with. The visited bit
+//    is still a relaxed fetch_or (neighbouring vertices in one word may
+//    be claimed by different workers at chunk boundaries). Cross-thread
+//    visibility of the claim is established by the level-ending
+//    ThreadPool::run() join, NOT by the store itself: within the level no
+//    other worker reads this vertex's parent/level/visited state, and
+//    every later reader is ordered behind the join.
 #pragma once
 
 #include <atomic>
@@ -18,6 +51,14 @@
 
 namespace sembfs {
 
+class ThreadPool;
+
+/// Which structure currently holds the frontier (see file comment).
+enum class FrontierRep {
+  Queue,   ///< vertex vector + membership bitmap
+  Bitmap,  ///< membership bitmap only; queue materialized on demand
+};
+
 class BfsStatus {
  public:
   explicit BfsStatus(Vertex vertex_count);
@@ -28,6 +69,7 @@ class BfsStatus {
   [[nodiscard]] Vertex vertex_count() const noexcept { return n_; }
 
   /// Attempts to claim w with parent v at `level`; true iff we won.
+  /// Multi-writer safe (top-down workers race per destination).
   bool claim(Vertex w, Vertex v, std::int32_t level) noexcept {
     Vertex expected = kNoVertex;
     if (parent_[static_cast<std::size_t>(w)].compare_exchange_strong(
@@ -38,6 +80,17 @@ class BfsStatus {
       return true;
     }
     return false;
+  }
+
+  /// Single-writer claim for the bottom-up sweep: plain release store, no
+  /// CAS. The caller must guarantee w is swept by exactly this worker this
+  /// level (see the memory-ordering contract in the file comment).
+  void claim_bottom_up(Vertex w, Vertex v, std::int32_t level) noexcept {
+    SEMBFS_ASSERT(parent_[static_cast<std::size_t>(w)].load(
+                      std::memory_order_relaxed) == kNoVertex);
+    level_[static_cast<std::size_t>(w)] = level;
+    parent_[static_cast<std::size_t>(w)].store(v, std::memory_order_release);
+    visited_.set(static_cast<std::size_t>(w));
   }
 
   [[nodiscard]] bool is_visited(Vertex w) const noexcept {
@@ -55,19 +108,66 @@ class BfsStatus {
     return level_[static_cast<std::size_t>(w)];
   }
 
+  /// Current representation of the frontier.
+  [[nodiscard]] FrontierRep frontier_rep() const noexcept { return rep_; }
+
+  /// The frontier vertex queue. Only valid in FrontierRep::Queue — call
+  /// ensure_frontier_queue() first after a bitmap-producing level.
   [[nodiscard]] const std::vector<Vertex>& frontier() const noexcept {
+    SEMBFS_ASSERT(rep_ == FrontierRep::Queue);
     return frontier_;
   }
+  /// Frontier membership bitmap. Valid in BOTH representations.
+  [[nodiscard]] const Bitmap& frontier_bitmap() const noexcept {
+    return frontier_bits_;
+  }
+  /// The visited bitmap, exposed for the word-skip sweep (word() loads).
+  [[nodiscard]] const AtomicBitmap& visited_bitmap() const noexcept {
+    return visited_;
+  }
   [[nodiscard]] std::int64_t frontier_size() const noexcept {
-    return static_cast<std::int64_t>(frontier_.size());
+    return rep_ == FrontierRep::Queue
+               ? static_cast<std::int64_t>(frontier_.size())
+               : frontier_count_;
   }
 
+  /// Materializes the frontier queue from the bitmap (no-op in Queue
+  /// rep). The queue comes out sorted by vertex id. Returns true iff a
+  /// conversion actually happened.
+  bool ensure_frontier_queue(ThreadPool& pool);
+  /// Serial variant for pool-free callers (tests, small graphs).
+  bool ensure_frontier_queue();
+
   /// Appends the merged next-frontier vertices (driver-side, serial).
-  void set_next(std::vector<Vertex> next) { next_ = std::move(next); }
+  void set_next(std::vector<Vertex> next) {
+    next_ = std::move(next);
+    pending_ = FrontierRep::Queue;
+  }
   [[nodiscard]] std::vector<Vertex>& next() noexcept { return next_; }
 
-  /// Promotes next -> frontier and rebuilds the frontier bitmap.
+  /// Parallel concat of per-worker next buffers: serial prefix-sum of the
+  /// buffer sizes, then the pool scatters each buffer at its offset.
+  /// Replaces the serial driver-thread insert loop the steps used to run.
+  void set_next_merged(std::vector<std::vector<Vertex>>& buffers,
+                       ThreadPool& pool);
+
+  /// Declares that this level's next frontier will be produced as
+  /// per-worker bitmaps (bottom-up bitmap mode). Allocates/readies
+  /// `workers` bitmaps of vertex_count() bits; bits are cleared lazily by
+  /// advance()'s merge, so this is O(1) after the first level.
+  void begin_bitmap_next(std::size_t workers);
+  /// Worker w's private next-frontier bitmap (plain set(), no atomics —
+  /// single writer by construction).
+  [[nodiscard]] Bitmap& worker_next(std::size_t w) noexcept {
+    return worker_next_bits_[w];
+  }
+
+  /// Promotes next -> frontier. Queue-pending levels swap the queue and
+  /// rebuild the membership bitmap; bitmap-pending levels OR-merge the
+  /// per-worker bitmaps word-wise (clearing them for reuse) and leave the
+  /// queue unmaterialized. The pool overload parallelizes both paths.
   void advance();
+  void advance(ThreadPool& pool);
 
   /// Copies the parent array into a plain vector.
   [[nodiscard]] std::vector<Vertex> parent_snapshot() const;
@@ -84,6 +184,9 @@ class BfsStatus {
   [[nodiscard]] std::uint64_t byte_size() const noexcept;
 
  private:
+  void advance_queue_serial();
+  void advance_bitmap_serial();
+
   Vertex n_ = 0;
   std::vector<std::atomic<Vertex>> parent_;
   std::vector<std::int32_t> level_;
@@ -91,6 +194,14 @@ class BfsStatus {
   Bitmap frontier_bits_;
   std::vector<Vertex> frontier_;
   std::vector<Vertex> next_;
+  /// Per-worker next-frontier bitmaps (bitmap mode only; empty until the
+  /// first begin_bitmap_next). Invariant: all-zero outside a level.
+  std::vector<Bitmap> worker_next_bits_;
+  FrontierRep rep_ = FrontierRep::Queue;
+  FrontierRep pending_ = FrontierRep::Queue;
+  /// Set-bit count of frontier_bits_ (maintained in Bitmap rep, where the
+  /// queue's size() is unavailable).
+  std::int64_t frontier_count_ = 0;
 };
 
 }  // namespace sembfs

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 
+#include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 
 namespace sembfs {
@@ -11,22 +13,33 @@ namespace {
 
 struct TeamState {
   explicit TeamState(std::size_t nodes, std::size_t workers)
-      : cursors(nodes), buffers(workers) {}
+      : cursors(nodes), buffers(workers) {
+    for (auto& c : cursors) c.store(0, std::memory_order_relaxed);
+  }
   std::vector<std::atomic<std::int64_t>> cursors;  // offset within node range
-  std::vector<std::vector<Vertex>> buffers;
+  std::vector<std::vector<Vertex>> buffers;        // Queue output only
   std::atomic<std::int64_t> claimed{0};
   std::atomic<std::int64_t> scanned{0};
   std::atomic<std::uint64_t> nvm_requests{0};
+  std::atomic<std::uint64_t> words_swept{0};
+  std::atomic<std::uint64_t> words_skipped{0};
 };
 
-StepResult finish(TeamState& state, BfsStatus& status) {
-  std::vector<Vertex> next;
-  std::size_t total = 0;
-  for (const auto& b : state.buffers) total += b.size();
-  next.reserve(total);
-  for (const auto& b : state.buffers)
-    next.insert(next.end(), b.begin(), b.end());
-  status.set_next(std::move(next));
+StepResult finish(TeamState& state, BfsStatus& status, ThreadPool& pool,
+                  BottomUpOutput output) {
+  if (output == BottomUpOutput::Queue)
+    status.set_next_merged(state.buffers, pool);
+  // Bitmap output: the claims are already in the per-worker bitmaps that
+  // begin_bitmap_next() registered; advance() merges them word-wise.
+
+  if (obs::enabled()) {
+    static obs::Counter* const swept =
+        &obs::metrics().counter("bfs.bottom_up.words_swept");
+    static obs::Counter* const skipped =
+        &obs::metrics().counter("bfs.bottom_up.words_skipped");
+    swept->add(state.words_swept.load(std::memory_order_relaxed));
+    skipped->add(state.words_skipped.load(std::memory_order_relaxed));
+  }
 
   StepResult result;
   result.claimed = state.claimed.load(std::memory_order_relaxed);
@@ -35,21 +48,64 @@ StepResult finish(TeamState& state, BfsStatus& status) {
   return result;
 }
 
+/// The word-skip sweep skeleton shared by the DRAM and hybrid variants.
+/// Calls scan(vtx) for every unvisited vertex in [abs_lo, abs_hi), loading
+/// the visited bitmap one word at a time and skipping words with no
+/// unvisited survivors. Returns {words swept, words skipped}.
+template <typename ScanFn>
+std::pair<std::uint64_t, std::uint64_t> sweep_unvisited(
+    const AtomicBitmap& visited, std::int64_t abs_lo, std::int64_t abs_hi,
+    ScanFn&& scan) {
+  std::uint64_t swept = 0;
+  std::uint64_t skipped = 0;
+  const auto lo = static_cast<std::size_t>(abs_lo);
+  const auto hi = static_cast<std::size_t>(abs_hi);
+  const std::size_t w0 = lo >> 6;
+  const std::size_t w1 = (hi + 63) >> 6;
+  for (std::size_t w = w0; w < w1; ++w) {
+    // Mask the word down to [abs_lo, abs_hi): chunk and node-range
+    // boundaries are not word-aligned, and bits outside the range belong
+    // to another worker's chunk (or another node's partition).
+    std::uint64_t mask = ~std::uint64_t{0};
+    if (w == w0) mask &= ~std::uint64_t{0} << (lo & 63);
+    if (const std::size_t word_end = (w + 1) * 64; word_end > hi)
+      mask &= bitmap_tail_mask(64 - (word_end - hi));
+    ++swept;
+    std::uint64_t unvisited = ~visited.word(w) & mask;
+    if (unvisited == 0) {
+      // Fully-visited (or fully out-of-range) word: 64 vertices for one
+      // load — the common case on late bottom-up levels.
+      ++skipped;
+      continue;
+    }
+    for_each_set_in_word(unvisited, w * 64, [&](std::size_t vtx) {
+      scan(static_cast<Vertex>(vtx));
+    });
+  }
+  return {swept, skipped};
+}
+
 }  // namespace
 
 StepResult bottom_up_step(const BackwardGraph& backward, BfsStatus& status,
                           std::int32_t level, const NumaTopology& topology,
-                          ThreadPool& pool, std::int64_t chunk) {
+                          ThreadPool& pool, std::int64_t chunk,
+                          BottomUpOutput output) {
   SEMBFS_EXPECTS(chunk >= 1);
   const std::size_t workers =
       std::min<std::size_t>(pool.size(), topology.total_threads());
   TeamState state{topology.node_count(), workers};
-  for (auto& c : state.cursors) c.store(0, std::memory_order_relaxed);
+  if (output == BottomUpOutput::Bitmap) status.begin_bitmap_next(workers);
+  const AtomicBitmap& visited = status.visited_bitmap();
 
   pool.run(workers, [&](std::size_t w) {
     auto& out = state.buffers[w];
+    Bitmap* const out_bits =
+        output == BottomUpOutput::Bitmap ? &status.worker_next(w) : nullptr;
     std::int64_t local_claimed = 0;
     std::int64_t local_scanned = 0;
+    std::uint64_t local_swept = 0;
+    std::uint64_t local_skipped = 0;
 
     for_each_assigned_node(w, workers, backward.node_count(), [&](std::size_t node) {
       const Csr& part = backward.partition(node);
@@ -61,46 +117,59 @@ StepResult bottom_up_step(const BackwardGraph& backward, BfsStatus& status,
         if (lo >= range.size()) break;
         const std::int64_t hi =
             std::min<std::int64_t>(range.size(), lo + chunk);
-        for (std::int64_t i = lo; i < hi; ++i) {
-          const Vertex vtx = range.begin + i;
-          if (status.is_visited(vtx)) continue;
-          for (const Vertex candidate : part.neighbors(vtx)) {
-            ++local_scanned;
-            if (status.in_frontier(candidate)) {
-              // Single-writer per vertex: each unvisited vertex is swept by
-              // exactly one worker per level, so the claim must succeed.
-              const bool won = status.claim(vtx, candidate, level);
-              SEMBFS_ASSERT(won);
-              out.push_back(vtx);
-              ++local_claimed;
-              break;  // bottom-up early exit
-            }
-          }
-        }
+        const auto [swept, skipped] = sweep_unvisited(
+            visited, range.begin + lo, range.begin + hi, [&](Vertex vtx) {
+              for (const Vertex candidate : part.neighbors(vtx)) {
+                ++local_scanned;
+                if (status.in_frontier(candidate)) {
+                  // Single-writer per vertex: each unvisited vertex is
+                  // swept by exactly one worker per level, so the plain
+                  // release-store claim needs no CAS.
+                  status.claim_bottom_up(vtx, candidate, level);
+                  if (out_bits != nullptr) {
+                    out_bits->set(static_cast<std::size_t>(vtx));
+                  } else {
+                    out.push_back(vtx);
+                  }
+                  ++local_claimed;
+                  break;  // bottom-up early exit
+                }
+              }
+            });
+        local_swept += swept;
+        local_skipped += skipped;
       }
     });
     state.claimed.fetch_add(local_claimed, std::memory_order_relaxed);
     state.scanned.fetch_add(local_scanned, std::memory_order_relaxed);
+    state.words_swept.fetch_add(local_swept, std::memory_order_relaxed);
+    state.words_skipped.fetch_add(local_skipped, std::memory_order_relaxed);
   });
 
-  return finish(state, status);
+  return finish(state, status, pool, output);
 }
 
 StepResult bottom_up_step_hybrid(HybridBackwardGraph& backward,
                                  BfsStatus& status, std::int32_t level,
                                  const NumaTopology& topology,
-                                 ThreadPool& pool, std::int64_t chunk) {
+                                 ThreadPool& pool, std::int64_t chunk,
+                                 BottomUpOutput output) {
   SEMBFS_EXPECTS(chunk >= 1);
   const std::size_t workers =
       std::min<std::size_t>(pool.size(), topology.total_threads());
   TeamState state{topology.node_count(), workers};
-  for (auto& c : state.cursors) c.store(0, std::memory_order_relaxed);
+  if (output == BottomUpOutput::Bitmap) status.begin_bitmap_next(workers);
+  const AtomicBitmap& visited = status.visited_bitmap();
 
   pool.run(workers, [&](std::size_t w) {
     auto& out = state.buffers[w];
+    Bitmap* const out_bits =
+        output == BottomUpOutput::Bitmap ? &status.worker_next(w) : nullptr;
     std::vector<Vertex> scratch;  // NVM chunk staging
     std::int64_t local_claimed = 0;
     std::int64_t local_scanned = 0;
+    std::uint64_t local_swept = 0;
+    std::uint64_t local_skipped = 0;
 
     for_each_assigned_node(w, workers, backward.node_count(), [&](std::size_t node) {
       HybridBackwardPartition& part = backward.partition(node);
@@ -112,28 +181,34 @@ StepResult bottom_up_step_hybrid(HybridBackwardGraph& backward,
         if (lo >= range.size()) break;
         const std::int64_t hi =
             std::min<std::int64_t>(range.size(), lo + chunk);
-        for (std::int64_t i = lo; i < hi; ++i) {
-          const Vertex vtx = range.begin + i;
-          if (status.is_visited(vtx)) continue;
-          part.visit_neighbors(vtx, scratch, [&](Vertex candidate) {
-            ++local_scanned;
-            if (status.in_frontier(candidate)) {
-              const bool won = status.claim(vtx, candidate, level);
-              SEMBFS_ASSERT(won);
-              out.push_back(vtx);
-              ++local_claimed;
-              return false;  // stop scanning this vertex
-            }
-            return true;
-          });
-        }
+        const auto [swept, skipped] = sweep_unvisited(
+            visited, range.begin + lo, range.begin + hi, [&](Vertex vtx) {
+              part.visit_neighbors(vtx, scratch, [&](Vertex candidate) {
+                ++local_scanned;
+                if (status.in_frontier(candidate)) {
+                  status.claim_bottom_up(vtx, candidate, level);
+                  if (out_bits != nullptr) {
+                    out_bits->set(static_cast<std::size_t>(vtx));
+                  } else {
+                    out.push_back(vtx);
+                  }
+                  ++local_claimed;
+                  return false;  // stop scanning this vertex
+                }
+                return true;
+              });
+            });
+        local_swept += swept;
+        local_skipped += skipped;
       }
     });
     state.claimed.fetch_add(local_claimed, std::memory_order_relaxed);
     state.scanned.fetch_add(local_scanned, std::memory_order_relaxed);
+    state.words_swept.fetch_add(local_swept, std::memory_order_relaxed);
+    state.words_skipped.fetch_add(local_skipped, std::memory_order_relaxed);
   });
 
-  return finish(state, status);
+  return finish(state, status, pool, output);
 }
 
 }  // namespace sembfs

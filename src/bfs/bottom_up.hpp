@@ -1,4 +1,4 @@
-// Bottom-up BFS steps (paper Figure 2), NUMA-aware.
+// Bottom-up BFS steps (paper Figure 2), NUMA-aware and word-parallel.
 //
 // Each emulated NUMA node's team sweeps the *unvisited* vertices of its own
 // vertex range against its backward partition (complete adjacency lists),
@@ -6,10 +6,24 @@
 // frontier — the early-exit that makes the bottom-up direction cheap when
 // the frontier is large.
 //
+// The unvisited sweep is word-parallel: workers load 64 vertices' visited
+// bits at a time and skip fully-visited words outright (on late levels
+// nearly every word is saturated, so most of the vertex range costs one
+// load + compare per 64 vertices), iterating survivors via countr_zero.
+// Claims use BfsStatus::claim_bottom_up — a single-writer release store,
+// no CAS — because each unvisited vertex is swept by exactly one worker
+// per level.
+//
 // Two variants:
 //  - bottom_up_step:        backward graph fully in DRAM
 //  - bottom_up_step_hybrid: first-k-edges in DRAM, remainder streamed from
 //    simulated NVM (paper Section VI-E / Figure 14)
+//
+// Both emit the next frontier in either representation (see
+// bfs_status.hpp): Queue (per-worker vectors, merged) or Bitmap
+// (per-worker bitmaps, OR-merged word-wise by advance()). The session
+// picks per level; Bitmap avoids the queue round-trip entirely on the
+// wide steady-state levels that dominate hybrid BFS time.
 #pragma once
 
 #include "bfs/bfs_status.hpp"
@@ -21,13 +35,21 @@
 
 namespace sembfs {
 
+/// How a bottom-up step writes the next frontier into BfsStatus.
+enum class BottomUpOutput {
+  Queue,   ///< per-worker vectors -> set_next_merged (legacy shape)
+  Bitmap,  ///< per-worker bitmaps -> word-wise merge in advance()
+};
+
 StepResult bottom_up_step(const BackwardGraph& backward, BfsStatus& status,
                           std::int32_t level, const NumaTopology& topology,
-                          ThreadPool& pool, std::int64_t chunk = 1024);
+                          ThreadPool& pool, std::int64_t chunk = 1024,
+                          BottomUpOutput output = BottomUpOutput::Queue);
 
 StepResult bottom_up_step_hybrid(HybridBackwardGraph& backward,
                                  BfsStatus& status, std::int32_t level,
                                  const NumaTopology& topology,
-                                 ThreadPool& pool, std::int64_t chunk = 1024);
+                                 ThreadPool& pool, std::int64_t chunk = 1024,
+                                 BottomUpOutput output = BottomUpOutput::Queue);
 
 }  // namespace sembfs

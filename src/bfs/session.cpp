@@ -25,6 +25,10 @@ BfsSession::BfsSession(GraphStorage storage, const NumaTopology& topology,
       obs_direction_switches_(
           &obs::metrics().counter("bfs.direction_switches")),
       obs_io_failures_(&obs::metrics().counter("bfs.io_failures")),
+      obs_frontier_conversions_(
+          &obs::metrics().counter("bfs.frontier_conversions")),
+      obs_bitmap_levels_(
+          &obs::metrics().counter("bfs.bitmap_frontier_levels")),
       obs_level_us_(&obs::metrics().histogram("bfs.level_us")) {
   const Vertex n = storage_.vertex_count();
   SEMBFS_EXPECTS(root >= 0 && root < n);
@@ -68,6 +72,12 @@ bool BfsSession::step() {
   StepResult step_result;
   bool level_degraded = false;
   if (direction_ == Direction::TopDown) {
+    // The last level may have produced a bitmap frontier (bottom-up in
+    // bitmap mode); top-down steps dequeue, so materialize the queue now.
+    // This is the bitmap->queue conversion point — by construction it sits
+    // on a direction switch, where the frontier has already thinned.
+    if (status_->ensure_frontier_queue(pool_) && obs::enabled())
+      obs_frontier_conversions_->add(1);
     if (storage_.forward_dram != nullptr) {
       step_result = top_down_step(*storage_.forward_dram, *status_, level_,
                                   topology_, pool_, config_.batch_size);
@@ -115,14 +125,17 @@ bool BfsSession::step() {
       level_degraded = true;
     }
   } else {
+    const BottomUpOutput output = bottom_up_output(cur_frontier);
+    if (output == BottomUpOutput::Bitmap && obs::enabled())
+      obs_bitmap_levels_->add(1);
     if (storage_.backward_dram != nullptr) {
       step_result =
           bottom_up_step(*storage_.backward_dram, *status_, level_,
-                         topology_, pool_, config_.bottom_up_chunk);
+                         topology_, pool_, config_.bottom_up_chunk, output);
     } else {
-      step_result = bottom_up_step_hybrid(*storage_.backward_hybrid,
-                                          *status_, level_, topology_,
-                                          pool_, config_.bottom_up_chunk);
+      step_result = bottom_up_step_hybrid(
+          *storage_.backward_hybrid, *status_, level_, topology_, pool_,
+          config_.bottom_up_chunk, output);
     }
     scanned_bottom_up_ += step_result.scanned_edges;
   }
@@ -146,20 +159,39 @@ bool BfsSession::step() {
   stats.degraded = level_degraded;
   level_stats_.push_back(stats);
 
-  status_->advance();
+  status_->advance(pool_);
   const std::int64_t next_frontier = status_->frontier_size();
 
   if (config_.policy.kind == PolicyKind::EdgeRatio) {
     // Degree sum over the next frontier — the same reduction the
     // constructor runs over all vertices; a serial loop here dominated
     // level time on wide frontiers.
-    const auto& frontier = status_->frontier();
-    frontier_edges_ = parallel_reduce<std::int64_t>(
-        pool_, 0, static_cast<std::int64_t>(frontier.size()), 0,
-        [&](std::int64_t& acc, std::int64_t i) {
-          acc += storage_.degree(frontier[static_cast<std::size_t>(i)]);
-        },
-        [](std::int64_t a, std::int64_t b) { return a + b; });
+    if (status_->frontier_rep() == FrontierRep::Bitmap) {
+      // Bitmap frontier: no queue to walk, so reduce over bitmap words and
+      // expand set bits in place (the frontier is dense here, so nearly
+      // every word contributes).
+      const std::span<const std::uint64_t> words =
+          status_->frontier_bitmap().words();
+      frontier_edges_ = parallel_reduce<std::int64_t>(
+          pool_, 0, static_cast<std::int64_t>(words.size()), 0,
+          [&](std::int64_t& acc, std::int64_t w) {
+            for_each_set_in_word(words[static_cast<std::size_t>(w)],
+                                 static_cast<std::size_t>(w) * 64,
+                                 [&](std::size_t v) {
+                                   acc += storage_.degree(
+                                       static_cast<Vertex>(v));
+                                 });
+          },
+          [](std::int64_t a, std::int64_t b) { return a + b; });
+    } else {
+      const auto& frontier = status_->frontier();
+      frontier_edges_ = parallel_reduce<std::int64_t>(
+          pool_, 0, static_cast<std::int64_t>(frontier.size()), 0,
+          [&](std::int64_t& acc, std::int64_t i) {
+            acc += storage_.degree(frontier[static_cast<std::size_t>(i)]);
+          },
+          [](std::int64_t a, std::int64_t b) { return a + b; });
+    }
     unvisited_edges_ -= frontier_edges_;
   }
 
@@ -206,6 +238,24 @@ bool BfsSession::step() {
   return !done_;
 }
 
+BottomUpOutput BfsSession::bottom_up_output(
+    std::int64_t cur_frontier) const noexcept {
+  switch (config_.frontier_mode) {
+    case FrontierMode::ForceQueue:
+      return BottomUpOutput::Queue;
+    case FrontierMode::ForceBitmap:
+      return BottomUpOutput::Bitmap;
+    case FrontierMode::Auto:
+      break;
+  }
+  // Density proxy: the current frontier averages >= 1 vertex per visited
+  // word, so the next one (typically wider or comparable mid-search) is
+  // worth the O(n/64)-per-worker merge.
+  return cur_frontier >= storage_.vertex_count() / 64
+             ? BottomUpOutput::Bitmap
+             : BottomUpOutput::Queue;
+}
+
 StepResult BfsSession::degrade_level() {
   if (storage_.backward_dram == nullptr && storage_.backward_hybrid == nullptr) {
     throw NvmIoError(
@@ -215,8 +265,9 @@ StepResult BfsSession::degrade_level() {
   }
   // The partial top-down claims are valid (each vertex was CAS-claimed
   // with a correct parent at this level); the bottom-up sweep skips them
-  // via the visited bitmap and claims the rest. Both steps write the next
-  // frontier through set_next, so save the partial list and merge after.
+  // via the visited bitmap and claims the rest. The redo stays on Queue
+  // output (regardless of frontier_mode) so its next list can be merged
+  // with the partial top-down list saved here.
   std::vector<Vertex> partial = std::move(status_->next());
   status_->set_next({});
   StepResult redo;

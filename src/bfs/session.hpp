@@ -62,6 +62,11 @@ class BfsSession {
   /// the fallback step's result.
   StepResult degrade_level();
 
+  /// Resolves config_.frontier_mode into a per-level output choice for the
+  /// bottom-up step (Auto is density-driven; see FrontierMode).
+  [[nodiscard]] BottomUpOutput bottom_up_output(
+      std::int64_t cur_frontier) const noexcept;
+
   Direction direction_ = Direction::TopDown;
   std::int32_t level_ = 1;
   bool done_ = false;
@@ -85,6 +90,8 @@ class BfsSession {
   obs::Counter* obs_degraded_levels_;
   obs::Counter* obs_direction_switches_;
   obs::Counter* obs_io_failures_;
+  obs::Counter* obs_frontier_conversions_;
+  obs::Counter* obs_bitmap_levels_;
   obs::Histogram* obs_level_us_;
 };
 

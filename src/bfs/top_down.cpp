@@ -11,7 +11,7 @@ namespace sembfs {
 namespace {
 
 // Shared state for one top-down level: per-node frontier cursors and
-// per-worker output buffers, merged serially at the end of the level.
+// per-worker output buffers, merged on the pool at the end of the level.
 struct TeamState {
   explicit TeamState(std::size_t nodes, std::size_t workers)
       : cursors(nodes), buffers(workers) {
@@ -38,13 +38,8 @@ struct TeamState {
   }
 };
 
-StepResult finish(TeamState& state, BfsStatus& status) {
-  std::vector<Vertex> next;
-  std::size_t total = 0;
-  for (const auto& b : state.buffers) total += b.size();
-  next.reserve(total);
-  for (const auto& b : state.buffers) next.insert(next.end(), b.begin(), b.end());
-  status.set_next(std::move(next));
+StepResult finish(TeamState& state, BfsStatus& status, ThreadPool& pool) {
+  status.set_next_merged(state.buffers, pool);
 
   StepResult result;
   result.claimed = state.claimed.load(std::memory_order_relaxed);
@@ -97,7 +92,7 @@ StepResult top_down_step(const ForwardGraph& forward, BfsStatus& status,
     state.scanned.fetch_add(local_scanned, std::memory_order_relaxed);
   });
 
-  return finish(state, status);
+  return finish(state, status, pool);
 }
 
 StepResult top_down_step_external(ExternalForwardGraph& forward,
@@ -212,7 +207,7 @@ StepResult top_down_step_external(ExternalForwardGraph& forward,
     state.nvm_requests.fetch_add(local_requests, std::memory_order_relaxed);
   });
 
-  return finish(state, status);
+  return finish(state, status, pool);
 }
 
 StepResult top_down_step_tiered(TieredForwardGraph& forward,
@@ -268,7 +263,7 @@ StepResult top_down_step_tiered(TieredForwardGraph& forward,
     state.nvm_requests.fetch_add(local_requests, std::memory_order_relaxed);
   });
 
-  return finish(state, status);
+  return finish(state, status, pool);
 }
 
 }  // namespace sembfs

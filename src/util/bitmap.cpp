@@ -1,12 +1,11 @@
 #include "util/bitmap.hpp"
 
+#include <algorithm>
 #include <bit>
 
 namespace sembfs {
 
-namespace {
-constexpr std::size_t words_for(std::size_t bits) { return (bits + 63) / 64; }
-}  // namespace
+using bitmap_detail::words_for;
 
 Bitmap::Bitmap(std::size_t bits) : words_(words_for(bits), 0), bits_(bits) {}
 
@@ -21,6 +20,12 @@ std::size_t Bitmap::count() const noexcept {
   std::size_t total = 0;
   for (const auto w : words_) total += std::popcount(w);
   return total;
+}
+
+void Bitmap::or_with(const Bitmap& other) noexcept {
+  SEMBFS_ASSERT(bits_ == other.bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    words_[i] |= other.words_[i];
 }
 
 void Bitmap::swap(Bitmap& other) noexcept {
@@ -52,8 +57,9 @@ std::size_t AtomicBitmap::count() const noexcept {
 
 void AtomicBitmap::snapshot(Bitmap& out) const {
   out.resize(bits_);
-  for (std::size_t i = 0; i < bits_; ++i)
-    if (test(i)) out.set(i);
+  const std::span<std::uint64_t> dst = out.words();
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    dst[w] = words_[w].load(std::memory_order_relaxed);
 }
 
 }  // namespace sembfs

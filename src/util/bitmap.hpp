@@ -6,20 +6,56 @@
 //    report whether the caller won the race (the "claim" idiom the top-down
 //    step relies on: tree(w) == -1 -> tree(w) = v must happen exactly once).
 //
-// Both store 64 bits per word; sizes are in bits.
+// Both store 64 bits per word; sizes are in bits. Beyond the per-bit
+// operations, both expose their word arrays directly: the bottom-up BFS
+// kernels work 64 vertices at a time (load one visited word, skip it when
+// saturated, iterate survivors via countr_zero) and merge per-worker
+// frontier bitmaps word-wise, so word access is part of the contract, not
+// an implementation leak. Bits at positions >= size() within the last
+// word are always zero (set() rejects them), so whole-word reads never
+// see garbage in the partial tail word.
 #pragma once
 
 #include <atomic>
 #include <bit>
 #include <cstdint>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "util/contracts.hpp"
 
 namespace sembfs {
 
-/// Plain (non-atomic) bitmap. Not safe for concurrent writers.
+namespace bitmap_detail {
+/// Number of 64-bit words needed for `bits` bits.
+constexpr std::size_t words_for(std::size_t bits) noexcept {
+  return (bits + 63) / 64;
+}
+}  // namespace bitmap_detail
+
+/// All-ones in bit positions [0, bits) of one word; bits must be in
+/// [0, 64]. tail_mask(64) is ~0 (the shift-by-width UB is avoided).
+[[nodiscard]] constexpr std::uint64_t bitmap_tail_mask(
+    std::size_t bits) noexcept {
+  return bits >= 64 ? ~std::uint64_t{0}
+                    : (std::uint64_t{1} << bits) - 1;
+}
+
+/// Calls fn(base + bit) for every set bit of `word`, ascending. The
+/// word-at-a-time idiom shared by every bitmap-driven kernel: callers load
+/// (and mask) a word once, then burn it down via countr_zero.
+template <typename Fn>
+void for_each_set_in_word(std::uint64_t word, std::size_t base, Fn&& fn) {
+  while (word != 0) {
+    const int bit = std::countr_zero(word);
+    fn(base + static_cast<std::size_t>(bit));
+    word &= word - 1;
+  }
+}
+
+/// Plain (non-atomic) bitmap. Not safe for concurrent writers, except for
+/// set_atomic() which may race with other set_atomic() calls.
 class Bitmap {
  public:
   Bitmap() = default;
@@ -37,6 +73,15 @@ class Bitmap {
     SEMBFS_ASSERT(i < bits_);
     words_[i >> 6] |= std::uint64_t{1} << (i & 63);
   }
+  /// Sets bit i with a relaxed atomic OR, safe against concurrent
+  /// set_atomic() on the same word (parallel frontier-bitmap rebuilds
+  /// scatter arbitrary vertices, so two workers may share a word). Not
+  /// ordered against plain reads in the same parallel region.
+  void set_atomic(std::size_t i) noexcept {
+    SEMBFS_ASSERT(i < bits_);
+    std::atomic_ref<std::uint64_t>{words_[i >> 6]}.fetch_or(
+        std::uint64_t{1} << (i & 63), std::memory_order_relaxed);
+  }
   void reset(std::size_t i) noexcept {
     SEMBFS_ASSERT(i < bits_);
     words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
@@ -52,18 +97,42 @@ class Bitmap {
   /// Calls fn(index) for every set bit, in increasing index order.
   template <typename Fn>
   void for_each_set(Fn&& fn) const {
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      std::uint64_t word = words_[w];
-      while (word != 0) {
-        const int bit = std::countr_zero(word);
-        fn(w * 64 + static_cast<std::size_t>(bit));
-        word &= word - 1;
-      }
-    }
+    for (std::size_t w = 0; w < words_.size(); ++w)
+      for_each_set_in_word(words_[w], w * 64, fn);
   }
 
   [[nodiscard]] std::uint64_t word(std::size_t w) const noexcept {
     return words_[w];
+  }
+
+  /// Direct word access for word-parallel kernels.
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return words_;
+  }
+  [[nodiscard]] std::span<std::uint64_t> words() noexcept { return words_; }
+
+  /// Word-wise OR-merge: this |= other. Sizes must match.
+  void or_with(const Bitmap& other) noexcept;
+
+  /// Clears via `pool` (anything with ThreadPool's run(n, fn)/size()
+  /// shape), partitioning the word array statically. Serial below a small
+  /// threshold — zeroing a few KiB does not amortize a fork/join.
+  template <typename Pool>
+  void clear_parallel(Pool& pool) {
+    constexpr std::size_t kSerialWords = 1 << 14;  // 128 KiB
+    const std::size_t n = words_.size();
+    const std::size_t workers = pool.size();
+    if (n <= kSerialWords || workers <= 1) {
+      clear();
+      return;
+    }
+    std::uint64_t* const data = words_.data();
+    pool.run(workers, [data, n, workers](std::size_t w) {
+      const std::size_t chunk = (n + workers - 1) / workers;
+      const std::size_t lo = w * chunk;
+      const std::size_t hi = lo + chunk < n ? lo + chunk : n;
+      for (std::size_t i = lo; i < hi; ++i) data[i] = 0;
+    });
   }
 
   /// Swap contents with another bitmap of any size.
@@ -90,6 +159,9 @@ class AtomicBitmap {
   void clear() noexcept;
 
   [[nodiscard]] std::size_t size() const noexcept { return bits_; }
+  [[nodiscard]] std::size_t word_count() const noexcept {
+    return words_.size();
+  }
 
   void set(std::size_t i) noexcept {
     SEMBFS_ASSERT(i < bits_);
@@ -109,6 +181,15 @@ class AtomicBitmap {
   [[nodiscard]] bool test(std::size_t i) const noexcept {
     SEMBFS_ASSERT(i < bits_);
     return (words_[i >> 6].load(std::memory_order_relaxed) >> (i & 63)) & 1U;
+  }
+
+  /// Relaxed load of word w — the bottom-up sweep's unit of work. A word
+  /// whose masked complement is zero is fully visited and costs one load
+  /// for 64 vertices. Concurrent set()s may or may not be reflected;
+  /// callers must tolerate stale zeros (the sweep does: a vertex never
+  /// shows visited before its claim).
+  [[nodiscard]] std::uint64_t word(std::size_t w) const noexcept {
+    return words_[w].load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::size_t count() const noexcept;

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 #include <vector>
+
+#include "parallel/thread_pool.hpp"
 
 namespace sembfs {
 namespace {
@@ -94,6 +97,103 @@ TEST(BfsStatus, ConcurrentClaimsSingleWinnerPerVertex) {
   for (auto& th : threads) th.join();
   EXPECT_EQ(wins.load(), 999);
   EXPECT_EQ(status.visited_count(), 1000);
+}
+
+TEST(BfsStatus, ClaimBottomUpSetsParentLevelVisited) {
+  BfsStatus status{10};
+  status.reset(0);
+  status.claim_bottom_up(6, 0, 1);
+  EXPECT_EQ(status.parent(6), 0);
+  EXPECT_EQ(status.level(6), 1);
+  EXPECT_TRUE(status.is_visited(6));
+}
+
+TEST(BfsStatus, SetNextMergedConcatsPerWorkerBuffers) {
+  ThreadPool pool{4};
+  BfsStatus status{16};
+  status.reset(0);
+  std::vector<std::vector<Vertex>> buffers = {{1, 2}, {}, {3}, {4, 5}};
+  status.set_next_merged(buffers, pool);
+  status.advance();
+  ASSERT_EQ(status.frontier_rep(), FrontierRep::Queue);
+  EXPECT_EQ(status.frontier(), (std::vector<Vertex>{1, 2, 3, 4, 5}));
+  for (const Vertex v : {1, 2, 3, 4, 5}) EXPECT_TRUE(status.in_frontier(v));
+}
+
+TEST(BfsStatus, BitmapAdvanceMergesAndClearsWorkerBitmaps) {
+  BfsStatus status{256};
+  status.reset(0);
+  status.begin_bitmap_next(2);
+  status.claim_bottom_up(10, 0, 1);
+  status.worker_next(0).set(10);
+  status.claim_bottom_up(70, 0, 1);
+  status.worker_next(1).set(70);
+  status.advance();
+  EXPECT_EQ(status.frontier_rep(), FrontierRep::Bitmap);
+  EXPECT_EQ(status.frontier_size(), 2);
+  EXPECT_TRUE(status.in_frontier(10));
+  EXPECT_TRUE(status.in_frontier(70));
+  EXPECT_FALSE(status.in_frontier(0));  // old frontier gone
+  // The merge must restore the all-zero invariant so the next bitmap
+  // level starts clean.
+  EXPECT_EQ(status.worker_next(0).count(), 0u);
+  EXPECT_EQ(status.worker_next(1).count(), 0u);
+}
+
+TEST(BfsStatus, EnsureFrontierQueueMaterializesSortedOnce) {
+  BfsStatus status{256};
+  status.reset(0);
+  status.begin_bitmap_next(1);
+  for (const Vertex v : {200, 3, 64, 63}) {
+    status.claim_bottom_up(v, 0, 1);
+    status.worker_next(0).set(static_cast<std::size_t>(v));
+  }
+  status.advance();
+  ASSERT_EQ(status.frontier_rep(), FrontierRep::Bitmap);
+  EXPECT_TRUE(status.ensure_frontier_queue());
+  EXPECT_EQ(status.frontier_rep(), FrontierRep::Queue);
+  EXPECT_EQ(status.frontier(), (std::vector<Vertex>{3, 63, 64, 200}));
+  EXPECT_FALSE(status.ensure_frontier_queue());  // already a queue
+}
+
+TEST(BfsStatus, ParallelPathsMatchSerialOnLargeFrontiers) {
+  // Drive both advance(pool) paths and the parallel queue materialization
+  // above their serial-fallback thresholds and check against ground truth.
+  constexpr Vertex kN = 1 << 20;
+  ThreadPool pool{4};
+  BfsStatus status{kN};
+  status.reset(0);
+
+  // Queue-pending path: a big next list -> parallel bitmap rebuild.
+  std::vector<Vertex> next;
+  for (Vertex v = 1; v < kN; v += 3) next.push_back(v);
+  const auto expected = next;
+  status.set_next(std::move(next));
+  status.advance(pool);
+  ASSERT_EQ(status.frontier_rep(), FrontierRep::Queue);
+  EXPECT_EQ(status.frontier_size(),
+            static_cast<std::int64_t>(expected.size()));
+  EXPECT_TRUE(status.in_frontier(1));
+  EXPECT_FALSE(status.in_frontier(2));
+  EXPECT_FALSE(status.in_frontier(0));
+
+  // Bitmap-pending path: per-worker bitmaps -> parallel word merge.
+  status.begin_bitmap_next(2);
+  for (Vertex v = 2; v < kN; v += 7)
+    status.worker_next(v % 2 == 0 ? 0 : 1).set(static_cast<std::size_t>(v));
+  status.advance(pool);
+  ASSERT_EQ(status.frontier_rep(), FrontierRep::Bitmap);
+  const std::int64_t bitmap_count = status.frontier_size();
+  EXPECT_EQ(bitmap_count, (kN - 2 + 6) / 7);
+
+  // Parallel queue materialization must agree with the bitmap.
+  EXPECT_TRUE(status.ensure_frontier_queue(pool));
+  ASSERT_EQ(status.frontier_size(), bitmap_count);
+  const auto& frontier = status.frontier();
+  EXPECT_TRUE(std::is_sorted(frontier.begin(), frontier.end()));
+  EXPECT_EQ(frontier.front(), 2);
+  for (const Vertex v : {Vertex{2}, Vertex{9}, Vertex{16}})
+    EXPECT_TRUE(status.in_frontier(v));
 }
 
 TEST(BfsStatus, ByteSizeScalesWithVertices) {

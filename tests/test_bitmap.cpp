@@ -6,8 +6,27 @@
 #include <thread>
 #include <vector>
 
+#include "parallel/thread_pool.hpp"
+
 namespace sembfs {
 namespace {
+
+TEST(BitmapTailMask, CoversZeroToSixtyFour) {
+  EXPECT_EQ(bitmap_tail_mask(0), 0u);
+  EXPECT_EQ(bitmap_tail_mask(1), 1u);
+  EXPECT_EQ(bitmap_tail_mask(63), ~std::uint64_t{0} >> 1);
+  EXPECT_EQ(bitmap_tail_mask(64), ~std::uint64_t{0});  // no shift-by-64 UB
+}
+
+TEST(BitmapWords, ForEachSetInWordVisitsAscending) {
+  const std::uint64_t word =
+      (std::uint64_t{1} << 0) | (std::uint64_t{1} << 13) |
+      (std::uint64_t{1} << 63);
+  std::vector<std::size_t> seen;
+  for_each_set_in_word(word, 128, [&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{128, 141, 191}));
+  for_each_set_in_word(0, 0, [&](std::size_t) { FAIL(); });
+}
 
 TEST(Bitmap, StartsEmpty) {
   Bitmap b{100};
@@ -76,6 +95,93 @@ TEST(Bitmap, CountOnWordBoundarySizes) {
     for (std::size_t i = 0; i < bits; ++i) b.set(i);
     EXPECT_EQ(b.count(), bits) << "bits=" << bits;
   }
+}
+
+TEST(Bitmap, WordBoundaryBitsLandInAdjacentWords) {
+  Bitmap b{130};
+  b.set(63);
+  b.set(64);
+  ASSERT_EQ(b.word_count(), 3u);
+  EXPECT_EQ(b.word(0), std::uint64_t{1} << 63);
+  EXPECT_EQ(b.word(1), std::uint64_t{1});
+  EXPECT_EQ(b.word(2), 0u);
+}
+
+TEST(Bitmap, TailWordBitsBeyondSizeStayZero) {
+  // The word-parallel kernels read whole words; bits >= size() in the last
+  // partial word must never be set, or count()/sweeps would see ghosts.
+  Bitmap b{70};
+  for (std::size_t i = 0; i < 70; ++i) b.set(i);
+  EXPECT_EQ(b.count(), 70u);
+  ASSERT_EQ(b.word_count(), 2u);
+  EXPECT_EQ(b.word(1), bitmap_tail_mask(6));
+}
+
+TEST(Bitmap, CountOnPartialTailWord) {
+  Bitmap b{100};
+  b.set(0);
+  b.set(64);
+  b.set(99);  // last valid bit of the partial tail word
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(Bitmap, OrWithMergesAcrossWordsAndTail) {
+  Bitmap a{130};
+  Bitmap b{130};
+  a.set(0);
+  a.set(64);
+  b.set(63);
+  b.set(64);
+  b.set(129);
+  a.or_with(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_TRUE(a.test(0));
+  EXPECT_TRUE(a.test(63));
+  EXPECT_TRUE(a.test(64));
+  EXPECT_TRUE(a.test(129));
+  EXPECT_EQ(b.count(), 3u);  // source untouched
+}
+
+TEST(Bitmap, SetAtomicRacesOnSharedWordsLoseNoBits) {
+  constexpr std::size_t kBits = 1 << 12;
+  constexpr int kThreads = 8;
+  Bitmap b{kBits};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&b, t] {
+      // Every thread writes a distinct residue class mod kThreads, so all
+      // threads hammer every word concurrently.
+      for (std::size_t i = static_cast<std::size_t>(t); i < kBits;
+           i += kThreads)
+        b.set_atomic(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(b.count(), kBits);
+}
+
+TEST(Bitmap, ClearParallelZeroesLargeBitmap) {
+  constexpr std::size_t kBits = 1 << 21;  // 1<<15 words: the parallel path
+  Bitmap b{kBits};
+  for (std::size_t i = 0; i < kBits; i += 97) b.set(i);
+  ASSERT_GT(b.count(), 0u);
+  ThreadPool pool{4};
+  b.clear_parallel(pool);
+  EXPECT_EQ(b.count(), 0u);
+
+  Bitmap small{128};  // below the serial threshold
+  small.set(5);
+  small.clear_parallel(pool);
+  EXPECT_EQ(small.count(), 0u);
+}
+
+TEST(AtomicBitmap, WordLoadsSeeSetBits) {
+  AtomicBitmap b{130};
+  b.set(63);
+  b.set(64);
+  EXPECT_EQ(b.word(0), std::uint64_t{1} << 63);
+  EXPECT_EQ(b.word(1), std::uint64_t{1});
+  EXPECT_EQ(b.word_count(), 3u);
 }
 
 TEST(AtomicBitmap, TrySetReportsFirstWinnerOnly) {

@@ -93,6 +93,74 @@ TEST_F(BottomUpTest, EmptyFrontierClaimsNothing) {
   EXPECT_EQ(r.claimed, 0);
 }
 
+TEST_F(BottomUpTest, BitmapOutputMatchesQueueOutput) {
+  // The same search run twice, once per output representation, must build
+  // identical trees — only the next-frontier container differs.
+  BfsStatus queue_status{8};
+  BfsStatus bitmap_status{8};
+  queue_status.reset(0);
+  bitmap_status.reset(0);
+  for (int level = 1; level <= 4; ++level) {
+    const StepResult q =
+        bottom_up_step(backward_, queue_status, level, topology_, pool_, 2,
+                       BottomUpOutput::Queue);
+    const StepResult b =
+        bottom_up_step(backward_, bitmap_status, level, topology_, pool_, 2,
+                       BottomUpOutput::Bitmap);
+    EXPECT_EQ(q.claimed, b.claimed) << "level " << level;
+    queue_status.advance();
+    bitmap_status.advance();
+    EXPECT_EQ(queue_status.frontier_size(), bitmap_status.frontier_size())
+        << "level " << level;
+  }
+  for (Vertex v = 0; v < 8; ++v) {
+    EXPECT_EQ(queue_status.level(v), bitmap_status.level(v)) << "v=" << v;
+    EXPECT_EQ(queue_status.parent(v) == kNoVertex,
+              bitmap_status.parent(v) == kNoVertex)
+        << "v=" << v;
+  }
+}
+
+TEST_F(BottomUpTest, BitmapOutputFrontierSupportsNextSweep) {
+  // A bitmap-rep frontier must drive the following bottom-up level without
+  // any queue materialization: in_frontier reads the bitmap directly.
+  BfsStatus status{8};
+  status.reset(0);
+  bottom_up_step(backward_, status, 1, topology_, pool_, 2,
+                 BottomUpOutput::Bitmap);
+  status.advance();
+  ASSERT_EQ(status.frontier_rep(), FrontierRep::Bitmap);
+  EXPECT_EQ(status.frontier_size(), 2);  // {1, 3}
+  bottom_up_step(backward_, status, 2, topology_, pool_, 2,
+                 BottomUpOutput::Bitmap);
+  status.advance();
+  EXPECT_TRUE(status.is_visited(2));
+  EXPECT_TRUE(status.is_visited(4));
+  EXPECT_EQ(status.parent(2), 1);
+}
+
+TEST_F(BottomUpTest, HybridBitmapOutputMatchesDramQueue) {
+  const std::string dir = ::testing::TempDir() + "/sembfs_bu_hybrid_bm";
+  std::filesystem::remove_all(dir);
+  auto device = std::make_shared<NvmDevice>(DeviceProfile::dram());
+  HybridBackwardGraph hybrid{backward_, 1, device, dir};
+
+  BfsStatus dram_status{8};
+  BfsStatus hybrid_status{8};
+  dram_status.reset(0);
+  hybrid_status.reset(0);
+  for (int level = 1; level <= 3; ++level) {
+    bottom_up_step(backward_, dram_status, level, topology_, pool_, 2);
+    bottom_up_step_hybrid(hybrid, hybrid_status, level, topology_, pool_, 2,
+                          BottomUpOutput::Bitmap);
+    dram_status.advance();
+    hybrid_status.advance();
+  }
+  for (Vertex v = 0; v < 8; ++v)
+    EXPECT_EQ(dram_status.level(v), hybrid_status.level(v)) << "v=" << v;
+  std::filesystem::remove_all(dir);
+}
+
 TEST_F(BottomUpTest, HybridVariantMatchesDram) {
   const std::string dir = ::testing::TempDir() + "/sembfs_bu_hybrid";
   std::filesystem::remove_all(dir);

@@ -39,13 +39,18 @@ struct DiffCase {
   // Hybrid cells leave NVM quickly (wide levels go bottom-up in DRAM);
   // TopDownOnly keeps every level on the device for fault-heavy cells.
   BfsMode mode = BfsMode::Hybrid;
+  // Next-frontier representation for bottom-up levels: both forced
+  // representations must produce the same tree as Auto (and the serial
+  // reference).
+  FrontierMode frontier = FrontierMode::Auto;
 
   friend std::ostream& operator<<(std::ostream& os, const DiffCase& c) {
     return os << c.generator << "_" << c.storage << "_policy"
               << static_cast<int>(c.policy) << "_mode"
-              << static_cast<int>(c.mode) << "_a" << c.alpha << "_b" << c.beta
-              << "_err" << c.read_error_rate << "_corr" << c.corruption_rate
-              << "_seed" << kSeed;
+              << static_cast<int>(c.mode) << "_rep"
+              << static_cast<int>(c.frontier) << "_a" << c.alpha << "_b"
+              << c.beta << "_err" << c.read_error_rate << "_corr"
+              << c.corruption_rate << "_seed" << kSeed;
   }
 };
 
@@ -101,6 +106,7 @@ TEST_P(DifferentialSweep, LevelsMatchReferenceAndTreeValidates) {
 
   BfsConfig config;
   config.mode = c.mode;
+  config.frontier_mode = c.frontier;
   config.policy.kind = c.policy;
   config.policy.alpha = c.alpha;
   config.policy.beta = c.beta;
@@ -194,7 +200,36 @@ INSTANTIATE_TEST_SUITE_P(
                  1e-3},
         // Errors and corruption together.
         DiffCase{"kron", "external", PolicyKind::FrontierRatio, kA, kB, 1e-3,
-                 1e-3}));
+                 1e-3},
+        // Frontier-representation dimension: the forced bitmap output must
+        // reproduce the reference tree in every generator x storage cell
+        // (the Auto cells above already cover mixed queue/bitmap levels).
+        DiffCase{"kron", "dram", PolicyKind::FrontierRatio, kA, kB, 0, 0,
+                 false, BfsMode::Hybrid, FrontierMode::ForceBitmap},
+        DiffCase{"kron", "external", PolicyKind::FrontierRatio, kA, kB, 0, 0,
+                 false, BfsMode::Hybrid, FrontierMode::ForceBitmap},
+        DiffCase{"kron", "tiered", PolicyKind::FrontierRatio, kA, kB, 0, 0,
+                 false, BfsMode::Hybrid, FrontierMode::ForceBitmap},
+        DiffCase{"uniform", "dram", PolicyKind::FrontierRatio, kA, kB, 0, 0,
+                 false, BfsMode::Hybrid, FrontierMode::ForceBitmap},
+        DiffCase{"uniform", "external", PolicyKind::FrontierRatio, kA, kB, 0,
+                 0, false, BfsMode::Hybrid, FrontierMode::ForceBitmap},
+        DiffCase{"uniform", "tiered", PolicyKind::FrontierRatio, kA, kB, 0, 0,
+                 false, BfsMode::Hybrid, FrontierMode::ForceBitmap},
+        // Forced queue pins the legacy representation end-to-end.
+        DiffCase{"kron", "dram", PolicyKind::FrontierRatio, kA, kB, 0, 0,
+                 false, BfsMode::Hybrid, FrontierMode::ForceQueue},
+        DiffCase{"uniform", "external", PolicyKind::FrontierRatio, kA, kB, 0,
+                 0, false, BfsMode::Hybrid, FrontierMode::ForceQueue},
+        // Every level bottom-up in bitmap mode: queue materialization never
+        // runs except for validation snapshots.
+        DiffCase{"kron", "dram", PolicyKind::FrontierRatio, kA, kB, 0, 0,
+                 false, BfsMode::BottomUpOnly, FrontierMode::ForceBitmap},
+        // Degradation under forced bitmap: the bottom-up redo of a failed
+        // top-down level must stay on queue output so the partial top-down
+        // next list merges in.
+        DiffCase{"kron", "external", PolicyKind::FrontierRatio, kA, kB, 3e-2,
+                 0, true, BfsMode::TopDownOnly, FrontierMode::ForceBitmap}));
 
 }  // namespace
 }  // namespace sembfs
