@@ -10,6 +10,8 @@
 
 #include "graph500/benchmark.hpp"
 #include "obs/export.hpp"
+#include "serve/engine.hpp"
+#include "serve/load_gen.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/format.hpp"
@@ -54,6 +56,20 @@ int main(int argc, char** argv) {
   options.add_int("io-error-budget", 0,
                   "hard fetch failures tolerated per top-down level before "
                   "falling back to DRAM bottom-up");
+  options.add_flag("serve",
+                   "serving mode: run a concurrent query engine with a "
+                   "closed-loop load generator instead of the Graph500 "
+                   "root loop");
+  options.add_int("serve-clients", 4, "closed-loop client threads");
+  options.add_int("serve-queries", 16, "queries per client");
+  options.add_int("serve-queue", 256, "admission queue capacity");
+  options.add_int("serve-slots", 4, "reusable BfsStatus session slots");
+  options.add_int("serve-batch", 64,
+                  "max MS-BFS lanes per batch; <= 1 disables batching "
+                  "(every query runs as its own session)");
+  options.add_double("serve-deadline-ms", 0.0,
+                     "per-query end-to-end deadline (0 = none)");
+  options.add_int("serve-seed", 42, "load generator seed");
   options.add_string("metrics-out", "",
                      "write the metrics registry as JSON to this path "
                      "(enables metrics collection)");
@@ -134,6 +150,81 @@ int main(int argc, char** argv) {
   }
 
   std::printf("scenario: %s\n", config.instance.scenario.describe().c_str());
+
+  if (options.get_flag("serve")) {
+    // Serving mode: one shared instance, many concurrent queries.
+    Graph500Instance instance{config.instance, pool};
+    if (config.fault_plan.enabled() && instance.nvm_device() != nullptr)
+      instance.nvm_device()->set_fault_plan(config.fault_plan);
+
+    const std::int64_t max_batch = options.get_int("serve-batch");
+    serve::EngineConfig engine_config;
+    engine_config.queue_capacity =
+        static_cast<std::size_t>(options.get_int("serve-queue"));
+    engine_config.session_slots =
+        static_cast<std::size_t>(options.get_int("serve-slots"));
+    engine_config.max_batch = max_batch > 1
+                                  ? static_cast<std::size_t>(max_batch)
+                                  : std::size_t{1};
+    engine_config.default_deadline_ms =
+        options.get_double("serve-deadline-ms");
+    engine_config.bfs = config.bfs;
+    serve::QueryEngine engine{instance.storage(), instance.topology(), pool,
+                              engine_config};
+
+    serve::LoadGenConfig load;
+    load.clients = static_cast<std::size_t>(options.get_int("serve-clients"));
+    load.queries_per_client =
+        static_cast<std::size_t>(options.get_int("serve-queries"));
+    load.seed = static_cast<std::uint64_t>(options.get_int("serve-seed"));
+    load.options.batchable = max_batch > 1;
+    const serve::LoadGenReport report =
+        serve::run_load(engine, instance.vertex_count(), load);
+    engine.shutdown();
+    const serve::EngineStats stats = engine.stats();
+
+    std::printf(
+        "serve_clients: %zu\nserve_queries: %llu\nserve_seconds: %.3f\n"
+        "serve_qps: %.2f\n"
+        "serve_latency_ms_mean: %.3f\nserve_latency_ms_p50: %.3f\n"
+        "serve_latency_ms_p95: %.3f\nserve_latency_ms_p99: %.3f\n"
+        "serve_done: %llu\nserve_failed: %llu\nserve_cancelled: %llu\n"
+        "serve_deadline_expired: %llu\nserve_rejected: %llu\n"
+        "serve_batches: %llu\nserve_batched_queries: %llu\n"
+        "serve_session_queries: %llu\n",
+        load.clients, static_cast<unsigned long long>(report.issued),
+        report.seconds, report.qps, report.mean_ms, report.p50_ms,
+        report.p95_ms, report.p99_ms,
+        static_cast<unsigned long long>(report.done),
+        static_cast<unsigned long long>(report.failed),
+        static_cast<unsigned long long>(report.cancelled),
+        static_cast<unsigned long long>(report.deadline_expired),
+        static_cast<unsigned long long>(report.rejected),
+        static_cast<unsigned long long>(stats.batches),
+        static_cast<unsigned long long>(stats.batched_queries),
+        static_cast<unsigned long long>(stats.session_queries));
+
+    bool serve_exports_ok = true;
+    if (!metrics_out.empty() &&
+        !obs::write_metrics_json(obs::metrics(), metrics_out)) {
+      std::fprintf(stderr, "failed to write metrics JSON to %s\n",
+                   metrics_out.c_str());
+      serve_exports_ok = false;
+    }
+    if (!metrics_csv.empty() &&
+        !obs::write_metrics_csv(obs::metrics(), metrics_csv)) {
+      std::fprintf(stderr, "failed to write metrics CSV to %s\n",
+                   metrics_csv.c_str());
+      serve_exports_ok = false;
+    }
+    // Every issued query must have reached a terminal state; failures are
+    // the fault-containment path, not a runner error.
+    const bool accounted = report.done + report.failed + report.cancelled +
+                               report.deadline_expired + report.rejected ==
+                           report.issued;
+    return accounted && serve_exports_ok ? 0 : 1;
+  }
+
   const BenchmarkRun run = run_graph500(config, pool);
 
   std::fputs(render_graph500_output(run.output).c_str(), stdout);

@@ -59,11 +59,24 @@ enum class FrontierRep {
   Bitmap,  ///< membership bitmap only; queue materialized on demand
 };
 
+// ## Status-slot reuse contract
+//
+// A BfsStatus is sized once (the parent/level arrays and bitmaps are the
+// dominant per-search allocation) and reused across searches: reset(root)
+// restores every field to its post-construction state for a new root, so
+// a pool of BfsStatus "slots" can serve an unbounded query stream with
+// zero steady-state allocation (src/serve's StatusSlotPool). Reuse is
+// only valid strictly one search at a time per slot — reset() is not
+// thread-safe against a session still stepping on the same status, and a
+// released slot must not be read again (its parent/level data belongs to
+// the next query). The serving engine copies whatever it needs into the
+// QueryResult before releasing the slot.
 class BfsStatus {
  public:
   explicit BfsStatus(Vertex vertex_count);
 
-  /// Re-initializes all state and seeds the frontier with `root`.
+  /// Re-initializes all state and seeds the frontier with `root` (see the
+  /// status-slot reuse contract above).
   void reset(Vertex root);
 
   [[nodiscard]] Vertex vertex_count() const noexcept { return n_; }

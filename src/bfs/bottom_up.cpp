@@ -4,6 +4,7 @@
 #include <atomic>
 #include <bit>
 
+#include "bfs/sweep.hpp"
 #include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 
@@ -46,43 +47,6 @@ StepResult finish(TeamState& state, BfsStatus& status, ThreadPool& pool,
   result.scanned_edges = state.scanned.load(std::memory_order_relaxed);
   result.nvm_requests = state.nvm_requests.load(std::memory_order_relaxed);
   return result;
-}
-
-/// The word-skip sweep skeleton shared by the DRAM and hybrid variants.
-/// Calls scan(vtx) for every unvisited vertex in [abs_lo, abs_hi), loading
-/// the visited bitmap one word at a time and skipping words with no
-/// unvisited survivors. Returns {words swept, words skipped}.
-template <typename ScanFn>
-std::pair<std::uint64_t, std::uint64_t> sweep_unvisited(
-    const AtomicBitmap& visited, std::int64_t abs_lo, std::int64_t abs_hi,
-    ScanFn&& scan) {
-  std::uint64_t swept = 0;
-  std::uint64_t skipped = 0;
-  const auto lo = static_cast<std::size_t>(abs_lo);
-  const auto hi = static_cast<std::size_t>(abs_hi);
-  const std::size_t w0 = lo >> 6;
-  const std::size_t w1 = (hi + 63) >> 6;
-  for (std::size_t w = w0; w < w1; ++w) {
-    // Mask the word down to [abs_lo, abs_hi): chunk and node-range
-    // boundaries are not word-aligned, and bits outside the range belong
-    // to another worker's chunk (or another node's partition).
-    std::uint64_t mask = ~std::uint64_t{0};
-    if (w == w0) mask &= ~std::uint64_t{0} << (lo & 63);
-    if (const std::size_t word_end = (w + 1) * 64; word_end > hi)
-      mask &= bitmap_tail_mask(64 - (word_end - hi));
-    ++swept;
-    std::uint64_t unvisited = ~visited.word(w) & mask;
-    if (unvisited == 0) {
-      // Fully-visited (or fully out-of-range) word: 64 vertices for one
-      // load — the common case on late bottom-up levels.
-      ++skipped;
-      continue;
-    }
-    for_each_set_in_word(unvisited, w * 64, [&](std::size_t vtx) {
-      scan(static_cast<Vertex>(vtx));
-    });
-  }
-  return {swept, skipped};
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 
 #include "bfs/bfs_status.hpp"
 #include "bfs/bottom_up.hpp"
+#include "bfs/cancel.hpp"
 #include "bfs/level_stats.hpp"
 #include "bfs/policy.hpp"
 #include "bfs/top_down.hpp"
@@ -91,6 +92,13 @@ struct BfsConfig {
   /// decision). The log must outlive every session using it. nullptr (the
   /// default) records nothing and costs nothing.
   obs::TraceLog* trace = nullptr;
+  /// Cooperative cancellation/deadline token, polled by BfsSession::step()
+  /// before each level (see cancel.hpp). When the token fires the session
+  /// stops cleanly — done() flips, stop_reason() reports why, and
+  /// snapshot_result() still returns the valid partial traversal. The
+  /// token must outlive every session using it. nullptr (the default)
+  /// never stops early and costs nothing.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Which concrete storage backs each side of the traversal. Exactly one

@@ -59,6 +59,16 @@ BfsSession::BfsSession(GraphStorage storage, const NumaTopology& topology,
 
 bool BfsSession::step() {
   if (done_) return false;
+  if (config_.cancel != nullptr) {
+    // Level granularity is the preemption point of the level-synchronous
+    // driver; the partial tree stays valid for snapshot_result().
+    const StopReason stop = config_.cancel->should_stop();
+    if (stop != StopReason::None) {
+      stop_reason_ = stop;
+      done_ = true;
+      return false;
+    }
+  }
   if (status_->frontier_size() == 0) {
     done_ = true;
     return false;

@@ -27,9 +27,17 @@ class BfsSession {
 
   /// Executes ONE level. Returns true if the search can continue (the new
   /// frontier is non-empty), false when exhausted. No-op after done().
+  /// With config.cancel set, polls the token first: a fired token ends the
+  /// search before the level runs (stop_reason() reports why) and the
+  /// partial traversal stays valid for snapshot_result().
   bool step();
 
   [[nodiscard]] bool done() const noexcept { return done_; }
+  /// Why the session stopped early, or StopReason::None when it ran (or is
+  /// still running) to frontier exhaustion.
+  [[nodiscard]] StopReason stop_reason() const noexcept {
+    return stop_reason_;
+  }
   /// The level step() would execute next (1 after construction).
   [[nodiscard]] std::int32_t next_level() const noexcept { return level_; }
   /// Direction the next step() will take.
@@ -70,6 +78,7 @@ class BfsSession {
   Direction direction_ = Direction::TopDown;
   std::int32_t level_ = 1;
   bool done_ = false;
+  StopReason stop_reason_ = StopReason::None;
   double elapsed_seconds_ = 0.0;
   std::int64_t scanned_top_down_ = 0;
   std::int64_t scanned_bottom_up_ = 0;

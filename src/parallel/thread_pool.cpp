@@ -47,6 +47,15 @@ void ThreadPool::run(std::size_t participants,
 
 void ThreadPool::set_worker_nodes(
     const std::vector<std::size_t>& node_of_worker) {
+  {
+    // Unchanged topology: skip the rebind entirely. Sessions are built per
+    // query under the serving engine, all against one topology, so this is
+    // the common case — one vector compare instead of a registry walk.
+    const std::lock_guard<std::mutex> lock{mutex_};
+    SEMBFS_EXPECTS(job_ == nullptr);  // never relabel mid-region
+    if (node_of_worker == worker_nodes_ && !worker_step_hist_.empty())
+      return;
+  }
   // Resolve histograms outside the lock (registry interning takes its own).
   std::vector<obs::Histogram*> hists(workers_.size(), default_step_hist_);
   for (std::size_t w = 0; w < hists.size() && w < node_of_worker.size(); ++w)
@@ -55,6 +64,7 @@ void ThreadPool::set_worker_nodes(
   const std::lock_guard<std::mutex> lock{mutex_};
   SEMBFS_EXPECTS(job_ == nullptr);  // never relabel mid-region
   worker_step_hist_ = std::move(hists);
+  worker_nodes_ = node_of_worker;
 }
 
 void ThreadPool::worker_loop(std::size_t index) {

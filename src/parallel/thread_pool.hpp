@@ -8,6 +8,19 @@
 //    all return — the fork/join shape of an OpenMP parallel region.
 //  - Worker index is stable within a region, which the NUMA layer uses to
 //    map workers onto emulated nodes.
+//
+// ## Pool-exclusivity contract
+//
+// run() is NOT reentrant and regions do not nest: at any instant at most
+// one thread may be inside run() (a second caller would trip the
+// no-recursive-regions assertion, or serialize behind the first in a way
+// the kernels' per-region cursors don't expect). Every layer above
+// therefore treats the pool as an exclusively-held resource per parallel
+// region: the BFS session runs its level kernels one at a time, and the
+// serving engine (src/serve) funnels ALL pool work — every query's levels,
+// batched or not — through its single dispatcher thread. While a
+// QueryEngine is running, the pool belongs to it; other threads must not
+// call run() on the same pool.
 #pragma once
 
 #include <condition_variable>
@@ -47,7 +60,10 @@ class ThreadPool {
   /// (unlabeled workers record into `pool.step_us`). Workers beyond
   /// `node_of_worker.size()` stay unlabeled. Must not be called while a
   /// region is running; typically set once per BFS session from its
-  /// NumaTopology.
+  /// NumaTopology. A call with the labels already in effect is a cheap
+  /// no-op (one vector compare, no registry traffic) — the serving engine
+  /// constructs a session per query on a fixed topology, so the rebind
+  /// must not cost anything on that path.
   void set_worker_nodes(const std::vector<std::size_t>& node_of_worker);
 
  private:
@@ -61,6 +77,9 @@ class ThreadPool {
   obs::Histogram* default_step_hist_;
   obs::Counter* regions_;
   std::vector<obs::Histogram*> worker_step_hist_;
+  /// Labels currently in effect (guarded by mutex_), so an unchanged
+  /// rebind can be skipped without touching the registry.
+  std::vector<std::size_t> worker_nodes_;
 
   std::mutex mutex_;
   std::condition_variable work_cv_;

@@ -1,0 +1,39 @@
+#include "serve/batch_planner.hpp"
+
+#include <unordered_map>
+
+#include "util/contracts.hpp"
+
+namespace sembfs::serve {
+
+BatchPlan plan_batch(std::vector<QueryRef>& queued, std::size_t max_lanes,
+                     std::size_t max_queries) {
+  SEMBFS_EXPECTS(max_lanes >= 1);
+  BatchPlan plan;
+  if (queued.empty()) return plan;
+
+  std::unordered_map<Vertex, std::size_t> lane_of_root;
+  std::size_t taken = 0;
+  for (const QueryRef& query : queued) {
+    if (max_queries != 0 && plan.queries.size() >= max_queries) break;
+    const Vertex root = query->root();
+    const auto it = lane_of_root.find(root);
+    std::size_t lane;
+    if (it != lane_of_root.end()) {
+      lane = it->second;  // rider: shares the existing lane's traversal
+    } else {
+      if (plan.roots.size() >= max_lanes) break;  // FIFO: stop, don't skip
+      lane = plan.roots.size();
+      plan.roots.push_back(root);
+      lane_of_root.emplace(root, lane);
+    }
+    plan.queries.push_back(query);
+    plan.lane_of.push_back(lane);
+    ++taken;
+  }
+  queued.erase(queued.begin(),
+               queued.begin() + static_cast<std::ptrdiff_t>(taken));
+  return plan;
+}
+
+}  // namespace sembfs::serve

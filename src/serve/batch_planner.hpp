@@ -1,0 +1,48 @@
+// Batch planner: turns the engine's queue of batchable queries into
+// MS-BFS batch plans.
+//
+// Two decisions live here, kept out of the dispatcher loop so they are
+// unit-testable in isolation:
+//
+//   * Lane packing — up to MsBfsBatch::kMaxBatch (64) queries per batch,
+//     taken in FIFO admission order (no reordering: the queue order is
+//     part of the determinism contract, docs/SERVING.md).
+//   * Root dedup — queries for the same root share one lane. The lane's
+//     traversal is computed once; every rider gets its own copy of the
+//     results at finalize. Under a skewed root distribution this is the
+//     cheapest QPS win in the engine.
+//
+// The planner never looks at deadlines or fault state; expired queries
+// are culled by the dispatcher before planning.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "serve/query.hpp"
+
+namespace sembfs::serve {
+
+/// One planned MS-BFS batch: `roots[q]` is lane q's root, and
+/// `lane_of[i]` maps `queries[i]` to its lane (several queries may map to
+/// the same lane — root dedup).
+struct BatchPlan {
+  std::vector<Vertex> roots;
+  std::vector<QueryRef> queries;
+  std::vector<std::size_t> lane_of;
+
+  [[nodiscard]] std::size_t width() const noexcept { return roots.size(); }
+  [[nodiscard]] bool empty() const noexcept { return queries.empty(); }
+};
+
+/// Plans one batch from the front of `queued`, consuming the queries it
+/// packs (erases them from `queued`). Takes at most `max_lanes` distinct
+/// roots; with dedup, more queries than lanes can ride one batch, capped
+/// at `max_queries` total (0 = unlimited). Returns an empty plan when
+/// `queued` is empty.
+[[nodiscard]] BatchPlan plan_batch(std::vector<QueryRef>& queued,
+                                   std::size_t max_lanes,
+                                   std::size_t max_queries = 0);
+
+}  // namespace sembfs::serve

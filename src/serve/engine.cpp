@@ -1,0 +1,449 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <span>
+#include <utility>
+
+#include "bfs/session.hpp"
+#include "nvm/fault_plan.hpp"
+#include "serve/batch_planner.hpp"
+#include "util/contracts.hpp"
+
+namespace sembfs::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t).count();
+}
+
+QueryState state_for(StopReason reason) noexcept {
+  switch (reason) {
+    case StopReason::Cancelled:
+      return QueryState::Cancelled;
+    case StopReason::Deadline:
+      return QueryState::DeadlineExpired;
+    case StopReason::None:
+      break;
+  }
+  return QueryState::Done;
+}
+
+}  // namespace
+
+/// One in-flight single-query session (dispatcher-local).
+struct QueryEngine::ActiveSession {
+  QueryRef query;
+  BfsStatus* slot = nullptr;  ///< borrowed from the pool
+  std::unique_ptr<BfsSession> session;
+  Clock::time_point started{};
+  double queue_wait_ms = 0.0;
+};
+
+/// The in-flight MS-BFS batch plus its riders (dispatcher-local). Several
+/// riders can share a lane (root dedup); a lane is deactivated only once
+/// every rider on it is terminal.
+struct QueryEngine::ActiveBatch {
+  struct Rider {
+    QueryRef query;
+    std::size_t lane = 0;
+    double queue_wait_ms = 0.0;
+    bool finished = false;
+  };
+  std::unique_ptr<MsBfsBatch> batch;
+  std::vector<Rider> riders;
+  std::vector<std::size_t> lane_riders;  ///< live riders per lane
+  Clock::time_point started{};
+};
+
+QueryEngine::QueryEngine(GraphStorage storage, const NumaTopology& topology,
+                         ThreadPool& pool, EngineConfig config)
+    : storage_(storage),
+      topology_(topology),
+      pool_(pool),
+      config_(std::move(config)),
+      slots_(storage_.vertex_count(),
+             config_.session_slots >= 1 ? config_.session_slots : 1) {
+  SEMBFS_EXPECTS(config_.queue_capacity >= 1);
+  SEMBFS_EXPECTS(config_.max_batch >= 1 &&
+                 config_.max_batch <= MsBfsBatch::kMaxBatch);
+  auto& reg = obs::metrics();
+  obs_submitted_ = &reg.counter("serve.submitted");
+  obs_rejected_ = &reg.counter("serve.rejected");
+  obs_done_ = &reg.counter("serve.done");
+  obs_failed_ = &reg.counter("serve.failed");
+  obs_cancelled_ = &reg.counter("serve.cancelled");
+  obs_deadline_expired_ = &reg.counter("serve.deadline_expired");
+  obs_session_queries_ = &reg.counter("serve.session_queries");
+  obs_batched_queries_ = &reg.counter("serve.batched_queries");
+  obs_batches_ = &reg.counter("serve.batches");
+  obs_queue_depth_ = &reg.gauge("serve.queue_depth");
+  obs_in_flight_ = &reg.gauge("serve.in_flight");
+  obs_queue_wait_us_ = &reg.histogram("serve.queue_wait_us");
+  obs_exec_us_ = &reg.histogram("serve.exec_us");
+  obs_batch_lanes_ = &reg.histogram("serve.batch_lanes");
+  if (config_.autostart) start();
+}
+
+QueryEngine::~QueryEngine() { shutdown(); }
+
+QueryRef QueryEngine::submit(Vertex root, QueryOptions options) {
+  SEMBFS_EXPECTS(root >= 0 && root < storage_.vertex_count());
+  const std::lock_guard<std::mutex> lock{mutex_};
+  auto query = std::make_shared<Query>(next_id_++, root, options);
+  query->submitted_at_ = Clock::now();
+  ++stats_.submitted;
+  if (obs::enabled()) obs_submitted_->add(1);
+
+  if (stop_ || queue_.size() >= config_.queue_capacity) {
+    ++stats_.rejected;
+    if (obs::enabled()) obs_rejected_->add(1);
+    QueryResult result;
+    result.root = root;
+    result.state = QueryState::Rejected;
+    result.error = stop_ ? "engine is shut down" : "admission queue full";
+    query->finalize(std::move(result));
+    return query;
+  }
+
+  const double deadline = options.deadline_ms > 0.0
+                              ? options.deadline_ms
+                              : config_.default_deadline_ms;
+  if (deadline > 0.0) query->token_.set_deadline_after_ms(deadline);
+  queue_.push_back(query);
+  ++in_flight_;
+  if (obs::enabled()) {
+    obs_queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
+    obs_in_flight_->set(static_cast<std::int64_t>(in_flight_));
+  }
+  work_cv_.notify_one();
+  return query;
+}
+
+void QueryEngine::start() {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (started_) return;
+  started_ = true;
+  dispatcher_ = std::thread{[this] { dispatcher_loop(); }};
+}
+
+void QueryEngine::drain() {
+  std::unique_lock<std::mutex> lock{mutex_};
+  SEMBFS_EXPECTS(started_ || in_flight_ == 0);
+  drain_cv_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+void QueryEngine::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    stop_ = true;
+    if (!started_) {
+      // Dispatcher never ran: nothing will serve the queue — fail it here.
+      for (const QueryRef& query : queue_) {
+        QueryResult result;
+        result.root = query->root();
+        result.state = QueryState::Cancelled;
+        result.error = "engine shut down before start()";
+        query->finalize(std::move(result));
+        ++stats_.cancelled;
+        --in_flight_;
+      }
+      queue_.clear();
+    }
+  }
+  work_cv_.notify_all();
+  drain_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+EngineStats QueryEngine::stats() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return stats_;
+}
+
+std::size_t QueryEngine::queue_depth() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return queue_.size();
+}
+
+std::uint64_t QueryEngine::in_flight() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return in_flight_;
+}
+
+void QueryEngine::finalize_query(const QueryRef& query, QueryResult result) {
+  const QueryState state = result.state;
+  if (obs::enabled()) {
+    obs_queue_wait_us_->record(
+        static_cast<std::uint64_t>(result.queue_wait_ms * 1e3));
+    obs_exec_us_->record(static_cast<std::uint64_t>(result.exec_ms * 1e3));
+  }
+  query->finalize(std::move(result));
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    SEMBFS_ASSERT(in_flight_ > 0);
+    --in_flight_;
+    switch (state) {
+      case QueryState::Done:
+        ++stats_.done;
+        if (obs::enabled()) obs_done_->add(1);
+        break;
+      case QueryState::Failed:
+        ++stats_.failed;
+        if (obs::enabled()) obs_failed_->add(1);
+        break;
+      case QueryState::Cancelled:
+        ++stats_.cancelled;
+        if (obs::enabled()) obs_cancelled_->add(1);
+        break;
+      case QueryState::DeadlineExpired:
+        ++stats_.deadline_expired;
+        if (obs::enabled()) obs_deadline_expired_->add(1);
+        break;
+      default:
+        SEMBFS_ASSERT(false && "finalized to a non-terminal state");
+        break;
+    }
+    if (obs::enabled())
+      obs_in_flight_->set(static_cast<std::int64_t>(in_flight_));
+  }
+  drain_cv_.notify_all();
+}
+
+void QueryEngine::cull_queued(std::vector<QueryRef>& queued) {
+  std::size_t kept = 0;
+  for (QueryRef& query : queued) {
+    const StopReason stop = query->token_.should_stop();
+    if (stop == StopReason::None) {
+      queued[kept++] = std::move(query);
+      continue;
+    }
+    QueryResult result;
+    result.root = query->root();
+    result.state = state_for(stop);
+    result.queue_wait_ms = ms_since(query->submitted_at_);
+    finalize_query(query, std::move(result));
+  }
+  queued.resize(kept);
+}
+
+void QueryEngine::admit_sessions(std::vector<QueryRef>& queued,
+                                 std::vector<ActiveSession>& sessions) {
+  while (!queued.empty()) {
+    BfsStatus* slot = slots_.try_acquire();
+    if (slot == nullptr) return;  // all slots busy: backpressure
+    QueryRef query = std::move(queued.front());
+    queued.erase(queued.begin());
+
+    ActiveSession active;
+    active.query = std::move(query);
+    active.slot = slot;
+    active.started = Clock::now();
+    active.queue_wait_ms = ms_since(active.query->submitted_at_);
+    BfsConfig bfs = config_.bfs;
+    bfs.cancel = &active.query->token_;
+    active.session = std::make_unique<BfsSession>(
+        storage_, topology_, pool_, *slot, active.query->root(), bfs);
+    active.query->mark_running();
+    sessions.push_back(std::move(active));
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      ++stats_.session_queries;
+    }
+    if (obs::enabled()) obs_session_queries_->add(1);
+  }
+}
+
+std::unique_ptr<QueryEngine::ActiveBatch> QueryEngine::make_batch(
+    std::vector<QueryRef>& queued) {
+  BatchPlan plan = plan_batch(queued, config_.max_batch);
+  if (plan.empty()) return nullptr;
+
+  auto active = std::make_unique<ActiveBatch>();
+  active->batch = std::make_unique<MsBfsBatch>(
+      storage_, topology_, pool_, std::span<const Vertex>{plan.roots},
+      config_.msbfs);
+  active->started = Clock::now();
+  active->lane_riders.assign(plan.width(), 0);
+  active->riders.reserve(plan.queries.size());
+  for (std::size_t i = 0; i < plan.queries.size(); ++i) {
+    ActiveBatch::Rider rider;
+    rider.query = plan.queries[i];
+    rider.lane = plan.lane_of[i];
+    rider.queue_wait_ms = ms_since(rider.query->submitted_at_);
+    rider.query->mark_running();
+    ++active->lane_riders[rider.lane];
+    active->riders.push_back(std::move(rider));
+  }
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    ++stats_.batches;
+    stats_.batched_queries += active->riders.size();
+  }
+  if (obs::enabled()) {
+    obs_batches_->add(1);
+    obs_batched_queries_->add(active->riders.size());
+    obs_batch_lanes_->record(plan.width());
+  }
+  return active;
+}
+
+void QueryEngine::step_sessions(std::vector<ActiveSession>& sessions) {
+  for (std::size_t i = 0; i < sessions.size();) {
+    ActiveSession& active = sessions[i];
+    bool more = false;
+    bool io_failed = false;
+    std::string error;
+    try {
+      more = active.session->step();
+    } catch (const NvmIoError& e) {
+      // Per-query fault containment: this query fails alone; the graph,
+      // pool and every neighbor query keep running.
+      io_failed = true;
+      error = e.what();
+    }
+    const std::int32_t executed = active.session->next_level() - 1;
+    const std::int32_t max_levels = active.query->options().max_levels;
+    const bool hit_cap = !io_failed && more && max_levels > 0 &&
+                         executed >= max_levels;
+    if (!io_failed && more && !hit_cap) {
+      ++i;  // still running: next level on a later tick
+      continue;
+    }
+
+    QueryResult result;
+    result.root = active.query->root();
+    result.queue_wait_ms = active.queue_wait_ms;
+    result.exec_ms = ms_since(active.started);
+    if (io_failed) {
+      // No snapshot: the step unwound mid-level, so only the error and the
+      // fatal failure count are reported.
+      result.state = QueryState::Failed;
+      result.error = std::move(error);
+      result.io_failures = 1;
+    } else {
+      BfsResult bfs = active.session->snapshot_result();
+      result.state =
+          hit_cap ? QueryState::Done : state_for(active.session->stop_reason());
+      result.depth = bfs.depth;
+      result.visited = bfs.visited;
+      result.degraded = bfs.degraded;
+      result.degraded_levels = bfs.degraded_levels;
+      result.io_failures = bfs.io_failures;
+      result.level = std::move(bfs.level);
+      result.parent = std::move(bfs.parent);
+    }
+    slots_.release(active.slot);
+    finalize_query(active.query, std::move(result));
+    sessions.erase(sessions.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+}
+
+bool QueryEngine::tick_batch(ActiveBatch& active) {
+  MsBfsBatch& batch = *active.batch;
+
+  // Finalize a rider from its lane's (possibly partial) traversal.
+  const auto finish_rider = [&](ActiveBatch::Rider& rider, QueryState state) {
+    const std::size_t q = rider.lane;
+    QueryResult result;
+    result.root = batch.root(q);
+    result.state = state;
+    result.batched = true;
+    result.depth = batch.depth(q);
+    result.visited = batch.visited(q);
+    result.queue_wait_ms = rider.queue_wait_ms;
+    result.exec_ms = ms_since(active.started);
+    result.level = batch.levels(q);  // copy: lanes may have several riders
+    if (config_.msbfs.record_parents) result.parent = batch.parents(q);
+    rider.finished = true;
+    SEMBFS_ASSERT(active.lane_riders[q] > 0);
+    if (--active.lane_riders[q] == 0 && batch.lane_live(q))
+      batch.deactivate(q);
+    finalize_query(rider.query, std::move(result));
+  };
+
+  // Cull riders whose token fired or whose level cap is met (level
+  // granularity, same as sessions).
+  for (ActiveBatch::Rider& rider : active.riders) {
+    if (rider.finished) continue;
+    const StopReason stop = rider.query->token_.should_stop();
+    if (stop != StopReason::None) {
+      finish_rider(rider, state_for(stop));
+      continue;
+    }
+    const std::int32_t max_levels = rider.query->options().max_levels;
+    if (max_levels > 0 && batch.levels_executed() >= max_levels)
+      finish_rider(rider, QueryState::Done);
+  }
+
+  bool more = false;
+  if (!batch.done()) {
+    try {
+      more = batch.step();
+    } catch (const NvmIoError& e) {
+      // Batched queries share one traversal, so they share its fault:
+      // the blast radius of a device error is the batch, not the engine.
+      for (ActiveBatch::Rider& rider : active.riders) {
+        if (rider.finished) continue;
+        QueryResult result;
+        result.root = rider.query->root();
+        result.state = QueryState::Failed;
+        result.batched = true;
+        result.error = e.what();
+        result.io_failures = 1;
+        result.queue_wait_ms = rider.queue_wait_ms;
+        result.exec_ms = ms_since(active.started);
+        rider.finished = true;
+        finalize_query(rider.query, std::move(result));
+      }
+      return true;  // drop the batch
+    }
+  }
+  if (more) return false;
+
+  for (ActiveBatch::Rider& rider : active.riders)
+    if (!rider.finished) finish_rider(rider, QueryState::Done);
+  return true;
+}
+
+void QueryEngine::dispatcher_loop() {
+  std::vector<QueryRef> batchable;
+  std::vector<QueryRef> unbatchable;
+  std::vector<ActiveSession> sessions;
+  std::unique_ptr<ActiveBatch> batch;
+
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      const bool idle = sessions.empty() && batch == nullptr &&
+                        batchable.empty() && unbatchable.empty();
+      if (idle)
+        work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      for (QueryRef& query : queue_)
+        (query->options().batchable ? batchable : unbatchable)
+            .push_back(std::move(query));
+      queue_.clear();
+      if (obs::enabled()) obs_queue_depth_->set(0);
+      if (stop_ && queue_.empty() && sessions.empty() && batch == nullptr &&
+          batchable.empty() && unbatchable.empty())
+        return;  // drained shutdown
+    }
+
+    // Deadlines are end-to-end: a query can expire before it ever runs.
+    cull_queued(batchable);
+    cull_queued(unbatchable);
+
+    admit_sessions(unbatchable, sessions);
+    if (batch == nullptr && !batchable.empty()) batch = make_batch(batchable);
+
+    // One level of everything per tick — the interleaving that makes the
+    // engine concurrent while the pool stays single-tenant.
+    step_sessions(sessions);
+    if (batch != nullptr && tick_batch(*batch)) batch.reset();
+  }
+}
+
+}  // namespace sembfs::serve

@@ -1,0 +1,175 @@
+// QueryEngine: the concurrent BFS serving engine over one shared
+// semi-external graph.
+//
+// Shape (the pool-exclusivity contract, parallel/thread_pool.hpp): ONE
+// dispatcher thread owns the ThreadPool and interleaves every query's
+// work through it —
+//
+//   clients ── submit() ──> bounded queue ──> dispatcher ──> ThreadPool
+//                 (reject when full)            │
+//                                               ├─ single-query sessions
+//                                               │  (slot-pooled BfsSession,
+//                                               │   one level per tick)
+//                                               └─ one MS-BFS batch
+//                                                  (≤64 lanes, one level
+//                                                   per tick)
+//
+// Queries marked batchable ride the MS-BFS kernel (serve/ms_bfs.hpp): up
+// to 64 roots per traversal, same-root queries deduped onto one lane.
+// Non-batchable queries each get a BfsSession borrowing a status slot
+// (serve/slot_pool.hpp). Concurrency-of-service is level interleaving:
+// every active query advances one level per dispatcher tick, so a
+// deep search cannot starve short ones, and each level still uses the
+// whole pool.
+//
+// Deadlines are end-to-end from submit() — a query can expire while
+// queued (the backpressure signal) or mid-search (the session/batch stops
+// at the next level boundary and the partial traversal is returned).
+//
+// Fault containment: a session query whose I/O error budget is exhausted
+// beyond the degrade path fails ALONE — the NvmIoError is caught per
+// query and neighbors keep running. A batch shares one traversal, so its
+// blast radius is the batch (documented in docs/SERVING.md); in the
+// external-forward scenarios batches run entirely on the DRAM backward
+// side and cannot take device faults at all.
+//
+// Determinism: with autostart=false, submit the whole trace, then
+// start(); batch formation then depends only on admission order, so a
+// seeded trace replays byte-identical results (tests/test_serve_*).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bfs/hybrid_bfs.hpp"
+#include "numa/topology.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serve/ms_bfs.hpp"
+#include "serve/query.hpp"
+#include "serve/slot_pool.hpp"
+
+namespace sembfs::serve {
+
+struct EngineConfig {
+  /// Admission queue bound; submit() beyond this is Rejected immediately.
+  std::size_t queue_capacity = 256;
+  /// BfsStatus slots = concurrent single-query sessions.
+  std::size_t session_slots = 4;
+  /// Lanes per MS-BFS batch (1..MsBfsBatch::kMaxBatch).
+  std::size_t max_batch = MsBfsBatch::kMaxBatch;
+  /// Deadline applied when QueryOptions::deadline_ms <= 0; 0 = none.
+  double default_deadline_ms = 0.0;
+  /// Start the dispatcher in the constructor. false = deferred start for
+  /// deterministic trace replay: submit everything, then start().
+  bool autostart = true;
+  /// Template for single-query sessions (cancel is overwritten per query).
+  BfsConfig bfs;
+  /// MS-BFS kernel knobs shared by every batch.
+  MsBfsConfig msbfs;
+};
+
+/// Engine-lifetime totals, independent of the obs registry (always on,
+/// plain counters — the dispatcher is the only writer).
+struct EngineStats {
+  std::uint64_t submitted = 0;   ///< every submit() call, rejects included
+  std::uint64_t rejected = 0;
+  std::uint64_t done = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t session_queries = 0;  ///< served by a BfsSession
+  std::uint64_t batched_queries = 0;  ///< served by an MS-BFS lane
+  std::uint64_t batches = 0;
+};
+
+class QueryEngine {
+ public:
+  /// The graph, topology and pool must outlive the engine. While the
+  /// engine runs the pool belongs to its dispatcher exclusively.
+  QueryEngine(GraphStorage storage, const NumaTopology& topology,
+              ThreadPool& pool, EngineConfig config = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Thread-safe. Returns the query handle in every case — a rejected
+  /// query comes back already finalized with QueryState::Rejected.
+  QueryRef submit(Vertex root, QueryOptions options = {});
+
+  /// Starts the dispatcher (no-op when already started / autostart).
+  void start();
+  /// Blocks until every accepted query is terminal. Requires a started
+  /// dispatcher.
+  void drain();
+  /// Stops admissions, drains everything in flight, joins the dispatcher.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  [[nodiscard]] EngineStats stats() const;
+  [[nodiscard]] std::size_t queue_depth() const;
+  /// Accepted queries not yet terminal (queued + executing).
+  [[nodiscard]] std::uint64_t in_flight() const;
+  [[nodiscard]] const EngineConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct ActiveSession;
+  struct ActiveBatch;
+
+  void dispatcher_loop();
+  /// Finalizes queued queries whose token fired before execution started.
+  void cull_queued(std::vector<QueryRef>& queued);
+  void admit_sessions(std::vector<QueryRef>& queued,
+                      std::vector<ActiveSession>& sessions);
+  [[nodiscard]] std::unique_ptr<ActiveBatch> make_batch(
+      std::vector<QueryRef>& queued);
+  void step_sessions(std::vector<ActiveSession>& sessions);
+  /// One batch tick: cull fired riders, run one level, finalize finished
+  /// riders. True when the batch is finished and should be dropped.
+  bool tick_batch(ActiveBatch& batch);
+
+  /// Finalizes `query`, updates stats/gauges, wakes drain() waiters.
+  void finalize_query(const QueryRef& query, QueryResult result);
+
+  GraphStorage storage_;
+  const NumaTopology& topology_;
+  ThreadPool& pool_;
+  EngineConfig config_;
+  StatusSlotPool slots_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< wakes the dispatcher
+  std::condition_variable drain_cv_;  ///< wakes drain() waiters
+  std::vector<QueryRef> queue_;       ///< admission order preserved
+  std::uint64_t in_flight_ = 0;
+  bool stop_ = false;
+  bool started_ = false;
+  QueryId next_id_ = 1;
+  EngineStats stats_;
+  std::thread dispatcher_;
+
+  // Observability handles (resolved once; add/record gated on enabled()).
+  obs::Counter* obs_submitted_;
+  obs::Counter* obs_rejected_;
+  obs::Counter* obs_done_;
+  obs::Counter* obs_failed_;
+  obs::Counter* obs_cancelled_;
+  obs::Counter* obs_deadline_expired_;
+  obs::Counter* obs_session_queries_;
+  obs::Counter* obs_batched_queries_;
+  obs::Counter* obs_batches_;
+  obs::Gauge* obs_queue_depth_;
+  obs::Gauge* obs_in_flight_;
+  obs::Histogram* obs_queue_wait_us_;
+  obs::Histogram* obs_exec_us_;
+  obs::Histogram* obs_batch_lanes_;
+};
+
+}  // namespace sembfs::serve

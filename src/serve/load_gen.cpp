@@ -1,0 +1,111 @@
+#include "serve/load_gen.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/contracts.hpp"
+#include "util/prng.hpp"
+#include "util/statistics.hpp"
+#include "util/timer.hpp"
+
+namespace sembfs::serve {
+
+std::vector<Vertex> generate_trace(std::uint64_t seed, std::size_t count,
+                                   Vertex vertex_count) {
+  SEMBFS_EXPECTS(vertex_count > 0);
+  std::vector<Vertex> roots;
+  roots.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Xoroshiro128 rng{derive_seed(seed, i)};
+    roots.push_back(static_cast<Vertex>(
+        rng.next_below(static_cast<std::uint64_t>(vertex_count))));
+  }
+  return roots;
+}
+
+LoadGenReport run_load(QueryEngine& engine, Vertex vertex_count,
+                       const LoadGenConfig& config) {
+  SEMBFS_EXPECTS(config.clients >= 1);
+  SEMBFS_EXPECTS(vertex_count > 0);
+
+  struct ClientTally {
+    std::uint64_t done = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t deadline_expired = 0;
+    std::uint64_t rejected = 0;
+    std::vector<double> latencies_ms;
+  };
+  std::vector<ClientTally> tallies(config.clients);
+
+  Timer wall;
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(config.clients);
+    for (std::size_t c = 0; c < config.clients; ++c) {
+      clients.emplace_back([&, c] {
+        ClientTally& tally = tallies[c];
+        Xoroshiro128 rng{derive_seed(config.seed, c)};
+        for (std::size_t i = 0; i < config.queries_per_client; ++i) {
+          const auto root = static_cast<Vertex>(
+              rng.next_below(static_cast<std::uint64_t>(vertex_count)));
+          Timer latency;
+          const QueryRef query = engine.submit(root, config.options);
+          query->wait();
+          switch (query->state()) {
+            case QueryState::Done:
+              ++tally.done;
+              break;
+            case QueryState::Failed:
+              ++tally.failed;
+              break;
+            case QueryState::Cancelled:
+              ++tally.cancelled;
+              break;
+            case QueryState::DeadlineExpired:
+              ++tally.deadline_expired;
+              break;
+            case QueryState::Rejected:
+              ++tally.rejected;
+              continue;  // never entered the engine: no latency sample
+            default:
+              SEMBFS_ASSERT(false && "wait() returned non-terminal");
+              break;
+          }
+          tally.latencies_ms.push_back(latency.milliseconds());
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+
+  LoadGenReport report;
+  report.seconds = wall.seconds();
+  report.issued = config.clients * config.queries_per_client;
+  std::vector<double> latencies;
+  for (const ClientTally& tally : tallies) {
+    report.done += tally.done;
+    report.failed += tally.failed;
+    report.cancelled += tally.cancelled;
+    report.deadline_expired += tally.deadline_expired;
+    report.rejected += tally.rejected;
+    latencies.insert(latencies.end(), tally.latencies_ms.begin(),
+                     tally.latencies_ms.end());
+  }
+  const std::uint64_t accepted = report.issued - report.rejected;
+  report.qps =
+      report.seconds > 0.0 ? static_cast<double>(accepted) / report.seconds
+                           : 0.0;
+  if (!latencies.empty()) {
+    double sum = 0.0;
+    for (const double v : latencies) sum += v;
+    report.mean_ms = sum / static_cast<double>(latencies.size());
+    std::sort(latencies.begin(), latencies.end());
+    report.p50_ms = sorted_quantile(latencies, 0.50);
+    report.p95_ms = sorted_quantile(latencies, 0.95);
+    report.p99_ms = sorted_quantile(latencies, 0.99);
+  }
+  return report;
+}
+
+}  // namespace sembfs::serve

@@ -1,0 +1,60 @@
+// Seeded closed-loop load generator for the serving engine.
+//
+// Closed loop: each client thread holds at most ONE query in flight —
+// submit, wait for the terminal state, record the end-to-end latency,
+// repeat. Offered load therefore adapts to engine speed (the classic
+// closed-loop property), and `clients` is the concurrency knob.
+//
+// Everything is seeded (util/prng.hpp derive_seed per client), so a run
+// is reproducible root-for-root; the same trace helper feeds the
+// determinism replay test.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "serve/engine.hpp"
+
+namespace sembfs::serve {
+
+struct LoadGenConfig {
+  std::size_t clients = 4;
+  std::size_t queries_per_client = 16;
+  std::uint64_t seed = 42;
+  /// Template applied to every submitted query (deadline, max_levels,
+  /// batchable).
+  QueryOptions options;
+};
+
+struct LoadGenReport {
+  std::uint64_t issued = 0;
+  std::uint64_t done = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t rejected = 0;
+  double seconds = 0.0;  ///< wall time of the whole run
+  /// Terminal (non-rejected) queries per second of wall time.
+  double qps = 0.0;
+  // End-to-end latency (submit -> terminal) of accepted queries, ms.
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Deterministic query trace: `count` roots drawn uniformly from
+/// [0, vertex_count) with per-index seed derivation — element i is the
+/// same no matter how the trace is consumed.
+[[nodiscard]] std::vector<Vertex> generate_trace(std::uint64_t seed,
+                                                 std::size_t count,
+                                                 Vertex vertex_count);
+
+/// Runs the closed-loop load against a STARTED engine and blocks until
+/// every client finishes its quota.
+[[nodiscard]] LoadGenReport run_load(QueryEngine& engine,
+                                     Vertex vertex_count,
+                                     const LoadGenConfig& config);
+
+}  // namespace sembfs::serve

@@ -1,0 +1,25 @@
+#include "serve/query.hpp"
+
+namespace sembfs::serve {
+
+const char* to_string(QueryState state) noexcept {
+  switch (state) {
+    case QueryState::Queued:
+      return "queued";
+    case QueryState::Running:
+      return "running";
+    case QueryState::Done:
+      return "done";
+    case QueryState::Failed:
+      return "failed";
+    case QueryState::Cancelled:
+      return "cancelled";
+    case QueryState::DeadlineExpired:
+      return "deadline-expired";
+    case QueryState::Rejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+}  // namespace sembfs::serve

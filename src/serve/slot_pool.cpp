@@ -1,0 +1,43 @@
+#include "serve/slot_pool.hpp"
+
+#include "util/contracts.hpp"
+
+namespace sembfs::serve {
+
+StatusSlotPool::StatusSlotPool(Vertex vertex_count, std::size_t capacity) {
+  SEMBFS_EXPECTS(capacity >= 1);
+  slots_.reserve(capacity);
+  for (std::size_t i = 0; i < capacity; ++i)
+    slots_.push_back(Slot{std::make_unique<BfsStatus>(vertex_count), false});
+}
+
+std::uint64_t StatusSlotPool::byte_size() const noexcept {
+  std::uint64_t total = 0;
+  for (const Slot& slot : slots_) total += slot.status->byte_size();
+  return total;
+}
+
+BfsStatus* StatusSlotPool::try_acquire() {
+  for (Slot& slot : slots_) {
+    if (!slot.busy) {
+      slot.busy = true;
+      ++in_use_;
+      return slot.status.get();
+    }
+  }
+  return nullptr;
+}
+
+void StatusSlotPool::release(BfsStatus* status) {
+  for (Slot& slot : slots_) {
+    if (slot.status.get() == status) {
+      SEMBFS_EXPECTS(slot.busy);
+      slot.busy = false;
+      --in_use_;
+      return;
+    }
+  }
+  SEMBFS_EXPECTS(false && "released a status that is not pool-owned");
+}
+
+}  // namespace sembfs::serve

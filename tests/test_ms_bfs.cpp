@@ -1,0 +1,206 @@
+// MS-BFS correctness: every lane of a batched multi-source traversal must
+// assign exactly the reference levels for its root — batching changes the
+// schedule, never the answer.
+#include "serve/ms_bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "bfs/reference_bfs.hpp"
+#include "graph/hybrid_csr.hpp"
+#include "graph_fixtures.hpp"
+#include "nvm/device_profile.hpp"
+#include "nvm/nvm_device.hpp"
+
+namespace sembfs::serve {
+namespace {
+
+class MsBfsTest : public ::testing::Test {
+ protected:
+  void build(const EdgeList& edges, std::size_t numa_nodes = 4) {
+    partition_ = VertexPartition{edges.vertex_count(), numa_nodes};
+    backward_ = BackwardGraph::build(edges, partition_, CsrBuildOptions{},
+                                     pool_);
+    full_ = build_csr(edges, CsrBuildOptions{}, pool_);
+    storage_ = GraphStorage{};
+    storage_.backward_dram = &backward_;
+    topology_ = NumaTopology{numa_nodes, 1};
+  }
+
+  void expect_lane_matches_reference(const MsBfsBatch& batch,
+                                     std::size_t lane) {
+    const ReferenceBfsResult ref = reference_bfs(full_, batch.root(lane));
+    const std::vector<std::int32_t>& level = batch.levels(lane);
+    ASSERT_EQ(level.size(), ref.level.size());
+    for (Vertex v = 0; v < static_cast<Vertex>(level.size()); ++v)
+      ASSERT_EQ(level[v], ref.level[v])
+          << "lane=" << lane << " root=" << batch.root(lane) << " v=" << v;
+    EXPECT_EQ(batch.visited(lane), ref.visited) << "lane=" << lane;
+  }
+
+  // Parent-tree sanity: the root is its own parent, every reached vertex
+  // has a reached parent one level shallower, and the claimed parent edge
+  // exists in the graph.
+  void expect_valid_parents(const MsBfsBatch& batch, std::size_t lane) {
+    const std::vector<Vertex>& parent = batch.parents(lane);
+    const std::vector<std::int32_t>& level = batch.levels(lane);
+    ASSERT_EQ(parent.size(), level.size());
+    for (Vertex v = 0; v < static_cast<Vertex>(level.size()); ++v) {
+      if (level[v] < 0) {
+        EXPECT_EQ(parent[v], kNoVertex);
+        continue;
+      }
+      if (v == batch.root(lane)) {
+        EXPECT_EQ(parent[v], v);
+        continue;
+      }
+      const Vertex p = parent[v];
+      ASSERT_NE(p, kNoVertex) << "v=" << v;
+      EXPECT_EQ(level[p], level[v] - 1) << "v=" << v;
+      bool edge_found = false;
+      for (const Vertex u : full_.neighbors(v))
+        if (u == p) {
+          edge_found = true;
+          break;
+        }
+      EXPECT_TRUE(edge_found) << "no edge " << v << " -- " << p;
+    }
+  }
+
+  void run_to_completion(MsBfsBatch& batch) {
+    while (batch.step()) {
+    }
+    EXPECT_TRUE(batch.done());
+  }
+
+  ThreadPool pool_{4};
+  VertexPartition partition_;
+  BackwardGraph backward_;
+  Csr full_;
+  GraphStorage storage_;
+  NumaTopology topology_{1, 1};
+};
+
+TEST_F(MsBfsTest, SmallGraphAllRootsOneBatch) {
+  build(fixtures::small_graph());
+  // Every vertex as a root, including the isolated one: 8 lanes.
+  std::vector<Vertex> roots;
+  for (Vertex v = 0; v < 8; ++v) roots.push_back(v);
+  MsBfsBatch batch{storage_, topology_, pool_, roots};
+  run_to_completion(batch);
+  for (std::size_t q = 0; q < batch.width(); ++q) {
+    expect_lane_matches_reference(batch, q);
+    expect_valid_parents(batch, q);
+  }
+}
+
+TEST_F(MsBfsTest, PathGraphDeepLevels) {
+  build(fixtures::path_graph(64), 2);
+  const std::vector<Vertex> roots{0, 31, 63};
+  MsBfsBatch batch{storage_, topology_, pool_, roots};
+  run_to_completion(batch);
+  EXPECT_EQ(batch.levels_executed(), 63 + 1);  // deepest lane + empty level
+  for (std::size_t q = 0; q < batch.width(); ++q)
+    expect_lane_matches_reference(batch, q);
+}
+
+TEST_F(MsBfsTest, SingleLaneMatchesReference) {
+  build(fixtures::star_graph(32));
+  const std::vector<Vertex> roots{5};
+  MsBfsBatch batch{storage_, topology_, pool_, roots};
+  run_to_completion(batch);
+  expect_lane_matches_reference(batch, 0);
+  expect_valid_parents(batch, 0);
+}
+
+TEST_F(MsBfsTest, DuplicateRootsProduceIdenticalLanes) {
+  build(fixtures::complete_graph(16));
+  const std::vector<Vertex> roots{3, 3, 7};
+  MsBfsBatch batch{storage_, topology_, pool_, roots};
+  run_to_completion(batch);
+  EXPECT_EQ(batch.levels(0), batch.levels(1));
+  EXPECT_EQ(batch.visited(0), batch.visited(1));
+  for (std::size_t q = 0; q < batch.width(); ++q)
+    expect_lane_matches_reference(batch, q);
+}
+
+TEST_F(MsBfsTest, FullWidthKroneckerBatch) {
+  const EdgeList edges =
+      generate_kronecker(fixtures::small_kronecker(10, 8, 7), pool_);
+  build(edges);
+  std::vector<Vertex> roots;
+  for (Vertex v = 0; roots.size() < MsBfsBatch::kMaxBatch; ++v) {
+    ASSERT_LT(v, static_cast<Vertex>(full_.source_range().size()));
+    if (full_.degree(v) > 0) roots.push_back(v);
+  }
+  MsBfsBatch batch{storage_, topology_, pool_, roots};
+  EXPECT_EQ(batch.width(), MsBfsBatch::kMaxBatch);
+  run_to_completion(batch);
+  for (std::size_t q = 0; q < batch.width(); ++q) {
+    expect_lane_matches_reference(batch, q);
+    expect_valid_parents(batch, q);
+  }
+}
+
+TEST_F(MsBfsTest, RecordParentsOffLeavesParentsEmpty) {
+  build(fixtures::small_graph());
+  MsBfsConfig config;
+  config.record_parents = false;
+  const std::vector<Vertex> roots{0, 1};
+  MsBfsBatch batch{storage_, topology_, pool_, roots, config};
+  run_to_completion(batch);
+  EXPECT_TRUE(batch.parents(0).empty());
+  EXPECT_TRUE(batch.parents(1).empty());
+  expect_lane_matches_reference(batch, 0);
+  expect_lane_matches_reference(batch, 1);
+}
+
+TEST_F(MsBfsTest, DeactivatedLaneStopsOthersFinish) {
+  build(fixtures::path_graph(32), 2);
+  const std::vector<Vertex> roots{0, 31};
+  MsBfsBatch batch{storage_, topology_, pool_, roots};
+  // Run three levels, then kill lane 0.
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(batch.step());
+  batch.deactivate(0);
+  EXPECT_FALSE(batch.lane_live(0));
+  EXPECT_TRUE(batch.lane_live(1));
+  run_to_completion(batch);
+
+  // Lane 0 froze at its partial traversal: exactly levels 0..3 assigned.
+  const std::vector<std::int32_t>& partial = batch.levels(0);
+  for (Vertex v = 0; v < 32; ++v)
+    EXPECT_EQ(partial[v], v <= 3 ? v : -1) << "v=" << v;
+  EXPECT_EQ(batch.visited(0), 4);
+  EXPECT_EQ(batch.depth(0), 3);
+  // Lane 1 is a complete, reference-exact traversal.
+  expect_lane_matches_reference(batch, 1);
+}
+
+TEST_F(MsBfsTest, HybridBackwardMatchesReference) {
+  const EdgeList edges =
+      generate_kronecker(fixtures::small_kronecker(9, 8, 13), pool_);
+  partition_ = VertexPartition{edges.vertex_count(), 2};
+  const BackwardGraph backward =
+      BackwardGraph::build(edges, partition_, CsrBuildOptions{}, pool_);
+  full_ = build_csr(edges, CsrBuildOptions{}, pool_);
+  const std::string dir = ::testing::TempDir() + "/sembfs_msbfs_hybrid";
+  std::filesystem::remove_all(dir);
+  DeviceProfile profile = DeviceProfile::by_name("pcie_flash");
+  profile.time_scale = 0.001;
+  auto device = std::make_shared<NvmDevice>(profile);
+  HybridBackwardGraph hybrid{backward, 4, device, dir};
+
+  GraphStorage storage;
+  storage.backward_hybrid = &hybrid;
+  topology_ = NumaTopology{2, 1};
+  const std::vector<Vertex> roots{0, 1, 2, 3};
+  MsBfsBatch batch{storage, topology_, pool_, roots};
+  run_to_completion(batch);
+  for (std::size_t q = 0; q < batch.width(); ++q)
+    expect_lane_matches_reference(batch, q);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sembfs::serve

@@ -1,0 +1,311 @@
+// QueryEngine behavior: admission control, deadlines, cancellation,
+// correctness of served results (both execution paths), fault
+// containment, and deterministic trace replay.
+#include "serve/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "bfs/reference_bfs.hpp"
+#include "graph/external_csr.hpp"
+#include "graph_fixtures.hpp"
+#include "nvm/device_profile.hpp"
+#include "nvm/nvm_device.hpp"
+#include "serve/batch_planner.hpp"
+#include "serve/load_gen.hpp"
+
+namespace sembfs::serve {
+namespace {
+
+class ServeEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    edges_ = generate_kronecker(fixtures::small_kronecker(10, 8, 17), pool_);
+    partition_ = VertexPartition{edges_.vertex_count(), 2};
+    forward_ = ForwardGraph::build(edges_, partition_, CsrBuildOptions{},
+                                   pool_);
+    backward_ = BackwardGraph::build(edges_, partition_, CsrBuildOptions{},
+                                     pool_);
+    full_ = build_csr(edges_, CsrBuildOptions{}, pool_);
+    storage_ = GraphStorage{};
+    storage_.forward_dram = &forward_;
+    storage_.backward_dram = &backward_;
+  }
+
+  void expect_matches_reference(const QueryResult& result) {
+    const ReferenceBfsResult ref = reference_bfs(full_, result.root);
+    ASSERT_EQ(result.level.size(), ref.level.size());
+    for (std::size_t v = 0; v < ref.level.size(); ++v)
+      ASSERT_EQ(result.level[v], ref.level[v])
+          << "root=" << result.root << " v=" << v;
+    EXPECT_EQ(result.visited, ref.visited);
+  }
+
+  ThreadPool pool_{4};
+  NumaTopology topology_{2, 1};
+  EdgeList edges_;
+  VertexPartition partition_;
+  ForwardGraph forward_;
+  BackwardGraph backward_;
+  Csr full_;
+  GraphStorage storage_;
+};
+
+TEST_F(ServeEngineTest, BatchedQueriesMatchReference) {
+  QueryEngine engine{storage_, topology_, pool_, EngineConfig{}};
+  std::vector<QueryRef> queries;
+  for (Vertex root = 0; root < 16; ++root)
+    queries.push_back(engine.submit(root));
+  for (const QueryRef& query : queries) {
+    query->wait();
+    ASSERT_EQ(query->state(), QueryState::Done) << query->result().error;
+    EXPECT_TRUE(query->result().batched);
+    expect_matches_reference(query->result());
+  }
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 16u);
+  EXPECT_EQ(stats.done, 16u);
+  EXPECT_EQ(stats.batched_queries, 16u);
+  EXPECT_EQ(stats.session_queries, 0u);
+}
+
+TEST_F(ServeEngineTest, SessionQueriesMatchReference) {
+  QueryEngine engine{storage_, topology_, pool_, EngineConfig{}};
+  QueryOptions options;
+  options.batchable = false;
+  std::vector<QueryRef> queries;
+  for (Vertex root = 0; root < 8; ++root)
+    queries.push_back(engine.submit(root, options));
+  for (const QueryRef& query : queries) {
+    query->wait();
+    ASSERT_EQ(query->state(), QueryState::Done) << query->result().error;
+    EXPECT_FALSE(query->result().batched);
+    expect_matches_reference(query->result());
+  }
+  EXPECT_EQ(engine.stats().session_queries, 8u);
+}
+
+TEST_F(ServeEngineTest, MixedPathsAgreeOnResults) {
+  QueryEngine engine{storage_, topology_, pool_, EngineConfig{}};
+  QueryOptions session;
+  session.batchable = false;
+  const Vertex root = 3;
+  const QueryRef batched = engine.submit(root);
+  const QueryRef solo = engine.submit(root, session);
+  batched->wait();
+  solo->wait();
+  ASSERT_EQ(batched->state(), QueryState::Done);
+  ASSERT_EQ(solo->state(), QueryState::Done);
+  EXPECT_EQ(batched->result().level, solo->result().level);
+  EXPECT_EQ(batched->result().visited, solo->result().visited);
+}
+
+TEST_F(ServeEngineTest, BoundedQueueRejects) {
+  EngineConfig config;
+  config.autostart = false;  // queue can only fill while nothing drains it
+  config.queue_capacity = 2;
+  QueryEngine engine{storage_, topology_, pool_, config};
+  const QueryRef a = engine.submit(0);
+  const QueryRef b = engine.submit(1);
+  const QueryRef c = engine.submit(2);
+  EXPECT_EQ(c->state(), QueryState::Rejected);
+  EXPECT_TRUE(c->finished());
+  EXPECT_FALSE(a->finished());
+  engine.start();
+  engine.drain();
+  EXPECT_EQ(a->state(), QueryState::Done);
+  EXPECT_EQ(b->state(), QueryState::Done);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.done, 2u);
+}
+
+TEST_F(ServeEngineTest, DeadlineExpiresWhileQueued) {
+  EngineConfig config;
+  config.autostart = false;
+  QueryEngine engine{storage_, topology_, pool_, config};
+  QueryOptions options;
+  options.deadline_ms = 0.01;  // expires long before start()
+  const QueryRef query = engine.submit(0, options);
+  std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  engine.start();
+  query->wait();
+  EXPECT_EQ(query->state(), QueryState::DeadlineExpired);
+  EXPECT_TRUE(query->result().level.empty());  // never ran a level
+  EXPECT_GT(query->result().queue_wait_ms, 0.0);
+}
+
+TEST_F(ServeEngineTest, CancelBeforeStart) {
+  EngineConfig config;
+  config.autostart = false;
+  QueryEngine engine{storage_, topology_, pool_, config};
+  const QueryRef query = engine.submit(0);
+  query->cancel();
+  engine.start();
+  query->wait();
+  EXPECT_EQ(query->state(), QueryState::Cancelled);
+}
+
+TEST_F(ServeEngineTest, MaxLevelsTruncatesBothPaths) {
+  QueryEngine engine{storage_, topology_, pool_, EngineConfig{}};
+  QueryOptions khop;
+  khop.max_levels = 2;
+  QueryOptions khop_session = khop;
+  khop_session.batchable = false;
+  const QueryRef batched = engine.submit(0, khop);
+  const QueryRef solo = engine.submit(0, khop_session);
+  batched->wait();
+  solo->wait();
+  ASSERT_EQ(batched->state(), QueryState::Done);
+  ASSERT_EQ(solo->state(), QueryState::Done);
+  const ReferenceBfsResult ref = reference_bfs(full_, 0);
+  for (const QueryRef& query : {batched, solo}) {
+    const QueryResult& result = query->result();
+    EXPECT_LE(result.depth, 2);
+    for (std::size_t v = 0; v < result.level.size(); ++v) {
+      if (ref.level[v] >= 0 && ref.level[v] <= 2)
+        EXPECT_EQ(result.level[v], ref.level[v]) << "v=" << v;
+      else
+        EXPECT_EQ(result.level[v], -1) << "v=" << v;
+    }
+  }
+}
+
+TEST_F(ServeEngineTest, ShutdownRejectsLateSubmits) {
+  QueryEngine engine{storage_, topology_, pool_, EngineConfig{}};
+  engine.shutdown();
+  const QueryRef late = engine.submit(0);
+  EXPECT_EQ(late->state(), QueryState::Rejected);
+}
+
+// Fault containment: with the forward graph on a faulty device and a zero
+// error budget, session queries degrade to the DRAM bottom-up fallback —
+// every query still completes with reference-exact levels, and queries
+// untouched by faults report no degradation.
+TEST_F(ServeEngineTest, FaultsAreContainedPerQuery) {
+  const std::string dir = ::testing::TempDir() + "/sembfs_serve_fault";
+  std::filesystem::remove_all(dir);
+  DeviceProfile profile = DeviceProfile::by_name("pcie_flash");
+  profile.time_scale = 0.001;
+  auto device = std::make_shared<NvmDevice>(profile);
+  ExternalForwardGraph external{forward_, device, dir};
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.read_error_rate = 0.02;
+  device->set_fault_plan(plan);
+
+  GraphStorage storage;
+  storage.forward_external = &external;
+  storage.backward_dram = &backward_;
+  QueryEngine engine{storage, topology_, pool_, EngineConfig{}};
+  QueryOptions options;
+  options.batchable = false;  // sessions: the NVM-touching path
+  std::vector<QueryRef> queries;
+  for (Vertex root = 0; root < 8; ++root)
+    queries.push_back(engine.submit(root, options));
+  int degraded = 0;
+  for (const QueryRef& query : queries) {
+    query->wait();
+    ASSERT_EQ(query->state(), QueryState::Done) << query->result().error;
+    expect_matches_reference(query->result());
+    if (query->result().degraded) ++degraded;
+  }
+  // The plan's rate makes some but not all queries hit a fault; either way
+  // no fault may spread beyond its own query.
+  EXPECT_EQ(engine.stats().failed, 0u);
+  engine.shutdown();
+  std::filesystem::remove_all(dir);
+}
+
+// Determinism: replaying the same seeded trace through a deferred-start
+// engine yields byte-identical per-query results and identical
+// deterministic engine stats.
+TEST_F(ServeEngineTest, SeededTraceReplaysIdentically) {
+  const std::vector<Vertex> trace =
+      generate_trace(123, 40, edges_.vertex_count());
+
+  struct Replay {
+    std::vector<std::vector<std::int32_t>> level;
+    std::vector<std::vector<Vertex>> parent;
+    std::vector<std::int64_t> visited;
+    std::vector<std::int32_t> depth;
+    std::vector<QueryState> state;
+    EngineStats stats;
+  };
+  const auto run_once = [&] {
+    EngineConfig config;
+    config.autostart = false;  // whole trace queued -> batch formation is
+                               // a pure function of admission order
+    QueryEngine engine{storage_, topology_, pool_, config};
+    std::vector<QueryRef> queries;
+    for (const Vertex root : trace) queries.push_back(engine.submit(root));
+    engine.start();
+    engine.drain();
+    Replay replay;
+    for (const QueryRef& query : queries) {
+      const QueryResult& result = query->result();
+      replay.level.push_back(result.level);
+      replay.parent.push_back(result.parent);
+      replay.visited.push_back(result.visited);
+      replay.depth.push_back(result.depth);
+      replay.state.push_back(result.state);
+    }
+    replay.stats = engine.stats();
+    return replay;
+  };
+
+  const Replay first = run_once();
+  const Replay second = run_once();
+  EXPECT_EQ(first.level, second.level);
+  EXPECT_EQ(first.parent, second.parent);
+  EXPECT_EQ(first.visited, second.visited);
+  EXPECT_EQ(first.depth, second.depth);
+  EXPECT_EQ(first.state, second.state);
+  EXPECT_EQ(first.stats.submitted, second.stats.submitted);
+  EXPECT_EQ(first.stats.done, second.stats.done);
+  EXPECT_EQ(first.stats.batches, second.stats.batches);
+  EXPECT_EQ(first.stats.batched_queries, second.stats.batched_queries);
+  EXPECT_EQ(first.stats.session_queries, second.stats.session_queries);
+}
+
+TEST(BatchPlannerTest, PacksFifoAndDedupsRoots) {
+  std::vector<QueryRef> queued;
+  const auto enqueue = [&](Vertex root) {
+    queued.push_back(
+        std::make_shared<Query>(queued.size() + 1, root, QueryOptions{}));
+  };
+  enqueue(5);
+  enqueue(9);
+  enqueue(5);  // rider on lane 0
+  enqueue(2);
+  const BatchPlan plan = plan_batch(queued, 8);
+  EXPECT_TRUE(queued.empty());
+  ASSERT_EQ(plan.width(), 3u);
+  EXPECT_EQ(plan.roots, (std::vector<Vertex>{5, 9, 2}));
+  ASSERT_EQ(plan.queries.size(), 4u);
+  EXPECT_EQ(plan.lane_of, (std::vector<std::size_t>{0, 1, 0, 2}));
+}
+
+TEST(BatchPlannerTest, LaneCapStopsInOrder) {
+  std::vector<QueryRef> queued;
+  for (Vertex root = 0; root < 6; ++root)
+    queued.push_back(
+        std::make_shared<Query>(root + 1, root, QueryOptions{}));
+  const BatchPlan plan = plan_batch(queued, 4);
+  EXPECT_EQ(plan.width(), 4u);
+  EXPECT_EQ(plan.queries.size(), 4u);
+  ASSERT_EQ(queued.size(), 2u);  // FIFO remainder, order preserved
+  EXPECT_EQ(queued[0]->root(), 4);
+  EXPECT_EQ(queued[1]->root(), 5);
+}
+
+TEST(BatchPlannerTest, EmptyQueueYieldsEmptyPlan) {
+  std::vector<QueryRef> queued;
+  EXPECT_TRUE(plan_batch(queued, 64).empty());
+}
+
+}  // namespace
+}  // namespace sembfs::serve
