@@ -19,10 +19,10 @@ void print_header(const BenchConfig& config, const std::string& figure,
   std::printf("paper: %s\n", paper_summary.c_str());
   std::printf(
       "emulation: SCALE=%d edgefactor=%d roots=%d threads=%d "
-      "numa_nodes=%d device_time_scale=%.3g workdir=%s\n",
+      "numa_nodes=%d device_time_scale=%.3g workdir=%s chunk_format=%s\n",
       config.env.scale, config.env.edge_factor, config.env.roots,
       config.env.threads, config.env.numa_nodes, config.time_scale,
-      config.env.workdir.c_str());
+      config.env.workdir.c_str(), config.env.chunk_format.c_str());
   std::printf(
       "note: absolute TEPS are not comparable to the paper's 48-core\n"
       "machine; compare orderings/ratios. Override knobs via SEMBFS_SCALE,\n"
@@ -59,6 +59,11 @@ Graph500Instance make_instance(const BenchConfig& config,
   ic.scenario.time_scale = config.time_scale;
   ic.numa_nodes = static_cast<std::size_t>(config.env.numa_nodes);
   ic.workdir = config.env.workdir;
+  // Unknown names fall back to raw rather than aborting: the bench harness
+  // loops over every binary and a typo'd env var should not kill the run.
+  ic.chunk_format = parse_chunk_format(
+                        std::string_view{config.env.chunk_format})
+                        .value_or(ChunkFormat::kRaw);
   return Graph500Instance{ic, pool};
 }
 

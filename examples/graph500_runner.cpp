@@ -50,6 +50,9 @@ int main(int argc, char** argv) {
                   "async I/O workers for batch prefetch (0 = synchronous)");
   options.add_int("chunk-cache-bytes", 0,
                   "DRAM chunk cache capacity in bytes (0 = no cache)");
+  options.add_string("chunk-format", "raw",
+                     "on-NVM adjacency layout: raw | varint "
+                     "(varint = delta-compressed chunks)");
   options.add_flag("verify-checksums",
                    "verify fetched chunks against offload-time CRC32s "
                    "(needs --chunk-cache-bytes)");
@@ -118,6 +121,15 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(options.get_int("io-queue-depth"));
   config.bfs.chunk_cache_bytes =
       static_cast<std::size_t>(options.get_int("chunk-cache-bytes"));
+  const auto chunk_format =
+      parse_chunk_format(std::string_view{options.get_string("chunk-format")});
+  if (!chunk_format.has_value()) {
+    std::fprintf(stderr, "unknown --chunk-format '%s'\n",
+                 options.get_string("chunk-format").c_str());
+    return 1;
+  }
+  config.instance.chunk_format = *chunk_format;
+  config.bfs.chunk_format = *chunk_format;
   config.bfs.verify_chunk_checksums = options.get_flag("verify-checksums");
   config.bfs.io_error_budget =
       static_cast<std::uint64_t>(options.get_int("io-error-budget"));
@@ -185,7 +197,7 @@ int main(int argc, char** argv) {
 
     std::printf(
         "serve_clients: %zu\nserve_queries: %llu\nserve_seconds: %.3f\n"
-        "serve_qps: %.2f\n"
+        "serve_qps: %.2f\nserve_offered_qps: %.2f\n"
         "serve_latency_ms_mean: %.3f\nserve_latency_ms_p50: %.3f\n"
         "serve_latency_ms_p95: %.3f\nserve_latency_ms_p99: %.3f\n"
         "serve_done: %llu\nserve_failed: %llu\nserve_cancelled: %llu\n"
@@ -193,8 +205,8 @@ int main(int argc, char** argv) {
         "serve_batches: %llu\nserve_batched_queries: %llu\n"
         "serve_session_queries: %llu\n",
         load.clients, static_cast<unsigned long long>(report.issued),
-        report.seconds, report.qps, report.mean_ms, report.p50_ms,
-        report.p95_ms, report.p99_ms,
+        report.seconds, report.qps, report.offered_qps, report.mean_ms,
+        report.p50_ms, report.p95_ms, report.p99_ms,
         static_cast<unsigned long long>(report.done),
         static_cast<unsigned long long>(report.failed),
         static_cast<unsigned long long>(report.cancelled),
@@ -231,13 +243,25 @@ int main(int argc, char** argv) {
   std::printf("graph_dram_bytes: %s\ngraph_nvm_bytes: %s\n",
               format_bytes(run.graph_dram_bytes).c_str(),
               format_bytes(run.graph_nvm_bytes).c_str());
+  if (run.graph_nvm_bytes > 0) {
+    std::printf("chunk_format: %s\n",
+                std::string(to_string(*chunk_format)).c_str());
+    if (run.graph_nvm_raw_bytes > run.graph_nvm_bytes) {
+      std::printf("graph_nvm_raw_bytes: %s\nnvm_compression_ratio: %.2f\n",
+                  format_bytes(run.graph_nvm_raw_bytes).c_str(),
+                  static_cast<double>(run.graph_nvm_raw_bytes) /
+                      static_cast<double>(run.graph_nvm_bytes));
+    }
+  }
   if (run.nvm_io.requests > 0) {
     std::printf(
         "nvm_requests: %llu\nnvm_avgqu_sz: %.2f\nnvm_avgrq_sz: %.2f "
-        "sectors\nnvm_await_ms: %.3f\nnvm_iops: %.0f\n",
+        "sectors\nnvm_await_ms: %.3f\nnvm_iops: %.0f\n"
+        "nvm_bytes_per_edge: %.3f\n",
         static_cast<unsigned long long>(run.nvm_io.requests),
         run.nvm_io.avg_queue_length, run.nvm_io.avg_request_sectors,
-        run.nvm_io.await_ms, run.nvm_io.iops);
+        run.nvm_io.await_ms, run.nvm_io.iops,
+        run.nvm_io.bytes_per_edge(run.traversed_edges));
   }
   if (run.nvm_io.read_errors + run.nvm_io.short_reads +
           run.nvm_io.corruptions + run.nvm_io.latency_spikes +

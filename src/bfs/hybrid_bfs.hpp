@@ -21,6 +21,7 @@
 #include "bfs/policy.hpp"
 #include "bfs/top_down.hpp"
 #include "numa/topology.hpp"
+#include "nvm/chunk_format.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace sembfs::obs {
@@ -87,6 +88,11 @@ struct BfsConfig {
   /// re-fetching corrupted chunks. Off by default so the fault-free
   /// benchmark path pays no checksum cost.
   bool verify_chunk_checksums = false;
+  /// On-NVM adjacency layout this run expects its external storage to use
+  /// (informational plumbing: offload format is fixed at graph
+  /// construction; serving/bench configs carry it here so engines and
+  /// reports can label and build storage consistently).
+  ChunkFormat chunk_format = ChunkFormat::kRaw;
   /// When non-null, the session appends one obs::TraceSpan per executed
   /// level (LevelStats + the PolicyInput the switch policy saw + its
   /// decision). The log must outlive every session using it. nullptr (the

@@ -33,11 +33,13 @@ ExternalCsrPartition::ExternalCsrPartition(const Csr& csr,
                                            const std::string& dir,
                                            std::size_t node_id,
                                            std::uint32_t chunk_bytes,
-                                           ChunkChecksums* checksums)
+                                           ChunkChecksums* checksums,
+                                           ChunkFormat format)
     : sources_(csr.source_range()),
       destinations_(csr.destination_range()),
       entry_count_(csr.entry_count()),
       chunk_bytes_(chunk_bytes),
+      format_(format),
       checksums_(checksums) {
   SEMBFS_EXPECTS(device != nullptr);
   ensure_directory(dir);
@@ -50,11 +52,12 @@ ExternalCsrPartition::ExternalCsrPartition(const Csr& csr,
 ExternalCsrPartition::ExternalCsrPartition(
     const Csr& csr, std::vector<std::shared_ptr<NvmDevice>> devices,
     const std::string& dir, std::size_t node_id, std::uint32_t chunk_bytes,
-    ChunkChecksums* checksums)
+    ChunkChecksums* checksums, ChunkFormat format)
     : sources_(csr.source_range()),
       destinations_(csr.destination_range()),
       entry_count_(csr.entry_count()),
       chunk_bytes_(chunk_bytes),
+      format_(format),
       checksums_(checksums) {
   SEMBFS_EXPECTS(!devices.empty());
   ensure_directory(dir);
@@ -66,6 +69,21 @@ ExternalCsrPartition::ExternalCsrPartition(
   offload(csr, chunk_bytes);
 }
 
+void ExternalCsrPartition::compress_values(const Csr& csr,
+                                           std::uint32_t chunk_bytes) {
+  // The CompressedBlockFile adopts the physical value file and becomes the
+  // value_file_ every downstream reader (ExternalArray, merged fetches,
+  // the IoScheduler jobs) sees: they keep addressing decoded bytes while
+  // the device stores varint blobs. Its per-blob CRCs make the value path
+  // self-verifying, so nothing is recorded in the shared chunk registry
+  // (the ChunkCache skips chunks without a recorded checksum).
+  auto compressed = std::make_unique<CompressedBlockFile>(
+      std::move(value_file_), std::span<const Vertex>{csr.values()},
+      chunk_bytes);
+  compressed_ = compressed.get();
+  value_file_ = std::move(compressed);
+}
+
 void ExternalCsrPartition::offload(const Csr& csr,
                                    std::uint32_t chunk_bytes) {
   if (checksums_ == nullptr) {
@@ -75,19 +93,34 @@ void ExternalCsrPartition::offload(const Csr& csr,
   SEMBFS_EXPECTS(checksums_->chunk_bytes() == chunk_bytes);
   index_ = std::make_unique<ExternalArray<std::int64_t>>(
       *index_file_, 0, csr.index().size(), chunk_bytes);
+  write_array(*index_, csr.index());
+  if (format_ == ChunkFormat::kVarint) {
+    compress_values(csr, chunk_bytes);
+  }
   values_ = std::make_unique<ExternalArray<Vertex>>(
       *value_file_, 0, csr.values().size(), chunk_bytes);
-  write_array(*index_, csr.index());
-  write_array(*values_, csr.values());
+  if (format_ == ChunkFormat::kRaw) {
+    write_array(*values_, csr.values());
+  }
   // Checksum the offloaded bytes from the DRAM source (no device reads):
-  // these CRCs are the ground truth the read path verifies against.
+  // these CRCs are the ground truth the read path verifies against. The
+  // compressed value store carries its own per-blob CRCs instead.
   checksums_->record_buffer(*index_file_, index_->base_offset(),
                             std::as_bytes(std::span{csr.index()}));
-  checksums_->record_buffer(*value_file_, values_->base_offset(),
-                            std::as_bytes(std::span{csr.values()}));
+  if (format_ == ChunkFormat::kRaw) {
+    checksums_->record_buffer(*value_file_, values_->base_offset(),
+                              std::as_bytes(std::span{csr.values()}));
+  }
 }
 
 std::uint64_t ExternalCsrPartition::nvm_byte_size() const noexcept {
+  const std::uint64_t value_bytes = compressed_ != nullptr
+                                        ? compressed_->encoded_byte_size()
+                                        : values_->byte_size();
+  return index_->byte_size() + value_bytes;
+}
+
+std::uint64_t ExternalCsrPartition::raw_byte_size() const noexcept {
   return index_->byte_size() + values_->byte_size();
 }
 
@@ -209,9 +242,22 @@ std::uint64_t ExternalCsrPartition::read_merged(
     std::uint32_t max_request_bytes) {
   if (cache_ != nullptr)
     return cache_->read(file, offset, staging, max_request_bytes);
-  // One aggregated request per merged range (libaio-style).
-  file.read(offset, staging);
-  return 1;
+  // One aggregated request per merged range (libaio-style) — except that a
+  // single adjacency run longer than the cap (a hub vertex) must still be
+  // issued in max_request_bytes slices: merge_ranges never splits a run
+  // (deliver_values needs each slot inside one fetched range), so the cap
+  // is enforced here, at issue time.
+  const std::size_t cap =
+      max_request_bytes > 0 ? max_request_bytes : staging.size();
+  std::uint64_t requests = 0;
+  std::size_t done = 0;
+  while (done < staging.size()) {
+    const std::size_t len = std::min(cap, staging.size() - done);
+    file.read(offset + done, staging.subspan(done, len));
+    done += len;
+    ++requests;
+  }
+  return requests;
 }
 
 std::vector<SlotBounds> ExternalCsrPartition::batch_bounds(
@@ -388,40 +434,49 @@ PendingNeighborsBatch::~PendingNeighborsBatch() { abandon(); }
 ExternalForwardGraph::ExternalForwardGraph(const ForwardGraph& forward,
                                            std::shared_ptr<NvmDevice> device,
                                            const std::string& dir,
-                                           std::uint32_t chunk_bytes)
+                                           std::uint32_t chunk_bytes,
+                                           ChunkFormat format)
     : vertex_partition_(forward.vertex_partition()),
       device_(device),
       chunk_bytes_(chunk_bytes),
+      format_(format),
       checksums_(std::make_unique<ChunkChecksums>(chunk_bytes)) {
   SEMBFS_EXPECTS(device_ != nullptr);
   partitions_.reserve(forward.node_count());
   for (std::size_t k = 0; k < forward.node_count(); ++k) {
     partitions_.push_back(std::make_unique<ExternalCsrPartition>(
         forward.partition(k), device_, dir, k, chunk_bytes,
-        checksums_.get()));
+        checksums_.get(), format));
   }
 }
 
 ExternalForwardGraph::ExternalForwardGraph(
     const ForwardGraph& forward,
     std::vector<std::shared_ptr<NvmDevice>> devices, const std::string& dir,
-    std::uint32_t chunk_bytes)
+    std::uint32_t chunk_bytes, ChunkFormat format)
     : vertex_partition_(forward.vertex_partition()),
       device_(devices.empty() ? nullptr : devices.front()),
       chunk_bytes_(chunk_bytes),
+      format_(format),
       checksums_(std::make_unique<ChunkChecksums>(chunk_bytes)) {
   SEMBFS_EXPECTS(!devices.empty());
   partitions_.reserve(forward.node_count());
   for (std::size_t k = 0; k < forward.node_count(); ++k) {
     partitions_.push_back(std::make_unique<ExternalCsrPartition>(
         forward.partition(k), devices, dir, k, chunk_bytes,
-        checksums_.get()));
+        checksums_.get(), format));
   }
 }
 
 std::uint64_t ExternalForwardGraph::nvm_byte_size() const noexcept {
   std::uint64_t total = 0;
   for (const auto& p : partitions_) total += p->nvm_byte_size();
+  return total;
+}
+
+std::uint64_t ExternalForwardGraph::raw_byte_size() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& p : partitions_) total += p->raw_byte_size();
   return total;
 }
 
@@ -454,6 +509,9 @@ void ExternalForwardGraph::enable_checksum_verification(int max_refetches) {
   verify_checksums_ = true;
   checksum_max_refetches_ = max_refetches;
   cache_->set_checksums(checksums_.get(), max_refetches);
+  // Compressed value stores verify on their own CRCs; align their heal
+  // allowance with the cache's.
+  for (auto& p : partitions_) p->set_compressed_max_refetches(max_refetches);
 }
 
 void ExternalForwardGraph::disable_checksum_verification() {

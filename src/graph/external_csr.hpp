@@ -30,6 +30,8 @@
 #include "graph/forward_graph.hpp"
 #include "nvm/chunk_cache.hpp"
 #include "nvm/chunk_checksums.hpp"
+#include "nvm/chunk_format.hpp"
+#include "nvm/compressed_file.hpp"
 #include "nvm/external_array.hpp"
 #include "nvm/io_scheduler.hpp"
 #include "nvm/nvm_device.hpp"
@@ -96,10 +98,15 @@ class ExternalCsrPartition {
   /// `device`. Existing files are overwritten. Per-chunk CRC32s of the
   /// offloaded bytes are recorded into `checksums` when given (so several
   /// partitions can share one registry), else into a private registry.
+  /// With ChunkFormat::kVarint the value file is wrapped in a
+  /// CompressedBlockFile: the device stores delta/varint blobs (its own
+  /// per-blob CRCs, always verified) while every reader above still sees
+  /// plain Vertex bytes; the index file stays raw either way.
   ExternalCsrPartition(const Csr& csr, std::shared_ptr<NvmDevice> device,
                        const std::string& dir, std::size_t node_id,
                        std::uint32_t chunk_bytes = 4096,
-                       ChunkChecksums* checksums = nullptr);
+                       ChunkChecksums* checksums = nullptr,
+                       ChunkFormat format = ChunkFormat::kRaw);
 
   /// Striped variant: the two files are spread round-robin across several
   /// physical devices (the paper's machine carried multiple flash cards).
@@ -107,7 +114,8 @@ class ExternalCsrPartition {
                        std::vector<std::shared_ptr<NvmDevice>> devices,
                        const std::string& dir, std::size_t node_id,
                        std::uint32_t chunk_bytes = 4096,
-                       ChunkChecksums* checksums = nullptr);
+                       ChunkChecksums* checksums = nullptr,
+                       ChunkFormat format = ChunkFormat::kRaw);
 
   [[nodiscard]] VertexRange source_range() const noexcept { return sources_; }
   [[nodiscard]] VertexRange destination_range() const noexcept {
@@ -119,7 +127,21 @@ class ExternalCsrPartition {
   [[nodiscard]] std::uint32_t chunk_bytes() const noexcept {
     return chunk_bytes_;
   }
+  [[nodiscard]] ChunkFormat format() const noexcept { return format_; }
+  /// Device bytes this partition occupies: raw index bytes plus raw or
+  /// encoded value bytes depending on the format.
   [[nodiscard]] std::uint64_t nvm_byte_size() const noexcept;
+  /// Decoded payload bytes (index + values as kRaw would store them).
+  [[nodiscard]] std::uint64_t raw_byte_size() const noexcept;
+  /// The compressed value store, or nullptr in kRaw format.
+  [[nodiscard]] const CompressedBlockFile* compressed_values() const noexcept {
+    return compressed_;
+  }
+  /// Propagates the CRC-heal re-fetch allowance to the compressed value
+  /// store (no-op in kRaw format, whose healing lives in the ChunkCache).
+  void set_compressed_max_refetches(int refetches) noexcept {
+    if (compressed_ != nullptr) compressed_->set_max_refetches(refetches);
+  }
 
   /// Routes all index/value reads (chunked and aggregated) through `cache`
   /// (nullptr detaches). The cache's chunk size must match this
@@ -173,6 +195,9 @@ class ExternalCsrPartition {
 
  private:
   void offload(const Csr& csr, std::uint32_t chunk_bytes);
+  /// Replaces value_file_ with a CompressedBlockFile built from the DRAM
+  /// values (kVarint offload path).
+  void compress_values(const Csr& csr, std::uint32_t chunk_bytes);
   /// Index phase of a batched fetch: merged index reads producing per-slot
   /// value bounds sorted by value-range begin. Adds issued requests to
   /// `requests`.
@@ -189,8 +214,12 @@ class ExternalCsrPartition {
   VertexRange destinations_;
   std::int64_t entry_count_ = 0;
   std::uint32_t chunk_bytes_ = 4096;
+  ChunkFormat format_ = ChunkFormat::kRaw;
   std::unique_ptr<NvmBackingFile> index_file_;
+  // In kVarint format this IS the CompressedBlockFile (compressed_ aliases
+  // it), so every downstream reader stays format-oblivious.
   std::unique_ptr<NvmBackingFile> value_file_;
+  CompressedBlockFile* compressed_ = nullptr;
   std::unique_ptr<ExternalArray<std::int64_t>> index_;
   std::unique_ptr<ExternalArray<Vertex>> values_;
   std::unique_ptr<ChunkChecksums> owned_checksums_;  // when none was shared
@@ -203,17 +232,20 @@ class ExternalCsrPartition {
 class ExternalForwardGraph {
  public:
   /// Offloads an in-DRAM forward graph; the DRAM copy may be discarded
-  /// afterwards (that is the point).
+  /// afterwards (that is the point). ChunkFormat::kVarint stores the value
+  /// files compressed (see ExternalCsrPartition).
   ExternalForwardGraph(const ForwardGraph& forward,
                        std::shared_ptr<NvmDevice> device,
                        const std::string& dir,
-                       std::uint32_t chunk_bytes = 4096);
+                       std::uint32_t chunk_bytes = 4096,
+                       ChunkFormat format = ChunkFormat::kRaw);
 
   /// Striped variant across several physical devices.
   ExternalForwardGraph(const ForwardGraph& forward,
                        std::vector<std::shared_ptr<NvmDevice>> devices,
                        const std::string& dir,
-                       std::uint32_t chunk_bytes = 4096);
+                       std::uint32_t chunk_bytes = 4096,
+                       ChunkFormat format = ChunkFormat::kRaw);
 
   [[nodiscard]] std::size_t node_count() const noexcept {
     return partitions_.size();
@@ -228,7 +260,11 @@ class ExternalForwardGraph {
     return vertex_partition_.vertex_count();
   }
   [[nodiscard]] NvmDevice& device() noexcept { return *device_; }
+  [[nodiscard]] ChunkFormat format() const noexcept { return format_; }
   [[nodiscard]] std::uint64_t nvm_byte_size() const noexcept;
+  /// Decoded payload bytes across all partitions (what kRaw would store);
+  /// nvm_byte_size() / raw_byte_size() is the realized compression ratio.
+  [[nodiscard]] std::uint64_t raw_byte_size() const noexcept;
   [[nodiscard]] std::int64_t entry_count() const noexcept;
 
   /// Creates a chunk cache of ~`capacity_bytes` shared by every partition
@@ -267,6 +303,7 @@ class ExternalForwardGraph {
   VertexPartition vertex_partition_;
   std::shared_ptr<NvmDevice> device_;
   std::uint32_t chunk_bytes_ = 4096;
+  ChunkFormat format_ = ChunkFormat::kRaw;
   std::unique_ptr<ChunkChecksums> checksums_;  // before partitions_: they record into it
   std::vector<std::unique_ptr<ExternalCsrPartition>> partitions_;
   std::unique_ptr<ChunkCache> cache_;

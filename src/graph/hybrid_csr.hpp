@@ -17,6 +17,8 @@
 
 #include "graph/csr.hpp"
 #include "graph/backward_graph.hpp"
+#include "nvm/chunk_format.hpp"
+#include "nvm/compressed_file.hpp"
 #include "nvm/external_array.hpp"
 #include "nvm/nvm_device.hpp"
 #include "numa/partition.hpp"
@@ -28,18 +30,27 @@ class HybridBackwardPartition {
  public:
   /// Splits `csr` (one backward partition): first `dram_edges_per_vertex`
   /// neighbors per vertex stay in DRAM, the rest go to an NVM file.
+  /// With ChunkFormat::kVarint the NVM remainder file is stored as
+  /// delta/varint blobs behind a CompressedBlockFile; the streamed
+  /// bottom-up / MS-BFS read path is format-oblivious.
   HybridBackwardPartition(const Csr& csr, std::int64_t dram_edges_per_vertex,
                           std::shared_ptr<NvmDevice> device,
                           const std::string& dir, std::size_t node_id,
-                          std::uint32_t chunk_bytes = 4096);
+                          std::uint32_t chunk_bytes = 4096,
+                          ChunkFormat format = ChunkFormat::kRaw);
 
   [[nodiscard]] VertexRange source_range() const noexcept { return sources_; }
   [[nodiscard]] std::int64_t dram_edges_per_vertex() const noexcept {
     return dram_cap_;
   }
 
+  [[nodiscard]] ChunkFormat format() const noexcept { return format_; }
   [[nodiscard]] std::uint64_t dram_byte_size() const noexcept;
   [[nodiscard]] std::uint64_t nvm_byte_size() const noexcept;
+  /// Uncompressed size of the NVM remainder (what kRaw would occupy).
+  [[nodiscard]] std::uint64_t nvm_raw_byte_size() const noexcept {
+    return static_cast<std::uint64_t>(nvm_entry_count_) * sizeof(Vertex);
+  }
   [[nodiscard]] std::int64_t dram_entry_count() const noexcept {
     return static_cast<std::int64_t>(dram_values_.size());
   }
@@ -132,7 +143,11 @@ class HybridBackwardPartition {
   std::vector<Vertex> dram_values_;
   std::vector<std::int64_t> nvm_index_;   // local offsets into NVM file
   std::int64_t nvm_entry_count_ = 0;
-  std::unique_ptr<NvmFile> nvm_file_;
+  ChunkFormat format_ = ChunkFormat::kRaw;
+  // In kVarint format this is the CompressedBlockFile wrapping the
+  // physical overflow file (compressed_ aliases it).
+  std::unique_ptr<NvmBackingFile> nvm_file_;
+  CompressedBlockFile* compressed_ = nullptr;
   std::unique_ptr<ExternalArray<Vertex>> nvm_values_;
 
   std::atomic<std::uint64_t> dram_examined_{0};
@@ -146,7 +161,8 @@ class HybridBackwardGraph {
                       std::int64_t dram_edges_per_vertex,
                       std::shared_ptr<NvmDevice> device,
                       const std::string& dir,
-                      std::uint32_t chunk_bytes = 4096);
+                      std::uint32_t chunk_bytes = 4096,
+                      ChunkFormat format = ChunkFormat::kRaw);
 
   [[nodiscard]] std::size_t node_count() const noexcept {
     return partitions_.size();
@@ -168,6 +184,12 @@ class HybridBackwardGraph {
 
   [[nodiscard]] std::uint64_t dram_byte_size() const noexcept;
   [[nodiscard]] std::uint64_t nvm_byte_size() const noexcept;
+  /// Uncompressed size of the NVM remainder across all partitions.
+  [[nodiscard]] std::uint64_t nvm_raw_byte_size() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& p : partitions_) total += p->nvm_raw_byte_size();
+    return total;
+  }
   [[nodiscard]] std::uint64_t dram_edges_examined() const noexcept;
   [[nodiscard]] std::uint64_t nvm_edges_examined() const noexcept;
   void reset_counters() noexcept;

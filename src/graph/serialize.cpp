@@ -4,13 +4,15 @@
 #include <stdexcept>
 
 #include "nvm/storage_file.hpp"
+#include "nvm/varint.hpp"
 #include "util/contracts.hpp"
 
 namespace sembfs {
 
 namespace {
 
-constexpr char kMagic[8] = {'S', 'E', 'M', 'B', 'F', 'S', 'G', '1'};
+constexpr char kMagic[8] = {'S', 'E', 'M', 'B', 'F', 'S', 'G', '2'};
+constexpr char kMagicV1[8] = {'S', 'E', 'M', 'B', 'F', 'S', 'G', '1'};
 constexpr std::uint32_t kKindCsr = 1;
 constexpr std::uint32_t kKindEdgeList = 2;
 
@@ -27,6 +29,11 @@ Header read_header(const StorageFile& file, std::uint32_t expected_kind,
                    const std::string& path) {
   Header header{};
   file.pread_exact(0, std::as_writable_bytes(std::span<Header>{&header, 1}));
+  if (std::memcmp(header.magic, kMagicV1, sizeof kMagicV1) == 0)
+    throw std::runtime_error(
+        "'" + path +
+        "' was written by an older sembfs (format v1); regenerate it with "
+        "this binary");
   if (std::memcmp(header.magic, kMagic, sizeof kMagic) != 0)
     throw std::runtime_error("'" + path + "' is not a sembfs graph file");
   if (header.kind != expected_kind)
@@ -50,11 +57,12 @@ void read_array(const StorageFile& file, std::uint64_t& offset,
 
 }  // namespace
 
-void save_csr(const Csr& csr, const std::string& path) {
+void save_csr(const Csr& csr, const std::string& path, ChunkFormat format) {
   StorageFile file = StorageFile::create(path);
   Header header{};
   std::memcpy(header.magic, kMagic, sizeof kMagic);
   header.kind = kKindCsr;
+  header.flags = static_cast<std::uint32_t>(format);
   header.a = static_cast<std::uint64_t>(csr.global_vertex_count());
   header.b = 0;
   std::uint64_t offset = 0;
@@ -68,7 +76,18 @@ void save_csr(const Csr& csr, const std::string& path) {
       static_cast<std::int64_t>(csr.values().size())};
   write_array<std::int64_t>(file, offset, meta);
   write_array<std::int64_t>(file, offset, csr.index());
-  write_array<Vertex>(file, offset, csr.values());
+  if (format == ChunkFormat::kVarint) {
+    // One zigzag/delta stream over the whole values array, length-prefixed
+    // so the loader can size its read without scanning.
+    std::vector<std::byte> encoded;
+    encode_adjacency_block(std::span<const std::int64_t>{csr.values()},
+                           encoded);
+    const std::uint64_t encoded_len = encoded.size();
+    write_array<std::uint64_t>(file, offset, {&encoded_len, 1});
+    write_array<std::byte>(file, offset, encoded);
+  } else {
+    write_array<Vertex>(file, offset, csr.values());
+  }
   file.sync();
 }
 
@@ -81,11 +100,25 @@ Csr load_csr(const std::string& path) {
   read_array<std::int64_t>(file, offset, meta);
   if (meta[4] < 1 || meta[5] < 0)
     throw std::runtime_error("'" + path + "': corrupt CSR metadata");
+  const auto format = parse_chunk_format(header.flags);
+  if (!format.has_value())
+    throw std::runtime_error("'" + path + "': unknown CSR values encoding");
 
   std::vector<std::int64_t> index(static_cast<std::size_t>(meta[4]));
   std::vector<Vertex> values(static_cast<std::size_t>(meta[5]));
   read_array<std::int64_t>(file, offset, std::span<std::int64_t>{index});
-  read_array<Vertex>(file, offset, std::span<Vertex>{values});
+  if (*format == ChunkFormat::kVarint) {
+    std::uint64_t encoded_len = 0;
+    read_array<std::uint64_t>(file, offset, {&encoded_len, 1});
+    if (encoded_len > file.size() - std::min<std::uint64_t>(offset, file.size()))
+      throw std::runtime_error("'" + path + "': corrupt CSR values stream");
+    std::vector<std::byte> encoded(static_cast<std::size_t>(encoded_len));
+    read_array<std::byte>(file, offset, std::span<std::byte>{encoded});
+    decode_adjacency_block(std::span<const std::byte>{encoded},
+                           std::span<std::int64_t>{values});
+  } else {
+    read_array<Vertex>(file, offset, std::span<Vertex>{values});
+  }
 
   return Csr::from_parts(static_cast<Vertex>(header.a),
                          VertexRange{meta[0], meta[1]},

@@ -4,24 +4,31 @@
 // dominates the wall clock.
 //
 // Format: little-endian, fixed 32-byte header
-//   magic   "SEMBFSG1" (8 bytes)
+//   magic   "SEMBFSG2" (8 bytes)
 //   kind    u32 (1 = CSR, 2 = edge list)
-//   flags   u32 (reserved, 0)
+//   flags   u32 (CSR: the ChunkFormat of the values payload; else 0)
 //   a, b    u64 metadata (CSR: vertex_count + source begin; see impl)
-// followed by the raw arrays. Files written by a different endianness or
-// version are rejected, not misread.
+// followed by the arrays. A kRaw CSR stores index and values as raw
+// little-endian 8-byte words; a kVarint CSR stores the index raw and the
+// values as one zigzag/delta varint stream (u64 encoded length, then the
+// bytes). Files written by a different endianness or format version —
+// including v1 "SEMBFSG1" files, which predate the flags field meaning
+// anything — are rejected, not misread.
 #pragma once
 
 #include <string>
 
 #include "graph/csr.hpp"
 #include "graph/edge_list.hpp"
+#include "nvm/chunk_format.hpp"
 
 namespace sembfs {
 
 /// Writes `csr` (any source/destination range) to `path`. Throws on I/O
-/// failure.
-void save_csr(const Csr& csr, const std::string& path);
+/// failure. `format` selects the values payload encoding; the loader reads
+/// either transparently (the header records which was used).
+void save_csr(const Csr& csr, const std::string& path,
+              ChunkFormat format = ChunkFormat::kRaw);
 
 /// Reads a CSR written by save_csr. Throws on malformed input.
 Csr load_csr(const std::string& path);

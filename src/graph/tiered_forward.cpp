@@ -10,7 +10,8 @@ namespace sembfs {
 TieredForwardPartition::TieredForwardPartition(
     const Csr& csr, std::int64_t degree_threshold,
     std::shared_ptr<NvmDevice> device, const std::string& dir,
-    std::size_t node_id, ThreadPool& pool, std::uint32_t chunk_bytes)
+    std::size_t node_id, ThreadPool& pool, std::uint32_t chunk_bytes,
+    ChunkFormat format)
     : sources_(csr.source_range()), threshold_(degree_threshold) {
   SEMBFS_EXPECTS(degree_threshold >= 0);
   SEMBFS_EXPECTS(device != nullptr);
@@ -53,7 +54,8 @@ TieredForwardPartition::TieredForwardPartition(
       nvm_edges, sources_, VertexRange{0, csr.global_vertex_count()},
       options, pool);
   nvm_ = std::make_unique<ExternalCsrPartition>(
-      nvm_csr, std::move(device), dir, node_id + 1000, chunk_bytes);
+      nvm_csr, std::move(device), dir, node_id + 1000, chunk_bytes,
+      /*checksums=*/nullptr, format);
 }
 
 std::uint64_t TieredForwardPartition::fetch_neighbors(
@@ -81,13 +83,14 @@ TieredForwardGraph::TieredForwardGraph(const ForwardGraph& forward,
                                        std::shared_ptr<NvmDevice> device,
                                        const std::string& dir,
                                        ThreadPool& pool,
-                                       std::uint32_t chunk_bytes)
+                                       std::uint32_t chunk_bytes,
+                                       ChunkFormat format)
     : vertex_partition_(forward.vertex_partition()), device_(device) {
   partitions_.reserve(forward.node_count());
   for (std::size_t k = 0; k < forward.node_count(); ++k) {
     partitions_.push_back(std::make_unique<TieredForwardPartition>(
         forward.partition(k), degree_threshold, device_, dir, k, pool,
-        chunk_bytes));
+        chunk_bytes, format));
   }
 }
 

@@ -33,7 +33,8 @@ class TieredForwardPartition {
   TieredForwardPartition(const Csr& csr, std::int64_t degree_threshold,
                          std::shared_ptr<NvmDevice> device,
                          const std::string& dir, std::size_t node_id,
-                         ThreadPool& pool, std::uint32_t chunk_bytes = 4096);
+                         ThreadPool& pool, std::uint32_t chunk_bytes = 4096,
+                         ChunkFormat format = ChunkFormat::kRaw);
 
   [[nodiscard]] VertexRange source_range() const noexcept { return sources_; }
   [[nodiscard]] std::int64_t degree_threshold() const noexcept {
@@ -48,6 +49,11 @@ class TieredForwardPartition {
   /// (0 when v is DRAM-resident).
   std::uint64_t fetch_neighbors(Vertex v, std::vector<Vertex>& out);
 
+  /// The NVM sub-partition holding the hub adjacencies (format, byte
+  /// sizes, compression stats).
+  [[nodiscard]] const ExternalCsrPartition& nvm_partition() const noexcept {
+    return *nvm_;
+  }
   [[nodiscard]] std::uint64_t dram_byte_size() const noexcept;
   [[nodiscard]] std::uint64_t nvm_byte_size() const noexcept;
   [[nodiscard]] std::int64_t dram_vertex_count() const noexcept {
@@ -75,7 +81,8 @@ class TieredForwardGraph {
                      std::int64_t degree_threshold,
                      std::shared_ptr<NvmDevice> device,
                      const std::string& dir, ThreadPool& pool,
-                     std::uint32_t chunk_bytes = 4096);
+                     std::uint32_t chunk_bytes = 4096,
+                     ChunkFormat format = ChunkFormat::kRaw);
 
   [[nodiscard]] std::size_t node_count() const noexcept {
     return partitions_.size();

@@ -46,6 +46,9 @@ BenchmarkRun run_graph500_bfs_phase(Graph500Instance& instance,
     run.nvm_io = instance.nvm_device()->stats().snapshot();
   run.graph_dram_bytes = instance.graph_dram_bytes();
   run.graph_nvm_bytes = instance.graph_nvm_bytes();
+  run.graph_nvm_raw_bytes = instance.graph_nvm_raw_bytes();
+  for (const BfsRunRecord& r : run.runs)
+    run.traversed_edges += static_cast<std::uint64_t>(r.teps_edge_count);
   return run;
 }
 

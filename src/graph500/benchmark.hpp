@@ -38,7 +38,13 @@ struct BenchmarkRun {
   IoStatsSnapshot nvm_io;
   std::uint64_t graph_dram_bytes = 0;
   std::uint64_t graph_nvm_bytes = 0;
+  /// Uncompressed footprint of the NVM-resident graph data (equals
+  /// graph_nvm_bytes under ChunkFormat::kRaw).
+  std::uint64_t graph_nvm_raw_bytes = 0;
   std::uint64_t status_bytes = 0;
+  /// Summed Graph500 TEPS numerators over every root — the edge total the
+  /// nvm_io window covers, i.e. the bytes-per-edge denominator.
+  std::uint64_t traversed_edges = 0;
 };
 
 /// Runs the whole benchmark on a fresh instance.

@@ -74,17 +74,19 @@ Graph500Instance::Graph500Instance(InstanceConfig config, ThreadPool& pool)
   }
   if (scenario.offload_forward) {
     external_forward_ = std::make_unique<ExternalForwardGraph>(
-        *forward_dram_, device_, config_.workdir, config_.chunk_bytes);
+        *forward_dram_, device_, config_.workdir, config_.chunk_bytes,
+        config_.chunk_format);
     forward_dram_.reset();  // release the DRAM copy — the offload's purpose
-    SEMBFS_LOG_INFO("forward graph offloaded to %s (%llu bytes)",
+    SEMBFS_LOG_INFO("forward graph offloaded to %s (%llu bytes, %s chunks)",
                     device_->profile().name.c_str(),
                     static_cast<unsigned long long>(
-                        external_forward_->nvm_byte_size()));
+                        external_forward_->nvm_byte_size()),
+                    std::string(to_string(config_.chunk_format)).c_str());
   }
   if (scenario.backward_dram_edges >= 0) {
     hybrid_backward_ = std::make_unique<HybridBackwardGraph>(
         backward_, scenario.backward_dram_edges, device_, config_.workdir,
-        config_.chunk_bytes);
+        config_.chunk_bytes, config_.chunk_format);
   }
   construction_seconds_ = build_timer.seconds();
 
@@ -121,6 +123,14 @@ std::uint64_t Graph500Instance::graph_nvm_bytes() const noexcept {
   std::uint64_t total = 0;
   if (external_forward_ != nullptr) total += external_forward_->nvm_byte_size();
   if (hybrid_backward_ != nullptr) total += hybrid_backward_->nvm_byte_size();
+  return total;
+}
+
+std::uint64_t Graph500Instance::graph_nvm_raw_bytes() const noexcept {
+  std::uint64_t total = 0;
+  if (external_forward_ != nullptr) total += external_forward_->raw_byte_size();
+  if (hybrid_backward_ != nullptr)
+    total += hybrid_backward_->nvm_raw_byte_size();
   return total;
 }
 

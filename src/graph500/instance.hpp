@@ -38,6 +38,9 @@ struct InstanceConfig {
   std::size_t numa_nodes = 4;
   std::string workdir = "/tmp/sembfs";
   std::uint32_t chunk_bytes = 4096;  ///< NVM read chunk (paper: 4 KiB)
+  /// On-NVM adjacency layout for the offloaded forward graph (and the
+  /// hybrid backward remainder): raw 8-byte entries or delta/varint blobs.
+  ChunkFormat chunk_format = ChunkFormat::kRaw;
   /// Step 1 offload: edge list on its own NVM device, Step 2 streams it.
   bool offload_edge_list = false;
 };
@@ -71,7 +74,12 @@ class Graph500Instance {
   /// DRAM bytes of graph data (forward-if-resident + backward DRAM tier).
   [[nodiscard]] std::uint64_t graph_dram_bytes() const noexcept;
   /// NVM bytes of graph data (not counting the offloaded edge list).
+  /// With chunk_format = kVarint this is the *encoded* footprint.
   [[nodiscard]] std::uint64_t graph_nvm_bytes() const noexcept;
+  /// What the same NVM-resident graph data would occupy uncompressed
+  /// (equals graph_nvm_bytes() under kRaw); the compression-ratio
+  /// denominator for the bytes-per-edge reports.
+  [[nodiscard]] std::uint64_t graph_nvm_raw_bytes() const noexcept;
 
   /// The simulated NVM device holding the CSR graphs (null in DRAM-only
   /// scenarios). The offloaded edge list lives on a *separate* device.

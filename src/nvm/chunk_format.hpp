@@ -1,0 +1,55 @@
+// On-NVM adjacency chunk formats.
+//
+// kRaw is the seed layout: value chunks hold little-endian 8-byte Vertex
+// entries exactly as they sit in DRAM. kVarint is the compressed layout
+// introduced with the bytes-per-edge work (ROADMAP item 4): each logical
+// 4 KiB chunk of the value array is delta/zigzag/varint-packed into a
+// variable-size blob on the device and decoded back to plain Vertex spans
+// at ChunkCache-fill time, so every reader above the backing-file layer is
+// format-oblivious.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace sembfs {
+
+enum class ChunkFormat : std::uint32_t {
+  kRaw = 0,     ///< 8-byte Vertex entries, byte-for-byte the DRAM layout
+  kVarint = 1,  ///< per-chunk delta + zigzag + varint blobs (see
+                ///< CompressedBlockFile)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ChunkFormat f) noexcept {
+  switch (f) {
+    case ChunkFormat::kRaw:
+      return "raw";
+    case ChunkFormat::kVarint:
+      return "varint";
+  }
+  return "unknown";
+}
+
+/// Parses "raw" / "varint"; nullopt for anything else.
+[[nodiscard]] inline std::optional<ChunkFormat> parse_chunk_format(
+    std::string_view name) noexcept {
+  if (name == "raw") return ChunkFormat::kRaw;
+  if (name == "varint") return ChunkFormat::kVarint;
+  return std::nullopt;
+}
+
+/// Validates a serialized format code (e.g. a file-header flags word).
+[[nodiscard]] inline std::optional<ChunkFormat> parse_chunk_format(
+    std::uint32_t code) noexcept {
+  switch (code) {
+    case static_cast<std::uint32_t>(ChunkFormat::kRaw):
+      return ChunkFormat::kRaw;
+    case static_cast<std::uint32_t>(ChunkFormat::kVarint):
+      return ChunkFormat::kVarint;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace sembfs

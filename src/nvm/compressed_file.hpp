@@ -1,0 +1,131 @@
+// Compressed block store: a virtual NvmBackingFile that presents a plain
+// little-endian int64 array while keeping delta/zigzag/varint-packed blobs
+// on the device underneath.
+//
+// Layout. The logical array is cut into fixed LOGICAL chunks of
+// `chunk_bytes` decoded bytes (the same 4 KiB discipline every reader
+// above this layer already obeys); each logical chunk is encoded
+// independently (delta chain restarts per chunk, so chunks decode without
+// their neighbors) into one variable-size blob. The backing file holds
+//
+//   header (48 B, versioned magic "SEMBFSC1")
+//   directory: one {encoded_length u32, crc32 u32} per blob
+//   blobs, concatenated
+//
+// and a DRAM copy of the directory (offsets prefix-summed at build time)
+// makes every logical byte range resolvable to one contiguous device span.
+//
+// Read path. read(offset, n) maps the logical range onto its blob span,
+// fetches that span as ONE device request (this is where the
+// bytes-per-edge saving lands in IoStats/avgrq-sz), CRC-verifies every
+// covered blob against the build-time directory — a mismatch triggers up
+// to `max_refetches` corrective per-blob re-reads before NvmIoError — and
+// decodes the covered chunks into the caller's buffer. Callers are
+// format-oblivious: ExternalArray / ChunkReader / ChunkCache sit on top
+// unchanged, and when a ChunkCache is attached above, decoding happens
+// exactly once per chunk at cache-fill.
+//
+// Thread-safety: the directory is immutable after construction and every
+// read uses local scratch, so concurrent read() calls are safe (the inner
+// file serializes at the device model as usual). write() is a contract
+// violation — the store is sealed at build time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nvm/chunk_format.hpp"
+#include "nvm/nvm_device.hpp"
+#include "obs/metrics.hpp"
+
+namespace sembfs {
+
+class CompressedBlockFile final : public NvmBackingFile {
+ public:
+  /// On-device format version tag ("SEMBFSC" + version digit).
+  static constexpr char kMagic[8] = {'S', 'E', 'M', 'B', 'F', 'S', 'C', '1'};
+  static constexpr std::size_t kHeaderBytes = 48;
+
+  /// Encodes `values` and writes header + directory + blobs into `inner`
+  /// (which should be freshly created; existing content is overwritten).
+  /// `chunk_bytes` must be a positive multiple of sizeof(int64).
+  CompressedBlockFile(std::unique_ptr<NvmBackingFile> inner,
+                      std::span<const std::int64_t> values,
+                      std::uint32_t chunk_bytes);
+
+  /// Logical (decoded) size: value_count * 8. This is the size every layer
+  /// above sees; the device footprint is encoded_byte_size().
+  [[nodiscard]] std::uint64_t size() const override { return logical_bytes_; }
+
+  /// Reads decoded bytes [offset, offset + buffer.size()) as one device
+  /// request over the covering blob span. Throws NvmIoError when a blob
+  /// stays corrupt after the corrective re-fetches or the stream is
+  /// malformed.
+  void read(std::uint64_t offset, std::span<std::byte> buffer) override;
+
+  /// The store is sealed at build time; post-build writes are a bug.
+  void write(std::uint64_t offset,
+             std::span<const std::byte> buffer) override;
+
+  void record_retry() noexcept override { inner_->record_retry(); }
+
+  [[nodiscard]] ChunkFormat format() const noexcept {
+    return ChunkFormat::kVarint;
+  }
+  [[nodiscard]] std::uint32_t chunk_bytes() const noexcept {
+    return chunk_bytes_;
+  }
+  /// Decoded payload bytes (what the raw format would have shipped).
+  [[nodiscard]] std::uint64_t raw_byte_size() const noexcept {
+    return logical_bytes_;
+  }
+  /// Device bytes actually stored: header + directory + encoded blobs.
+  [[nodiscard]] std::uint64_t encoded_byte_size() const noexcept {
+    return encoded_bytes_;
+  }
+  [[nodiscard]] std::size_t blob_count() const noexcept {
+    return blob_lengths_.size();
+  }
+  [[nodiscard]] NvmBackingFile& inner() noexcept { return *inner_; }
+
+  /// Corrective re-reads allowed per CRC-failing blob (default 1, matching
+  /// ChunkCache verification; 0 turns healing off).
+  void set_max_refetches(int refetches) noexcept {
+    max_refetches_ = refetches;
+  }
+  [[nodiscard]] int max_refetches() const noexcept { return max_refetches_; }
+
+ private:
+  /// Fetches + verifies + heals the blob at `block`, whose bytes sit at
+  /// `blob` (already read). Throws NvmIoError when still corrupt.
+  void verify_blob(std::uint64_t block, std::span<std::byte> blob);
+  /// Decoded byte length of logical chunk `block` (tail may be short).
+  [[nodiscard]] std::uint64_t block_decoded_bytes(
+      std::uint64_t block) const noexcept;
+
+  std::unique_ptr<NvmBackingFile> inner_;
+  std::uint32_t chunk_bytes_ = 4096;
+  std::uint64_t value_count_ = 0;
+  std::uint64_t logical_bytes_ = 0;
+  std::uint64_t encoded_bytes_ = 0;
+  std::uint64_t blobs_offset_ = 0;  ///< device offset of the blob region
+  /// Prefix sums of encoded blob lengths (size blob_count()+1): blob i
+  /// occupies device bytes [blobs_offset_+offsets[i], blobs_offset_+offsets[i+1]).
+  std::vector<std::uint64_t> blob_offsets_;
+  std::vector<std::uint32_t> blob_lengths_;
+  std::vector<std::uint32_t> blob_crcs_;
+  int max_refetches_ = 1;
+
+  // Observability handles (shared global registry; see
+  // docs/OBSERVABILITY.md for the nvm.compressed.* catalogue).
+  obs::Counter* obs_raw_bytes_;
+  obs::Counter* obs_encoded_bytes_;
+  obs::Counter* obs_decoded_chunks_;
+  obs::Counter* obs_checksum_failures_;
+  obs::Counter* obs_refetches_;
+  obs::Histogram* obs_decode_us_;
+};
+
+}  // namespace sembfs

@@ -83,8 +83,23 @@ std::uint64_t IoScheduler::execute(Job& job) {
   if (job.cache != nullptr)
     return job.cache->read(*job.file, job.offset, job.dst,
                            job.max_miss_request_bytes);
-  job.file->read(job.offset, job.dst);
-  return 1;
+  // Direct reads honor the same request-size cap the cache path applies to
+  // miss runs: a range longer than max_miss_request_bytes (an oversize hub
+  // adjacency the range merger could not split) is issued in capped
+  // slices, never as one unbounded device request. 0 = uncapped.
+  const std::size_t cap = job.max_miss_request_bytes > 0
+                              ? job.max_miss_request_bytes
+                              : job.dst.size();
+  std::uint64_t requests = 0;
+  std::size_t done = 0;
+  while (done < job.dst.size()) {
+    const std::size_t len = std::min(cap, job.dst.size() - done);
+    job.file->read(job.offset + done, job.dst.subspan(done, len));
+    done += len;
+    ++requests;
+  }
+  requests = std::max<std::uint64_t>(requests, 1);
+  return requests;
 }
 
 IoResult IoScheduler::run_job(Job& job) {

@@ -43,6 +43,15 @@ struct IoStatsSnapshot {
                ? static_cast<double>(bytes) / elapsed_seconds
                : 0.0;
   }
+
+  /// Device bytes moved per edge of useful traversal work — the figure the
+  /// compressed chunk format exists to shrink (8 B/neighbor raw vs the
+  /// varint blobs). `edges` is whatever traversal total the caller tracks
+  /// (e.g. summed BfsResult::teps_edge_count over the window).
+  [[nodiscard]] double bytes_per_edge(std::uint64_t edges) const noexcept {
+    return edges > 0 ? static_cast<double>(bytes) / static_cast<double>(edges)
+                     : 0.0;
+  }
 };
 
 class IoStats {

@@ -1,0 +1,93 @@
+// Delta + zigzag + LEB128 varint codec for adjacency blocks.
+//
+// An adjacency block is a run of int64 values (the graph layer's Vertex).
+// The encoder emits the first value zigzag-encoded against zero and every
+// following value as
+// the zigzag of its delta to the predecessor; each mapped value is packed
+// as a little-endian base-128 varint (7 payload bits per byte, high bit =
+// continuation). Sorted neighbor runs (relabel.cpp sorts post-relabel)
+// produce small non-negative deltas — typically 1-2 bytes instead of 8 —
+// while unsorted runs stay correct through the zigzag mapping, just with a
+// weaker ratio.
+//
+// The decoder is bounds-checked end to end: a truncated stream, a varint
+// running past 10 bytes, or a value count mismatch throws NvmIoError
+// rather than reading out of bounds — corrupted device bytes that slip
+// past the blob CRC must be contained, not ingested.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nvm/fault_plan.hpp"
+
+namespace sembfs {
+
+/// Maps a signed value onto the unsigned line so small magnitudes of either
+/// sign get short varints: 0,-1,1,-2,2,... -> 0,1,2,3,4,...
+[[nodiscard]] constexpr std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] constexpr std::int64_t zigzag_decode(std::uint64_t u) noexcept {
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+/// Longest varint an int64 can need: ceil(64 / 7) bytes.
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+/// Appends `u` as a little-endian base-128 varint.
+inline void append_varint(std::vector<std::byte>& out, std::uint64_t u) {
+  while (u >= 0x80) {
+    out.push_back(static_cast<std::byte>((u & 0x7f) | 0x80));
+    u >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(u));
+}
+
+/// Decodes one varint at `pos`, advancing it. Throws NvmIoError on a
+/// truncated or overlong (> 10 byte) encoding.
+inline std::uint64_t decode_varint(std::span<const std::byte> data,
+                                   std::size_t& pos) {
+  std::uint64_t u = 0;
+  unsigned shift = 0;
+  for (std::size_t n = 0; n < kMaxVarintBytes; ++n) {
+    if (pos >= data.size())
+      throw NvmIoError("varint decode: truncated stream");
+    const auto byte = static_cast<std::uint8_t>(data[pos++]);
+    u |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return u;
+    shift += 7;
+  }
+  throw NvmIoError("varint decode: encoding longer than 10 bytes");
+}
+
+/// Appends the delta/zigzag/varint encoding of `values` to `out`.
+inline void encode_adjacency_block(std::span<const std::int64_t> values,
+                                   std::vector<std::byte>& out) {
+  std::int64_t previous = 0;
+  for (const std::int64_t v : values) {
+    append_varint(out, zigzag_encode(v - previous));
+    previous = v;
+  }
+}
+
+/// Decodes exactly out.size() values from `data`, which must hold exactly
+/// that many varints (no trailing bytes). Throws NvmIoError on malformed
+/// input.
+inline void decode_adjacency_block(std::span<const std::byte> data,
+                                   std::span<std::int64_t> out) {
+  std::size_t pos = 0;
+  std::int64_t previous = 0;
+  for (std::int64_t& v : out) {
+    previous += zigzag_decode(decode_varint(data, pos));
+    v = previous;
+  }
+  if (pos != data.size())
+    throw NvmIoError("varint decode: trailing bytes after block");
+}
+
+}  // namespace sembfs

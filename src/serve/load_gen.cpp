@@ -93,9 +93,10 @@ LoadGenReport run_load(QueryEngine& engine, Vertex vertex_count,
                      tally.latencies_ms.end());
   }
   const std::uint64_t accepted = report.issued - report.rejected;
-  report.qps =
-      report.seconds > 0.0 ? static_cast<double>(accepted) / report.seconds
-                           : 0.0;
+  if (report.seconds > 0.0) {
+    report.qps = static_cast<double>(report.done) / report.seconds;
+    report.offered_qps = static_cast<double>(accepted) / report.seconds;
+  }
   if (!latencies.empty()) {
     double sum = 0.0;
     for (const double v : latencies) sum += v;

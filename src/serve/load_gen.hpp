@@ -35,8 +35,16 @@ struct LoadGenReport {
   std::uint64_t deadline_expired = 0;
   std::uint64_t rejected = 0;
   double seconds = 0.0;  ///< wall time of the whole run
-  /// Terminal (non-rejected) queries per second of wall time.
+  /// Goodput: successfully answered (Done) queries per second of wall
+  /// time. Failed / cancelled / expired queries consumed engine capacity
+  /// but delivered no answer, so they are excluded — an earlier version
+  /// divided `issued - rejected` by wall time, which inflated "throughput"
+  /// exactly when the engine was failing queries.
   double qps = 0.0;
+  /// Offered load actually admitted: (issued - rejected) per second of
+  /// wall time — the quantity the old `qps` reported. Useful next to
+  /// `qps` to see how much admitted work failed to complete.
+  double offered_qps = 0.0;
   // End-to-end latency (submit -> terminal) of accepted queries, ms.
   double mean_ms = 0.0;
   double p50_ms = 0.0;

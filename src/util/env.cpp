@@ -39,6 +39,7 @@ BenchEnv BenchEnv::resolve() {
   env.numa_nodes = static_cast<int>(env_int("SEMBFS_NUMA_NODES", 4));
   env.seed = static_cast<std::uint64_t>(env_int("SEMBFS_SEED", 12345));
   env.workdir = env_string("SEMBFS_WORKDIR", "/tmp/sembfs");
+  env.chunk_format = env_string("SEMBFS_CHUNK_FORMAT", "raw");
   return env;
 }
 

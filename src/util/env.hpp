@@ -29,6 +29,10 @@ struct BenchEnv {
   int numa_nodes;      ///< SEMBFS_NUMA_NODES (default 4, like the paper)
   std::uint64_t seed;  ///< SEMBFS_SEED    (default 12345)
   std::string workdir; ///< SEMBFS_WORKDIR (default /tmp/sembfs)
+  /// SEMBFS_CHUNK_FORMAT (default "raw"): on-NVM adjacency layout for
+  /// offloaded graphs ("raw" | "varint"). Lets the fig12/fig13 iostat
+  /// sweeps rerun unchanged against compressed chunks.
+  std::string chunk_format;
 
   static BenchEnv resolve();
 };

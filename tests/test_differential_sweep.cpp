@@ -43,12 +43,16 @@ struct DiffCase {
   // representations must produce the same tree as Auto (and the serial
   // reference).
   FrontierMode frontier = FrontierMode::Auto;
+  // On-NVM adjacency layout for external/tiered storage: the compressed
+  // backends must be reference-exact across the same policy/fault matrix.
+  ChunkFormat chunk_format = ChunkFormat::kRaw;
 
   friend std::ostream& operator<<(std::ostream& os, const DiffCase& c) {
     return os << c.generator << "_" << c.storage << "_policy"
               << static_cast<int>(c.policy) << "_mode"
               << static_cast<int>(c.mode) << "_rep"
-              << static_cast<int>(c.frontier) << "_a" << c.alpha << "_b"
+              << static_cast<int>(c.frontier) << "_fmt"
+              << to_string(c.chunk_format) << "_a" << c.alpha << "_b"
               << c.beta << "_err" << c.read_error_rate << "_corr"
               << c.corruption_rate << "_seed" << kSeed;
   }
@@ -97,10 +101,12 @@ TEST_P(DifferentialSweep, LevelsMatchReferenceAndTreeValidates) {
   if (std::string_view{c.storage} == "dram") {
     storage.forward_dram = &forward;
   } else if (std::string_view{c.storage} == "external") {
-    external.emplace(forward, device, dir + "/fg");
+    external.emplace(forward, device, dir + "/fg", /*chunk_bytes=*/4096u,
+                     c.chunk_format);
     storage.forward_external = &*external;
   } else {
-    tiered.emplace(forward, 4, device, dir, pool);
+    tiered.emplace(forward, 4, device, dir, pool, /*chunk_bytes=*/4096u,
+                   c.chunk_format);
     storage.forward_tiered = &*tiered;
   }
 
@@ -110,6 +116,7 @@ TEST_P(DifferentialSweep, LevelsMatchReferenceAndTreeValidates) {
   config.policy.kind = c.policy;
   config.policy.alpha = c.alpha;
   config.policy.beta = c.beta;
+  config.chunk_format = c.chunk_format;
   if (c.corruption_rate > 0.0) {
     // Corruption cells must detect flips, not ingest them: route fetches
     // through the chunk cache and verify against the offload checksums.
@@ -229,7 +236,48 @@ INSTANTIATE_TEST_SUITE_P(
         // top-down level must stay on queue output so the partial top-down
         // next list merges in.
         DiffCase{"kron", "external", PolicyKind::FrontierRatio, kA, kB, 3e-2,
-                 0, true, BfsMode::TopDownOnly, FrontierMode::ForceBitmap}));
+                 0, true, BfsMode::TopDownOnly, FrontierMode::ForceBitmap},
+        // Chunk-format dimension: the varint-compressed external and tiered
+        // backends must be reference-exact in the same policy cells...
+        DiffCase{"kron", "external", PolicyKind::FrontierRatio, kA, kB, 0, 0,
+                 false, BfsMode::Hybrid, FrontierMode::Auto,
+                 ChunkFormat::kVarint},
+        DiffCase{"kron", "tiered", PolicyKind::FrontierRatio, kA, kB, 0, 0,
+                 false, BfsMode::Hybrid, FrontierMode::Auto,
+                 ChunkFormat::kVarint},
+        DiffCase{"uniform", "external", PolicyKind::EdgeRatio, 14, 24, 0, 0,
+                 false, BfsMode::Hybrid, FrontierMode::Auto,
+                 ChunkFormat::kVarint},
+        DiffCase{"uniform", "tiered", PolicyKind::EdgeRatio, 14, 24, 0, 0,
+                 false, BfsMode::Hybrid, FrontierMode::Auto,
+                 ChunkFormat::kVarint},
+        // ...under injected read errors (containment + degraded retry over
+        // compressed blobs)...
+        DiffCase{"kron", "external", PolicyKind::FrontierRatio, kA, kB, 1e-3,
+                 0, false, BfsMode::Hybrid, FrontierMode::Auto,
+                 ChunkFormat::kVarint},
+        DiffCase{"uniform", "tiered", PolicyKind::FrontierRatio, kA, kB, 1e-3,
+                 0, false, BfsMode::Hybrid, FrontierMode::Auto,
+                 ChunkFormat::kVarint},
+        // ...and under injected bit corruption: a flipped compressed blob
+        // fails its own CRC inside CompressedBlockFile and heals via
+        // re-fetch (the cache+registry protect the raw index file). Tiered
+        // corruption cells are omitted: the tiered path wires no chunk
+        // cache, so its raw index reads would have no corruption defense.
+        DiffCase{"kron", "external", PolicyKind::FrontierRatio, kA, kB, 0,
+                 1e-3, false, BfsMode::Hybrid, FrontierMode::Auto,
+                 ChunkFormat::kVarint},
+        DiffCase{"uniform", "external", PolicyKind::FrontierRatio, kA, kB, 0,
+                 1e-3, false, BfsMode::Hybrid, FrontierMode::Auto,
+                 ChunkFormat::kVarint},
+        // ...and with errors and corruption together on the heavy-error
+        // top-down path, where degradation must still fire and contain.
+        DiffCase{"kron", "external", PolicyKind::FrontierRatio, kA, kB, 1e-3,
+                 1e-3, false, BfsMode::Hybrid, FrontierMode::Auto,
+                 ChunkFormat::kVarint},
+        DiffCase{"kron", "external", PolicyKind::FrontierRatio, kA, kB, 3e-2,
+                 0, true, BfsMode::TopDownOnly, FrontierMode::Auto,
+                 ChunkFormat::kVarint}));
 
 }  // namespace
 }  // namespace sembfs

@@ -131,7 +131,7 @@ TEST_F(IoAggregationTest, AllEmptyBatchNeedsOnlyIndexReads) {
   EXPECT_EQ(device_->stats().request_count(), requests);
 }
 
-TEST_F(IoAggregationTest, AdjacencyLargerThanMaxRequestStillFetchedWhole) {
+TEST_F(IoAggregationTest, AdjacencyLargerThanMaxRequestStillCorrect) {
   ExternalCsrPartition& part = external_->partition(0);
   const Csr& dram = forward_.partition(0);
   Vertex hub = 0;
@@ -141,8 +141,9 @@ TEST_F(IoAggregationTest, AdjacencyLargerThanMaxRequestStillFetchedWhole) {
       static_cast<std::uint64_t>(dram.degree(hub)) * sizeof(Vertex);
   ASSERT_GT(hub_bytes, 256u) << "fixture needs a hub";
 
-  // A max_request smaller than the hub's own adjacency: the range cannot
-  // be split (merging is all-or-nothing per slot), so it is fetched whole.
+  // A max_request smaller than the hub's own adjacency: merging is
+  // all-or-nothing per slot, so the run survives merge_ranges intact and
+  // is sliced into <= max_request device reads at issue time.
   const std::vector<Vertex> batch = {hub, 1, hub};
   std::vector<std::vector<Vertex>> batched;
   part.fetch_neighbors_batch(batch, batched, 4096, /*max_request=*/256);
@@ -151,6 +152,67 @@ TEST_F(IoAggregationTest, AdjacencyLargerThanMaxRequestStillFetchedWhole) {
     part.fetch_neighbors(batch[i], single);
     ASSERT_EQ(batched[i], single) << "slot " << i;
   }
+}
+
+TEST_F(IoAggregationTest, OversizeRunSplitsAtRequestCap) {
+  // Regression: a single adjacency run longer than max_request used to be
+  // issued as ONE unsplit device request, silently violating the cap the
+  // caller set to bound per-request device latency.
+  ExternalCsrPartition& part = external_->partition(0);
+  const Csr& dram = forward_.partition(0);
+  Vertex hub = 0;
+  for (Vertex v = 1; v < edges_.vertex_count(); ++v)
+    if (dram.degree(v) > dram.degree(hub)) hub = v;
+  const std::uint64_t hub_bytes =
+      static_cast<std::uint64_t>(dram.degree(hub)) * sizeof(Vertex);
+  constexpr std::uint32_t kCap = 256;
+  ASSERT_GT(hub_bytes, kCap) << "fixture needs a hub";
+
+  const std::vector<Vertex> batch = {hub};
+  std::vector<std::vector<Vertex>> batched;
+  const std::uint64_t capped =
+      part.fetch_neighbors_batch(batch, batched, 4096, kCap);
+  // Index phase: one 16-byte request. Value phase: the hub's run sliced at
+  // the cap.
+  const std::uint64_t value_requests = (hub_bytes + kCap - 1) / kCap;
+  EXPECT_EQ(capped, 1 + value_requests);
+  std::vector<Vertex> single;
+  part.fetch_neighbors(hub, single);
+  ASSERT_EQ(batched[0], single);
+
+  // An uncapped fetch of the same batch needs far fewer requests — the cap
+  // is what forces the split, not the run length.
+  const std::uint64_t uncapped =
+      part.fetch_neighbors_batch(batch, batched, 4096, 1 << 20);
+  EXPECT_LT(uncapped, capped);
+}
+
+TEST_F(IoAggregationTest, AsyncOversizeRunSplitsLikeSync) {
+  // The async scheduler path must slice oversize runs identically, or
+  // request accounting diverges between the sync and prefetch paths.
+  ExternalCsrPartition& part = external_->partition(0);
+  const Csr& dram = forward_.partition(0);
+  IoScheduler scheduler{4};
+  Vertex hub = 0;
+  for (Vertex v = 1; v < edges_.vertex_count(); ++v)
+    if (dram.degree(v) > dram.degree(hub)) hub = v;
+  constexpr std::uint32_t kCap = 256;
+
+  const std::vector<Vertex> batch = {hub, 1, hub, 42};
+  std::vector<std::vector<Vertex>> sync_out;
+  const std::uint64_t sync_requests =
+      part.fetch_neighbors_batch(batch, sync_out, 4096, kCap);
+
+  PendingNeighborsBatch pending =
+      part.start_fetch_neighbors_batch(batch, scheduler, 4096, kCap);
+  ASSERT_TRUE(pending.valid());
+  std::vector<std::vector<Vertex>> async_out;
+  const std::uint64_t async_requests = pending.wait(async_out);
+
+  EXPECT_EQ(async_requests, sync_requests);
+  ASSERT_EQ(async_out.size(), sync_out.size());
+  for (std::size_t i = 0; i < sync_out.size(); ++i)
+    ASSERT_EQ(async_out[i], sync_out[i]) << "slot " << i;
 }
 
 TEST_F(IoAggregationTest, BatchAtPartitionSourceBoundary) {

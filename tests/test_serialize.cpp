@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <span>
+#include <string>
 
 #include "graph_fixtures.hpp"
 #include "nvm/storage_file.hpp"
@@ -68,6 +70,68 @@ TEST_F(SerializeTest, EmptyEdgeListRoundTrip) {
   const EdgeList loaded = load_edge_list(path("edges"));
   EXPECT_EQ(loaded.edge_count(), 0u);
   EXPECT_EQ(loaded.vertex_count(), 42);
+}
+
+TEST_F(SerializeTest, VarintCsrRoundTrip) {
+  const EdgeList edges =
+      generate_kronecker(fixtures::small_kronecker(9, 8, 81), pool_);
+  const Csr original = build_csr(edges, CsrBuildOptions{}, pool_);
+  save_csr(original, path("csr"), ChunkFormat::kVarint);
+  const Csr loaded = load_csr(path("csr"));
+  EXPECT_EQ(loaded.source_range(), original.source_range());
+  EXPECT_EQ(loaded.index(), original.index());
+  EXPECT_EQ(loaded.values(), original.values());
+
+  // The varint values stream should make the file visibly smaller than
+  // the raw encoding of the same graph.
+  save_csr(original, path("edges"), ChunkFormat::kRaw);
+  const StorageFile varint = StorageFile::open_readonly(path("csr"));
+  const StorageFile raw = StorageFile::open_readonly(path("edges"));
+  EXPECT_LT(varint.size(), raw.size());
+}
+
+TEST_F(SerializeTest, RejectsV1FormatWithActionableError) {
+  const EdgeList edges = fixtures::small_graph();
+  const Csr csr = build_csr(edges, CsrBuildOptions{}, pool_);
+  save_csr(csr, path("csr"));
+  {
+    // Byte 7 of the magic is the format digit: "SEMBFSG2" -> "SEMBFSG1".
+    StorageFile f = StorageFile::open_readwrite(path("csr"));
+    const char v1 = '1';
+    f.pwrite_exact(7, std::as_bytes(std::span{&v1, 1}));
+  }
+  try {
+    load_csr(path("csr"));
+    FAIL() << "v1 magic must be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("older sembfs"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(SerializeTest, RejectsUnknownValuesEncoding) {
+  const EdgeList edges = fixtures::small_graph();
+  const Csr csr = build_csr(edges, CsrBuildOptions{}, pool_);
+  save_csr(csr, path("csr"));
+  {
+    // flags (the ChunkFormat of the values payload) sits at offset 12.
+    StorageFile f = StorageFile::open_readwrite(path("csr"));
+    const std::uint32_t bogus = 0xdead;
+    f.pwrite_exact(12, std::as_bytes(std::span{&bogus, 1}));
+  }
+  EXPECT_THROW(load_csr(path("csr")), std::runtime_error);
+}
+
+TEST_F(SerializeTest, RejectsTruncatedVarintStream) {
+  const EdgeList edges =
+      generate_kronecker(fixtures::small_kronecker(8, 8, 95), pool_);
+  const Csr csr = build_csr(edges, CsrBuildOptions{}, pool_);
+  save_csr(csr, path("csr"), ChunkFormat::kVarint);
+  {
+    StorageFile f = StorageFile::open_readwrite(path("csr"));
+    f.resize(f.size() - 16);  // clip the tail of the encoded stream
+  }
+  EXPECT_THROW(load_csr(path("csr")), std::runtime_error);
 }
 
 TEST_F(SerializeTest, RejectsWrongMagic) {

@@ -220,6 +220,45 @@ TEST_F(ServeEngineTest, FaultsAreContainedPerQuery) {
   std::filesystem::remove_all(dir);
 }
 
+// Goodput accounting: qps counts only Done queries. A regression divided
+// (issued - rejected) by wall time, which reported healthy "throughput"
+// for a run where every query missed its deadline; that number now lives
+// in offered_qps instead.
+TEST_F(ServeEngineTest, LoadGenQpsIsGoodputNotOfferedLoad) {
+  QueryEngine engine{storage_, topology_, pool_, EngineConfig{}};
+  LoadGenConfig load;
+  load.clients = 2;
+  load.queries_per_client = 8;
+  load.options.deadline_ms = 1e-4;  // expires before any level can run
+  const LoadGenReport report = run_load(engine, edges_.vertex_count(), load);
+
+  EXPECT_EQ(report.issued, 16u);
+  EXPECT_GT(report.deadline_expired, 0u);
+  ASSERT_GT(report.seconds, 0.0);
+  // qps reconstructs from Done alone; offered_qps from admitted load.
+  EXPECT_NEAR(report.qps, static_cast<double>(report.done) / report.seconds,
+              1e-9);
+  EXPECT_NEAR(report.offered_qps,
+              static_cast<double>(report.issued - report.rejected) /
+                  report.seconds,
+              1e-9);
+  // With expirations in the mix the two must split apart — the old
+  // formula made them identical.
+  EXPECT_LT(report.qps, report.offered_qps);
+}
+
+TEST_F(ServeEngineTest, LoadGenHealthyRunQpsMatchesOfferedLoad) {
+  QueryEngine engine{storage_, topology_, pool_, EngineConfig{}};
+  LoadGenConfig load;
+  load.clients = 2;
+  load.queries_per_client = 4;  // no deadline: every query completes
+  const LoadGenReport report = run_load(engine, edges_.vertex_count(), load);
+  EXPECT_EQ(report.done, report.issued);
+  EXPECT_EQ(report.rejected, 0u);
+  EXPECT_NEAR(report.qps, report.offered_qps, 1e-9);
+  EXPECT_GT(report.qps, 0.0);
+}
+
 // Determinism: replaying the same seeded trace through a deferred-start
 // engine yields byte-identical per-query results and identical
 // deterministic engine stats.
