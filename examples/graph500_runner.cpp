@@ -8,6 +8,10 @@
 // summary (avgqu-sz / avgrq-sz, Figures 12-13) when a device is in play.
 #include <cstdio>
 
+#include "engine/components_program.hpp"
+#include "engine/pagerank_program.hpp"
+#include "engine/program_session.hpp"
+#include "engine/triangle_program.hpp"
 #include "graph500/benchmark.hpp"
 #include "obs/export.hpp"
 #include "serve/engine.hpp"
@@ -59,6 +63,13 @@ int main(int argc, char** argv) {
   options.add_int("io-error-budget", 0,
                   "hard fetch failures tolerated per top-down level before "
                   "falling back to DRAM bottom-up");
+  options.add_string("analytics", "",
+                     "run one whole-graph analytics program through the "
+                     "vertex-program engine instead of the Graph500 root "
+                     "loop: cc | pagerank | tc");
+  options.add_double("pagerank-tolerance", 1e-8,
+                     "PageRank Linf convergence tolerance");
+  options.add_int("pagerank-max-iters", 100, "PageRank iteration cap");
   options.add_flag("serve",
                    "serving mode: run a concurrent query engine with a "
                    "closed-loop load generator instead of the Graph500 "
@@ -162,6 +173,93 @@ int main(int argc, char** argv) {
   }
 
   std::printf("scenario: %s\n", config.instance.scenario.describe().c_str());
+
+  const std::string analytics = options.get_string("analytics");
+  if (!analytics.empty()) {
+    // Analytics mode: build the instance once, run one vertex program
+    // through the engine, print a key:value block like the serve mode.
+    Graph500Instance instance{config.instance, pool};
+    if (config.fault_plan.enabled() && instance.nvm_device() != nullptr)
+      instance.nvm_device()->set_fault_plan(config.fault_plan);
+
+    std::unique_ptr<engine::VertexProgram> program;
+    if (analytics == "cc") {
+      program = std::make_unique<engine::ComponentsProgram>();
+    } else if (analytics == "pagerank") {
+      engine::PageRankOptions pr;
+      pr.tolerance = options.get_double("pagerank-tolerance");
+      pr.max_iterations =
+          static_cast<std::int32_t>(options.get_int("pagerank-max-iters"));
+      program = std::make_unique<engine::PageRankProgram>(pr);
+    } else if (analytics == "tc") {
+      program = std::make_unique<engine::TriangleProgram>();
+    } else {
+      std::fprintf(stderr, "unknown --analytics '%s'\n", analytics.c_str());
+      return 1;
+    }
+
+    engine::ProgramSession session{*program, instance.storage(),
+                                   instance.topology(), pool, config.bfs};
+    bool failed = false;
+    std::string error;
+    try {
+      session.run();
+    } catch (const NvmIoError& e) {
+      failed = true;
+      error = e.what();
+    }
+
+    std::printf(
+        "analytics: %s\nanalytics_supersteps: %d\nanalytics_seconds: %.3f\n"
+        "analytics_scanned_edges: %lld\nanalytics_nvm_requests: %llu\n"
+        "analytics_io_failures: %llu\nanalytics_degraded_supersteps: %d\n",
+        analytics.c_str(), session.supersteps_executed(), session.seconds(),
+        static_cast<long long>(session.scanned_edges_push() +
+                               session.scanned_edges_pull()),
+        static_cast<unsigned long long>(session.nvm_requests()),
+        static_cast<unsigned long long>(session.io_failures()),
+        session.degraded_supersteps());
+    if (failed) std::printf("analytics_error: %s\n", error.c_str());
+
+    if (analytics == "cc") {
+      auto& cc = static_cast<engine::ComponentsProgram&>(*program);
+      const std::vector<Vertex> labels = cc.labels();
+      std::vector<bool> seen(labels.size(), false);
+      std::int64_t components = 0;
+      for (const Vertex l : labels)
+        if (!seen[static_cast<std::size_t>(l)]) {
+          seen[static_cast<std::size_t>(l)] = true;
+          ++components;
+        }
+      std::printf("components: %lld\n", static_cast<long long>(components));
+    } else if (analytics == "pagerank") {
+      auto& pr = static_cast<engine::PageRankProgram&>(*program);
+      double sum = 0.0;
+      for (const double r : pr.ranks()) sum += r;
+      std::printf("pagerank_iterations: %d\npagerank_delta: %.3e\n"
+                  "pagerank_sum: %.6f\n",
+                  pr.iterations(), pr.last_delta(), sum);
+    } else if (analytics == "tc") {
+      auto& tc = static_cast<engine::TriangleProgram&>(*program);
+      std::printf("triangles: %lld\n",
+                  static_cast<long long>(tc.triangles()));
+    }
+
+    bool analytics_exports_ok = true;
+    if (!metrics_out.empty() &&
+        !obs::write_metrics_json(obs::metrics(), metrics_out)) {
+      std::fprintf(stderr, "failed to write metrics JSON to %s\n",
+                   metrics_out.c_str());
+      analytics_exports_ok = false;
+    }
+    if (!metrics_csv.empty() &&
+        !obs::write_metrics_csv(obs::metrics(), metrics_csv)) {
+      std::fprintf(stderr, "failed to write metrics CSV to %s\n",
+                   metrics_csv.c_str());
+      analytics_exports_ok = false;
+    }
+    return !failed && analytics_exports_ok ? 0 : 1;
+  }
 
   if (options.get_flag("serve")) {
     // Serving mode: one shared instance, many concurrent queries.

@@ -1,11 +1,13 @@
 #include "analytics/components.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <map>
+#include <utility>
 
-#include "parallel/atomics.hpp"
-#include "parallel/parallel_for.hpp"
+#include "engine/components_program.hpp"
+#include "engine/program_session.hpp"
+#include "graph/forward_graph.hpp"
+#include "numa/topology.hpp"
 #include "util/contracts.hpp"
 
 namespace sembfs {
@@ -85,35 +87,26 @@ ComponentsResult components_label_propagation(const Csr& csr,
   SEMBFS_EXPECTS(csr.source_range().begin == 0 &&
                  csr.source_range().end == n);
 
-  std::vector<std::atomic<Vertex>> label(static_cast<std::size_t>(n));
-  for (Vertex v = 0; v < n; ++v)
-    label[static_cast<std::size_t>(v)].store(v, std::memory_order_relaxed);
+  // Engine-backed since the vertex-program extraction: the whole-graph
+  // CSR becomes a single-partition forward graph (one transient copy —
+  // this helper serves DRAM-sized graphs) and the frontier-driven
+  // ComponentsProgram replaces the bespoke propagation loop. Push-only
+  // keeps the storage to that single forward copy; labels are identical
+  // to the components_bfs oracle either way.
+  ForwardGraph forward = ForwardGraph::wrap_whole(csr);
+  GraphStorage storage;
+  storage.forward_dram = &forward;
+  const NumaTopology topology{1, std::max<std::size_t>(pool.size(), 1)};
+  BfsConfig config;
+  config.mode = BfsMode::TopDownOnly;
+
+  engine::ComponentsProgram program;
+  engine::ProgramSession session{program, storage, topology, pool, config};
+  session.run();
 
   ComponentsResult result;
-  bool changed = true;
-  while (changed) {
-    ++result.iterations;
-    std::atomic<bool> any{false};
-    parallel_for(pool, 0, n, [&](std::int64_t v) {
-      const Vertex mine =
-          label[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
-      Vertex best = mine;
-      for (const Vertex w : csr.neighbors(v))
-        best = std::min(
-            best,
-            label[static_cast<std::size_t>(w)].load(std::memory_order_relaxed));
-      if (best < mine) {
-        atomic_fetch_min(label[static_cast<std::size_t>(v)], best);
-        any.store(true, std::memory_order_relaxed);
-      }
-    });
-    changed = any.load();
-  }
-
-  result.label.resize(static_cast<std::size_t>(n));
-  for (Vertex v = 0; v < n; ++v)
-    result.label[static_cast<std::size_t>(v)] =
-        label[static_cast<std::size_t>(v)].load(std::memory_order_relaxed);
+  result.iterations = session.supersteps_executed();
+  result.label = program.labels();
   finalize_stats(result);
   return result;
 }

@@ -1,5 +1,7 @@
 #include "analytics/distances.hpp"
 
+#include "engine/bfs_program.hpp"
+#include "engine/program_session.hpp"
 #include "util/contracts.hpp"
 
 namespace sembfs {
@@ -53,11 +55,21 @@ DistanceStats summarize_histogram(std::vector<std::int64_t> histogram,
 DistanceStats sample_distances(HybridBfsRunner& runner,
                                std::span<const Vertex> sources,
                                const BfsConfig& config) {
+  return sample_distances(runner.storage(), runner.topology(), runner.pool(),
+                          sources, config);
+}
+
+DistanceStats sample_distances(const GraphStorage& storage,
+                               const NumaTopology& topology, ThreadPool& pool,
+                               std::span<const Vertex> sources,
+                               const BfsConfig& config) {
   SEMBFS_EXPECTS(!sources.empty());
   std::vector<std::int64_t> histogram;
   for (const Vertex source : sources) {
-    const BfsResult result = runner.run(source, config);
-    accumulate_levels(result.level, histogram);
+    engine::BfsProgram program{source};
+    engine::ProgramSession session{program, storage, topology, pool, config};
+    session.run();
+    accumulate_levels(program.status().levels(), histogram);
   }
   return summarize_histogram(std::move(histogram),
                              static_cast<std::int64_t>(sources.size()));

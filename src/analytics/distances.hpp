@@ -30,6 +30,14 @@ DistanceStats sample_distances(HybridBfsRunner& runner,
                                std::span<const Vertex> sources,
                                const BfsConfig& config = {});
 
+/// Same sampling loop expressed over the vertex-program engine: one
+/// BfsProgram session per source against `storage`. The runner overload
+/// delegates here.
+DistanceStats sample_distances(const GraphStorage& storage,
+                               const NumaTopology& topology, ThreadPool& pool,
+                               std::span<const Vertex> sources,
+                               const BfsConfig& config = {});
+
 /// Folds a single BFS level array into an existing histogram (exposed for
 /// callers that already have BFS results).
 void accumulate_levels(std::span<const std::int32_t> levels,

@@ -1,26 +1,17 @@
 #include "bfs/bfs_status.hpp"
 
 #include <algorithm>
-#include <bit>
 
-#include "parallel/parallel_for.hpp"
-#include "parallel/thread_pool.hpp"
 #include "util/contracts.hpp"
 
 namespace sembfs {
-
-namespace {
-// Below these sizes a fork/join costs more than the work it spreads.
-constexpr std::size_t kSerialScatterItems = 1 << 14;
-constexpr std::size_t kSerialWords = 1 << 13;  // 64 KiB of bitmap
-}  // namespace
 
 BfsStatus::BfsStatus(Vertex vertex_count)
     : n_(vertex_count),
       parent_(static_cast<std::size_t>(vertex_count)),
       level_(static_cast<std::size_t>(vertex_count), -1),
       visited_(static_cast<std::size_t>(vertex_count)),
-      frontier_bits_(static_cast<std::size_t>(vertex_count)) {
+      active_(vertex_count) {
   SEMBFS_EXPECTS(vertex_count >= 1);
 }
 
@@ -29,200 +20,12 @@ void BfsStatus::reset(Vertex root) {
   for (auto& p : parent_) p.store(kNoVertex, std::memory_order_relaxed);
   std::fill(level_.begin(), level_.end(), -1);
   visited_.clear();
-  frontier_bits_.clear();
-  frontier_.clear();
-  next_.clear();
-  // Defensive: a session abandoned mid-level can leave worker bits set.
-  for (Bitmap& b : worker_next_bits_) b.clear();
-  rep_ = FrontierRep::Queue;
-  pending_ = FrontierRep::Queue;
-  frontier_count_ = 1;
+  active_.seed(root);
 
   parent_[static_cast<std::size_t>(root)].store(root,
                                                 std::memory_order_relaxed);
   level_[static_cast<std::size_t>(root)] = 0;
   visited_.set(static_cast<std::size_t>(root));
-  frontier_.push_back(root);
-  frontier_bits_.set(static_cast<std::size_t>(root));
-}
-
-void BfsStatus::set_next_merged(std::vector<std::vector<Vertex>>& buffers,
-                                ThreadPool& pool) {
-  std::vector<std::size_t> offsets(buffers.size() + 1, 0);
-  for (std::size_t b = 0; b < buffers.size(); ++b)
-    offsets[b + 1] = offsets[b] + buffers[b].size();
-  const std::size_t total = offsets.back();
-  next_.resize(total);
-  pending_ = FrontierRep::Queue;
-  if (total == 0) return;
-
-  Vertex* const dst = next_.data();
-  if (total < kSerialScatterItems || pool.size() <= 1) {
-    for (std::size_t b = 0; b < buffers.size(); ++b)
-      std::copy(buffers[b].begin(), buffers[b].end(), dst + offsets[b]);
-    return;
-  }
-  // One scatter task per buffer: buffers are per-worker, so their count
-  // matches the pool's parallelism and their sizes are roughly balanced
-  // (the step's dynamic chunk cursor load-balanced the claims).
-  const std::size_t tasks = buffers.size();
-  pool.run(std::min(pool.size(), tasks), [&](std::size_t w) {
-    for (std::size_t b = w; b < tasks; b += pool.size())
-      std::copy(buffers[b].begin(), buffers[b].end(), dst + offsets[b]);
-  });
-}
-
-void BfsStatus::begin_bitmap_next(std::size_t workers) {
-  SEMBFS_EXPECTS(workers >= 1);
-  while (worker_next_bits_.size() < workers)
-    worker_next_bits_.emplace_back(static_cast<std::size_t>(n_));
-  pending_ = FrontierRep::Bitmap;
-}
-
-void BfsStatus::advance_queue_serial() {
-  frontier_.swap(next_);
-  next_.clear();
-  frontier_bits_.clear();
-  for (const Vertex v : frontier_)
-    frontier_bits_.set(static_cast<std::size_t>(v));
-  rep_ = FrontierRep::Queue;
-  frontier_count_ = static_cast<std::int64_t>(frontier_.size());
-}
-
-void BfsStatus::advance_bitmap_serial() {
-  const std::size_t words = frontier_bits_.word_count();
-  const std::span<std::uint64_t> out = frontier_bits_.words();
-  std::int64_t count = 0;
-  for (std::size_t w = 0; w < words; ++w) {
-    std::uint64_t acc = 0;
-    for (Bitmap& b : worker_next_bits_) {
-      const std::uint64_t word = b.words()[w];
-      if (word != 0) {
-        acc |= word;
-        b.words()[w] = 0;  // restore the all-zero invariant for reuse
-      }
-    }
-    out[w] = acc;
-    count += std::popcount(acc);
-  }
-  frontier_.clear();
-  next_.clear();
-  rep_ = FrontierRep::Bitmap;
-  frontier_count_ = count;
-}
-
-void BfsStatus::advance() {
-  if (pending_ == FrontierRep::Bitmap) {
-    advance_bitmap_serial();
-  } else {
-    advance_queue_serial();
-  }
-  pending_ = FrontierRep::Queue;
-}
-
-void BfsStatus::advance(ThreadPool& pool) {
-  const std::size_t words = frontier_bits_.word_count();
-  if (pool.size() <= 1 || words < kSerialWords) {
-    advance();
-    return;
-  }
-  if (pending_ == FrontierRep::Bitmap) {
-    // Word-parallel OR-merge of the per-worker bitmaps, counting as we go
-    // and clearing the sources for the next bitmap level.
-    const std::span<std::uint64_t> out = frontier_bits_.words();
-    std::vector<Bitmap>& sources = worker_next_bits_;
-    frontier_count_ = parallel_reduce<std::int64_t>(
-        pool, 0, static_cast<std::int64_t>(words), 0,
-        [&](std::int64_t& acc, std::int64_t w) {
-          const auto wi = static_cast<std::size_t>(w);
-          std::uint64_t merged = 0;
-          for (Bitmap& b : sources) {
-            const std::uint64_t word = b.words()[wi];
-            if (word != 0) {
-              merged |= word;
-              b.words()[wi] = 0;
-            }
-          }
-          out[wi] = merged;
-          acc += std::popcount(merged);
-        },
-        [](std::int64_t a, std::int64_t b) { return a + b; });
-    frontier_.clear();
-    next_.clear();
-    rep_ = FrontierRep::Bitmap;
-  } else {
-    frontier_.swap(next_);
-    next_.clear();
-    frontier_bits_.clear_parallel(pool);
-    const auto frontier_n = static_cast<std::int64_t>(frontier_.size());
-    if (frontier_n < static_cast<std::int64_t>(kSerialScatterItems)) {
-      for (const Vertex v : frontier_)
-        frontier_bits_.set(static_cast<std::size_t>(v));
-    } else {
-      // Arbitrary vertices share words, so the parallel rebuild needs the
-      // atomic (relaxed fetch_or) bit sets.
-      parallel_for(pool, 0, frontier_n, [&](std::int64_t i) {
-        frontier_bits_.set_atomic(
-            static_cast<std::size_t>(frontier_[static_cast<std::size_t>(i)]));
-      });
-    }
-    rep_ = FrontierRep::Queue;
-    frontier_count_ = frontier_n;
-  }
-  pending_ = FrontierRep::Queue;
-}
-
-bool BfsStatus::ensure_frontier_queue() {
-  if (rep_ == FrontierRep::Queue) return false;
-  frontier_.clear();
-  frontier_.reserve(static_cast<std::size_t>(frontier_count_));
-  frontier_bits_.for_each_set(
-      [&](std::size_t v) { frontier_.push_back(static_cast<Vertex>(v)); });
-  rep_ = FrontierRep::Queue;
-  return true;
-}
-
-bool BfsStatus::ensure_frontier_queue(ThreadPool& pool) {
-  if (rep_ == FrontierRep::Queue) return false;
-  const std::size_t words = frontier_bits_.word_count();
-  if (pool.size() <= 1 || words < kSerialWords) return ensure_frontier_queue();
-
-  // Three passes over word blocks: popcount per block, serial exclusive
-  // prefix over the (few) blocks, then scatter each block's set bits at
-  // its offset. The queue comes out sorted by vertex id, which also gives
-  // the next top-down level a cache-friendly dequeue order.
-  constexpr std::size_t kBlockWords = 2048;  // 128 Ki vertices per block
-  const std::size_t blocks = (words + kBlockWords - 1) / kBlockWords;
-  std::vector<std::size_t> offsets(blocks + 1, 0);
-  const std::span<const std::uint64_t> bits = frontier_bits_.words();
-  parallel_for(pool, 0, static_cast<std::int64_t>(blocks),
-               [&](std::int64_t block) {
-                 const auto b = static_cast<std::size_t>(block);
-                 const std::size_t lo = b * kBlockWords;
-                 const std::size_t hi = std::min(words, lo + kBlockWords);
-                 std::size_t count = 0;
-                 for (std::size_t w = lo; w < hi; ++w)
-                   count += std::popcount(bits[w]);
-                 offsets[b + 1] = count;
-               });
-  for (std::size_t b = 0; b < blocks; ++b) offsets[b + 1] += offsets[b];
-  SEMBFS_ASSERT(offsets[blocks] ==
-                static_cast<std::size_t>(frontier_count_));
-  frontier_.resize(offsets[blocks]);
-  Vertex* const dst = frontier_.data();
-  parallel_for(pool, 0, static_cast<std::int64_t>(blocks),
-               [&](std::int64_t block) {
-                 const auto b = static_cast<std::size_t>(block);
-                 const std::size_t lo = b * kBlockWords;
-                 const std::size_t hi = std::min(words, lo + kBlockWords);
-                 std::size_t at = offsets[b];
-                 for (std::size_t w = lo; w < hi; ++w)
-                   for_each_set_in_word(bits[w], w * 64, [&](std::size_t v) {
-                     dst[at++] = static_cast<Vertex>(v);
-                   });
-               });
-  rep_ = FrontierRep::Queue;
-  return true;
 }
 
 std::vector<Vertex> BfsStatus::parent_snapshot() const {
@@ -234,11 +37,10 @@ std::vector<Vertex> BfsStatus::parent_snapshot() const {
 
 std::uint64_t BfsStatus::byte_size() const noexcept {
   const auto n = static_cast<std::uint64_t>(n_);
-  return n * sizeof(Vertex)                 // parent
-         + n * sizeof(std::int32_t)         // level
-         + 2 * ((n + 7) / 8)                // visited + frontier bitmaps
-         + worker_next_bits_.size() * ((n + 7) / 8)  // bitmap-mode next
-         + (frontier_.capacity() + next_.capacity()) * sizeof(Vertex);
+  return n * sizeof(Vertex)          // parent
+         + n * sizeof(std::int32_t)  // level
+         + (n + 7) / 8               // visited bitmap
+         + active_.byte_size();      // frontier (queue/bitmap dual rep)
 }
 
 }  // namespace sembfs

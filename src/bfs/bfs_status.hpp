@@ -4,17 +4,17 @@
 //  - parent: the BFS tree, -1 = unvisited (Graph500 convention).
 //  - level:  depth at which each vertex was claimed (validation needs it).
 //  - visited bitmap: fast unvisited sweep for the bottom-up step.
-//  - frontier: the current level's membership bitmap (always valid; it
-//    answers bottom-up's "v in frontier?") plus, on demand, the vertex
-//    queue that drives top-down dequeueing.
+//  - frontier: an engine::ActiveSet — the current level's membership
+//    bitmap (always valid; it answers bottom-up's "v in frontier?") plus,
+//    on demand, the vertex queue that drives top-down dequeueing.
 //
 // ## Dual frontier representation
 //
-// A steady-state bottom-up level claims a large fraction of all vertices,
-// so funnelling them through per-worker vectors, a serial concat, and a
-// bit-by-bit bitmap rebuild is pure overhead: the natural output of the
-// sweep is a bitmap. BfsStatus therefore tracks which representation the
-// current frontier is in (FrontierRep):
+// The dual queue/bitmap frontier introduced in PR 4 now lives in
+// engine/active_set.hpp as the reusable ActiveSet (every vertex-centric
+// program needs the same machinery, not just BFS). BfsStatus composes one
+// and forwards its legacy frontier API, so the kernels are unchanged
+// clients; see active_set.hpp for the representation contract.
 //
 //  - Queue:  `frontier()` vector and `frontier_bitmap()` both valid —
 //    what top-down steps need. Produced by set_next()/set_next_merged()
@@ -46,6 +46,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/active_set.hpp"
 #include "graph/types.hpp"
 #include "util/bitmap.hpp"
 
@@ -53,11 +54,9 @@ namespace sembfs {
 
 class ThreadPool;
 
-/// Which structure currently holds the frontier (see file comment).
-enum class FrontierRep {
-  Queue,   ///< vertex vector + membership bitmap
-  Bitmap,  ///< membership bitmap only; queue materialized on demand
-};
+/// Which structure currently holds the frontier — the BFS-era name for the
+/// ActiveSet representation (see engine/active_set.hpp).
+using FrontierRep = engine::ActiveSetRep;
 
 // ## Status-slot reuse contract
 //
@@ -110,7 +109,7 @@ class BfsStatus {
     return visited_.test(static_cast<std::size_t>(w));
   }
   [[nodiscard]] bool in_frontier(Vertex v) const noexcept {
-    return frontier_bits_.test(static_cast<std::size_t>(v));
+    return active_.contains(v);
   }
 
   [[nodiscard]] Vertex parent(Vertex w) const noexcept {
@@ -121,66 +120,79 @@ class BfsStatus {
     return level_[static_cast<std::size_t>(w)];
   }
 
+  /// The frontier as a reusable engine ActiveSet — what the vertex-program
+  /// engine steps against when running BFS over this status block.
+  [[nodiscard]] engine::ActiveSet& active_set() noexcept { return active_; }
+  [[nodiscard]] const engine::ActiveSet& active_set() const noexcept {
+    return active_;
+  }
+
   /// Current representation of the frontier.
-  [[nodiscard]] FrontierRep frontier_rep() const noexcept { return rep_; }
+  [[nodiscard]] FrontierRep frontier_rep() const noexcept {
+    return active_.rep();
+  }
 
   /// The frontier vertex queue. Only valid in FrontierRep::Queue — call
   /// ensure_frontier_queue() first after a bitmap-producing level.
   [[nodiscard]] const std::vector<Vertex>& frontier() const noexcept {
-    SEMBFS_ASSERT(rep_ == FrontierRep::Queue);
-    return frontier_;
+    return active_.queue();
   }
   /// Frontier membership bitmap. Valid in BOTH representations.
   [[nodiscard]] const Bitmap& frontier_bitmap() const noexcept {
-    return frontier_bits_;
+    return active_.bitmap();
   }
   /// The visited bitmap, exposed for the word-skip sweep (word() loads).
   [[nodiscard]] const AtomicBitmap& visited_bitmap() const noexcept {
     return visited_;
   }
   [[nodiscard]] std::int64_t frontier_size() const noexcept {
-    return rep_ == FrontierRep::Queue
-               ? static_cast<std::int64_t>(frontier_.size())
-               : frontier_count_;
+    return active_.size();
   }
 
   /// Materializes the frontier queue from the bitmap (no-op in Queue
   /// rep). The queue comes out sorted by vertex id. Returns true iff a
   /// conversion actually happened.
-  bool ensure_frontier_queue(ThreadPool& pool);
+  bool ensure_frontier_queue(ThreadPool& pool) {
+    return active_.ensure_queue(pool);
+  }
   /// Serial variant for pool-free callers (tests, small graphs).
-  bool ensure_frontier_queue();
+  bool ensure_frontier_queue() { return active_.ensure_queue(); }
 
   /// Appends the merged next-frontier vertices (driver-side, serial).
   void set_next(std::vector<Vertex> next) {
-    next_ = std::move(next);
-    pending_ = FrontierRep::Queue;
+    active_.set_next(std::move(next));
   }
-  [[nodiscard]] std::vector<Vertex>& next() noexcept { return next_; }
+  [[nodiscard]] std::vector<Vertex>& next() noexcept {
+    return active_.next();
+  }
 
   /// Parallel concat of per-worker next buffers: serial prefix-sum of the
   /// buffer sizes, then the pool scatters each buffer at its offset.
   /// Replaces the serial driver-thread insert loop the steps used to run.
   void set_next_merged(std::vector<std::vector<Vertex>>& buffers,
-                       ThreadPool& pool);
+                       ThreadPool& pool) {
+    active_.set_next_merged(buffers, pool);
+  }
 
   /// Declares that this level's next frontier will be produced as
   /// per-worker bitmaps (bottom-up bitmap mode). Allocates/readies
   /// `workers` bitmaps of vertex_count() bits; bits are cleared lazily by
   /// advance()'s merge, so this is O(1) after the first level.
-  void begin_bitmap_next(std::size_t workers);
+  void begin_bitmap_next(std::size_t workers) {
+    active_.begin_bitmap_next(workers);
+  }
   /// Worker w's private next-frontier bitmap (plain set(), no atomics —
   /// single writer by construction).
   [[nodiscard]] Bitmap& worker_next(std::size_t w) noexcept {
-    return worker_next_bits_[w];
+    return active_.worker_next(w);
   }
 
   /// Promotes next -> frontier. Queue-pending levels swap the queue and
   /// rebuild the membership bitmap; bitmap-pending levels OR-merge the
   /// per-worker bitmaps word-wise (clearing them for reuse) and leave the
   /// queue unmaterialized. The pool overload parallelizes both paths.
-  void advance();
-  void advance(ThreadPool& pool);
+  void advance() { active_.advance(); }
+  void advance(ThreadPool& pool) { active_.advance(pool); }
 
   /// Copies the parent array into a plain vector.
   [[nodiscard]] std::vector<Vertex> parent_snapshot() const;
@@ -197,24 +209,11 @@ class BfsStatus {
   [[nodiscard]] std::uint64_t byte_size() const noexcept;
 
  private:
-  void advance_queue_serial();
-  void advance_bitmap_serial();
-
   Vertex n_ = 0;
   std::vector<std::atomic<Vertex>> parent_;
   std::vector<std::int32_t> level_;
   AtomicBitmap visited_;
-  Bitmap frontier_bits_;
-  std::vector<Vertex> frontier_;
-  std::vector<Vertex> next_;
-  /// Per-worker next-frontier bitmaps (bitmap mode only; empty until the
-  /// first begin_bitmap_next). Invariant: all-zero outside a level.
-  std::vector<Bitmap> worker_next_bits_;
-  FrontierRep rep_ = FrontierRep::Queue;
-  FrontierRep pending_ = FrontierRep::Queue;
-  /// Set-bit count of frontier_bits_ (maintained in Bitmap rep, where the
-  /// queue's size() is unavailable).
-  std::int64_t frontier_count_ = 0;
+  engine::ActiveSet active_;
 };
 
 }  // namespace sembfs

@@ -126,6 +126,21 @@ struct GraphStorage {
   [[nodiscard]] std::int64_t degree(Vertex v) const;
 };
 
+/// Applies `config`'s semi-external I/O knobs to `external` before a
+/// top-down (push) level: ensures the chunk cache (plus checksum
+/// verification when requested) and the async I/O scheduler exist, and
+/// resets the scheduler's error budget so a previous level's failures
+/// cannot poison this one. Idempotent — both the session and the
+/// vertex-program engine call it every push level.
+void prepare_external_storage(ExternalForwardGraph& external,
+                              const BfsConfig& config);
+
+/// Builds the per-level options top_down_step_external (and the engine's
+/// generic scatter) consume from `config`, resolving the scheduler from
+/// the graph's current state.
+[[nodiscard]] ExternalTopDownOptions external_step_options(
+    ExternalForwardGraph& external, const BfsConfig& config);
+
 struct BfsResult {
   Vertex root = kNoVertex;
   double seconds = 0.0;
@@ -165,6 +180,14 @@ class HybridBfsRunner {
   [[nodiscard]] std::uint64_t status_byte_size() const noexcept {
     return status_.byte_size();
   }
+
+  [[nodiscard]] const GraphStorage& storage() const noexcept {
+    return storage_;
+  }
+  [[nodiscard]] const NumaTopology& topology() const noexcept {
+    return topology_;
+  }
+  [[nodiscard]] ThreadPool& pool() const noexcept { return pool_; }
 
  private:
   GraphStorage storage_;

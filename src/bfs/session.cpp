@@ -97,28 +97,10 @@ bool BfsSession::step() {
                                topology_, pool_, config_.batch_size);
     } else {
       ExternalForwardGraph& external = *storage_.forward_external;
-      if (config_.chunk_cache_bytes != 0) {
-        external.enable_chunk_cache(config_.chunk_cache_bytes);
-        if (config_.verify_chunk_checksums)
-          external.enable_checksum_verification();
-      }
-      if (config_.io_queue_depth != 0) {
-        IoSchedulerConfig sched_config;
-        sched_config.retry = config_.io_retry;
-        IoScheduler& scheduler =
-            external.enable_io_scheduler(config_.io_queue_depth, sched_config);
-        // A previous level's failures must not poison this one.
-        scheduler.reset_error_budget();
-      }
-      ExternalTopDownOptions options;
-      options.batch_size = config_.batch_size;
-      options.aggregate_io = config_.aggregate_io;
-      options.merge_gap_bytes = config_.aggregate_merge_gap;
-      options.max_request_bytes = config_.aggregate_max_request;
-      options.scheduler = external.io_scheduler();
-      options.io_error_budget = config_.io_error_budget;
-      step_result = top_down_step_external(external, *status_, level_,
-                                           topology_, pool_, options);
+      prepare_external_storage(external, config_);
+      step_result =
+          top_down_step_external(external, *status_, level_, topology_, pool_,
+                                 external_step_options(external, config_));
     }
     scanned_top_down_ += step_result.scanned_edges;
     io_failures_ += step_result.io_failures;

@@ -1,0 +1,143 @@
+// ActiveSet: the dual queue/bitmap vertex set that drives one superstep of
+// any vertex-centric program — extracted from the PR-4 BFS frontier so the
+// same machinery serves BFS, label propagation, and every future program.
+//
+// ## Dual representation
+//
+// A steady-state pull (bottom-up) superstep activates a large fraction of
+// all vertices, so funnelling them through per-worker vectors, a serial
+// concat, and a bit-by-bit bitmap rebuild is pure overhead: the natural
+// output of a dense sweep is a bitmap. The set therefore tracks which
+// representation currently holds the membership (ActiveSetRep):
+//
+//  - Queue:  `queue()` vector and `bitmap()` both valid — what scatter
+//    (push) steps need for dequeueing. Produced by set_next() /
+//    set_next_merged() followed by advance().
+//  - Bitmap: only `bitmap()` is valid; the queue is materialized lazily by
+//    ensure_queue() when (and only when) a direction switch back to push
+//    needs it. Produced by per-worker next bitmaps (begin_bitmap_next() +
+//    worker_next()) merged word-wise by advance().
+//
+// Writers fill a *next* set during a superstep (either per-worker queues
+// merged by set_next_merged, or per-worker bitmaps); advance() promotes
+// next -> current. The membership bitmap of the CURRENT set is always
+// valid in both representations, so gather (pull) steps can test
+// `contains()` cheaply regardless of how the previous superstep wrote it.
+//
+// BfsStatus composes an ActiveSet as its frontier and forwards its legacy
+// frontier API to it, so the PR-4 kernels are unchanged clients.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/bitmap.hpp"
+
+namespace sembfs {
+class ThreadPool;
+}  // namespace sembfs
+
+namespace sembfs::engine {
+
+/// Which structure currently holds the active set (see file comment).
+enum class ActiveSetRep {
+  Queue,   ///< vertex vector + membership bitmap
+  Bitmap,  ///< membership bitmap only; queue materialized on demand
+};
+
+class ActiveSet {
+ public:
+  explicit ActiveSet(Vertex vertex_count);
+
+  [[nodiscard]] Vertex vertex_count() const noexcept { return n_; }
+
+  /// Empties the set (current and next) and restores the Queue rep. Worker
+  /// next bitmaps are re-zeroed defensively (a run abandoned mid-superstep
+  /// can leave bits set).
+  void clear();
+  /// clear() + activate exactly `v`.
+  void seed(Vertex v);
+  /// clear() + activate every vertex in [0, vertex_count()) — the common
+  /// seeding of fixpoint programs (label propagation starts everywhere).
+  /// The set comes up in Queue rep with a sorted queue.
+  void seed_all();
+
+  [[nodiscard]] ActiveSetRep rep() const noexcept { return rep_; }
+  /// Membership test against the CURRENT set; valid in both reps.
+  [[nodiscard]] bool contains(Vertex v) const noexcept {
+    return bits_.test(static_cast<std::size_t>(v));
+  }
+  /// The active vertex queue. Only valid in Queue rep — call
+  /// ensure_queue() first after a bitmap-producing superstep.
+  [[nodiscard]] const std::vector<Vertex>& queue() const noexcept {
+    SEMBFS_ASSERT(rep_ == ActiveSetRep::Queue);
+    return queue_;
+  }
+  /// Membership bitmap of the current set. Valid in BOTH reps.
+  [[nodiscard]] const Bitmap& bitmap() const noexcept { return bits_; }
+  [[nodiscard]] std::int64_t size() const noexcept {
+    return rep_ == ActiveSetRep::Queue
+               ? static_cast<std::int64_t>(queue_.size())
+               : count_;
+  }
+
+  /// Materializes the queue from the bitmap (no-op in Queue rep). The
+  /// queue comes out sorted by vertex id. Returns true iff a conversion
+  /// actually happened.
+  bool ensure_queue(ThreadPool& pool);
+  /// Serial variant for pool-free callers (tests, small graphs).
+  bool ensure_queue();
+
+  /// Replaces the pending next set (driver-side, serial).
+  void set_next(std::vector<Vertex> next) {
+    next_ = std::move(next);
+    pending_ = ActiveSetRep::Queue;
+  }
+  [[nodiscard]] std::vector<Vertex>& next() noexcept { return next_; }
+
+  /// Parallel concat of per-worker next buffers: serial prefix-sum of the
+  /// buffer sizes, then the pool scatters each buffer at its offset.
+  void set_next_merged(std::vector<std::vector<Vertex>>& buffers,
+                       ThreadPool& pool);
+
+  /// Declares that this superstep's next set will be produced as
+  /// per-worker bitmaps. Allocates/readies `workers` bitmaps of
+  /// vertex_count() bits; bits are cleared lazily by advance()'s merge, so
+  /// this is O(1) after the first superstep.
+  void begin_bitmap_next(std::size_t workers);
+  /// Worker w's private next bitmap (plain set(), no atomics — single
+  /// writer by construction).
+  [[nodiscard]] Bitmap& worker_next(std::size_t w) noexcept {
+    return worker_next_bits_[w];
+  }
+
+  /// Promotes next -> current. Queue-pending supersteps swap the queue and
+  /// rebuild the membership bitmap; bitmap-pending supersteps OR-merge the
+  /// per-worker bitmaps word-wise (clearing them for reuse) and leave the
+  /// queue unmaterialized. The pool overload parallelizes both paths.
+  void advance();
+  void advance(ThreadPool& pool);
+
+  /// DRAM footprint of the set's structures, in bytes.
+  [[nodiscard]] std::uint64_t byte_size() const noexcept;
+
+ private:
+  void advance_queue_serial();
+  void advance_bitmap_serial();
+
+  Vertex n_ = 0;
+  Bitmap bits_;
+  std::vector<Vertex> queue_;
+  std::vector<Vertex> next_;
+  /// Per-worker next bitmaps (bitmap mode only; empty until the first
+  /// begin_bitmap_next). Invariant: all-zero outside a superstep.
+  std::vector<Bitmap> worker_next_bits_;
+  ActiveSetRep rep_ = ActiveSetRep::Queue;
+  ActiveSetRep pending_ = ActiveSetRep::Queue;
+  /// Set-bit count of bits_ (maintained in Bitmap rep, where the queue's
+  /// size() is unavailable).
+  std::int64_t count_ = 0;
+};
+
+}  // namespace sembfs::engine

@@ -1,0 +1,80 @@
+#include "engine/bfs_program.hpp"
+
+#include <string>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace sembfs::engine {
+
+void BfsProgram::init(EngineContext& ctx) {
+  const Vertex n = ctx.vertex_count();
+  SEMBFS_EXPECTS(root_ >= 0 && root_ < n);
+  if (!status_.has_value() || status_->vertex_count() != n)
+    status_.emplace(n);
+  status_->reset(root_);
+}
+
+StepResult BfsProgram::step(EngineContext& ctx, Direction direction) {
+  const BfsConfig& config = *ctx.config;
+  if (direction == Direction::TopDown) {
+    if (ctx.storage.forward_dram != nullptr) {
+      return top_down_step(*ctx.storage.forward_dram, *status_, ctx.superstep,
+                           *ctx.topology, *ctx.pool, config.batch_size);
+    }
+    if (ctx.storage.forward_tiered != nullptr) {
+      return top_down_step_tiered(*ctx.storage.forward_tiered, *status_,
+                                  ctx.superstep, *ctx.topology, *ctx.pool,
+                                  config.batch_size);
+    }
+    ExternalForwardGraph& external = *ctx.storage.forward_external;
+    // The session already ran prepare_external_storage().
+    return top_down_step_external(external, *status_, ctx.superstep,
+                                  *ctx.topology, *ctx.pool,
+                                  external_step_options(external, config));
+  }
+  if (ctx.storage.backward_dram != nullptr) {
+    return bottom_up_step(*ctx.storage.backward_dram, *status_, ctx.superstep,
+                          *ctx.topology, *ctx.pool, config.bottom_up_chunk,
+                          ctx.pull_output);
+  }
+  return bottom_up_step_hybrid(*ctx.storage.backward_hybrid, *status_,
+                               ctx.superstep, *ctx.topology, *ctx.pool,
+                               config.bottom_up_chunk, ctx.pull_output);
+}
+
+bool BfsProgram::converged(const EngineContext& ctx) const {
+  (void)ctx;
+  return status_.has_value() && status_->frontier_size() == 0;
+}
+
+StepResult BfsProgram::degrade(EngineContext& ctx) {
+  if (ctx.storage.backward_dram == nullptr &&
+      ctx.storage.backward_hybrid == nullptr) {
+    throw NvmIoError(
+        "top-down superstep " + std::to_string(ctx.superstep) +
+        " exceeded its I/O error budget and no backward graph is attached "
+        "for a degraded bottom-up retry");
+  }
+  // Same protocol as BfsSession::degrade_level: the partial top-down
+  // claims are valid, the bottom-up sweep skips them via the visited
+  // bitmap, and the redo stays on Queue output so its next list can be
+  // merged with the partial top-down list saved here.
+  std::vector<Vertex> partial = std::move(status_->next());
+  status_->set_next({});
+  StepResult redo;
+  if (ctx.storage.backward_dram != nullptr) {
+    redo = bottom_up_step(*ctx.storage.backward_dram, *status_, ctx.superstep,
+                          *ctx.topology, *ctx.pool,
+                          ctx.config->bottom_up_chunk);
+  } else {
+    redo = bottom_up_step_hybrid(*ctx.storage.backward_hybrid, *status_,
+                                 ctx.superstep, *ctx.topology, *ctx.pool,
+                                 ctx.config->bottom_up_chunk);
+  }
+  std::vector<Vertex>& next = status_->next();
+  next.insert(next.end(), partial.begin(), partial.end());
+  return redo;
+}
+
+}  // namespace sembfs::engine

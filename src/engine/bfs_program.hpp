@@ -1,0 +1,52 @@
+// BFS re-expressed as a vertex program.
+//
+// The program delegates every superstep to the PR-4 kernels
+// (top_down_step / top_down_step_tiered / top_down_step_external,
+// bottom_up_step / bottom_up_step_hybrid) over a regular BfsStatus, so an
+// engine-driven BFS is reference-exact against BfsSession by construction
+// — same claims, same frontier representation, same degrade path. What
+// moves into the engine is the loop around the kernels (ProgramSession).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bfs/bfs_status.hpp"
+#include "engine/vertex_program.hpp"
+
+namespace sembfs::engine {
+
+class BfsProgram final : public VertexProgram {
+ public:
+  explicit BfsProgram(Vertex root) : root_(root) {}
+
+  [[nodiscard]] const char* name() const noexcept override { return "bfs"; }
+  /// "bfs" on purpose: the engine then emits the exact bfs.* counter names
+  /// the obs CI job asserts, whichever driver ran the search.
+  [[nodiscard]] const char* metric_prefix() const noexcept override {
+    return "bfs";
+  }
+  [[nodiscard]] Vertex root() const noexcept override { return root_; }
+
+  void init(EngineContext& ctx) override;
+  [[nodiscard]] ActiveSet* active_set() noexcept override {
+    return &status_->active_set();
+  }
+  StepResult step(EngineContext& ctx, Direction direction) override;
+  [[nodiscard]] bool converged(const EngineContext& ctx) const override;
+  [[nodiscard]] bool supports_degrade() const noexcept override {
+    return true;
+  }
+  StepResult degrade(EngineContext& ctx) override;
+
+  /// The traversal state (valid after the session constructor ran init()).
+  [[nodiscard]] const BfsStatus& status() const noexcept { return *status_; }
+  [[nodiscard]] BfsStatus& status() noexcept { return *status_; }
+
+ private:
+  Vertex root_;
+  std::optional<BfsStatus> status_;
+};
+
+}  // namespace sembfs::engine

@@ -1,0 +1,73 @@
+// Triangle counting as a vertex program.
+//
+// Node-iterator counting over sorted post-relabel adjacency: for every
+// ordered pair u < v with {u,v} an edge, the count of common neighbors
+// w > v is added, so each triangle u < v < w is counted exactly once.
+// Adjacencies are gathered as the union of the forward partitions (the
+// partitions are destination-filtered, so the union is the full list),
+// sorted and dedup'd in-program — self-loops and duplicate edges cannot
+// produce phantom triangles.
+//
+// The program is push-only and has no frontier: a cursor sweeps the
+// vertex range in fixed slices, one slice per superstep, so the serving
+// engine can interleave a long count with BFS traffic at superstep
+// granularity. On semi-external storage a failed adjacency fetch is
+// healed by re-reading the vertex from the DRAM backward graph (exact
+// under fault injection); only a vertex with no intact source at all
+// counts as an I/O failure, which then fails the run — a partial triangle
+// count is not a usable result, and there is no cheaper way to redo it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/vertex_program.hpp"
+
+namespace sembfs::engine {
+
+struct TriangleOptions {
+  /// Vertices processed per superstep (the serve-interleaving grain).
+  std::int64_t vertices_per_step = 4096;
+};
+
+class TriangleProgram final : public VertexProgram {
+ public:
+  explicit TriangleProgram(TriangleOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "triangles";
+  }
+  [[nodiscard]] const char* metric_prefix() const noexcept override {
+    return "engine.tc";
+  }
+
+  void init(EngineContext& ctx) override;
+  [[nodiscard]] ActiveSet* active_set() noexcept override { return nullptr; }
+  [[nodiscard]] bool supports_pull() const noexcept override { return false; }
+  [[nodiscard]] Direction choose_direction(
+      const PolicyInput& in, const SwitchPolicy& policy) override {
+    (void)in;
+    (void)policy;
+    return Direction::TopDown;
+  }
+  StepResult step(EngineContext& ctx, Direction direction) override;
+  [[nodiscard]] bool converged(const EngineContext& ctx) const override;
+
+  /// Total triangles counted so far (final once converged).
+  [[nodiscard]] std::int64_t triangles() const noexcept { return triangles_; }
+  /// Vertices processed so far.
+  [[nodiscard]] std::int64_t cursor() const noexcept { return cursor_; }
+  [[nodiscard]] const TriangleOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  TriangleOptions options_;
+  std::int64_t cursor_ = 0;
+  std::int64_t triangles_ = 0;
+  Vertex n_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace sembfs::engine

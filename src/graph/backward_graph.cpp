@@ -33,6 +33,16 @@ BackwardGraph BackwardGraph::build_stream(Vertex vertex_count,
   return bg;
 }
 
+BackwardGraph BackwardGraph::wrap_whole(Csr csr) {
+  const Vertex n = csr.global_vertex_count();
+  SEMBFS_EXPECTS(csr.source_range() == (VertexRange{0, n}) &&
+                 csr.destination_range() == (VertexRange{0, n}));
+  BackwardGraph bg;
+  bg.vertex_partition_ = VertexPartition{n, 1};
+  bg.partitions_.push_back(std::move(csr));
+  return bg;
+}
+
 std::int64_t BackwardGraph::entry_count() const noexcept {
   std::int64_t total = 0;
   for (const auto& p : partitions_) total += p.entry_count();

@@ -29,6 +29,11 @@ class BackwardGraph {
                                     const CsrBuildOptions& options,
                                     ThreadPool& pool);
 
+  /// Wraps an already-built whole-graph CSR (sources = destinations = all
+  /// vertices) as a single-partition backward graph (see
+  /// ForwardGraph::wrap_whole).
+  static BackwardGraph wrap_whole(Csr csr);
+
   [[nodiscard]] std::size_t node_count() const noexcept {
     return partitions_.size();
   }

@@ -33,6 +33,16 @@ ForwardGraph ForwardGraph::build_stream(Vertex vertex_count,
   return fg;
 }
 
+ForwardGraph ForwardGraph::wrap_whole(Csr csr) {
+  const Vertex n = csr.global_vertex_count();
+  SEMBFS_EXPECTS(csr.source_range() == (VertexRange{0, n}) &&
+                 csr.destination_range() == (VertexRange{0, n}));
+  ForwardGraph fg;
+  fg.vertex_partition_ = VertexPartition{n, 1};
+  fg.partitions_.push_back(std::move(csr));
+  return fg;
+}
+
 std::int64_t ForwardGraph::entry_count() const noexcept {
   std::int64_t total = 0;
   for (const auto& p : partitions_) total += p.entry_count();

@@ -32,6 +32,12 @@ class ForwardGraph {
                                    const CsrBuildOptions& options,
                                    ThreadPool& pool);
 
+  /// Wraps an already-built whole-graph CSR (sources = destinations = all
+  /// vertices) as a single-partition forward graph — the degenerate
+  /// one-node topology the analytics helpers run the vertex-program
+  /// engine under.
+  static ForwardGraph wrap_whole(Csr csr);
+
   [[nodiscard]] std::size_t node_count() const noexcept {
     return partitions_.size();
   }

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "bfs/session.hpp"
+#include "engine/components_program.hpp"
+#include "engine/program_session.hpp"
 #include "nvm/fault_plan.hpp"
 #include "serve/batch_planner.hpp"
 #include "util/contracts.hpp"
@@ -33,6 +35,17 @@ QueryState state_for(StopReason reason) noexcept {
 }
 
 }  // namespace
+
+/// One in-flight analytics query: its vertex program (which owns the
+/// per-vertex state — labels, ranks, cursor) plus the engine session
+/// driving it one superstep per tick (dispatcher-local).
+struct QueryEngine::ActiveAnalytics {
+  QueryRef query;
+  std::unique_ptr<engine::VertexProgram> program;
+  std::unique_ptr<engine::ProgramSession> session;
+  Clock::time_point started{};
+  double queue_wait_ms = 0.0;
+};
 
 /// One in-flight single-query session (dispatcher-local).
 struct QueryEngine::ActiveSession {
@@ -80,6 +93,7 @@ QueryEngine::QueryEngine(GraphStorage storage, const NumaTopology& topology,
   obs_session_queries_ = &reg.counter("serve.session_queries");
   obs_batched_queries_ = &reg.counter("serve.batched_queries");
   obs_batches_ = &reg.counter("serve.batches");
+  obs_analytics_queries_ = &reg.counter("serve.analytics_queries");
   obs_queue_depth_ = &reg.gauge("serve.queue_depth");
   obs_in_flight_ = &reg.gauge("serve.in_flight");
   obs_queue_wait_us_ = &reg.histogram("serve.queue_wait_us");
@@ -103,6 +117,41 @@ QueryRef QueryEngine::submit(Vertex root, QueryOptions options) {
     if (obs::enabled()) obs_rejected_->add(1);
     QueryResult result;
     result.root = root;
+    result.state = QueryState::Rejected;
+    result.error = stop_ ? "engine is shut down" : "admission queue full";
+    query->finalize(std::move(result));
+    return query;
+  }
+
+  const double deadline = options.deadline_ms > 0.0
+                              ? options.deadline_ms
+                              : config_.default_deadline_ms;
+  if (deadline > 0.0) query->token_.set_deadline_after_ms(deadline);
+  queue_.push_back(query);
+  ++in_flight_;
+  if (obs::enabled()) {
+    obs_queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
+    obs_in_flight_->set(static_cast<std::int64_t>(in_flight_));
+  }
+  work_cv_.notify_one();
+  return query;
+}
+
+QueryRef QueryEngine::submit_analytics(QueryKind kind, QueryOptions options) {
+  SEMBFS_EXPECTS(kind != QueryKind::Bfs);
+  options.kind = kind;
+  options.batchable = false;  // analytics never ride the MS-BFS kernel
+  const std::lock_guard<std::mutex> lock{mutex_};
+  auto query = std::make_shared<Query>(next_id_++, kNoVertex, options);
+  query->submitted_at_ = Clock::now();
+  ++stats_.submitted;
+  if (obs::enabled()) obs_submitted_->add(1);
+
+  if (stop_ || queue_.size() >= config_.queue_capacity) {
+    ++stats_.rejected;
+    if (obs::enabled()) obs_rejected_->add(1);
+    QueryResult result;
+    result.kind = kind;
     result.state = QueryState::Rejected;
     result.error = stop_ ? "engine is shut down" : "admission queue full";
     query->finalize(std::move(result));
@@ -223,11 +272,129 @@ void QueryEngine::cull_queued(std::vector<QueryRef>& queued) {
     }
     QueryResult result;
     result.root = query->root();
+    result.kind = query->options().kind;
     result.state = state_for(stop);
     result.queue_wait_ms = ms_since(query->submitted_at_);
     finalize_query(query, std::move(result));
   }
   queued.resize(kept);
+}
+
+void QueryEngine::admit_analytics(std::vector<QueryRef>& queued,
+                                  std::vector<ActiveAnalytics>& analytics) {
+  while (!queued.empty() && analytics.size() < config_.analytics_slots) {
+    QueryRef query = std::move(queued.front());
+    queued.erase(queued.begin());
+
+    ActiveAnalytics active;
+    active.query = std::move(query);
+    active.started = Clock::now();
+    active.queue_wait_ms = ms_since(active.query->submitted_at_);
+    switch (active.query->options().kind) {
+      case QueryKind::Components:
+        active.program = std::make_unique<engine::ComponentsProgram>();
+        break;
+      case QueryKind::PageRank:
+        active.program =
+            std::make_unique<engine::PageRankProgram>(config_.pagerank);
+        break;
+      case QueryKind::Triangles:
+        active.program =
+            std::make_unique<engine::TriangleProgram>(config_.triangles);
+        break;
+      case QueryKind::Bfs:
+        SEMBFS_ASSERT(false && "Bfs query routed to the analytics path");
+        break;
+    }
+    BfsConfig bfs = config_.bfs;
+    bfs.cancel = &active.query->token_;
+    active.session = std::make_unique<engine::ProgramSession>(
+        *active.program, storage_, topology_, pool_, bfs);
+    active.query->mark_running();
+    analytics.push_back(std::move(active));
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      ++stats_.analytics_queries;
+    }
+    if (obs::enabled()) obs_analytics_queries_->add(1);
+  }
+}
+
+void QueryEngine::step_analytics(std::vector<ActiveAnalytics>& analytics) {
+  for (std::size_t i = 0; i < analytics.size();) {
+    ActiveAnalytics& active = analytics[i];
+    bool more = false;
+    bool io_failed = false;
+    std::string error;
+    try {
+      more = active.session->step();
+    } catch (const NvmIoError& e) {
+      // Same per-query containment as BFS sessions: an analytics query
+      // whose program cannot degrade past its I/O budget fails alone.
+      io_failed = true;
+      error = e.what();
+    }
+    const std::int32_t executed = active.session->supersteps_executed();
+    const std::int32_t max_levels = active.query->options().max_levels;
+    const bool hit_cap = !io_failed && more && max_levels > 0 &&
+                         executed >= max_levels;
+    if (!io_failed && more && !hit_cap) {
+      ++i;  // next superstep on a later tick
+      continue;
+    }
+
+    const QueryKind kind = active.query->options().kind;
+    QueryResult result;
+    result.kind = kind;
+    result.queue_wait_ms = active.queue_wait_ms;
+    result.exec_ms = ms_since(active.started);
+    result.supersteps = executed;
+    if (io_failed) {
+      result.state = QueryState::Failed;
+      result.error = std::move(error);
+      result.io_failures = 1;
+    } else {
+      result.state =
+          hit_cap ? QueryState::Done : state_for(active.session->stop_reason());
+      result.io_failures = active.session->io_failures();
+      result.degraded_levels = active.session->degraded_supersteps();
+      result.degraded = result.degraded_levels > 0;
+      switch (kind) {
+        case QueryKind::Components: {
+          auto& program =
+              static_cast<engine::ComponentsProgram&>(*active.program);
+          result.labels = program.labels();
+          // Labels are component-minimum vertex ids, so distinct label
+          // values can be counted with one flag pass.
+          std::vector<bool> seen(result.labels.size(), false);
+          for (const Vertex l : result.labels) {
+            const auto idx = static_cast<std::size_t>(l);
+            if (!seen[idx]) {
+              seen[idx] = true;
+              ++result.component_count;
+            }
+          }
+          break;
+        }
+        case QueryKind::PageRank: {
+          auto& program =
+              static_cast<engine::PageRankProgram&>(*active.program);
+          result.ranks = program.ranks();
+          break;
+        }
+        case QueryKind::Triangles: {
+          auto& program =
+              static_cast<engine::TriangleProgram&>(*active.program);
+          result.triangles = program.triangles();
+          break;
+        }
+        case QueryKind::Bfs:
+          break;
+      }
+    }
+    finalize_query(active.query, std::move(result));
+    analytics.erase(analytics.begin() + static_cast<std::ptrdiff_t>(i));
+  }
 }
 
 void QueryEngine::admit_sessions(std::vector<QueryRef>& queued,
@@ -412,36 +579,48 @@ bool QueryEngine::tick_batch(ActiveBatch& active) {
 void QueryEngine::dispatcher_loop() {
   std::vector<QueryRef> batchable;
   std::vector<QueryRef> unbatchable;
+  std::vector<QueryRef> analytics_queued;
   std::vector<ActiveSession> sessions;
+  std::vector<ActiveAnalytics> analytics;
   std::unique_ptr<ActiveBatch> batch;
 
   for (;;) {
     {
       std::unique_lock<std::mutex> lock{mutex_};
       const bool idle = sessions.empty() && batch == nullptr &&
-                        batchable.empty() && unbatchable.empty();
+                        analytics.empty() && batchable.empty() &&
+                        unbatchable.empty() && analytics_queued.empty();
       if (idle)
         work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-      for (QueryRef& query : queue_)
-        (query->options().batchable ? batchable : unbatchable)
-            .push_back(std::move(query));
+      for (QueryRef& query : queue_) {
+        if (query->options().kind != QueryKind::Bfs)
+          analytics_queued.push_back(std::move(query));
+        else
+          (query->options().batchable ? batchable : unbatchable)
+              .push_back(std::move(query));
+      }
       queue_.clear();
       if (obs::enabled()) obs_queue_depth_->set(0);
       if (stop_ && queue_.empty() && sessions.empty() && batch == nullptr &&
-          batchable.empty() && unbatchable.empty())
+          analytics.empty() && batchable.empty() && unbatchable.empty() &&
+          analytics_queued.empty())
         return;  // drained shutdown
     }
 
     // Deadlines are end-to-end: a query can expire before it ever runs.
     cull_queued(batchable);
     cull_queued(unbatchable);
+    cull_queued(analytics_queued);
 
     admit_sessions(unbatchable, sessions);
+    admit_analytics(analytics_queued, analytics);
     if (batch == nullptr && !batchable.empty()) batch = make_batch(batchable);
 
     // One level of everything per tick — the interleaving that makes the
-    // engine concurrent while the pool stays single-tenant.
+    // engine concurrent while the pool stays single-tenant. Analytics
+    // supersteps interleave with BFS levels the same way.
     step_sessions(sessions);
+    step_analytics(analytics);
     if (batch != nullptr && tick_batch(*batch)) batch.reset();
   }
 }

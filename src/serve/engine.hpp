@@ -46,6 +46,8 @@
 #include <vector>
 
 #include "bfs/hybrid_bfs.hpp"
+#include "engine/pagerank_program.hpp"
+#include "engine/triangle_program.hpp"
 #include "numa/topology.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
@@ -60,6 +62,9 @@ struct EngineConfig {
   std::size_t queue_capacity = 256;
   /// BfsStatus slots = concurrent single-query sessions.
   std::size_t session_slots = 4;
+  /// Concurrent analytics queries (each owns its program state — DRAM for
+  /// labels/ranks — so the cap bounds memory, not status slots).
+  std::size_t analytics_slots = 2;
   /// Lanes per MS-BFS batch (1..MsBfsBatch::kMaxBatch).
   std::size_t max_batch = MsBfsBatch::kMaxBatch;
   /// Deadline applied when QueryOptions::deadline_ms <= 0; 0 = none.
@@ -71,6 +76,10 @@ struct EngineConfig {
   BfsConfig bfs;
   /// MS-BFS kernel knobs shared by every batch.
   MsBfsConfig msbfs;
+  /// Engine-wide analytics knobs (per-query overrides are not exposed —
+  /// mixed traffic shares one tuning, like `bfs` above).
+  engine::PageRankOptions pagerank;
+  engine::TriangleOptions triangles;
 };
 
 /// Engine-lifetime totals, independent of the obs registry (always on,
@@ -85,6 +94,7 @@ struct EngineStats {
   std::uint64_t session_queries = 0;  ///< served by a BfsSession
   std::uint64_t batched_queries = 0;  ///< served by an MS-BFS lane
   std::uint64_t batches = 0;
+  std::uint64_t analytics_queries = 0;  ///< served by a ProgramSession
 };
 
 class QueryEngine {
@@ -101,6 +111,12 @@ class QueryEngine {
   /// Thread-safe. Returns the query handle in every case — a rejected
   /// query comes back already finalized with QueryState::Rejected.
   QueryRef submit(Vertex root, QueryOptions options = {});
+
+  /// Submits a whole-graph analytics query (kind != Bfs); the root concept
+  /// does not apply. Analytics queries are never batched — each runs its
+  /// own engine::ProgramSession, one superstep per dispatcher tick, with
+  /// the same per-query fault containment as sessions.
+  QueryRef submit_analytics(QueryKind kind, QueryOptions options = {});
 
   /// Starts the dispatcher (no-op when already started / autostart).
   void start();
@@ -122,12 +138,16 @@ class QueryEngine {
  private:
   struct ActiveSession;
   struct ActiveBatch;
+  struct ActiveAnalytics;
 
   void dispatcher_loop();
   /// Finalizes queued queries whose token fired before execution started.
   void cull_queued(std::vector<QueryRef>& queued);
   void admit_sessions(std::vector<QueryRef>& queued,
                       std::vector<ActiveSession>& sessions);
+  void admit_analytics(std::vector<QueryRef>& queued,
+                       std::vector<ActiveAnalytics>& analytics);
+  void step_analytics(std::vector<ActiveAnalytics>& analytics);
   [[nodiscard]] std::unique_ptr<ActiveBatch> make_batch(
       std::vector<QueryRef>& queued);
   void step_sessions(std::vector<ActiveSession>& sessions);
@@ -165,6 +185,7 @@ class QueryEngine {
   obs::Counter* obs_session_queries_;
   obs::Counter* obs_batched_queries_;
   obs::Counter* obs_batches_;
+  obs::Counter* obs_analytics_queries_;
   obs::Gauge* obs_queue_depth_;
   obs::Gauge* obs_in_flight_;
   obs::Histogram* obs_queue_wait_us_;

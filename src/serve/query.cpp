@@ -22,4 +22,18 @@ const char* to_string(QueryState state) noexcept {
   return "unknown";
 }
 
+const char* to_string(QueryKind kind) noexcept {
+  switch (kind) {
+    case QueryKind::Bfs:
+      return "bfs";
+    case QueryKind::Components:
+      return "components";
+    case QueryKind::PageRank:
+      return "pagerank";
+    case QueryKind::Triangles:
+      return "triangles";
+  }
+  return "unknown";
+}
+
 }  // namespace sembfs::serve

@@ -51,7 +51,21 @@ enum class QueryState {
   return state != QueryState::Queued && state != QueryState::Running;
 }
 
+/// What the query computes. Bfs is the original root-driven traversal;
+/// the rest are whole-graph analytics served by the vertex-program engine
+/// (engine/program_session.hpp), one superstep per dispatcher tick.
+enum class QueryKind {
+  Bfs,
+  Components,
+  PageRank,
+  Triangles,
+};
+
+[[nodiscard]] const char* to_string(QueryKind kind) noexcept;
+
 struct QueryOptions {
+  /// Set via QueryEngine::submit_analytics(); plain submit() serves Bfs.
+  QueryKind kind = QueryKind::Bfs;
   /// End-to-end deadline in milliseconds, measured from submit() — queue
   /// wait counts against it. <= 0 means the engine's default; a default of
   /// 0 means no deadline.
@@ -69,6 +83,7 @@ struct QueryOptions {
 /// is already recycled by the time the client reads this.
 struct QueryResult {
   Vertex root = kNoVertex;
+  QueryKind kind = QueryKind::Bfs;
   QueryState state = QueryState::Queued;
   std::string error;                ///< human-readable, Failed only
   std::int32_t depth = 0;           ///< levels executed
@@ -85,6 +100,13 @@ struct QueryResult {
   /// BFS tree (-1 = unreached). Populated when the execution path records
   /// parents (sessions always do; batches per EngineConfig).
   std::vector<Vertex> parent;
+
+  // --- analytics payload (populated per kind, empty/0 otherwise) ---
+  std::int32_t supersteps = 0;        ///< engine supersteps executed
+  std::vector<Vertex> labels;         ///< Components: per-vertex label
+  std::int64_t component_count = 0;   ///< Components
+  std::vector<double> ranks;          ///< PageRank: per-vertex rank
+  std::int64_t triangles = 0;         ///< Triangles: global count
 };
 
 /// Shared client/engine query object. Clients hold it as a QueryRef.

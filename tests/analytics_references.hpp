@@ -1,0 +1,113 @@
+// Simple single-threaded in-memory references for the analytics programs.
+//
+// Deliberately naive — a BFS flood fill, a textbook synchronous PageRank,
+// a sorted-adjacency triangle intersect — so a bug in the engine's
+// frontier/scatter machinery cannot hide in a shared implementation.
+// Components and triangle counts are exact; PageRank is compared
+// epsilon-bounded by running the reference for the same number of
+// synchronous iterations the engine executed.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace sembfs::testref {
+
+/// Per-vertex component label = smallest vertex id in the component
+/// (BFS flood fill, the same fixpoint label propagation converges to).
+inline std::vector<Vertex> reference_components(const Csr& csr) {
+  const Vertex n = csr.global_vertex_count();
+  std::vector<Vertex> label(static_cast<std::size_t>(n), kNoVertex);
+  std::vector<Vertex> queue;
+  for (Vertex root = 0; root < n; ++root) {
+    if (label[static_cast<std::size_t>(root)] != kNoVertex) continue;
+    label[static_cast<std::size_t>(root)] = root;
+    queue.clear();
+    queue.push_back(root);
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const Vertex v = queue[head++];
+      for (const Vertex w : csr.neighbors(v)) {
+        if (label[static_cast<std::size_t>(w)] == kNoVertex) {
+          label[static_cast<std::size_t>(w)] = root;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+/// `iterations` synchronous PageRank steps with dangling-mass
+/// redistribution: rank' = (1-d)/n + d*(sum_in + dangling/n). Matches the
+/// engine's update rule exactly; only the float summation order differs.
+inline std::vector<double> reference_pagerank(const Csr& csr, double damping,
+                                              std::int32_t iterations) {
+  const auto n = static_cast<std::size_t>(csr.global_vertex_count());
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (std::int32_t iter = 0; iter < iterations; ++iter) {
+    double dangling = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto adj = csr.neighbors(static_cast<Vertex>(v));
+      if (adj.empty()) {
+        dangling += rank[v];
+        continue;
+      }
+      const double share = rank[v] / static_cast<double>(adj.size());
+      for (const Vertex w : adj) next[static_cast<std::size_t>(w)] += share;
+    }
+    const double base = (1.0 - damping) / static_cast<double>(n) +
+                        damping * dangling / static_cast<double>(n);
+    for (std::size_t v = 0; v < n; ++v)
+      next[v] = base + damping * next[v];
+    rank.swap(next);
+  }
+  return rank;
+}
+
+/// Exact global triangle count over the undirected graph: each triangle
+/// {u < v < w} counted once via sorted-adjacency intersection. Duplicate
+/// edges and self-loops are dropped the same way the engine's
+/// sort+unique adjacency gathering drops them.
+inline std::int64_t reference_triangles(const Csr& csr) {
+  const Vertex n = csr.global_vertex_count();
+  std::vector<std::vector<Vertex>> adj(static_cast<std::size_t>(n));
+  for (Vertex v = 0; v < n; ++v) {
+    const auto span = csr.neighbors(v);
+    auto& a = adj[static_cast<std::size_t>(v)];
+    a.assign(span.begin(), span.end());
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+  std::int64_t triangles = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    const auto& av = adj[static_cast<std::size_t>(v)];
+    for (const Vertex w : av) {
+      if (w <= v) continue;
+      const auto& aw = adj[static_cast<std::size_t>(w)];
+      // Intersect the tails > w of adj(v) and adj(w).
+      auto iv = std::upper_bound(av.begin(), av.end(), w);
+      auto iw = std::upper_bound(aw.begin(), aw.end(), w);
+      while (iv != av.end() && iw != aw.end()) {
+        if (*iv < *iw)
+          ++iv;
+        else if (*iw < *iv)
+          ++iw;
+        else {
+          ++triangles;
+          ++iv;
+          ++iw;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+}  // namespace sembfs::testref

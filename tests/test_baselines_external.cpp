@@ -6,6 +6,7 @@
 
 #include "bfs/reference_bfs.hpp"
 #include "graph_fixtures.hpp"
+#include "test_util.hpp"
 
 namespace sembfs {
 namespace {
@@ -13,27 +14,19 @@ namespace {
 class BaselinesTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    // Unique per test: ctest runs every case as its own process, and a
-    // shared directory lets one process truncate files another is reading.
-    dir_ = ::testing::TempDir() + "/sembfs_baselines_" +
-           ::testing::UnitTest::GetInstance()->current_test_info()->name();
-    std::filesystem::remove_all(dir_);
-    std::filesystem::create_directories(dir_);
     edges_ = generate_kronecker(fixtures::small_kronecker(10, 8, 41), pool_);
     full_ = build_csr(edges_, CsrBuildOptions{}, pool_);
     device_ = std::make_shared<NvmDevice>(DeviceProfile::dram());
     external_csr_ = std::make_unique<ExternalCsrPartition>(
-        full_, device_, dir_, /*node_id=*/0);
+        full_, device_, dir_.path(), /*node_id=*/0);
     external_edges_ = std::make_unique<ExternalEdgeList>(
-        device_, dir_ + "/edges.bin", edges_.vertex_count());
+        device_, dir_.path() + "/edges.bin", edges_.vertex_count());
     external_edges_->append_all(edges_);
     root_ = 0;
     while (full_.degree(root_) == 0) ++root_;
   }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
-
   ThreadPool pool_{4};
-  std::string dir_;
+  testutil::ScopedTestDir dir_{"baselines"};
   EdgeList edges_;
   Csr full_;
   std::shared_ptr<NvmDevice> device_;
@@ -118,7 +111,7 @@ TEST_F(BaselinesTest, SmallGraphsByHand) {
   // Path graph: deep BFS stresses the label-correcting requeues.
   const EdgeList path = fixtures::path_graph(16);
   const Csr csr = build_csr(path, CsrBuildOptions{}, pool_);
-  ExternalCsrPartition ext{csr, device_, dir_ + "/path", 0};
+  ExternalCsrPartition ext{csr, device_, dir_.path() + "/path", 0};
   const ExternalBfsResult result =
       pearce_async_bfs(ext, path.vertex_count(), 0, pool_);
   for (Vertex v = 0; v < 16; ++v) EXPECT_EQ(result.level[v], v);
@@ -127,7 +120,7 @@ TEST_F(BaselinesTest, SmallGraphsByHand) {
 TEST_F(BaselinesTest, IsolatedRootTerminatesImmediately) {
   const EdgeList graph = fixtures::small_graph();
   const Csr csr = build_csr(graph, CsrBuildOptions{}, pool_);
-  ExternalCsrPartition ext{csr, device_, dir_ + "/iso", 0};
+  ExternalCsrPartition ext{csr, device_, dir_.path() + "/iso", 0};
   const ExternalBfsResult result =
       pearce_async_bfs(ext, graph.vertex_count(), 7, pool_);
   EXPECT_EQ(result.visited, 1);

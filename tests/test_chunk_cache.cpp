@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "nvm/storage_file.hpp"
+#include "test_util.hpp"
 
 namespace sembfs {
 namespace {
@@ -21,14 +22,7 @@ class ChunkCacheTest : public ::testing::Test {
     file_->write(0, std::as_bytes(std::span<const char>{payload_}));
     device_->stats().reset();
   }
-  void TearDown() override { remove_file_if_exists(path()); }
-  std::string path() const {
-    // Unique per test: ctest runs every case as its own process, and a
-    // shared path lets one process truncate a file another is reading.
-    return testing::TempDir() + "/sembfs_chunk_cache_" +
-           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
-           ".bin";
-  }
+  std::string path() const { return dir_.path() + "/cache.bin"; }
 
   void expect_bytes(std::span<const std::byte> got, std::uint64_t offset) {
     for (std::size_t i = 0; i < got.size(); ++i)
@@ -36,6 +30,7 @@ class ChunkCacheTest : public ::testing::Test {
           << "offset=" << offset << " i=" << i;
   }
 
+  testutil::ScopedTestDir dir_{"chunk_cache"};
   std::shared_ptr<NvmDevice> device_;
   std::unique_ptr<NvmFile> file_;
   std::vector<char> payload_;

@@ -15,6 +15,7 @@
 #include "graph_fixtures.hpp"
 #include "nvm/varint.hpp"
 #include "obs/metrics.hpp"
+#include "test_util.hpp"
 
 namespace sembfs {
 namespace {
@@ -98,10 +99,6 @@ class CompressedBlockFileTest : public ::testing::Test {
   static constexpr std::uint32_t kChunk = 512;  // 64 values per chunk
 
   void SetUp() override {
-    dir_ = testing::TempDir() + "/sembfs_cbf_" +
-           ::testing::UnitTest::GetInstance()->current_test_info()->name();
-    std::filesystem::remove_all(dir_);
-    std::filesystem::create_directories(dir_);
     // Sorted-run-like payload with a non-chunk-multiple tail so the last
     // blob decodes fewer values than the others.
     std::mt19937_64 rng{3};
@@ -110,10 +107,9 @@ class CompressedBlockFileTest : public ::testing::Test {
       values_.push_back(v += static_cast<std::int64_t>(rng() % 64));
     device_ = std::make_shared<NvmDevice>(DeviceProfile::dram());
     file_ = std::make_unique<CompressedBlockFile>(
-        std::make_unique<NvmFile>(device_, dir_ + "/values"), values_,
+        std::make_unique<NvmFile>(device_, dir_.path() + "/values"), values_,
         kChunk);
   }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
 
   [[nodiscard]] std::span<const std::byte> raw_bytes() const noexcept {
     return std::as_bytes(std::span{values_});
@@ -123,7 +119,7 @@ class CompressedBlockFileTest : public ::testing::Test {
     return CompressedBlockFile::kHeaderBytes + file_->blob_count() * 8;
   }
 
-  std::string dir_;
+  testutil::ScopedTestDir dir_{"cbf"};
   std::vector<std::int64_t> values_;
   std::shared_ptr<NvmDevice> device_;
   std::unique_ptr<CompressedBlockFile> file_;
@@ -235,21 +231,17 @@ TEST_F(CompressedBlockFileDeathTest, WriteViolatesSealedContract) {
 class CompressedExternalCsrTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = testing::TempDir() + "/sembfs_cext_" +
-           ::testing::UnitTest::GetInstance()->current_test_info()->name();
-    std::filesystem::remove_all(dir_);
     edges_ = generate_kronecker(fixtures::small_kronecker(9, 8, 5), pool_);
     partition_ = VertexPartition{edges_.vertex_count(), 2};
     forward_ = ForwardGraph::build(edges_, partition_, CsrBuildOptions{},
                                    pool_);
     device_ = std::make_shared<NvmDevice>(DeviceProfile::dram());
     external_ = std::make_unique<ExternalForwardGraph>(
-        forward_, device_, dir_, /*chunk_bytes=*/4096u, ChunkFormat::kVarint);
+        forward_, device_, dir_.path(), /*chunk_bytes=*/4096u, ChunkFormat::kVarint);
   }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
 
   ThreadPool pool_{4};
-  std::string dir_;
+  testutil::ScopedTestDir dir_{"cext"};
   EdgeList edges_;
   VertexPartition partition_;
   ForwardGraph forward_;
@@ -275,7 +267,7 @@ TEST_F(CompressedExternalCsrTest, NeighborsMatchDramCopy) {
 }
 
 TEST_F(CompressedExternalCsrTest, BatchedFetchMatchesRawFormat) {
-  ExternalForwardGraph raw{forward_, device_, dir_ + "_raw"};
+  ExternalForwardGraph raw{forward_, device_, dir_.aux("_raw")};
   std::vector<Vertex> batch;
   for (Vertex v = 0; v < edges_.vertex_count(); v += 3) batch.push_back(v);
   for (std::size_t k = 0; k < external_->node_count(); ++k) {
@@ -284,7 +276,6 @@ TEST_F(CompressedExternalCsrTest, BatchedFetchMatchesRawFormat) {
     raw.partition(k).fetch_neighbors_batch(batch, raw_out);
     EXPECT_EQ(varint_out, raw_out) << "partition " << k;
   }
-  std::filesystem::remove_all(dir_ + "_raw");
 }
 
 TEST_F(CompressedExternalCsrTest, FootprintBeatsRawByTwoX) {

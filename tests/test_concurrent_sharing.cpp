@@ -17,6 +17,7 @@
 #include "serve/engine.hpp"
 #include "serve/load_gen.hpp"
 #include "graph_fixtures.hpp"
+#include "test_util.hpp"
 
 namespace sembfs {
 namespace {
@@ -30,12 +31,7 @@ class ConcurrentSharingTest : public ::testing::Test {
     std::iota(payload_.begin(), payload_.end(), 0);
     file_->write(0, std::as_bytes(std::span<const char>{payload_}));
   }
-  void TearDown() override { remove_file_if_exists(path()); }
-  std::string path() const {
-    return testing::TempDir() + "/sembfs_concurrent_sharing_" +
-           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
-           ".bin";
-  }
+  std::string path() const { return dir_.path() + "/shared.bin"; }
 
   void expect_bytes(std::span<const std::byte> got, std::uint64_t offset) {
     for (std::size_t i = 0; i < got.size(); ++i)
@@ -43,6 +39,7 @@ class ConcurrentSharingTest : public ::testing::Test {
           << "offset=" << offset << " i=" << i;
   }
 
+  testutil::ScopedTestDir dir_{"concurrent_sharing"};
   std::shared_ptr<NvmDevice> device_;
   std::unique_ptr<NvmFile> file_;
   std::vector<char> payload_;

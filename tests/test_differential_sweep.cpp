@@ -2,7 +2,10 @@
 // {generator} x {storage tier} x {switch policy} x {fault rate} must
 // produce the same level assignment as the serial reference BFS and pass
 // Graph500 Step-4 validation — with faults injected, via containment and
-// degraded bottom-up retries rather than by luck.
+// degraded bottom-up retries rather than by luck. The engine-hosted BFS
+// program rides the same matrix, and a second sweep (AnalyticsSweep
+// below) runs the engine's components/PageRank/triangle programs against
+// single-threaded in-memory references over the same storage cells.
 //
 // Everything derives from one fixed seed (kSeed below). FaultPlan
 // decisions are a pure function of (seed, request index), so the set of
@@ -10,15 +13,21 @@
 // any failure the case printer emits the seed to rerun with.
 #include <gtest/gtest.h>
 
-#include <filesystem>
 #include <optional>
 
+#include "analytics_references.hpp"
 #include "bfs/hybrid_bfs.hpp"
 #include "bfs/reference_bfs.hpp"
 #include "bfs/validate.hpp"
+#include "engine/bfs_program.hpp"
+#include "engine/components_program.hpp"
+#include "engine/pagerank_program.hpp"
+#include "engine/program_session.hpp"
+#include "engine/triangle_program.hpp"
 #include "graph/tiered_forward.hpp"
 #include "graph/uniform.hpp"
 #include "graph_fixtures.hpp"
+#include "test_util.hpp"
 
 namespace sembfs {
 namespace {
@@ -83,15 +92,8 @@ TEST_P(DifferentialSweep, LevelsMatchReferenceAndTreeValidates) {
       BackwardGraph::build(edges, partition, CsrBuildOptions{}, pool);
   const Csr full = build_csr(edges, CsrBuildOptions{}, pool);
 
-  // Unique per test: ctest runs every case as its own process, and a
-  // shared directory lets one process truncate files another is reading.
-  std::string name =
-      ::testing::UnitTest::GetInstance()->current_test_info()->name();
-  for (char& ch : name)
-    if (ch == '/') ch = '_';
-  const std::string dir = ::testing::TempDir() + "/sembfs_diff_" + name;
-  std::filesystem::remove_all(dir);
-  std::filesystem::create_directories(dir);
+  testutil::ScopedTestDir scratch{"diff"};
+  const std::string& dir = scratch.path();
 
   auto device = std::make_shared<NvmDevice>(DeviceProfile::dram());
   std::optional<ExternalForwardGraph> external;
@@ -153,9 +155,22 @@ TEST_P(DifferentialSweep, LevelsMatchReferenceAndTreeValidates) {
     ASSERT_EQ(result.degraded, result.degraded_levels > 0);
     if (result.io_failures > 0) ASSERT_TRUE(result.degraded);
     saw_degraded |= result.degraded;
+
+    // The engine-hosted BFS program must be reference-exact through the
+    // exact same storage/config cell as the hand-tuned runner, faults
+    // and all.
+    engine::BfsProgram program{root};
+    engine::ProgramSession session{program, storage, NumaTopology{4, 1},
+                                   pool, config};
+    session.run();
+    const std::vector<std::int32_t>& engine_levels =
+        program.status().levels();
+    for (Vertex w = 0; w < edges.vertex_count(); ++w) {
+      ASSERT_EQ(engine_levels[w], ref.level[w])
+          << "engine root " << root << " v " << w;
+    }
   }
   if (c.expect_degraded) ASSERT_TRUE(saw_degraded);
-  std::filesystem::remove_all(dir);
 }
 
 constexpr double kA = 1e4;  // the paper's default FrontierRatio rule
@@ -278,6 +293,143 @@ INSTANTIATE_TEST_SUITE_P(
         DiffCase{"kron", "external", PolicyKind::FrontierRatio, kA, kB, 3e-2,
                  0, true, BfsMode::TopDownOnly, FrontierMode::Auto,
                  ChunkFormat::kVarint}));
+
+// ---------------------------------------------------------------------------
+// Analytics dimension: the engine's components, PageRank, and triangle
+// programs against naive single-threaded in-memory references, across the
+// same {generator} x {storage tier} x {chunk format} x {fault rate} cells.
+// Components and triangle counts must match exactly — under fault
+// injection too, via pull degradation (components, PageRank) and per-
+// vertex healing from the DRAM backward graph (triangles). PageRank is
+// epsilon-bounded: the reference replays the same number of synchronous
+// iterations serially, so the only daylight is summation order.
+
+struct AnalyticsCase {
+  const char* generator;  // "kron" | "uniform"
+  const char* storage;    // "dram" | "external" | "tiered"
+  ChunkFormat chunk_format = ChunkFormat::kRaw;
+  double read_error_rate = 0.0;  // injected per-read error probability
+
+  friend std::ostream& operator<<(std::ostream& os, const AnalyticsCase& c) {
+    return os << c.generator << "_" << c.storage << "_fmt"
+              << to_string(c.chunk_format) << "_err" << c.read_error_rate
+              << "_seed" << kSeed;
+  }
+};
+
+class AnalyticsSweep : public ::testing::TestWithParam<AnalyticsCase> {};
+
+TEST_P(AnalyticsSweep, EngineMatchesSerialReferences) {
+  const AnalyticsCase c = GetParam();
+  SCOPED_TRACE(::testing::Message()
+               << "repro: case {" << c << "} with kSeed=" << kSeed);
+  ThreadPool pool{4};
+
+  EdgeList edges;
+  if (std::string_view{c.generator} == "kron") {
+    edges = generate_kronecker(fixtures::small_kronecker(10, 8, kSeed), pool);
+  } else {
+    UniformParams params;
+    params.scale = 10;
+    params.edge_factor = 8;
+    params.seed = kSeed;
+    edges = generate_uniform(params, pool);
+  }
+  const VertexPartition partition{edges.vertex_count(), 4};
+  const ForwardGraph forward =
+      ForwardGraph::build(edges, partition, CsrBuildOptions{}, pool);
+  const BackwardGraph backward =
+      BackwardGraph::build(edges, partition, CsrBuildOptions{}, pool);
+  const Csr full = build_csr(edges, CsrBuildOptions{}, pool);
+
+  testutil::ScopedTestDir scratch{"diffan"};
+
+  auto device = std::make_shared<NvmDevice>(DeviceProfile::dram());
+  std::optional<ExternalForwardGraph> external;
+  std::optional<TieredForwardGraph> tiered;
+  GraphStorage storage;
+  storage.backward_dram = &backward;
+  if (std::string_view{c.storage} == "dram") {
+    storage.forward_dram = &forward;
+  } else if (std::string_view{c.storage} == "external") {
+    external.emplace(forward, device, scratch.path() + "/fg",
+                     /*chunk_bytes=*/4096u, c.chunk_format);
+    storage.forward_external = &*external;
+  } else {
+    tiered.emplace(forward, 4, device, scratch.path(), pool,
+                   /*chunk_bytes=*/4096u, c.chunk_format);
+    storage.forward_tiered = &*tiered;
+  }
+
+  const NumaTopology topology{4, 1};
+  BfsConfig config;
+  config.chunk_format = c.chunk_format;
+
+  // Armed after construction so only the program read paths see faults.
+  FaultPlan plan;
+  plan.seed = kSeed;
+  plan.read_error_rate = c.read_error_rate;
+  if (plan.enabled()) device->set_fault_plan(plan);
+
+  {
+    engine::ComponentsProgram program;
+    engine::ProgramSession session{program, storage, topology, pool, config};
+    session.run();
+    const std::vector<Vertex> expected = testref::reference_components(full);
+    ASSERT_EQ(program.labels().size(), expected.size());
+    for (Vertex v = 0; v < edges.vertex_count(); ++v)
+      ASSERT_EQ(program.label(v), expected[v]) << "components v " << v;
+  }
+
+  {
+    engine::PageRankProgram program;
+    engine::ProgramSession session{program, storage, topology, pool, config};
+    session.run();
+    ASSERT_GT(program.iterations(), 0);
+    const std::vector<double> expected = testref::reference_pagerank(
+        full, program.options().damping, program.iterations());
+    const std::vector<double>& ranks = program.ranks();
+    ASSERT_EQ(ranks.size(), expected.size());
+    double sum = 0.0;
+    for (Vertex v = 0; v < edges.vertex_count(); ++v) {
+      ASSERT_NEAR(ranks[v], expected[v], 1e-9) << "pagerank v " << v;
+      sum += ranks[v];
+    }
+    // Rank is conserved: teleport + dangling redistribution keep the
+    // total mass at 1 regardless of direction or degradation.
+    ASSERT_NEAR(sum, 1.0, 1e-6);
+  }
+
+  {
+    engine::TriangleProgram program;
+    engine::ProgramSession session{program, storage, topology, pool, config};
+    session.run();
+    ASSERT_EQ(program.triangles(), testref::reference_triangles(full));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AnalyticsSweep,
+    ::testing::Values(
+        // Fault-free baseline across every generator x storage cell.
+        AnalyticsCase{"kron", "dram"}, AnalyticsCase{"kron", "external"},
+        AnalyticsCase{"kron", "tiered"}, AnalyticsCase{"uniform", "dram"},
+        AnalyticsCase{"uniform", "external"},
+        AnalyticsCase{"uniform", "tiered"},
+        // Varint-compressed adjacency on the NVM-backed tiers.
+        AnalyticsCase{"kron", "external", ChunkFormat::kVarint},
+        AnalyticsCase{"kron", "tiered", ChunkFormat::kVarint},
+        AnalyticsCase{"uniform", "external", ChunkFormat::kVarint},
+        AnalyticsCase{"uniform", "tiered", ChunkFormat::kVarint},
+        // Injected read errors: answers must survive via containment —
+        // pull degradation for components/PageRank, per-vertex healing
+        // for triangles — on both raw and compressed layouts.
+        AnalyticsCase{"kron", "external", ChunkFormat::kRaw, 1e-3},
+        AnalyticsCase{"kron", "tiered", ChunkFormat::kRaw, 1e-3},
+        AnalyticsCase{"uniform", "external", ChunkFormat::kRaw, 1e-3},
+        AnalyticsCase{"uniform", "tiered", ChunkFormat::kRaw, 1e-3},
+        AnalyticsCase{"kron", "external", ChunkFormat::kVarint, 1e-3},
+        AnalyticsCase{"uniform", "tiered", ChunkFormat::kVarint, 1e-3}));
 
 }  // namespace
 }  // namespace sembfs

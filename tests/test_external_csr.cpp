@@ -6,6 +6,7 @@
 #include <set>
 
 #include "graph_fixtures.hpp"
+#include "test_util.hpp"
 
 namespace sembfs {
 namespace {
@@ -13,23 +14,17 @@ namespace {
 class ExternalCsrTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    // Unique per test: ctest runs every case as its own process, and a
-    // shared directory lets one process truncate files another is reading.
-    dir_ = testing::TempDir() + "/sembfs_extcsr_" +
-           ::testing::UnitTest::GetInstance()->current_test_info()->name();
-    std::filesystem::remove_all(dir_);
     edges_ = generate_kronecker(fixtures::small_kronecker(9, 8, 5), pool_);
     partition_ = VertexPartition{edges_.vertex_count(), 4};
     forward_ = ForwardGraph::build(edges_, partition_, CsrBuildOptions{},
                                    pool_);
     device_ = std::make_shared<NvmDevice>(DeviceProfile::dram());
     external_ = std::make_unique<ExternalForwardGraph>(forward_, device_,
-                                                       dir_);
+                                                       dir_.path());
   }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
 
   ThreadPool pool_{4};
-  std::string dir_;
+  testutil::ScopedTestDir dir_{"extcsr"};
   EdgeList edges_;
   VertexPartition partition_;
   ForwardGraph forward_;
@@ -41,7 +36,7 @@ TEST_F(ExternalCsrTest, CreatesTwoFilesPerNode) {
   // The paper: "our approach actually requires twice as many files as the
   // number of NUMA nodes."
   std::size_t files = 0;
-  for (const auto& entry : std::filesystem::directory_iterator(dir_))
+  for (const auto& entry : std::filesystem::directory_iterator(dir_.path()))
     if (entry.is_regular_file()) ++files;
   EXPECT_EQ(files, 2 * partition_.node_count());
 }
@@ -124,7 +119,8 @@ TEST_F(ExternalCsrTest, EmptyAdjacencyNeedsOnlyBoundsRead) {
 }
 
 TEST_F(ExternalCsrTest, CustomChunkSizeChangesRequestCount) {
-  ExternalForwardGraph coarse{forward_, device_, dir_ + "_coarse", 1 << 16};
+  ExternalForwardGraph coarse{forward_, device_, dir_.aux("_coarse"),
+                              1 << 16};
   std::vector<Vertex> scratch;
   // Find the highest-degree vertex in partition 0.
   const Csr& dram = forward_.partition(0);
@@ -138,7 +134,6 @@ TEST_F(ExternalCsrTest, CustomChunkSizeChangesRequestCount) {
         coarse.partition(0).fetch_neighbors(hub, scratch);
     EXPECT_GT(fine_requests, coarse_requests);
   }
-  std::filesystem::remove_all(dir_ + "_coarse");
 }
 
 }  // namespace

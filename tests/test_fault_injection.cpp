@@ -11,6 +11,7 @@
 #include "bfs/session.hpp"
 #include "graph_fixtures.hpp"
 #include "nvm/external_array.hpp"
+#include "test_util.hpp"
 
 namespace sembfs {
 namespace {
@@ -18,23 +19,15 @@ namespace {
 class FaultInjectionTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    // Unique per test: ctest runs every case as its own process, and a
-    // shared directory lets one process truncate files another is reading.
-    dir_ = ::testing::TempDir() + "/sembfs_fault_" +
-           ::testing::UnitTest::GetInstance()->current_test_info()->name();
-    std::filesystem::remove_all(dir_);
-    std::filesystem::create_directories(dir_);
     device_ = std::make_shared<NvmDevice>(DeviceProfile::dram());
   }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
-
   ThreadPool pool_{4};
-  std::string dir_;
+  testutil::ScopedTestDir dir_{"fault"};
   std::shared_ptr<NvmDevice> device_;
 };
 
 TEST_F(FaultInjectionTest, NextRequestFails) {
-  NvmFile file{device_, dir_ + "/a.bin"};
+  NvmFile file{device_, dir_.path() + "/a.bin"};
   const char payload[8] = "1234567";
   file.write(0, std::as_bytes(std::span<const char>{payload}));
 
@@ -48,7 +41,7 @@ TEST_F(FaultInjectionTest, NextRequestFails) {
 }
 
 TEST_F(FaultInjectionTest, CountdownSkipsEarlierRequests) {
-  NvmFile file{device_, dir_ + "/b.bin"};
+  NvmFile file{device_, dir_.path() + "/b.bin"};
   const char payload[8] = "abcdefg";
   file.write(0, std::as_bytes(std::span<const char>{payload}));
 
@@ -61,7 +54,7 @@ TEST_F(FaultInjectionTest, CountdownSkipsEarlierRequests) {
 }
 
 TEST_F(FaultInjectionTest, ClearCancelsInjection) {
-  NvmFile file{device_, dir_ + "/c.bin"};
+  NvmFile file{device_, dir_.path() + "/c.bin"};
   const char payload[4] = "xyz";
   file.write(0, std::as_bytes(std::span<const char>{payload}));
   device_->inject_failure_after(1);
@@ -72,7 +65,7 @@ TEST_F(FaultInjectionTest, ClearCancelsInjection) {
 }
 
 TEST_F(FaultInjectionTest, ExternalArrayReadPropagates) {
-  NvmFile file{device_, dir_ + "/arr.bin"};
+  NvmFile file{device_, dir_.path() + "/arr.bin"};
   ExternalArray<std::int64_t> arr{file, 0, 16};
   std::vector<std::int64_t> data(16, 7);
   arr.write(0, data);
@@ -89,7 +82,7 @@ TEST_F(FaultInjectionTest, ParallelBfsDegradesOnDeviceErrorAndRecovers) {
       ForwardGraph::build(edges, partition, CsrBuildOptions{}, pool_);
   const BackwardGraph backward =
       BackwardGraph::build(edges, partition, CsrBuildOptions{}, pool_);
-  ExternalForwardGraph external{forward, device_, dir_ + "/fg"};
+  ExternalForwardGraph external{forward, device_, dir_.path() + "/fg"};
 
   GraphStorage storage;
   storage.forward_external = &external;
@@ -140,7 +133,7 @@ TEST_F(FaultInjectionTest, DegradationWithoutBackwardGraphThrows) {
   const VertexPartition partition{edges.vertex_count(), 2};
   const ForwardGraph forward =
       ForwardGraph::build(edges, partition, CsrBuildOptions{}, pool_);
-  ExternalForwardGraph external{forward, device_, dir_ + "/fg"};
+  ExternalForwardGraph external{forward, device_, dir_.path() + "/fg"};
 
   GraphStorage storage;
   storage.forward_external = &external;
@@ -168,7 +161,7 @@ TEST_F(FaultInjectionTest, DegradationWithoutBackwardGraphThrows) {
 }
 
 TEST_F(FaultInjectionTest, StatsNotCorruptedByFailure) {
-  NvmFile file{device_, dir_ + "/stats.bin"};
+  NvmFile file{device_, dir_.path() + "/stats.bin"};
   const char payload[8] = "1234567";
   file.write(0, std::as_bytes(std::span<const char>{payload}));
   device_->stats().reset();

@@ -10,6 +10,7 @@
 
 #include "bfs/reference_bfs.hpp"
 #include "graph_fixtures.hpp"
+#include "test_util.hpp"
 
 namespace sembfs {
 namespace {
@@ -17,11 +18,6 @@ namespace {
 class ExternalBfsTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    // Unique per test: ctest runs every case as its own process, and a
-    // shared directory lets one process truncate files another is reading.
-    dir_ = ::testing::TempDir() + "/sembfs_extbfs_" +
-           ::testing::UnitTest::GetInstance()->current_test_info()->name();
-    std::filesystem::remove_all(dir_);
     edges_ = generate_kronecker(fixtures::small_kronecker(10, 8, 31), pool_);
     partition_ = VertexPartition{edges_.vertex_count(), 4};
     forward_ = ForwardGraph::build(edges_, partition_, CsrBuildOptions{},
@@ -32,8 +28,6 @@ class ExternalBfsTest : public ::testing::Test {
     root_ = 0;
     while (full_.degree(root_) == 0) ++root_;
   }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
-
   DeviceProfile fast_profile(const char* base) const {
     DeviceProfile p = DeviceProfile::by_name(base);
     p.time_scale = 0.001;  // keep simulated delays negligible in tests
@@ -41,7 +35,7 @@ class ExternalBfsTest : public ::testing::Test {
   }
 
   ThreadPool pool_{4};
-  std::string dir_;
+  testutil::ScopedTestDir dir_{"extbfs"};
   EdgeList edges_;
   VertexPartition partition_;
   ForwardGraph forward_;
@@ -53,7 +47,7 @@ class ExternalBfsTest : public ::testing::Test {
 TEST_F(ExternalBfsTest, ExternalForwardMatchesReference) {
   for (const char* profile : {"dram", "pcie_flash", "sata_ssd"}) {
     auto device = std::make_shared<NvmDevice>(fast_profile(profile));
-    ExternalForwardGraph external{forward_, device, dir_};
+    ExternalForwardGraph external{forward_, device, dir_.path()};
     GraphStorage storage;
     storage.forward_external = &external;
     storage.backward_dram = &backward_;
@@ -69,7 +63,7 @@ TEST_F(ExternalBfsTest, ExternalForwardMatchesReference) {
 
 TEST_F(ExternalBfsTest, TopDownOnlyGeneratesNvmTraffic) {
   auto device = std::make_shared<NvmDevice>(fast_profile("pcie_flash"));
-  ExternalForwardGraph external{forward_, device, dir_};
+  ExternalForwardGraph external{forward_, device, dir_.path()};
   GraphStorage storage;
   storage.forward_external = &external;
   storage.backward_dram = &backward_;
@@ -91,7 +85,7 @@ TEST_F(ExternalBfsTest, HybridMinimizesNvmTrafficVsTopDownOnly) {
   // The paper's core claim: with well-chosen alpha/beta, the hybrid rarely
   // touches the (slow) forward graph.
   auto device = std::make_shared<NvmDevice>(fast_profile("pcie_flash"));
-  ExternalForwardGraph external{forward_, device, dir_};
+  ExternalForwardGraph external{forward_, device, dir_.path()};
   GraphStorage storage;
   storage.forward_external = &external;
   storage.backward_dram = &backward_;
@@ -113,7 +107,7 @@ TEST_F(ExternalBfsTest, HybridMinimizesNvmTrafficVsTopDownOnly) {
 
 TEST_F(ExternalBfsTest, BottomUpOnlyTouchesNoForwardNvm) {
   auto device = std::make_shared<NvmDevice>(fast_profile("dram"));
-  ExternalForwardGraph external{forward_, device, dir_};
+  ExternalForwardGraph external{forward_, device, dir_.path()};
   GraphStorage storage;
   storage.forward_external = &external;
   storage.backward_dram = &backward_;
@@ -134,7 +128,7 @@ TEST_F(ExternalBfsTest, HybridBackwardOffloadMatchesReference) {
   auto device = std::make_shared<NvmDevice>(fast_profile("dram"));
   for (const std::int64_t cap : {0, 2, 8, 32}) {
     HybridBackwardGraph hybrid_backward{backward_, cap, device,
-                                        dir_ + std::to_string(cap)};
+                                        dir_.aux(std::to_string(cap))};
     GraphStorage storage;
     storage.forward_dram = &forward_;
     storage.backward_hybrid = &hybrid_backward;
@@ -144,7 +138,6 @@ TEST_F(ExternalBfsTest, HybridBackwardOffloadMatchesReference) {
     const ReferenceBfsResult ref = reference_bfs(full_, root_);
     for (Vertex v = 0; v < edges_.vertex_count(); ++v)
       ASSERT_EQ(result.level[v], ref.level[v]) << "cap=" << cap;
-    std::filesystem::remove_all(dir_ + std::to_string(cap));
   }
 }
 
@@ -155,7 +148,7 @@ TEST_F(ExternalBfsTest, BackwardOffloadAccessRatioDropsWithBiggerCap) {
   double prev_ratio = 1.1;
   for (const std::int64_t cap : {2, 8, 32}) {
     HybridBackwardGraph hybrid_backward{backward_, cap, device,
-                                        dir_ + "r" + std::to_string(cap)};
+                                        dir_.aux("r" + std::to_string(cap))};
     GraphStorage storage;
     storage.forward_dram = &forward_;
     storage.backward_hybrid = &hybrid_backward;
@@ -173,14 +166,13 @@ TEST_F(ExternalBfsTest, BackwardOffloadAccessRatioDropsWithBiggerCap) {
     const double ratio = nvm / total;
     EXPECT_LT(ratio, prev_ratio) << "cap=" << cap;
     prev_ratio = ratio;
-    std::filesystem::remove_all(dir_ + "r" + std::to_string(cap));
   }
 }
 
 TEST_F(ExternalBfsTest, FullyExternalBothSidesStillCorrect) {
   auto device = std::make_shared<NvmDevice>(fast_profile("pcie_flash"));
-  ExternalForwardGraph external{forward_, device, dir_ + "f"};
-  HybridBackwardGraph hybrid_backward{backward_, 4, device, dir_ + "b"};
+  ExternalForwardGraph external{forward_, device, dir_.aux("f")};
+  HybridBackwardGraph hybrid_backward{backward_, 4, device, dir_.aux("b")};
   GraphStorage storage;
   storage.forward_external = &external;
   storage.backward_hybrid = &hybrid_backward;
@@ -190,8 +182,6 @@ TEST_F(ExternalBfsTest, FullyExternalBothSidesStillCorrect) {
   const ReferenceBfsResult ref = reference_bfs(full_, root_);
   for (Vertex v = 0; v < edges_.vertex_count(); ++v)
     ASSERT_EQ(result.level[v], ref.level[v]);
-  std::filesystem::remove_all(dir_ + "f");
-  std::filesystem::remove_all(dir_ + "b");
 }
 
 TEST_F(ExternalBfsTest, AsyncPrefetchAndChunkCacheMatchReference) {
@@ -204,7 +194,7 @@ TEST_F(ExternalBfsTest, AsyncPrefetchAndChunkCacheMatchReference) {
   };
   for (const Combo combo : {Combo{4, 0}, Combo{0, 4 << 20}, Combo{4, 4 << 20}}) {
     auto device = std::make_shared<NvmDevice>(fast_profile("pcie_flash"));
-    ExternalForwardGraph external{forward_, device, dir_ + "a"};
+    ExternalForwardGraph external{forward_, device, dir_.aux("a")};
     GraphStorage storage;
     storage.forward_external = &external;
     storage.backward_dram = &backward_;
@@ -220,13 +210,12 @@ TEST_F(ExternalBfsTest, AsyncPrefetchAndChunkCacheMatchReference) {
       ASSERT_EQ(result.level[v], ref.level[v])
           << "qd=" << combo.queue_depth << " cache=" << combo.cache_bytes
           << " v=" << v;
-    std::filesystem::remove_all(dir_ + "a");
   }
 }
 
 TEST_F(ExternalBfsTest, ChunkCacheCutsDeviceRequests) {
   auto device = std::make_shared<NvmDevice>(fast_profile("pcie_flash"));
-  ExternalForwardGraph external{forward_, device, dir_};
+  ExternalForwardGraph external{forward_, device, dir_.path()};
   GraphStorage storage;
   storage.forward_external = &external;
   storage.backward_dram = &backward_;
@@ -252,7 +241,7 @@ TEST_F(ExternalBfsTest, ChunkCacheCutsDeviceRequests) {
 
 TEST_F(ExternalBfsTest, AsyncPrefetchKeepsRequestAccountingExact) {
   auto device = std::make_shared<NvmDevice>(fast_profile("pcie_flash"));
-  ExternalForwardGraph external{forward_, device, dir_};
+  ExternalForwardGraph external{forward_, device, dir_.path()};
   GraphStorage storage;
   storage.forward_external = &external;
   storage.backward_dram = &backward_;
@@ -290,7 +279,7 @@ TEST_F(ExternalBfsTest, EdgeRatioDirectionsMatchDramRun) {
   const BfsResult dram = dram_runner.run(root_, config);
 
   auto device = std::make_shared<NvmDevice>(fast_profile("dram"));
-  ExternalForwardGraph external{forward_, device, dir_};
+  ExternalForwardGraph external{forward_, device, dir_.path()};
   GraphStorage ext_storage;
   ext_storage.forward_external = &external;
   ext_storage.backward_dram = &backward_;
@@ -319,7 +308,7 @@ TEST_F(ExternalBfsTest, DegreeFallsBackToForwardStorage) {
   fwd_only.forward_dram = &forward_;
 
   auto device = std::make_shared<NvmDevice>(fast_profile("dram"));
-  ExternalForwardGraph external{forward_, device, dir_};
+  ExternalForwardGraph external{forward_, device, dir_.path()};
   GraphStorage ext_only;
   ext_only.forward_external = &external;
 

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "bfs/reference_bfs.hpp"
+#include "test_util.hpp"
 
 namespace sembfs {
 namespace {
@@ -23,13 +24,8 @@ class InstanceTest : public ::testing::Test {
     config.workdir = workdir();
     return config;
   }
-  // Unique per test: ctest runs every case as its own process, and a
-  // shared directory lets one process truncate files another is reading.
-  std::string workdir() const {
-    return ::testing::TempDir() + "/sembfs_instance_" +
-           ::testing::UnitTest::GetInstance()->current_test_info()->name();
-  }
-  void TearDown() override { std::filesystem::remove_all(workdir()); }
+  std::string workdir() const { return dir_.path() + "/work"; }
+  testutil::ScopedTestDir dir_{"instance"};
   ThreadPool pool_{4};
 };
 

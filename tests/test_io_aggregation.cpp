@@ -7,6 +7,7 @@
 #include "bfs/hybrid_bfs.hpp"
 #include "bfs/reference_bfs.hpp"
 #include "graph_fixtures.hpp"
+#include "test_util.hpp"
 
 namespace sembfs {
 namespace {
@@ -14,23 +15,16 @@ namespace {
 class IoAggregationTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    // Unique per test: ctest runs every case as its own process, and a
-    // shared directory lets one process truncate files another is reading.
-    dir_ = ::testing::TempDir() + "/sembfs_agg_" +
-           ::testing::UnitTest::GetInstance()->current_test_info()->name();
-    std::filesystem::remove_all(dir_);
     edges_ = generate_kronecker(fixtures::small_kronecker(10, 8, 51), pool_);
     partition_ = VertexPartition{edges_.vertex_count(), 2};
     forward_ = ForwardGraph::build(edges_, partition_, CsrBuildOptions{},
                                    pool_);
     device_ = std::make_shared<NvmDevice>(DeviceProfile::dram());
     external_ = std::make_unique<ExternalForwardGraph>(forward_, device_,
-                                                       dir_);
+                                                       dir_.path());
   }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
-
   ThreadPool pool_{4};
-  std::string dir_;
+  testutil::ScopedTestDir dir_{"agg"};
   EdgeList edges_;
   VertexPartition partition_;
   ForwardGraph forward_;

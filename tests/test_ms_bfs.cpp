@@ -12,6 +12,7 @@
 #include "graph_fixtures.hpp"
 #include "nvm/device_profile.hpp"
 #include "nvm/nvm_device.hpp"
+#include "test_util.hpp"
 
 namespace sembfs::serve {
 namespace {
@@ -184,8 +185,8 @@ TEST_F(MsBfsTest, HybridBackwardMatchesReference) {
   const BackwardGraph backward =
       BackwardGraph::build(edges, partition_, CsrBuildOptions{}, pool_);
   full_ = build_csr(edges, CsrBuildOptions{}, pool_);
-  const std::string dir = ::testing::TempDir() + "/sembfs_msbfs_hybrid";
-  std::filesystem::remove_all(dir);
+  testutil::ScopedTestDir scratch{"msbfs_hybrid"};
+  const std::string& dir = scratch.path();
   DeviceProfile profile = DeviceProfile::by_name("pcie_flash");
   profile.time_scale = 0.001;
   auto device = std::make_shared<NvmDevice>(profile);
@@ -199,7 +200,6 @@ TEST_F(MsBfsTest, HybridBackwardMatchesReference) {
   run_to_completion(batch);
   for (std::size_t q = 0; q < batch.width(); ++q)
     expect_lane_matches_reference(batch, q);
-  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <thread>
 
+#include "analytics_references.hpp"
 #include "bfs/reference_bfs.hpp"
 #include "graph/external_csr.hpp"
 #include "graph_fixtures.hpp"
@@ -16,6 +17,7 @@
 #include "nvm/nvm_device.hpp"
 #include "serve/batch_planner.hpp"
 #include "serve/load_gen.hpp"
+#include "test_util.hpp"
 
 namespace sembfs::serve {
 namespace {
@@ -103,6 +105,64 @@ TEST_F(ServeEngineTest, MixedPathsAgreeOnResults) {
   EXPECT_EQ(batched->result().visited, solo->result().visited);
 }
 
+TEST_F(ServeEngineTest, MixedBfsAndAnalyticsTraffic) {
+  // Analytics programs share the dispatcher with BFS traffic: one
+  // superstep per tick, interleaved with levels of the concurrent BFS
+  // queries — and every answer must still match its serial reference.
+  QueryEngine engine{storage_, topology_, pool_, EngineConfig{}};
+  const QueryRef cc = engine.submit_analytics(QueryKind::Components);
+  const QueryRef pr = engine.submit_analytics(QueryKind::PageRank);
+  const QueryRef tc = engine.submit_analytics(QueryKind::Triangles);
+  std::vector<QueryRef> traversals;
+  for (Vertex root = 0; root < 8; ++root)
+    traversals.push_back(engine.submit(root));
+
+  for (const QueryRef& query : traversals) {
+    query->wait();
+    ASSERT_EQ(query->state(), QueryState::Done) << query->result().error;
+    expect_matches_reference(query->result());
+  }
+
+  cc->wait();
+  ASSERT_EQ(cc->state(), QueryState::Done) << cc->result().error;
+  EXPECT_EQ(cc->result().kind, QueryKind::Components);
+  const std::vector<Vertex> labels = testref::reference_components(full_);
+  ASSERT_EQ(cc->result().labels, labels);
+  std::vector<bool> seen(labels.size(), false);
+  std::int64_t distinct = 0;
+  for (const Vertex label : labels)
+    if (!seen[static_cast<std::size_t>(label)]) {
+      seen[static_cast<std::size_t>(label)] = true;
+      ++distinct;
+    }
+  EXPECT_EQ(cc->result().component_count, distinct);
+  EXPECT_GT(cc->result().supersteps, 0);
+
+  pr->wait();
+  ASSERT_EQ(pr->state(), QueryState::Done) << pr->result().error;
+  EXPECT_EQ(pr->result().kind, QueryKind::PageRank);
+  ASSERT_EQ(pr->result().ranks.size(), labels.size());
+  const std::vector<double> expected_ranks = testref::reference_pagerank(
+      full_, EngineConfig{}.pagerank.damping, pr->result().supersteps);
+  for (std::size_t v = 0; v < expected_ranks.size(); ++v)
+    ASSERT_NEAR(pr->result().ranks[v], expected_ranks[v], 1e-9) << "v=" << v;
+
+  tc->wait();
+  ASSERT_EQ(tc->state(), QueryState::Done) << tc->result().error;
+  EXPECT_EQ(tc->result().kind, QueryKind::Triangles);
+  EXPECT_EQ(tc->result().triangles, testref::reference_triangles(full_));
+
+  // The done counter is bumped after waiters wake; give it a beat.
+  EngineStats stats = engine.stats();
+  for (int spin = 0; spin < 1000 && stats.done != 11u; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    stats = engine.stats();
+  }
+  EXPECT_EQ(stats.analytics_queries, 3u);
+  EXPECT_EQ(stats.submitted, 11u);
+  EXPECT_EQ(stats.done, 11u);
+}
+
 TEST_F(ServeEngineTest, BoundedQueueRejects) {
   EngineConfig config;
   config.autostart = false;  // queue can only fill while nothing drains it
@@ -186,8 +246,8 @@ TEST_F(ServeEngineTest, ShutdownRejectsLateSubmits) {
 // every query still completes with reference-exact levels, and queries
 // untouched by faults report no degradation.
 TEST_F(ServeEngineTest, FaultsAreContainedPerQuery) {
-  const std::string dir = ::testing::TempDir() + "/sembfs_serve_fault";
-  std::filesystem::remove_all(dir);
+  testutil::ScopedTestDir scratch{"serve_fault"};
+  const std::string& dir = scratch.path();
   DeviceProfile profile = DeviceProfile::by_name("pcie_flash");
   profile.time_scale = 0.001;
   auto device = std::make_shared<NvmDevice>(profile);
@@ -217,7 +277,6 @@ TEST_F(ServeEngineTest, FaultsAreContainedPerQuery) {
   // no fault may spread beyond its own query.
   EXPECT_EQ(engine.stats().failed, 0u);
   engine.shutdown();
-  std::filesystem::remove_all(dir);
 }
 
 // Goodput accounting: qps counts only Done queries. A regression divided

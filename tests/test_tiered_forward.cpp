@@ -8,6 +8,7 @@
 #include "bfs/hybrid_bfs.hpp"
 #include "bfs/reference_bfs.hpp"
 #include "graph_fixtures.hpp"
+#include "test_util.hpp"
 
 namespace sembfs {
 namespace {
@@ -15,14 +16,6 @@ namespace {
 class TieredForwardTest : public ::testing::TestWithParam<std::int64_t> {
  protected:
   void SetUp() override {
-    // Unique per test: ctest runs every case as its own process, and a
-    // shared directory lets one process truncate files another is reading.
-    std::string name =
-        ::testing::UnitTest::GetInstance()->current_test_info()->name();
-    for (char& c : name)
-      if (c == '/') c = '_';
-    dir_ = ::testing::TempDir() + "/sembfs_tiered_" + name;
-    std::filesystem::remove_all(dir_);
     edges_ = generate_kronecker(fixtures::small_kronecker(10, 8, 61), pool_);
     partition_ = VertexPartition{edges_.vertex_count(), 4};
     forward_ = ForwardGraph::build(edges_, partition_, CsrBuildOptions{},
@@ -31,14 +24,12 @@ class TieredForwardTest : public ::testing::TestWithParam<std::int64_t> {
                                      pool_);
     device_ = std::make_shared<NvmDevice>(DeviceProfile::dram());
   }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
-
   TieredForwardGraph make(std::int64_t threshold) {
-    return TieredForwardGraph{forward_, threshold, device_, dir_, pool_};
+    return TieredForwardGraph{forward_, threshold, device_, dir_.path(), pool_};
   }
 
   ThreadPool pool_{4};
-  std::string dir_;
+  testutil::ScopedTestDir dir_{"tiered"};
   EdgeList edges_;
   VertexPartition partition_;
   ForwardGraph forward_;
@@ -151,7 +142,7 @@ TEST_F(TieredForwardTest, TieredCutsRequestsVsFullyExternal) {
   // The headline property: late top-down levels touch degree-1 vertices,
   // which the tiered layout serves from DRAM.
   TieredForwardGraph tiered = make(4);
-  ExternalForwardGraph external{forward_, device_, dir_ + "_ext"};
+  ExternalForwardGraph external{forward_, device_, dir_.aux("_ext")};
   const Csr full = build_csr(edges_, CsrBuildOptions{}, pool_);
 
   GraphStorage tiered_storage;
@@ -173,7 +164,6 @@ TEST_F(TieredForwardTest, TieredCutsRequestsVsFullyExternal) {
   const std::uint64_t external_requests =
       ext_runner.run(root, config).nvm_requests;
   EXPECT_LT(tiered_requests, external_requests / 2);
-  std::filesystem::remove_all(dir_ + "_ext");
 }
 
 }  // namespace

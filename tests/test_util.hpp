@@ -1,0 +1,72 @@
+// Shared test scaffolding.
+//
+// ScopedTestDir replaces the per-file SetUp/TearDown boilerplate every
+// NVM-touching test used to carry: a scratch directory that is unique per
+// test case (ctest runs cases as separate processes, and a shared
+// directory lets one process truncate files another is reading), wiped on
+// construction and removed on destruction. Auxiliary sibling directories
+// (the `dir_ + "_ext"` pattern) are handed out by aux() and cleaned up
+// with the same lifetime.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sembfs::testutil {
+
+class ScopedTestDir {
+ public:
+  /// `tag` namespaces the directory per test file (e.g. "extcsr"); the
+  /// current gtest suite/case names make it unique per test case.
+  explicit ScopedTestDir(std::string_view tag) {
+    path_ = ::testing::TempDir() + "/sembfs_" + std::string{tag};
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    if (info != nullptr) {
+      path_ += "_";
+      path_ += info->test_suite_name();
+      path_ += "_";
+      path_ += info->name();
+    }
+    // Parameterized names contain '/' — flatten so the path stays a
+    // single directory component.
+    std::replace(path_.begin() + static_cast<std::ptrdiff_t>(
+                                     ::testing::TempDir().size()),
+                 path_.end(), '/', '_');
+    std::filesystem::remove_all(path_);
+    // Created eagerly: NvmFile-style users open files directly inside it;
+    // the graph classes that mkdir their own workdir don't mind.
+    std::filesystem::create_directories(path_);
+  }
+
+  ScopedTestDir(const ScopedTestDir&) = delete;
+  ScopedTestDir& operator=(const ScopedTestDir&) = delete;
+
+  ~ScopedTestDir() {
+    std::error_code ec;  // best effort: never throw from a destructor
+    std::filesystem::remove_all(path_, ec);
+    for (const std::string& extra : aux_) std::filesystem::remove_all(extra, ec);
+  }
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// A sibling path `path() + suffix`, wiped now and removed with this
+  /// object — for tests that build several graphs side by side.
+  [[nodiscard]] std::string aux(std::string_view suffix) {
+    std::string extra = path_ + std::string{suffix};
+    std::filesystem::remove_all(extra);
+    aux_.push_back(extra);
+    return extra;
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> aux_;
+};
+
+}  // namespace sembfs::testutil
