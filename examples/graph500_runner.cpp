@@ -84,6 +84,33 @@ int main(int argc, char** argv) {
   options.add_double("serve-deadline-ms", 0.0,
                      "per-query end-to-end deadline (0 = none)");
   options.add_int("serve-seed", 42, "load generator seed");
+  options.add_double("serve-zipf", 0.0,
+                     "Zipf exponent for root popularity (0 = uniform; "
+                     "hubs live at low vertex ids)");
+  options.add_string("serve-arrival", "closed",
+                     "arrival pattern: closed | burst | diurnal");
+  options.add_double("serve-burst", 0.0,
+                     "burst duty cycle in (0,1]: fraction of each period "
+                     "clients submit in (> 0 implies --serve-arrival burst)");
+  options.add_double("serve-period-ms", 200.0, "burst/diurnal cycle length");
+  options.add_double("serve-think-ms", 1.0, "diurnal base think time");
+  options.add_int("serve-tenants", 1,
+                  "tenant count, assigned round-robin over clients");
+  options.add_int("serve-tenant-quota", 0,
+                  "per-tenant in-flight quota (0 = unlimited)");
+  options.add_double("serve-cache-mb", 0.0,
+                     "hot-root result cache capacity in MiB (0 = disabled)");
+  options.add_string("serve-planner", "cost", "batch planner: cost | fifo");
+  options.add_int("serve-high-clients", 0,
+                  "leading clients that submit Priority::High");
+  options.add_int("serve-high-reserve", 0,
+                  "queue slots reserved for the high-priority lane");
+  options.add_int("serve-retries", 0,
+                  "max resubmissions after Rejected per logical query "
+                  "(exponential backoff)");
+  options.add_int("serve-batch-queries", 128,
+                  "max queries per batch, same-root riders included "
+                  "(0 = unlimited)");
   options.add_string("metrics-out", "",
                      "write the metrics registry as JSON to this path "
                      "(enables metrics collection)");
@@ -279,6 +306,21 @@ int main(int argc, char** argv) {
     engine_config.default_deadline_ms =
         options.get_double("serve-deadline-ms");
     engine_config.bfs = config.bfs;
+    const std::string planner = options.get_string("serve-planner");
+    if (planner != "cost" && planner != "fifo") {
+      std::fprintf(stderr, "unknown --serve-planner '%s'\n", planner.c_str());
+      return 1;
+    }
+    engine_config.planner = planner == "fifo" ? serve::PlannerMode::Fifo
+                                              : serve::PlannerMode::CostAware;
+    engine_config.max_batch_queries =
+        static_cast<std::size_t>(options.get_int("serve-batch-queries"));
+    engine_config.tenant_quota =
+        static_cast<std::uint64_t>(options.get_int("serve-tenant-quota"));
+    engine_config.high_reserve =
+        static_cast<std::size_t>(options.get_int("serve-high-reserve"));
+    engine_config.cache_bytes = static_cast<std::size_t>(
+        options.get_double("serve-cache-mb") * 1024.0 * 1024.0);
     serve::QueryEngine engine{instance.storage(), instance.topology(), pool,
                               engine_config};
 
@@ -287,13 +329,40 @@ int main(int argc, char** argv) {
     load.queries_per_client =
         static_cast<std::size_t>(options.get_int("serve-queries"));
     load.seed = static_cast<std::uint64_t>(options.get_int("serve-seed"));
+    load.zipf_theta = options.get_double("serve-zipf");
+    const std::string arrival = options.get_string("serve-arrival");
+    const double burst_duty = options.get_double("serve-burst");
+    if (arrival == "burst" || burst_duty > 0.0) {
+      load.arrival = serve::ArrivalPattern::Burst;
+      if (burst_duty > 0.0) load.burst_duty = burst_duty;
+    } else if (arrival == "diurnal") {
+      load.arrival = serve::ArrivalPattern::Diurnal;
+    } else if (arrival != "closed") {
+      std::fprintf(stderr, "unknown --serve-arrival '%s'\n", arrival.c_str());
+      return 1;
+    }
+    load.period_ms = options.get_double("serve-period-ms");
+    load.think_ms = options.get_double("serve-think-ms");
+    load.tenants = static_cast<std::size_t>(options.get_int("serve-tenants"));
+    load.high_priority_clients =
+        static_cast<std::size_t>(options.get_int("serve-high-clients"));
+    load.max_retries =
+        static_cast<std::size_t>(options.get_int("serve-retries"));
     load.options.batchable = max_batch > 1;
     const serve::LoadGenReport report =
         serve::run_load(engine, instance.vertex_count(), load);
     engine.shutdown();
     const serve::EngineStats stats = engine.stats();
+    const serve::ResultCacheStats cache = engine.cache_stats();
+    const std::uint64_t cache_lookups = cache.hits + cache.misses;
+    const double cache_hit_rate =
+        cache_lookups > 0
+            ? static_cast<double>(cache.hits) /
+                  static_cast<double>(cache_lookups)
+            : 0.0;
 
     std::printf(
+        "serve_planner: %s\nserve_arrival: %s\nserve_zipf: %.2f\n"
         "serve_clients: %zu\nserve_queries: %llu\nserve_seconds: %.3f\n"
         "serve_qps: %.2f\nserve_offered_qps: %.2f\n"
         "serve_latency_ms_mean: %.3f\nserve_latency_ms_p50: %.3f\n"
@@ -302,6 +371,8 @@ int main(int argc, char** argv) {
         "serve_deadline_expired: %llu\nserve_rejected: %llu\n"
         "serve_batches: %llu\nserve_batched_queries: %llu\n"
         "serve_session_queries: %llu\n",
+        serve::to_string(engine_config.planner),
+        serve::to_string(load.arrival), load.zipf_theta,
         load.clients, static_cast<unsigned long long>(report.issued),
         report.seconds, report.qps, report.offered_qps, report.mean_ms,
         report.p50_ms, report.p95_ms, report.p99_ms,
@@ -313,6 +384,19 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.batches),
         static_cast<unsigned long long>(stats.batched_queries),
         static_cast<unsigned long long>(stats.session_queries));
+    std::printf(
+        "serve_retries: %llu\nserve_quota_rejected: %llu\n"
+        "serve_cache_hits: %llu\nserve_cache_hit_rate: %.4f\n"
+        "serve_cache_evictions: %llu\nserve_cache_bytes: %zu\n"
+        "serve_high_issued: %llu\nserve_high_done: %llu\n"
+        "serve_high_deadline_expired: %llu\n",
+        static_cast<unsigned long long>(report.retries),
+        static_cast<unsigned long long>(stats.quota_rejected),
+        static_cast<unsigned long long>(stats.cache_hits), cache_hit_rate,
+        static_cast<unsigned long long>(cache.evictions), cache.bytes,
+        static_cast<unsigned long long>(report.high_issued),
+        static_cast<unsigned long long>(report.high_done),
+        static_cast<unsigned long long>(report.high_deadline_expired));
 
     bool serve_exports_ok = true;
     if (!metrics_out.empty() &&

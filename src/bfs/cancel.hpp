@@ -19,6 +19,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 
 namespace sembfs {
 
@@ -63,6 +64,16 @@ class CancelToken {
 
   [[nodiscard]] bool has_deadline() const noexcept {
     return deadline_ns_.load(std::memory_order_relaxed) != 0;
+  }
+  /// Milliseconds until the armed deadline (negative once past); +infinity
+  /// when no deadline is armed. Owner-side read — the serving engine's
+  /// batch planner uses it as the slack term of its captured input.
+  [[nodiscard]] double deadline_remaining_ms() const noexcept {
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d == 0) return std::numeric_limits<double>::infinity();
+    const std::int64_t now =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    return static_cast<double>(d - now) * 1e-6;
   }
   [[nodiscard]] bool deadline_expired() const noexcept {
     const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);

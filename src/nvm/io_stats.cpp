@@ -115,4 +115,9 @@ std::uint64_t IoStats::byte_count() const {
   return bytes_;
 }
 
+std::uint64_t IoStats::in_flight() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return in_flight_;
+}
+
 }  // namespace sembfs

@@ -85,6 +85,9 @@ class IoStats {
 
   [[nodiscard]] std::uint64_t request_count() const;
   [[nodiscard]] std::uint64_t byte_count() const;
+  /// Requests currently queued or in service (instantaneous queue depth —
+  /// the congestion signal the serving cost model reads).
+  [[nodiscard]] std::uint64_t in_flight() const;
 
  private:
   void advance_integral_locked(std::chrono::steady_clock::time_point now);

@@ -19,7 +19,8 @@ NvmDevice::NvmDevice(DeviceProfile profile)
       obs_read_errors_(&obs::metrics().counter("nvm.read_errors")),
       obs_short_reads_(&obs::metrics().counter("nvm.short_reads")),
       obs_corruptions_(&obs::metrics().counter("nvm.corruptions")),
-      obs_latency_spikes_(&obs::metrics().counter("nvm.latency_spikes")) {}
+      obs_latency_spikes_(&obs::metrics().counter("nvm.latency_spikes")),
+      obs_queue_depth_(&obs::metrics().gauge("nvm.queue_depth")) {}
 
 namespace {
 std::uint64_t to_us(double seconds) noexcept {

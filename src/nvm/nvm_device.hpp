@@ -113,6 +113,10 @@ class NvmDevice {
   void run_request(std::uint64_t bytes, double extra_service_seconds,
                    Io&& io) {
     const auto arrival = stats_.on_arrival();
+    // Publish the instantaneous queue depth (waiting + in service) — the
+    // serving cost model's congestion signal (serve/cost_model.hpp).
+    if (obs::enabled())
+      obs_queue_depth_->set(static_cast<std::int64_t>(stats_.in_flight()));
     if (profile_.is_instant() && extra_service_seconds <= 0.0) {
       try {
         io();
@@ -145,7 +149,10 @@ class NvmDevice {
     }
     release_channel();
     stats_.on_completion(arrival, bytes, service);
-    if (tracked) record_request_metrics(wait_seconds, service, bytes);
+    if (tracked) {
+      record_request_metrics(wait_seconds, service, bytes);
+      obs_queue_depth_->set(static_cast<std::int64_t>(stats_.in_flight()));
+    }
   }
 
   void acquire_channel();
@@ -180,6 +187,7 @@ class NvmDevice {
   obs::Counter* obs_short_reads_;
   obs::Counter* obs_corruptions_;
   obs::Counter* obs_latency_spikes_;
+  obs::Gauge* obs_queue_depth_;
 
   std::atomic<bool> faults_armed_{false};
   std::atomic<std::uint64_t> fault_sequence_{0};

@@ -1,12 +1,23 @@
 #include "serve/batch_planner.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "util/contracts.hpp"
 
 namespace sembfs::serve {
 
-BatchPlan plan_batch(std::vector<QueryRef>& queued, std::size_t max_lanes,
+const char* to_string(PlannerMode mode) noexcept {
+  switch (mode) {
+    case PlannerMode::Fifo:
+      return "fifo";
+    case PlannerMode::CostAware:
+      return "cost";
+  }
+  return "unknown";
+}
+
+BatchPlan plan_batch(std::deque<QueryRef>& queued, std::size_t max_lanes,
                      std::size_t max_queries) {
   SEMBFS_EXPECTS(max_lanes >= 1);
   BatchPlan plan;
@@ -34,6 +45,61 @@ BatchPlan plan_batch(std::vector<QueryRef>& queued, std::size_t max_lanes,
   queued.erase(queued.begin(),
                queued.begin() + static_cast<std::ptrdiff_t>(taken));
   return plan;
+}
+
+PlanDecision plan_cost_batch(const PlannerInput& input) {
+  SEMBFS_EXPECTS(input.max_lanes >= 1);
+  PlanDecision decision;
+  const std::size_t n = input.entries.size();
+  if (n == 0) return decision;
+
+  // Predicted cost per entry — deterministic given the captured input.
+  std::vector<double> cost(n);
+  for (std::size_t i = 0; i < n; ++i)
+    cost[i] =
+        predicted_cost_ms(input.entries[i].degree, input.congestion,
+                          input.cost);
+
+  // Plan order: high priority first; within a class by laxity
+  // (slack - cost, ascending: the least room to spare goes first — a
+  // cheap near-deadline query beats an expensive slack one on both
+  // terms); admission index breaks every tie, so entries without
+  // deadlines (infinite laxity) keep FIFO order at the back.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const PlannerInput::Entry& ea = input.entries[a];
+    const PlannerInput::Entry& eb = input.entries[b];
+    if (ea.priority != eb.priority) return ea.priority == Priority::High;
+    const double la = ea.slack_ms - cost[a];
+    const double lb = eb.slack_ms - cost[b];
+    if (la != lb) return la < lb;
+    return a < b;
+  });
+
+  std::unordered_map<Vertex, std::size_t> lane_of_root;
+  for (const std::size_t i : order) {
+    if (input.max_queries != 0 && decision.picked.size() >= input.max_queries)
+      break;
+    const Vertex root = input.entries[i].root;
+    const auto it = lane_of_root.find(root);
+    std::size_t lane;
+    if (it != lane_of_root.end()) {
+      lane = it->second;  // rider
+    } else {
+      // Lanes full: SKIP (unlike FIFO's stop) — a later entry may still
+      // ride an existing lane, and the skipped root waits for the next
+      // batch without blocking the ones behind it.
+      if (decision.roots.size() >= input.max_lanes) continue;
+      lane = decision.roots.size();
+      decision.roots.push_back(root);
+      lane_of_root.emplace(root, lane);
+    }
+    decision.picked.push_back(i);
+    decision.lane_of.push_back(lane);
+    decision.cost_ms.push_back(cost[i]);
+  }
+  return decision;
 }
 
 }  // namespace sembfs::serve

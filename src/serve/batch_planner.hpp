@@ -1,28 +1,48 @@
 // Batch planner: turns the engine's queue of batchable queries into
 // MS-BFS batch plans.
 //
-// Two decisions live here, kept out of the dispatcher loop so they are
+// Two planners live here, kept out of the dispatcher loop so they are
 // unit-testable in isolation:
 //
-//   * Lane packing — up to MsBfsBatch::kMaxBatch (64) queries per batch,
-//     taken in FIFO admission order (no reordering: the queue order is
-//     part of the determinism contract, docs/SERVING.md).
-//   * Root dedup — queries for the same root share one lane. The lane's
-//     traversal is computed once; every rider gets its own copy of the
-//     results at finalize. Under a skewed root distribution this is the
-//     cheapest QPS win in the engine.
+//   * plan_batch() — the legacy FIFO planner: up to max_lanes distinct
+//     roots taken strictly in admission order (no reordering), same-root
+//     queries deduped onto one lane ("riders"), total queries capped at
+//     max_queries. Kept as the measurable baseline (--serve-planner fifo).
+//   * plan_cost_batch() — the traffic-shaped planner: a PURE function of a
+//     captured PlannerInput. High-priority entries come first; within a
+//     priority class entries are ordered by laxity (deadline slack minus
+//     predicted cost, cost_model.hpp), so a cheap near-deadline query
+//     jumps ahead of an expensive slack one. Entries without deadlines
+//     keep admission order behind the deadline-bearing ones. Root dedup
+//     and the lane/query caps apply the same way.
 //
-// The planner never looks at deadlines or fault state; expired queries
-// are culled by the dispatcher before planning.
+// Determinism contract: plan_cost_batch() sees only the PlannerInput the
+// dispatcher captured (degrees, slacks, congestion sample) — given the
+// same input it returns the same plan, and a PlannerLog can record every
+// (input, decision) pair the way TraceLog records SwitchPolicy decisions
+// (docs/SERVING.md). Neither planner looks at fault state; expired
+// queries are culled by the dispatcher before planning.
 #pragma once
 
 #include <cstddef>
+#include <deque>
+#include <limits>
+#include <mutex>
 #include <vector>
 
 #include "graph/types.hpp"
+#include "serve/cost_model.hpp"
 #include "serve/query.hpp"
 
 namespace sembfs::serve {
+
+/// Which batch-formation policy the engine runs.
+enum class PlannerMode {
+  Fifo,       ///< admission order, no cost/deadline awareness (baseline)
+  CostAware,  ///< priority lanes + laxity ordering over PlannerInput
+};
+
+[[nodiscard]] const char* to_string(PlannerMode mode) noexcept;
 
 /// One planned MS-BFS batch: `roots[q]` is lane q's root, and
 /// `lane_of[i]` maps `queries[i]` to its lane (several queries may map to
@@ -41,8 +61,88 @@ struct BatchPlan {
 /// roots; with dedup, more queries than lanes can ride one batch, capped
 /// at `max_queries` total (0 = unlimited). Returns an empty plan when
 /// `queued` is empty.
-[[nodiscard]] BatchPlan plan_batch(std::vector<QueryRef>& queued,
+[[nodiscard]] BatchPlan plan_batch(std::deque<QueryRef>& queued,
                                    std::size_t max_lanes,
                                    std::size_t max_queries = 0);
+
+/// Everything the cost-aware planner is allowed to see, captured by the
+/// dispatcher at one instant. Entries are in admission order; slack and
+/// the congestion sample are frozen at capture time, so the plan is a
+/// pure function of this struct.
+struct PlannerInput {
+  struct Entry {
+    Vertex root = kNoVertex;
+    /// Root out-degree (0 when the storage cannot answer without device
+    /// I/O — the cost model then degrades to its base term).
+    std::int64_t degree = 0;
+    /// Deadline slack at capture; +infinity when no deadline is armed.
+    double slack_ms = std::numeric_limits<double>::infinity();
+    Priority priority = Priority::Normal;
+  };
+  std::vector<Entry> entries;
+  CongestionSignal congestion;
+  CostModelParams cost;
+  std::size_t max_lanes = 1;
+  /// Total query cap, riders included (0 = unlimited).
+  std::size_t max_queries = 0;
+};
+
+/// The cost-aware planner's decision: `picked[i]` indexes
+/// PlannerInput::entries in plan order, `lane_of[i]` is its lane, and
+/// `cost_ms[i]` the predicted cost that ordered it (kept for tracing).
+/// Entries not picked stay queued for the next batch.
+struct PlanDecision {
+  std::vector<std::size_t> picked;
+  std::vector<std::size_t> lane_of;
+  std::vector<Vertex> roots;
+  std::vector<double> cost_ms;
+
+  [[nodiscard]] std::size_t width() const noexcept { return roots.size(); }
+  [[nodiscard]] bool empty() const noexcept { return picked.empty(); }
+};
+
+/// Pure: same PlannerInput, same PlanDecision. Ordering is
+/// (priority desc, laxity asc, admission index asc) where
+/// laxity = slack_ms - predicted_cost_ms; a new root beyond the lane cap
+/// is skipped (left queued) while later same-root entries can still ride.
+[[nodiscard]] PlanDecision plan_cost_batch(const PlannerInput& input);
+
+/// One recorded batch formation — the exact input the planner saw and the
+/// plan it produced, the serving analogue of a TraceSpan's PolicyInput +
+/// decision.
+struct PlannerSpan {
+  PlannerInput input;
+  PlanDecision decision;
+};
+
+/// Thread-safe log of planner decisions (EngineConfig::planner_log;
+/// nullptr = off, the default).
+class PlannerLog {
+ public:
+  PlannerLog() = default;
+  PlannerLog(const PlannerLog&) = delete;
+  PlannerLog& operator=(const PlannerLog&) = delete;
+
+  void record(PlannerSpan span) {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    spans_.push_back(std::move(span));
+  }
+  [[nodiscard]] std::vector<PlannerSpan> spans() const {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    return spans_;
+  }
+  [[nodiscard]] std::size_t span_count() const {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    return spans_.size();
+  }
+  void clear() {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    spans_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<PlannerSpan> spans_;
+};
 
 }  // namespace sembfs::serve

@@ -1,0 +1,35 @@
+#include "serve/cost_model.hpp"
+
+namespace sembfs::serve {
+
+double predicted_cost_ms(std::int64_t root_degree,
+                         const CongestionSignal& congestion,
+                         const CostModelParams& params) {
+  const double degree =
+      root_degree > 0 ? static_cast<double>(root_degree) : 0.0;
+  const double work_ms = params.base_ms + degree * params.ms_per_edge;
+  const double congestion_scale =
+      1.0 + congestion.queue_depth * params.queue_depth_factor +
+      congestion.avg_wait_us * 1e-3 * params.queue_wait_factor_per_ms;
+  return work_ms * congestion_scale;
+}
+
+CongestionProbe::CongestionProbe()
+    : depth_gauge_(&obs::metrics().gauge("nvm.queue_depth")),
+      wait_histogram_(&obs::metrics().histogram("nvm.queue_wait_us")) {}
+
+CongestionSignal CongestionProbe::sample() {
+  CongestionSignal signal;
+  if (!obs::enabled()) return signal;
+  signal.queue_depth = static_cast<double>(depth_gauge_->value());
+  const obs::HistogramSnapshot snap = wait_histogram_->snapshot();
+  if (snap.count > last_count_) {
+    signal.avg_wait_us = static_cast<double>(snap.sum - last_sum_) /
+                         static_cast<double>(snap.count - last_count_);
+  }
+  last_count_ = snap.count;
+  last_sum_ = snap.sum;
+  return signal;
+}
+
+}  // namespace sembfs::serve

@@ -1,0 +1,84 @@
+// Query cost prediction and the device congestion probe behind it.
+//
+// The cost-aware batch planner (serve/batch_planner.hpp) needs two
+// signals per queued query: how expensive the query is likely to be, and
+// how congested the storage device currently is. Both live here, kept
+// separate from the planner so the planner itself stays a PURE function
+// of a captured PlannerInput:
+//
+//   * predicted_cost_ms() — a deterministic formula over (root degree,
+//     device queue depth, recent device queue wait). Root degree is the
+//     strongest cheap predictor of a BFS query's first expensive level
+//     (high-degree roots light up huge level-1 frontiers); device
+//     congestion scales the whole estimate because every fetch of an
+//     already-busy device queues behind the existing depth.
+//   * CongestionProbe — the obs-consumer side: it reads the device queue
+//     depth gauge (`nvm.queue_depth`, set by NvmDevice) and computes a
+//     WINDOWED mean of the `nvm.queue_wait_us` histogram (delta of
+//     count/sum since the previous sample), so the planner sees current
+//     congestion, not a run-lifetime average. With metrics disabled both
+//     signals read 0 and the model degrades to a degree-only estimate.
+//
+// The probe is sampled ONCE per batch formation and the sampled values are
+// copied into the PlannerInput — that capture is what keeps planner
+// decisions replayable (docs/SERVING.md, determinism contract).
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace sembfs::serve {
+
+/// Tunable constants of the cost formula. Defaults are calibrated for
+/// "ordering queries against each other", not wall-clock accuracy — the
+/// planner only compares costs, it never schedules by absolute time.
+struct CostModelParams {
+  /// Fixed per-query overhead: admission, slot/lane setup, finalize copy.
+  double base_ms = 0.05;
+  /// Marginal cost per root out-edge (the level-1 frontier the query must
+  /// expand no matter what).
+  double ms_per_edge = 1e-4;
+  /// Each request already sitting in the device queue inflates the
+  /// estimate by this fraction (queueing delay is roughly linear in depth
+  /// for a fixed-channel device).
+  double queue_depth_factor = 0.125;
+  /// Each millisecond of recent mean device queue wait adds this fraction
+  /// on top — the historical signal backing up the instantaneous depth.
+  double queue_wait_factor_per_ms = 0.05;
+};
+
+/// Instantaneous device congestion, as captured for one planner run.
+struct CongestionSignal {
+  double queue_depth = 0.0;   ///< nvm.queue_depth gauge at capture
+  double avg_wait_us = 0.0;   ///< windowed mean of nvm.queue_wait_us
+};
+
+/// Deterministic, pure: same inputs, same estimate (the planner's
+/// determinism contract depends on this).
+[[nodiscard]] double predicted_cost_ms(std::int64_t root_degree,
+                                       const CongestionSignal& congestion,
+                                       const CostModelParams& params = {});
+
+/// Samples device congestion from the metrics registry. One instance per
+/// engine; sample() keeps the previous histogram count/sum so each call
+/// reports the mean queue wait of the window since the last call.
+class CongestionProbe {
+ public:
+  CongestionProbe();
+
+  CongestionProbe(const CongestionProbe&) = delete;
+  CongestionProbe& operator=(const CongestionProbe&) = delete;
+
+  /// Reads the current signal. Cheap (two relaxed loads + one histogram
+  /// count/sum read); returns zeros while obs::enabled() is false.
+  [[nodiscard]] CongestionSignal sample();
+
+ private:
+  obs::Gauge* depth_gauge_;
+  obs::Histogram* wait_histogram_;
+  std::uint64_t last_count_ = 0;
+  std::uint64_t last_sum_ = 0;
+};
+
+}  // namespace sembfs::serve

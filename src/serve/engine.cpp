@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <span>
 #include <utility>
 
@@ -9,7 +10,6 @@
 #include "engine/components_program.hpp"
 #include "engine/program_session.hpp"
 #include "nvm/fault_plan.hpp"
-#include "serve/batch_planner.hpp"
 #include "util/contracts.hpp"
 
 namespace sembfs::serve {
@@ -81,15 +81,20 @@ QueryEngine::QueryEngine(GraphStorage storage, const NumaTopology& topology,
       slots_(storage_.vertex_count(),
              config_.session_slots >= 1 ? config_.session_slots : 1) {
   SEMBFS_EXPECTS(config_.queue_capacity >= 1);
+  SEMBFS_EXPECTS(config_.high_reserve < config_.queue_capacity);
   SEMBFS_EXPECTS(config_.max_batch >= 1 &&
                  config_.max_batch <= MsBfsBatch::kMaxBatch);
+  if (config_.cache_bytes > 0)
+    cache_ = std::make_unique<ResultCache>(config_.cache_bytes);
   auto& reg = obs::metrics();
   obs_submitted_ = &reg.counter("serve.submitted");
   obs_rejected_ = &reg.counter("serve.rejected");
+  obs_quota_rejected_ = &reg.counter("serve.quota_rejected");
   obs_done_ = &reg.counter("serve.done");
   obs_failed_ = &reg.counter("serve.failed");
   obs_cancelled_ = &reg.counter("serve.cancelled");
   obs_deadline_expired_ = &reg.counter("serve.deadline_expired");
+  obs_high_deadline_expired_ = &reg.counter("serve.high.deadline_expired");
   obs_session_queries_ = &reg.counter("serve.session_queries");
   obs_batched_queries_ = &reg.counter("serve.batched_queries");
   obs_batches_ = &reg.counter("serve.batches");
@@ -104,56 +109,100 @@ QueryEngine::QueryEngine(GraphStorage storage, const NumaTopology& topology,
 
 QueryEngine::~QueryEngine() { shutdown(); }
 
+QueryEngine::TenantState& QueryEngine::tenant_state_locked(
+    std::uint32_t tenant) {
+  const auto [it, inserted] = tenants_.try_emplace(tenant);
+  if (inserted) {
+    // Lazy resolution: tenant ids are open-ended, so serve.tenant.<id>.*
+    // counters are registered on a tenant's first submission.
+    auto& reg = obs::metrics();
+    char name[64];
+    std::snprintf(name, sizeof(name), "serve.tenant.%u.submitted", tenant);
+    it->second.submitted = &reg.counter(name);
+    std::snprintf(name, sizeof(name), "serve.tenant.%u.rejected", tenant);
+    it->second.rejected = &reg.counter(name);
+    std::snprintf(name, sizeof(name), "serve.tenant.%u.completed", tenant);
+    it->second.completed = &reg.counter(name);
+  }
+  return it->second;
+}
+
 QueryRef QueryEngine::submit(Vertex root, QueryOptions options) {
   SEMBFS_EXPECTS(root >= 0 && root < storage_.vertex_count());
-  const std::lock_guard<std::mutex> lock{mutex_};
-  auto query = std::make_shared<Query>(next_id_++, root, options);
-  query->submitted_at_ = Clock::now();
-  ++stats_.submitted;
-  if (obs::enabled()) obs_submitted_->add(1);
-
-  if (stop_ || queue_.size() >= config_.queue_capacity) {
-    ++stats_.rejected;
-    if (obs::enabled()) obs_rejected_->add(1);
-    QueryResult result;
-    result.root = root;
-    result.state = QueryState::Rejected;
-    result.error = stop_ ? "engine is shut down" : "admission queue full";
-    query->finalize(std::move(result));
-    return query;
-  }
-
-  const double deadline = options.deadline_ms > 0.0
-                              ? options.deadline_ms
-                              : config_.default_deadline_ms;
-  if (deadline > 0.0) query->token_.set_deadline_after_ms(deadline);
-  queue_.push_back(query);
-  ++in_flight_;
-  if (obs::enabled()) {
-    obs_queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
-    obs_in_flight_->set(static_cast<std::int64_t>(in_flight_));
-  }
-  work_cv_.notify_one();
-  return query;
+  return submit_impl(root, options);
 }
 
 QueryRef QueryEngine::submit_analytics(QueryKind kind, QueryOptions options) {
   SEMBFS_EXPECTS(kind != QueryKind::Bfs);
   options.kind = kind;
   options.batchable = false;  // analytics never ride the MS-BFS kernel
+  return submit_impl(kNoVertex, options);
+}
+
+QueryRef QueryEngine::submit_impl(Vertex root, QueryOptions options) {
   const std::lock_guard<std::mutex> lock{mutex_};
-  auto query = std::make_shared<Query>(next_id_++, kNoVertex, options);
+  auto query = std::make_shared<Query>(next_id_++, root, options);
   query->submitted_at_ = Clock::now();
   ++stats_.submitted;
-  if (obs::enabled()) obs_submitted_->add(1);
+  TenantState& tenant = tenant_state_locked(options.tenant);
+  if (obs::enabled()) {
+    obs_submitted_->add(1);
+    tenant.submitted->add(1);
+  }
 
-  if (stop_ || queue_.size() >= config_.queue_capacity) {
+  // Hot-root cache: a hit is finalized right here — no queue slot, no
+  // dispatcher wakeup, no device traffic. Only full BFS answers are
+  // cached; the key includes every option that changes the answer, so an
+  // options mismatch is just a miss.
+  if (!stop_ && cache_ != nullptr && options.kind == QueryKind::Bfs) {
+    if (auto hit = cache_->lookup(root, options)) {
+      ++stats_.done;
+      ++stats_.cache_hits;
+      if (obs::enabled()) {
+        obs_done_->add(1);
+        tenant.completed->add(1);
+      }
+      QueryResult result = *hit;  // the client owns its copy
+      result.state = QueryState::Done;
+      result.cache_hit = true;
+      result.queue_wait_ms = 0.0;
+      result.exec_ms = 0.0;
+      query->finalize(std::move(result));
+      return query;
+    }
+  }
+
+  const char* reject = nullptr;
+  bool quota = false;
+  if (stop_) {
+    reject = "engine is shut down";
+  } else if (config_.tenant_quota > 0 &&
+             tenant.in_flight >= config_.tenant_quota) {
+    reject = "tenant quota exceeded";
+    quota = true;
+  } else {
+    // The last high_reserve queue slots belong to the high lane: normal
+    // traffic saturating the queue cannot lock the high lane out of
+    // admission.
+    const std::size_t limit = options.priority == Priority::High
+                                  ? config_.queue_capacity
+                                  : config_.queue_capacity -
+                                        config_.high_reserve;
+    if (queue_.size() >= limit) reject = "admission queue full";
+  }
+  if (reject != nullptr) {
     ++stats_.rejected;
-    if (obs::enabled()) obs_rejected_->add(1);
+    if (quota) ++stats_.quota_rejected;
+    if (obs::enabled()) {
+      obs_rejected_->add(1);
+      if (quota) obs_quota_rejected_->add(1);
+      tenant.rejected->add(1);
+    }
     QueryResult result;
-    result.kind = kind;
+    result.root = root;
+    result.kind = options.kind;
     result.state = QueryState::Rejected;
-    result.error = stop_ ? "engine is shut down" : "admission queue full";
+    result.error = reject;
     query->finalize(std::move(result));
     return query;
   }
@@ -164,6 +213,7 @@ QueryRef QueryEngine::submit_analytics(QueryKind kind, QueryOptions options) {
   if (deadline > 0.0) query->token_.set_deadline_after_ms(deadline);
   queue_.push_back(query);
   ++in_flight_;
+  ++tenant.in_flight;
   if (obs::enabled()) {
     obs_queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
     obs_in_flight_->set(static_cast<std::int64_t>(in_flight_));
@@ -196,6 +246,9 @@ void QueryEngine::shutdown() {
         result.root = query->root();
         result.state = QueryState::Cancelled;
         result.error = "engine shut down before start()";
+        TenantState& tenant = tenant_state_locked(query->options().tenant);
+        SEMBFS_ASSERT(tenant.in_flight > 0);
+        --tenant.in_flight;
         query->finalize(std::move(result));
         ++stats_.cancelled;
         --in_flight_;
@@ -208,9 +261,17 @@ void QueryEngine::shutdown() {
   if (dispatcher_.joinable()) dispatcher_.join();
 }
 
+void QueryEngine::invalidate_cache() {
+  if (cache_ != nullptr) cache_->bump_generation();
+}
+
 EngineStats QueryEngine::stats() const {
   const std::lock_guard<std::mutex> lock{mutex_};
   return stats_;
+}
+
+ResultCacheStats QueryEngine::cache_stats() const {
+  return cache_ != nullptr ? cache_->stats() : ResultCacheStats{};
 }
 
 std::size_t QueryEngine::queue_depth() const {
@@ -223,6 +284,19 @@ std::uint64_t QueryEngine::in_flight() const {
   return in_flight_;
 }
 
+std::int64_t QueryEngine::cheap_degree(Vertex v) const {
+  // Any backward graph answers degree from DRAM in one lookup, and a
+  // pure-DRAM forward stack answers it without the device. Otherwise
+  // (external/tiered forward only) report 0 and let the cost model fall
+  // back to its base term — a planner that blocks on chunk I/O to plan
+  // around chunk I/O would defeat itself.
+  if (storage_.backward_dram != nullptr || storage_.backward_hybrid != nullptr)
+    return storage_.degree(v);
+  if (storage_.forward_external == nullptr && storage_.forward_tiered == nullptr)
+    return storage_.degree(v);
+  return 0;
+}
+
 void QueryEngine::finalize_query(const QueryRef& query, QueryResult result) {
   const QueryState state = result.state;
   if (obs::enabled()) {
@@ -230,11 +304,22 @@ void QueryEngine::finalize_query(const QueryRef& query, QueryResult result) {
         static_cast<std::uint64_t>(result.queue_wait_ms * 1e3));
     obs_exec_us_->record(static_cast<std::uint64_t>(result.exec_ms * 1e3));
   }
+  // Feed the hot-root cache: only complete, non-degraded-to-empty Done
+  // BFS answers (a deadline/cancel partial must never be served as the
+  // full traversal). Degraded results are still exact trees, so they are
+  // cacheable.
+  if (cache_ != nullptr && state == QueryState::Done &&
+      query->options().kind == QueryKind::Bfs && !result.level.empty())
+    cache_->insert(query->root(), query->options(), result);
   query->finalize(std::move(result));
   {
     const std::lock_guard<std::mutex> lock{mutex_};
     SEMBFS_ASSERT(in_flight_ > 0);
     --in_flight_;
+    TenantState& tenant = tenant_state_locked(query->options().tenant);
+    SEMBFS_ASSERT(tenant.in_flight > 0);
+    --tenant.in_flight;
+    if (obs::enabled()) tenant.completed->add(1);
     switch (state) {
       case QueryState::Done:
         ++stats_.done;
@@ -250,6 +335,10 @@ void QueryEngine::finalize_query(const QueryRef& query, QueryResult result) {
         break;
       case QueryState::DeadlineExpired:
         ++stats_.deadline_expired;
+        if (query->options().priority == Priority::High) {
+          ++stats_.high_deadline_expired;
+          if (obs::enabled()) obs_high_deadline_expired_->add(1);
+        }
         if (obs::enabled()) obs_deadline_expired_->add(1);
         break;
       default:
@@ -262,7 +351,7 @@ void QueryEngine::finalize_query(const QueryRef& query, QueryResult result) {
   drain_cv_.notify_all();
 }
 
-void QueryEngine::cull_queued(std::vector<QueryRef>& queued) {
+void QueryEngine::cull_queued(std::deque<QueryRef>& queued) {
   std::size_t kept = 0;
   for (QueryRef& query : queued) {
     const StopReason stop = query->token_.should_stop();
@@ -280,11 +369,11 @@ void QueryEngine::cull_queued(std::vector<QueryRef>& queued) {
   queued.resize(kept);
 }
 
-void QueryEngine::admit_analytics(std::vector<QueryRef>& queued,
+void QueryEngine::admit_analytics(std::deque<QueryRef>& queued,
                                   std::vector<ActiveAnalytics>& analytics) {
   while (!queued.empty() && analytics.size() < config_.analytics_slots) {
     QueryRef query = std::move(queued.front());
-    queued.erase(queued.begin());
+    queued.pop_front();
 
     ActiveAnalytics active;
     active.query = std::move(query);
@@ -397,13 +486,13 @@ void QueryEngine::step_analytics(std::vector<ActiveAnalytics>& analytics) {
   }
 }
 
-void QueryEngine::admit_sessions(std::vector<QueryRef>& queued,
+void QueryEngine::admit_sessions(std::deque<QueryRef>& queued,
                                  std::vector<ActiveSession>& sessions) {
   while (!queued.empty()) {
     BfsStatus* slot = slots_.try_acquire();
     if (slot == nullptr) return;  // all slots busy: backpressure
     QueryRef query = std::move(queued.front());
-    queued.erase(queued.begin());
+    queued.pop_front();
 
     ActiveSession active;
     active.query = std::move(query);
@@ -425,8 +514,45 @@ void QueryEngine::admit_sessions(std::vector<QueryRef>& queued,
 }
 
 std::unique_ptr<QueryEngine::ActiveBatch> QueryEngine::make_batch(
-    std::vector<QueryRef>& queued) {
-  BatchPlan plan = plan_batch(queued, config_.max_batch);
+    std::deque<QueryRef>& queued) {
+  BatchPlan plan;
+  if (config_.planner == PlannerMode::Fifo) {
+    plan = plan_batch(queued, config_.max_batch, config_.max_batch_queries);
+  } else {
+    // Capture everything the planner may see at one instant — the plan is
+    // then a pure function of this input (replayable, PlannerLog-traced).
+    PlannerInput input;
+    input.max_lanes = config_.max_batch;
+    input.max_queries = config_.max_batch_queries;
+    input.cost = config_.cost;
+    input.congestion = probe_.sample();
+    input.entries.reserve(queued.size());
+    for (const QueryRef& query : queued) {
+      PlannerInput::Entry entry;
+      entry.root = query->root();
+      entry.degree = cheap_degree(entry.root);
+      entry.slack_ms = query->token_.deadline_remaining_ms();
+      entry.priority = query->options().priority;
+      input.entries.push_back(entry);
+    }
+    const PlanDecision decision = plan_cost_batch(input);
+    plan.roots = decision.roots;
+    plan.lane_of = decision.lane_of;
+    plan.queries.reserve(decision.picked.size());
+    std::vector<bool> taken(queued.size(), false);
+    for (const std::size_t idx : decision.picked) {
+      plan.queries.push_back(queued[idx]);
+      taken[idx] = true;
+    }
+    if (config_.planner_log != nullptr)
+      config_.planner_log->record(PlannerSpan{std::move(input), decision});
+    // Single compaction pass over the survivors (skipped roots keep their
+    // relative admission order for the next batch).
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < queued.size(); ++i)
+      if (!taken[i]) queued[kept++] = std::move(queued[i]);
+    queued.resize(kept);
+  }
   if (plan.empty()) return nullptr;
 
   auto active = std::make_unique<ActiveBatch>();
@@ -577,9 +703,10 @@ bool QueryEngine::tick_batch(ActiveBatch& active) {
 }
 
 void QueryEngine::dispatcher_loop() {
-  std::vector<QueryRef> batchable;
-  std::vector<QueryRef> unbatchable;
-  std::vector<QueryRef> analytics_queued;
+  std::deque<QueryRef> batchable;
+  std::deque<QueryRef> unbatch_high;
+  std::deque<QueryRef> unbatch_normal;
+  std::deque<QueryRef> analytics_queued;
   std::vector<ActiveSession> sessions;
   std::vector<ActiveAnalytics> analytics;
   std::unique_ptr<ActiveBatch> batch;
@@ -589,30 +716,38 @@ void QueryEngine::dispatcher_loop() {
       std::unique_lock<std::mutex> lock{mutex_};
       const bool idle = sessions.empty() && batch == nullptr &&
                         analytics.empty() && batchable.empty() &&
-                        unbatchable.empty() && analytics_queued.empty();
+                        unbatch_high.empty() && unbatch_normal.empty() &&
+                        analytics_queued.empty();
       if (idle)
         work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
       for (QueryRef& query : queue_) {
         if (query->options().kind != QueryKind::Bfs)
           analytics_queued.push_back(std::move(query));
-        else
-          (query->options().batchable ? batchable : unbatchable)
+        else if (!query->options().batchable)
+          (query->options().priority == Priority::High ? unbatch_high
+                                                       : unbatch_normal)
               .push_back(std::move(query));
+        else
+          batchable.push_back(std::move(query));
       }
       queue_.clear();
       if (obs::enabled()) obs_queue_depth_->set(0);
       if (stop_ && queue_.empty() && sessions.empty() && batch == nullptr &&
-          analytics.empty() && batchable.empty() && unbatchable.empty() &&
-          analytics_queued.empty())
+          analytics.empty() && batchable.empty() && unbatch_high.empty() &&
+          unbatch_normal.empty() && analytics_queued.empty())
         return;  // drained shutdown
     }
 
     // Deadlines are end-to-end: a query can expire before it ever runs.
     cull_queued(batchable);
-    cull_queued(unbatchable);
+    cull_queued(unbatch_high);
+    cull_queued(unbatch_normal);
     cull_queued(analytics_queued);
 
-    admit_sessions(unbatchable, sessions);
+    // High lane drains into the slot pool before normal — when slots are
+    // the bottleneck, priority decides who waits.
+    admit_sessions(unbatch_high, sessions);
+    admit_sessions(unbatch_normal, sessions);
     admit_analytics(analytics_queued, analytics);
     if (batch == nullptr && !batchable.empty()) batch = make_batch(batchable);
 

@@ -5,22 +5,43 @@
 // dispatcher thread owns the ThreadPool and interleaves every query's
 // work through it —
 //
-//   clients ── submit() ──> bounded queue ──> dispatcher ──> ThreadPool
-//                 (reject when full)            │
-//                                               ├─ single-query sessions
-//                                               │  (slot-pooled BfsSession,
-//                                               │   one level per tick)
-//                                               └─ one MS-BFS batch
-//                                                  (≤64 lanes, one level
-//                                                   per tick)
+//   clients ── submit() ──> hot-root result cache ──> hit: finalized here
+//                 │               (miss)
+//                 ├── tenant quota / bounded queue ──> reject
+//                 └──> admission deque ──> dispatcher ──> ThreadPool
+//                                             │
+//                                             ├─ single-query sessions
+//                                             │  (slot-pooled BfsSession,
+//                                             │   one level per tick,
+//                                             │   high lane admitted first)
+//                                             └─ one MS-BFS batch
+//                                                (≤64 lanes, one level
+//                                                 per tick, cost-aware
+//                                                 batch formation)
 //
 // Queries marked batchable ride the MS-BFS kernel (serve/ms_bfs.hpp): up
-// to 64 roots per traversal, same-root queries deduped onto one lane.
-// Non-batchable queries each get a BfsSession borrowing a status slot
-// (serve/slot_pool.hpp). Concurrency-of-service is level interleaving:
-// every active query advances one level per dispatcher tick, so a
-// deep search cannot starve short ones, and each level still uses the
-// whole pool.
+// to 64 roots per traversal, same-root queries deduped onto one lane,
+// total riders capped by max_batch_queries. Batch formation is
+// traffic-shaped by default (PlannerMode::CostAware): the dispatcher
+// captures a PlannerInput — root degrees, deadline slacks, priorities,
+// and one device-congestion sample — and the planner orders high-priority
+// entries first, then by laxity (slack minus predicted cost), so a cheap
+// near-deadline query jumps ahead of an expensive slack one
+// (serve/batch_planner.hpp, serve/cost_model.hpp). Non-batchable queries
+// each get a BfsSession borrowing a status slot (serve/slot_pool.hpp),
+// the high lane admitted before the normal one. Concurrency-of-service is
+// level interleaving: every active query advances one level per
+// dispatcher tick, so a deep search cannot starve short ones, and each
+// level still uses the whole pool.
+//
+// Admission is traffic-shaped three ways: per-tenant quotas (a tenant at
+// its accepted-and-unfinished cap is rejected immediately, billed to
+// serve.tenant.<id>.*), a high/normal priority lane pair (high_reserve
+// keeps headroom only the high lane may use), and a bounded bytes-sized
+// result cache for popular roots (cache_bytes) — a hit is finalized
+// inside submit() without touching the dispatcher, keyed on
+// root + options + graph generation (invalidate_cache() is the hook the
+// future mutable-graph layer bumps).
 //
 // Deadlines are end-to-end from submit() — a query can expire while
 // queued (the backpressure signal) or mid-search (the session/batch stops
@@ -34,15 +55,19 @@
 // side and cannot take device faults at all.
 //
 // Determinism: with autostart=false, submit the whole trace, then
-// start(); batch formation then depends only on admission order, so a
-// seeded trace replays byte-identical results (tests/test_serve_*).
+// start(); batch formation then depends only on the captured
+// PlannerInput (which a PlannerLog can record, like TraceLog records
+// SwitchPolicy decisions), so a seeded trace replays byte-identical
+// results (tests/test_serve_*).
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "bfs/hybrid_bfs.hpp"
@@ -51,8 +76,11 @@
 #include "numa/topology.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
+#include "serve/batch_planner.hpp"
+#include "serve/cost_model.hpp"
 #include "serve/ms_bfs.hpp"
 #include "serve/query.hpp"
+#include "serve/result_cache.hpp"
 #include "serve/slot_pool.hpp"
 
 namespace sembfs::serve {
@@ -60,6 +88,11 @@ namespace sembfs::serve {
 struct EngineConfig {
   /// Admission queue bound; submit() beyond this is Rejected immediately.
   std::size_t queue_capacity = 256;
+  /// Queue slots only Priority::High submissions may occupy (must be <
+  /// queue_capacity). Normal traffic is rejected once the queue reaches
+  /// capacity - high_reserve, so a burst cannot starve the high lane of
+  /// admission. 0 = no reserved headroom.
+  std::size_t high_reserve = 0;
   /// BfsStatus slots = concurrent single-query sessions.
   std::size_t session_slots = 4;
   /// Concurrent analytics queries (each owns its program state — DRAM for
@@ -67,6 +100,24 @@ struct EngineConfig {
   std::size_t analytics_slots = 2;
   /// Lanes per MS-BFS batch (1..MsBfsBatch::kMaxBatch).
   std::size_t max_batch = MsBfsBatch::kMaxBatch;
+  /// Cap on TOTAL queries one batch may absorb, same-root riders
+  /// included (0 = unlimited). Without it a skewed root distribution lets
+  /// one batch swallow the whole queue as riders of a single lane —
+  /// unbounded finalize/copy cost and no deadline culling until the batch
+  /// retires.
+  std::size_t max_batch_queries = 2 * MsBfsBatch::kMaxBatch;
+  /// Batch formation policy. CostAware is the serving default; Fifo is
+  /// the measurable baseline (--serve-planner fifo).
+  PlannerMode planner = PlannerMode::CostAware;
+  /// Cost-model constants for the CostAware planner.
+  CostModelParams cost;
+  /// Records every (PlannerInput, PlanDecision) pair; nullptr = off.
+  PlannerLog* planner_log = nullptr;
+  /// Per-tenant cap on accepted-and-unfinished queries; a tenant at the
+  /// cap is rejected immediately. 0 = unlimited.
+  std::uint64_t tenant_quota = 0;
+  /// Hot-root result cache capacity in bytes; 0 disables the cache.
+  std::size_t cache_bytes = 0;
   /// Deadline applied when QueryOptions::deadline_ms <= 0; 0 = none.
   double default_deadline_ms = 0.0;
   /// Start the dispatcher in the constructor. false = deferred start for
@@ -87,14 +138,17 @@ struct EngineConfig {
 struct EngineStats {
   std::uint64_t submitted = 0;   ///< every submit() call, rejects included
   std::uint64_t rejected = 0;
-  std::uint64_t done = 0;
+  std::uint64_t quota_rejected = 0;  ///< subset of rejected: tenant quota
+  std::uint64_t done = 0;            ///< cache hits included
   std::uint64_t failed = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t deadline_expired = 0;
+  std::uint64_t high_deadline_expired = 0;  ///< subset: Priority::High
   std::uint64_t session_queries = 0;  ///< served by a BfsSession
   std::uint64_t batched_queries = 0;  ///< served by an MS-BFS lane
   std::uint64_t batches = 0;
   std::uint64_t analytics_queries = 0;  ///< served by a ProgramSession
+  std::uint64_t cache_hits = 0;         ///< served from the result cache
 };
 
 class QueryEngine {
@@ -109,13 +163,15 @@ class QueryEngine {
   QueryEngine& operator=(const QueryEngine&) = delete;
 
   /// Thread-safe. Returns the query handle in every case — a rejected
-  /// query comes back already finalized with QueryState::Rejected.
+  /// query comes back already finalized with QueryState::Rejected, and a
+  /// result-cache hit comes back already finalized Done with
+  /// QueryResult::cache_hit set.
   QueryRef submit(Vertex root, QueryOptions options = {});
 
   /// Submits a whole-graph analytics query (kind != Bfs); the root concept
-  /// does not apply. Analytics queries are never batched — each runs its
-  /// own engine::ProgramSession, one superstep per dispatcher tick, with
-  /// the same per-query fault containment as sessions.
+  /// does not apply. Analytics queries are never batched or cached — each
+  /// runs its own engine::ProgramSession, one superstep per dispatcher
+  /// tick, with the same per-query fault containment as sessions.
   QueryRef submit_analytics(QueryKind kind, QueryOptions options = {});
 
   /// Starts the dispatcher (no-op when already started / autostart).
@@ -127,7 +183,14 @@ class QueryEngine {
   /// Idempotent; the destructor calls it.
   void shutdown();
 
+  /// Drops every cached result (generation bump) — the invalidation hook
+  /// the mutable-graph layer calls after publishing a new chunk
+  /// generation. No-op when the cache is disabled.
+  void invalidate_cache();
+
   [[nodiscard]] EngineStats stats() const;
+  /// Result-cache counters; zeros when the cache is disabled.
+  [[nodiscard]] ResultCacheStats cache_stats() const;
   [[nodiscard]] std::size_t queue_depth() const;
   /// Accepted queries not yet terminal (queued + executing).
   [[nodiscard]] std::uint64_t in_flight() const;
@@ -139,35 +202,56 @@ class QueryEngine {
   struct ActiveSession;
   struct ActiveBatch;
   struct ActiveAnalytics;
+  /// Per-tenant admission state: the quota count plus the lazily resolved
+  /// serve.tenant.<id>.* counters.
+  struct TenantState {
+    std::uint64_t in_flight = 0;
+    obs::Counter* submitted = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* completed = nullptr;
+  };
 
   void dispatcher_loop();
+  /// Common admission path for BFS and analytics submissions.
+  QueryRef submit_impl(Vertex root, QueryOptions options);
   /// Finalizes queued queries whose token fired before execution started.
-  void cull_queued(std::vector<QueryRef>& queued);
-  void admit_sessions(std::vector<QueryRef>& queued,
+  void cull_queued(std::deque<QueryRef>& queued);
+  void admit_sessions(std::deque<QueryRef>& queued,
                       std::vector<ActiveSession>& sessions);
-  void admit_analytics(std::vector<QueryRef>& queued,
+  void admit_analytics(std::deque<QueryRef>& queued,
                        std::vector<ActiveAnalytics>& analytics);
   void step_analytics(std::vector<ActiveAnalytics>& analytics);
   [[nodiscard]] std::unique_ptr<ActiveBatch> make_batch(
-      std::vector<QueryRef>& queued);
+      std::deque<QueryRef>& queued);
   void step_sessions(std::vector<ActiveSession>& sessions);
   /// One batch tick: cull fired riders, run one level, finalize finished
   /// riders. True when the batch is finished and should be dropped.
   bool tick_batch(ActiveBatch& batch);
 
-  /// Finalizes `query`, updates stats/gauges, wakes drain() waiters.
+  /// Finalizes `query`, updates stats/gauges, feeds the result cache,
+  /// wakes drain() waiters.
   void finalize_query(const QueryRef& query, QueryResult result);
+
+  /// Root degree without device I/O (0 when only external forward storage
+  /// could answer) — the planner must never block on the device.
+  [[nodiscard]] std::int64_t cheap_degree(Vertex v) const;
+
+  /// Resolves (lazily creating) the tenant's state; mutex_ must be held.
+  TenantState& tenant_state_locked(std::uint32_t tenant);
 
   GraphStorage storage_;
   const NumaTopology& topology_;
   ThreadPool& pool_;
   EngineConfig config_;
   StatusSlotPool slots_;
+  std::unique_ptr<ResultCache> cache_;  ///< null when cache_bytes == 0
+  CongestionProbe probe_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;   ///< wakes the dispatcher
   std::condition_variable drain_cv_;  ///< wakes drain() waiters
-  std::vector<QueryRef> queue_;       ///< admission order preserved
+  std::deque<QueryRef> queue_;        ///< admission order preserved
+  std::unordered_map<std::uint32_t, TenantState> tenants_;
   std::uint64_t in_flight_ = 0;
   bool stop_ = false;
   bool started_ = false;
@@ -178,10 +262,12 @@ class QueryEngine {
   // Observability handles (resolved once; add/record gated on enabled()).
   obs::Counter* obs_submitted_;
   obs::Counter* obs_rejected_;
+  obs::Counter* obs_quota_rejected_;
   obs::Counter* obs_done_;
   obs::Counter* obs_failed_;
   obs::Counter* obs_cancelled_;
   obs::Counter* obs_deadline_expired_;
+  obs::Counter* obs_high_deadline_expired_;
   obs::Counter* obs_session_queries_;
   obs::Counter* obs_batched_queries_;
   obs::Counter* obs_batches_;

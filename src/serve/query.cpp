@@ -22,6 +22,16 @@ const char* to_string(QueryState state) noexcept {
   return "unknown";
 }
 
+const char* to_string(Priority priority) noexcept {
+  switch (priority) {
+    case Priority::Normal:
+      return "normal";
+    case Priority::High:
+      return "high";
+  }
+  return "unknown";
+}
+
 const char* to_string(QueryKind kind) noexcept {
   switch (kind) {
     case QueryKind::Bfs:

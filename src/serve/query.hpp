@@ -63,6 +63,17 @@ enum class QueryKind {
 
 [[nodiscard]] const char* to_string(QueryKind kind) noexcept;
 
+/// Admission lane. High-lane queries drain first at every stage — the
+/// dispatcher admits them before normal traffic and the cost-aware batch
+/// planner orders them ahead of every normal entry — and the engine can
+/// reserve admission-queue headroom for them (EngineConfig::high_reserve).
+enum class Priority {
+  Normal,
+  High,
+};
+
+[[nodiscard]] const char* to_string(Priority priority) noexcept;
+
 struct QueryOptions {
   /// Set via QueryEngine::submit_analytics(); plain submit() serves Bfs.
   QueryKind kind = QueryKind::Bfs;
@@ -76,6 +87,13 @@ struct QueryOptions {
   /// one traversal (and its fault blast radius) with up to 63 others; a
   /// non-batchable query always gets its own BfsSession.
   bool batchable = true;
+  /// Admission lane (see Priority above).
+  Priority priority = Priority::Normal;
+  /// Tenant the query is billed to. With EngineConfig::tenant_quota > 0 a
+  /// tenant whose accepted-and-unfinished count reaches the quota is
+  /// rejected immediately ("tenant quota exceeded"); per-tenant
+  /// serve.tenant.<id>.* counters track submitted/rejected/completed.
+  std::uint32_t tenant = 0;
 };
 
 /// Everything the engine hands back for one finished query. Level/parent
@@ -92,6 +110,9 @@ struct QueryResult {
   std::int32_t degraded_levels = 0;
   std::uint64_t io_failures = 0;    ///< contained fetch failures
   bool batched = false;             ///< served by the MS-BFS kernel
+  /// Served from the hot-root result cache at submit() — the query never
+  /// entered the admission queue or touched the dispatcher.
+  bool cache_hit = false;
   double queue_wait_ms = 0.0;       ///< submit -> first level
   double exec_ms = 0.0;             ///< first level -> finalize
   /// BFS depth per vertex (-1 = unreached). Always populated for queries

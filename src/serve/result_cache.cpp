@@ -1,0 +1,101 @@
+#include "serve/result_cache.hpp"
+
+#include "util/contracts.hpp"
+
+namespace sembfs::serve {
+
+ResultCache::ResultCache(std::size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes),
+      obs_hits_(&obs::metrics().counter("serve.cache.hits")),
+      obs_misses_(&obs::metrics().counter("serve.cache.misses")),
+      obs_insertions_(&obs::metrics().counter("serve.cache.insertions")),
+      obs_evictions_(&obs::metrics().counter("serve.cache.evictions")),
+      obs_bytes_(&obs::metrics().gauge("serve.cache.bytes")) {
+  SEMBFS_EXPECTS(capacity_bytes_ >= 1);
+}
+
+std::size_t ResultCache::entry_bytes(const QueryResult& result) {
+  // Payload vectors dominate; the constant covers the Entry, list node,
+  // index slot, and QueryResult scalars.
+  constexpr std::size_t kOverhead = 256;
+  return kOverhead + result.level.size() * sizeof(std::int32_t) +
+         result.parent.size() * sizeof(Vertex);
+}
+
+std::shared_ptr<const QueryResult> ResultCache::lookup(
+    Vertex root, const QueryOptions& options) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  const auto it = index_.find(make_key_locked(root, options));
+  if (it == index_.end()) {
+    ++stats_.misses;
+    if (obs::enabled()) obs_misses_->add(1);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++stats_.hits;
+  if (obs::enabled()) obs_hits_->add(1);
+  return it->second->result;
+}
+
+void ResultCache::insert(Vertex root, const QueryOptions& options,
+                         const QueryResult& result) {
+  auto shared = std::make_shared<const QueryResult>(result);
+  const std::size_t bytes = entry_bytes(*shared);
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (bytes > capacity_bytes_) return;  // would evict everything for one key
+  const Key key = make_key_locked(root, options);
+  const auto it = index_.find(key);
+  if (it != index_.end()) erase_locked(it->second);
+  evict_until_fits_locked(bytes);
+  lru_.push_front(Entry{key, std::move(shared), bytes});
+  index_.emplace(key, lru_.begin());
+  stats_.bytes += bytes;
+  ++stats_.entries;
+  ++stats_.insertions;
+  if (obs::enabled()) {
+    obs_insertions_->add(1);
+    obs_bytes_->set(static_cast<std::int64_t>(stats_.bytes));
+  }
+}
+
+void ResultCache::bump_generation() {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  ++generation_;
+  ++stats_.invalidations;
+  // Old-generation keys can never be looked up again; free them now
+  // rather than waiting for LRU pressure.
+  lru_.clear();
+  index_.clear();
+  stats_.bytes = 0;
+  stats_.entries = 0;
+  if (obs::enabled()) obs_bytes_->set(0);
+}
+
+std::uint64_t ResultCache::generation() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return generation_;
+}
+
+ResultCacheStats ResultCache::stats() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return stats_;
+}
+
+void ResultCache::evict_until_fits_locked(std::size_t incoming_bytes) {
+  while (!lru_.empty() && stats_.bytes + incoming_bytes > capacity_bytes_) {
+    erase_locked(std::prev(lru_.end()));
+    ++stats_.evictions;
+    if (obs::enabled()) obs_evictions_->add(1);
+  }
+}
+
+void ResultCache::erase_locked(LruList::iterator it) {
+  SEMBFS_ASSERT(stats_.bytes >= it->bytes && stats_.entries >= 1);
+  stats_.bytes -= it->bytes;
+  --stats_.entries;
+  index_.erase(it->key);
+  lru_.erase(it);
+  if (obs::enabled()) obs_bytes_->set(static_cast<std::int64_t>(stats_.bytes));
+}
+
+}  // namespace sembfs::serve

@@ -1,0 +1,135 @@
+// Bounded result cache for popular BFS roots.
+//
+// Production root popularity is Zipf-skewed: a few hot roots dominate the
+// query mix, and their full traversals are immutable while the graph
+// generation is. The cache stores finished Done BFS results keyed on
+//
+//   (root, options key, graph generation)
+//
+// where the options key is every QueryOptions field that changes the
+// answer (today: max_levels — the k-hop cap truncates the level array) and
+// the generation is the invalidation hook for the future mutable-graph
+// layer: bump_generation() makes every cached entry unreachable in O(1)
+// key-space terms and drops the storage eagerly. A query whose options
+// don't match any cached key simply misses (options-mismatch bypass).
+//
+// Sizing is by BYTES, not entries — level/parent vectors dominate, so the
+// capacity knob (EngineConfig::cache_bytes, --serve-cache-mb) maps
+// directly to DRAM. Eviction is LRU; an entry larger than the whole
+// capacity is never admitted. Hits hand back a shared_ptr to an immutable
+// result, so serving a hit copies nothing under the lock and never
+// touches the dispatcher, the slot pool, or the device — the engine
+// finalizes the query right inside submit().
+//
+// Thread-safety: one mutex. lookup() is called from client threads inside
+// submit(); insert() from the dispatcher at finalize. Both are O(1) plus
+// hashing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "graph/types.hpp"
+#include "obs/metrics.hpp"
+#include "serve/query.hpp"
+
+namespace sembfs::serve {
+
+/// Point-in-time cache counters (monotonic except bytes/entries).
+struct ResultCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;  ///< bump_generation() calls
+  std::size_t bytes = 0;            ///< resident payload bytes
+  std::size_t entries = 0;
+};
+
+class ResultCache {
+ public:
+  /// `capacity_bytes` bounds the summed payload size (level + parent
+  /// vectors plus a fixed per-entry overhead). Must be >= 1 — an engine
+  /// with caching disabled simply holds no ResultCache.
+  explicit ResultCache(std::size_t capacity_bytes);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached result for (root, options, current generation) or
+  /// nullptr on miss. Counts the hit/miss and refreshes LRU order.
+  [[nodiscard]] std::shared_ptr<const QueryResult> lookup(
+      Vertex root, const QueryOptions& options);
+
+  /// Caches a copy of `result` under (root, options, current generation),
+  /// evicting LRU entries until it fits. Oversized results (bigger than
+  /// the whole capacity) are dropped. Re-inserting an existing key
+  /// replaces the entry.
+  void insert(Vertex root, const QueryOptions& options,
+              const QueryResult& result);
+
+  /// Invalidation hook for the future mutable-graph layer: advances the
+  /// generation (new lookups/inserts use the new one) and drops every
+  /// entry of older generations eagerly.
+  void bump_generation();
+
+  [[nodiscard]] std::uint64_t generation() const;
+  [[nodiscard]] ResultCacheStats stats() const;
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return capacity_bytes_;
+  }
+
+ private:
+  struct Key {
+    Vertex root;
+    std::int32_t max_levels;
+    std::uint64_t generation;
+
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::uint64_t h = static_cast<std::uint64_t>(k.root) * 0x9E3779B97F4A7C15ULL;
+      h ^= (static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(k.max_levels)) +
+            k.generation * 0xC2B2AE3D27D4EB4FULL);
+      h ^= h >> 29;
+      return static_cast<std::size_t>(h * 0x165667B19E3779F9ULL);
+    }
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const QueryResult> result;
+    std::size_t bytes = 0;
+  };
+  using LruList = std::list<Entry>;
+
+  [[nodiscard]] static std::size_t entry_bytes(const QueryResult& result);
+  [[nodiscard]] Key make_key_locked(Vertex root,
+                                    const QueryOptions& options) const {
+    return Key{root, options.max_levels, generation_};
+  }
+  void evict_until_fits_locked(std::size_t incoming_bytes);
+  void erase_locked(LruList::iterator it);
+
+  const std::size_t capacity_bytes_;
+
+  mutable std::mutex mutex_;
+  std::uint64_t generation_ = 0;
+  LruList lru_;  ///< front = most recent
+  std::unordered_map<Key, LruList::iterator, KeyHash> index_;
+  ResultCacheStats stats_;
+
+  // Observability handles (serve.cache.*), gated on obs::enabled().
+  obs::Counter* obs_hits_;
+  obs::Counter* obs_misses_;
+  obs::Counter* obs_insertions_;
+  obs::Counter* obs_evictions_;
+  obs::Gauge* obs_bytes_;
+};
+
+}  // namespace sembfs::serve

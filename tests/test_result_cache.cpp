@@ -1,0 +1,134 @@
+// ResultCache semantics: hit/miss keying, LRU eviction under the byte
+// bound, options-mismatch bypass, replacement, and generation
+// invalidation (the mutable-graph hook).
+#include "serve/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace sembfs::serve {
+namespace {
+
+QueryResult make_result(Vertex root, std::size_t vertices,
+                        std::int32_t fill = 1) {
+  QueryResult result;
+  result.root = root;
+  result.state = QueryState::Done;
+  result.level.assign(vertices, fill);
+  result.parent.assign(vertices, root);
+  result.visited = static_cast<std::int64_t>(vertices);
+  return result;
+}
+
+TEST(ResultCacheTest, MissThenHitRoundTrips) {
+  ResultCache cache{1 << 20};
+  const QueryOptions options;
+  EXPECT_EQ(cache.lookup(5, options), nullptr);
+  cache.insert(5, options, make_result(5, 64));
+  const std::shared_ptr<const QueryResult> hit = cache.lookup(5, options);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->root, 5);
+  EXPECT_EQ(hit->level.size(), 64u);
+  EXPECT_EQ(hit->visited, 64);
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(ResultCacheTest, OptionsMismatchBypasses) {
+  // max_levels is part of the key: a k-hop query must never be handed the
+  // full traversal (or vice versa).
+  ResultCache cache{1 << 20};
+  QueryOptions full;
+  cache.insert(5, full, make_result(5, 64));
+  QueryOptions khop;
+  khop.max_levels = 2;
+  EXPECT_EQ(cache.lookup(5, khop), nullptr);
+  EXPECT_NE(cache.lookup(5, full), nullptr);
+  // Fields that do NOT change the answer (priority, tenant, batchable)
+  // must not fragment the key.
+  QueryOptions other_tenant = full;
+  other_tenant.tenant = 9;
+  other_tenant.priority = Priority::High;
+  other_tenant.batchable = false;
+  EXPECT_NE(cache.lookup(5, other_tenant), nullptr);
+}
+
+TEST(ResultCacheTest, ReinsertReplacesEntry) {
+  ResultCache cache{1 << 20};
+  const QueryOptions options;
+  cache.insert(5, options, make_result(5, 64, 1));
+  cache.insert(5, options, make_result(5, 64, 3));
+  const auto hit = cache.lookup(5, options);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->level[0], 3);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ResultCacheTest, LruEvictionUnderByteBound) {
+  // Each entry is ~256 + 64*(4 + sizeof(Vertex)) bytes; a budget of three
+  // entries must evict the least recently USED (not inserted) key.
+  const QueryOptions options;
+  const std::size_t entry = 256 + 64 * (4 + sizeof(Vertex));
+  ResultCache cache{3 * entry};
+  cache.insert(1, options, make_result(1, 64));
+  cache.insert(2, options, make_result(2, 64));
+  cache.insert(3, options, make_result(3, 64));
+  EXPECT_EQ(cache.stats().entries, 3u);
+  // Touch 1 so 2 becomes the LRU victim.
+  EXPECT_NE(cache.lookup(1, options), nullptr);
+  cache.insert(4, options, make_result(4, 64));
+  EXPECT_EQ(cache.lookup(2, options), nullptr);   // evicted
+  EXPECT_NE(cache.lookup(1, options), nullptr);   // survived via recency
+  EXPECT_NE(cache.lookup(3, options), nullptr);
+  EXPECT_NE(cache.lookup(4, options), nullptr);
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_LE(stats.bytes, 3 * entry);
+}
+
+TEST(ResultCacheTest, OversizedResultIsNotAdmitted) {
+  ResultCache cache{512};
+  const QueryOptions options;
+  cache.insert(1, options, make_result(1, 4096));  // bigger than capacity
+  EXPECT_EQ(cache.lookup(1, options), nullptr);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCacheTest, GenerationBumpInvalidatesEverything) {
+  ResultCache cache{1 << 20};
+  const QueryOptions options;
+  cache.insert(1, options, make_result(1, 64));
+  cache.insert(2, options, make_result(2, 64));
+  EXPECT_EQ(cache.generation(), 0u);
+  cache.bump_generation();
+  EXPECT_EQ(cache.generation(), 1u);
+  EXPECT_EQ(cache.lookup(1, options), nullptr);
+  EXPECT_EQ(cache.lookup(2, options), nullptr);
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  // New generation accepts fresh entries under the new key space.
+  cache.insert(1, options, make_result(1, 64));
+  EXPECT_NE(cache.lookup(1, options), nullptr);
+}
+
+TEST(ResultCacheTest, HitsShareOneImmutableCopy) {
+  ResultCache cache{1 << 20};
+  const QueryOptions options;
+  cache.insert(7, options, make_result(7, 64));
+  const auto a = cache.lookup(7, options);
+  const auto b = cache.lookup(7, options);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a.get(), b.get());  // shared storage, zero-copy hits
+}
+
+}  // namespace
+}  // namespace sembfs::serve

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <deque>
 #include <filesystem>
 #include <thread>
 
@@ -370,7 +371,7 @@ TEST_F(ServeEngineTest, SeededTraceReplaysIdentically) {
 }
 
 TEST(BatchPlannerTest, PacksFifoAndDedupsRoots) {
-  std::vector<QueryRef> queued;
+  std::deque<QueryRef> queued;
   const auto enqueue = [&](Vertex root) {
     queued.push_back(
         std::make_shared<Query>(queued.size() + 1, root, QueryOptions{}));
@@ -388,7 +389,7 @@ TEST(BatchPlannerTest, PacksFifoAndDedupsRoots) {
 }
 
 TEST(BatchPlannerTest, LaneCapStopsInOrder) {
-  std::vector<QueryRef> queued;
+  std::deque<QueryRef> queued;
   for (Vertex root = 0; root < 6; ++root)
     queued.push_back(
         std::make_shared<Query>(root + 1, root, QueryOptions{}));
@@ -400,9 +401,160 @@ TEST(BatchPlannerTest, LaneCapStopsInOrder) {
   EXPECT_EQ(queued[1]->root(), 5);
 }
 
+TEST(BatchPlannerTest, QueryCapBoundsRiders) {
+  // Regression: make_batch once planned with no rider cap, so a skewed
+  // root distribution let one batch swallow an unbounded queue.
+  std::deque<QueryRef> queued;
+  for (std::size_t i = 0; i < 10; ++i)
+    queued.push_back(std::make_shared<Query>(i + 1, 7, QueryOptions{}));
+  const BatchPlan plan = plan_batch(queued, 8, 4);
+  EXPECT_EQ(plan.width(), 1u);
+  EXPECT_EQ(plan.queries.size(), 4u);
+  EXPECT_EQ(queued.size(), 6u);  // the rest waits for the next batch
+}
+
 TEST(BatchPlannerTest, EmptyQueueYieldsEmptyPlan) {
-  std::vector<QueryRef> queued;
+  std::deque<QueryRef> queued;
   EXPECT_TRUE(plan_batch(queued, 64).empty());
+}
+
+// Satellite regression: a single-root flood must be split across batches
+// by max_batch_queries instead of riding one batch unboundedly.
+TEST_F(ServeEngineTest, SingleRootFloodRespectsRiderCap) {
+  EngineConfig config;
+  config.autostart = false;  // whole flood queued before any planning
+  config.queue_capacity = 512;
+  config.max_batch_queries = 50;
+  QueryEngine engine{storage_, topology_, pool_, config};
+  std::vector<QueryRef> queries;
+  for (int i = 0; i < 300; ++i) queries.push_back(engine.submit(11));
+  engine.start();
+  engine.drain();
+  for (const QueryRef& query : queries) {
+    ASSERT_EQ(query->state(), QueryState::Done) << query->result().error;
+    expect_matches_reference(query->result());
+  }
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.batched_queries, 300u);
+  // 300 riders at <= 50 per batch = at least 6 batches.
+  EXPECT_GE(stats.batches, 6u);
+  engine.shutdown();
+}
+
+TEST_F(ServeEngineTest, TenantQuotaRejectsImmediately) {
+  EngineConfig config;
+  config.autostart = false;  // nothing drains: in-flight stays up
+  config.tenant_quota = 2;
+  QueryEngine engine{storage_, topology_, pool_, config};
+  QueryOptions t0;
+  t0.tenant = 0;
+  QueryOptions t1;
+  t1.tenant = 1;
+  const QueryRef a = engine.submit(0, t0);
+  const QueryRef b = engine.submit(1, t0);
+  const QueryRef c = engine.submit(2, t0);  // tenant 0 over quota
+  const QueryRef d = engine.submit(3, t1);  // tenant 1 unaffected
+  EXPECT_EQ(c->state(), QueryState::Rejected);
+  EXPECT_EQ(c->result().error, "tenant quota exceeded");
+  EXPECT_FALSE(a->finished());
+  EXPECT_FALSE(b->finished());
+  EXPECT_FALSE(d->finished());
+  EXPECT_EQ(engine.stats().quota_rejected, 1u);
+  engine.start();
+  engine.drain();
+  // Quota released at finalize: tenant 0 can submit again.
+  const QueryRef e = engine.submit(4, t0);
+  e->wait();
+  EXPECT_EQ(e->state(), QueryState::Done);
+}
+
+TEST_F(ServeEngineTest, HighReserveKeepsHeadroomForHighLane) {
+  EngineConfig config;
+  config.autostart = false;
+  config.queue_capacity = 4;
+  config.high_reserve = 2;  // normal lane saturates at 2
+  QueryEngine engine{storage_, topology_, pool_, config};
+  QueryOptions high;
+  high.priority = Priority::High;
+  const QueryRef n1 = engine.submit(0);
+  const QueryRef n2 = engine.submit(1);
+  const QueryRef n3 = engine.submit(2);  // normal beyond capacity - reserve
+  EXPECT_EQ(n3->state(), QueryState::Rejected);
+  const QueryRef h1 = engine.submit(3, high);
+  const QueryRef h2 = engine.submit(4, high);
+  EXPECT_FALSE(h1->finished());  // reserved headroom admits the high lane
+  EXPECT_FALSE(h2->finished());
+  const QueryRef h3 = engine.submit(5, high);  // full is full, even for high
+  EXPECT_EQ(h3->state(), QueryState::Rejected);
+  engine.start();
+  engine.drain();
+  for (const QueryRef& q : {n1, n2, h1, h2}) EXPECT_EQ(q->state(), QueryState::Done);
+}
+
+// Cache hits must be byte-identical to the executed result (the
+// differential check the CI serving job relies on), never touch the
+// dispatcher, and respect the options key and generation invalidation.
+TEST_F(ServeEngineTest, ResultCacheServesExactHitsAndInvalidates) {
+  EngineConfig config;
+  config.cache_bytes = 4 << 20;
+  QueryEngine engine{storage_, topology_, pool_, config};
+  const Vertex root = 6;
+  const QueryRef cold = engine.submit(root);
+  cold->wait();
+  ASSERT_EQ(cold->state(), QueryState::Done);
+  EXPECT_FALSE(cold->result().cache_hit);
+
+  const QueryRef hot = engine.submit(root);
+  hot->wait();
+  ASSERT_EQ(hot->state(), QueryState::Done);
+  EXPECT_TRUE(hot->result().cache_hit);
+  // Differential: the cached answer equals the executed one, which equals
+  // the serial reference.
+  EXPECT_EQ(hot->result().level, cold->result().level);
+  EXPECT_EQ(hot->result().visited, cold->result().visited);
+  expect_matches_reference(hot->result());
+  EXPECT_EQ(engine.stats().cache_hits, 1u);
+  EXPECT_EQ(engine.cache_stats().hits, 1u);
+
+  // Options-mismatch bypass: a k-hop query must not be served the full
+  // traversal.
+  QueryOptions khop;
+  khop.max_levels = 1;
+  const QueryRef capped = engine.submit(root, khop);
+  capped->wait();
+  ASSERT_EQ(capped->state(), QueryState::Done);
+  EXPECT_FALSE(capped->result().cache_hit);
+  for (const std::int32_t l : capped->result().level) EXPECT_LE(l, 1);
+
+  // Generation bump: the invalidation hook empties the cache.
+  engine.invalidate_cache();
+  const QueryRef after = engine.submit(root);
+  after->wait();
+  ASSERT_EQ(after->state(), QueryState::Done);
+  EXPECT_FALSE(after->result().cache_hit);
+  EXPECT_EQ(engine.cache_stats().invalidations, 1u);
+}
+
+TEST_F(ServeEngineTest, LoadGenRetriesRejectionsWithBackoff) {
+  // A 1-deep queue with a deferred dispatcher start forces rejections;
+  // retries must be counted separately and eventually succeed once the
+  // dispatcher drains the queue.
+  EngineConfig config;
+  config.queue_capacity = 1;
+  QueryEngine engine{storage_, topology_, pool_, config};
+  LoadGenConfig load;
+  load.clients = 4;
+  load.queries_per_client = 8;
+  load.max_retries = 50;
+  load.retry_backoff_ms = 0.1;
+  const LoadGenReport report = run_load(engine, edges_.vertex_count(), load);
+  EXPECT_EQ(report.issued, 32u);
+  // Retried-then-accepted queries are goodput, not inflation: every
+  // logical outcome sums to issued regardless of how many retries ran.
+  EXPECT_EQ(report.done + report.failed + report.cancelled +
+                report.deadline_expired + report.rejected,
+            report.issued);
+  EXPECT_GT(report.done, 0u);
 }
 
 }  // namespace
