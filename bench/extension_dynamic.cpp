@@ -1,0 +1,162 @@
+// Extension: incremental BFS repair vs full recomputation on a mutating
+// graph (the PR-9 mutable layer, docs/MUTATIONS.md).
+//
+// The serving engine keeps hot-root traversals cached; when an
+// insert-only batch publishes, it can either recompute each cached root
+// from scratch or patch the cached level/parent arrays with the repair
+// kernel (bfs/repair.hpp), which seeds only the inserted endpoints and
+// relaxes ascending waves through the word-skip sweep. This bench
+// measures that trade across batch sizes: repair must win on small
+// batches (the production arrival pattern) and the crossover point is
+// the number worth tracking over time (BENCH_dynamic.json in CI).
+//
+// Every repaired array is asserted level-exact against the from-scratch
+// traversal of the same snapshot before its timing is reported — a wrong
+// fast path would be worse than no fast path.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bfs/repair.hpp"
+#include "graph/kronecker.hpp"
+#include "graph/mutable_graph.hpp"
+#include "util/timer.hpp"
+
+using namespace sembfs;
+using namespace sembfs::bench;
+
+namespace {
+
+double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+std::string fmt(double value, const char* spec) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), spec, value);
+  return buffer;
+}
+
+std::vector<EdgeOp> insert_batch(std::mt19937_64& rng, Vertex n,
+                                 int count) {
+  std::uniform_int_distribution<Vertex> pick{0, n - 1};
+  std::vector<EdgeOp> ops;
+  ops.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const Vertex u = pick(rng);
+    Vertex v = pick(rng);
+    while (v == u) v = pick(rng);
+    ops.push_back(EdgeOp::insert(u, v));
+  }
+  return ops;
+}
+
+}  // namespace
+
+int main() {
+  BenchConfig config = BenchConfig::resolve();
+  print_header(config,
+               "Extension — incremental BFS repair vs recompute "
+               "(dynamic graph)",
+               "patching a cached traversal after an insert-only batch "
+               "must beat a from-scratch BFS on small batches; every "
+               "repaired array is verified level-exact first");
+
+  ThreadPool pool{static_cast<std::size_t>(config.env.threads)};
+  const NumaTopology topology = NumaTopology::with_total_threads(
+      static_cast<std::size_t>(config.env.numa_nodes),
+      static_cast<std::size_t>(config.env.threads));
+
+  KroneckerParams params;
+  params.scale = config.env.scale;
+  params.edge_factor = config.env.edge_factor;
+  params.seed = config.env.seed;
+  EdgeList base = generate_kronecker(params, pool);
+  const Vertex n = base.vertex_count();
+
+  MutableGraphConfig mg;
+  mg.numa_nodes = static_cast<std::size_t>(config.env.numa_nodes);
+  MutableGraph graph{std::move(base), mg, pool};
+
+  Vertex root = 0;
+  while (graph.snapshot()->base().backward().neighbors(root).empty()) ++root;
+
+  AsciiTable table({"batch", "repair ms", "recompute ms", "speedup",
+                    "relaxed", "newly reached"});
+  CsvWriter csv({"batch", "repair_ms", "recompute_ms", "speedup",
+                 "relaxed", "newly_reached"});
+
+  std::mt19937_64 rng{config.env.seed};
+  constexpr int kTrials = 3;
+  bool all_exact = true;
+  for (const int batch : {8, 32, 128, 512}) {
+    std::vector<double> repair_ms;
+    std::vector<double> recompute_ms;
+    std::int64_t relaxed = 0;
+    std::int64_t newly_reached = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      // Baseline traversal of the sealed base (the "cached" result).
+      const auto before = graph.snapshot();
+      HybridBfsRunner base_runner{before->storage(), topology, pool};
+      const BfsResult cached = base_runner.run(root, BfsConfig{});
+
+      // One insert-only publish on top of it.
+      graph.apply(insert_batch(rng, n, batch));
+      const auto after = graph.snapshot();
+
+      // Full recompute: a fresh delta-aware BFS of the merged view.
+      HybridBfsRunner merged_runner{after->storage(), topology, pool};
+      Timer recompute_timer;
+      const BfsResult recomputed = merged_runner.run(root, BfsConfig{});
+      recompute_ms.push_back(recompute_timer.seconds() * 1e3);
+
+      // Repair: patch the cached arrays through the inserted endpoints.
+      std::vector<std::int32_t> level = cached.level;
+      std::vector<Vertex> parent = cached.parent;
+      Timer repair_timer;
+      const RepairOutcome outcome = repair_bfs_levels(
+          after->base().backward(), *after->delta(), root, level, parent);
+      repair_ms.push_back(repair_timer.seconds() * 1e3);
+      if (!outcome.repaired) {
+        std::fprintf(stderr, "repair declined: %s\n", outcome.reason);
+        return 1;
+      }
+      relaxed = outcome.relaxed;
+      newly_reached = outcome.newly_reached;
+      if (level != recomputed.level) {
+        std::fprintf(stderr,
+                     "repair mismatch at batch=%d trial=%d — wrong fast "
+                     "path\n",
+                     batch, trial);
+        all_exact = false;
+      }
+      // Fold the batch into the base so the next trial layers over a
+      // sealed graph again (delta stays one-batch deep throughout).
+      graph.compact();
+    }
+    const double rep = median(repair_ms);
+    const double rec = median(recompute_ms);
+    const double speedup = rep > 0.0 ? rec / rep : 0.0;
+    table.add_row({std::to_string(batch), fmt(rep, "%.3f"),
+                   fmt(rec, "%.3f"), fmt(speedup, "%.2fx"),
+                   std::to_string(relaxed),
+                   std::to_string(newly_reached)});
+    csv.add_row({std::to_string(batch), std::to_string(rep),
+                 std::to_string(rec), std::to_string(speedup),
+                 std::to_string(relaxed), std::to_string(newly_reached)});
+    // Machine-parseable lines for the CI BENCH_dynamic.json emitter.
+    std::printf("dynamic_batch%d_repair_ms: %.4f\n", batch, rep);
+    std::printf("dynamic_batch%d_recompute_ms: %.4f\n", batch, rec);
+    std::printf("dynamic_batch%d_speedup: %.3f\n", batch, speedup);
+  }
+
+  table.print();
+  maybe_write_csv(config, "extension_dynamic", csv);
+  std::printf("dynamic_exact: %s\n", all_exact ? "ok" : "MISMATCH");
+  return all_exact ? 0 : 1;
+}

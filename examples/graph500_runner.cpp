@@ -6,9 +6,13 @@
 //
 // Prints the official-style Graph500 output block plus the NVM iostat
 // summary (avgqu-sz / avgrq-sz, Figures 12-13) when a device is in play.
+#include <atomic>
 #include <cstdio>
+#include <random>
+#include <thread>
 
 #include "engine/components_program.hpp"
+#include "graph/mutable_graph.hpp"
 #include "engine/pagerank_program.hpp"
 #include "engine/program_session.hpp"
 #include "engine/triangle_program.hpp"
@@ -111,6 +115,18 @@ int main(int argc, char** argv) {
   options.add_int("serve-batch-queries", 128,
                   "max queries per batch, same-root riders included "
                   "(0 = unlimited)");
+  options.add_int("mutate", 0,
+                  "serving mode only: edge-update batches applied through "
+                  "the mutable graph layer while queries run (0 = sealed)");
+  options.add_int("mutate-batch", 64, "edge ops per mutation batch");
+  options.add_double("mutate-remove-frac", 0.125,
+                     "fraction of each batch that removes a previously "
+                     "inserted edge (the rest are inserts)");
+  options.add_int("mutate-compact-every", 0,
+                  "compact after every K mutation batches (0 = never)");
+  options.add_double("mutate-pause-ms", 1.0,
+                     "pause between mutation batches");
+  options.add_int("mutate-seed", 777, "mutation op-stream seed");
   options.add_string("metrics-out", "",
                      "write the metrics registry as JSON to this path "
                      "(enables metrics collection)");
@@ -288,11 +304,48 @@ int main(int argc, char** argv) {
     return !failed && analytics_exports_ok ? 0 : 1;
   }
 
+  const std::int64_t mutate_batches = options.get_int("mutate");
+  if (mutate_batches > 0 && !options.get_flag("serve")) {
+    std::fprintf(stderr, "--mutate requires --serve\n");
+    return 1;
+  }
+
   if (options.get_flag("serve")) {
     // Serving mode: one shared instance, many concurrent queries.
     Graph500Instance instance{config.instance, pool};
     if (config.fault_plan.enabled() && instance.nvm_device() != nullptr)
       instance.nvm_device()->set_fault_plan(config.fault_plan);
+
+    // Live-mutation serving: layer a MutableGraph over the instance's
+    // edge list and point the engine at it; a mutator thread publishes
+    // delta (and optionally compacted) snapshots while the load runs.
+    // The graph gets its own pool so compaction rebuilds never contend
+    // with the engine dispatcher's traversal pool (docs/MUTATIONS.md).
+    std::optional<ThreadPool> mutate_pool;
+    std::optional<MutableGraph> mutable_graph;
+    std::shared_ptr<NvmDevice> mutable_device;
+    if (mutate_batches > 0) {
+      MutableGraphConfig mg;
+      mg.numa_nodes = config.instance.numa_nodes;
+      mg.chunk_bytes = config.instance.chunk_bytes;
+      mg.chunk_format = config.instance.chunk_format;
+      mg.backward_dram_edges = config.instance.scenario.backward_dram_edges;
+      if (config.instance.scenario.offload_forward)
+        mg.forward = MutableForwardKind::kExternal;
+      if (mg.forward != MutableForwardKind::kDram ||
+          mg.backward_dram_edges >= 0) {
+        mg.workdir = config.instance.workdir + "/mutable";
+        mutable_device = std::make_shared<NvmDevice>(
+            config.instance.scenario.effective_profile());
+        mg.device = mutable_device;
+      }
+      mutate_pool.emplace(std::max<std::size_t>(2, pool.size() / 2));
+      mutable_graph.emplace(instance.edge_list(), mg, *mutate_pool);
+      // Armed after generation 0 is sealed so only the serving-time reads
+      // (and compaction rebuilds) see injected faults.
+      if (config.fault_plan.enabled() && mutable_device != nullptr)
+        mutable_device->set_fault_plan(config.fault_plan);
+    }
 
     const std::int64_t max_batch = options.get_int("serve-batch");
     serve::EngineConfig engine_config;
@@ -321,8 +374,65 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(options.get_int("serve-high-reserve"));
     engine_config.cache_bytes = static_cast<std::size_t>(
         options.get_double("serve-cache-mb") * 1024.0 * 1024.0);
-    serve::QueryEngine engine{instance.storage(), instance.topology(), pool,
-                              engine_config};
+    std::optional<serve::QueryEngine> engine_store;
+    if (mutable_graph)
+      engine_store.emplace(*mutable_graph, instance.topology(), pool,
+                           engine_config);
+    else
+      engine_store.emplace(instance.storage(), instance.topology(), pool,
+                           engine_config);
+    serve::QueryEngine& engine = *engine_store;
+
+    // The mutator publishes insert-heavy batches (removes only hit edges
+    // this thread inserted earlier, so every tombstone is meaningful).
+    std::thread mutator;
+    std::uint64_t mutate_ops = 0;  // written before join, read after
+    if (mutable_graph) {
+      mutator = std::thread{[&] {
+        std::mt19937_64 rng{
+            static_cast<std::uint64_t>(options.get_int("mutate-seed"))};
+        const Vertex n = instance.vertex_count();
+        std::uniform_int_distribution<Vertex> pick{0, n - 1};
+        const auto batch_ops =
+            static_cast<int>(options.get_int("mutate-batch"));
+        const double remove_frac =
+            options.get_double("mutate-remove-frac");
+        const auto compact_every =
+            static_cast<int>(options.get_int("mutate-compact-every"));
+        const double pause_ms = options.get_double("mutate-pause-ms");
+        std::vector<Edge> inserted;
+        for (int b = 0; b < mutate_batches; ++b) {
+          std::vector<EdgeOp> ops;
+          ops.reserve(static_cast<std::size_t>(batch_ops));
+          const int removes =
+              !inserted.empty()
+                  ? static_cast<int>(batch_ops * remove_frac)
+                  : 0;
+          for (int i = 0; i < batch_ops - removes; ++i) {
+            const Vertex u = pick(rng);
+            Vertex v = pick(rng);
+            while (v == u) v = pick(rng);
+            ops.push_back(EdgeOp::insert(u, v));
+            inserted.push_back(Edge{u, v});
+          }
+          for (int i = 0; i < removes && !inserted.empty(); ++i) {
+            std::uniform_int_distribution<std::size_t> pick_edge{
+                0, inserted.size() - 1};
+            const std::size_t at = pick_edge(rng);
+            ops.push_back(EdgeOp::remove(inserted[at].u, inserted[at].v));
+            inserted.erase(inserted.begin() +
+                           static_cast<std::ptrdiff_t>(at));
+          }
+          mutable_graph->apply(ops);
+          mutate_ops += ops.size();
+          if (compact_every > 0 && (b + 1) % compact_every == 0)
+            mutable_graph->compact();
+          if (pause_ms > 0.0)
+            std::this_thread::sleep_for(std::chrono::duration<double,
+                                        std::milli>{pause_ms});
+        }
+      }};
+    }
 
     serve::LoadGenConfig load;
     load.clients = static_cast<std::size_t>(options.get_int("serve-clients"));
@@ -351,6 +461,7 @@ int main(int argc, char** argv) {
     load.options.batchable = max_batch > 1;
     const serve::LoadGenReport report =
         serve::run_load(engine, instance.vertex_count(), load);
+    if (mutator.joinable()) mutator.join();
     engine.shutdown();
     const serve::EngineStats stats = engine.stats();
     const serve::ResultCacheStats cache = engine.cache_stats();
@@ -397,6 +508,25 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(report.high_issued),
         static_cast<unsigned long long>(report.high_done),
         static_cast<unsigned long long>(report.high_deadline_expired));
+    if (mutable_graph) {
+      const MutableGraphStats mg_stats = mutable_graph->stats();
+      std::printf(
+          "mutate_batches: %lld\nmutate_ops: %llu\n"
+          "mutate_version: %llu\nmutate_compactions: %llu\n"
+          "mutate_delta_inserts: %zu\nmutate_delta_removes: %zu\n"
+          "mutate_delta_bytes: %llu\n"
+          "serve_snapshots_published: %llu\n"
+          "serve_cache_migrated: %llu\nserve_cache_dropped: %llu\n",
+          static_cast<long long>(mutate_batches),
+          static_cast<unsigned long long>(mutate_ops),
+          static_cast<unsigned long long>(mg_stats.version),
+          static_cast<unsigned long long>(mg_stats.compactions),
+          mg_stats.delta_inserts, mg_stats.delta_removes,
+          static_cast<unsigned long long>(mg_stats.delta_bytes),
+          static_cast<unsigned long long>(stats.snapshots_published),
+          static_cast<unsigned long long>(stats.cache_entries_migrated),
+          static_cast<unsigned long long>(stats.cache_entries_dropped));
+    }
 
     bool serve_exports_ok = true;
     if (!metrics_out.empty() &&

@@ -54,7 +54,7 @@ StepResult finish(TeamState& state, BfsStatus& status, ThreadPool& pool,
 StepResult bottom_up_step(const BackwardGraph& backward, BfsStatus& status,
                           std::int32_t level, const NumaTopology& topology,
                           ThreadPool& pool, std::int64_t chunk,
-                          BottomUpOutput output) {
+                          BottomUpOutput output, const DeltaBuffer* delta) {
   SEMBFS_EXPECTS(chunk >= 1);
   const std::size_t workers =
       std::min<std::size_t>(pool.size(), topology.total_threads());
@@ -83,19 +83,35 @@ StepResult bottom_up_step(const BackwardGraph& backward, BfsStatus& status,
             std::min<std::int64_t>(range.size(), lo + chunk);
         const auto [swept, skipped] = sweep_unvisited(
             visited, range.begin + lo, range.begin + hi, [&](Vertex vtx) {
+              // Single-writer per vertex: each unvisited vertex is swept
+              // by exactly one worker per level, so the plain
+              // release-store claim needs no CAS.
+              const auto claim = [&](Vertex candidate) {
+                status.claim_bottom_up(vtx, candidate, level);
+                if (out_bits != nullptr) {
+                  out_bits->set(static_cast<std::size_t>(vtx));
+                } else {
+                  out.push_back(vtx);
+                }
+                ++local_claimed;
+              };
+              // Delta-inserted in-neighbors first: DRAM-cheap, and an
+              // early exit here skips the base scan entirely.
+              if (delta != nullptr && delta->has_inserts(vtx)) {
+                for (const Vertex candidate : delta->inserted(vtx)) {
+                  ++local_scanned;
+                  if (status.in_frontier(candidate)) {
+                    claim(candidate);
+                    return;  // bottom-up early exit
+                  }
+                }
+              }
               for (const Vertex candidate : part.neighbors(vtx)) {
                 ++local_scanned;
-                if (status.in_frontier(candidate)) {
-                  // Single-writer per vertex: each unvisited vertex is
-                  // swept by exactly one worker per level, so the plain
-                  // release-store claim needs no CAS.
-                  status.claim_bottom_up(vtx, candidate, level);
-                  if (out_bits != nullptr) {
-                    out_bits->set(static_cast<std::size_t>(vtx));
-                  } else {
-                    out.push_back(vtx);
-                  }
-                  ++local_claimed;
+                if (status.in_frontier(candidate) &&
+                    (delta == nullptr ||
+                     !delta->edge_removed(vtx, candidate))) {
+                  claim(candidate);
                   break;  // bottom-up early exit
                 }
               }
@@ -117,7 +133,8 @@ StepResult bottom_up_step_hybrid(HybridBackwardGraph& backward,
                                  BfsStatus& status, std::int32_t level,
                                  const NumaTopology& topology,
                                  ThreadPool& pool, std::int64_t chunk,
-                                 BottomUpOutput output) {
+                                 BottomUpOutput output,
+                                 const DeltaBuffer* delta) {
   SEMBFS_EXPECTS(chunk >= 1);
   const std::size_t workers =
       std::min<std::size_t>(pool.size(), topology.total_threads());
@@ -147,16 +164,32 @@ StepResult bottom_up_step_hybrid(HybridBackwardGraph& backward,
             std::min<std::int64_t>(range.size(), lo + chunk);
         const auto [swept, skipped] = sweep_unvisited(
             visited, range.begin + lo, range.begin + hi, [&](Vertex vtx) {
+              const auto claim = [&](Vertex candidate) {
+                status.claim_bottom_up(vtx, candidate, level);
+                if (out_bits != nullptr) {
+                  out_bits->set(static_cast<std::size_t>(vtx));
+                } else {
+                  out.push_back(vtx);
+                }
+                ++local_claimed;
+              };
+              // Delta-inserted in-neighbors first — DRAM-cheap, and an
+              // early exit here avoids touching the NVM tail at all.
+              if (delta != nullptr && delta->has_inserts(vtx)) {
+                for (const Vertex candidate : delta->inserted(vtx)) {
+                  ++local_scanned;
+                  if (status.in_frontier(candidate)) {
+                    claim(candidate);
+                    return;
+                  }
+                }
+              }
               part.visit_neighbors(vtx, scratch, [&](Vertex candidate) {
                 ++local_scanned;
-                if (status.in_frontier(candidate)) {
-                  status.claim_bottom_up(vtx, candidate, level);
-                  if (out_bits != nullptr) {
-                    out_bits->set(static_cast<std::size_t>(vtx));
-                  } else {
-                    out.push_back(vtx);
-                  }
-                  ++local_claimed;
+                if (status.in_frontier(candidate) &&
+                    (delta == nullptr ||
+                     !delta->edge_removed(vtx, candidate))) {
+                  claim(candidate);
                   return false;  // stop scanning this vertex
                 }
                 return true;

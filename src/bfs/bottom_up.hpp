@@ -44,12 +44,14 @@ enum class BottomUpOutput {
 StepResult bottom_up_step(const BackwardGraph& backward, BfsStatus& status,
                           std::int32_t level, const NumaTopology& topology,
                           ThreadPool& pool, std::int64_t chunk = 1024,
-                          BottomUpOutput output = BottomUpOutput::Queue);
+                          BottomUpOutput output = BottomUpOutput::Queue,
+                          const DeltaBuffer* delta = nullptr);
 
 StepResult bottom_up_step_hybrid(HybridBackwardGraph& backward,
                                  BfsStatus& status, std::int32_t level,
                                  const NumaTopology& topology,
                                  ThreadPool& pool, std::int64_t chunk = 1024,
-                                 BottomUpOutput output = BottomUpOutput::Queue);
+                                 BottomUpOutput output = BottomUpOutput::Queue,
+                                 const DeltaBuffer* delta = nullptr);
 
 }  // namespace sembfs

@@ -17,9 +17,14 @@ Vertex GraphStorage::vertex_count() const noexcept {
 }
 
 std::int64_t GraphStorage::degree(Vertex v) const {
+  // The delta's correction (inserted copies minus tombstone-hidden base
+  // copies) applies uniformly: every backend below reports base entries.
+  const std::int64_t adjust =
+      delta != nullptr ? delta->degree_adjustment(v) : 0;
   if (backward_dram != nullptr)
-    return static_cast<std::int64_t>(backward_dram->neighbors(v).size());
-  if (backward_hybrid != nullptr) return backward_hybrid->degree(v);
+    return adjust +
+           static_cast<std::int64_t>(backward_dram->neighbors(v).size());
+  if (backward_hybrid != nullptr) return adjust + backward_hybrid->degree(v);
   // Forward-only storage: every forward partition is destination-filtered,
   // so the full degree is the sum over partitions.
   if (forward_dram != nullptr) {
@@ -28,13 +33,13 @@ std::int64_t GraphStorage::degree(Vertex v) const {
       total += static_cast<std::int64_t>(
           forward_dram->partition(k).neighbors(v).size());
     }
-    return total;
+    return adjust + total;
   }
   if (forward_external != nullptr) {
     std::int64_t total = 0;
     for (std::size_t k = 0; k < forward_external->node_count(); ++k)
       total += forward_external->partition(k).degree(v);
-    return total;
+    return adjust + total;
   }
   if (forward_tiered != nullptr) {
     std::int64_t total = 0;
@@ -43,7 +48,7 @@ std::int64_t GraphStorage::degree(Vertex v) const {
       forward_tiered->partition(k).fetch_neighbors(v, scratch);
       total += static_cast<std::int64_t>(scratch.size());
     }
-    return total;
+    return adjust + total;
   }
   SEMBFS_ASSERT(!"GraphStorage::degree: no graph attached");
   return 0;

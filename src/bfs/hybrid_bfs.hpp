@@ -115,14 +115,21 @@ struct GraphStorage {
   TieredForwardGraph* forward_tiered = nullptr;
   const BackwardGraph* backward_dram = nullptr;
   HybridBackwardGraph* backward_hybrid = nullptr;
+  /// Mutation overlay (docs/MUTATIONS.md): when non-null, every kernel
+  /// reads adjacency through the merged view — base entries minus
+  /// tombstoned pairs, plus inserted neighbors — and degree() applies the
+  /// delta's correction. nullptr (the default) is the sealed-graph path
+  /// and costs nothing. The buffer must outlive every traversal using
+  /// this storage view (snapshots pin it via shared ownership).
+  const DeltaBuffer* delta = nullptr;
 
   [[nodiscard]] Vertex vertex_count() const noexcept;
-  /// Full degree of v (needed for TEPS accounting and the EdgeRatio
-  /// policy). Served from whichever backward graph is attached (DRAM, one
-  /// lookup); forward-only storage falls back to summing the
-  /// destination-filtered forward partition degrees — correct, but it
-  /// touches every partition and may issue device I/O for external and
-  /// tiered forward graphs.
+  /// Full degree of v under the merged view (needed for TEPS accounting
+  /// and the EdgeRatio policy). Served from whichever backward graph is
+  /// attached (DRAM, one lookup) plus the delta adjustment; forward-only
+  /// storage falls back to summing the destination-filtered forward
+  /// partition degrees — correct, but it touches every partition and may
+  /// issue device I/O for external and tiered forward graphs.
   [[nodiscard]] std::int64_t degree(Vertex v) const;
 };
 

@@ -1,0 +1,117 @@
+#include "bfs/repair.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "bfs/sweep.hpp"
+#include "util/bitmap.hpp"
+#include "util/contracts.hpp"
+#include "util/timer.hpp"
+
+namespace sembfs {
+
+namespace {
+
+/// Pending wave members, bucketed by candidate level. Levels only ever
+/// decrease during repair, so buckets are processed strictly ascending.
+struct WaveBuckets {
+  std::vector<std::vector<Vertex>> by_level;
+
+  void push(std::int32_t l, Vertex v) {
+    const auto idx = static_cast<std::size_t>(l);
+    if (idx >= by_level.size()) by_level.resize(idx + 1);
+    by_level[idx].push_back(v);
+  }
+};
+
+}  // namespace
+
+RepairOutcome repair_bfs_levels(const BackwardGraph& backward,
+                                const DeltaBuffer& delta, Vertex root,
+                                std::vector<std::int32_t>& level,
+                                std::vector<Vertex>& parent) {
+  RepairOutcome out;
+  const Vertex n = backward.vertex_count();
+  if (delta.has_deletes()) {
+    out.reason = "delta contains deletions";
+    return out;
+  }
+  if (static_cast<Vertex>(level.size()) != n) {
+    out.reason = "level array does not cover the graph";
+    return out;
+  }
+  if (!parent.empty() && static_cast<Vertex>(parent.size()) != n) {
+    out.reason = "parent array does not cover the graph";
+    return out;
+  }
+  if (root < 0 || root >= n || level[static_cast<std::size_t>(root)] != 0) {
+    out.reason = "result is not a complete traversal from root";
+    return out;
+  }
+
+  Timer timer;
+
+  // Seeds: each inserted pair may open a shortcut in either direction.
+  // done starts all-set; punching a bit makes the vertex a wave member.
+  AtomicBitmap done{static_cast<std::size_t>(n)};
+  done.fill();
+  WaveBuckets waves;
+  std::int32_t first_wave = -1;
+
+  const auto relax = [&](Vertex from, Vertex to) {
+    const auto fi = static_cast<std::size_t>(from);
+    const auto ti = static_cast<std::size_t>(to);
+    if (level[fi] < 0) return;  // `from` unreached: nothing to propagate
+    const std::int32_t cand = level[fi] + 1;
+    if (level[ti] >= 0 && level[ti] <= cand) return;
+    if (level[ti] < 0) ++out.newly_reached;
+    level[ti] = cand;
+    if (!parent.empty()) parent[ti] = from;
+    ++out.relaxed;
+    waves.push(cand, to);
+    done.try_reset(ti);  // may already be punched at a superseded level
+    if (first_wave < 0 || cand < first_wave) first_wave = cand;
+  };
+
+  for (const Edge& e : delta.inserted_edges()) {
+    SEMBFS_EXPECTS(e.u >= 0 && e.u < n && e.v >= 0 && e.v < n);
+    ++out.seeds;
+    relax(e.u, e.v);
+    relax(e.v, e.u);
+  }
+
+  // Ascending wave relaxation. A member whose level no longer equals the
+  // wave was superseded by a shorter path; its punch is re-set lazily so
+  // later sweeps skip its word again.
+  for (std::int32_t l = first_wave;
+       first_wave >= 0 &&
+       l < static_cast<std::int32_t>(waves.by_level.size());
+       ++l) {
+    std::vector<Vertex> members =
+        std::move(waves.by_level[static_cast<std::size_t>(l)]);
+    if (members.empty()) continue;
+    ++out.waves;
+    const auto [lo_it, hi_it] =
+        std::minmax_element(members.begin(), members.end());
+    const auto [swept, skipped] = sweep_unvisited(
+        done, *lo_it, *hi_it + 1, [&](Vertex v) {
+          const auto vi = static_cast<std::size_t>(v);
+          if (level[vi] != l) return;  // stale or future-wave punch
+          done.set(vi);
+          // Merged-view out-neighbors: the base backward graph carries the
+          // complete per-vertex adjacency (in == out, undirected), and the
+          // insert-only delta appends the fresh copies — shortcuts may
+          // chain through several inserted edges inside one repair.
+          delta.for_each_merged(v, backward.neighbors(v),
+                                [&](Vertex w) { relax(v, w); });
+        });
+    out.words_swept += swept;
+    out.words_skipped += skipped;
+  }
+
+  out.repaired = true;
+  out.seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace sembfs

@@ -1,0 +1,60 @@
+// Incremental BFS repair: patching a cached level/parent result after a
+// batch of edge insertions instead of recomputing the whole traversal
+// (docs/MUTATIONS.md).
+//
+// Edge insertions can only shorten unit-weight distances, so a complete
+// cached traversal stays correct except where an inserted edge opens a
+// shortcut: the repair is a monotone wave relaxation seeded from the
+// inserted endpoints, processing candidate levels in ascending order.
+// Each wave L re-runs the same word-skip sweep the bottom-up kernels use
+// (src/bfs/sweep.hpp), but over a "done" bitmap seeded ALL-SET with only
+// the pending wave members punched out — so the sweep touches one word
+// per 64 vertices between members and lands exactly on the affected
+// frontier words. A member is processed when its current level equals the
+// wave (stale punches from superseded relaxations are skipped and re-set
+// lazily), relaxing its merged-view neighbors to L+1.
+//
+// Scope contract: repair handles INSERT-ONLY deltas over a COMPLETE
+// traversal. Deletions can lengthen distances (monotone relaxation cannot
+// raise a level), and a truncated/cancelled traversal has no valid levels
+// to relax from — both report `repaired = false` and the caller falls
+// back to full recomputation. The differential suite pins repair output
+// reference-equal to a from-scratch BFS on the merged graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/backward_graph.hpp"
+#include "graph/delta_buffer.hpp"
+#include "graph/types.hpp"
+
+namespace sembfs {
+
+struct RepairOutcome {
+  /// False: the delta/result is outside repair's scope — recompute.
+  bool repaired = false;
+  const char* reason = "";         ///< why repair declined (when !repaired)
+  std::int64_t seeds = 0;          ///< endpoints seeded by inserted edges
+  std::int64_t relaxed = 0;        ///< vertices whose level improved
+  std::int64_t newly_reached = 0;  ///< previously unreached vertices
+  std::int32_t waves = 0;          ///< ascending levels processed
+  std::uint64_t words_swept = 0;   ///< sweep words examined
+  std::uint64_t words_skipped = 0; ///< saturated words skipped
+  double seconds = 0.0;
+};
+
+/// Repairs `level`/`parent` (a complete BFS of the base graph from
+/// `root`) in place so they match a BFS of the merged view (base +
+/// `delta`). `backward` must be the canonical complete-adjacency DRAM
+/// backward graph of the base. `parent` may be empty (level-only cache
+/// entries); when present it is patched consistently (parent[w] is a
+/// merged-view neighbor of w with level[parent[w]] + 1 == level[w]).
+/// Declines (repaired = false, arrays untouched) when the delta carries
+/// deletions or the inputs are not a plausible complete traversal.
+RepairOutcome repair_bfs_levels(const BackwardGraph& backward,
+                                const DeltaBuffer& delta, Vertex root,
+                                std::vector<std::int32_t>& level,
+                                std::vector<Vertex>& parent);
+
+}  // namespace sembfs

@@ -90,17 +90,21 @@ bool BfsSession::step() {
       obs_frontier_conversions_->add(1);
     if (storage_.forward_dram != nullptr) {
       step_result = top_down_step(*storage_.forward_dram, *status_, level_,
-                                  topology_, pool_, config_.batch_size);
+                                  topology_, pool_, config_.batch_size,
+                                  storage_.delta);
     } else if (storage_.forward_tiered != nullptr) {
       step_result =
           top_down_step_tiered(*storage_.forward_tiered, *status_, level_,
-                               topology_, pool_, config_.batch_size);
+                               topology_, pool_, config_.batch_size,
+                               storage_.delta);
     } else {
       ExternalForwardGraph& external = *storage_.forward_external;
       prepare_external_storage(external, config_);
-      step_result =
-          top_down_step_external(external, *status_, level_, topology_, pool_,
-                                 external_step_options(external, config_));
+      ExternalTopDownOptions options =
+          external_step_options(external, config_);
+      options.delta = storage_.delta;
+      step_result = top_down_step_external(external, *status_, level_,
+                                           topology_, pool_, options);
     }
     scanned_top_down_ += step_result.scanned_edges;
     io_failures_ += step_result.io_failures;
@@ -123,11 +127,12 @@ bool BfsSession::step() {
     if (storage_.backward_dram != nullptr) {
       step_result =
           bottom_up_step(*storage_.backward_dram, *status_, level_,
-                         topology_, pool_, config_.bottom_up_chunk, output);
+                         topology_, pool_, config_.bottom_up_chunk, output,
+                         storage_.delta);
     } else {
       step_result = bottom_up_step_hybrid(
           *storage_.backward_hybrid, *status_, level_, topology_, pool_,
-          config_.bottom_up_chunk, output);
+          config_.bottom_up_chunk, output, storage_.delta);
     }
     scanned_bottom_up_ += step_result.scanned_edges;
   }
@@ -265,10 +270,12 @@ StepResult BfsSession::degrade_level() {
   StepResult redo;
   if (storage_.backward_dram != nullptr) {
     redo = bottom_up_step(*storage_.backward_dram, *status_, level_,
-                          topology_, pool_, config_.bottom_up_chunk);
+                          topology_, pool_, config_.bottom_up_chunk,
+                          BottomUpOutput::Queue, storage_.delta);
   } else {
     redo = bottom_up_step_hybrid(*storage_.backward_hybrid, *status_, level_,
-                                 topology_, pool_, config_.bottom_up_chunk);
+                                 topology_, pool_, config_.bottom_up_chunk,
+                                 BottomUpOutput::Queue, storage_.delta);
   }
   std::vector<Vertex>& next = status_->next();
   next.insert(next.end(), partial.begin(), partial.end());

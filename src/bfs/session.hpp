@@ -59,7 +59,7 @@ class BfsSession {
 
  private:
   GraphStorage storage_;
-  const NumaTopology& topology_;
+  NumaTopology topology_;  ///< by value: ctor arg may be a temporary
   ThreadPool& pool_;
   BfsStatus* status_;
   BfsConfig config_;

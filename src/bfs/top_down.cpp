@@ -54,7 +54,8 @@ StepResult finish(TeamState& state, BfsStatus& status, ThreadPool& pool) {
 
 StepResult top_down_step(const ForwardGraph& forward, BfsStatus& status,
                          std::int32_t level, const NumaTopology& topology,
-                         ThreadPool& pool, int batch_size) {
+                         ThreadPool& pool, int batch_size,
+                         const DeltaBuffer* delta) {
   SEMBFS_EXPECTS(batch_size >= 1);
   const auto& frontier = status.frontier();
   const auto frontier_n = static_cast<std::int64_t>(frontier.size());
@@ -67,6 +68,14 @@ StepResult top_down_step(const ForwardGraph& forward, BfsStatus& status,
     std::int64_t local_claimed = 0;
     std::int64_t local_scanned = 0;
 
+    const auto expand = [&](Vertex v, Vertex dst) {
+      ++local_scanned;
+      if (!status.is_visited(dst) && status.claim(dst, v, level)) {
+        out.push_back(dst);
+        ++local_claimed;
+      }
+    };
+
     for_each_assigned_node(w, workers, forward.node_count(), [&](std::size_t node) {
       const Csr& part = forward.partition(node);
       auto& cursor = state.cursors[node];
@@ -78,12 +87,12 @@ StepResult top_down_step(const ForwardGraph& forward, BfsStatus& status,
             std::min<std::int64_t>(frontier_n, lo + batch_size);
         for (std::int64_t i = lo; i < hi; ++i) {
           const Vertex v = frontier[static_cast<std::size_t>(i)];
-          for (const Vertex dst : part.neighbors(v)) {
-            ++local_scanned;
-            if (!status.is_visited(dst) && status.claim(dst, v, level)) {
-              out.push_back(dst);
-              ++local_claimed;
-            }
+          if (delta == nullptr || !delta->touches(v)) {
+            for (const Vertex dst : part.neighbors(v)) expand(v, dst);
+          } else {
+            delta->for_each_merged(v, part.neighbors(v),
+                                   part.destination_range(),
+                                   [&](Vertex dst) { expand(v, dst); });
           }
         }
       }
@@ -116,18 +125,25 @@ StepResult top_down_step_external(ExternalForwardGraph& forward,
     std::int64_t local_scanned = 0;
     std::uint64_t local_requests = 0;
 
-    const auto process = [&](Vertex v, std::span<const Vertex> adjacency) {
-      for (const Vertex dst : adjacency) {
-        ++local_scanned;
-        if (!status.is_visited(dst) && status.claim(dst, v, level)) {
-          out.push_back(dst);
-          ++local_claimed;
-        }
+    const auto expand = [&](Vertex v, Vertex dst) {
+      ++local_scanned;
+      if (!status.is_visited(dst) && status.claim(dst, v, level)) {
+        out.push_back(dst);
+        ++local_claimed;
       }
     };
 
     for_each_assigned_node(w, workers, forward.node_count(), [&](std::size_t node) {
       ExternalCsrPartition& part = forward.partition(node);
+      const auto process = [&](Vertex v, std::span<const Vertex> adjacency) {
+        if (options.delta == nullptr || !options.delta->touches(v)) {
+          for (const Vertex dst : adjacency) expand(v, dst);
+        } else {
+          options.delta->for_each_merged(
+              v, adjacency, part.destination_range(),
+              [&](Vertex dst) { expand(v, dst); });
+        }
+      };
       auto& cursor = state.cursors[node];
       const auto claim_batch = [&]() -> std::span<const Vertex> {
         if (state.aborted()) return {};  // budget exceeded: stop claiming
@@ -213,7 +229,8 @@ StepResult top_down_step_external(ExternalForwardGraph& forward,
 StepResult top_down_step_tiered(TieredForwardGraph& forward,
                                 BfsStatus& status, std::int32_t level,
                                 const NumaTopology& topology,
-                                ThreadPool& pool, int batch_size) {
+                                ThreadPool& pool, int batch_size,
+                                const DeltaBuffer* delta) {
   SEMBFS_EXPECTS(batch_size >= 1);
   const auto& frontier = status.frontier();
   const auto frontier_n = static_cast<std::int64_t>(frontier.size());
@@ -228,8 +245,19 @@ StepResult top_down_step_tiered(TieredForwardGraph& forward,
     std::int64_t local_scanned = 0;
     std::uint64_t local_requests = 0;
 
+    const auto expand = [&](Vertex v, Vertex dst) {
+      ++local_scanned;
+      if (!status.is_visited(dst) && status.claim(dst, v, level)) {
+        out.push_back(dst);
+        ++local_claimed;
+      }
+    };
+
     for_each_assigned_node(w, workers, forward.node_count(), [&](std::size_t node) {
       TieredForwardPartition& part = forward.partition(node);
+      // Tiered partitions carry the same destination filter as the forward
+      // partition they were split from: node k's vertex range.
+      const VertexRange dest = forward.vertex_partition().range_of(node);
       auto& cursor = state.cursors[node];
       for (;;) {
         if (state.aborted()) break;
@@ -248,12 +276,11 @@ StepResult top_down_step_tiered(TieredForwardGraph& forward,
             state.contain_failure(0);
             continue;
           }
-          for (const Vertex dst : scratch) {
-            ++local_scanned;
-            if (!status.is_visited(dst) && status.claim(dst, v, level)) {
-              out.push_back(dst);
-              ++local_claimed;
-            }
+          if (delta == nullptr || !delta->touches(v)) {
+            for (const Vertex dst : scratch) expand(v, dst);
+          } else {
+            delta->for_each_merged(v, scratch, dest,
+                                   [&](Vertex dst) { expand(v, dst); });
           }
         }
       }

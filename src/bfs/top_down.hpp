@@ -15,6 +15,7 @@
 
 #include "bfs/bfs_status.hpp"
 #include "bfs/level_stats.hpp"
+#include "graph/delta_buffer.hpp"
 #include "graph/external_csr.hpp"
 #include "graph/forward_graph.hpp"
 #include "graph/tiered_forward.hpp"
@@ -40,7 +41,8 @@ struct StepResult {
 
 StepResult top_down_step(const ForwardGraph& forward, BfsStatus& status,
                          std::int32_t level, const NumaTopology& topology,
-                         ThreadPool& pool, int batch_size = 64);
+                         ThreadPool& pool, int batch_size = 64,
+                         const DeltaBuffer* delta = nullptr);
 
 struct ExternalTopDownOptions {
   int batch_size = 64;
@@ -61,6 +63,10 @@ struct ExternalTopDownOptions {
   /// expanded, leaving the level incomplete (StepResult::io_failed()).
   /// 0 = abort the level on the first hard failure.
   std::uint64_t io_error_budget = 0;
+  /// Merged-view overlay: when non-null, every expanded vertex reads its
+  /// adjacency through the delta buffer (tombstoned base entries hidden,
+  /// destination-filtered inserts appended). nullptr = sealed base graph.
+  const DeltaBuffer* delta = nullptr;
 };
 
 StepResult top_down_step_external(ExternalForwardGraph& forward,
@@ -74,6 +80,7 @@ StepResult top_down_step_external(ExternalForwardGraph& forward,
 StepResult top_down_step_tiered(TieredForwardGraph& forward,
                                 BfsStatus& status, std::int32_t level,
                                 const NumaTopology& topology,
-                                ThreadPool& pool, int batch_size = 64);
+                                ThreadPool& pool, int batch_size = 64,
+                                const DeltaBuffer* delta = nullptr);
 
 }  // namespace sembfs

@@ -17,30 +17,33 @@ void BfsProgram::init(EngineContext& ctx) {
 
 StepResult BfsProgram::step(EngineContext& ctx, Direction direction) {
   const BfsConfig& config = *ctx.config;
+  const DeltaBuffer* const delta = ctx.storage.delta;
   if (direction == Direction::TopDown) {
     if (ctx.storage.forward_dram != nullptr) {
       return top_down_step(*ctx.storage.forward_dram, *status_, ctx.superstep,
-                           *ctx.topology, *ctx.pool, config.batch_size);
+                           *ctx.topology, *ctx.pool, config.batch_size,
+                           delta);
     }
     if (ctx.storage.forward_tiered != nullptr) {
       return top_down_step_tiered(*ctx.storage.forward_tiered, *status_,
                                   ctx.superstep, *ctx.topology, *ctx.pool,
-                                  config.batch_size);
+                                  config.batch_size, delta);
     }
     ExternalForwardGraph& external = *ctx.storage.forward_external;
     // The session already ran prepare_external_storage().
+    ExternalTopDownOptions options = external_step_options(external, config);
+    options.delta = delta;
     return top_down_step_external(external, *status_, ctx.superstep,
-                                  *ctx.topology, *ctx.pool,
-                                  external_step_options(external, config));
+                                  *ctx.topology, *ctx.pool, options);
   }
   if (ctx.storage.backward_dram != nullptr) {
     return bottom_up_step(*ctx.storage.backward_dram, *status_, ctx.superstep,
                           *ctx.topology, *ctx.pool, config.bottom_up_chunk,
-                          ctx.pull_output);
+                          ctx.pull_output, delta);
   }
   return bottom_up_step_hybrid(*ctx.storage.backward_hybrid, *status_,
                                ctx.superstep, *ctx.topology, *ctx.pool,
-                               config.bottom_up_chunk, ctx.pull_output);
+                               config.bottom_up_chunk, ctx.pull_output, delta);
 }
 
 bool BfsProgram::converged(const EngineContext& ctx) const {
@@ -66,11 +69,13 @@ StepResult BfsProgram::degrade(EngineContext& ctx) {
   if (ctx.storage.backward_dram != nullptr) {
     redo = bottom_up_step(*ctx.storage.backward_dram, *status_, ctx.superstep,
                           *ctx.topology, *ctx.pool,
-                          ctx.config->bottom_up_chunk);
+                          ctx.config->bottom_up_chunk, BottomUpOutput::Queue,
+                          ctx.storage.delta);
   } else {
     redo = bottom_up_step_hybrid(*ctx.storage.backward_hybrid, *status_,
                                  ctx.superstep, *ctx.topology, *ctx.pool,
-                                 ctx.config->bottom_up_chunk);
+                                 ctx.config->bottom_up_chunk,
+                                 BottomUpOutput::Queue, ctx.storage.delta);
   }
   std::vector<Vertex>& next = status_->next();
   next.insert(next.end(), partial.begin(), partial.end());

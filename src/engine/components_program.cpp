@@ -64,13 +64,15 @@ StepResult ComponentsProgram::step(EngineContext& ctx, Direction direction) {
   };
 
   const std::span<const Vertex> queue{active_->queue()};
+  const DeltaBuffer* const delta = ctx.storage.delta;
   ScatterStats scatter;
   if (ctx.storage.forward_dram != nullptr) {
     scatter = scatter_active(*ctx.storage.forward_dram, queue, *ctx.topology,
-                             pool, config.batch_size, edge_fn);
+                             pool, config.batch_size, edge_fn, delta);
   } else if (ctx.storage.forward_tiered != nullptr) {
     scatter = scatter_active(*ctx.storage.forward_tiered, queue,
-                             *ctx.topology, pool, config.batch_size, edge_fn);
+                             *ctx.topology, pool, config.batch_size, edge_fn,
+                             delta);
   } else {
     ExternalForwardGraph& external = *ctx.storage.forward_external;
     ScatterIoOptions io;
@@ -80,6 +82,7 @@ StepResult ComponentsProgram::step(EngineContext& ctx, Direction direction) {
     io.max_request_bytes = config.aggregate_max_request;
     io.scheduler = external.io_scheduler();
     io.io_error_budget = config.io_error_budget;
+    io.delta = delta;
     scatter = scatter_active(external, queue, *ctx.topology, pool, io,
                              edge_fn);
   }
@@ -102,10 +105,24 @@ StepResult ComponentsProgram::pull_step(EngineContext& ctx) {
   }
   ThreadPool& pool = *ctx.pool;
   const Vertex n = ctx.vertex_count();
+  const DeltaBuffer* const delta = ctx.storage.delta;
   active_->begin_bitmap_next(pool.size());
 
   std::vector<std::int64_t> improved(pool.size(), 0);
   std::vector<std::int64_t> scanned(pool.size(), 0);
+
+  // Merged-view in-neighbors of v beyond the base adjacency: the delta's
+  // inserted copies (undirected — both endpoints carry them).
+  const auto min_over_inserts = [&](Vertex v, Vertex best,
+                                    std::int64_t& scans) -> Vertex {
+    if (delta == nullptr || !delta->has_inserts(v)) return best;
+    for (const Vertex u : delta->inserted(v)) {
+      ++scans;
+      best = std::min(best, labels_[static_cast<std::size_t>(u)].load(
+                                std::memory_order_relaxed));
+    }
+    return best;
+  };
 
   // Full sweep: every vertex recomputes its label from its complete
   // in-adjacency (single writer per vertex — plain stores suffice, and
@@ -122,9 +139,12 @@ StepResult ComponentsProgram::pull_step(EngineContext& ctx) {
         scanned[w] += static_cast<std::int64_t>(adj.size());
         Vertex best = labels_[static_cast<std::size_t>(v)].load(
             std::memory_order_relaxed);
-        for (const Vertex u : adj)
+        for (const Vertex u : adj) {
+          if (delta != nullptr && delta->edge_removed(v, u)) continue;
           best = std::min(best, labels_[static_cast<std::size_t>(u)].load(
                                     std::memory_order_relaxed));
+        }
+        best = min_over_inserts(static_cast<Vertex>(v), best, scanned[w]);
         if (best < labels_[static_cast<std::size_t>(v)].load(
                        std::memory_order_relaxed)) {
           labels_[static_cast<std::size_t>(v)].store(
@@ -151,12 +171,16 @@ StepResult ComponentsProgram::pull_step(EngineContext& ctx) {
             .visit_neighbors(static_cast<Vertex>(v), scratch,
                              [&](Vertex u) {
                                ++scanned[w];
+                               if (delta != nullptr &&
+                                   delta->edge_removed(v, u))
+                                 return true;
                                best = std::min(
                                    best,
                                    labels_[static_cast<std::size_t>(u)].load(
                                        std::memory_order_relaxed));
                                return true;
                              });
+        best = min_over_inserts(static_cast<Vertex>(v), best, scanned[w]);
         if (best < labels_[static_cast<std::size_t>(v)].load(
                        std::memory_order_relaxed)) {
           labels_[static_cast<std::size_t>(v)].store(

@@ -84,13 +84,14 @@ StepResult PageRankProgram::step(EngineContext& ctx, Direction direction) {
       atomic_add(sums_[static_cast<std::size_t>(dst)], contrib);
   };
 
+  const DeltaBuffer* const delta = ctx.storage.delta;
   ScatterStats scatter;
   if (ctx.storage.forward_dram != nullptr) {
     scatter = scatter_active(*ctx.storage.forward_dram, all_, *ctx.topology,
-                             pool, config.batch_size, edge_fn);
+                             pool, config.batch_size, edge_fn, delta);
   } else if (ctx.storage.forward_tiered != nullptr) {
     scatter = scatter_active(*ctx.storage.forward_tiered, all_, *ctx.topology,
-                             pool, config.batch_size, edge_fn);
+                             pool, config.batch_size, edge_fn, delta);
   } else {
     ExternalForwardGraph& external = *ctx.storage.forward_external;
     ScatterIoOptions io;
@@ -100,6 +101,7 @@ StepResult PageRankProgram::step(EngineContext& ctx, Direction direction) {
     io.max_request_bytes = config.aggregate_max_request;
     io.scheduler = external.io_scheduler();
     io.io_error_budget = config.io_error_budget;
+    io.delta = delta;
     scatter = scatter_active(external, all_, *ctx.topology, pool, io,
                              edge_fn);
   }
@@ -128,7 +130,21 @@ StepResult PageRankProgram::accumulate_pull(EngineContext& ctx) {
   }
   ThreadPool& pool = *ctx.pool;
   const Vertex n = ctx.vertex_count();
+  const DeltaBuffer* const delta = ctx.storage.delta;
   std::vector<std::int64_t> scanned(pool.size(), 0);
+
+  // Merged-view extension of v's in-adjacency: the delta's inserted copies.
+  const auto sum_over_inserts = [&](Vertex v, double sum,
+                                    std::int64_t& scans) -> double {
+    if (delta == nullptr || !delta->has_inserts(v)) return sum;
+    for (const Vertex u : delta->inserted(v)) {
+      ++scans;
+      sum += ranks_[static_cast<std::size_t>(u)] *
+             inv_degree_[static_cast<std::size_t>(u)];
+    }
+    return sum;
+  };
+
   if (ctx.storage.backward_dram != nullptr) {
     const BackwardGraph& backward = *ctx.storage.backward_dram;
     parallel_for_blocked(pool, 0, n,
@@ -139,9 +155,12 @@ StepResult PageRankProgram::accumulate_pull(EngineContext& ctx) {
             backward.neighbors(static_cast<Vertex>(v));
         scanned[w] += static_cast<std::int64_t>(adj.size());
         double sum = 0.0;
-        for (const Vertex u : adj)
+        for (const Vertex u : adj) {
+          if (delta != nullptr && delta->edge_removed(v, u)) continue;
           sum += ranks_[static_cast<std::size_t>(u)] *
                  inv_degree_[static_cast<std::size_t>(u)];
+        }
+        sum = sum_over_inserts(static_cast<Vertex>(v), sum, scanned[w]);
         sums_[static_cast<std::size_t>(v)].store(sum,
                                                  std::memory_order_relaxed);
       }
@@ -159,10 +178,14 @@ StepResult PageRankProgram::accumulate_pull(EngineContext& ctx) {
             .visit_neighbors(static_cast<Vertex>(v), scratch,
                              [&](Vertex u) {
                                ++scanned[w];
+                               if (delta != nullptr &&
+                                   delta->edge_removed(v, u))
+                                 return true;
                                sum += ranks_[static_cast<std::size_t>(u)] *
                                       inv_degree_[static_cast<std::size_t>(u)];
                                return true;
                              });
+        sum = sum_over_inserts(static_cast<Vertex>(v), sum, scanned[w]);
         sums_[static_cast<std::size_t>(v)].store(sum,
                                                  std::memory_order_relaxed);
       }

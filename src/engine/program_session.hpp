@@ -88,7 +88,7 @@ class ProgramSession {
   [[nodiscard]] std::int64_t active_edge_sum() const;
 
   VertexProgram* program_;
-  const NumaTopology& topology_;
+  NumaTopology topology_;  ///< by value: ctor arg may be a temporary
   ThreadPool& pool_;
   BfsConfig config_;
   EngineContext ctx_;

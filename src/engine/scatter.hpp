@@ -35,6 +35,7 @@
 #include <span>
 #include <vector>
 
+#include "graph/delta_buffer.hpp"
 #include "graph/external_csr.hpp"
 #include "graph/forward_graph.hpp"
 #include "graph/tiered_forward.hpp"
@@ -69,6 +70,9 @@ struct ScatterIoOptions {
   std::uint32_t max_request_bytes = 1 << 20;
   IoScheduler* scheduler = nullptr;
   std::uint64_t io_error_budget = 0;
+  /// Mutation overlay: when non-null, adjacency is delivered through the
+  /// merged view (base minus tombstones plus destination-filtered inserts).
+  const DeltaBuffer* delta = nullptr;
 };
 
 namespace detail {
@@ -111,7 +115,8 @@ template <typename EdgeFn>
 ScatterStats scatter_active(const ForwardGraph& forward,
                             std::span<const Vertex> active,
                             const NumaTopology& topology, ThreadPool& pool,
-                            int batch_size, EdgeFn&& edge_fn) {
+                            int batch_size, EdgeFn&& edge_fn,
+                            const DeltaBuffer* delta = nullptr) {
   SEMBFS_EXPECTS(batch_size >= 1);
   const auto active_n = static_cast<std::int64_t>(active.size());
   const std::size_t workers =
@@ -119,10 +124,12 @@ ScatterStats scatter_active(const ForwardGraph& forward,
   detail::ScatterTeam team{topology.node_count()};
 
   pool.run(workers, [&](std::size_t w) {
+    std::vector<Vertex> merged;  // merged-view staging (delta only)
     std::int64_t local_scanned = 0;
     for_each_assigned_node(w, workers, forward.node_count(),
                            [&](std::size_t node) {
       const Csr& part = forward.partition(node);
+      const VertexRange dest = part.destination_range();
       auto& cursor = team.cursors[node];
       for (;;) {
         const std::int64_t lo =
@@ -133,8 +140,16 @@ ScatterStats scatter_active(const ForwardGraph& forward,
         for (std::int64_t i = lo; i < hi; ++i) {
           const Vertex u = active[static_cast<std::size_t>(i)];
           const std::span<const Vertex> adj = part.neighbors(u);
-          local_scanned += static_cast<std::int64_t>(adj.size());
-          edge_fn(w, node, u, adj);
+          if (delta == nullptr || !delta->touches(u)) {
+            local_scanned += static_cast<std::int64_t>(adj.size());
+            edge_fn(w, node, u, adj);
+            continue;
+          }
+          merged.clear();
+          delta->for_each_merged(u, adj, dest,
+                                 [&](Vertex x) { merged.push_back(x); });
+          local_scanned += static_cast<std::int64_t>(merged.size());
+          edge_fn(w, node, u, std::span<const Vertex>{merged});
         }
       }
     });
@@ -162,11 +177,20 @@ ScatterStats scatter_active(ExternalForwardGraph& forward,
   pool.run(workers, [&](std::size_t w) {
     std::vector<Vertex> scratch;                 // per-vertex staging
     std::vector<std::vector<Vertex>> batch_adj;  // aggregated staging
+    std::vector<Vertex> merged;                  // merged-view staging
     std::int64_t local_scanned = 0;
     std::uint64_t local_requests = 0;
 
     const auto deliver = [&](std::size_t node, Vertex u,
                              std::span<const Vertex> adj) {
+      const DeltaBuffer* const delta = options.delta;
+      if (delta != nullptr && delta->touches(u)) {
+        merged.clear();
+        delta->for_each_merged(u, adj,
+                               forward.partition(node).destination_range(),
+                               [&](Vertex x) { merged.push_back(x); });
+        adj = std::span<const Vertex>{merged};
+      }
       local_scanned += static_cast<std::int64_t>(adj.size());
       edge_fn(w, node, u, adj);
     };
@@ -259,7 +283,8 @@ template <typename EdgeFn>
 ScatterStats scatter_active(TieredForwardGraph& forward,
                             std::span<const Vertex> active,
                             const NumaTopology& topology, ThreadPool& pool,
-                            int batch_size, EdgeFn&& edge_fn) {
+                            int batch_size, EdgeFn&& edge_fn,
+                            const DeltaBuffer* delta = nullptr) {
   SEMBFS_EXPECTS(batch_size >= 1);
   const auto active_n = static_cast<std::int64_t>(active.size());
   const std::size_t workers =
@@ -268,12 +293,14 @@ ScatterStats scatter_active(TieredForwardGraph& forward,
 
   pool.run(workers, [&](std::size_t w) {
     std::vector<Vertex> scratch;
+    std::vector<Vertex> merged;  // merged-view staging (delta only)
     std::int64_t local_scanned = 0;
     std::uint64_t local_requests = 0;
 
     for_each_assigned_node(w, workers, forward.node_count(),
                            [&](std::size_t node) {
       TieredForwardPartition& part = forward.partition(node);
+      const VertexRange dest = forward.vertex_partition().range_of(node);
       auto& cursor = team.cursors[node];
       for (;;) {
         if (team.aborted()) break;
@@ -290,8 +317,15 @@ ScatterStats scatter_active(TieredForwardGraph& forward,
             team.contain_failure(0);
             continue;
           }
-          local_scanned += static_cast<std::int64_t>(scratch.size());
-          edge_fn(w, node, u, std::span<const Vertex>{scratch});
+          std::span<const Vertex> adj{scratch};
+          if (delta != nullptr && delta->touches(u)) {
+            merged.clear();
+            delta->for_each_merged(u, adj, dest,
+                                   [&](Vertex x) { merged.push_back(x); });
+            adj = std::span<const Vertex>{merged};
+          }
+          local_scanned += static_cast<std::int64_t>(adj.size());
+          edge_fn(w, node, u, adj);
         }
       }
     });

@@ -80,6 +80,15 @@ AdjFetch full_adjacency(EngineContext& ctx, Vertex v,
       result.failed = true;
     }
   }
+  // Merged view: drop tombstoned pairs, append inserted neighbors (the
+  // backward fallback holds the same base adjacency, so the merge is
+  // uniform across sources). Dedup below absorbs insert multiplicity.
+  const DeltaBuffer* const delta = ctx.storage.delta;
+  if (delta != nullptr && delta->touches(v)) {
+    std::erase_if(out, [&](Vertex w) { return delta->edge_removed(v, w); });
+    const std::span<const Vertex> ins = delta->inserted(v);
+    out.insert(out.end(), ins.begin(), ins.end());
+  }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return result;

@@ -1,0 +1,47 @@
+#include "graph/compaction.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+namespace {
+
+bool edge_less(const Edge& a, const Edge& b) noexcept {
+  return a.u != b.u ? a.u < b.u : a.v < b.v;
+}
+
+}  // namespace
+
+EdgeList fold_delta(const EdgeList& base, const DeltaBuffer& delta,
+                    FoldStats* stats) {
+  const std::vector<Edge>& removed = delta.removed_edges();  // sorted unique
+  const std::vector<Edge>& inserted = delta.inserted_edges();
+  SEMBFS_ASSERT(std::is_sorted(removed.begin(), removed.end(), edge_less));
+
+  EdgeList out{base.vertex_count()};
+  out.reserve(base.edge_count() + inserted.size());
+  std::size_t dropped = 0;
+  for (const Edge& e : base.edges()) {
+    const Edge canonical = e.u <= e.v ? e : Edge{e.v, e.u};
+    if (!removed.empty() &&
+        std::binary_search(removed.begin(), removed.end(), canonical,
+                           edge_less)) {
+      ++dropped;
+      continue;
+    }
+    out.add(e);
+  }
+  for (const Edge& e : inserted) out.add(e);
+
+  if (stats != nullptr) {
+    stats->base_edges = base.edge_count();
+    stats->dropped = dropped;
+    stats->appended = inserted.size();
+    stats->folded_edges = out.edge_count();
+  }
+  return out;
+}
+
+}  // namespace sembfs

@@ -1,0 +1,35 @@
+// Compaction: folding a DeltaBuffer into the canonical edge list so a new
+// immutable base generation can be rebuilt (docs/MUTATIONS.md).
+//
+// The fold mirrors the delta's merged-view semantics exactly:
+//  - every base copy of a tombstoned pair is dropped (the base CSRs carry
+//    Kronecker multi-edges; a tombstone removes the pair as a unit), and
+//  - every surviving inserted copy is appended (multi-edge inserts keep
+//    their multiplicity).
+// A BFS over the folded list rebuilt from scratch is therefore
+// reference-equal to a merged-view BFS over (base, delta) — the property
+// the mutation differential sweep pins.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/delta_buffer.hpp"
+#include "graph/edge_list.hpp"
+
+namespace sembfs {
+
+struct FoldStats {
+  std::size_t base_edges = 0;     ///< input list size
+  std::size_t dropped = 0;        ///< base copies hidden by tombstones
+  std::size_t appended = 0;       ///< surviving inserted copies
+  std::size_t folded_edges = 0;   ///< output list size
+};
+
+/// Returns the edge list of the merged view: base minus tombstoned pairs
+/// plus inserted copies. Order: surviving base edges first (stable), then
+/// the canonical inserted pairs — CSR construction sorts anyway.
+[[nodiscard]] EdgeList fold_delta(const EdgeList& base,
+                                  const DeltaBuffer& delta,
+                                  FoldStats* stats = nullptr);
+
+}  // namespace sembfs

@@ -1,0 +1,154 @@
+#include "graph/delta_buffer.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace sembfs {
+
+namespace {
+
+struct PairKey {
+  Vertex lo = 0;
+  Vertex hi = 0;
+  friend bool operator==(const PairKey&, const PairKey&) = default;
+};
+
+struct PairKeyHash {
+  std::size_t operator()(const PairKey& k) const noexcept {
+    // splitmix64-style mix of both endpoints.
+    auto mix = [](std::uint64_t x) {
+      x += 0x9e3779b97f4a7c15ULL;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return x ^ (x >> 31);
+    };
+    return static_cast<std::size_t>(
+        mix(static_cast<std::uint64_t>(k.lo)) ^
+        (mix(static_cast<std::uint64_t>(k.hi)) << 1));
+  }
+};
+
+struct PairState {
+  std::int64_t inserts = 0;  // surviving inserts (later removes cancel)
+  bool kill_base = false;    // tombstone every base copy of the pair
+};
+
+bool edge_less(const Edge& a, const Edge& b) noexcept {
+  return a.u != b.u ? a.u < b.u : a.v < b.v;
+}
+
+}  // namespace
+
+bool DeltaBuffer::sorted_contains(const std::vector<Vertex>& sorted,
+                                  Vertex w) noexcept {
+  return std::binary_search(sorted.begin(), sorted.end(), w);
+}
+
+std::span<const Vertex> DeltaBuffer::inserted(Vertex v) const noexcept {
+  if (!has_inserts(v)) return {};
+  return per_vertex_.at(v).inserts;
+}
+
+bool DeltaBuffer::edge_removed(Vertex u, Vertex w) const noexcept {
+  if (per_vertex_.empty() ||
+      !has_removes_.test(static_cast<std::size_t>(u)))
+    return false;
+  return sorted_contains(per_vertex_.at(u).removes, w);
+}
+
+std::int64_t DeltaBuffer::degree_adjustment(Vertex v) const noexcept {
+  if (!touches(v)) return 0;
+  return per_vertex_.at(v).degree_adjust;
+}
+
+std::uint64_t DeltaBuffer::byte_size() const noexcept {
+  // Bitmaps plus per-vertex vectors plus the canonical edge lists; the
+  // constant covers each hash slot + VertexDelta header.
+  constexpr std::uint64_t kPerVertexOverhead = 96;
+  std::uint64_t bytes = 3 * (static_cast<std::uint64_t>(n_) + 63) / 64 * 8;
+  for (const auto& [v, d] : per_vertex_) {
+    bytes += kPerVertexOverhead +
+             (d.inserts.size() + d.removes.size()) * sizeof(Vertex);
+  }
+  bytes += (inserted_edges_.size() + removed_edges_.size()) * sizeof(Edge);
+  return bytes;
+}
+
+DeltaBuffer DeltaBuffer::build(Vertex vertex_count,
+                               std::span<const EdgeOp> ops,
+                               const BaseCountFn& base_count) {
+  SEMBFS_EXPECTS(vertex_count >= 0);
+  DeltaBuffer delta;
+  delta.n_ = vertex_count;
+  if (ops.empty()) return delta;
+
+  // Pass 1: replay the ops in order into canonical per-pair state.
+  std::unordered_map<PairKey, PairState, PairKeyHash> pairs;
+  pairs.reserve(ops.size());
+  for (const EdgeOp& op : ops) {
+    SEMBFS_EXPECTS(op.u >= 0 && op.u < vertex_count && op.v >= 0 &&
+                   op.v < vertex_count);
+    SEMBFS_EXPECTS(op.u != op.v);  // self-loops contribute nothing to BFS
+    const PairKey key{std::min(op.u, op.v), std::max(op.u, op.v)};
+    PairState& state = pairs[key];
+    if (op.kind == EdgeOp::Kind::Insert) {
+      ++state.inserts;
+      ++delta.insert_ops_;
+    } else {
+      state.inserts = 0;  // cancel earlier inserts of the pair
+      state.kill_base = true;
+      ++delta.remove_ops_;
+    }
+  }
+
+  // Pass 2: scatter the pair states into per-endpoint structures.
+  delta.touched_.resize(static_cast<std::size_t>(vertex_count));
+  delta.has_inserts_.resize(static_cast<std::size_t>(vertex_count));
+  delta.has_removes_.resize(static_cast<std::size_t>(vertex_count));
+  for (const auto& [key, state] : pairs) {
+    const Vertex u = key.lo;
+    const Vertex v = key.hi;
+    if (state.kill_base) {
+      delta.removed_edges_.push_back(Edge{u, v});
+      VertexDelta& du = delta.per_vertex_[u];
+      VertexDelta& dv = delta.per_vertex_[v];
+      du.removes.push_back(v);
+      dv.removes.push_back(u);
+      du.degree_adjust -= base_count(u, v);
+      dv.degree_adjust -= base_count(v, u);
+      delta.touched_.set(static_cast<std::size_t>(u));
+      delta.touched_.set(static_cast<std::size_t>(v));
+      delta.has_removes_.set(static_cast<std::size_t>(u));
+      delta.has_removes_.set(static_cast<std::size_t>(v));
+    }
+    if (state.inserts > 0) {
+      VertexDelta& du = delta.per_vertex_[u];
+      VertexDelta& dv = delta.per_vertex_[v];
+      for (std::int64_t i = 0; i < state.inserts; ++i) {
+        delta.inserted_edges_.push_back(Edge{u, v});
+        du.inserts.push_back(v);
+        dv.inserts.push_back(u);
+      }
+      du.degree_adjust += state.inserts;
+      dv.degree_adjust += state.inserts;
+      delta.touched_.set(static_cast<std::size_t>(u));
+      delta.touched_.set(static_cast<std::size_t>(v));
+      delta.has_inserts_.set(static_cast<std::size_t>(u));
+      delta.has_inserts_.set(static_cast<std::size_t>(v));
+    }
+  }
+
+  // Deterministic layout regardless of hash iteration order.
+  for (auto& [v, d] : delta.per_vertex_) {
+    std::sort(d.inserts.begin(), d.inserts.end());
+    std::sort(d.removes.begin(), d.removes.end());
+  }
+  std::sort(delta.inserted_edges_.begin(), delta.inserted_edges_.end(),
+            edge_less);
+  std::sort(delta.removed_edges_.begin(), delta.removed_edges_.end(),
+            edge_less);
+  return delta;
+}
+
+}  // namespace sembfs

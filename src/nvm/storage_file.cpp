@@ -126,4 +126,11 @@ void ensure_directory(const std::string& path) {
                              "': " + ec.message());
 }
 
+std::uint64_t remove_directory_recursive(const std::string& path) noexcept {
+  std::error_code ec;
+  const std::uintmax_t removed = std::filesystem::remove_all(path, ec);
+  if (ec) return 0;
+  return static_cast<std::uint64_t>(removed);
+}
+
 }  // namespace sembfs

@@ -61,4 +61,9 @@ void remove_file_if_exists(const std::string& path) noexcept;
 /// Creates a directory (and parents) if missing. Throws on failure.
 void ensure_directory(const std::string& path);
 
+/// Best-effort recursive removal of a directory tree (generation cleanup —
+/// retired chunk generations under <workdir>/gen<k>). Ignores errors;
+/// returns the number of filesystem entries removed.
+std::uint64_t remove_directory_recursive(const std::string& path) noexcept;
+
 }  // namespace sembfs

@@ -6,6 +6,7 @@
 #include <span>
 #include <utility>
 
+#include "bfs/repair.hpp"
 #include "bfs/session.hpp"
 #include "engine/components_program.hpp"
 #include "engine/program_session.hpp"
@@ -41,6 +42,9 @@ QueryState state_for(StopReason reason) noexcept {
 /// driving it one superstep per tick (dispatcher-local).
 struct QueryEngine::ActiveAnalytics {
   QueryRef query;
+  /// Snapshot pinned at admission (null on sealed-storage engines): the
+  /// whole program runs on this one merged view.
+  std::shared_ptr<const GraphSnapshot> pinned;
   std::unique_ptr<engine::VertexProgram> program;
   std::unique_ptr<engine::ProgramSession> session;
   Clock::time_point started{};
@@ -50,6 +54,8 @@ struct QueryEngine::ActiveAnalytics {
 /// One in-flight single-query session (dispatcher-local).
 struct QueryEngine::ActiveSession {
   QueryRef query;
+  std::shared_ptr<const GraphSnapshot> pinned;  ///< view at admission
+  std::uint64_t cache_generation = 0;  ///< for the generation-checked insert
   BfsStatus* slot = nullptr;  ///< borrowed from the pool
   std::unique_ptr<BfsSession> session;
   Clock::time_point started{};
@@ -67,6 +73,8 @@ struct QueryEngine::ActiveBatch {
     bool finished = false;
   };
   std::unique_ptr<MsBfsBatch> batch;
+  std::shared_ptr<const GraphSnapshot> pinned;  ///< view at formation
+  std::uint64_t cache_generation = 0;
   std::vector<Rider> riders;
   std::vector<std::size_t> lane_riders;  ///< live riders per lane
   Clock::time_point started{};
@@ -75,6 +83,7 @@ struct QueryEngine::ActiveBatch {
 QueryEngine::QueryEngine(GraphStorage storage, const NumaTopology& topology,
                          ThreadPool& pool, EngineConfig config)
     : storage_(storage),
+      vertex_count_(storage.vertex_count()),
       topology_(topology),
       pool_(pool),
       config_(std::move(config)),
@@ -107,7 +116,34 @@ QueryEngine::QueryEngine(GraphStorage storage, const NumaTopology& topology,
   if (config_.autostart) start();
 }
 
-QueryEngine::~QueryEngine() { shutdown(); }
+QueryEngine::QueryEngine(MutableGraph& graph, const NumaTopology& topology,
+                         ThreadPool& pool, EngineConfig config)
+    // The delegated constructor only needs vertex_count() from this
+    // temporary view; the snapshot is re-pinned durably right below.
+    // Autostart is suppressed so the dispatcher cannot observe the
+    // half-initialized mutable-graph members — it starts at the end of
+    // this body, once the snapshot is pinned and the hook registered.
+    : QueryEngine(graph.snapshot()->storage(), topology, pool, [&] {
+        EngineConfig deferred = config;
+        deferred.autostart = false;
+        return deferred;
+      }()) {
+  mutable_graph_ = &graph;
+  latest_ = graph.snapshot();
+  storage_ = latest_->storage();  // now borrows from the pinned snapshot
+  graph.set_publish_hook(
+      [this](const std::shared_ptr<const GraphSnapshot>& snapshot) {
+        on_publish(snapshot);
+      });
+  if (config.autostart) start();
+}
+
+QueryEngine::~QueryEngine() {
+  // Unregister before teardown: set_publish_hook serializes on the
+  // graph's writer lock, so no hook can be mid-flight once it returns.
+  if (mutable_graph_ != nullptr) mutable_graph_->set_publish_hook({});
+  shutdown();
+}
 
 QueryEngine::TenantState& QueryEngine::tenant_state_locked(
     std::uint32_t tenant) {
@@ -128,7 +164,11 @@ QueryEngine::TenantState& QueryEngine::tenant_state_locked(
 }
 
 QueryRef QueryEngine::submit(Vertex root, QueryOptions options) {
-  SEMBFS_EXPECTS(root >= 0 && root < storage_.vertex_count());
+  // Checked against the cached count, not storage_: for mutable-graph
+  // engines storage_ borrows from the construction-time snapshot, whose
+  // base generation may have been compacted away by now. The vertex set
+  // is invariant across publications.
+  SEMBFS_EXPECTS(root >= 0 && root < vertex_count_);
   return submit_impl(root, options);
 }
 
@@ -284,20 +324,100 @@ std::uint64_t QueryEngine::in_flight() const {
   return in_flight_;
 }
 
-std::int64_t QueryEngine::cheap_degree(Vertex v) const {
+std::int64_t QueryEngine::cheap_degree(const GraphStorage& storage, Vertex v) {
   // Any backward graph answers degree from DRAM in one lookup, and a
   // pure-DRAM forward stack answers it without the device. Otherwise
   // (external/tiered forward only) report 0 and let the cost model fall
   // back to its base term — a planner that blocks on chunk I/O to plan
-  // around chunk I/O would defeat itself.
-  if (storage_.backward_dram != nullptr || storage_.backward_hybrid != nullptr)
-    return storage_.degree(v);
-  if (storage_.forward_external == nullptr && storage_.forward_tiered == nullptr)
-    return storage_.degree(v);
+  // around chunk I/O would defeat itself. GraphStorage::degree() already
+  // adds the delta adjustment, so mutable-graph planning sees merged-view
+  // degrees at DRAM cost.
+  if (storage.backward_dram != nullptr || storage.backward_hybrid != nullptr)
+    return storage.degree(v);
+  if (storage.forward_external == nullptr && storage.forward_tiered == nullptr)
+    return storage.degree(v);
   return 0;
 }
 
-void QueryEngine::finalize_query(const QueryRef& query, QueryResult result) {
+GraphStorage QueryEngine::resolve_storage(
+    std::shared_ptr<const GraphSnapshot>& pin,
+    std::uint64_t& cache_generation) const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  cache_generation = cache_ != nullptr ? cache_->generation() : 0;
+  if (mutable_graph_ == nullptr) return storage_;
+  pin = latest_;
+  return pin->storage();
+}
+
+void QueryEngine::on_publish(
+    const std::shared_ptr<const GraphSnapshot>& snapshot) {
+  std::vector<ResultCache::TakenEntry> taken;
+  const DeltaBuffer* delta = nullptr;
+  {
+    // One critical section advances the snapshot AND the cache
+    // generation: resolve_storage() captures its (pin, generation) pair
+    // under the same mutex, so no admission can see the new snapshot with
+    // the old generation or vice versa.
+    const std::lock_guard<std::mutex> lock{mutex_};
+    latest_ = snapshot;
+    ++stats_.snapshots_published;
+    if (cache_ != nullptr) {
+      delta = snapshot->delta();
+      if (delta == nullptr) {
+        // Compaction (or a no-op publish): the logical graph is
+        // unchanged, so every cached answer is still exact — keep them.
+      } else if (delta->has_deletes()) {
+        // Deletions can lengthen distances; repair is out of scope, so
+        // the whole cache is invalidated.
+        stats_.cache_entries_dropped += cache_->stats().entries;
+        cache_->bump_generation();
+        delta = nullptr;
+      } else {
+        // Insert-only: drain now (under the lock, so no entry straddles
+        // the generation line), repair off-lock below.
+        taken = cache_->take_entries();
+        cache_->bump_generation();
+      }
+    }
+  }
+  if (delta == nullptr || taken.empty()) return;
+
+  // Migrate the drained full traversals: insertions only shorten
+  // unit-weight distances, so each cached level/parent array is patched
+  // by the incremental repair kernel against the (unchanged) base
+  // adjacency and re-inserted under the new generation. Truncated k-hop
+  // entries are not complete traversals and are dropped instead. The
+  // graph's writer lock serializes publish hooks, so the generation
+  // cannot move again while this loop re-inserts.
+  const BackwardGraph& backward = snapshot->base().backward();
+  std::uint64_t migrated = 0;
+  std::uint64_t dropped = 0;
+  for (ResultCache::TakenEntry& entry : taken) {
+    bool kept = false;
+    if (entry.max_levels <= 0) {
+      QueryResult patched = *entry.result;
+      const RepairOutcome outcome = repair_bfs_levels(
+          backward, *delta, entry.root, patched.level, patched.parent);
+      if (outcome.repaired) {
+        patched.visited += outcome.newly_reached;
+        std::int32_t depth = 0;
+        for (const std::int32_t l : patched.level) depth = std::max(depth, l);
+        patched.depth = depth;
+        QueryOptions options;
+        options.max_levels = entry.max_levels;
+        cache_->insert(entry.root, options, patched);
+        kept = true;
+      }
+    }
+    kept ? ++migrated : ++dropped;
+  }
+  const std::lock_guard<std::mutex> lock{mutex_};
+  stats_.cache_entries_migrated += migrated;
+  stats_.cache_entries_dropped += dropped;
+}
+
+void QueryEngine::finalize_query(const QueryRef& query, QueryResult result,
+                                 std::uint64_t cache_generation) {
   const QueryState state = result.state;
   if (obs::enabled()) {
     obs_queue_wait_us_->record(
@@ -310,7 +430,7 @@ void QueryEngine::finalize_query(const QueryRef& query, QueryResult result) {
   // cacheable.
   if (cache_ != nullptr && state == QueryState::Done &&
       query->options().kind == QueryKind::Bfs && !result.level.empty())
-    cache_->insert(query->root(), query->options(), result);
+    cache_->insert(query->root(), query->options(), result, cache_generation);
   query->finalize(std::move(result));
   {
     const std::lock_guard<std::mutex> lock{mutex_};
@@ -364,7 +484,7 @@ void QueryEngine::cull_queued(std::deque<QueryRef>& queued) {
     result.kind = query->options().kind;
     result.state = state_for(stop);
     result.queue_wait_ms = ms_since(query->submitted_at_);
-    finalize_query(query, std::move(result));
+    finalize_query(query, std::move(result), 0);  // never Done: no insert
   }
   queued.resize(kept);
 }
@@ -379,6 +499,9 @@ void QueryEngine::admit_analytics(std::deque<QueryRef>& queued,
     active.query = std::move(query);
     active.started = Clock::now();
     active.queue_wait_ms = ms_since(active.query->submitted_at_);
+    std::uint64_t cache_generation = 0;  // analytics are never cached
+    const GraphStorage storage =
+        resolve_storage(active.pinned, cache_generation);
     switch (active.query->options().kind) {
       case QueryKind::Components:
         active.program = std::make_unique<engine::ComponentsProgram>();
@@ -398,7 +521,7 @@ void QueryEngine::admit_analytics(std::deque<QueryRef>& queued,
     BfsConfig bfs = config_.bfs;
     bfs.cancel = &active.query->token_;
     active.session = std::make_unique<engine::ProgramSession>(
-        *active.program, storage_, topology_, pool_, bfs);
+        *active.program, storage, topology_, pool_, bfs);
     active.query->mark_running();
     analytics.push_back(std::move(active));
     {
@@ -481,7 +604,7 @@ void QueryEngine::step_analytics(std::vector<ActiveAnalytics>& analytics) {
           break;
       }
     }
-    finalize_query(active.query, std::move(result));
+    finalize_query(active.query, std::move(result), 0);  // never cached
     analytics.erase(analytics.begin() + static_cast<std::ptrdiff_t>(i));
   }
 }
@@ -499,10 +622,12 @@ void QueryEngine::admit_sessions(std::deque<QueryRef>& queued,
     active.slot = slot;
     active.started = Clock::now();
     active.queue_wait_ms = ms_since(active.query->submitted_at_);
+    const GraphStorage storage =
+        resolve_storage(active.pinned, active.cache_generation);
     BfsConfig bfs = config_.bfs;
     bfs.cancel = &active.query->token_;
     active.session = std::make_unique<BfsSession>(
-        storage_, topology_, pool_, *slot, active.query->root(), bfs);
+        storage, topology_, pool_, *slot, active.query->root(), bfs);
     active.query->mark_running();
     sessions.push_back(std::move(active));
     {
@@ -515,6 +640,11 @@ void QueryEngine::admit_sessions(std::deque<QueryRef>& queued,
 
 std::unique_ptr<QueryEngine::ActiveBatch> QueryEngine::make_batch(
     std::deque<QueryRef>& queued) {
+  // One pin for the whole batch: the planner's degree probes and the
+  // MS-BFS traversal read the same merged view.
+  std::shared_ptr<const GraphSnapshot> pinned;
+  std::uint64_t cache_generation = 0;
+  const GraphStorage storage = resolve_storage(pinned, cache_generation);
   BatchPlan plan;
   if (config_.planner == PlannerMode::Fifo) {
     plan = plan_batch(queued, config_.max_batch, config_.max_batch_queries);
@@ -530,7 +660,7 @@ std::unique_ptr<QueryEngine::ActiveBatch> QueryEngine::make_batch(
     for (const QueryRef& query : queued) {
       PlannerInput::Entry entry;
       entry.root = query->root();
-      entry.degree = cheap_degree(entry.root);
+      entry.degree = cheap_degree(storage, entry.root);
       entry.slack_ms = query->token_.deadline_remaining_ms();
       entry.priority = query->options().priority;
       input.entries.push_back(entry);
@@ -557,8 +687,10 @@ std::unique_ptr<QueryEngine::ActiveBatch> QueryEngine::make_batch(
 
   auto active = std::make_unique<ActiveBatch>();
   active->batch = std::make_unique<MsBfsBatch>(
-      storage_, topology_, pool_, std::span<const Vertex>{plan.roots},
+      storage, topology_, pool_, std::span<const Vertex>{plan.roots},
       config_.msbfs);
+  active->pinned = std::move(pinned);
+  active->cache_generation = cache_generation;
   active->started = Clock::now();
   active->lane_riders.assign(plan.width(), 0);
   active->riders.reserve(plan.queries.size());
@@ -630,7 +762,7 @@ void QueryEngine::step_sessions(std::vector<ActiveSession>& sessions) {
       result.parent = std::move(bfs.parent);
     }
     slots_.release(active.slot);
-    finalize_query(active.query, std::move(result));
+    finalize_query(active.query, std::move(result), active.cache_generation);
     sessions.erase(sessions.begin() + static_cast<std::ptrdiff_t>(i));
   }
 }
@@ -655,7 +787,7 @@ bool QueryEngine::tick_batch(ActiveBatch& active) {
     SEMBFS_ASSERT(active.lane_riders[q] > 0);
     if (--active.lane_riders[q] == 0 && batch.lane_live(q))
       batch.deactivate(q);
-    finalize_query(rider.query, std::move(result));
+    finalize_query(rider.query, std::move(result), active.cache_generation);
   };
 
   // Cull riders whose token fired or whose level cap is met (level
@@ -690,7 +822,8 @@ bool QueryEngine::tick_batch(ActiveBatch& active) {
         result.queue_wait_ms = rider.queue_wait_ms;
         result.exec_ms = ms_since(active.started);
         rider.finished = true;
-        finalize_query(rider.query, std::move(result));
+        finalize_query(rider.query, std::move(result),
+                       active.cache_generation);
       }
       return true;  // drop the batch
     }

@@ -40,8 +40,22 @@
 // keeps headroom only the high lane may use), and a bounded bytes-sized
 // result cache for popular roots (cache_bytes) — a hit is finalized
 // inside submit() without touching the dispatcher, keyed on
-// root + options + graph generation (invalidate_cache() is the hook the
-// future mutable-graph layer bumps).
+// root + options + graph generation.
+//
+// Mutable graphs (docs/MUTATIONS.md): constructed over a MutableGraph,
+// the engine serves with snapshot isolation — every admission (session,
+// batch, analytics) pins the latest published GraphSnapshot for its whole
+// run, so a traversal in flight across an apply()/compact() keeps reading
+// one consistent merged view while new admissions see the new version.
+// The publish hook keeps the result cache honest: a delta with deletions
+// bumps the cache generation (drop everything); an insert-only delta
+// MIGRATES the cached full traversals instead, patching each level/parent
+// array through the incremental repair kernel (bfs/repair.hpp) and
+// re-inserting it under the new generation; a compaction publish changes
+// no logical edge, so the cache is left untouched. Results computed on a
+// pre-publication snapshot carry the generation captured at admission and
+// are dropped by the generation-checked insert rather than cached under
+// the new key space.
 //
 // Deadlines are end-to-end from submit() — a query can expire while
 // queued (the backpressure signal) or mid-search (the session/batch stops
@@ -72,6 +86,7 @@
 
 #include "bfs/hybrid_bfs.hpp"
 #include "engine/pagerank_program.hpp"
+#include "graph/mutable_graph.hpp"
 #include "engine/triangle_program.hpp"
 #include "numa/topology.hpp"
 #include "obs/metrics.hpp"
@@ -149,6 +164,10 @@ struct EngineStats {
   std::uint64_t batches = 0;
   std::uint64_t analytics_queries = 0;  ///< served by a ProgramSession
   std::uint64_t cache_hits = 0;         ///< served from the result cache
+  // Mutable-graph integration (zero without an attached MutableGraph).
+  std::uint64_t snapshots_published = 0;     ///< publish-hook invocations
+  std::uint64_t cache_entries_migrated = 0;  ///< repaired across a publish
+  std::uint64_t cache_entries_dropped = 0;   ///< invalidated by a publish
 };
 
 class QueryEngine {
@@ -156,6 +175,14 @@ class QueryEngine {
   /// The graph, topology and pool must outlive the engine. While the
   /// engine runs the pool belongs to its dispatcher exclusively.
   QueryEngine(GraphStorage storage, const NumaTopology& topology,
+              ThreadPool& pool, EngineConfig config = {});
+
+  /// Serves a mutable graph with snapshot isolation: admissions pin the
+  /// latest published snapshot, and the engine registers the graph's
+  /// publish hook (released in the destructor) to track new versions and
+  /// migrate/invalidate the result cache. The graph must outlive the
+  /// engine; no other publish hook may be registered while it runs.
+  QueryEngine(MutableGraph& graph, const NumaTopology& topology,
               ThreadPool& pool, EngineConfig config = {});
   ~QueryEngine();
 
@@ -183,9 +210,10 @@ class QueryEngine {
   /// Idempotent; the destructor calls it.
   void shutdown();
 
-  /// Drops every cached result (generation bump) — the invalidation hook
-  /// the mutable-graph layer calls after publishing a new chunk
-  /// generation. No-op when the cache is disabled.
+  /// Drops every cached result (generation bump). Mutable-graph engines
+  /// do this automatically through the publish hook; this is the manual
+  /// escape hatch (and the sealed-engine invalidation path for callers
+  /// that mutate storage out of band). No-op when the cache is disabled.
   void invalidate_cache();
 
   [[nodiscard]] EngineStats stats() const;
@@ -228,19 +256,49 @@ class QueryEngine {
   /// riders. True when the batch is finished and should be dropped.
   bool tick_batch(ActiveBatch& batch);
 
-  /// Finalizes `query`, updates stats/gauges, feeds the result cache,
-  /// wakes drain() waiters.
-  void finalize_query(const QueryRef& query, QueryResult result);
+  /// Finalizes `query`, updates stats/gauges, feeds the result cache
+  /// (insert checked against `cache_generation`, the generation captured
+  /// when the query's snapshot was pinned), wakes drain() waiters.
+  void finalize_query(const QueryRef& query, QueryResult result,
+                      std::uint64_t cache_generation);
 
   /// Root degree without device I/O (0 when only external forward storage
-  /// could answer) — the planner must never block on the device.
-  [[nodiscard]] std::int64_t cheap_degree(Vertex v) const;
+  /// could answer) — the planner must never block on the device. Degree
+  /// reads through `storage`'s delta overlay when one is present.
+  [[nodiscard]] static std::int64_t cheap_degree(const GraphStorage& storage,
+                                                 Vertex v);
+
+  /// The view new work runs on: pins (via `pin`) the latest published
+  /// snapshot when a mutable graph is attached, else the sealed storage
+  /// the engine was built over. `cache_generation` receives the result
+  /// cache's current generation, captured atomically with the pin (both
+  /// under mutex_, which the publish hook also holds while it advances
+  /// them) so a result can never be cached under a newer key space than
+  /// the view it was computed on.
+  [[nodiscard]] GraphStorage resolve_storage(
+      std::shared_ptr<const GraphSnapshot>& pin,
+      std::uint64_t& cache_generation) const;
+
+  /// MutableGraph publish hook: records the new snapshot for future
+  /// admissions and migrates or invalidates the result cache. Runs on the
+  /// writer's thread, serialized by the graph's writer lock.
+  void on_publish(const std::shared_ptr<const GraphSnapshot>& snapshot);
 
   /// Resolves (lazily creating) the tenant's state; mutex_ must be held.
   TenantState& tenant_state_locked(std::uint32_t tenant);
 
+  /// The construction-time storage view. Sealed-storage engines use it
+  /// for every query (the caller guarantees its lifetime); mutable-graph
+  /// engines must NOT dereference it after the first publication — the
+  /// snapshot it borrows from may have been compacted away. Admissions
+  /// resolve latest_ instead.
   GraphStorage storage_;
-  const NumaTopology& topology_;
+  Vertex vertex_count_ = 0;  ///< invariant across publications
+  MutableGraph* mutable_graph_ = nullptr;  ///< null: sealed-storage engine
+  /// Latest published snapshot (mutable-graph engines only); guarded by
+  /// mutex_.
+  std::shared_ptr<const GraphSnapshot> latest_;
+  NumaTopology topology_;  ///< by value: ctor arg may be a temporary
   ThreadPool& pool_;
   EngineConfig config_;
   StatusSlotPool slots_;

@@ -66,7 +66,7 @@ void run_level(SweepState& state, ThreadPool& pool,
                AtomicBitmap& covered,
                std::vector<std::vector<std::int32_t>>& levels,
                std::vector<std::vector<Vertex>>& parents,
-               bool record_parents) {
+               bool record_parents, const DeltaBuffer* delta) {
   const std::size_t workers =
       std::min<std::size_t>(pool.size(), topology.total_threads());
   pool.run(workers, [&](std::size_t w) {
@@ -98,7 +98,7 @@ void run_level(SweepState& state, ThreadPool& pool,
                 return;
               }
               std::uint64_t gathered = 0;
-              part.visit(v, scratch, [&](Vertex u) {
+              const auto gather = [&](Vertex u) {
                 ++local_scanned;
                 const std::uint64_t fresh =
                     frontier[static_cast<std::size_t>(u)] & live & ~have &
@@ -116,7 +116,28 @@ void run_level(SweepState& state, ThreadPool& pool,
                     return false;  // all live lanes found v: early exit
                 }
                 return true;
-              });
+              };
+              // Delta-inserted in-neighbors first (DRAM-cheap; an early
+              // saturation here skips the base scan), then the base
+              // adjacency with tombstoned pairs filtered out.
+              bool open = true;
+              if (delta != nullptr && delta->has_inserts(v)) {
+                for (const Vertex u : delta->inserted(v)) {
+                  if (!gather(u)) {
+                    open = false;
+                    break;
+                  }
+                }
+              }
+              if (open) {
+                part.visit(v, scratch, [&](Vertex u) {
+                  if (delta != nullptr && delta->edge_removed(v, u)) {
+                    ++local_scanned;
+                    return true;
+                  }
+                  return gather(u);
+                });
+              }
               if (gathered != 0) {
                 // Single-writer per vertex: each uncovered vertex is swept
                 // by exactly one worker per level (chunk ownership), so
@@ -206,7 +227,7 @@ bool MsBfsBatch::step() {
         },
         live_mask_, config_.sweep_chunk, level_, width_, seen_.data(),
         frontier_.data(), next_.data(), covered_, levels_, parents_,
-        config_.record_parents);
+        config_.record_parents, storage_.delta);
   } else {
     run_level(
         state, pool_, topology_, nodes,
@@ -215,7 +236,7 @@ bool MsBfsBatch::step() {
         },
         live_mask_, config_.sweep_chunk, level_, width_, seen_.data(),
         frontier_.data(), next_.data(), covered_, levels_, parents_,
-        config_.record_parents);
+        config_.record_parents, storage_.delta);
   }
 
   const std::int64_t claimed = state.claimed.load(std::memory_order_relaxed);

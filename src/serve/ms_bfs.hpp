@@ -122,7 +122,9 @@ class MsBfsBatch {
   void advance(std::int64_t claimed_this_level);
 
   const GraphStorage storage_;
-  const NumaTopology& topology_;
+  // By value: callers may pass a temporary, and the batch outlives the
+  // construction expression (same hazard for every session-lifetime class).
+  NumaTopology topology_;
   ThreadPool& pool_;
   MsBfsConfig config_;
 

@@ -39,9 +39,28 @@ std::shared_ptr<const QueryResult> ResultCache::lookup(
 
 void ResultCache::insert(Vertex root, const QueryOptions& options,
                          const QueryResult& result) {
+  insert_impl(root, options, result, /*check_generation=*/false, 0);
+}
+
+void ResultCache::insert(Vertex root, const QueryOptions& options,
+                         const QueryResult& result,
+                         std::uint64_t expected_generation) {
+  insert_impl(root, options, result, /*check_generation=*/true,
+              expected_generation);
+}
+
+void ResultCache::insert_impl(Vertex root, const QueryOptions& options,
+                              const QueryResult& result, bool check_generation,
+                              std::uint64_t expected_generation) {
   auto shared = std::make_shared<const QueryResult>(result);
   const std::size_t bytes = entry_bytes(*shared);
   const std::lock_guard<std::mutex> lock{mutex_};
+  if (check_generation && generation_ != expected_generation) {
+    // The graph moved on while this result was computed: caching it would
+    // serve a pre-publication answer under the post-publication key.
+    ++stats_.stale_inserts;
+    return;
+  }
   if (bytes > capacity_bytes_) return;  // would evict everything for one key
   const Key key = make_key_locked(root, options);
   const auto it = index_.find(key);
@@ -58,12 +77,29 @@ void ResultCache::insert(Vertex root, const QueryOptions& options,
   }
 }
 
+std::vector<ResultCache::TakenEntry> ResultCache::take_entries() {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  std::vector<TakenEntry> taken;
+  taken.reserve(lru_.size());
+  // Back-to-front = least-recent first: re-inserting in this order
+  // reproduces the original recency (push_front puts later items on top).
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it)
+    taken.push_back(TakenEntry{it->key.root, it->key.max_levels,
+                               std::move(it->result)});
+  drop_all_locked();
+  return taken;
+}
+
 void ResultCache::bump_generation() {
   const std::lock_guard<std::mutex> lock{mutex_};
   ++generation_;
   ++stats_.invalidations;
   // Old-generation keys can never be looked up again; free them now
   // rather than waiting for LRU pressure.
+  drop_all_locked();
+}
+
+void ResultCache::drop_all_locked() {
   lru_.clear();
   index_.clear();
   stats_.bytes = 0;

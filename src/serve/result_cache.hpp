@@ -8,10 +8,20 @@
 //
 // where the options key is every QueryOptions field that changes the
 // answer (today: max_levels — the k-hop cap truncates the level array) and
-// the generation is the invalidation hook for the future mutable-graph
-// layer: bump_generation() makes every cached entry unreachable in O(1)
-// key-space terms and drops the storage eagerly. A query whose options
-// don't match any cached key simply misses (options-mismatch bypass).
+// the generation is the mutable-graph invalidation hook (the QueryEngine
+// publish hook, docs/MUTATIONS.md): bump_generation() makes every cached
+// entry unreachable in O(1) key-space terms and drops the storage
+// eagerly. A query whose options don't match any cached key simply misses
+// (options-mismatch bypass).
+//
+// Mutation protocol: a query computed against an old snapshot must never
+// surface under a newer generation's key, so inserts carry the generation
+// the caller captured at admission and are dropped on mismatch
+// (generation-checked insert). For insert-only deltas the engine migrates
+// instead of dropping: take_entries() drains the resident entries (the
+// engine repairs each level/parent array through bfs/repair.hpp), then
+// bump_generation() advances the key space, then the repaired entries are
+// re-inserted under the new generation.
 //
 // Sizing is by BYTES, not entries — level/parent vectors dominate, so the
 // capacity knob (EngineConfig::cache_bytes, --serve-cache-mb) maps
@@ -32,6 +42,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "graph/types.hpp"
 #include "obs/metrics.hpp"
@@ -45,8 +56,9 @@ struct ResultCacheStats {
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
-  std::uint64_t invalidations = 0;  ///< bump_generation() calls
-  std::size_t bytes = 0;            ///< resident payload bytes
+  std::uint64_t invalidations = 0;   ///< bump_generation() calls
+  std::uint64_t stale_inserts = 0;   ///< generation-checked inserts dropped
+  std::size_t bytes = 0;             ///< resident payload bytes
   std::size_t entries = 0;
 };
 
@@ -72,9 +84,32 @@ class ResultCache {
   void insert(Vertex root, const QueryOptions& options,
               const QueryResult& result);
 
-  /// Invalidation hook for the future mutable-graph layer: advances the
-  /// generation (new lookups/inserts use the new one) and drops every
-  /// entry of older generations eagerly.
+  /// Generation-checked insert: as above, but the entry is silently
+  /// dropped (counted in stats().stale_inserts) unless
+  /// `expected_generation` still equals the current generation. The
+  /// engine captures the generation when it pins a query's snapshot, so a
+  /// result computed against a pre-publication view can never be served
+  /// under the post-publication key space.
+  void insert(Vertex root, const QueryOptions& options,
+              const QueryResult& result, std::uint64_t expected_generation);
+
+  /// One drained cache entry (see take_entries()).
+  struct TakenEntry {
+    Vertex root = kNoVertex;
+    std::int32_t max_levels = 0;  ///< the options key it was cached under
+    std::shared_ptr<const QueryResult> result;
+  };
+
+  /// Removes and returns every resident entry, least-recent first (so a
+  /// caller re-inserting in the returned order reproduces the original
+  /// recency). Does NOT advance the generation — the migration path calls
+  /// bump_generation() right after draining, repairs each entry off-lock,
+  /// and re-inserts under the new generation.
+  [[nodiscard]] std::vector<TakenEntry> take_entries();
+
+  /// Mutable-graph invalidation hook: advances the generation (new
+  /// lookups/inserts use the new one) and drops every entry of older
+  /// generations eagerly.
   void bump_generation();
 
   [[nodiscard]] std::uint64_t generation() const;
@@ -113,8 +148,14 @@ class ResultCache {
                                     const QueryOptions& options) const {
     return Key{root, options.max_levels, generation_};
   }
+  void insert_impl(Vertex root, const QueryOptions& options,
+                   const QueryResult& result, bool check_generation,
+                   std::uint64_t expected_generation);
   void evict_until_fits_locked(std::size_t incoming_bytes);
   void erase_locked(LruList::iterator it);
+  /// Drops every entry and zeroes the resident bytes/entries gauges (the
+  /// shared tail of bump_generation() and take_entries()).
+  void drop_all_locked();
 
   const std::size_t capacity_bytes_;
 

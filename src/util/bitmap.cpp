@@ -48,6 +48,14 @@ void AtomicBitmap::clear() noexcept {
   for (auto& w : words_) w.store(0, std::memory_order_relaxed);
 }
 
+void AtomicBitmap::fill() noexcept {
+  if (words_.empty()) return;
+  for (auto& w : words_) w.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  // Keep the partial tail word's dead bits zero (see the class contract).
+  words_.back().store(bitmap_tail_mask(bits_ - (words_.size() - 1) * 64),
+                      std::memory_order_relaxed);
+}
+
 std::size_t AtomicBitmap::count() const noexcept {
   std::size_t total = 0;
   for (const auto& w : words_)

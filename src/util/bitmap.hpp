@@ -157,6 +157,12 @@ class AtomicBitmap {
   void resize(std::size_t bits);
   /// Clears all bits. Not safe concurrently with writers.
   void clear() noexcept;
+  /// Sets every bit in [0, size()) — tail bits beyond size() stay zero, so
+  /// whole-word reads keep seeing a saturated tail. Not safe concurrently
+  /// with writers. The incremental BFS repair kernel seeds its "done"
+  /// bitmap this way and then punches out only the wave members, turning
+  /// the word-skip sweep into a sparse-wave scan.
+  void fill() noexcept;
 
   [[nodiscard]] std::size_t size() const noexcept { return bits_; }
   [[nodiscard]] std::size_t word_count() const noexcept {
@@ -167,6 +173,16 @@ class AtomicBitmap {
     SEMBFS_ASSERT(i < bits_);
     words_[i >> 6].fetch_or(std::uint64_t{1} << (i & 63),
                             std::memory_order_relaxed);
+  }
+
+  /// Atomically clears bit i; returns true iff this call changed it 1 -> 0
+  /// (the repair kernel's wave-membership dedup).
+  bool try_reset(std::size_t i) noexcept {
+    SEMBFS_ASSERT(i < bits_);
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    const std::uint64_t old =
+        words_[i >> 6].fetch_and(~mask, std::memory_order_acq_rel);
+    return (old & mask) != 0;
   }
 
   /// Atomically sets bit i; returns true iff this call changed it 0 -> 1.

@@ -1,0 +1,215 @@
+// Incremental BFS repair: the patched level/parent arrays must be
+// reference-equal to a from-scratch BFS of the merged graph for
+// insert-only deltas over complete traversals — including shortcut chains
+// through several inserted edges and newly reached components — and the
+// kernel must decline (leaving the arrays untouched) on anything outside
+// that contract.
+#include "bfs/repair.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "bfs/reference_bfs.hpp"
+#include "bfs/validate.hpp"
+#include "graph/csr.hpp"
+#include "graph/kronecker.hpp"
+#include "graph_fixtures.hpp"
+
+namespace sembfs {
+namespace {
+
+struct Fixture {
+  EdgeList base;
+  BackwardGraph backward;
+  Csr full;
+};
+
+Fixture make_fixture(EdgeList edges, ThreadPool& pool) {
+  const VertexPartition partition{edges.vertex_count(), 2};
+  BackwardGraph backward =
+      BackwardGraph::build(edges, partition, CsrBuildOptions{}, pool);
+  Csr full = build_csr(edges, CsrBuildOptions{}, pool);
+  return Fixture{std::move(edges), std::move(backward), std::move(full)};
+}
+
+DeltaBuffer build_delta(const Fixture& f, std::span<const EdgeOp> ops) {
+  return DeltaBuffer::build(
+      f.base.vertex_count(), ops, [&](Vertex u, Vertex w) -> std::int64_t {
+        std::int64_t count = 0;
+        for (const Vertex x : f.backward.neighbors(u))
+          if (x == w) ++count;
+        return count;
+      });
+}
+
+EdgeList merged_edges(const EdgeList& base, std::span<const EdgeOp> ops) {
+  EdgeList merged = base;
+  for (const EdgeOp& op : ops) merged.add(op.u, op.v);
+  return merged;
+}
+
+// Repairs a cached complete traversal and pins it against a from-scratch
+// reference BFS of the merged graph.
+void expect_repair_matches(const Fixture& f, Vertex root,
+                           std::span<const EdgeOp> ops, ThreadPool& pool) {
+  const ReferenceBfsResult before = reference_bfs(f.full, root);
+  std::vector<std::int32_t> level = before.level;
+  std::vector<Vertex> parent = before.parent;
+
+  const DeltaBuffer delta = build_delta(f, ops);
+  const RepairOutcome outcome =
+      repair_bfs_levels(f.backward, delta, root, level, parent);
+  ASSERT_TRUE(outcome.repaired) << outcome.reason;
+
+  const EdgeList merged = merged_edges(f.base, ops);
+  const Csr merged_csr = build_csr(merged, CsrBuildOptions{}, pool);
+  const ReferenceBfsResult after = reference_bfs(merged_csr, root);
+  for (Vertex v = 0; v < f.base.vertex_count(); ++v)
+    ASSERT_EQ(level[v], after.level[v]) << "root " << root << " v " << v;
+  // The patched parents must form a valid BFS tree of the merged graph.
+  const ValidationResult validation =
+      validate_bfs(merged, root, parent, level);
+  ASSERT_TRUE(validation.ok) << validation.error;
+}
+
+TEST(BfsRepairTest, ShortcutOnAPathLowersTheTail) {
+  ThreadPool pool{2};
+  const Fixture f = make_fixture(fixtures::path_graph(8), pool);
+  const std::vector<EdgeOp> ops{EdgeOp::insert(0, 7)};
+  expect_repair_matches(f, 0, ops, pool);
+}
+
+TEST(BfsRepairTest, ChainOfInsertedEdgesPropagates) {
+  ThreadPool pool{2};
+  // Two inserted edges forming a chain: 0-5 and 5-7 on the path graph.
+  // The second shortcut is only reachable through the first, so the wave
+  // relaxation must read the merged view, not just the base.
+  const Fixture f = make_fixture(fixtures::path_graph(8), pool);
+  const std::vector<EdgeOp> ops{EdgeOp::insert(0, 5), EdgeOp::insert(5, 7)};
+  expect_repair_matches(f, 0, ops, pool);
+}
+
+TEST(BfsRepairTest, BridgeReachesANewComponent) {
+  ThreadPool pool{2};
+  const Fixture f = make_fixture(fixtures::small_graph(), pool);
+  const ReferenceBfsResult before = reference_bfs(f.full, 0);
+  ASSERT_EQ(before.level[5], -1);
+
+  std::vector<std::int32_t> level = before.level;
+  std::vector<Vertex> parent = before.parent;
+  const std::vector<EdgeOp> ops{EdgeOp::insert(2, 5)};
+  const DeltaBuffer delta = build_delta(f, ops);
+  const RepairOutcome outcome =
+      repair_bfs_levels(f.backward, delta, 0, level, parent);
+  ASSERT_TRUE(outcome.repaired) << outcome.reason;
+  EXPECT_EQ(level[5], 3);
+  EXPECT_EQ(level[6], 4);
+  EXPECT_EQ(level[7], -1);  // still isolated
+  EXPECT_EQ(outcome.newly_reached, 2);
+  EXPECT_GT(outcome.waves, 0);
+}
+
+TEST(BfsRepairTest, RedundantInsertIsANoOp) {
+  ThreadPool pool{2};
+  const Fixture f = make_fixture(fixtures::small_graph(), pool);
+  const ReferenceBfsResult before = reference_bfs(f.full, 0);
+  std::vector<std::int32_t> level = before.level;
+  std::vector<Vertex> parent = before.parent;
+  // 0-4 connects levels 0 and 2: 4 improves to 1, nothing else changes —
+  // and an edge between adjacent levels (1-2) changes nothing at all.
+  const std::vector<EdgeOp> ops{EdgeOp::insert(1, 2)};
+  const DeltaBuffer delta = build_delta(f, ops);
+  const RepairOutcome outcome =
+      repair_bfs_levels(f.backward, delta, 0, level, parent);
+  ASSERT_TRUE(outcome.repaired);
+  EXPECT_EQ(outcome.relaxed, 0);
+  for (Vertex v = 0; v < 8; ++v) EXPECT_EQ(level[v], before.level[v]);
+}
+
+TEST(BfsRepairTest, LevelOnlyEntriesRepairWithoutParents) {
+  ThreadPool pool{2};
+  const Fixture f = make_fixture(fixtures::path_graph(8), pool);
+  const ReferenceBfsResult before = reference_bfs(f.full, 0);
+  std::vector<std::int32_t> level = before.level;
+  std::vector<Vertex> parent;  // level-only cache entry
+  const std::vector<EdgeOp> ops{EdgeOp::insert(0, 6)};
+  const DeltaBuffer delta = build_delta(f, ops);
+  const RepairOutcome outcome =
+      repair_bfs_levels(f.backward, delta, 0, level, parent);
+  ASSERT_TRUE(outcome.repaired) << outcome.reason;
+  EXPECT_EQ(level[6], 1);
+  EXPECT_EQ(level[7], 2);
+  EXPECT_TRUE(parent.empty());
+}
+
+TEST(BfsRepairTest, RandomizedKroneckerMatchesRecompute) {
+  ThreadPool pool{4};
+  EdgeList edges =
+      generate_kronecker(fixtures::small_kronecker(9, 8, 0xbeef), pool);
+  const Vertex n = edges.vertex_count();
+  const Fixture f = make_fixture(std::move(edges), pool);
+  Vertex root = 0;
+  while (f.full.degree(root) == 0) ++root;
+
+  std::mt19937_64 rng{0xbeef};
+  std::uniform_int_distribution<Vertex> pick{0, n - 1};
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<EdgeOp> ops;
+    for (int i = 0; i < 24; ++i) {
+      const Vertex u = pick(rng);
+      Vertex v = pick(rng);
+      while (v == u) v = pick(rng);
+      ops.push_back(EdgeOp::insert(u, v));
+    }
+    expect_repair_matches(f, root, ops, pool);
+  }
+}
+
+TEST(BfsRepairTest, DeclinesOutOfScopeInputs) {
+  ThreadPool pool{2};
+  const Fixture f = make_fixture(fixtures::path_graph(8), pool);
+  const ReferenceBfsResult before = reference_bfs(f.full, 0);
+
+  // Deletions are out of scope.
+  {
+    std::vector<std::int32_t> level = before.level;
+    std::vector<Vertex> parent = before.parent;
+    const std::vector<EdgeOp> ops{EdgeOp::remove(3, 4)};
+    const DeltaBuffer delta = build_delta(f, ops);
+    const RepairOutcome outcome =
+        repair_bfs_levels(f.backward, delta, 0, level, parent);
+    EXPECT_FALSE(outcome.repaired);
+    EXPECT_STREQ(outcome.reason, "delta contains deletions");
+    for (Vertex v = 0; v < 8; ++v) EXPECT_EQ(level[v], before.level[v]);
+  }
+  const std::vector<EdgeOp> insert_ops{EdgeOp::insert(0, 7)};
+  const DeltaBuffer delta = build_delta(f, insert_ops);
+  // A level array that does not cover the graph.
+  {
+    std::vector<std::int32_t> level{0, 1};
+    std::vector<Vertex> parent;
+    EXPECT_FALSE(repair_bfs_levels(f.backward, delta, 0, level, parent)
+                     .repaired);
+  }
+  // A mismatched parent array.
+  {
+    std::vector<std::int32_t> level = before.level;
+    std::vector<Vertex> parent{kNoVertex};
+    EXPECT_FALSE(repair_bfs_levels(f.backward, delta, 0, level, parent)
+                     .repaired);
+  }
+  // A root the cached result was not run from.
+  {
+    std::vector<std::int32_t> level = before.level;
+    std::vector<Vertex> parent = before.parent;
+    EXPECT_FALSE(repair_bfs_levels(f.backward, delta, 3, level, parent)
+                     .repaired);
+    EXPECT_FALSE(
+        repair_bfs_levels(f.backward, delta, -1, level, parent).repaired);
+  }
+}
+
+}  // namespace
+}  // namespace sembfs

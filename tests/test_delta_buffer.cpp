@@ -1,0 +1,140 @@
+// DeltaBuffer semantics: ordered op folding, tombstones hiding every base
+// multi-edge copy, insert multiplicity, degree adjustment, merged-view
+// iteration with and without the destination filter, and the canonical
+// edge lists the repair/compaction paths consume.
+#include "graph/delta_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sembfs {
+namespace {
+
+// Base adjacency used by the count oracle in these tests:
+//   0: {1, 1, 2}      (multi-edge 0-1)
+//   1: {0, 0, 2}
+//   2: {0, 1}
+//   3: {}             4: {}
+std::int64_t base_count(Vertex u, Vertex w) {
+  const auto pair_count = [](Vertex a, Vertex b) -> std::int64_t {
+    const Vertex lo = a < b ? a : b;
+    const Vertex hi = a < b ? b : a;
+    if (lo == 0 && hi == 1) return 2;
+    if (lo == 0 && hi == 2) return 1;
+    if (lo == 1 && hi == 2) return 1;
+    return 0;
+  };
+  return pair_count(u, w);
+}
+
+constexpr Vertex kN = 5;
+
+TEST(DeltaBufferTest, EmptyBufferTouchesNothing) {
+  const DeltaBuffer delta =
+      DeltaBuffer::build(kN, {}, [](Vertex, Vertex) { return 0; });
+  EXPECT_TRUE(delta.empty());
+  EXPECT_FALSE(delta.has_deletes());
+  for (Vertex v = 0; v < kN; ++v) {
+    EXPECT_FALSE(delta.touches(v));
+    EXPECT_EQ(delta.degree_adjustment(v), 0);
+    EXPECT_TRUE(delta.inserted(v).empty());
+  }
+}
+
+TEST(DeltaBufferTest, InsertAddsBothEndpointsWithMultiplicity) {
+  const std::vector<EdgeOp> ops{EdgeOp::insert(3, 4), EdgeOp::insert(3, 4),
+                                EdgeOp::insert(0, 3)};
+  const DeltaBuffer delta = DeltaBuffer::build(kN, ops, base_count);
+  EXPECT_TRUE(delta.touches(3));
+  EXPECT_TRUE(delta.touches(4));
+  EXPECT_TRUE(delta.has_inserts(3));
+  ASSERT_EQ(delta.inserted(3).size(), 3u);  // {0, 4, 4} sorted
+  EXPECT_EQ(delta.inserted(3)[0], 0);
+  EXPECT_EQ(delta.inserted(3)[1], 4);
+  EXPECT_EQ(delta.inserted(3)[2], 4);
+  ASSERT_EQ(delta.inserted(4).size(), 2u);
+  EXPECT_EQ(delta.degree_adjustment(3), 3);
+  EXPECT_EQ(delta.degree_adjustment(4), 2);
+  EXPECT_EQ(delta.degree_adjustment(0), 1);
+  // Canonical inserted pairs, sorted, with multiplicity.
+  ASSERT_EQ(delta.inserted_edges().size(), 3u);
+  EXPECT_EQ(delta.inserted_edges()[0].u, 0);
+  EXPECT_EQ(delta.inserted_edges()[0].v, 3);
+  EXPECT_EQ(delta.inserted_edges()[1].u, 3);
+  EXPECT_EQ(delta.inserted_edges()[1].v, 4);
+  EXPECT_EQ(delta.inserted_edges()[2].u, 3);
+  EXPECT_EQ(delta.inserted_edges()[2].v, 4);
+}
+
+TEST(DeltaBufferTest, TombstoneHidesEveryBaseCopy) {
+  // 0-1 is a base multi-edge (2 copies): one remove op kills both.
+  const std::vector<EdgeOp> ops{EdgeOp::remove(0, 1)};
+  const DeltaBuffer delta = DeltaBuffer::build(kN, ops, base_count);
+  EXPECT_TRUE(delta.has_deletes());
+  EXPECT_TRUE(delta.edge_removed(0, 1));
+  EXPECT_TRUE(delta.edge_removed(1, 0));
+  EXPECT_FALSE(delta.edge_removed(0, 2));
+  EXPECT_EQ(delta.degree_adjustment(0), -2);
+  EXPECT_EQ(delta.degree_adjustment(1), -2);
+  ASSERT_EQ(delta.removed_edges().size(), 1u);
+  EXPECT_EQ(delta.removed_edges()[0].u, 0);
+  EXPECT_EQ(delta.removed_edges()[0].v, 1);
+}
+
+TEST(DeltaBufferTest, RemoveThenInsertLeavesPairPresentOnce) {
+  const std::vector<EdgeOp> ops{EdgeOp::remove(0, 1), EdgeOp::insert(0, 1)};
+  const DeltaBuffer delta = DeltaBuffer::build(kN, ops, base_count);
+  // Tombstone still hides the base copies; the surviving insert supplies
+  // exactly one merged copy.
+  EXPECT_TRUE(delta.edge_removed(0, 1));
+  ASSERT_EQ(delta.inserted(0).size(), 1u);
+  EXPECT_EQ(delta.inserted(0)[0], 1);
+  EXPECT_EQ(delta.degree_adjustment(0), -1);  // -2 base copies + 1 insert
+
+  std::vector<Vertex> merged;
+  const std::vector<Vertex> base{1, 1, 2};
+  delta.for_each_merged(0, base, [&](Vertex w) { merged.push_back(w); });
+  ASSERT_EQ(merged.size(), 2u);  // base 2 survives, then the inserted 1
+  EXPECT_EQ(merged[0], 2);
+  EXPECT_EQ(merged[1], 1);
+}
+
+TEST(DeltaBufferTest, InsertThenRemoveCancels) {
+  const std::vector<EdgeOp> ops{EdgeOp::insert(3, 4), EdgeOp::insert(3, 4),
+                                EdgeOp::remove(3, 4)};
+  const DeltaBuffer delta = DeltaBuffer::build(kN, ops, base_count);
+  EXPECT_TRUE(delta.inserted(3).empty());
+  EXPECT_EQ(delta.degree_adjustment(3), 0);
+  EXPECT_TRUE(delta.inserted_edges().empty());
+  // The raw op counts keep the full history for stats.
+  EXPECT_EQ(delta.insert_ops(), 2u);
+  EXPECT_EQ(delta.remove_ops(), 1u);
+}
+
+TEST(DeltaBufferTest, MergedViewFiltersInsertsByDestinationRange) {
+  const std::vector<EdgeOp> ops{EdgeOp::insert(0, 3), EdgeOp::insert(0, 4)};
+  const DeltaBuffer delta = DeltaBuffer::build(kN, ops, base_count);
+  // Partition-local view [3, 4): only the insert landing in the range
+  // appears, mirroring the destination-filtered forward partitions.
+  std::vector<Vertex> merged;
+  delta.for_each_merged(0, {}, VertexRange{3, 4},
+                        [&](Vertex w) { merged.push_back(w); });
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], 3);
+}
+
+TEST(DeltaBufferTest, UntouchedVertexPassesBaseThrough) {
+  const std::vector<EdgeOp> ops{EdgeOp::insert(3, 4)};
+  const DeltaBuffer delta = DeltaBuffer::build(kN, ops, base_count);
+  std::vector<Vertex> merged;
+  const std::vector<Vertex> base{0, 1};
+  delta.for_each_merged(2, base, [&](Vertex w) { merged.push_back(w); });
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0], 0);
+  EXPECT_EQ(merged[1], 1);
+  EXPECT_GT(delta.byte_size(), 0u);
+}
+
+}  // namespace
+}  // namespace sembfs

@@ -120,6 +120,85 @@ TEST(ResultCacheTest, GenerationBumpInvalidatesEverything) {
   EXPECT_NE(cache.lookup(1, options), nullptr);
 }
 
+TEST(ResultCacheTest, EagerGenerationDropZeroesTheByteGauge) {
+  // Regression: bump_generation() frees the old generation's entries
+  // eagerly, so the resident bytes/entries gauges must read zero — not
+  // keep charging for unreachable storage until LRU pressure finds it.
+  ResultCache cache{1 << 20};
+  const QueryOptions options;
+  cache.insert(1, options, make_result(1, 256));
+  cache.insert(2, options, make_result(2, 256));
+  const ResultCacheStats before = cache.stats();
+  EXPECT_EQ(before.entries, 2u);
+  EXPECT_GT(before.bytes, 0u);
+  cache.bump_generation();
+  const ResultCacheStats after = cache.stats();
+  EXPECT_EQ(after.bytes, 0u);
+  EXPECT_EQ(after.entries, 0u);
+  // The freed budget is actually reusable: the same payload volume fits
+  // again without a single eviction.
+  cache.insert(1, options, make_result(1, 256));
+  cache.insert(2, options, make_result(2, 256));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().bytes, before.bytes);
+}
+
+TEST(ResultCacheTest, GenerationCheckedInsertDropsStaleResults) {
+  // A result computed against the pre-publication snapshot must not land
+  // under the post-publication key space: the 4-arg insert carries the
+  // generation captured at admission and is dropped on mismatch.
+  ResultCache cache{1 << 20};
+  const QueryOptions options;
+  const std::uint64_t admitted_at = cache.generation();
+  cache.bump_generation();  // the graph moved on mid-query
+  cache.insert(1, options, make_result(1, 64), admitted_at);
+  EXPECT_EQ(cache.lookup(1, options), nullptr);
+  EXPECT_EQ(cache.stats().stale_inserts, 1u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+  // A result admitted under the CURRENT generation still lands.
+  cache.insert(1, options, make_result(1, 64), cache.generation());
+  EXPECT_NE(cache.lookup(1, options), nullptr);
+  EXPECT_EQ(cache.stats().stale_inserts, 1u);
+}
+
+TEST(ResultCacheTest, TakeEntriesDrainsAndPreservesRecencyOrder) {
+  // The migration path: take_entries() empties the cache (zeroed gauges),
+  // returns least-recent first, and re-inserting in that order reproduces
+  // the original LRU order under the new generation.
+  const QueryOptions options;
+  const std::size_t entry = 256 + 64 * (4 + sizeof(Vertex));
+  ResultCache cache{3 * entry};
+  cache.insert(1, options, make_result(1, 64));
+  cache.insert(2, options, make_result(2, 64));
+  QueryOptions khop;
+  khop.max_levels = 2;
+  cache.insert(3, khop, make_result(3, 64));
+  EXPECT_NE(cache.lookup(1, options), nullptr);  // recency: 1 > 3 > 2
+
+  const std::vector<ResultCache::TakenEntry> taken = cache.take_entries();
+  ASSERT_EQ(taken.size(), 3u);
+  EXPECT_EQ(taken[0].root, 2);  // least recent first
+  EXPECT_EQ(taken[1].root, 3);
+  EXPECT_EQ(taken[1].max_levels, 2);  // options key travels with the entry
+  EXPECT_EQ(taken[2].root, 1);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.lookup(1, options), nullptr);
+
+  cache.bump_generation();
+  for (const ResultCache::TakenEntry& t : taken) {
+    QueryOptions reopts;
+    reopts.max_levels = t.max_levels;
+    cache.insert(t.root, reopts, *t.result);
+  }
+  // One more insert under the byte bound must evict root 2 — the entry
+  // that was least recent before the drain.
+  cache.insert(4, options, make_result(4, 64));
+  EXPECT_EQ(cache.lookup(2, options), nullptr);
+  EXPECT_NE(cache.lookup(1, options), nullptr);
+  EXPECT_NE(cache.lookup(3, khop), nullptr);
+}
+
 TEST(ResultCacheTest, HitsShareOneImmutableCopy) {
   ResultCache cache{1 << 20};
   const QueryOptions options;

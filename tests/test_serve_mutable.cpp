@@ -1,0 +1,185 @@
+// QueryEngine over a MutableGraph: admissions pin the snapshot they
+// started on, publishes retarget new admissions, and the result cache
+// follows the migration protocol — repaired across insert-only publishes,
+// dropped on deletions, kept across compaction (docs/MUTATIONS.md).
+#include "serve/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bfs/reference_bfs.hpp"
+#include "graph/csr.hpp"
+#include "graph/mutable_graph.hpp"
+#include "graph_fixtures.hpp"
+
+namespace sembfs::serve {
+namespace {
+
+class ServeMutableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = generate_kronecker(fixtures::small_kronecker(9, 8, 23), pool_);
+    mirror_.assign(base_.edges().begin(), base_.edges().end());
+    MutableGraphConfig config;
+    config.numa_nodes = 2;
+    graph_.emplace(base_, config, pool_);
+  }
+
+  // Serial mirror of the tombstone semantics (remove kills every copy).
+  void mutate(const std::vector<EdgeOp>& ops) {
+    graph_->apply(ops);
+    for (const EdgeOp& op : ops) {
+      if (op.kind == EdgeOp::Kind::Insert) {
+        mirror_.push_back(Edge{op.u, op.v});
+      } else {
+        const auto same = [&](const Edge& e) {
+          return (e.u == op.u && e.v == op.v) ||
+                 (e.u == op.v && e.v == op.u);
+        };
+        mirror_.erase(
+            std::remove_if(mirror_.begin(), mirror_.end(), same),
+            mirror_.end());
+      }
+    }
+  }
+
+  // Reference levels for the graph as mutated so far.
+  std::vector<std::int32_t> reference(Vertex root) {
+    EdgeList merged{base_.vertex_count(), mirror_};
+    const Csr full = build_csr(merged, CsrBuildOptions{}, pool_);
+    return reference_bfs(full, root).level;
+  }
+
+  static QueryResult serve(QueryEngine& engine, Vertex root) {
+    const QueryRef query = engine.submit(root);
+    query->wait();
+    EXPECT_EQ(query->state(), QueryState::Done) << query->result().error;
+    return query->result();
+  }
+
+  void expect_serves_reference(QueryEngine& engine, Vertex root) {
+    const QueryResult result = serve(engine, root);
+    const auto ref = reference(root);
+    ASSERT_EQ(result.level.size(), ref.size());
+    for (std::size_t v = 0; v < ref.size(); ++v)
+      ASSERT_EQ(result.level[v], ref[v]) << "root=" << root << " v=" << v;
+  }
+
+  ThreadPool pool_{2};         // owned by the graph: builds + compaction
+  ThreadPool engine_pool_{4};  // owned by the engine dispatcher
+  NumaTopology topology_{2, 1};
+  EdgeList base_;
+  std::vector<Edge> mirror_;
+  std::optional<MutableGraph> graph_;
+};
+
+TEST_F(ServeMutableTest, PublishRetargetsNewAdmissions) {
+  QueryEngine engine{*graph_, topology_, engine_pool_, EngineConfig{}};
+  expect_serves_reference(engine, 1);
+
+  mutate({EdgeOp::insert(1, 100), EdgeOp::insert(100, 200)});
+  expect_serves_reference(engine, 1);
+  EXPECT_EQ(engine.stats().snapshots_published, 1u);
+
+  mutate({EdgeOp::remove(1, 100)});
+  expect_serves_reference(engine, 1);
+  EXPECT_EQ(engine.stats().snapshots_published, 2u);
+
+  graph_->compact();
+  expect_serves_reference(engine, 1);
+  EXPECT_EQ(engine.stats().snapshots_published, 3u);
+}
+
+TEST_F(ServeMutableTest, InsertOnlyPublishMigratesCachedTraversals) {
+  EngineConfig config;
+  config.cache_bytes = 4 << 20;
+  QueryEngine engine{*graph_, topology_, engine_pool_, config};
+
+  // Warm the cache with two roots and confirm they hit.
+  expect_serves_reference(engine, 1);
+  expect_serves_reference(engine, 2);
+  EXPECT_TRUE(serve(engine, 1).cache_hit);
+  EXPECT_EQ(engine.stats().cache_hits, 1u);
+
+  // An insert-only publish repairs the cached arrays in place instead of
+  // dropping them: the very next lookup is still a hit, and the patched
+  // levels equal a from-scratch BFS of the merged graph.
+  mutate({EdgeOp::insert(1, 300), EdgeOp::insert(300, 301)});
+  EXPECT_GE(engine.stats().cache_entries_migrated, 2u);
+  EXPECT_EQ(engine.stats().cache_entries_dropped, 0u);
+  const QueryResult hot = serve(engine, 1);
+  EXPECT_TRUE(hot.cache_hit);
+  const auto ref = reference(1);
+  ASSERT_EQ(hot.level.size(), ref.size());
+  for (std::size_t v = 0; v < ref.size(); ++v)
+    ASSERT_EQ(hot.level[v], ref[v]) << "v=" << v;
+  EXPECT_EQ(hot.level[300], ref[300]);  // reaches the new vertices
+  const QueryResult hot2 = serve(engine, 2);
+  EXPECT_TRUE(hot2.cache_hit);
+}
+
+TEST_F(ServeMutableTest, DeletePublishDropsTheCache) {
+  EngineConfig config;
+  config.cache_bytes = 4 << 20;
+  QueryEngine engine{*graph_, topology_, engine_pool_, config};
+
+  expect_serves_reference(engine, 1);
+  EXPECT_TRUE(serve(engine, 1).cache_hit);
+
+  // Deletions invalidate: repair cannot raise levels, so the publish
+  // empties the cache and the next query recomputes — correctly.
+  mutate({EdgeOp::remove(base_.edges()[0].u, base_.edges()[0].v)});
+  EXPECT_GE(engine.stats().cache_entries_dropped, 1u);
+  const QueryResult cold = serve(engine, 1);
+  EXPECT_FALSE(cold.cache_hit);
+  expect_serves_reference(engine, 1);
+}
+
+TEST_F(ServeMutableTest, CompactionPreservesTheCache) {
+  EngineConfig config;
+  config.cache_bytes = 4 << 20;
+  QueryEngine engine{*graph_, topology_, engine_pool_, config};
+
+  mutate({EdgeOp::insert(1, 100)});
+  expect_serves_reference(engine, 1);
+
+  // Compaction changes no logical edge — cached answers stay valid and
+  // the entries survive the publish untouched.
+  graph_->compact();
+  EXPECT_EQ(engine.stats().cache_entries_dropped, 0u);
+  const QueryResult hot = serve(engine, 1);
+  EXPECT_TRUE(hot.cache_hit);
+  const auto ref = reference(1);
+  for (std::size_t v = 0; v < ref.size(); ++v)
+    ASSERT_EQ(hot.level[v], ref[v]) << "v=" << v;
+}
+
+TEST_F(ServeMutableTest, TruncatedEntriesAreDroppedNotRepaired) {
+  EngineConfig config;
+  config.cache_bytes = 4 << 20;
+  QueryEngine engine{*graph_, topology_, engine_pool_, config};
+
+  // A k-hop query's arrays are truncated at max_levels: repair's
+  // complete-traversal precondition fails, so migration must drop it.
+  QueryOptions khop;
+  khop.max_levels = 2;
+  const QueryRef cold = engine.submit(1, khop);
+  cold->wait();
+  ASSERT_EQ(cold->state(), QueryState::Done);
+  const QueryRef warm = engine.submit(1, khop);
+  warm->wait();
+  EXPECT_TRUE(warm->result().cache_hit);
+
+  mutate({EdgeOp::insert(1, 100)});
+  EXPECT_GE(engine.stats().cache_entries_dropped, 1u);
+  const QueryRef after = engine.submit(1, khop);
+  after->wait();
+  ASSERT_EQ(after->state(), QueryState::Done);
+  EXPECT_FALSE(after->result().cache_hit);
+  EXPECT_EQ(after->result().level[100], 1);  // fresh run sees the insert
+}
+
+}  // namespace
+}  // namespace sembfs::serve
