@@ -9,8 +9,11 @@
 #include <atomic>
 #include <cstdio>
 #include <random>
+#include <stdexcept>
 #include <thread>
 
+#include "bfs/reference_bfs.hpp"
+#include "bfs/validate.hpp"
 #include "engine/components_program.hpp"
 #include "graph/mutable_graph.hpp"
 #include "engine/pagerank_program.hpp"
@@ -18,12 +21,15 @@
 #include "engine/triangle_program.hpp"
 #include "graph500/benchmark.hpp"
 #include "obs/export.hpp"
+#include "graph/kronecker.hpp"
 #include "serve/engine.hpp"
 #include "serve/load_gen.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "shard/sharded_bfs.hpp"
 #include "util/format.hpp"
 #include "util/options.hpp"
+#include "util/statistics.hpp"
 
 using namespace sembfs;
 
@@ -42,6 +48,17 @@ int main(int argc, char** argv) {
   options.add_string("frontier-rep", "auto",
                      "bottom-up next-frontier representation: "
                      "auto | queue | bitmap");
+  options.add_int("shards", 0,
+                  "emulated multi-node mode: run the BFS across this many "
+                  "shards, each with its own NVM stack (0 = single node)");
+  options.add_int("shard-rows", 0,
+                  "force the shard grid height (0 = as square as the "
+                  "shard count allows)");
+  options.add_string("shard-format", "raw",
+                     "per-shard on-NVM adjacency layout: raw | varint");
+  options.add_string("frontier-encoding", "auto",
+                     "sharded frontier/membership wire encoding: "
+                     "auto | bitmap | varint");
   options.add_int("threads", 0, "worker threads (0 = hardware)");
   options.add_int("numa-nodes", 4, "emulated NUMA nodes");
   options.add_int("backward-dram-edges", -1,
@@ -216,6 +233,171 @@ int main(int argc, char** argv) {
   }
 
   std::printf("scenario: %s\n", config.instance.scenario.describe().c_str());
+
+  const std::int64_t shards = options.get_int("shards");
+  if (shards > 0) {
+    // Sharded mode: emulated multi-node BFS over 2D edge blocks with
+    // per-shard NVM stacks and compressed frontier exchange. Prints a
+    // dist_* key:value block (parsed by the sharded-bfs CI job).
+    const auto shard_format = parse_chunk_format(
+        std::string_view{options.get_string("shard-format")});
+    if (!shard_format.has_value()) {
+      std::fprintf(stderr, "unknown --shard-format '%s'\n",
+                   options.get_string("shard-format").c_str());
+      return 1;
+    }
+    shard::EncodingChoice encoding;
+    try {
+      encoding = shard::encoding_choice_from_name(
+          options.get_string("frontier-encoding"));
+    } catch (const std::invalid_argument&) {
+      std::fprintf(stderr, "unknown --frontier-encoding '%s'\n",
+                   options.get_string("frontier-encoding").c_str());
+      return 1;
+    }
+
+    const EdgeList edges =
+        generate_kronecker(config.instance.kronecker, pool);
+    const Csr full = build_csr(edges, CsrBuildOptions{}, pool);
+
+    // One pool worker per shard rank; widen the pool when the machine
+    // (or --threads) offers fewer workers than emulated nodes.
+    std::optional<ThreadPool> wide_pool;
+    if (pool.size() < static_cast<std::size_t>(shards))
+      wide_pool.emplace(static_cast<std::size_t>(shards));
+    ThreadPool& shard_pool = wide_pool ? *wide_pool : pool;
+
+    shard::ShardNodeConfig node_config;
+    node_config.format = *shard_format;
+    node_config.io_queue_depth = config.bfs.io_queue_depth;
+    node_config.cache_bytes = config.bfs.chunk_cache_bytes;
+    node_config.verify_checksums = config.bfs.verify_chunk_checksums;
+    node_config.retry = config.bfs.io_retry;
+    shard::ShardedBfs sharded{
+        edges,
+        static_cast<std::size_t>(shards),
+        shard_pool,
+        config.instance.scenario.effective_profile(),
+        config.instance.workdir + "/sharded",
+        node_config,
+        static_cast<std::size_t>(options.get_int("shard-rows"))};
+    if (config.fault_plan.enabled())
+      sharded.arm_fault_plans(config.fault_plan);
+
+    shard::ShardedBfsConfig bfs_config;
+    bfs_config.policy = config.bfs.policy;
+    bfs_config.frontier_encoding = encoding;
+    if (config.bfs.mode == BfsMode::TopDownOnly)
+      bfs_config.mode = shard::ShardedBfsConfig::Mode::TopDownOnly;
+    else if (config.bfs.mode == BfsMode::BottomUpOnly)
+      bfs_config.mode = shard::ShardedBfsConfig::Mode::BottomUpOnly;
+
+    // Same root sampling for every configuration of one (scale, seed):
+    // the CI job compares per-level profiles across encodings and modes.
+    std::mt19937_64 rng{config.instance.kronecker.seed};
+    std::uniform_int_distribution<Vertex> pick{0, edges.vertex_count() - 1};
+    std::vector<Vertex> roots;
+    while (roots.size() < static_cast<std::size_t>(config.num_roots)) {
+      const Vertex candidate = pick(rng);
+      if (full.degree(candidate) > 0) roots.push_back(candidate);
+    }
+
+    const auto& grid = sharded.grid();
+    std::printf(
+        "dist_shards: %lld\ndist_grid: %zux%zu\ndist_format: %s\n"
+        "dist_frontier_encoding: %s\ndist_total_nvm_bytes: %llu\n"
+        "dist_max_shard_nvm_bytes: %llu\ndist_roots: %d\n",
+        static_cast<long long>(shards), grid.rows(), grid.cols(),
+        std::string(to_string(*shard_format)).c_str(),
+        shard::encoding_choice_name(encoding),
+        static_cast<unsigned long long>(sharded.nvm_byte_size()),
+        static_cast<unsigned long long>(sharded.max_shard_nvm_byte_size()),
+        config.num_roots);
+
+    std::vector<double> teps;
+    std::uint64_t io_failures = 0;
+    bool degraded = false;
+    bool all_exact = true;
+    for (std::size_t r = 0; r < roots.size(); ++r) {
+      const shard::ShardedBfsResult result =
+          sharded.run(roots[r], bfs_config);
+      teps.push_back(result.teps);
+      io_failures += result.io_failures;
+      degraded = degraded || result.degraded;
+
+      // Reference-exact or the run fails: levels against the serial
+      // in-memory BFS, tree shape via Graph500 Step 4.
+      const ReferenceBfsResult ref = reference_bfs(full, roots[r]);
+      bool exact = result.visited == ref.visited;
+      for (Vertex v = 0; exact && v < edges.vertex_count(); ++v)
+        exact = result.level[static_cast<std::size_t>(v)] ==
+                ref.level[static_cast<std::size_t>(v)];
+      if (config.validate) {
+        const ValidationResult check =
+            validate_bfs(edges, roots[r], result.parent, result.level);
+        if (!check.ok) {
+          std::fprintf(stderr, "root %lld failed validation: %s\n",
+                       static_cast<long long>(roots[r]),
+                       check.error.c_str());
+          exact = false;
+        }
+      }
+      all_exact = all_exact && exact;
+
+      if (r == 0) {
+        // Per-level communication profile of the first root: the
+        // direction switch's byte collapse, one line per level.
+        for (const shard::ShardLevelStats& ls : result.levels)
+          std::printf(
+              "dist_level_%d: direction=%s frontier=%lld claimed=%lld "
+              "frontier_bytes=%llu membership_bytes=%llu "
+              "claim_bytes=%llu remote_bytes=%llu messages=%llu\n",
+              ls.level, direction_name(ls.direction),
+              static_cast<long long>(ls.frontier_vertices),
+              static_cast<long long>(ls.claimed_vertices),
+              static_cast<unsigned long long>(ls.frontier_bytes),
+              static_cast<unsigned long long>(ls.membership_bytes),
+              static_cast<unsigned long long>(ls.claim_bytes),
+              static_cast<unsigned long long>(ls.remote_bytes),
+              static_cast<unsigned long long>(ls.remote_messages));
+        double exchange_s = 0.0;
+        double compute_s = 0.0;
+        for (const shard::ShardLevelStats& ls : result.levels) {
+          exchange_s += ls.exchange_seconds;
+          compute_s += ls.compute_seconds;
+        }
+        std::printf(
+            "dist_depth: %d\ndist_visited: %lld\n"
+            "dist_remote_bytes: %llu\ndist_remote_messages: %llu\n"
+            "dist_exchange_seconds: %.6f\ndist_compute_seconds: %.6f\n",
+            result.depth, static_cast<long long>(result.visited),
+            static_cast<unsigned long long>(result.total_remote_bytes),
+            static_cast<unsigned long long>(result.total_remote_messages),
+            exchange_s, compute_s);
+      }
+    }
+    const SampleStats stats = compute_stats(std::move(teps));
+    std::printf(
+        "dist_median_TEPS: %.6e\ndist_io_failures: %llu\n"
+        "dist_degraded: %d\ndist_exact: %s\n",
+        stats.median, static_cast<unsigned long long>(io_failures),
+        degraded ? 1 : 0, all_exact ? "ok" : "MISMATCH");
+
+    bool dist_exports_ok = true;
+    if (!metrics_out.empty() &&
+        !obs::write_metrics_json(obs::metrics(), metrics_out)) {
+      std::fprintf(stderr, "failed to write metrics JSON to %s\n",
+                   metrics_out.c_str());
+      dist_exports_ok = false;
+    }
+    if (!metrics_csv.empty() &&
+        !obs::write_metrics_csv(obs::metrics(), metrics_csv)) {
+      std::fprintf(stderr, "failed to write metrics CSV to %s\n",
+                   metrics_csv.c_str());
+      dist_exports_ok = false;
+    }
+    return all_exact && dist_exports_ok ? 0 : 1;
+  }
 
   const std::string analytics = options.get_string("analytics");
   if (!analytics.empty()) {

@@ -1,0 +1,120 @@
+#include "shard/frontier_codec.hpp"
+
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace sembfs::shard {
+
+namespace codec_detail {
+
+void check(bool ok, const char* what) {
+  if (!ok) throw NvmIoError(what);
+}
+
+Header decode_header(std::span<const std::byte> data) {
+  check(!data.empty(), "frontier decode: empty header");
+  const auto tag = static_cast<std::uint8_t>(data[0]);
+  check(tag >= 1 && tag <= 3, "frontier decode: unknown encoding tag");
+  Header h{};
+  h.encoding = static_cast<FrontierEncoding>(tag);
+  std::size_t pos = 1;
+  h.count = decode_varint(data, pos);
+  h.range_begin = static_cast<std::int64_t>(decode_varint(data, pos));
+  h.range_len = static_cast<std::int64_t>(decode_varint(data, pos));
+  check(h.range_len >= 0, "frontier decode: negative range");
+  h.pos = pos;
+  return h;
+}
+
+}  // namespace codec_detail
+
+namespace {
+
+void append_header(std::vector<std::byte>& out, FrontierEncoding encoding,
+                   std::uint64_t count, VertexRange range) {
+  out.push_back(static_cast<std::byte>(encoding));
+  append_varint(out, count);
+  append_varint(out, static_cast<std::uint64_t>(range.begin));
+  append_varint(out, static_cast<std::uint64_t>(range.size()));
+}
+
+}  // namespace
+
+const char* encoding_choice_name(EncodingChoice c) noexcept {
+  switch (c) {
+    case EncodingChoice::kAuto: return "auto";
+    case EncodingChoice::kForceBitmap: return "bitmap";
+    case EncodingChoice::kForceVarint: return "varint";
+  }
+  return "auto";
+}
+
+EncodingChoice encoding_choice_from_name(const std::string& name) {
+  if (name == "auto") return EncodingChoice::kAuto;
+  if (name == "bitmap") return EncodingChoice::kForceBitmap;
+  if (name == "varint") return EncodingChoice::kForceVarint;
+  throw std::invalid_argument("unknown frontier encoding: " + name +
+                              " (expected auto|bitmap|varint)");
+}
+
+std::vector<std::byte> encode_vertex_set(std::span<const Vertex> vertices,
+                                         VertexRange range,
+                                         EncodingChoice choice) {
+  std::vector<std::byte> out;
+  if (vertices.empty()) return out;
+
+  const auto bitmap_payload =
+      static_cast<std::size_t>((range.size() + 7) / 8);
+
+  if (choice != EncodingChoice::kForceBitmap) {
+    append_header(out, FrontierEncoding::kVarintList, vertices.size(),
+                  range);
+    const std::size_t header_bytes = out.size();
+    Vertex prev = range.begin;
+    bool first = true;
+    for (const Vertex v : vertices) {
+      SEMBFS_ASSERT(range.contains(v) && (first || v > prev));
+      append_varint(out, static_cast<std::uint64_t>(v - prev));
+      prev = v;
+      first = false;
+    }
+    if (choice == EncodingChoice::kForceVarint ||
+        out.size() - header_bytes < bitmap_payload)
+      return out;
+    out.clear();  // the bitmap is no larger — re-encode dense
+  }
+
+  append_header(out, FrontierEncoding::kBitmap, vertices.size(), range);
+  const std::size_t payload_start = out.size();
+  out.resize(payload_start + bitmap_payload, std::byte{0});
+  for (const Vertex v : vertices) {
+    SEMBFS_ASSERT(range.contains(v));
+    const auto off = static_cast<std::size_t>(v - range.begin);
+    out[payload_start + (off >> 3)] |=
+        static_cast<std::byte>(1U << (off & 7));
+  }
+  return out;
+}
+
+std::vector<std::byte> encode_claims(std::span<const Claim> claims,
+                                     VertexRange range) {
+  std::vector<std::byte> out;
+  if (claims.empty()) return out;
+  append_header(out, FrontierEncoding::kPairList, claims.size(), range);
+  Vertex prev = range.begin;
+  for (const Claim& c : claims) {
+    SEMBFS_ASSERT(range.contains(c.child) && c.child >= prev);
+    append_varint(out, static_cast<std::uint64_t>(c.child - prev));
+    append_varint(out, zigzag_encode(c.parent - c.child));
+    prev = c.child;
+  }
+  return out;
+}
+
+FrontierEncoding encoding_of(std::span<const std::byte> data) {
+  if (data.empty()) return FrontierEncoding::kVarintList;
+  return codec_detail::decode_header(data).encoding;
+}
+
+}  // namespace sembfs::shard

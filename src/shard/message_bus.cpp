@@ -1,0 +1,104 @@
+#include "shard/message_bus.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace sembfs::shard {
+
+MessageBus::MessageBus(std::size_t ranks)
+    : ranks_(ranks),
+      mailboxes_(kPhaseCount * ranks * ranks),
+      barrier_(ranks) {
+  SEMBFS_EXPECTS(ranks >= 1);
+}
+
+void MessageBus::send(std::size_t from, std::size_t to, Phase phase,
+                      std::vector<std::byte> payload) {
+  if (payload.empty()) return;
+  const std::uint64_t bytes = payload.size();
+  Mailbox& mailbox = box(from, to, phase);
+  {
+    const std::lock_guard<std::mutex> lock{mailbox.mutex};
+    mailbox.queue.push_back(std::move(payload));
+    mailbox.bytes += bytes;
+    ++mailbox.messages;
+  }
+  if (from != to) {
+    phase_bytes_[static_cast<std::size_t>(phase)].fetch_add(
+        bytes, std::memory_order_relaxed);
+    remote_messages_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) {
+      static obs::Counter& frontier_bytes =
+          obs::metrics().counter("shard.bus.frontier_bytes");
+      static obs::Counter& membership_bytes =
+          obs::metrics().counter("shard.bus.membership_bytes");
+      static obs::Counter& claim_bytes =
+          obs::metrics().counter("shard.bus.claim_bytes");
+      static obs::Counter& messages =
+          obs::metrics().counter("shard.bus.messages");
+      switch (phase) {
+        case Phase::kFrontier: frontier_bytes.add(bytes); break;
+        case Phase::kMembership: membership_bytes.add(bytes); break;
+        case Phase::kClaims: claim_bytes.add(bytes); break;
+      }
+      messages.add(1);
+    }
+  }
+}
+
+std::vector<MessageBus::Message> MessageBus::drain_all(std::size_t to,
+                                                       Phase phase) {
+  std::vector<Message> out;
+  // The ordering contract: senders visited in ascending rank order, each
+  // sender's messages in send order.
+  for (std::size_t from = 0; from < ranks_; ++from) {
+    Mailbox& mailbox = box(from, to, phase);
+    std::vector<std::vector<std::byte>> drained;
+    {
+      const std::lock_guard<std::mutex> lock{mailbox.mutex};
+      drained.swap(mailbox.queue);
+    }
+    for (auto& payload : drained)
+      out.push_back(Message{from, std::move(payload)});
+  }
+  return out;
+}
+
+std::uint64_t MessageBus::bytes_sent(std::size_t from,
+                                     std::size_t to) const {
+  std::uint64_t total = 0;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    const Mailbox& mailbox = box(from, to, static_cast<Phase>(p));
+    const std::lock_guard<std::mutex> lock{mailbox.mutex};
+    total += mailbox.bytes;
+  }
+  return total;
+}
+
+std::uint64_t MessageBus::total_remote_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& bytes : phase_bytes_)
+    total += bytes.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t MessageBus::remote_bytes(Phase phase) const noexcept {
+  return phase_bytes_[static_cast<std::size_t>(phase)].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t MessageBus::total_messages() const noexcept {
+  return remote_messages_.load(std::memory_order_relaxed);
+}
+
+void MessageBus::reset_counters() noexcept {
+  for (auto& mailbox : mailboxes_) {
+    const std::lock_guard<std::mutex> lock{mailbox.mutex};
+    mailbox.bytes = 0;
+    mailbox.messages = 0;
+  }
+  for (auto& bytes : phase_bytes_)
+    bytes.store(0, std::memory_order_relaxed);
+  remote_messages_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sembfs::shard

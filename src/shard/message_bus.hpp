@@ -1,0 +1,135 @@
+// In-process message fabric for the sharded semi-external BFS.
+//
+// R shards exchange serialized byte payloads (frontier_codec messages)
+// through per-(sender, receiver, phase) mailboxes. Communication is
+// phase-based, matching level-synchronous BFS: shards send during a
+// phase, hit the shared barrier, then drain their inboxes. The three
+// phases of one BFS level get separate mailboxes so the accounting can
+// attribute every byte to frontier publish, bottom-up membership, or
+// claim traffic — the split that makes the direction switch's
+// communication-volume collapse visible per level.
+//
+// ## Ordering contract
+//
+// drain_all(to, phase) returns messages in FIXED ASCENDING SENDER-RANK
+// order (0, 1, ..., R-1), and messages from one sender in their send
+// order. The seed-era bus documented "arbitrary sender order", which made
+// claim resolution depend on drain timing; with this contract the first
+// claim a receiver observes for a child is a pure function of the inputs,
+// so sharded runs are seed-deterministic and replayable like the rest of
+// the stack. Callers must still send everything for a phase before any
+// receiver drains it (the barrier enforces this); a send racing a drain
+// of the same mailbox would make the contents, not the order,
+// nondeterministic.
+//
+// ## Accounting
+//
+// Every payload byte and message is counted per (sender, receiver) pair
+// and per phase. Totals exclude self-sends (rank k -> rank k is delivered
+// like any message but is not "remote"), matching what a real
+// interconnect would carry. Counters are mirrored into obs
+// (shard.bus.<phase>_bytes / shard.bus.messages) when metrics are
+// enabled.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "parallel/spin_barrier.hpp"
+#include "util/contracts.hpp"
+
+namespace sembfs::shard {
+
+/// The three exchange phases of one sharded BFS level.
+enum class Phase : std::size_t {
+  kFrontier = 0,    ///< owner frontier publish along the grid row
+  kMembership = 1,  ///< bottom-up frontier membership along the column
+  kClaims = 2,      ///< (child, parent) proposals to the owner
+};
+
+inline constexpr std::size_t kPhaseCount = 3;
+
+[[nodiscard]] constexpr const char* phase_name(Phase p) noexcept {
+  switch (p) {
+    case Phase::kFrontier: return "frontier";
+    case Phase::kMembership: return "membership";
+    case Phase::kClaims: return "claims";
+  }
+  return "unknown";
+}
+
+class MessageBus {
+ public:
+  explicit MessageBus(std::size_t ranks);
+
+  [[nodiscard]] std::size_t rank_count() const noexcept { return ranks_; }
+
+  /// One drained message: the sender's rank and its serialized payload.
+  struct Message {
+    std::size_t from = 0;
+    std::vector<std::byte> payload;
+  };
+
+  /// Queues `payload` from `from` to `to` under `phase` (buffered until
+  /// the receiver drains). Empty payloads are dropped — every codec
+  /// treats "no message" as the empty set. Thread-safe per mailbox.
+  void send(std::size_t from, std::size_t to, Phase phase,
+            std::vector<std::byte> payload);
+
+  /// Moves out everything queued for `to` under `phase`, in fixed
+  /// ascending sender-rank order (see the ordering contract above).
+  /// Caller is the receiver.
+  std::vector<Message> drain_all(std::size_t to, Phase phase);
+
+  /// Level barrier shared by all ranks.
+  void barrier() { barrier_.arrive_and_wait(); }
+
+  /// Payload bytes ever sent from `from` to `to`, all phases.
+  [[nodiscard]] std::uint64_t bytes_sent(std::size_t from,
+                                         std::size_t to) const;
+  /// Total payload bytes across rank pairs, excluding self-sends.
+  [[nodiscard]] std::uint64_t total_remote_bytes() const noexcept;
+  /// Per-phase remote byte total (self-sends excluded).
+  [[nodiscard]] std::uint64_t remote_bytes(Phase phase) const noexcept;
+  /// Messages sent, excluding self-sends and dropped empties.
+  [[nodiscard]] std::uint64_t total_messages() const noexcept;
+
+  void reset_counters() noexcept;
+
+ private:
+  struct Mailbox {
+    mutable std::mutex mutex;
+    std::vector<std::vector<std::byte>> queue;
+    std::uint64_t bytes = 0;
+    std::uint64_t messages = 0;
+  };
+
+  [[nodiscard]] Mailbox& box(std::size_t from, std::size_t to,
+                             Phase phase) noexcept {
+    SEMBFS_ASSERT(from < ranks_ && to < ranks_);
+    return mailboxes_[(static_cast<std::size_t>(phase) * ranks_ + from) *
+                          ranks_ +
+                      to];
+  }
+  [[nodiscard]] const Mailbox& box(std::size_t from, std::size_t to,
+                                   Phase phase) const noexcept {
+    SEMBFS_ASSERT(from < ranks_ && to < ranks_);
+    return mailboxes_[(static_cast<std::size_t>(phase) * ranks_ + from) *
+                          ranks_ +
+                      to];
+  }
+
+  std::size_t ranks_;
+  std::vector<Mailbox> mailboxes_;  // phase x from x to
+  // Remote-only totals, updated under the sender's mailbox mutex but read
+  // lock-free by rank 0's per-level stats snapshot (reads happen at
+  // barriers, after all sends of the phase).
+  std::array<std::atomic<std::uint64_t>, kPhaseCount> phase_bytes_{};
+  std::atomic<std::uint64_t> remote_messages_{0};
+  SpinBarrier barrier_;
+};
+
+}  // namespace sembfs::shard

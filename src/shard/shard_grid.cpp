@@ -1,0 +1,46 @@
+#include "shard/shard_grid.hpp"
+
+namespace sembfs::shard {
+
+namespace {
+
+/// Largest divisor of `shards` whose square does not exceed `shards`.
+std::size_t default_rows(std::size_t shards) {
+  std::size_t best = 1;
+  for (std::size_t r = 1; r * r <= shards; ++r)
+    if (shards % r == 0) best = r;
+  return best;
+}
+
+}  // namespace
+
+ShardGrid::ShardGrid(Vertex vertex_count, std::size_t shards,
+                     std::size_t grid_rows)
+    : n_(vertex_count) {
+  SEMBFS_EXPECTS(vertex_count > 0);
+  SEMBFS_EXPECTS(shards >= 1);
+  rows_ = grid_rows == 0 ? default_rows(shards) : grid_rows;
+  SEMBFS_EXPECTS(rows_ >= 1 && shards % rows_ == 0);
+  cols_ = shards / rows_;
+  row_partition_ = VertexPartition(n_, rows_);
+  col_partition_ = VertexPartition(n_, cols_);
+  owner_partition_ = VertexPartition(n_, shards);
+}
+
+std::vector<std::size_t> ShardGrid::row_members(std::size_t row) const {
+  SEMBFS_ASSERT(row < rows_);
+  std::vector<std::size_t> out;
+  out.reserve(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) out.push_back(shard_at(row, c));
+  return out;
+}
+
+std::vector<std::size_t> ShardGrid::col_members(std::size_t col) const {
+  SEMBFS_ASSERT(col < cols_);
+  std::vector<std::size_t> out;
+  out.reserve(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out.push_back(shard_at(r, col));
+  return out;
+}
+
+}  // namespace sembfs::shard

@@ -1,0 +1,123 @@
+// 2D edge-matrix partitioning for the emulated multi-node BFS (Buluç &
+// Madduri, Distributed-Memory BFS on Massive Graphs — see PAPERS.md).
+//
+// R shards are arranged in a rows x cols grid (rows <= cols, rows * cols
+// == R). Three aligned block partitions of the vertex space [0, n):
+//
+//   - row blocks   (rows blocks):  shard (i, j) stores the edge block with
+//                                  SOURCES in row_block(i)
+//   - col blocks   (cols blocks):  ... and DESTINATIONS in col_block(j)
+//   - owner blocks (R blocks):     shard k exclusively owns the BFS state
+//                                  (parent / level / frontier membership)
+//                                  of owner_block(k)
+//
+// All three use the same k*n/parts block bounds (VertexPartition), so
+// every owner block nests inside exactly one row block and one col block
+// — the alignment every exchange pattern below relies on. Owner blocks
+// are enumerated COLUMN-major (owner index q = j * rows + i for shard
+// (i, j)), which makes the owners of col_block(j) exactly the shards of
+// grid column j: top-down claim messages for children in a shard's
+// destination block travel along its own grid column.
+//
+// Per-level exchange patterns (see sharded_bfs.cpp):
+//   frontier publish — owner k multicasts its frontier to the cols shards
+//                      of grid row publish_row(k) (the row whose sources
+//                      contain k's owner block); feeds top-down expansion
+//                      and the per-shard visited replicas.
+//   membership       — owner k multicasts its frontier to the rows shards
+//                      of its own grid column (bottom-up levels only).
+//   claims           — (child, parent) proposals to owner_of(child).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "numa/partition.hpp"
+#include "util/contracts.hpp"
+
+namespace sembfs::shard {
+
+class ShardGrid {
+ public:
+  /// Partitions [0, n) over `shards` shards. `grid_rows` forces the grid
+  /// height (must divide `shards`); 0 picks the largest divisor of
+  /// `shards` that is <= sqrt(shards), so the grid is as square as the
+  /// shard count allows (4 -> 2x2, 8 -> 2x4, 16 -> 4x4).
+  ShardGrid(Vertex vertex_count, std::size_t shards,
+            std::size_t grid_rows = 0);
+
+  [[nodiscard]] Vertex vertex_count() const noexcept { return n_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return rows_ * cols_;
+  }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  /// Grid coordinates <-> shard id (row-major shard ids).
+  [[nodiscard]] std::size_t shard_at(std::size_t row,
+                                     std::size_t col) const noexcept {
+    SEMBFS_ASSERT(row < rows_ && col < cols_);
+    return row * cols_ + col;
+  }
+  [[nodiscard]] std::size_t row_of(std::size_t shard) const noexcept {
+    SEMBFS_ASSERT(shard < shard_count());
+    return shard / cols_;
+  }
+  [[nodiscard]] std::size_t col_of(std::size_t shard) const noexcept {
+    SEMBFS_ASSERT(shard < shard_count());
+    return shard % cols_;
+  }
+
+  /// Edge-block ranges of shard (row_of(k), col_of(k)).
+  [[nodiscard]] VertexRange row_block(std::size_t row) const noexcept {
+    return row_partition_.range_of(row);
+  }
+  [[nodiscard]] VertexRange col_block(std::size_t col) const noexcept {
+    return col_partition_.range_of(col);
+  }
+  [[nodiscard]] VertexRange source_range(std::size_t shard) const noexcept {
+    return row_block(row_of(shard));
+  }
+  [[nodiscard]] VertexRange destination_range(
+      std::size_t shard) const noexcept {
+    return col_block(col_of(shard));
+  }
+
+  /// Column-major owner index of shard k (q = col * rows + row).
+  [[nodiscard]] std::size_t owner_index(std::size_t shard) const noexcept {
+    return col_of(shard) * rows_ + row_of(shard);
+  }
+  /// BFS-state block owned exclusively by shard k. Nests inside
+  /// col_block(col_of(k)) (so claims stay in the grid column) and inside
+  /// row_block(publish_row(k)) (the row its frontier is published to).
+  [[nodiscard]] VertexRange owner_block(std::size_t shard) const noexcept {
+    return owner_partition_.range_of(owner_index(shard));
+  }
+  /// Shard owning the BFS state of vertex v.
+  [[nodiscard]] std::size_t owner_of(Vertex v) const noexcept {
+    const std::size_t q = owner_partition_.node_of(v);
+    return shard_at(q % rows_, q / rows_);
+  }
+
+  /// Grid row whose row block contains owner_block(shard) — the row this
+  /// owner's frontier must be published to (those shards hold the edges
+  /// whose sources are the owner's vertices).
+  [[nodiscard]] std::size_t publish_row(std::size_t shard) const noexcept {
+    return owner_index(shard) / cols_;
+  }
+
+  /// Shard ids of grid row / column members, ascending.
+  [[nodiscard]] std::vector<std::size_t> row_members(std::size_t row) const;
+  [[nodiscard]] std::vector<std::size_t> col_members(std::size_t col) const;
+
+ private:
+  Vertex n_ = 0;
+  std::size_t rows_ = 1;
+  std::size_t cols_ = 1;
+  VertexPartition row_partition_;
+  VertexPartition col_partition_;
+  VertexPartition owner_partition_;
+};
+
+}  // namespace sembfs::shard

@@ -1,0 +1,148 @@
+// One emulated node of the sharded BFS: its edge block and its private
+// storage stack.
+//
+// Each shard owns the full I/O stack PRs 1-6 built for the single-node
+// path, instantiated privately so nothing is shared across emulated
+// nodes:
+//   - one or more NvmDevices with the scenario's profile (several devices
+//     are striped through StripedNvmFile via ExternalCsrPartition's
+//     striped constructor),
+//   - an ExternalCsrPartition of the 2D edge block (raw or varint chunk
+//     format) with its own ChunkChecksums registry,
+//   - optionally a private ChunkCache (with CRC verification against the
+//     shard's checksums) and a private IoScheduler for aggregated
+//     asynchronous fetches,
+//   - a per-shard FaultPlan armed on every device of this shard and
+//     nothing else — fault injection is the per-node failure domain.
+//
+// Fault containment: a fetch that still fails after
+// RetryPolicy.max_attempts whole-batch retries (each retry consumes fresh
+// fault-sequence indices, so transient injected errors clear) falls back
+// to the shard's DRAM copy of the block. The shard reports the failure
+// and the degraded level through FetchOutcome; the BFS result stays
+// reference-exact and no other shard observes anything — degraded, not
+// poisoned.
+//
+// DRAM-resident vertex state (all within the semi-external model, which
+// keeps O(n) vertex state in memory and only the O(m) adjacency on NVM):
+//   - has_local_edges(): one bit per source vertex of the block, so the
+//     sweep and the expansion skip sources with no edges in this block
+//     without a device round-trip (2D blocks are sparse — most vertices
+//     have no edges in any given block),
+//   - the DRAM fallback copy of the block (optional, on by default; turn
+//     it off to make fetch failures fatal instead of degrading).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/external_csr.hpp"
+#include "nvm/chunk_cache.hpp"
+#include "nvm/chunk_checksums.hpp"
+#include "nvm/chunk_format.hpp"
+#include "nvm/device_profile.hpp"
+#include "nvm/fault_plan.hpp"
+#include "nvm/io_scheduler.hpp"
+#include "nvm/nvm_device.hpp"
+#include "util/bitmap.hpp"
+
+namespace sembfs::shard {
+
+struct ShardNodeConfig {
+  std::uint32_t chunk_bytes = 4096;
+  ChunkFormat format = ChunkFormat::kRaw;
+  /// Physical devices per shard; > 1 stripes the block files round-robin.
+  std::size_t devices_per_shard = 1;
+  /// Private chunk-cache capacity; 0 disables the cache.
+  std::size_t cache_bytes = 0;
+  /// Verify cached chunks against the shard's CRC registry (needs cache).
+  bool verify_checksums = false;
+  /// Background I/O workers for aggregated fetches; 0 = synchronous.
+  std::size_t io_queue_depth = 0;
+  /// Whole-batch retry allowance before the DRAM fallback kicks in.
+  RetryPolicy retry;
+  /// Keep the DRAM copy of the block for fault degradation. Without it a
+  /// fetch failure that survives the retries propagates as NvmIoError.
+  bool dram_fallback = true;
+};
+
+class ShardNode {
+ public:
+  /// Offloads `block` (one 2D edge block) to this shard's private devices
+  /// under `dir`. The block's source/destination ranges are preserved.
+  ShardNode(const Csr& block, const DeviceProfile& profile,
+            const std::string& dir, std::size_t shard_id,
+            const ShardNodeConfig& config);
+
+  [[nodiscard]] std::size_t shard_id() const noexcept { return shard_id_; }
+  [[nodiscard]] VertexRange source_range() const noexcept {
+    return external_->source_range();
+  }
+  [[nodiscard]] std::int64_t entry_count() const noexcept {
+    return external_->entry_count();
+  }
+  /// Device bytes of this shard's block (encoded size under kVarint).
+  [[nodiscard]] std::uint64_t nvm_byte_size() const noexcept {
+    return external_->nvm_byte_size();
+  }
+  [[nodiscard]] std::uint64_t raw_byte_size() const noexcept {
+    return external_->raw_byte_size();
+  }
+
+  /// Degree of source v within this block (DRAM, no device traffic).
+  [[nodiscard]] std::int64_t local_degree(Vertex v) const noexcept {
+    return degree_[local_index(v)];
+  }
+  /// True iff source v has at least one edge in this block.
+  [[nodiscard]] bool has_local_edges(Vertex v) const noexcept {
+    return degree_[local_index(v)] > 0;
+  }
+
+  /// Arms `plan` on every device of this shard (and resets their fault
+  /// sequences). The caller derives per-shard seeds so shard failure
+  /// domains draw independent fault sequences.
+  void set_fault_plan(const FaultPlan& plan);
+  void clear_fault_plan();
+
+  /// Total requests ever issued across this shard's devices (offload
+  /// writes included).
+  [[nodiscard]] std::uint64_t device_requests() const noexcept;
+
+  struct FetchOutcome {
+    std::uint64_t requests = 0;  ///< device requests issued (all attempts)
+    std::uint64_t failures = 0;  ///< attempts that ended in NvmIoError
+    bool fell_back = false;      ///< served from the DRAM copy
+  };
+
+  /// Fetches the block adjacency of every vertex in `batch` into
+  /// out[i] (resized). Retries the whole batch on injected I/O errors,
+  /// then falls back to DRAM (see the containment notes above). Throws
+  /// NvmIoError only when the fallback is disabled and retries are
+  /// exhausted.
+  FetchOutcome fetch_neighbors_batch(std::span<const Vertex> batch,
+                                     std::vector<std::vector<Vertex>>& out);
+
+ private:
+  [[nodiscard]] std::size_t local_index(Vertex v) const noexcept {
+    const VertexRange sources = external_->source_range();
+    SEMBFS_ASSERT(sources.contains(v));
+    return static_cast<std::size_t>(v - sources.begin);
+  }
+
+  std::size_t shard_id_;
+  ShardNodeConfig config_;
+  std::vector<std::shared_ptr<NvmDevice>> devices_;
+  std::unique_ptr<ChunkChecksums> checksums_;
+  std::unique_ptr<ExternalCsrPartition> external_;
+  std::unique_ptr<ChunkCache> cache_;
+  std::unique_ptr<IoScheduler> scheduler_;
+  std::vector<std::int32_t> degree_;  ///< per-source block degrees (DRAM)
+  std::optional<Csr> dram_fallback_;
+};
+
+}  // namespace sembfs::shard

@@ -27,6 +27,7 @@
 #include "graph/tiered_forward.hpp"
 #include "graph/uniform.hpp"
 #include "graph_fixtures.hpp"
+#include "shard/sharded_bfs.hpp"
 #include "test_util.hpp"
 
 namespace sembfs {
@@ -430,6 +431,110 @@ INSTANTIATE_TEST_SUITE_P(
         AnalyticsCase{"uniform", "tiered", ChunkFormat::kRaw, 1e-3},
         AnalyticsCase{"kron", "external", ChunkFormat::kVarint, 1e-3},
         AnalyticsCase{"uniform", "tiered", ChunkFormat::kVarint, 1e-3}));
+
+// ---------------------------------------------------------------------------
+// Sharded sweep: the emulated multi-node BFS must agree with the serial
+// reference across {generator} x {shard count} x {chunk format} x {fault
+// rate}. Fault cells derive independent per-shard fault sequences from
+// kSeed (arm_fault_plans adds the shard id), so failures land in
+// different shards across cells but the whole schedule stays
+// reproducible.
+
+struct ShardDiffCase {
+  const char* generator;  // "kron" | "uniform"
+  std::size_t shards;
+  ChunkFormat chunk_format;
+  double read_error_rate;
+
+  friend std::ostream& operator<<(std::ostream& os, const ShardDiffCase& c) {
+    return os << c.generator << "_s" << c.shards << "_fmt"
+              << to_string(c.chunk_format) << "_err" << c.read_error_rate
+              << "_seed" << kSeed;
+  }
+};
+
+class ShardedDifferentialSweep
+    : public ::testing::TestWithParam<ShardDiffCase> {};
+
+TEST_P(ShardedDifferentialSweep, LevelsMatchReferenceAndTreeValidates) {
+  const ShardDiffCase c = GetParam();
+  SCOPED_TRACE(::testing::Message()
+               << "repro: case {" << c << "} with kSeed=" << kSeed);
+  ThreadPool pool{std::max<std::size_t>(4, c.shards)};
+
+  EdgeList edges;
+  if (std::string_view{c.generator} == "kron") {
+    edges = generate_kronecker(fixtures::small_kronecker(10, 8, kSeed), pool);
+  } else {
+    UniformParams params;
+    params.scale = 10;
+    params.edge_factor = 8;
+    params.seed = kSeed;
+    edges = generate_uniform(params, pool);
+  }
+  const Csr full = build_csr(edges, CsrBuildOptions{}, pool);
+
+  testutil::ScopedTestDir scratch{"sharddiff"};
+  shard::ShardNodeConfig node_config;
+  node_config.format = c.chunk_format;
+  shard::ShardedBfs sharded{edges,          c.shards,
+                            pool,           DeviceProfile::dram(),
+                            scratch.path(), node_config};
+  if (c.read_error_rate > 0.0) {
+    FaultPlan base;
+    base.seed = kSeed;
+    base.read_error_rate = c.read_error_rate;
+    sharded.arm_fault_plans(base);
+  }
+
+  Vertex first_root = 0;
+  while (full.degree(first_root) == 0) ++first_root;
+  Vertex second_root = edges.vertex_count() / 2;
+  while (full.degree(second_root) == 0) ++second_root;
+  for (const Vertex root : {first_root, second_root}) {
+    const shard::ShardedBfsResult result =
+        sharded.run(root, shard::ShardedBfsConfig{});
+    const ReferenceBfsResult ref = reference_bfs(full, root);
+    ASSERT_EQ(result.visited, ref.visited) << "root " << root;
+    for (Vertex v = 0; v < edges.vertex_count(); ++v)
+      ASSERT_EQ(result.level[v], ref.level[v])
+          << "root " << root << " v " << v;
+    const ValidationResult check =
+        validate_bfs(edges, root, result.parent, result.level);
+    ASSERT_TRUE(check.ok) << "root " << root << ": " << check.error;
+    // Degradation bookkeeping mirrors the single-node contract: a run is
+    // degraded iff some shard actually served from its DRAM fallback.
+    if (result.degraded) {
+      ASSERT_GT(result.io_failures, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ShardedDifferentialSweep,
+    ::testing::Values(
+        // Fault-free: every generator x shard count, raw chunks.
+        ShardDiffCase{"kron", 2, ChunkFormat::kRaw, 0},
+        ShardDiffCase{"kron", 4, ChunkFormat::kRaw, 0},
+        ShardDiffCase{"kron", 8, ChunkFormat::kRaw, 0},
+        ShardDiffCase{"uniform", 2, ChunkFormat::kRaw, 0},
+        ShardDiffCase{"uniform", 4, ChunkFormat::kRaw, 0},
+        ShardDiffCase{"uniform", 8, ChunkFormat::kRaw, 0},
+        // Varint-compressed per-shard chunk stores.
+        ShardDiffCase{"kron", 2, ChunkFormat::kVarint, 0},
+        ShardDiffCase{"kron", 4, ChunkFormat::kVarint, 0},
+        ShardDiffCase{"kron", 8, ChunkFormat::kVarint, 0},
+        ShardDiffCase{"uniform", 4, ChunkFormat::kVarint, 0},
+        // Injected read errors (1e-3 per read, independent per shard):
+        // containment + per-shard fallback must keep the answer exact.
+        ShardDiffCase{"kron", 2, ChunkFormat::kRaw, 1e-3},
+        ShardDiffCase{"kron", 4, ChunkFormat::kRaw, 1e-3},
+        ShardDiffCase{"kron", 8, ChunkFormat::kRaw, 1e-3},
+        ShardDiffCase{"uniform", 2, ChunkFormat::kRaw, 1e-3},
+        ShardDiffCase{"uniform", 4, ChunkFormat::kRaw, 1e-3},
+        ShardDiffCase{"uniform", 8, ChunkFormat::kRaw, 1e-3},
+        ShardDiffCase{"kron", 4, ChunkFormat::kVarint, 1e-3},
+        ShardDiffCase{"uniform", 8, ChunkFormat::kVarint, 1e-3}));
 
 }  // namespace
 }  // namespace sembfs

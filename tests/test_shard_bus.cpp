@@ -1,0 +1,132 @@
+// MessageBus contract tests: the fixed ascending sender-rank drain order
+// (the determinism fix over the seed-era bus), per-phase accounting, and
+// self-send exclusion from the remote totals.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "shard/message_bus.hpp"
+
+namespace sembfs::shard {
+namespace {
+
+std::vector<std::byte> payload(std::initializer_list<int> bytes) {
+  std::vector<std::byte> out;
+  for (int b : bytes) out.push_back(static_cast<std::byte>(b));
+  return out;
+}
+
+TEST(ShardBus, DrainReturnsFixedAscendingSenderOrder) {
+  MessageBus bus{4};
+  // Send in deliberately scrambled sender order; the drain must come back
+  // 0, 1, 2, 3 regardless.
+  bus.send(3, 0, Phase::kFrontier, payload({30}));
+  bus.send(1, 0, Phase::kFrontier, payload({10}));
+  bus.send(2, 0, Phase::kFrontier, payload({20}));
+  bus.send(0, 0, Phase::kFrontier, payload({0}));
+  const std::vector<MessageBus::Message> got =
+      bus.drain_all(0, Phase::kFrontier);
+  ASSERT_EQ(got.size(), 4u);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].from, i);
+    EXPECT_EQ(got[i].payload, payload({static_cast<int>(10 * i)}));
+  }
+}
+
+TEST(ShardBus, MessagesFromOneSenderKeepSendOrder) {
+  MessageBus bus{2};
+  bus.send(1, 0, Phase::kClaims, payload({1}));
+  bus.send(1, 0, Phase::kClaims, payload({2}));
+  bus.send(1, 0, Phase::kClaims, payload({3}));
+  const auto got = bus.drain_all(0, Phase::kClaims);
+  ASSERT_EQ(got.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(got[i].payload, payload({static_cast<int>(i + 1)}));
+}
+
+TEST(ShardBus, DrainOrderDeterministicUnderConcurrentSenders) {
+  // Many threads race their sends; after a join, every receiver must see
+  // the same ascending-sender sequence on every run.
+  constexpr std::size_t kRanks = 8;
+  MessageBus bus{kRanks};
+  std::vector<std::thread> threads;
+  for (std::size_t from = 0; from < kRanks; ++from) {
+    threads.emplace_back([&bus, from] {
+      for (std::size_t to = 0; to < kRanks; ++to)
+        bus.send(from, to, Phase::kFrontier,
+                 payload({static_cast<int>(from)}));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (std::size_t to = 0; to < kRanks; ++to) {
+    const auto got = bus.drain_all(to, Phase::kFrontier);
+    ASSERT_EQ(got.size(), kRanks);
+    for (std::size_t i = 0; i < kRanks; ++i) {
+      EXPECT_EQ(got[i].from, i);
+      EXPECT_EQ(got[i].payload, payload({static_cast<int>(i)}));
+    }
+  }
+}
+
+TEST(ShardBus, EmptyPayloadsAreDropped) {
+  MessageBus bus{2};
+  bus.send(0, 1, Phase::kFrontier, {});
+  EXPECT_TRUE(bus.drain_all(1, Phase::kFrontier).empty());
+  EXPECT_EQ(bus.total_messages(), 0u);
+  EXPECT_EQ(bus.total_remote_bytes(), 0u);
+}
+
+TEST(ShardBus, PhasesHaveSeparateMailboxesAndCounters) {
+  MessageBus bus{2};
+  bus.send(0, 1, Phase::kFrontier, payload({1, 2}));
+  bus.send(0, 1, Phase::kMembership, payload({1, 2, 3}));
+  bus.send(0, 1, Phase::kClaims, payload({1, 2, 3, 4, 5}));
+  EXPECT_EQ(bus.remote_bytes(Phase::kFrontier), 2u);
+  EXPECT_EQ(bus.remote_bytes(Phase::kMembership), 3u);
+  EXPECT_EQ(bus.remote_bytes(Phase::kClaims), 5u);
+  EXPECT_EQ(bus.total_remote_bytes(), 10u);
+  // Draining one phase leaves the others queued.
+  EXPECT_EQ(bus.drain_all(1, Phase::kMembership).size(), 1u);
+  EXPECT_EQ(bus.drain_all(1, Phase::kMembership).size(), 0u);
+  EXPECT_EQ(bus.drain_all(1, Phase::kFrontier).size(), 1u);
+  EXPECT_EQ(bus.drain_all(1, Phase::kClaims).size(), 1u);
+}
+
+TEST(ShardBus, SelfSendsDeliveredButExcludedFromRemoteTotals) {
+  MessageBus bus{3};
+  bus.send(1, 1, Phase::kFrontier, payload({9, 9, 9}));
+  bus.send(1, 2, Phase::kFrontier, payload({7}));
+  // Self-send is delivered like any message...
+  const auto self = bus.drain_all(1, Phase::kFrontier);
+  ASSERT_EQ(self.size(), 1u);
+  EXPECT_EQ(self[0].from, 1u);
+  // ...but only the cross-rank byte counts as remote.
+  EXPECT_EQ(bus.total_remote_bytes(), 1u);
+  EXPECT_EQ(bus.total_messages(), 1u);
+  // Per-pair accounting still sees both.
+  EXPECT_EQ(bus.bytes_sent(1, 1), 3u);
+  EXPECT_EQ(bus.bytes_sent(1, 2), 1u);
+}
+
+TEST(ShardBus, ResetCountersKeepsQueuedMessages) {
+  MessageBus bus{2};
+  bus.send(0, 1, Phase::kClaims, payload({1, 2, 3}));
+  bus.reset_counters();
+  EXPECT_EQ(bus.total_remote_bytes(), 0u);
+  EXPECT_EQ(bus.total_messages(), 0u);
+  EXPECT_EQ(bus.bytes_sent(0, 1), 0u);
+  // The message itself is still there: counters are accounting, not
+  // delivery state.
+  EXPECT_EQ(bus.drain_all(1, Phase::kClaims).size(), 1u);
+}
+
+TEST(ShardBus, PhaseNames) {
+  EXPECT_STREQ(phase_name(Phase::kFrontier), "frontier");
+  EXPECT_STREQ(phase_name(Phase::kMembership), "membership");
+  EXPECT_STREQ(phase_name(Phase::kClaims), "claims");
+}
+
+}  // namespace
+}  // namespace sembfs::shard

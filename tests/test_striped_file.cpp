@@ -159,6 +159,98 @@ TEST_F(StripedFileTest, StripingReducesQueueingOnSlowDevices) {
   EXPECT_LT(four * 1.5, one);
 }
 
+// --- per-stripe fault injection -------------------------------------------
+//
+// Each stripe device is its own failure domain: a fault plan armed on one
+// device must only affect reads that touch its stripes, and a read error
+// from any piece must surface as a read error of the whole logical read
+// (never as silently missing bytes).
+
+TEST_F(StripedFileTest, FaultOnOneDeviceOnlyFailsItsStripes) {
+  StripedNvmFile file{devices_, dir_ + "/f1", 4096};
+  file.write(0, pattern(16 * 4096));
+
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.read_error_rate = 1.0;  // every read on device 1 fails
+  devices_[1]->set_fault_plan(plan);
+
+  std::vector<std::byte> back(100);
+  // Stripes 0, 2, 3 live on healthy devices.
+  EXPECT_NO_THROW(file.read(0, back));
+  EXPECT_NO_THROW(file.read(2 * 4096, back));
+  EXPECT_NO_THROW(file.read(3 * 4096, back));
+  // Stripe 1 and stripe 5 (= 5 % 4 -> device 1) must fail.
+  EXPECT_THROW(file.read(1 * 4096, back), NvmIoError);
+  EXPECT_THROW(file.read(5 * 4096 + 7, back), NvmIoError);
+
+  devices_[1]->clear_fault_plan();
+  EXPECT_NO_THROW(file.read(1 * 4096, back));
+}
+
+TEST_F(StripedFileTest, SpanningReadFailsWhenAnyPieceFails) {
+  StripedNvmFile file{devices_, dir_ + "/f2", 4096};
+  const auto data = pattern(16 * 4096);
+  file.write(0, data);
+
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.read_error_rate = 1.0;
+  devices_[3]->set_fault_plan(plan);
+
+  // A 4-stripe read crosses all devices, including the broken one.
+  std::vector<std::byte> back(4 * 4096);
+  EXPECT_THROW(file.read(0, back), NvmIoError);
+  // Restricting the read to the three healthy stripes succeeds, with the
+  // content intact.
+  std::vector<std::byte> healthy(3 * 4096);
+  file.read(0, healthy);
+  for (std::size_t i = 0; i < healthy.size(); ++i)
+    ASSERT_EQ(healthy[i], data[i]) << "i=" << i;
+}
+
+TEST_F(StripedFileTest, DeterministicOneShotFailurePerDevice) {
+  StripedNvmFile file{devices_, dir_ + "/f3", 4096};
+  file.write(0, pattern(8 * 4096));
+
+  FaultPlan plan;
+  plan.fail_after_requests = 2;  // second read on device 0 fails, once
+  devices_[0]->set_fault_plan(plan);
+
+  std::vector<std::byte> back(100);
+  EXPECT_NO_THROW(file.read(0, back));
+  EXPECT_THROW(file.read(4 * 4096, back), NvmIoError);  // device 0 again
+  // One-shot: the device recovers after the injected failure.
+  EXPECT_NO_THROW(file.read(0, back));
+}
+
+TEST_F(StripedFileTest, CorruptionOnOneStripeLeavesOthersClean) {
+  StripedNvmFile file{devices_, dir_ + "/f4", 4096};
+  const auto data = pattern(8 * 4096);
+  file.write(0, data);
+
+  FaultPlan plan;
+  plan.seed = 13;
+  plan.corruption_rate = 1.0;  // every read on device 2 flips bits
+  devices_[2]->set_fault_plan(plan);
+
+  // Healthy stripes deliver bit-exact data even while device 2 is
+  // scrambling its share: corruption must not leak across stripes.
+  std::vector<std::byte> back(4096);
+  for (const std::size_t stripe : {0u, 1u, 3u, 4u, 5u, 7u}) {
+    file.read(stripe * 4096, back);
+    for (std::size_t i = 0; i < back.size(); ++i)
+      ASSERT_EQ(back[i], data[stripe * 4096 + i])
+          << "stripe " << stripe << " i=" << i;
+  }
+  std::vector<std::byte> dirty(4096);
+  file.read(2 * 4096, dirty);
+  bool flipped = false;
+  for (std::size_t i = 0; i < dirty.size(); ++i)
+    flipped = flipped || dirty[i] != data[2 * 4096 + i];
+  EXPECT_TRUE(flipped) << "armed corruption plan never fired";
+}
+
 TEST_F(StripedFileTest, RejectsBadStripeSize) {
   EXPECT_DEATH(StripedNvmFile(devices_, dir_ + "/bad", 3000),
                "Precondition");
